@@ -1,0 +1,48 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one of the paper's figures or claims. Besides
+the pytest-benchmark timing, each prints a report block (the series /
+table the paper shows) and archives it under ``benchmarks/results/`` so
+the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(request):
+    """Print a report block and archive it as ``results/<test name>.txt``."""
+
+    chunks: list[str] = []
+
+    def _emit(text: str) -> None:
+        chunks.append(text)
+        print(f"\n{text}")
+
+    yield _emit
+
+    if chunks:
+        name = request.node.name.replace("/", "_").replace("[", "_").replace("]", "")
+        (RESULTS_DIR / f"{name}.txt").write_text("\n\n".join(chunks) + "\n")
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing.
+
+    Recovery experiments are deterministic simulations — repeating them
+    only reruns identical work — so a single round is both faster and
+    sufficient.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""A8 — ablation: how expensive must checkpoints be for optimistic
+recovery to win under failures too?
+
+C2 records an honest caveat: with the default cost model (checkpoint
+write = 5x per-record compute) and a failure mid-run, rollback recovery
+can edge out optimistic recovery on PageRank, because its short rollback
+beats the compensation wash-out. That balance is a function of the
+checkpoint I/O price. This bench sweeps the checkpoint/restore cost
+multiplier and shows the crossover: as stable storage gets slower
+relative to compute (the regime the paper targets — remote DFS writes of
+large state), optimistic recovery wins even *with* a failure in the run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms import exact_pagerank, pagerank
+from repro.analysis import Table
+from repro.config import CostModel, EngineConfig
+from repro.core import CheckpointRecovery
+from repro.graph import twitter_like_graph
+from repro.runtime import FailureSchedule
+
+from .conftest import run_once
+
+#: checkpoint/restore cost as a multiple of per-record compute cost.
+MULTIPLIERS = (1, 5, 20, 80)
+
+
+def _config(multiplier: int) -> EngineConfig:
+    base = CostModel()
+    model = dataclasses.replace(
+        base,
+        checkpoint_per_record=base.cpu_per_record * multiplier,
+        restore_per_record=base.cpu_per_record * multiplier,
+    )
+    return EngineConfig(parallelism=4, spare_workers=8, cost_model=model)
+
+
+def test_a8_checkpoint_cost_crossover(benchmark, report):
+    graph = twitter_like_graph(600, seed=7)
+    truth = exact_pagerank(graph)
+    schedule = FailureSchedule.single(10, [1])
+
+    def run_sweep():
+        rows = {}
+        for multiplier in MULTIPLIERS:
+            config = _config(multiplier)
+            job = pagerank(graph, max_supersteps=500)
+            rows[(multiplier, "optimistic")] = job.run(
+                config=config, recovery=job.optimistic(), failures=schedule
+            )
+            rows[(multiplier, "checkpoint(k=2)")] = pagerank(
+                graph, max_supersteps=500
+            ).run(
+                config=config,
+                recovery=CheckpointRecovery(interval=2),
+                failures=schedule,
+            )
+        return rows
+
+    rows = run_once(benchmark, run_sweep)
+    table = Table(
+        ["io cost (x compute)", "optimistic", "checkpoint(k=2)", "winner"],
+        title="A8 — total sim time under one failure vs checkpoint I/O price "
+        "(PageRank, Twitter-like n=600)",
+    )
+    winners = []
+    for multiplier in MULTIPLIERS:
+        optimistic_time = rows[(multiplier, "optimistic")].sim_time
+        checkpoint_time = rows[(multiplier, "checkpoint(k=2)")].sim_time
+        winner = "optimistic" if optimistic_time < checkpoint_time else "checkpoint"
+        winners.append(winner)
+        table.add_row(multiplier, optimistic_time, checkpoint_time, winner)
+    report(str(table))
+
+    # correctness everywhere
+    for result in rows.values():
+        for vertex, rank in result.final_dict.items():
+            assert rank == pytest.approx(truth[vertex], abs=1e-6)
+    # optimistic time is I/O-price independent; checkpoint time grows
+    optimistic_times = [rows[(m, "optimistic")].sim_time for m in MULTIPLIERS]
+    assert max(optimistic_times) - min(optimistic_times) < 1e-9
+    checkpoint_times = [rows[(m, "checkpoint(k=2)")].sim_time for m in MULTIPLIERS]
+    assert checkpoint_times == sorted(checkpoint_times)
+    # the crossover exists: optimistic wins at the expensive end
+    assert winners[-1] == "optimistic"
+    # and the winner flips at most once across the sweep (monotone regime)
+    flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+    assert flips <= 1

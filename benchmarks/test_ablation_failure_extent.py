@@ -1,0 +1,60 @@
+"""A2 — ablation: recovery cost vs. the extent of the failure.
+
+Sweeps how many workers die simultaneously (1..all 4) and reports the
+recovery footprint of optimistic recovery: messages after compensation,
+extra supersteps over the failure-free run, and simulated time. The
+expected shape — more lost partitions, more reset vertices, more recovery
+traffic, but correctness always — is the quantitative backbone of the
+demo's "attendees choose which partitions to fail" interaction.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components, exact_connected_components
+from repro.analysis import Table
+from repro.config import EngineConfig
+from repro.graph import twitter_like_graph
+from repro.runtime import FailureSchedule
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+def test_a2_recovery_cost_vs_lost_partitions(benchmark, report):
+    graph = twitter_like_graph(600, seed=7)
+    truth = exact_connected_components(graph)
+    baseline = connected_components(graph).run(config=CONFIG)
+
+    def run_sweep():
+        outcomes = {}
+        for extent in (1, 2, 3, 4):
+            job = connected_components(graph)
+            outcomes[extent] = job.run(
+                config=CONFIG,
+                recovery=job.optimistic(),
+                failures=FailureSchedule.single(2, list(range(extent))),
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, run_sweep)
+    table = Table(
+        ["workers failed", "supersteps", "extra supersteps", "recovery msgs (t=3)", "sim time"],
+        title="A2 — CC optimistic recovery vs failure extent (failure at superstep 2)",
+    )
+    recovery_messages = []
+    for extent, result in outcomes.items():
+        messages = result.stats.messages_series()[3]
+        recovery_messages.append(messages)
+        table.add_row(
+            extent,
+            result.supersteps,
+            result.supersteps - baseline.supersteps,
+            messages,
+            result.sim_time,
+        )
+        assert result.final_dict == truth
+    report(str(table))
+    # recovery traffic grows with the number of lost partitions
+    assert recovery_messages == sorted(recovery_messages)
+    assert recovery_messages[-1] > recovery_messages[0]

@@ -1,0 +1,107 @@
+"""A4 — ablation: strategy choice vs. failure frequency.
+
+§1 of the paper motivates optimistic recovery with the observation that
+"many computations do not run for such a long time or on so many nodes
+that failures become commonplace" — i.e. the right strategy depends on
+the failure rate. This bench sweeps a per-superstep failure probability
+(none / rare / frequent) over PageRank and reports mean simulated time
+per strategy across seeds.
+
+Expected shape: with no failures, optimistic equals the no-FT lower bound
+and every checkpoint interval pays overhead; as failures become frequent,
+frequent checkpointing catches up (its pre-paid I/O buys cheap, short
+rollbacks) while restart degrades the most.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import pagerank
+from repro.analysis import Table
+from repro.config import EngineConfig
+from repro.core import CheckpointRecovery, RestartRecovery
+from repro.graph import twitter_like_graph
+from repro.runtime import FailureSchedule
+from repro.runtime.failures import FailureEvent
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=24)
+GRAPH_SIZE = 300
+SEEDS = (1, 2, 3)
+HORIZON = 60  # supersteps over which failures may strike
+
+
+def _bernoulli_schedule(rate: float, seed: int) -> FailureSchedule:
+    """One failure event per superstep with probability ``rate``."""
+    rng = random.Random(seed)
+    events = [
+        FailureEvent(superstep, (rng.randrange(4),))
+        for superstep in range(1, HORIZON)
+        if rng.random() < rate
+    ]
+    return FailureSchedule(events)
+
+
+def _strategies(job):
+    return {
+        "optimistic": job.optimistic(),
+        "checkpoint(k=1)": CheckpointRecovery(interval=1),
+        "checkpoint(k=5)": CheckpointRecovery(interval=5),
+        "restart": RestartRecovery(),
+    }
+
+
+def test_a4_strategy_vs_failure_rate(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+    rates = {"none (p=0)": 0.0, "rare (p=0.02)": 0.02, "frequent (p=0.15)": 0.15}
+
+    def run_sweep():
+        means: dict[tuple[str, str], float] = {}
+        for rate_name, rate in rates.items():
+            for strategy_name in _strategies(pagerank(graph)):
+                times = []
+                for seed in SEEDS:
+                    job = pagerank(graph, max_supersteps=1000)
+                    strategy = _strategies(job)[strategy_name]
+                    schedule = (
+                        _bernoulli_schedule(rate, seed) if rate > 0 else None
+                    )
+                    result = job.run(
+                        config=CONFIG, recovery=strategy, failures=schedule
+                    )
+                    assert result.converged
+                    times.append(result.sim_time)
+                means[(rate_name, strategy_name)] = sum(times) / len(times)
+        return means
+
+    means = run_once(benchmark, run_sweep)
+    table = Table(
+        ["failure rate", *(_strategies(pagerank(graph)).keys())],
+        title=f"A4 — mean sim time (s) over {len(SEEDS)} seeds, "
+        f"PageRank Twitter-like n={GRAPH_SIZE}",
+    )
+    for rate_name in rates:
+        table.add_row(
+            rate_name,
+            *(
+                means[(rate_name, strategy)]
+                for strategy in _strategies(pagerank(graph))
+            ),
+        )
+    report(str(table))
+
+    # with no failures, optimistic is the cheapest strategy
+    no_failures = {s: means[("none (p=0)", s)] for s in _strategies(pagerank(graph))}
+    assert no_failures["optimistic"] == min(no_failures.values())
+    # every strategy degrades as the failure rate rises
+    for strategy in _strategies(pagerank(graph)):
+        assert (
+            means[("none (p=0)", strategy)]
+            < means[("rare (p=0.02)", strategy)]
+            <= means[("frequent (p=0.15)", strategy)]
+        )
+    # under frequent failures, restart is never the best choice
+    frequent = {s: means[("frequent (p=0.15)", s)] for s in _strategies(pagerank(graph))}
+    assert frequent["restart"] > min(frequent.values())

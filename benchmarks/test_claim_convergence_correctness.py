@@ -1,0 +1,101 @@
+"""C3 — convergence correctness under arbitrary failures.
+
+§2.2 / [Schelter et al. 2013]: the algorithms "can converge to the
+correct solutions from many intermediate states, not only from the one
+checkpointed before the failure". This bench hammers both demo
+algorithms with randomized failure schedules (random supersteps, random
+workers, one to three failures per run) and checks every run against the
+independent oracle — union-find for Connected Components, numpy power
+iteration for PageRank.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    connected_components,
+    exact_connected_components,
+    exact_pagerank,
+    pagerank,
+)
+from repro.analysis import Table
+from repro.config import EngineConfig
+from repro.graph import twitter_like_graph
+from repro.runtime import FailureSchedule
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=24)
+GRAPH_SIZE = 300
+NUM_SCHEDULES = 12
+
+
+def _random_schedules(max_superstep, seed_base):
+    schedules = []
+    for index in range(NUM_SCHEDULES):
+        schedules.append(
+            FailureSchedule.random(
+                num_workers=4,
+                max_superstep=max_superstep,
+                num_failures=1 + index % 3,
+                seed=seed_base + index,
+            )
+        )
+    return schedules
+
+
+def test_c3_connected_components_always_correct(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=11)
+    truth = exact_connected_components(graph)
+
+    def run_all():
+        outcomes = []
+        for schedule in _random_schedules(max_superstep=4, seed_base=100):
+            job = connected_components(graph)
+            result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+            outcomes.append((schedule, result))
+        return outcomes
+
+    outcomes = run_once(benchmark, run_all)
+    table = Table(
+        ["schedule", "failures", "supersteps", "correct"],
+        title=f"C3 — CC under {NUM_SCHEDULES} random failure schedules "
+        f"(Twitter-like n={GRAPH_SIZE})",
+    )
+    for index, (schedule, result) in enumerate(outcomes):
+        correct = result.final_dict == truth
+        events = ", ".join(
+            f"t={e.superstep}:w{list(e.worker_ids)}" for e in schedule.events
+        )
+        table.add_row(index, events, result.supersteps, correct)
+        assert result.converged
+        assert correct
+    report(str(table))
+
+
+def test_c3_pagerank_always_correct(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=11)
+    truth = exact_pagerank(graph)
+
+    def run_all():
+        outcomes = []
+        for schedule in _random_schedules(max_superstep=15, seed_base=200):
+            job = pagerank(graph, max_supersteps=500)
+            result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+            outcomes.append((schedule, result))
+        return outcomes
+
+    outcomes = run_once(benchmark, run_all)
+    table = Table(
+        ["schedule", "failures", "supersteps", "max abs error"],
+        title=f"C3 — PageRank under {NUM_SCHEDULES} random failure schedules "
+        f"(Twitter-like n={GRAPH_SIZE})",
+    )
+    for index, (schedule, result) in enumerate(outcomes):
+        error = max(abs(result.final_dict[v] - truth[v]) for v in truth)
+        events = ", ".join(
+            f"t={e.superstep}:w{list(e.worker_ids)}" for e in schedule.events
+        )
+        table.add_row(index, events, result.supersteps, error)
+        assert result.converged
+        assert error < 1e-6
+    report(str(table))

@@ -1,0 +1,108 @@
+"""C1 — the headline claim: optimal failure-free performance.
+
+§1: "Since this recovery mechanism does not checkpoint any state, it
+achieves optimal failure-free performance", and checkpointing
+"unnecessarily increase[s] the latency of a computation" when failures
+are rare. This bench runs both demo algorithms failure-free under
+
+* no fault tolerance (the lower bound),
+* optimistic recovery (must equal the lower bound),
+* rollback recovery with checkpoint interval ∈ {1, 2, 5, 10},
+
+and reports total simulated time plus the checkpoint-I/O component.
+Expected shape: optimistic == no-FT, and checkpointing overhead grows as
+the interval shrinks.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank
+from repro.analysis import Table
+from repro.config import EngineConfig
+from repro.core import CheckpointRecovery, RestartRecovery
+from repro.graph import twitter_like_graph
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+GRAPH_SIZE = 600
+INTERVALS = (1, 2, 5, 10)
+
+
+def _sweep(job_factory):
+    rows = {}
+    rows["no fault tolerance"] = job_factory().run(
+        config=CONFIG, recovery=RestartRecovery()
+    )
+    job = job_factory()
+    rows["optimistic"] = job.run(config=CONFIG, recovery=job.optimistic())
+    for interval in INTERVALS:
+        rows[f"checkpoint(k={interval})"] = job_factory().run(
+            config=CONFIG, recovery=CheckpointRecovery(interval=interval)
+        )
+    return rows
+
+
+def _table(title, rows):
+    table = Table(
+        ["strategy", "supersteps", "sim time", "checkpoint io", "overhead vs no-FT"],
+        title=title,
+    )
+    base = rows["no fault tolerance"].sim_time
+    for name, result in rows.items():
+        table.add_row(
+            name,
+            result.supersteps,
+            result.sim_time,
+            result.cost_breakdown().get("checkpoint_io", 0.0),
+            f"{(result.sim_time / base - 1.0) * 100:.1f}%",
+        )
+    return table
+
+
+def _assert_shape(rows):
+    base = rows["no fault tolerance"]
+    optimistic = rows["optimistic"]
+    # optimistic recovery is free when nothing fails
+    assert optimistic.sim_time == pytest.approx(base.sim_time)
+    assert optimistic.cost_breakdown().get("checkpoint_io", 0.0) == 0.0
+    # checkpointing overhead grows as the interval shrinks (an interval
+    # longer than the run writes nothing and degenerates to zero I/O)
+    io_by_interval = [
+        rows[f"checkpoint(k={k})"].cost_breakdown().get("checkpoint_io", 0.0)
+        for k in INTERVALS
+    ]
+    assert io_by_interval == sorted(io_by_interval, reverse=True)
+    assert io_by_interval[0] > 0.0
+    for k, io in zip(INTERVALS, io_by_interval):
+        if io > 0.0:
+            assert rows[f"checkpoint(k={k})"].sim_time > base.sim_time
+    # everyone computes the same answer
+    for result in rows.values():
+        assert result.final_dict == base.final_dict or all(
+            result.final_dict[k] == pytest.approx(base.final_dict[k], abs=1e-9)
+            for k in base.final_dict
+        )
+
+
+def test_c1_pagerank_failure_free_overhead(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+    rows = run_once(
+        benchmark, lambda: _sweep(lambda: pagerank(graph, max_supersteps=500))
+    )
+    report(str(_table(f"C1 — PageRank failure-free, Twitter-like n={GRAPH_SIZE}", rows)))
+    _assert_shape(rows)
+
+
+def test_c1_connected_components_failure_free_overhead(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+    rows = run_once(benchmark, lambda: _sweep(lambda: connected_components(graph)))
+    report(
+        str(
+            _table(
+                f"C1 — Connected Components failure-free, Twitter-like n={GRAPH_SIZE}",
+                rows,
+            )
+        )
+    )
+    _assert_shape(rows)

@@ -1,0 +1,56 @@
+"""F1 — Figure 1: the two iterative dataflows with compensations.
+
+Regenerates Figure 1(a) (Connected Components with the ``fix-components``
+compensation) and Figure 1(b) (PageRank with ``fix-ranks``) as text and
+DOT renderings, verifying the paper's operator names and topology.
+"""
+
+from repro.algorithms.connected_components import (
+    ComponentsCompensation,
+    connected_components_plan,
+)
+from repro.algorithms.pagerank import PageRankCompensation, pagerank_plan
+from repro.dataflow.rendering import plan_to_dot, plan_to_text
+
+from .conftest import run_once
+
+
+def test_fig1a_connected_components_dataflow(benchmark, report):
+    plan = run_once(benchmark, connected_components_plan)
+    text = plan_to_text(plan, compensations=[ComponentsCompensation.name])
+    report(
+        "Figure 1(a) — Connected Components delta-iteration dataflow\n"
+        f"{text}\n"
+        f"compensation (failure-only): {ComponentsCompensation.name}"
+    )
+    names = {op.name for op in plan.operators}
+    assert {"label-to-neighbors", "candidate-label", "label-update"} <= names
+    # the workset feeds label-to-neighbors together with the graph
+    to_neighbors = plan.operator_by_name("label-to-neighbors")
+    assert {op.name for op in to_neighbors.inputs} == {"workset", "graph"}
+
+
+def test_fig1b_pagerank_dataflow(benchmark, report):
+    plan = run_once(benchmark, lambda: pagerank_plan(damping=0.85, num_vertices=10))
+    text = plan_to_text(plan, compensations=[PageRankCompensation.name])
+    report(
+        "Figure 1(b) — PageRank bulk-iteration dataflow\n"
+        f"{text}\n"
+        f"compensation (failure-only): {PageRankCompensation.name}"
+    )
+    names = {op.name for op in plan.operators}
+    assert {"find-neighbors", "recompute-ranks", "compare-to-old-rank"} <= names
+
+
+def test_fig1_dot_renderings(benchmark, report):
+    def render_both():
+        return (
+            plan_to_dot(connected_components_plan(), compensations=["fix-components"]),
+            plan_to_dot(pagerank_plan(0.85, 10), compensations=["fix-ranks"]),
+        )
+
+    cc_dot, pr_dot = run_once(benchmark, render_both)
+    report(f"Figure 1(a) as Graphviz DOT\n{cc_dot}")
+    report(f"Figure 1(b) as Graphviz DOT\n{pr_dot}")
+    assert cc_dot.startswith("digraph")
+    assert pr_dot.startswith("digraph")

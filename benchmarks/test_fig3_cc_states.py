@@ -1,0 +1,81 @@
+"""F3 — Figure 3: the four canonical Connected Components states.
+
+Regenerates Figure 3's (a) initial, (b) before failure, (c) after
+compensation, (d) converged states of the small-graph demo, rendered the
+way the headless GUI draws them (component groupings instead of colored
+areas), and verifies the paper's narration of each state.
+"""
+
+from repro.algorithms import exact_connected_components
+from repro.demo import small_cc_scenario
+from repro.demo.render import render_components
+from repro.iteration.snapshots import SnapshotPhase
+
+from .conftest import run_once
+
+FAILURE_SUPERSTEP = 2
+
+
+def test_fig3_state_progression(benchmark, report):
+    run = run_once(
+        benchmark,
+        lambda: small_cc_scenario(
+            failure_superstep=FAILURE_SUPERSTEP, failed_partitions=(0,)
+        ),
+    )
+    snapshots = run.result.snapshots
+    lost = run.lost_vertices(FAILURE_SUPERSTEP)
+
+    initial = snapshots.of_phase(SnapshotPhase.INITIAL)[0]
+    before = snapshots.of_phase(SnapshotPhase.BEFORE_FAILURE)[0]
+    compensated = snapshots.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0]
+    converged = snapshots.of_phase(SnapshotPhase.CONVERGED)[0]
+
+    blocks = []
+    for title, snap in [
+        ("(a) initial", initial),
+        ("(b) before failure", before),
+        ("(c) after compensation", compensated),
+        ("(d) converged", converged),
+    ]:
+        highlight = lost if snap is not initial else []
+        blocks.append(f"{title} [superstep {snap.superstep}]\n"
+                      f"{render_components(snap.as_dict(), highlight=highlight)}")
+    report("Figure 3 — Connected Components state progression\n\n" + "\n\n".join(blocks))
+
+    # (a) every vertex starts in its own component ("initially, the area
+    # around every vertex has a distinct color")
+    assert all(v == label for v, label in initial.as_dict().items())
+    # (b) label propagation has merged components before the failure
+    assert len(set(before.as_dict().values())) < run.graph.num_vertices
+    # (c) compensation resets exactly the lost vertices to initial labels
+    comp_state = compensated.as_dict()
+    pre_state = before.as_dict()
+    for vertex in run.graph.vertices:
+        if vertex in lost:
+            assert comp_state[vertex] == vertex
+        else:
+            assert comp_state[vertex] == pre_state[vertex]
+    # (d) "the number of distinct colors equals the number of connected
+    # components" — and the labels are the component minima
+    truth = exact_connected_components(run.graph)
+    assert converged.as_dict() == truth
+    assert len(set(converged.as_dict().values())) == 3
+
+
+def test_fig3_color_count_shrinks(benchmark, report):
+    """§3.2: 'the number of colors decreases; by that attendees can track
+    the convergence' — except at the compensation, which re-splits."""
+    run = run_once(benchmark, lambda: small_cc_scenario(failure_superstep=2))
+    counts = []
+    for superstep in range(-1, run.last_superstep + 1):
+        state = run.state_at(superstep)
+        counts.append(len(set(state.values())))
+    report(f"distinct component count per iteration (initial first): {counts}")
+    assert counts[0] == run.graph.num_vertices
+    assert counts[-1] == 3
+    # the failure iteration may increase the count; all others shrink it
+    failure_index = 2 + 1  # +1 for the initial entry
+    for i in range(1, len(counts)):
+        if i != failure_index:
+            assert counts[i] <= counts[i - 1]

@@ -1,0 +1,91 @@
+"""F4 — Figure 4: PageRank demo statistics under a failure.
+
+Regenerates the two plots of the PageRank tab (§3.3):
+
+* (i) vertices converged to their true PageRank per iteration — a
+  plummet follows the failure ("a loss of partitions with converged
+  vertices corresponds to the plummet in the plot in the iteration 6
+  after the failure in the iteration 5");
+* (ii) the L1 norm of the difference between consecutive rank estimates —
+  a downward trend with a spike at the iteration after the failure.
+"""
+
+import pytest
+
+from repro.algorithms import exact_pagerank, pagerank
+from repro.analysis import Series, format_figure
+from repro.config import EngineConfig
+from repro.demo import small_pagerank_scenario, twitter_pagerank_scenario
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+FAILURE_SUPERSTEP = 4  # the paper's "iteration 5" in 0-based counting
+
+
+def test_fig4_small_graph(benchmark, report):
+    run = run_once(
+        benchmark,
+        lambda: small_pagerank_scenario(
+            failure_superstep=FAILURE_SUPERSTEP, failed_partitions=(1,)
+        ),
+    )
+    stats = run.statistics()
+    report(
+        format_figure(
+            "Figure 4 (small graph): PageRank statistics, failure at iteration 4",
+            [
+                Series.of("converged", stats.converged.values),
+                Series.of("l1_delta", [round(v, 6) for v in stats.l1.values]),
+            ],
+        )
+    )
+    # downward trend with a spike exactly one iteration after the failure
+    l1 = stats.l1.values
+    assert l1[FAILURE_SUPERSTEP + 1] > l1[FAILURE_SUPERSTEP]
+    assert all(
+        l1[i] <= l1[i - 1]
+        for i in range(2, len(l1))
+        if i not in (FAILURE_SUPERSTEP, FAILURE_SUPERSTEP + 1)
+    )
+    # correctness: final ranks equal the power-iteration fixpoint
+    truth = exact_pagerank(run.graph)
+    for vertex, rank in run.result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-7)
+
+
+def test_fig4_twitter_graph(benchmark, report):
+    size = 800
+    failure_superstep = 8
+
+    def run_scenario():
+        return twitter_pagerank_scenario(
+            twitter_size=size,
+            failure_superstep=failure_superstep,
+            failed_partitions=(1,),
+        )
+
+    run = run_once(benchmark, run_scenario)
+    stats = run.statistics()
+    baseline = pagerank(run.graph, max_supersteps=500).run(config=CONFIG)
+    report(
+        format_figure(
+            f"Figure 4 (Twitter-like graph, n={size}): PageRank statistics, "
+            f"failure at iteration {failure_superstep}",
+            [
+                Series.of("converged (failure run)", stats.converged.values),
+                Series.of("converged (failure-free)", baseline.stats.converged_series()),
+                Series.of("l1_delta", [round(v, 8) for v in stats.l1.values]),
+            ],
+        )
+    )
+    l1 = stats.l1.values
+    assert l1[failure_superstep + 1] > l1[failure_superstep]
+    # plummet relative to the failure-free run at/after the failure
+    assert (
+        stats.converged.values[failure_superstep]
+        <= baseline.stats.converged_series()[failure_superstep]
+    )
+    truth = exact_pagerank(run.graph)
+    for vertex, rank in run.result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-6)

@@ -1,0 +1,93 @@
+"""F5 — Figure 5: the four canonical PageRank states.
+
+Regenerates Figure 5's (a) initial uniform ranks, (b) pre-failure ranks,
+(c) post-compensation ranks (lost mass spread uniformly over the failed
+partition's vertices), (d) converged true ranks — rendered with bar
+length standing in for the GUI's vertex size.
+"""
+
+import pytest
+
+from repro.algorithms import exact_pagerank
+from repro.demo import small_pagerank_scenario
+from repro.demo.render import render_ranks
+from repro.iteration.snapshots import SnapshotPhase
+
+from .conftest import run_once
+
+FAILURE_SUPERSTEP = 4
+
+
+def test_fig5_state_progression(benchmark, report):
+    run = run_once(
+        benchmark,
+        lambda: small_pagerank_scenario(
+            failure_superstep=FAILURE_SUPERSTEP, failed_partitions=(1,)
+        ),
+    )
+    snapshots = run.result.snapshots
+    lost = run.lost_vertices(FAILURE_SUPERSTEP)
+
+    initial = snapshots.of_phase(SnapshotPhase.INITIAL)[0]
+    before = snapshots.of_phase(SnapshotPhase.BEFORE_FAILURE)[0]
+    compensated = snapshots.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0]
+    converged = snapshots.of_phase(SnapshotPhase.CONVERGED)[0]
+
+    blocks = []
+    for title, snap in [
+        ("(a) initial (uniform)", initial),
+        ("(b) before failure", before),
+        ("(c) after compensation", compensated),
+        ("(d) converged", converged),
+    ]:
+        highlight = lost if snap is not initial else []
+        blocks.append(
+            f"{title} [superstep {snap.superstep}]\n"
+            f"{render_ranks(snap.as_dict(), highlight=highlight, width=30)}"
+        )
+    report("Figure 5 — PageRank state progression\n\n" + "\n\n".join(blocks))
+
+    n = run.graph.num_vertices
+    # (a) "all the vertices are of the same size in the beginning"
+    for rank in initial.as_dict().values():
+        assert rank == pytest.approx(1.0 / n)
+    # (b) ranks have differentiated before the failure
+    assert len({round(r, 9) for r in before.as_dict().values()}) > 1
+    # (c) the lost vertices share one uniform compensated rank and the
+    # whole vector sums to one
+    comp_state = compensated.as_dict()
+    assert len({comp_state[v] for v in lost}) == 1
+    assert sum(comp_state.values()) == pytest.approx(1.0)
+    # survivors keep their pre-failure ranks
+    pre_state = before.as_dict()
+    for vertex in run.graph.vertices:
+        if vertex not in lost:
+            assert comp_state[vertex] == pytest.approx(pre_state[vertex])
+    # (d) "the vertices converge to their true ranks, irrespective of the
+    # compensation"
+    truth = exact_pagerank(run.graph)
+    for vertex, rank in converged.as_dict().items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-7)
+
+
+def test_fig5_vertex_sizes_stabilize(benchmark, report):
+    """§3.3: 'vertices grow and shrink and over time reach their final
+    size' — per-vertex rank trajectories flatten out."""
+    run = run_once(benchmark, lambda: small_pagerank_scenario())
+    first_half_change = 0.0
+    second_half_change = 0.0
+    mid = run.last_superstep // 2
+    previous = run.state_at(-1)
+    for superstep in range(run.last_superstep + 1):
+        state = run.state_at(superstep)
+        change = sum(abs(state[v] - previous[v]) for v in state)
+        if superstep <= mid:
+            first_half_change += change
+        else:
+            second_half_change += change
+        previous = state
+    report(
+        "total rank movement, first half vs second half of the run: "
+        f"{first_half_change:.6f} vs {second_half_change:.6f}"
+    )
+    assert second_half_change < first_half_change

@@ -1,0 +1,70 @@
+"""S1 — workload scaling of the simulated engine.
+
+Not a paper figure: a sanity series showing how the reproduction's costs
+scale with input size, so that the absolute numbers in the other benches
+can be put into proportion. Simulated compute/network time should grow
+roughly with the edge count; the optimistic/failure-free identity from C1
+must hold at every size.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank
+from repro.analysis import Table
+from repro.config import EngineConfig
+from repro.core import RestartRecovery
+from repro.graph import twitter_like_graph
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+SIZES = (200, 400, 800)
+
+
+def test_s1_scaling_with_graph_size(benchmark, report):
+    def run_sweep():
+        rows = []
+        for size in SIZES:
+            graph = twitter_like_graph(size, seed=7)
+            pr_job = pagerank(graph, max_supersteps=500)
+            pr = pr_job.run(config=CONFIG, recovery=pr_job.optimistic())
+            cc_job = connected_components(graph)
+            cc = cc_job.run(config=CONFIG, recovery=cc_job.optimistic())
+            rows.append((size, graph.num_edges, pr, cc))
+        return rows
+
+    rows = run_once(benchmark, run_sweep)
+    table = Table(
+        [
+            "vertices",
+            "edges",
+            "PR supersteps",
+            "PR sim time",
+            "PR messages",
+            "CC supersteps",
+            "CC sim time",
+            "CC messages",
+        ],
+        title="S1 — failure-free scaling, Twitter-like graphs",
+    )
+    for size, edges, pr, cc in rows:
+        table.add_row(
+            size,
+            edges,
+            pr.supersteps,
+            pr.sim_time,
+            pr.stats.total_messages(),
+            cc.supersteps,
+            cc.sim_time,
+            cc.stats.total_messages(),
+        )
+    report(str(table))
+
+    # monotone growth of work with input size
+    pr_times = [pr.sim_time for _s, _e, pr, _cc in rows]
+    cc_messages = [cc.stats.total_messages() for _s, _e, _pr, cc in rows]
+    assert pr_times == sorted(pr_times)
+    assert cc_messages == sorted(cc_messages)
+    # everything converged
+    for _size, _edges, pr, cc in rows:
+        assert pr.converged and cc.converged

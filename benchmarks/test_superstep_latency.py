@@ -1,0 +1,60 @@
+"""S2 — per-superstep latency timeline.
+
+The demo visualizes *what* happens each iteration; this bench shows *how
+long* each iteration takes in simulated time. The failure-free timeline
+is flat-to-shrinking (delta iterations do less work as the workset
+drains); the iteration hit by a failure towers above it — failure
+detection, worker acquisition and compensation all land in that
+superstep's bracket.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components
+from repro.analysis import Series, format_figure
+from repro.config import EngineConfig
+from repro.graph import twitter_like_graph
+from repro.runtime import FailureSchedule
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+def test_s2_superstep_latency_timeline(benchmark, report):
+    graph = twitter_like_graph(600, seed=7)
+
+    def run_both():
+        baseline = connected_components(graph).run(config=CONFIG)
+        job = connected_components(graph)
+        failed = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(2, [1]),
+        )
+        return baseline, failed
+
+    baseline, failed = run_once(benchmark, run_both)
+    report(
+        format_figure(
+            "S2 — simulated seconds per superstep (failure at superstep 2)",
+            [
+                Series.of(
+                    "latency (failure-free)",
+                    [round(d, 5) for d in baseline.stats.duration_series()],
+                ),
+                Series.of(
+                    "latency (failure run)",
+                    [round(d, 5) for d in failed.stats.duration_series()],
+                ),
+            ],
+        )
+    )
+    durations = failed.stats.duration_series()
+    # the failed superstep dominates the timeline (detection + acquisition
+    # + compensation land inside it)
+    assert durations[2] == max(durations)
+    assert durations[2] > 10 * max(d for i, d in enumerate(durations) if i != 2)
+    # all other supersteps track the failure-free timeline closely
+    for index, duration in enumerate(baseline.stats.duration_series()[:2]):
+        assert durations[index] == pytest.approx(duration, rel=0.2)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""ALS matrix factorization with optimistic recovery.
+
+The CIKM-13 paper behind the demo evaluates compensation-based recovery
+on three algorithm families; this example runs the third — low-rank
+matrix factorization for recommender systems — on synthetic ratings,
+kills a worker mid-training, and shows the training-RMSE curve spiking at
+the failure and re-converging after the ``fix-factors`` compensation
+re-initializes the lost factor vectors.
+"""
+
+from repro.algorithms import als, als_rmse, synthetic_ratings
+from repro.analysis import Series, format_figure
+from repro.config import EngineConfig
+from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+from repro.runtime import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+def main() -> None:
+    dataset = synthetic_ratings(
+        num_users=60, num_items=40, rank=3, density=0.25, noise=0.05, seed=3
+    )
+    print(f"ratings: {len(dataset)} observed cells, "
+          f"{len(dataset.users)} users x {len(dataset.items)} items")
+
+    def rmse_curve(store: SnapshotStore) -> list[float]:
+        return [
+            round(als_rmse(snap.as_dict(), dataset.ratings), 5)
+            for snap in store.of_phase(SnapshotPhase.AFTER_SUPERSTEP)
+        ]
+
+    baseline_store = SnapshotStore()
+    baseline = als(dataset, rank=3, iterations=10, seed=5).run(
+        config=CONFIG, snapshots=baseline_store
+    )
+
+    failure_store = SnapshotStore()
+    job = als(dataset, rank=3, iterations=10, seed=5)
+    failed = job.run(
+        config=CONFIG,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.single(5, [1]),
+        snapshots=failure_store,
+    )
+
+    print(baseline.summary())
+    print(failed.summary())
+    print()
+    print(
+        format_figure(
+            "training RMSE per iteration (failure at iteration 5)",
+            [
+                Series.of("failure-free", rmse_curve(baseline_store)),
+                Series.of("failure + fix-factors", rmse_curve(failure_store)),
+            ],
+        )
+    )
+    final_baseline = als_rmse(baseline.final_dict, dataset.ratings)
+    final_failed = als_rmse(failed.final_dict, dataset.ratings)
+    print(f"\nfinal RMSE: failure-free {final_baseline:.5f} "
+          f"vs recovered {final_failed:.5f}")
+    assert abs(final_baseline - final_failed) < 0.05
+    print("the compensated run re-converges to the failure-free quality ✓")
+
+
+if __name__ == "__main__":
+    main()

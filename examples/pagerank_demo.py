@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The paper's PageRank demo (Figures 4 and 5), headless.
+
+Reproduces the §3.3 walkthrough: bulk-iterative PageRank on the small
+directed demo graph, a failure in iteration 5, uniform redistribution of
+the lost probability mass, and the GUI's convergence plots — including
+the L1-norm spike at the iteration after the failure.
+"""
+
+from repro.analysis import format_figure
+from repro.demo import small_pagerank_scenario
+from repro.demo.render import render_ranks
+from repro.iteration.snapshots import SnapshotPhase
+
+
+def main() -> None:
+    run = small_pagerank_scenario(failure_superstep=4, failed_partitions=(1,))
+    snapshots = run.result.snapshots
+
+    print("=" * 70)
+    print("PageRank demo — optimistic recovery (Figures 4-5)")
+    print("=" * 70)
+
+    for phase, title in [
+        (SnapshotPhase.INITIAL, "(a) Initial state — uniform ranks, equal-size vertices"),
+        (SnapshotPhase.BEFORE_FAILURE, "(b) Before failure — partition 1 about to die"),
+        (SnapshotPhase.AFTER_COMPENSATION, "(c) After compensation — lost mass spread uniformly"),
+        (SnapshotPhase.CONVERGED, "(d) Converged state — true ranks"),
+    ]:
+        snapshot = snapshots.of_phase(phase)[0]
+        highlight = run.lost_vertices(4) if phase is not SnapshotPhase.INITIAL else []
+        print(f"\n{title} [superstep {snapshot.superstep}]")
+        print(render_ranks(snapshot.as_dict(), highlight=highlight, width=30))
+
+    stats = run.statistics()
+    print()
+    print(
+        format_figure(
+            "Figure 4 plots: converged vertices and L1 delta per iteration",
+            [stats.converged, stats.l1],
+        )
+    )
+    print(f"\nfailure at iteration(s): {stats.failures}")
+    print(f"L1 spikes at           : {stats.l1_spikes()}")
+    print("the spike sits one iteration after the failure, exactly as §3.3")
+    print("describes: compensated ranks differ more from their successor")
+    print("than the pre-failure trend.")
+
+    total = sum(run.result.final_dict.values())
+    print(f"\nfinal rank mass: {total:.12f} (must be 1.0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: run Connected Components, kill a worker, watch it recover.
+
+This is the 60-second tour of the library: build a job from a graph, pick
+a recovery strategy, schedule a failure, run, inspect.
+"""
+
+from repro.algorithms import connected_components, exact_connected_components
+from repro.core import OptimisticRecovery
+from repro.demo.render import render_components
+from repro.graph import demo_graph
+from repro.runtime import FailureSchedule
+
+
+def main() -> None:
+    # The paper's small hand-crafted graph: 16 vertices, 3 components.
+    graph = demo_graph()
+    print(f"input: {graph}")
+
+    # A Connected Components job carries its own compensation function
+    # (the paper's fix-components map) and consistency invariants.
+    job = connected_components(graph)
+
+    # Kill worker 0 at the end of superstep 2. Its partition of the
+    # solution set — every fourth vertex — loses its labels.
+    failures = FailureSchedule.single(superstep=2, worker_ids=[0])
+
+    result = job.run(recovery=job.optimistic(), failures=failures)
+
+    print(result.summary())
+    print(f"cost breakdown: {result.cost_breakdown()}")
+    print()
+    print("final components:")
+    print(render_components(result.final_dict))
+    print()
+    print(f"converged per iteration: {result.stats.converged_series()}")
+    print(f"messages  per iteration: {result.stats.messages_series()}")
+    print("note the message spike right after the failure at iteration 2 —")
+    print("the compensated vertices and their neighbors re-propagate labels.")
+
+    # Despite the failure, the result is exactly correct.
+    assert result.final_dict == exact_connected_components(graph)
+    print("\nresult verified against the union-find oracle ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Write a new fault-tolerant graph algorithm in ~15 lines.
+
+The Pregel-style layer compiles a ``compute(vertex, value, messages,
+edges)`` function onto the delta-iteration engine — and optimistic
+recovery comes for free through the generic vertex-value compensation.
+This example implements *degree-weighted label propagation* (a community
+seeding heuristic that is neither CC nor SSSP), runs it with an injected
+failure, and checks it against a failure-free run.
+"""
+
+from repro.config import EngineConfig
+from repro.graph import twitter_like_graph
+from repro.pregel import VertexProgram, vertex_program_job
+from repro.runtime import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+class HighestDegreeLabel(VertexProgram):
+    """Every vertex adopts the label of the highest-degree vertex it can
+    reach; messages carry ``(degree, label)`` pairs and the max wins."""
+
+    name = "degree-label"
+
+    def __init__(self, degrees):
+        self.degrees = degrees
+
+    def initial_value(self, vertex):
+        return (self.degrees[vertex], vertex)
+
+    def compute(self, vertex, value, messages, edges):
+        best = max(messages)
+        if best > value:
+            return best, [(neighbor, best) for neighbor, _w in edges]
+        return None, []
+
+
+def main() -> None:
+    graph = twitter_like_graph(300, seed=11)
+    # treat the follower graph as undirected for community seeding
+    from repro.graph.graph import Graph
+
+    undirected = Graph(graph.vertices, graph.edges, directed=False)
+    degrees = {v: undirected.degree(v) for v in undirected.vertices}
+    program = HighestDegreeLabel(degrees)
+
+    baseline = vertex_program_job(program, undirected).run(config=CONFIG)
+    job = vertex_program_job(program, undirected)
+    recovered = job.run(
+        config=CONFIG,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.at((1, [0]), (3, [2])),
+    )
+
+    print(baseline.summary())
+    print(recovered.summary())
+    hubs = {label for _degree, label in baseline.final_dict.values()}
+    print(f"\ncommunity seeds (highest-degree reachable vertices): {sorted(hubs)}")
+    assert recovered.final_dict == baseline.final_dict
+    print("two mid-run failures, identical result ✓")
+    print("\nmessages per superstep (failure run):",
+          recovered.stats.messages_series())
+
+
+if __name__ == "__main__":
+    main()

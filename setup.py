@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; this shim enables
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Optimistic recovery for iterative dataflows: a simulated-engine "
+        "reproduction of Dudoladov et al., SIGMOD 2015"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,87 @@
+"""The paper's algorithms as dataflow jobs.
+
+Each module builds the algorithm's step dataflow exactly as Figure 1 of
+the paper draws it (same operators, same names), pairs it with the
+algorithm's compensation function, and returns a job object ready to run
+under any recovery strategy:
+
+* :mod:`repro.algorithms.connected_components` — delta iteration,
+  Figure 1(a), compensation ``fix-components`` (reset lost vertices to
+  their initial labels);
+* :mod:`repro.algorithms.pagerank` — bulk iteration, Figure 1(b),
+  compensation ``fix-ranks`` (uniformly redistribute the lost probability
+  mass over the lost vertices);
+* :mod:`repro.algorithms.sssp` — single-source shortest paths as a delta
+  iteration (the CIKM-13 extension scope);
+* :mod:`repro.algorithms.kmeans` — Lloyd's algorithm as a bulk iteration
+  with reset-to-initial centroid compensation (extension scope);
+* :mod:`repro.algorithms.reference` — independent exact implementations
+  used as ground truth ("we precompute the true values", §3.2).
+"""
+
+from .als import (
+    AlsCompensation,
+    RatingsDataset,
+    als,
+    als_plan,
+    als_rmse,
+    exact_als,
+    synthetic_ratings,
+)
+from .base import BulkJob, DeltaJob
+from .connected_components import (
+    ComponentsCompensation,
+    NeighborInformedCompensation,
+    connected_components,
+    connected_components_plan,
+)
+from .hits import HitsCompensation, exact_hits, hits, hits_plan
+from .kmeans import KMeansCompensation, kmeans, kmeans_plan
+from .pagerank import (
+    InformedPageRankCompensation,
+    PageRankCompensation,
+    pagerank,
+    pagerank_plan,
+)
+from .reference import (
+    exact_connected_components,
+    exact_kmeans,
+    exact_pagerank,
+    exact_sssp,
+)
+from .sssp import SsspCompensation, exact_weighted_sssp, sssp, sssp_plan
+
+__all__ = [
+    "AlsCompensation",
+    "BulkJob",
+    "ComponentsCompensation",
+    "DeltaJob",
+    "HitsCompensation",
+    "InformedPageRankCompensation",
+    "KMeansCompensation",
+    "NeighborInformedCompensation",
+    "PageRankCompensation",
+    "RatingsDataset",
+    "SsspCompensation",
+    "als",
+    "als_plan",
+    "als_rmse",
+    "connected_components",
+    "connected_components_plan",
+    "exact_als",
+    "exact_connected_components",
+    "exact_hits",
+    "exact_kmeans",
+    "exact_pagerank",
+    "exact_sssp",
+    "exact_weighted_sssp",
+    "hits",
+    "hits_plan",
+    "kmeans",
+    "kmeans_plan",
+    "pagerank",
+    "pagerank_plan",
+    "sssp",
+    "sssp_plan",
+    "synthetic_ratings",
+]

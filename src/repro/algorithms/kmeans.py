@@ -1,0 +1,177 @@
+"""K-Means (Lloyd's algorithm) as a bulk iteration (extension scope).
+
+Schelter et al. discuss compensable fixpoint algorithms beyond graph
+propagation; K-Means is the classic bulk-iterative workload on dataflow
+engines (small broadcast state — the centroids — recomputed from a large
+static point set every superstep), and it admits a simple compensation:
+re-initialize lost centroids (here: to their initial positions). The
+algorithm then continues Lloyd iterations from a valid centroid set; the
+objective keeps decreasing, though it may reach a different local
+optimum than the failure-free run — which is exactly the "converges to
+*a* correct solution" guarantee this family of algorithms offers.
+
+Dataflow:
+
+* ``assign-points`` (cross): every point paired with every (broadcast)
+  centroid, emitting ``(point, (distance, centroid, coords))``;
+* ``nearest-centroid`` (reduce): minimum distance per point;
+* ``centroid-contributions`` (map) + ``sum-clusters`` (reduce): per-
+  centroid coordinate sums and counts;
+* ``recompute-centroids`` (co-group with the old centroids): the new
+  mean, or the old position for centroids that attracted no points.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Sequence
+
+from ..core.compensation import CompensationContext, CompensationFunction
+from ..core.guarantees import KeySetPreserved
+from ..dataflow.datatypes import KeySpec, first_field
+from ..dataflow.plan import Plan
+from ..errors import GraphError
+from ..iteration.bulk import BulkIterationSpec
+from ..iteration.termination import FixedSupersteps
+from .base import BulkJob
+from .reference import exact_kmeans
+
+#: the centroid-id key the state is partitioned by.
+CENTROID_KEY: KeySpec = first_field("centroid")
+
+#: the point-id key used for the per-point minimum.
+POINT_KEY: KeySpec = first_field("point")
+
+#: counter whose per-superstep increase is the "messages" statistic.
+MESSAGE_COUNTER = "records_in.sum-clusters"
+
+
+def _distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def kmeans_plan() -> Plan:
+    """Build the K-Means step dataflow.
+
+    Sources: ``centroids`` (state, ``(cid, coords)``) and ``points``
+    (static, ``(pid, coords)``). Sink: ``recompute-centroids``.
+    """
+    plan = Plan("kmeans-step")
+    centroids = plan.source("centroids", partitioned_by=CENTROID_KEY)
+    points = plan.source("points")
+
+    assignments = points.cross(
+        centroids,
+        fn=lambda point, centroid: (
+            point[0],
+            (_distance(point[1], centroid[1]), centroid[0], point[1]),
+        ),
+        name="assign-points",
+    )
+    nearest = assignments.reduce_by_key(
+        POINT_KEY,
+        fn=lambda left, right: left if left[1][0] <= right[1][0] else right,
+        name="nearest-centroid",
+    )
+    contributions = nearest.map(
+        lambda record: (record[1][1], (record[1][2], 1)),
+        name="centroid-contributions",
+    )
+    sums = contributions.reduce_by_key(
+        CENTROID_KEY,
+        fn=lambda left, right: (
+            left[0],
+            (
+                tuple(a + b for a, b in zip(left[1][0], right[1][0])),
+                left[1][1] + right[1][1],
+            ),
+        ),
+        name="sum-clusters",
+    )
+
+    def update(key: Any, summed: list[Any], old: list[Any]):
+        if summed:
+            total, count = summed[0][1]
+            yield (key, tuple(x / count for x in total))
+        elif old:
+            yield old[0]
+
+    sums.co_group(
+        centroids,
+        left_key=CENTROID_KEY,
+        right_key=CENTROID_KEY,
+        fn=update,
+        name="recompute-centroids",
+        preserves="left",
+    )
+    return plan
+
+
+class KMeansCompensation(CompensationFunction):
+    """``fix-centroids``: reset lost centroids to their initial positions."""
+
+    name = "fix-centroids"
+
+    def compensate_partition(
+        self,
+        partition_id: int,
+        records: list[Any] | None,
+        aggregate: Any,
+        ctx: CompensationContext,
+    ) -> list[Any]:
+        if records is not None:
+            return records
+        return ctx.initial_partition(partition_id)
+
+
+def kmeans(
+    points: Sequence[tuple[float, ...]],
+    k: int,
+    iterations: int = 20,
+    seed: int = 42,
+    with_truth: bool = True,
+) -> BulkJob:
+    """Build a runnable K-Means job.
+
+    Initial centroids are a seeded random sample of the points. When
+    ``with_truth`` is set, the ground truth is the failure-free Lloyd
+    fixpoint after ``iterations`` steps (exact agreement only holds for
+    failure-free runs — a compensated run may legitimately land in a
+    different local optimum).
+    """
+    points = [tuple(float(x) for x in p) for p in points]
+    if k < 1:
+        raise GraphError(f"k must be >= 1, got {k}")
+    if len(points) < k:
+        raise GraphError(f"need at least k={k} points, got {len(points)}")
+    rng = random.Random(seed)
+    initial_centroids = rng.sample(points, k)
+    centroid_records = [(cid, coords) for cid, coords in enumerate(initial_centroids)]
+    point_records = [(pid, coords) for pid, coords in enumerate(points)]
+    truth = None
+    if with_truth:
+        truth = dict(
+            enumerate(exact_kmeans(points, initial_centroids, iterations))
+        )
+    spec = BulkIterationSpec(
+        name="kmeans",
+        step_plan=kmeans_plan(),
+        state_source="centroids",
+        next_state_output="recompute-centroids",
+        state_key=CENTROID_KEY,
+        termination=FixedSupersteps(iterations),
+        # Supersteps hit by failures do not count toward FixedSupersteps
+        # (termination is never evaluated on them), so leave headroom for
+        # runs with injected failures.
+        max_supersteps=iterations * 2 + 10,
+        message_counter=MESSAGE_COUNTER,
+        truth=truth,
+    )
+    return BulkJob(
+        spec=spec,
+        initial_records=centroid_records,
+        statics={"points": point_records},
+        compensation=KMeansCompensation(),
+        invariants=[KeySetPreserved()],
+    )

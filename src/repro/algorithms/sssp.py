@@ -1,0 +1,232 @@
+"""Single-source shortest paths as a delta iteration (extension scope).
+
+SSSP belongs to the same family of robust fixpoint algorithms as
+Connected Components (Schelter et al. treat both as instances of
+min-aggregation propagation): every vertex keeps its best known distance
+from the source, changed vertices relax their out-edges, and the workset
+empties at the fixpoint. By default distances are hop counts (every edge
+has weight one, matching :func:`repro.algorithms.reference.exact_sssp`);
+passing ``weights`` runs the weighted Bellman-Ford-style relaxation,
+verified against :func:`exact_weighted_sssp` (Dijkstra).
+
+Compensation ``fix-distances``: reset lost vertices to their initial
+distances (``inf``, or ``0`` for the source). Like the Connected
+Components compensation this is consistent — a distance may only
+*increase* through compensation, and min-propagation monotonically pulls
+it back down to the true value — provided the reset vertices' neighbors
+re-propagate, which :meth:`SsspCompensation.rebuild_workset` arranges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..core.compensation import CompensationContext, CompensationFunction
+from ..core.guarantees import KeySetPreserved
+from ..dataflow.datatypes import KeySpec, first_field
+from ..dataflow.plan import Plan
+from ..errors import GraphError
+from ..graph.graph import Graph
+from ..iteration.delta import DeltaIterationSpec
+from ..iteration.termination import EmptyWorkset
+from ..runtime.executor import PartitionedDataset
+from .base import DeltaJob
+from .reference import exact_sssp
+
+#: the vertex-id key every SSSP dataset is partitioned by.
+VERTEX_KEY: KeySpec = first_field("vertex")
+
+#: counter whose per-superstep increase is the "messages" statistic.
+MESSAGE_COUNTER = "records_in.min-distance"
+
+
+def sssp_plan() -> Plan:
+    """Build the SSSP step dataflow.
+
+    Sources: ``distances`` (solution set), ``workset``, ``edges`` (static
+    ``(vertex, neighbor, weight)`` records, symmetric for undirected
+    graphs). Sink: ``distance-update``.
+    """
+    plan = Plan("sssp-step")
+    solution = plan.source("distances", partitioned_by=VERTEX_KEY)
+    workset = plan.source("workset", partitioned_by=VERTEX_KEY)
+    edges = plan.source("edges", partitioned_by=VERTEX_KEY)
+
+    relaxed = workset.join(
+        edges,
+        left_key=VERTEX_KEY,
+        right_key=VERTEX_KEY,
+        fn=lambda entry, edge: (
+            None if math.isinf(entry[1]) else (edge[1], entry[1] + edge[2])
+        ),
+        name="relax-edges",
+    )
+    candidates = relaxed.reduce_by_key(
+        VERTEX_KEY,
+        fn=lambda left, right: left if left[1] <= right[1] else right,
+        name="min-distance",
+    )
+    candidates.join(
+        solution,
+        left_key=VERTEX_KEY,
+        right_key=VERTEX_KEY,
+        fn=lambda candidate, current: candidate if candidate[1] < current[1] else None,
+        name="distance-update",
+        preserves="left",
+    )
+    return plan
+
+
+class SsspCompensation(CompensationFunction):
+    """``fix-distances``: reset lost vertices to their initial distances."""
+
+    name = "fix-distances"
+
+    def compensate_partition(
+        self,
+        partition_id: int,
+        records: list[Any] | None,
+        aggregate: Any,
+        ctx: CompensationContext,
+    ) -> list[Any]:
+        if records is not None:
+            return records
+        return ctx.initial_partition(partition_id)
+
+    def rebuild_workset(
+        self,
+        solution: PartitionedDataset,
+        workset: PartitionedDataset,
+        lost_partitions: list[int],
+        ctx: CompensationContext,
+    ) -> PartitionedDataset:
+        """Re-activate the surviving pending updates, the reset vertices
+        and the reset vertices' in-neighbors.
+
+        The reset vertices need fresh candidate distances, which can only
+        come from neighbors that reach them; re-activating every vertex
+        adjacent to a reset vertex (in either direction in the symmetric
+        edge set) guarantees the necessary messages flow again. Surviving
+        workset entries are kept because their relaxations were applied
+        to the solution set but not yet propagated.
+        """
+        reset_vertices = {
+            record[0]
+            for pid in lost_partitions
+            for record in ctx.initial_partition(pid)
+        }
+        neighbor_vertices = {
+            edge[1]
+            for edge in ctx.static_records("edges")
+            if edge[0] in reset_vertices
+        } | {
+            edge[0]
+            for edge in ctx.static_records("edges")
+            if edge[1] in reset_vertices
+        }
+        active = reset_vertices | neighbor_vertices | self.surviving_workset_keys(workset)
+        records = [record for record in solution.all_records() if record[0] in active]
+        return PartitionedDataset.from_records(
+            records, ctx.parallelism, key=ctx.state_key
+        )
+
+
+def exact_weighted_sssp(
+    graph: Graph, source: int, weights: dict[tuple[int, int], float]
+) -> dict[int, float]:
+    """Weighted shortest-path distances via Dijkstra (the test oracle
+    for weighted SSSP jobs). ``weights`` maps canonical edges to
+    non-negative weights; undirected graphs use them symmetrically."""
+    import heapq
+
+    if source not in graph:
+        raise GraphError(f"source vertex {source} is not in the graph")
+    adjacency: dict[int, list[tuple[int, float]]] = {v: [] for v in graph.vertices}
+    for edge in graph.edges:
+        weight = weights.get(edge)
+        if weight is None:
+            raise GraphError(f"no weight for edge {edge!r}")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight!r} on edge {edge!r}")
+        adjacency[edge[0]].append((edge[1], weight))
+        if not graph.directed:
+            adjacency[edge[1]].append((edge[0], weight))
+    distances = {v: math.inf for v in graph.vertices}
+    distances[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if distance > distances[vertex]:
+            continue
+        for neighbor, weight in adjacency[vertex]:
+            candidate = distance + weight
+            if candidate < distances[neighbor]:
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances
+
+
+def _edge_records(
+    graph: Graph, weights: dict[tuple[int, int], float] | None
+) -> list[tuple[int, int, float]]:
+    """Expand the graph into ``(vertex, neighbor, weight)`` relaxation
+    records (symmetric for undirected graphs)."""
+    records: list[tuple[int, int, float]] = []
+    for edge in graph.edges:
+        weight = 1.0 if weights is None else weights.get(edge)
+        if weight is None:
+            raise GraphError(f"no weight for edge {edge!r}")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight!r} on edge {edge!r}")
+        records.append((edge[0], edge[1], weight))
+        if not graph.directed:
+            records.append((edge[1], edge[0], weight))
+    return records
+
+
+def sssp(
+    graph: Graph,
+    source: int,
+    weights: dict[tuple[int, int], float] | None = None,
+    max_supersteps: int = 300,
+) -> DeltaJob:
+    """Build a runnable SSSP job from ``source`` over ``graph``.
+
+    Without ``weights``, distances are hop counts; with ``weights``
+    (mapping canonical edge tuples to non-negative floats), the job runs
+    the weighted relaxation and its ground truth comes from Dijkstra.
+    """
+    if source not in graph:
+        raise GraphError(f"source vertex {source} is not in the graph")
+    distances = [
+        (v, 0.0 if v == source else math.inf) for v in graph.vertices
+    ]
+    edge_records = _edge_records(graph, weights)
+    truth = (
+        exact_sssp(graph, source)
+        if weights is None
+        else exact_weighted_sssp(graph, source, weights)
+    )
+    spec = DeltaIterationSpec(
+        name="sssp",
+        step_plan=sssp_plan(),
+        solution_source="distances",
+        workset_source="workset",
+        delta_output="distance-update",
+        workset_output="distance-update",
+        state_key=VERTEX_KEY,
+        termination=EmptyWorkset(),
+        max_supersteps=max_supersteps,
+        message_counter=MESSAGE_COUNTER,
+        truth=truth,
+        truth_tolerance=1e-9 if weights is not None else 0.0,
+    )
+    return DeltaJob(
+        spec=spec,
+        initial_solution=distances,
+        initial_workset=[(source, 0.0)],
+        statics={"edges": edge_records},
+        compensation=SsspCompensation(),
+        invariants=[KeySetPreserved()],
+    )

@@ -1,0 +1,18 @@
+"""Reporting helpers used by the demo and the benchmark harness."""
+
+from .export import read_csv_columns, result_to_csv, series_to_csv
+from .report import Table, format_figure, format_float
+from .run_report import render_run_report
+from .series import Series, sparkline
+
+__all__ = [
+    "Series",
+    "Table",
+    "format_figure",
+    "format_float",
+    "read_csv_columns",
+    "render_run_report",
+    "result_to_csv",
+    "series_to_csv",
+    "sparkline",
+]

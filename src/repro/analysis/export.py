@@ -1,0 +1,98 @@
+"""CSV export of run statistics.
+
+The demo GUI plots live; a headless reproduction wants its series on
+disk. These helpers dump :class:`repro.analysis.series.Series` bundles
+and full :class:`repro.iteration.result.IterationResult` statistics as
+CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..iteration.result import IterationResult
+from .series import Series
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return repr(value)
+    return str(value)
+
+
+def series_to_csv(series_list: Sequence[Series], path: str | Path) -> Path:
+    """Write series as CSV columns (one ``step`` index column first).
+
+    Shorter series are padded with empty cells.
+    """
+    path = Path(path)
+    length = max((len(s) for s in series_list), default=0)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["step", *(s.name for s in series_list)])
+        for index in range(length):
+            row = [index]
+            for series in series_list:
+                row.append(_cell(series.values[index]) if index < len(series) else "")
+            writer.writerow(row)
+    return path
+
+
+def result_to_csv(result: IterationResult, path: str | Path) -> Path:
+    """Write a run's full per-superstep statistics as CSV rows."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "superstep",
+                "messages",
+                "updates",
+                "converged",
+                "l1_delta",
+                "workset_size",
+                "sim_duration",
+                "failed",
+                "compensated",
+                "rolled_back",
+                "restarted",
+            ]
+        )
+        for stats in result.stats:
+            writer.writerow(
+                [
+                    stats.superstep,
+                    stats.messages,
+                    stats.updates,
+                    stats.converged,
+                    _cell(stats.l1_delta),
+                    _cell(stats.workset_size),
+                    _cell(stats.sim_duration),
+                    int(stats.failed),
+                    int(stats.compensated),
+                    int(stats.rolled_back),
+                    int(stats.restarted),
+                ]
+            )
+    return path
+
+
+def read_csv_columns(path: str | Path) -> dict[str, list[str]]:
+    """Read a CSV back as ``{column name: cells}`` (for tests and quick
+    inspection; values stay strings)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        columns: dict[str, list[str]] = {name: [] for name in header}
+        for row in reader:
+            for name, cell in zip(header, row):
+                columns[name].append(cell)
+    return columns

@@ -1,0 +1,76 @@
+"""Text tables and figure blocks for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .series import Series
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Compact float formatting: fixed point for moderate magnitudes,
+    scientific otherwise."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10 ** (digits + 2) or abs(value) < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}".rstrip("0").rstrip(".")
+
+
+class Table:
+    """A minimal aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; floats are compact-formatted, the rest ``str``."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        formatted = [
+            format_float(cell) if isinstance(cell, float) else str(cell)
+            for cell in cells
+        ]
+        self.rows.append(formatted)
+
+    def to_text(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def format_figure(title: str, series_list: Sequence[Series], width: int = 60) -> str:
+    """Render a "figure": one sparkline per series plus the raw values.
+
+    This is how the benchmark harness regenerates the demo GUI's plots in
+    a terminal — the shape (downward trend, plummet, spike) reads off the
+    sparkline, the exact numbers follow.
+    """
+    lines = [f"=== {title} ==="]
+    for series in series_list:
+        lines.append(f"{series.name:<28} {series.spark(width)}")
+    for series in series_list:
+        rendered = ", ".join(
+            "-" if v is None else (format_float(float(v)) if isinstance(v, float) else str(v))
+            for v in series.values
+        )
+        lines.append(f"{series.name}: [{rendered}]")
+    return "\n".join(lines)

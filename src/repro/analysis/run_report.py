@@ -1,0 +1,87 @@
+"""Full-text run reports.
+
+``render_run_report`` assembles everything a finished
+:class:`repro.iteration.result.IterationResult` knows — summary line,
+cost breakdown, the statistics plots, and the event timeline — into one
+terminal-friendly block. The demo CLI's ``--report`` flag and the
+examples use it; tests treat it as the single place where "what does a
+run look like" is rendered.
+"""
+
+from __future__ import annotations
+
+from ..iteration.result import IterationResult
+from ..runtime.events import EventKind
+from .report import Table, format_figure, format_float
+from .series import Series
+
+#: event kinds worth a line in the timeline (superstep start/finish are
+#: noise at report granularity).
+_TIMELINE_KINDS = (
+    EventKind.FAILURE,
+    EventKind.WORKERS_ACQUIRED,
+    EventKind.COMPENSATION,
+    EventKind.CHECKPOINT_WRITTEN,
+    EventKind.ROLLBACK,
+    EventKind.RESTART,
+    EventKind.CONVERGED,
+    EventKind.TERMINATED,
+)
+
+
+def _cost_table(result: IterationResult) -> Table:
+    table = Table(["cost category", "simulated seconds", "share"])
+    total = result.sim_time
+    for category, seconds in sorted(
+        result.cost_breakdown().items(), key=lambda kv: -kv[1]
+    ):
+        share = f"{seconds / total * 100:.1f}%" if total > 0 else "-"
+        table.add_row(category, seconds, share)
+    return table
+
+
+def _statistics_figure(result: IterationResult) -> str:
+    series = [Series.of("converged", result.stats.converged_series())]
+    messages = result.stats.messages_series()
+    if any(messages):
+        series.append(Series.of("messages", messages))
+    l1 = result.stats.l1_series()
+    if any(value is not None for value in l1):
+        series.append(Series.of("l1_delta", l1))
+    workset = [s.workset_size for s in result.stats]
+    if any(value is not None for value in workset):
+        series.append(Series.of("workset", workset))
+    return format_figure("per-superstep statistics", series)
+
+
+def _timeline(result: IterationResult, limit: int) -> list[str]:
+    lines = []
+    interesting = [e for e in result.events if e.kind in _TIMELINE_KINDS]
+    for event in interesting[:limit]:
+        details = ", ".join(f"{k}={v}" for k, v in sorted(event.details.items()))
+        suffix = f" ({details})" if details else ""
+        lines.append(
+            f"  t={format_float(event.time):>10}  superstep {event.superstep:>3}  "
+            f"{event.kind.value}{suffix}"
+        )
+    if len(interesting) > limit:
+        lines.append(f"  ... and {len(interesting) - limit} more events")
+    return lines
+
+
+def render_run_report(
+    result: IterationResult, title: str | None = None, timeline_limit: int = 30
+) -> str:
+    """Render one run as a multi-section text report."""
+    sections = [
+        f"==== {title or result.job_name} ====",
+        result.summary(),
+        "",
+        str(_cost_table(result)),
+        "",
+        _statistics_figure(result),
+    ]
+    timeline = _timeline(result, timeline_limit)
+    if timeline:
+        sections.extend(["", "event timeline:", *timeline])
+    return "\n".join(sections)

@@ -1,0 +1,119 @@
+"""Numeric series containers and text sparklines.
+
+The demo GUI shows line plots of per-iteration statistics; headless, we
+render the same series as aligned numbers plus a unicode sparkline so the
+plot's *shape* (downward trends, plummets, spikes) is visible in terminal
+output and in the benchmark logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float | int | None], width: int | None = None) -> str:
+    """Render values as a unicode sparkline.
+
+    ``None`` entries render as spaces; constant series render at mid
+    height. ``width`` optionally downsamples long series by taking
+    evenly spaced samples.
+    """
+    series = list(values)
+    if width is not None and len(series) > width > 0:
+        step = len(series) / width
+        series = [series[min(int(i * step), len(series) - 1)] for i in range(width)]
+    numeric = [v for v in series if v is not None and not math.isinf(v)]
+    if not numeric:
+        return " " * len(series)
+    low, high = min(numeric), max(numeric)
+    span = high - low
+    chars = []
+    for value in series:
+        if value is None or math.isinf(value):
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_CHARS[len(_SPARK_CHARS) // 2])
+            continue
+        bucket = int((value - low) / span * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[bucket])
+    return "".join(chars)
+
+
+@dataclass
+class Series:
+    """A named numeric series with simple statistics.
+
+    Attributes:
+        name: label shown in reports.
+        values: the data points (``None`` marks gaps).
+    """
+
+    name: str
+    values: list[float | int | None] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, name: str, values: Iterable[float | int | None]) -> "Series":
+        return cls(name=name, values=list(values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def _numeric(self) -> list[float]:
+        return [float(v) for v in self.values if v is not None and not math.isinf(v)]
+
+    @property
+    def total(self) -> float:
+        return sum(self._numeric())
+
+    @property
+    def maximum(self) -> float | None:
+        numeric = self._numeric()
+        return max(numeric) if numeric else None
+
+    @property
+    def minimum(self) -> float | None:
+        numeric = self._numeric()
+        return min(numeric) if numeric else None
+
+    def argmax(self) -> int | None:
+        """Index of the largest value (first occurrence)."""
+        best_index, best_value = None, None
+        for index, value in enumerate(self.values):
+            if value is None or math.isinf(value):
+                continue
+            if best_value is None or value > best_value:
+                best_index, best_value = index, value
+        return best_index
+
+    def drops(self) -> list[int]:
+        """Indices where the series decreases — the demo's "plummets"."""
+        return [
+            i
+            for i in range(1, len(self.values))
+            if self.values[i] is not None
+            and self.values[i - 1] is not None
+            and self.values[i] < self.values[i - 1]  # type: ignore[operator]
+        ]
+
+    def spikes(self) -> list[int]:
+        """Indices where the series increases — the demo's message /
+        L1 "spikes" after failures."""
+        return [
+            i
+            for i in range(1, len(self.values))
+            if self.values[i] is not None
+            and self.values[i - 1] is not None
+            and self.values[i] > self.values[i - 1]  # type: ignore[operator]
+        ]
+
+    def spark(self, width: int | None = None) -> str:
+        """The series as a sparkline."""
+        return sparkline(self.values, width)
+
+    def __repr__(self) -> str:
+        return f"Series({self.name!r}, n={len(self.values)})"

@@ -1,0 +1,130 @@
+"""Engine-wide configuration.
+
+:class:`EngineConfig` bundles the knobs a user would set on a real cluster:
+degree of parallelism, number of spare workers held in reserve for
+recovery, and the simulated cost model. It is immutable so a config can be
+shared between the cluster, the executor and the recovery strategies
+without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated cost constants, in abstract "simulated seconds".
+
+    The absolute values are arbitrary; only their ratios matter for the
+    paper-shaped comparisons. Defaults model a commodity cluster where a
+    checkpoint write to remote stable storage costs ~5x the per-record
+    compute cost and a shuffle costs ~2x.
+
+    Attributes:
+        cpu_per_record: cost of pushing one record through one operator.
+        network_per_record: cost of moving one record across a shuffle or
+            broadcast channel.
+        checkpoint_per_record: cost of writing one record of iterative
+            state to stable storage (rollback recovery pays this).
+        restore_per_record: cost of reading one record back from stable
+            storage during a rollback.
+        failure_detection: flat cost of detecting a failure and pausing
+            the iteration.
+        worker_acquisition: flat cost of acquiring and wiring in one spare
+            worker to replace a failed one.
+        compensation_per_record: cost of running the compensation function
+            over one record of state.
+    """
+
+    cpu_per_record: float = 1.0e-6
+    network_per_record: float = 2.0e-6
+    checkpoint_per_record: float = 5.0e-6
+    restore_per_record: float = 5.0e-6
+    failure_detection: float = 0.5
+    worker_acquisition: float = 2.0
+    compensation_per_record: float = 1.0e-6
+
+    def validate(self) -> None:
+        for name in (
+            "cpu_per_record",
+            "network_per_record",
+            "checkpoint_per_record",
+            "restore_per_record",
+            "failure_detection",
+            "worker_acquisition",
+            "compensation_per_record",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"cost model field {name!r} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the simulated engine.
+
+    Attributes:
+        parallelism: number of state partitions; iterative state is hash
+            partitioned into exactly this many partitions.
+        spare_workers: workers held in reserve. Optimistic recovery and
+            rollback recovery acquire replacements from this pool when a
+            worker fails permanently.
+        partitions_per_worker: how many partitions each active worker
+            hosts (parallelism must be divisible by it). With the default
+            of 1 there is one worker per partition; larger values model
+            denser clusters, where a single machine failure destroys
+            several state partitions at once.
+        cost_model: the simulated cost constants.
+        combiners: enable map-side pre-aggregation for reduce_by_key
+            operators (Flink's combiners). Results are unchanged; shuffle
+            volume and network cost shrink. Off by default so the demo's
+            per-operator message statistics keep their paper semantics.
+        seed: seed for any randomized engine decisions (currently only
+            used by helpers that need reproducible sampling).
+        strict_iterations: when True, exceeding ``max_supersteps`` without
+            convergence raises :class:`repro.errors.TerminationError`
+            instead of returning the best-effort state.
+    """
+
+    parallelism: int = 4
+    spare_workers: int = 2
+    partitions_per_worker: int = 1
+    cost_model: CostModel = field(default_factory=CostModel)
+    combiners: bool = False
+    seed: int = 42
+    strict_iterations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ConfigError(f"parallelism must be >= 1, got {self.parallelism}")
+        if self.spare_workers < 0:
+            raise ConfigError(f"spare_workers must be >= 0, got {self.spare_workers}")
+        if self.partitions_per_worker < 1:
+            raise ConfigError(
+                f"partitions_per_worker must be >= 1, got {self.partitions_per_worker}"
+            )
+        if self.parallelism % self.partitions_per_worker != 0:
+            raise ConfigError(
+                f"parallelism ({self.parallelism}) must be divisible by "
+                f"partitions_per_worker ({self.partitions_per_worker})"
+            )
+        self.cost_model.validate()
+
+    @property
+    def active_workers(self) -> int:
+        """Number of workers hosting partitions at job start."""
+        return self.parallelism // self.partitions_per_worker
+
+    def with_parallelism(self, parallelism: int) -> "EngineConfig":
+        """Return a copy with a different degree of parallelism."""
+        return replace(self, parallelism=parallelism)
+
+    def with_spares(self, spare_workers: int) -> "EngineConfig":
+        """Return a copy with a different spare-worker pool size."""
+        return replace(self, spare_workers=spare_workers)
+
+
+DEFAULT_CONFIG = EngineConfig()

@@ -1,0 +1,52 @@
+"""Optimistic recovery — the paper's contribution.
+
+This package implements the fault-tolerance layer of the reproduction:
+
+* :mod:`repro.core.compensation` — the user-facing
+  :class:`CompensationFunction` protocol ("a user-defined compensation
+  function which a system uses to re-initialize lost partitions", §2.2);
+* :mod:`repro.core.recovery` — the strategy interface and the context
+  objects iteration drivers hand to strategies;
+* :mod:`repro.core.optimistic` — checkpoint-free optimistic recovery;
+* :mod:`repro.core.checkpointing` — classic rollback recovery with a
+  configurable checkpoint interval (the pessimistic baseline);
+* :mod:`repro.core.restart` — restart-from-scratch (no fault tolerance)
+  and lineage-based recovery, which §2.2 argues degenerates to a restart
+  for iterative jobs with all-to-all dependencies;
+* :mod:`repro.core.guarantees` — consistency invariants compensation
+  functions must uphold, checked after every compensation.
+"""
+
+from .checkpointing import CheckpointRecovery
+from .compensation import CompensationContext, CompensationFunction
+from .guarantees import (
+    KeySetPreserved,
+    MassConservation,
+    PartitionPlacement,
+    StateInvariant,
+    ValuesFromInitial,
+    check_invariants,
+)
+from .incremental import IncrementalCheckpointRecovery
+from .optimistic import OptimisticRecovery
+from .recovery import RecoveryContext, RecoveryOutcome, RecoveryStrategy
+from .restart import LineageRecovery, RestartRecovery
+
+__all__ = [
+    "CheckpointRecovery",
+    "CompensationContext",
+    "CompensationFunction",
+    "IncrementalCheckpointRecovery",
+    "KeySetPreserved",
+    "LineageRecovery",
+    "MassConservation",
+    "OptimisticRecovery",
+    "PartitionPlacement",
+    "RecoveryContext",
+    "RecoveryOutcome",
+    "RecoveryStrategy",
+    "RestartRecovery",
+    "StateInvariant",
+    "ValuesFromInitial",
+    "check_invariants",
+]

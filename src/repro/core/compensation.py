@@ -1,0 +1,158 @@
+"""The compensation function protocol.
+
+A compensation function is the user-supplied piece of optimistic recovery
+(§2.2): after a failure destroyed some partitions, it must "generate a
+consistent algorithm state" from which the fixpoint iteration re-converges
+to the correct result. Consistent does not mean correct — e.g. PageRank
+only needs the ranks to sum to one, Connected Components only needs every
+label to be one of the labels initially present in the vertex's component.
+
+The engine invokes the function on **all** partitions (exactly as the
+paper describes), in three phases:
+
+1. :meth:`CompensationFunction.prepare` sees the whole damaged state once
+   and may compute a global aggregate — e.g. the surviving probability
+   mass for PageRank's uniform redistribution;
+2. :meth:`CompensationFunction.compensate_partition` rebuilds each
+   partition (lost partitions receive ``records=None``);
+3. for delta iterations, :meth:`CompensationFunction.rebuild_workset`
+   produces the workset to resume with, because a failure also destroys
+   workset partitions and the re-initialized vertices (plus, typically,
+   their neighbors) must propagate again — this is what causes the
+   message spike the demo's plot shows after a failure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..dataflow.datatypes import KeySpec
+from ..errors import CompensationError
+from ..runtime.executor import PartitionedDataset
+from ..runtime.partition import HashPartitioner
+
+
+@dataclass
+class CompensationContext:
+    """What a compensation function may consult.
+
+    Attributes:
+        parallelism: number of state partitions.
+        state_key: the key spec the state is partitioned by.
+        statics: loop-invariant inputs (edge lists, link matrices, ...)
+            as bound partitioned datasets. They survive failures on
+            stable storage, so compensation may read them freely.
+        initial_state: the iteration's initial state, partitioned exactly
+            like the live state; the canonical source for "which keys
+            live in partition p" and for reset-to-initial compensations.
+    """
+
+    parallelism: int
+    state_key: KeySpec
+    statics: dict[str, PartitionedDataset] = field(default_factory=dict)
+    initial_state: PartitionedDataset | None = None
+
+    def initial_partition(self, partition_id: int) -> list[Any]:
+        """The initial state records of one partition."""
+        if self.initial_state is None:
+            raise CompensationError("no initial state available in compensation context")
+        records = self.initial_state.partitions[partition_id]
+        if records is None:
+            raise CompensationError(
+                f"initial state of partition {partition_id} is unavailable"
+            )
+        return list(records)
+
+    def static_records(self, name: str) -> list[Any]:
+        """All records of a named static input."""
+        if name not in self.statics:
+            raise CompensationError(f"no static input named {name!r}")
+        return self.statics[name].all_records()
+
+    def partition_of(self, key: Any) -> int:
+        """Which partition a state key lives in."""
+        return HashPartitioner(self.parallelism).partition(key)
+
+
+class CompensationFunction(ABC):
+    """User-defined state re-initialization for optimistic recovery."""
+
+    #: identifier shown in dataflow renderings (the paper names its
+    #: compensations ``fix-components`` and ``fix-ranks``).
+    name: str = "compensation"
+
+    def prepare(
+        self,
+        state: PartitionedDataset,
+        lost_partitions: list[int],
+        ctx: CompensationContext,
+    ) -> Any:
+        """Compute a global aggregate over the damaged state.
+
+        Called once per failure, before any partition is rebuilt. The
+        return value is passed verbatim to every
+        :meth:`compensate_partition` call. The default returns ``None``.
+        """
+        return None
+
+    @abstractmethod
+    def compensate_partition(
+        self,
+        partition_id: int,
+        records: list[Any] | None,
+        aggregate: Any,
+        ctx: CompensationContext,
+    ) -> list[Any]:
+        """Rebuild one partition.
+
+        Args:
+            partition_id: which partition.
+            records: the partition's surviving records, or ``None`` when
+                this partition's state was destroyed.
+            aggregate: whatever :meth:`prepare` returned.
+            ctx: the compensation context.
+
+        Returns:
+            The partition's new, consistent contents. Surviving
+            partitions may be returned unchanged (``records`` itself).
+        """
+
+    def rebuild_workset(
+        self,
+        solution: PartitionedDataset,
+        workset: PartitionedDataset,
+        lost_partitions: list[int],
+        ctx: CompensationContext,
+    ) -> PartitionedDataset:
+        """Produce the workset to resume a delta iteration with.
+
+        ``workset`` is the damaged next workset the failure interrupted:
+        its lost partitions are ``None`` but its surviving partitions
+        still carry pending updates, which must not be dropped — a
+        surviving vertex whose update was in flight would otherwise never
+        propagate it, and the algorithm would converge to a wrong result.
+
+        The safe default re-activates **every** vertex: the whole
+        compensated solution set becomes the workset, so all current
+        labels propagate again (trivially superseding the surviving
+        pending updates). Algorithm-specific subclasses can narrow this
+        (Connected Components re-activates the surviving workset plus the
+        reset vertices and their neighbors), which is what bounds the
+        post-failure message spike.
+        """
+        return solution.copy()
+
+    def surviving_workset_keys(self, workset: PartitionedDataset) -> set:
+        """Keys of pending updates that survived the failure — a helper
+        for subclasses narrowing :meth:`rebuild_workset`."""
+        return {
+            record[0]
+            for partition in workset.partitions
+            if partition is not None
+            for record in partition
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,137 @@
+"""Consistency invariants for compensated state.
+
+Schelter et al. prove convergence after compensation only when the
+compensated state is *consistent* — e.g. "if the algorithm computes a
+probability distribution, the compensation function has to ensure that
+probabilities in all partitions sum up to one" (§2.2). These checks make
+that contract executable: :class:`repro.core.optimistic.OptimisticRecovery`
+can be configured with a list of invariants that every compensated state
+must satisfy, turning a buggy compensation function into a loud
+:class:`repro.errors.CompensationError` instead of a silently wrong
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from ..errors import CompensationError
+from ..runtime.executor import PartitionedDataset
+from .compensation import CompensationContext
+
+
+class StateInvariant(ABC):
+    """A predicate over a full (compensated) state."""
+
+    #: identifier used in error messages.
+    name: str = "invariant"
+
+    @abstractmethod
+    def check(self, state: PartitionedDataset, ctx: CompensationContext) -> str | None:
+        """Return ``None`` when the invariant holds, else a human-readable
+        description of the violation."""
+
+
+class MassConservation(StateInvariant):
+    """The state's values must sum to a fixed total (PageRank: 1.0)."""
+
+    name = "mass-conservation"
+
+    def __init__(
+        self,
+        total: float = 1.0,
+        tolerance: float = 1e-9,
+        value_fn: Callable[[Any], float] | None = None,
+    ):
+        self.total = total
+        self.tolerance = tolerance
+        self.value_fn = value_fn if value_fn is not None else (lambda record: record[1])
+
+    def check(self, state: PartitionedDataset, ctx: CompensationContext) -> str | None:
+        mass = sum(self.value_fn(record) for record in state.all_records())
+        if abs(mass - self.total) > self.tolerance:
+            return (
+                f"state mass is {mass!r}, expected {self.total!r} "
+                f"(tolerance {self.tolerance!r})"
+            )
+        return None
+
+
+class KeySetPreserved(StateInvariant):
+    """The compensated state must contain exactly the keys of the initial
+    state — no vertex may vanish or be invented by compensation."""
+
+    name = "key-set-preserved"
+
+    def check(self, state: PartitionedDataset, ctx: CompensationContext) -> str | None:
+        if ctx.initial_state is None:
+            return "no initial state available to compare key sets against"
+        expected = {ctx.state_key(record) for record in ctx.initial_state.all_records()}
+        actual = {ctx.state_key(record) for record in state.all_records()}
+        if expected != actual:
+            missing = sorted(expected - actual)[:5]
+            invented = sorted(actual - expected)[:5]
+            return f"key set changed: missing {missing}, invented {invented}"
+        return None
+
+
+class ValuesFromInitial(StateInvariant):
+    """Every value must be one that occurred in the initial state.
+
+    This is the consistency condition of Connected Components: labels are
+    always (initial) vertex ids, and compensation must not fabricate
+    labels outside that domain — otherwise min-propagation could converge
+    to a non-existent component id.
+    """
+
+    name = "values-from-initial"
+
+    def __init__(self, value_fn: Callable[[Any], Any] | None = None):
+        self.value_fn = value_fn if value_fn is not None else (lambda record: record[1])
+
+    def check(self, state: PartitionedDataset, ctx: CompensationContext) -> str | None:
+        if ctx.initial_state is None:
+            return "no initial state available to compare values against"
+        domain = {self.value_fn(record) for record in ctx.initial_state.all_records()}
+        for record in state.all_records():
+            value = self.value_fn(record)
+            if value not in domain:
+                return f"value {value!r} of record {record!r} is not an initial value"
+        return None
+
+
+class PartitionPlacement(StateInvariant):
+    """Every record must live in the partition its key hashes to; a
+    compensation that emits records for foreign keys would silently break
+    keyed joins in later supersteps."""
+
+    name = "partition-placement"
+
+    def check(self, state: PartitionedDataset, ctx: CompensationContext) -> str | None:
+        for partition_id, records in enumerate(state.partitions):
+            if records is None:
+                return f"partition {partition_id} is still lost"
+            for record in records:
+                expected = ctx.partition_of(ctx.state_key(record))
+                if expected != partition_id:
+                    return (
+                        f"record {record!r} sits in partition {partition_id} "
+                        f"but its key hashes to partition {expected}"
+                    )
+        return None
+
+
+def check_invariants(
+    invariants: list[StateInvariant],
+    state: PartitionedDataset,
+    ctx: CompensationContext,
+    compensation_name: str = "compensation",
+) -> None:
+    """Raise :class:`CompensationError` on the first violated invariant."""
+    for invariant in invariants:
+        violation = invariant.check(state, ctx)
+        if violation is not None:
+            raise CompensationError(
+                f"{compensation_name} violated invariant {invariant.name!r}: {violation}"
+            )

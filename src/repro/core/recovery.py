@@ -1,0 +1,128 @@
+"""Recovery strategy interface.
+
+The iteration drivers treat fault tolerance as a plugin. During a run a
+strategy receives two kinds of calls:
+
+* :meth:`RecoveryStrategy.on_superstep_committed` after every successful
+  superstep — where pessimistic strategies pay their failure-free price
+  (writing checkpoints); optimistic recovery does nothing here, which *is*
+  the paper's headline property ("failure-free execution proceeds as if no
+  fault tolerance is needed");
+* :meth:`RecoveryStrategy.recover` when a failure destroyed partitions —
+  the driver has already killed the workers, marked the partitions lost
+  and acquired replacement workers; the strategy must return a complete,
+  consistent state (and workset, for delta iterations) to resume from.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..dataflow.datatypes import KeySpec
+from ..runtime.cluster import SimulatedCluster
+from ..runtime.executor import PartitionedDataset, PlanExecutor
+from ..runtime.storage import StableStorage
+
+
+@dataclass
+class RecoveryContext:
+    """Everything a strategy may need, assembled by the iteration driver.
+
+    Attributes:
+        job_name: name of the running iteration (keys checkpoint storage).
+        cluster: the simulated cluster (already repaired when
+            :meth:`RecoveryStrategy.recover` is called).
+        executor: the plan executor — exposes the clock and metrics that
+            recovery work must be charged to.
+        storage: simulated stable storage; the driver pins the initial
+            state under ``input/<job>/state/<pid>`` (and the initial
+            workset under ``input/<job>/workset/<pid>``) so strategies can
+            re-read inputs after a failure at the modeled I/O cost.
+        state_key: the key spec the iterative state is partitioned by.
+        statics: loop-invariant inputs, bound and partitioned (e.g. the
+            graph's edges) — compensation functions may consult them.
+        initial_state: the state the iteration started from.
+        initial_workset: the initial workset (delta iterations only).
+    """
+
+    job_name: str
+    cluster: SimulatedCluster
+    executor: PlanExecutor
+    storage: StableStorage
+    state_key: KeySpec
+    statics: dict[str, PartitionedDataset] = field(default_factory=dict)
+    initial_state: PartitionedDataset | None = None
+    initial_workset: PartitionedDataset | None = None
+
+    @property
+    def parallelism(self) -> int:
+        return self.cluster.parallelism
+
+    def initial_state_key(self, partition_id: int) -> str:
+        """Storage key of the pinned initial state of one partition."""
+        return f"input/{self.job_name}/state/{partition_id}"
+
+    def initial_workset_key(self, partition_id: int) -> str:
+        """Storage key of the pinned initial workset of one partition."""
+        return f"input/{self.job_name}/workset/{partition_id}"
+
+
+@dataclass
+class RecoveryOutcome:
+    """What a strategy hands back to the driver.
+
+    Attributes:
+        state: the complete post-recovery state (no lost partitions).
+        workset: the post-recovery workset (``None`` for bulk iterations).
+        restarted: the strategy threw everything away and restarted from
+            the initial inputs (the driver resets its termination
+            criterion in response).
+        rolled_back_to: superstep of the checkpoint that was restored, or
+            ``None``.
+        compensated: a compensation function re-initialized the state.
+    """
+
+    state: PartitionedDataset
+    workset: PartitionedDataset | None = None
+    restarted: bool = False
+    rolled_back_to: int | None = None
+    compensated: bool = False
+
+
+class RecoveryStrategy(ABC):
+    """Base class of all recovery strategies."""
+
+    #: short identifier used in reports and event payloads.
+    name: str = "abstract"
+
+    def on_start(self, ctx: RecoveryContext) -> None:
+        """Called once before superstep 0."""
+
+    def on_superstep_committed(
+        self,
+        ctx: RecoveryContext,
+        superstep: int,
+        state: PartitionedDataset,
+        workset: PartitionedDataset | None = None,
+    ) -> None:
+        """Called after every failure-free superstep; the hook where
+        pessimistic strategies pay their failure-free overhead."""
+
+    @abstractmethod
+    def recover(
+        self,
+        ctx: RecoveryContext,
+        superstep: int,
+        state: PartitionedDataset,
+        workset: PartitionedDataset | None,
+        lost_partitions: list[int],
+    ) -> RecoveryOutcome:
+        """Repair ``state`` (whose ``lost_partitions`` are ``None``) into
+        a complete consistent state to resume from."""
+
+    def reset(self) -> None:
+        """Drop per-run internal state (e.g. remembered checkpoints)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

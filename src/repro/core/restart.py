@@ -1,0 +1,73 @@
+"""Restart-based recovery: no fault tolerance, and lineage recovery.
+
+:class:`RestartRecovery` models a system without any fault-tolerance
+mechanism for iterative state: after a failure the only option is to
+re-read the inputs from stable storage and run the whole iteration again.
+Its failure-free performance is optimal (it pays nothing), which makes it
+the baseline optimistic recovery must match.
+
+:class:`LineageRecovery` models Spark-style lineage-based recovery as
+§2.2 characterizes it for iterative dataflows: "a partition of the current
+iteration may depend on all partitions of the previous iteration (e.g.
+when a reducer is executed during an iteration). In such cases after a
+failure the iteration has to be restarted from scratch to re-compute lost
+partitions." Both PageRank and Connected Components shuffle through
+reducers every superstep, so for the workloads of this paper lineage
+recovery behaves exactly like a restart; it exists as its own class so
+experiments can report it under its proper name.
+"""
+
+from __future__ import annotations
+
+from ..runtime.events import EventKind
+from ..runtime.executor import PartitionedDataset
+from .recovery import RecoveryContext, RecoveryOutcome, RecoveryStrategy
+
+
+class RestartRecovery(RecoveryStrategy):
+    """Re-run the iteration from its initial inputs after any failure."""
+
+    name = "restart"
+
+    def recover(
+        self,
+        ctx: RecoveryContext,
+        superstep: int,
+        state: PartitionedDataset,
+        workset: PartitionedDataset | None,
+        lost_partitions: list[int],
+    ) -> RecoveryOutcome:
+        restored_state = PartitionedDataset(
+            partitions=[
+                ctx.storage.read(ctx.initial_state_key(pid))
+                for pid in range(ctx.parallelism)
+            ],
+            partitioned_by=ctx.state_key,
+        )
+        restored_workset: PartitionedDataset | None = None
+        if workset is not None:
+            restored_workset = PartitionedDataset(
+                partitions=[
+                    ctx.storage.read(ctx.initial_workset_key(pid))
+                    for pid in range(ctx.parallelism)
+                ],
+                partitioned_by=ctx.state_key,
+            )
+        ctx.cluster.events.record(
+            EventKind.RESTART,
+            time=ctx.executor.clock.now,
+            superstep=superstep,
+            strategy=self.name,
+            lost_partitions=sorted(lost_partitions),
+        )
+        return RecoveryOutcome(
+            state=restored_state, workset=restored_workset, restarted=True
+        )
+
+
+class LineageRecovery(RestartRecovery):
+    """Lineage-based recovery, which degenerates to a restart for
+    iterative dataflows whose supersteps contain all-to-all dependencies
+    (every workload in this reproduction does)."""
+
+    name = "lineage"

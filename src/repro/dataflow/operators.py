@@ -1,0 +1,239 @@
+"""Logical dataflow operators.
+
+A plan is a DAG of these nodes. Each operator carries:
+
+* a unique ``op_id`` within its plan,
+* a human-readable ``name`` (the paper's dataflows name every operator —
+  ``candidate-label``, ``label-update``, ``find-neighbors``, ... — and the
+  metrics layer counts records per name),
+* its input operators,
+* the UDF (where applicable) and the key specs that drive partitioning.
+
+Operators are pure descriptions; execution lives in
+:mod:`repro.runtime.executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..errors import PlanError
+from .datatypes import KeySpec
+from .functions import (
+    CoGroupFunction,
+    CrossFunction,
+    FilterFunction,
+    FlatMapFunction,
+    GroupReduceFunction,
+    JoinFunction,
+    MapFunction,
+    ReduceFunction,
+)
+
+
+class Operator:
+    """Base class of all logical operators."""
+
+    #: subclasses set this to their operator-kind label used in rendering.
+    kind = "operator"
+
+    def __init__(self, op_id: int, name: str, inputs: list["Operator"]):
+        if not name:
+            raise PlanError("operators must have a non-empty name")
+        self.op_id = op_id
+        self.name = name
+        self.inputs = list(inputs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+    def validate(self) -> None:
+        """Subclasses check their structural invariants here."""
+
+    def __repr__(self) -> str:
+        ins = ", ".join(op.name for op in self.inputs)
+        return f"{type(self).__name__}(#{self.op_id} {self.name!r} <- [{ins}])"
+
+
+class SourceOperator(Operator):
+    """A named input. At execution time a source is bound to a
+    partitioned dataset (iterative state, a static input, ...)."""
+
+    kind = "source"
+
+    def __init__(self, op_id: int, name: str, partitioned_by: KeySpec | None = None):
+        super().__init__(op_id, name, [])
+        self.partitioned_by = partitioned_by
+
+    def validate(self) -> None:
+        if self.inputs:
+            raise PlanError(f"source {self.name!r} cannot have inputs")
+
+
+class MapOperator(Operator):
+    """Applies a :class:`MapFunction` record-wise; partition-local."""
+
+    kind = "map"
+
+    def __init__(self, op_id: int, name: str, input_op: Operator, fn: MapFunction):
+        super().__init__(op_id, name, [input_op])
+        self.fn = fn
+
+
+class FlatMapOperator(Operator):
+    """Applies a :class:`FlatMapFunction` record-wise; partition-local."""
+
+    kind = "flat_map"
+
+    def __init__(self, op_id: int, name: str, input_op: Operator, fn: FlatMapFunction):
+        super().__init__(op_id, name, [input_op])
+        self.fn = fn
+
+
+class FilterOperator(Operator):
+    """Keeps records matching a :class:`FilterFunction`; partition-local."""
+
+    kind = "filter"
+
+    def __init__(self, op_id: int, name: str, input_op: Operator, fn: FilterFunction):
+        super().__init__(op_id, name, [input_op])
+        self.fn = fn
+
+
+class ReduceByKeyOperator(Operator):
+    """Hash-partitions by ``key`` then folds each group with an
+    associative :class:`ReduceFunction`. Output records are the folded
+    group representatives (one per key)."""
+
+    kind = "reduce"
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        input_op: Operator,
+        key: KeySpec,
+        fn: ReduceFunction,
+    ):
+        super().__init__(op_id, name, [input_op])
+        self.key = key
+        self.fn = fn
+
+
+class GroupReduceOperator(Operator):
+    """Hash-partitions by ``key`` then hands each whole group to a
+    :class:`GroupReduceFunction`."""
+
+    kind = "group_reduce"
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        input_op: Operator,
+        key: KeySpec,
+        fn: GroupReduceFunction,
+    ):
+        super().__init__(op_id, name, [input_op])
+        self.key = key
+        self.fn = fn
+
+
+class JoinOperator(Operator):
+    """Equi-join of two inputs on their respective key specs, applying a
+    :class:`JoinFunction` per matching pair (inner join semantics).
+
+    ``preserves`` optionally names which side's partitioning survives in
+    the output ("left", "right" or None): when the UDF keeps the join key
+    in the same field the executor can chain keyed operators without a
+    re-shuffle.
+    """
+
+    kind = "join"
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        left: Operator,
+        right: Operator,
+        left_key: KeySpec,
+        right_key: KeySpec,
+        fn: JoinFunction,
+        preserves: str | None = None,
+    ):
+        super().__init__(op_id, name, [left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+        self.fn = fn
+        self.preserves = preserves
+
+    def validate(self) -> None:
+        if self.preserves not in (None, "left", "right"):
+            raise PlanError(
+                f"join {self.name!r}: preserves must be None, 'left' or 'right', "
+                f"got {self.preserves!r}"
+            )
+
+
+class CoGroupOperator(Operator):
+    """Co-group of two inputs on their key specs (full outer grouping)."""
+
+    kind = "co_group"
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        left: Operator,
+        right: Operator,
+        left_key: KeySpec,
+        right_key: KeySpec,
+        fn: CoGroupFunction,
+        preserves: str | None = None,
+    ):
+        super().__init__(op_id, name, [left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+        self.fn = fn
+        self.preserves = preserves
+
+    def validate(self) -> None:
+        if self.preserves not in (None, "left", "right"):
+            raise PlanError(
+                f"co_group {self.name!r}: preserves must be None, 'left' or 'right', "
+                f"got {self.preserves!r}"
+            )
+
+
+class CrossOperator(Operator):
+    """Cartesian product of two inputs; the right side is broadcast to
+    every partition of the left (how Flink executes small-side crosses,
+    and how K-Means ships its centroids)."""
+
+    kind = "cross"
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        left: Operator,
+        right: Operator,
+        fn: CrossFunction,
+    ):
+        super().__init__(op_id, name, [left, right])
+        self.fn = fn
+
+
+class UnionOperator(Operator):
+    """Bag union of any number of inputs; partition-wise concatenation."""
+
+    kind = "union"
+
+    def __init__(self, op_id: int, name: str, inputs: list[Operator]):
+        super().__init__(op_id, name, inputs)
+
+    def validate(self) -> None:
+        if len(self.inputs) < 2:
+            raise PlanError(f"union {self.name!r} needs at least two inputs")

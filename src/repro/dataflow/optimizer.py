@@ -1,0 +1,228 @@
+"""Logical plan optimization.
+
+§2.1 of the paper: Flink "compiles the program into a DAG of operators,
+optimizes it and runs it in a cluster". This module reproduces the two
+classic rewrites that matter for the engine's cost model:
+
+* **chain fusion** — consecutive record-local operators (map / flat_map /
+  filter) with a single consumer collapse into one fused operator, so a
+  record is charged once per chain instead of once per operator (Flink's
+  operator chaining);
+* **filter pushdown through union** — ``union(a, b).filter(p)`` becomes
+  ``union(a.filter(p), b.filter(p))``, shrinking the unioned volume.
+
+Optimization is **opt-in** (``optimize(plan)`` returns a new plan; the
+original is untouched). The algorithm jobs in :mod:`repro.algorithms`
+deliberately run unoptimized plans so their per-operator message counters
+keep the paper's operator names; the optimizer exists for user plans and
+for the engine-level tests/benchmarks that quantify its effect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..errors import PlanError
+from .functions import FlatMapFunction
+from .operators import (
+    CoGroupOperator,
+    CrossOperator,
+    FilterOperator,
+    FlatMapOperator,
+    GroupReduceOperator,
+    JoinOperator,
+    MapOperator,
+    Operator,
+    ReduceByKeyOperator,
+    SourceOperator,
+    UnionOperator,
+)
+from .plan import Plan
+
+#: operator types that process records one at a time with no exchange —
+#: the candidates for chaining.
+_RECORD_LOCAL = (MapOperator, FlatMapOperator, FilterOperator)
+
+
+class _FusedFunction(FlatMapFunction):
+    """The composition of a chain of record-local UDFs as one flat map."""
+
+    def __init__(self, stages: list[Operator], name: str):
+        super().__init__(name=name)
+        self._stages = [(type(op), op.fn) for op in stages]
+
+    def apply(self, record: Any) -> Iterable[Any]:
+        current = [record]
+        for op_type, fn in self._stages:
+            if op_type is MapOperator:
+                current = [fn(r) for r in current]
+            elif op_type is FilterOperator:
+                current = [r for r in current if fn(r)]
+            else:  # FlatMapOperator
+                expanded: list[Any] = []
+                for r in current:
+                    expanded.extend(fn(r))
+                current = expanded
+            if not current:
+                return []
+        return current
+
+
+def _consumers(plan: Plan) -> dict[int, list[Operator]]:
+    consumers: dict[int, list[Operator]] = {op.op_id: [] for op in plan.operators}
+    for op in plan.operators:
+        for inp in op.inputs:
+            consumers[inp.op_id].append(op)
+    return consumers
+
+
+def _collect_chains(plan: Plan) -> dict[int, list[Operator]]:
+    """Find maximal fusable chains, keyed by the chain head's op_id.
+
+    A chain extends from a record-local operator through record-local
+    successors as long as each link has exactly one consumer and that
+    consumer is record-local. Only chains of length >= 2 are returned.
+    """
+    consumers = _consumers(plan)
+    in_chain: set[int] = set()
+    chains: dict[int, list[Operator]] = {}
+    for op in plan.topological_order():
+        if not isinstance(op, _RECORD_LOCAL) or op.op_id in in_chain:
+            continue
+        chain = [op]
+        current = op
+        while True:
+            outs = consumers[current.op_id]
+            if len(outs) != 1 or not isinstance(outs[0], _RECORD_LOCAL):
+                break
+            current = outs[0]
+            chain.append(current)
+        if len(chain) >= 2:
+            chains[op.op_id] = chain
+            in_chain.update(link.op_id for link in chain)
+    return chains
+
+
+def fuse_chains(plan: Plan) -> Plan:
+    """Apply chain fusion, returning a new plan."""
+    chains = _collect_chains(plan)
+    fused_members: dict[int, int] = {}  # member op_id -> head op_id
+    for head_id, chain in chains.items():
+        for member in chain:
+            fused_members[member.op_id] = head_id
+
+    new_plan = Plan(plan.name)
+    rebuilt: dict[int, Operator] = {}
+
+    def new_input(old: Operator) -> Operator:
+        # a reference to a chain member resolves to the fused operator
+        target = fused_members.get(old.op_id, old.op_id)
+        if target in rebuilt:
+            return rebuilt[target]
+        raise PlanError(f"input {old.name!r} not rebuilt yet")  # pragma: no cover
+
+    for op in plan.topological_order():
+        head_id = fused_members.get(op.op_id)
+        if head_id is not None:
+            chain = chains[head_id]
+            if op is not chain[-1]:
+                continue  # only materialize at the chain's tail
+            name = "+".join(link.name for link in chain)
+            fused = FlatMapOperator(
+                new_plan._next_id(),
+                name,
+                new_input(chain[0].inputs[0]),
+                _FusedFunction(chain, name),
+            )
+            new_plan._register(fused)
+            rebuilt[head_id] = fused
+            continue
+        rebuilt[op.op_id] = _clone_operator(new_plan, op, new_input)
+    return new_plan
+
+
+def push_filters_through_unions(plan: Plan) -> Plan:
+    """Apply filter pushdown through unions, returning a new plan."""
+    consumers = _consumers(plan)
+    pushable: dict[int, FilterOperator] = {}
+    absorbed: set[int] = set()
+    for op in plan.topological_order():
+        if (
+            isinstance(op, FilterOperator)
+            and isinstance(op.inputs[0], UnionOperator)
+            and len(consumers[op.inputs[0].op_id]) == 1
+        ):
+            pushable[op.op_id] = op
+            absorbed.add(op.inputs[0].op_id)
+
+    new_plan = Plan(plan.name)
+    rebuilt: dict[int, Operator] = {}
+
+    for op in plan.topological_order():
+        if op.op_id in absorbed:
+            continue  # materialized together with its filter
+        if op.op_id in pushable:
+            union_op = op.inputs[0]
+            filtered_inputs = []
+            for index, branch in enumerate(union_op.inputs):
+                branch_filter = FilterOperator(
+                    new_plan._next_id(),
+                    f"{op.name}@{branch.name}",
+                    rebuilt[branch.op_id],
+                    op.fn,
+                )
+                new_plan._register(branch_filter)
+                filtered_inputs.append(branch_filter)
+            pushed_union = UnionOperator(new_plan._next_id(), op.name, filtered_inputs)
+            new_plan._register(pushed_union)
+            rebuilt[op.op_id] = pushed_union
+            continue
+        rebuilt[op.op_id] = _clone_operator(
+            new_plan, op, lambda old: rebuilt[old.op_id]
+        )
+    return new_plan
+
+
+def _clone_operator(
+    plan: Plan, op: Operator, resolve: Callable[[Operator], Operator]
+) -> Operator:
+    """Recreate ``op`` inside ``plan`` with remapped inputs."""
+    next_id = plan._next_id()
+    if isinstance(op, SourceOperator):
+        clone: Operator = SourceOperator(next_id, op.name, op.partitioned_by)
+    elif isinstance(op, MapOperator):
+        clone = MapOperator(next_id, op.name, resolve(op.inputs[0]), op.fn)
+    elif isinstance(op, FlatMapOperator):
+        clone = FlatMapOperator(next_id, op.name, resolve(op.inputs[0]), op.fn)
+    elif isinstance(op, FilterOperator):
+        clone = FilterOperator(next_id, op.name, resolve(op.inputs[0]), op.fn)
+    elif isinstance(op, ReduceByKeyOperator):
+        clone = ReduceByKeyOperator(next_id, op.name, resolve(op.inputs[0]), op.key, op.fn)
+    elif isinstance(op, GroupReduceOperator):
+        clone = GroupReduceOperator(next_id, op.name, resolve(op.inputs[0]), op.key, op.fn)
+    elif isinstance(op, JoinOperator):
+        clone = JoinOperator(
+            next_id, op.name, resolve(op.inputs[0]), resolve(op.inputs[1]),
+            op.left_key, op.right_key, op.fn, preserves=op.preserves,
+        )
+    elif isinstance(op, CoGroupOperator):
+        clone = CoGroupOperator(
+            next_id, op.name, resolve(op.inputs[0]), resolve(op.inputs[1]),
+            op.left_key, op.right_key, op.fn, preserves=op.preserves,
+        )
+    elif isinstance(op, CrossOperator):
+        clone = CrossOperator(
+            next_id, op.name, resolve(op.inputs[0]), resolve(op.inputs[1]), op.fn
+        )
+    elif isinstance(op, UnionOperator):
+        clone = UnionOperator(next_id, op.name, [resolve(inp) for inp in op.inputs])
+    else:  # pragma: no cover - exhaustive over the operator set
+        raise PlanError(f"cannot clone operator type {type(op).__name__}")
+    plan._register(clone)
+    return clone
+
+
+def optimize(plan: Plan) -> Plan:
+    """Run all rewrite rules (pushdown first, then fusion — pushdown
+    creates new filters that fusion can chain)."""
+    return fuse_chains(push_filters_through_unions(plan))

@@ -1,0 +1,288 @@
+"""Plan construction: the fluent DataSet API.
+
+A :class:`Plan` owns a DAG of :class:`repro.dataflow.operators.Operator`
+nodes. :class:`DataSet` is a lightweight handle on one node exposing the
+fluent combinators, so the paper's Figure 1 dataflows read naturally::
+
+    plan = Plan("connected-components-step")
+    workset = plan.source("workset", partitioned_by=first_field("vertex"))
+    edges = plan.source("graph")
+    messages = workset.join(edges, ..., name="label-to-neighbors")
+    candidates = messages.reduce_by_key(..., name="candidate-label")
+    ...
+
+Plans are templates: sources are symbolic and get bound to concrete
+partitioned datasets at execution time (see
+:class:`repro.runtime.executor.PlanExecutor`). The same step plan is
+executed once per superstep by the iteration drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..errors import PlanError
+from .datatypes import KeySpec
+from .functions import (
+    CoGroupFunction,
+    CrossFunction,
+    FilterFunction,
+    FlatMapFunction,
+    GroupReduceFunction,
+    JoinFunction,
+    MapFunction,
+    ReduceFunction,
+)
+from .operators import (
+    CoGroupOperator,
+    CrossOperator,
+    FilterOperator,
+    FlatMapOperator,
+    GroupReduceOperator,
+    JoinOperator,
+    MapOperator,
+    Operator,
+    ReduceByKeyOperator,
+    SourceOperator,
+    UnionOperator,
+)
+
+
+def _as_map(fn: MapFunction | Callable[[Any], Any]) -> MapFunction:
+    return fn if isinstance(fn, MapFunction) else MapFunction(fn)
+
+
+def _as_flat_map(fn: FlatMapFunction | Callable[[Any], Iterable[Any]]) -> FlatMapFunction:
+    return fn if isinstance(fn, FlatMapFunction) else FlatMapFunction(fn)
+
+
+def _as_filter(fn: FilterFunction | Callable[[Any], bool]) -> FilterFunction:
+    return fn if isinstance(fn, FilterFunction) else FilterFunction(fn)
+
+
+def _as_reduce(fn: ReduceFunction | Callable[[Any, Any], Any]) -> ReduceFunction:
+    return fn if isinstance(fn, ReduceFunction) else ReduceFunction(fn)
+
+
+def _as_group_reduce(
+    fn: GroupReduceFunction | Callable[[Any, list[Any]], Iterable[Any]],
+) -> GroupReduceFunction:
+    return fn if isinstance(fn, GroupReduceFunction) else GroupReduceFunction(fn)
+
+
+def _as_join(fn: JoinFunction | Callable[[Any, Any], Any]) -> JoinFunction:
+    return fn if isinstance(fn, JoinFunction) else JoinFunction(fn)
+
+
+def _as_co_group(
+    fn: CoGroupFunction | Callable[[Any, list[Any], list[Any]], Iterable[Any]],
+) -> CoGroupFunction:
+    return fn if isinstance(fn, CoGroupFunction) else CoGroupFunction(fn)
+
+
+def _as_cross(fn: CrossFunction | Callable[[Any, Any], Any]) -> CrossFunction:
+    return fn if isinstance(fn, CrossFunction) else CrossFunction(fn)
+
+
+class Plan:
+    """A named DAG of operators."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._operators: list[Operator] = []
+        self._names: set[str] = set()
+
+    # -- node management ------------------------------------------------------
+
+    def _register(self, op: Operator) -> Operator:
+        if op.name in self._names:
+            raise PlanError(f"duplicate operator name {op.name!r} in plan {self.name!r}")
+        op.validate()
+        self._names.add(op.name)
+        self._operators.append(op)
+        return op
+
+    def _next_id(self) -> int:
+        return len(self._operators)
+
+    @property
+    def operators(self) -> list[Operator]:
+        """All operators in creation order."""
+        return list(self._operators)
+
+    def operator_by_name(self, name: str) -> Operator:
+        """Look an operator up by its (unique) name."""
+        for op in self._operators:
+            if op.name == name:
+                return op
+        raise PlanError(f"no operator named {name!r} in plan {self.name!r}")
+
+    def sources(self) -> list[SourceOperator]:
+        """All source operators."""
+        return [op for op in self._operators if isinstance(op, SourceOperator)]
+
+    def sinks(self) -> list[Operator]:
+        """Operators that feed no other operator (the plan's outputs)."""
+        consumed = {inp.op_id for op in self._operators for inp in op.inputs}
+        return [op for op in self._operators if op.op_id not in consumed]
+
+    def topological_order(self) -> list[Operator]:
+        """Operators in dependency order.
+
+        Creation order already is a topological order (an operator can
+        only reference previously created inputs), but this method also
+        validates that every referenced input belongs to this plan.
+        """
+        known = {op.op_id for op in self._operators}
+        for op in self._operators:
+            for inp in op.inputs:
+                if inp.op_id not in known or self._operators[inp.op_id] is not inp:
+                    raise PlanError(
+                        f"operator {op.name!r} references input {inp.name!r} "
+                        f"from a different plan"
+                    )
+        return list(self._operators)
+
+    def validate(self) -> None:
+        """Check the whole plan's structural invariants."""
+        if not self._operators:
+            raise PlanError(f"plan {self.name!r} is empty")
+        self.topological_order()
+        if not self.sources():
+            raise PlanError(f"plan {self.name!r} has no sources")
+
+    # -- construction entry point ----------------------------------------------
+
+    def source(self, name: str, partitioned_by: KeySpec | None = None) -> "DataSet":
+        """Declare a named symbolic input.
+
+        ``partitioned_by`` asserts that the bound dataset will arrive hash
+        partitioned by that key (true for iterative state, which the
+        drivers keep partitioned by the state key); the executor verifies
+        the assertion cheaply and uses it to skip shuffles.
+        """
+        op = SourceOperator(self._next_id(), name, partitioned_by=partitioned_by)
+        return DataSet(self, self._register(op))
+
+    def __repr__(self) -> str:
+        return f"Plan({self.name!r}, {len(self._operators)} operators)"
+
+
+class DataSet:
+    """A handle on one operator's output, exposing the combinators."""
+
+    def __init__(self, plan: Plan, op: Operator):
+        self.plan = plan
+        self.op = op
+
+    @property
+    def name(self) -> str:
+        """The producing operator's name."""
+        return self.op.name
+
+    def _same_plan(self, other: "DataSet") -> None:
+        if other.plan is not self.plan:
+            raise PlanError(
+                f"cannot combine datasets from different plans "
+                f"({self.plan.name!r} vs {other.plan.name!r})"
+            )
+
+    # -- record-wise ------------------------------------------------------------
+
+    def map(self, fn: MapFunction | Callable[[Any], Any], name: str) -> "DataSet":
+        """Apply ``fn`` to every record."""
+        op = MapOperator(self.plan._next_id(), name, self.op, _as_map(fn))
+        return DataSet(self.plan, self.plan._register(op))
+
+    def flat_map(
+        self, fn: FlatMapFunction | Callable[[Any], Iterable[Any]], name: str
+    ) -> "DataSet":
+        """Apply ``fn`` to every record, emitting zero or more records."""
+        op = FlatMapOperator(self.plan._next_id(), name, self.op, _as_flat_map(fn))
+        return DataSet(self.plan, self.plan._register(op))
+
+    def filter(self, fn: FilterFunction | Callable[[Any], bool], name: str) -> "DataSet":
+        """Keep only records for which ``fn`` is true."""
+        op = FilterOperator(self.plan._next_id(), name, self.op, _as_filter(fn))
+        return DataSet(self.plan, self.plan._register(op))
+
+    # -- keyed ------------------------------------------------------------------
+
+    def reduce_by_key(
+        self,
+        key: KeySpec,
+        fn: ReduceFunction | Callable[[Any, Any], Any],
+        name: str,
+    ) -> "DataSet":
+        """Fold records sharing a key with an associative combiner."""
+        op = ReduceByKeyOperator(self.plan._next_id(), name, self.op, key, _as_reduce(fn))
+        return DataSet(self.plan, self.plan._register(op))
+
+    def group_reduce(
+        self,
+        key: KeySpec,
+        fn: GroupReduceFunction | Callable[[Any, list[Any]], Iterable[Any]],
+        name: str,
+    ) -> "DataSet":
+        """Hand each whole key group to ``fn``."""
+        op = GroupReduceOperator(self.plan._next_id(), name, self.op, key, _as_group_reduce(fn))
+        return DataSet(self.plan, self.plan._register(op))
+
+    # -- binary -----------------------------------------------------------------
+
+    def join(
+        self,
+        other: "DataSet",
+        left_key: KeySpec,
+        right_key: KeySpec,
+        fn: JoinFunction | Callable[[Any, Any], Any],
+        name: str,
+        preserves: str | None = None,
+    ) -> "DataSet":
+        """Inner equi-join with ``other``; ``fn`` runs per matching pair."""
+        self._same_plan(other)
+        op = JoinOperator(
+            self.plan._next_id(), name, self.op, other.op,
+            left_key, right_key, _as_join(fn), preserves=preserves,
+        )
+        return DataSet(self.plan, self.plan._register(op))
+
+    def co_group(
+        self,
+        other: "DataSet",
+        left_key: KeySpec,
+        right_key: KeySpec,
+        fn: CoGroupFunction | Callable[[Any, list[Any], list[Any]], Iterable[Any]],
+        name: str,
+        preserves: str | None = None,
+    ) -> "DataSet":
+        """Full-outer co-group with ``other``."""
+        self._same_plan(other)
+        op = CoGroupOperator(
+            self.plan._next_id(), name, self.op, other.op,
+            left_key, right_key, _as_co_group(fn), preserves=preserves,
+        )
+        return DataSet(self.plan, self.plan._register(op))
+
+    def cross(
+        self,
+        other: "DataSet",
+        fn: CrossFunction | Callable[[Any, Any], Any],
+        name: str,
+    ) -> "DataSet":
+        """Cartesian product with ``other`` (right side broadcast)."""
+        self._same_plan(other)
+        op = CrossOperator(self.plan._next_id(), name, self.op, other.op, _as_cross(fn))
+        return DataSet(self.plan, self.plan._register(op))
+
+    def union(self, *others: "DataSet", name: str) -> "DataSet":
+        """Bag union with one or more other datasets."""
+        for other in others:
+            self._same_plan(other)
+        op = UnionOperator(
+            self.plan._next_id(), name, [self.op, *(o.op for o in others)]
+        )
+        return DataSet(self.plan, self.plan._register(op))
+
+    def __repr__(self) -> str:
+        return f"DataSet({self.op!r})"

@@ -1,0 +1,67 @@
+"""Plan rendering.
+
+Regenerates the paper's Figure 1 dataflow diagrams as text or Graphviz
+DOT. Compensation operators (which "are invoked only after failures and
+are absent from the dataflow otherwise", Figure 1 caption) can be listed
+separately and are drawn dashed in DOT output.
+"""
+
+from __future__ import annotations
+
+from .operators import Operator, SourceOperator
+from .plan import Plan
+
+#: operator-kind → DOT shape, loosely matching the paper's figure style
+#: (white circles for sources, rectangles for operators).
+_DOT_SHAPES = {
+    "source": "ellipse",
+    "map": "box",
+    "flat_map": "box",
+    "filter": "box",
+    "reduce": "box",
+    "group_reduce": "box",
+    "join": "box",
+    "co_group": "box",
+    "cross": "box",
+    "union": "box",
+}
+
+
+def plan_to_text(plan: Plan, compensations: list[str] | None = None) -> str:
+    """Render a plan as an indented text listing.
+
+    Each line shows ``name (kind) <- inputs``. Operators whose names
+    appear in ``compensations`` get a ``[compensation]`` marker, mirroring
+    the dotted boxes of Figure 1.
+    """
+    compensation_names = set(compensations or [])
+    lines = [f"plan {plan.name}"]
+    for op in plan.topological_order():
+        inputs = ", ".join(inp.name for inp in op.inputs) or "-"
+        marker = "  [compensation]" if op.name in compensation_names else ""
+        lines.append(f"  {op.name} ({op.kind}) <- {inputs}{marker}")
+    return "\n".join(lines)
+
+
+def _dot_id(op: Operator) -> str:
+    return f"op{op.op_id}"
+
+
+def plan_to_dot(plan: Plan, compensations: list[str] | None = None) -> str:
+    """Render a plan as Graphviz DOT.
+
+    Sources are ellipses, operators are boxes, and compensation operators
+    are dashed boxes — matching the visual vocabulary of Figure 1.
+    """
+    compensation_names = set(compensations or [])
+    lines = [f'digraph "{plan.name}" {{', "  rankdir=TB;"]
+    for op in plan.topological_order():
+        shape = _DOT_SHAPES.get(op.kind, "box")
+        style = "dashed" if op.name in compensation_names else "solid"
+        fill = ', fillcolor="lightgrey", style="filled"' if isinstance(op, SourceOperator) else f', style="{style}"'
+        lines.append(f'  {_dot_id(op)} [label="{op.name}\\n({op.kind})", shape={shape}{fill}];')
+    for op in plan.topological_order():
+        for inp in op.inputs:
+            lines.append(f"  {_dot_id(inp)} -> {_dot_id(op)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Headless reimplementation of the demonstration (§3 of the paper).
+
+The SIGMOD demo is a GUI: tabs choose the algorithm (Connected Components
+→ delta iterations, PageRank → bulk iterations), attendees pick a small
+hand-crafted graph or a larger Twitter-derived one, press play, choose
+partitions to fail in chosen iterations, and watch the algorithm recover
+through compensation, with per-iteration statistics plotted below.
+
+Every one of those affordances exists here programmatically:
+
+* :class:`repro.demo.controller.DemoSession` — tabs, graph choice,
+  failure picking, play / pause / step / backward;
+* :mod:`repro.demo.render` — the visualizations (component coloring,
+  vertex-size ∝ rank) as ASCII;
+* :mod:`repro.demo.statistics` — the four statistics plots;
+* :mod:`repro.demo.scenarios` — the canned walkthroughs the paper's
+  Figures 2–5 show.
+"""
+
+from .controller import DemoRun, DemoSession
+from .render import render_components, render_ranks, render_snapshot
+from .scenarios import (
+    small_cc_scenario,
+    small_pagerank_scenario,
+    twitter_cc_scenario,
+    twitter_pagerank_scenario,
+)
+from .statistics import DemoStatistics
+
+__all__ = [
+    "DemoRun",
+    "DemoSession",
+    "DemoStatistics",
+    "render_components",
+    "render_ranks",
+    "render_snapshot",
+    "small_cc_scenario",
+    "small_pagerank_scenario",
+    "twitter_cc_scenario",
+    "twitter_pagerank_scenario",
+]

@@ -1,0 +1,184 @@
+"""Command-line interface to the demo.
+
+``python -m repro.demo`` is the headless equivalent of the SIGMOD demo
+booth: pick the algorithm tab, pick the graph, schedule failures, press
+play, and look at the state renderings and statistics plots::
+
+    python -m repro.demo --algorithm connected-components --graph small \
+        --fail 2:0 --recovery optimistic --states --plots
+
+    python -m repro.demo --algorithm pagerank --graph twitter --size 500 \
+        --fail 4:1 --fail 9:0,2 --plots
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from ..analysis import Series, format_figure
+from ..errors import ReproError
+from ..iteration.snapshots import SnapshotPhase
+from .controller import ALGORITHMS, GRAPHS, RECOVERIES, DemoRun, DemoSession
+from .render import render_components, render_ranks
+
+
+def _parse_failure(text: str) -> tuple[int, list[int]]:
+    """Parse ``SUPERSTEP:P1,P2,...`` into ``(superstep, partitions)``."""
+    try:
+        superstep_text, partitions_text = text.split(":", 1)
+        superstep = int(superstep_text)
+        partitions = [int(p) for p in partitions_text.split(",") if p]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected SUPERSTEP:P1,P2,... (e.g. 2:0 or 4:1,3), got {text!r}"
+        ) from exc
+    if not partitions:
+        raise argparse.ArgumentTypeError(f"no partitions in failure spec {text!r}")
+    return superstep, partitions
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-demo",
+        description="Headless demo of optimistic recovery for iterative dataflows",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="connected-components",
+        help="which algorithm tab to open (default: connected-components)",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=GRAPHS,
+        default="small",
+        help="small hand-crafted graph or the synthetic Twitter-like one",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=500,
+        help="vertex count of the Twitter-like graph (default: 500)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=4,
+        help="number of workers / state partitions (default: 4)",
+    )
+    parser.add_argument(
+        "--fail",
+        dest="failures",
+        type=_parse_failure,
+        action="append",
+        default=[],
+        metavar="SUPERSTEP:PARTITIONS",
+        help="fail partitions at a superstep, e.g. --fail 2:0 --fail 5:1,3",
+    )
+    parser.add_argument(
+        "--recovery",
+        choices=RECOVERIES,
+        default="optimistic",
+        help="recovery strategy (default: optimistic)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=2,
+        help="interval for --recovery checkpoint (default: 2)",
+    )
+    parser.add_argument(
+        "--states",
+        action="store_true",
+        help="render the initial / before-failure / after-compensation / converged states",
+    )
+    parser.add_argument(
+        "--plots",
+        action="store_true",
+        help="print the demo's statistics plots",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the full run report (costs, statistics, event timeline)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="generator seed (default: 7)"
+    )
+    return parser
+
+
+def _render_state(run: DemoRun, state: dict, highlight: list[int]) -> str:
+    if run.algorithm == "pagerank":
+        return render_ranks(state, highlight=highlight, width=30)
+    return render_components(state, highlight=highlight)
+
+
+def _print_states(run: DemoRun) -> None:
+    snapshots = run.result.snapshots
+    failure_supersteps = run.result.stats.failure_supersteps()
+    phases = [
+        (SnapshotPhase.INITIAL, "initial state"),
+        (SnapshotPhase.BEFORE_FAILURE, "before failure"),
+        (SnapshotPhase.AFTER_COMPENSATION, "after compensation"),
+        (SnapshotPhase.AFTER_ROLLBACK, "after rollback"),
+        (SnapshotPhase.AFTER_RESTART, "after restart"),
+        (SnapshotPhase.CONVERGED, "converged state"),
+    ]
+    for phase, title in phases:
+        for snapshot in snapshots.of_phase(phase):
+            highlight = (
+                run.lost_vertices(snapshot.superstep)
+                if snapshot.superstep in failure_supersteps
+                else []
+            )
+            print(f"\n--- {title} [superstep {snapshot.superstep}] ---")
+            print(_render_state(run, snapshot.as_dict(), highlight))
+
+
+def _print_plots(run: DemoRun) -> None:
+    stats = run.statistics()
+    series = [Series.of("converged", stats.converged.values)]
+    if run.algorithm == "pagerank":
+        series.append(Series.of("l1_delta", stats.l1.values))
+    else:
+        series.append(Series.of("messages", stats.messages.values))
+    print()
+    print(format_figure(f"{run.algorithm} statistics", series))
+    if stats.failures:
+        print(f"failures struck at iteration(s): {stats.failures}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        session = DemoSession(
+            algorithm=args.algorithm,
+            graph=args.graph,
+            parallelism=args.parallelism,
+            spare_workers=max(4, args.parallelism),
+            twitter_size=args.size,
+            seed=args.seed,
+        )
+        for superstep, partitions in args.failures:
+            session.schedule_failure(superstep, partitions)
+        run = session.press_play(
+            recovery=args.recovery, checkpoint_interval=args.checkpoint_interval
+        )
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    print(run.result.summary())
+    print(f"cost breakdown: {run.result.cost_breakdown()}")
+    if args.states:
+        _print_states(run)
+    if args.plots:
+        _print_plots(run)
+    if args.report:
+        from ..analysis.run_report import render_run_report
+
+        print()
+        print(render_run_report(run.result))
+    return 0

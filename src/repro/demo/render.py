@@ -1,0 +1,90 @@
+"""ASCII renderings of the demo's visualizations.
+
+The GUI encodes intermediate state visually: Connected Components draws a
+distinct color around each intermediate component ("areas of the same
+color grow as the algorithm discovers larger and larger parts", §3.2) and
+highlights vertices lost to a failure; PageRank scales each vertex's size
+with its current rank ("the higher the rank, the larger the vertex",
+§3.3). Headless, colors become component groupings and sizes become bar
+lengths — the same information, terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..iteration.snapshots import StateSnapshot
+
+
+def render_components(
+    labels: Mapping[int, int],
+    highlight: Iterable[int] = (),
+    max_components: int = 20,
+) -> str:
+    """Render a labeling as one line per intermediate component.
+
+    ``highlight`` marks vertices (e.g. those lost to a failure) with a
+    ``*`` — the GUI's red highlighting. The number of lines equals the
+    number of distinct labels, so watching successive renderings shows
+    the color count shrinking exactly as in the GUI.
+    """
+    groups: dict[int, list[int]] = {}
+    for vertex, label in labels.items():
+        groups.setdefault(label, []).append(vertex)
+    marked = set(highlight)
+    lines = [f"{len(groups)} component(s)"]
+    for index, label in enumerate(sorted(groups)):
+        if index >= max_components:
+            lines.append(f"... and {len(groups) - max_components} more")
+            break
+        members = ", ".join(
+            f"{v}*" if v in marked else str(v) for v in sorted(groups[label])
+        )
+        lines.append(f"  component[label={label}]: {{{members}}}")
+    return "\n".join(lines)
+
+
+def render_ranks(
+    ranks: Mapping[int, float],
+    highlight: Iterable[int] = (),
+    width: int = 40,
+    max_vertices: int = 30,
+) -> str:
+    """Render ranks as per-vertex bars (bar length ∝ rank).
+
+    Vertices are listed by descending rank; ``highlight`` marks failed
+    vertices with ``*``.
+    """
+    if not ranks:
+        return "(empty rank vector)"
+    marked = set(highlight)
+    top = max(ranks.values())
+    lines = []
+    ordered = sorted(ranks.items(), key=lambda kv: (-kv[1], kv[0]))
+    for index, (vertex, rank) in enumerate(ordered):
+        if index >= max_vertices:
+            lines.append(f"... and {len(ordered) - max_vertices} more")
+            break
+        bar_length = int(round(width * rank / top)) if top > 0 else 0
+        marker = "*" if vertex in marked else " "
+        lines.append(f"  v{vertex:<6}{marker} {'#' * bar_length} {rank:.6f}")
+    return "\n".join(lines)
+
+
+def render_snapshot(snapshot: StateSnapshot, kind: str = "components") -> str:
+    """Render one state snapshot, highlighting lost partitions' vertices.
+
+    ``kind`` is ``"components"`` (labels) or ``"ranks"``. Lost vertices
+    cannot be derived from the snapshot itself (their records are exactly
+    the ones destroyed), so the highlight set is empty unless the
+    snapshot carries ``lost_partitions`` metadata — callers that know the
+    vertex placement can render richer views with
+    :func:`render_components` / :func:`render_ranks` directly.
+    """
+    header = f"[superstep {snapshot.superstep}, {snapshot.phase.value}]"
+    state = snapshot.as_dict()
+    if kind == "ranks":
+        body = render_ranks(state)
+    else:
+        body = render_components(state)
+    return f"{header}\n{body}"

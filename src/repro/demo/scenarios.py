@@ -1,0 +1,88 @@
+"""Canned demo walkthroughs matching the paper's figures.
+
+Each scenario builds a :class:`repro.demo.controller.DemoSession` with the
+failure timing the paper's figures show and presses play, returning the
+finished :class:`repro.demo.controller.DemoRun`.
+
+Iteration numbering: the paper narrates 1-based iterations ("the plummet
+at the third iteration", "failure in the iteration 5"); the engine counts
+0-based supersteps. The scenarios below schedule failures at 0-based
+superstep ``k`` so they read as "iteration k+1" in the paper's terms.
+"""
+
+from __future__ import annotations
+
+from .controller import DemoRun, DemoSession
+
+
+def small_cc_scenario(
+    failure_superstep: int = 2,
+    failed_partitions: tuple[int, ...] = (0,),
+    recovery: str = "optimistic",
+) -> DemoRun:
+    """Figures 2–3: Connected Components on the small graph, one failure.
+
+    Defaults reproduce the paper's narration — a failure detected at the
+    third iteration (0-based superstep 2), visible as a plummet in the
+    converged-vertices plot and a message spike while recovering.
+    """
+    session = DemoSession(algorithm="connected-components", graph="small")
+    session.schedule_failure(failure_superstep, list(failed_partitions))
+    return session.press_play(recovery=recovery)
+
+
+def small_pagerank_scenario(
+    failure_superstep: int = 4,
+    failed_partitions: tuple[int, ...] = (1,),
+    recovery: str = "optimistic",
+) -> DemoRun:
+    """Figures 4–5: PageRank on the small graph, one failure.
+
+    Defaults reproduce the paper's narration — a failure in iteration 5
+    (0-based superstep 4), with the converged-vertices plummet and the
+    L1-delta spike at the following iteration.
+    """
+    session = DemoSession(algorithm="pagerank", graph="small")
+    session.schedule_failure(failure_superstep, list(failed_partitions))
+    return session.press_play(recovery=recovery)
+
+
+def twitter_cc_scenario(
+    twitter_size: int = 500,
+    failure_superstep: int = 2,
+    failed_partitions: tuple[int, ...] = (0,),
+    recovery: str = "optimistic",
+    seed: int = 7,
+) -> DemoRun:
+    """Connected Components on the larger Twitter-like graph.
+
+    The GUI does not visualize the large graph — "attendees can track the
+    demo progress only via plots of statistics" (§3.1) — and so the
+    interesting output here is :meth:`DemoRun.statistics`.
+    """
+    session = DemoSession(
+        algorithm="connected-components",
+        graph="twitter",
+        twitter_size=twitter_size,
+        seed=seed,
+    )
+    session.schedule_failure(failure_superstep, list(failed_partitions))
+    return session.press_play(recovery=recovery)
+
+
+def twitter_pagerank_scenario(
+    twitter_size: int = 500,
+    failure_superstep: int = 4,
+    failed_partitions: tuple[int, ...] = (1,),
+    recovery: str = "optimistic",
+    seed: int = 7,
+) -> DemoRun:
+    """PageRank on the larger Twitter-like graph (statistics-only view)."""
+    session = DemoSession(
+        algorithm="pagerank",
+        graph="twitter",
+        twitter_size=twitter_size,
+        seed=seed,
+    )
+    session.schedule_failure(failure_superstep, list(failed_partitions))
+    return session.press_play(recovery=recovery)

@@ -1,0 +1,69 @@
+"""The demo GUI's statistics plots, as data.
+
+§3.2–3.3 of the paper describe four plots:
+
+* Connected Components: (i) vertices converged to their final component
+  per iteration — plummets when a failure destroys partitions holding
+  converged vertices; (ii) messages (candidate labels sent) per
+  iteration — spikes while recovering, "because the vertices restored to
+  their initial labels by the compensation function (as well as their
+  neighbors) have to propagate their labels again";
+* PageRank: (i) vertices converged to their true rank per iteration;
+  (ii) the L1 norm of the difference between consecutive rank estimates —
+  trends downward, with spikes at iterations that follow a compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.series import Series
+from ..iteration.result import IterationResult
+
+
+@dataclass
+class DemoStatistics:
+    """The plotted series of one demo run.
+
+    Attributes:
+        converged: converged-entity count per iteration (plot (i)).
+        messages: messages per iteration (CC plot (ii)).
+        l1: consecutive-state L1 norm per iteration (PageRank plot (ii));
+            entries are ``None`` when the run does not track values.
+        failures: iterations during which a failure struck.
+        supersteps: number of iterations run.
+    """
+
+    converged: Series
+    messages: Series
+    l1: Series
+    failures: list[int]
+    supersteps: int
+
+    @classmethod
+    def from_result(cls, result: IterationResult) -> "DemoStatistics":
+        """Extract the GUI series from a finished run."""
+        return cls(
+            converged=Series.of("converged", result.stats.converged_series()),
+            messages=Series.of("messages", result.stats.messages_series()),
+            l1=Series.of("l1_delta", result.stats.l1_series()),
+            failures=result.stats.failure_supersteps(),
+            supersteps=result.supersteps,
+        )
+
+    def convergence_plummets(self) -> list[int]:
+        """Iterations where the converged count dropped — the demo's
+        plummet markers; under a correct compensation these coincide with
+        (or immediately follow) failure iterations."""
+        return self.converged.drops()
+
+    def message_spikes(self) -> list[int]:
+        """Iterations where the message count rose above the previous
+        iteration's — for a monotonically shrinking workset this only
+        happens while recovering from a failure."""
+        return self.messages.spikes()
+
+    def l1_spikes(self) -> list[int]:
+        """Iterations where the L1 delta increased — PageRank's failure
+        signature."""
+        return self.l1.spikes()

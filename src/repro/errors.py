@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries. The subtypes mirror the
+layers of the system: plan construction, runtime execution, iteration
+control and recovery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PlanError(ReproError):
+    """Raised when a dataflow plan is malformed (bad arity, cycles outside
+    an iteration construct, unknown operator references, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the simulated runtime cannot execute a physical plan."""
+
+
+class PartitionLostError(ExecutionError):
+    """Raised internally when a task touches a partition whose state was
+    destroyed by a failure and no recovery strategy intercepted it."""
+
+    def __init__(self, partition_ids, message: str | None = None):
+        self.partition_ids = tuple(sorted(partition_ids))
+        super().__init__(
+            message or f"state lost for partitions {self.partition_ids}"
+        )
+
+
+class IterationError(ReproError):
+    """Raised when an iteration is configured inconsistently (e.g. a delta
+    iteration without a solution-set key, or a non-positive iteration cap)."""
+
+
+class TerminationError(IterationError):
+    """Raised when an iteration exhausts its superstep budget without
+    meeting its termination criterion and ``strict`` mode is enabled."""
+
+
+class RecoveryError(ReproError):
+    """Raised when a recovery strategy cannot restore a consistent state
+    (e.g. no checkpoint exists, no spare workers are available, or a
+    compensation function returns an inconsistent partition)."""
+
+
+class CompensationError(RecoveryError):
+    """Raised when a compensation function violates its declared
+    consistency contract (checked by :mod:`repro.core.guarantees`)."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated stable storage on missing keys or attempts
+    to read partial/corrupt checkpoints."""
+
+
+class GraphError(ReproError):
+    """Raised by the graph substrate on malformed inputs (self-referential
+    parse errors, negative vertex ids, unknown vertices, ...)."""
+
+
+class ConfigError(ReproError):
+    """Raised when an :class:`repro.config.EngineConfig` is invalid."""

@@ -1,0 +1,58 @@
+"""Graph substrate.
+
+The demo runs its algorithms on "either a small hand-crafted graph or a
+larger graph derived from real-world data" (§3.1 — a Twitter follower
+snapshot). This package provides:
+
+* :mod:`repro.graph.graph` — the :class:`Graph` type used throughout,
+* :mod:`repro.graph.generators` — the small demo graph plus deterministic
+  synthetic generators, including a power-law "Twitter-like" graph that
+  substitutes for the real snapshot (see DESIGN.md),
+* :mod:`repro.graph.io` — edge-list reading and writing,
+* :mod:`repro.graph.partitioning` — which vertices live on which worker,
+  so failure scenarios can be designed and visualized,
+* :mod:`repro.graph.properties` — degree statistics and component
+  structure (via an independent union-find, usable as a test oracle).
+"""
+
+from .generators import (
+    chain_graph,
+    demo_graph,
+    demo_pagerank_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    multi_component_graph,
+    star_graph,
+    twitter_like_graph,
+)
+from .graph import Graph
+from .io import read_edge_list, write_edge_list
+from .partitioning import partition_vertices, vertices_on_partition
+from .properties import (
+    component_sizes,
+    connected_component_labels,
+    degree_statistics,
+    is_connected,
+    num_components,
+)
+
+__all__ = [
+    "Graph",
+    "chain_graph",
+    "component_sizes",
+    "connected_component_labels",
+    "degree_statistics",
+    "demo_graph",
+    "demo_pagerank_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "is_connected",
+    "multi_component_graph",
+    "num_components",
+    "partition_vertices",
+    "read_edge_list",
+    "star_graph",
+    "twitter_like_graph",
+    "vertices_on_partition",
+    "write_edge_list",
+]

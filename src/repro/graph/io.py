@@ -1,0 +1,64 @@
+"""Edge-list I/O.
+
+The format is the one graph datasets like the Twitter snapshot ship in:
+one ``source target`` pair per line, ``#`` comments allowed. Vertices are
+the union of all endpoints plus any ids listed on optional ``v <id>``
+lines (for isolated vertices).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import GraphError
+from .graph import Graph
+
+
+def read_edge_list(path: str | Path, directed: bool = False) -> Graph:
+    """Parse an edge-list file into a :class:`Graph`.
+
+    Raises :class:`repro.errors.GraphError` on malformed lines with the
+    offending line number.
+    """
+    path = Path(path)
+    vertices: set[int] = set()
+    edges: list[tuple[int, int]] = []
+    with path.open() as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if fields[0] == "v":
+                if len(fields) != 2:
+                    raise GraphError(f"{path}:{line_number}: malformed vertex line {line!r}")
+                try:
+                    vertices.add(int(fields[1]))
+                except ValueError as exc:
+                    raise GraphError(f"{path}:{line_number}: bad vertex id {fields[1]!r}") from exc
+                continue
+            if len(fields) != 2:
+                raise GraphError(f"{path}:{line_number}: expected two fields, got {line!r}")
+            try:
+                source, target = int(fields[0]), int(fields[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_number}: non-integer endpoint in {line!r}") from exc
+            vertices.add(source)
+            vertices.add(target)
+            edges.append((source, target))
+    return Graph(vertices, edges, directed=directed)
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write a graph in the edge-list format :func:`read_edge_list`
+    accepts, including ``v`` lines for isolated vertices so a round trip
+    is lossless."""
+    path = Path(path)
+    touched = {endpoint for edge in graph.edges for endpoint in edge}
+    with path.open("w") as handle:
+        handle.write(f"# {graph!r}\n")
+        for vertex in graph.vertices:
+            if vertex not in touched:
+                handle.write(f"v {vertex}\n")
+        for source, target in graph.edges:
+            handle.write(f"{source} {target}\n")

@@ -1,0 +1,28 @@
+"""Vertex-to-partition placement helpers.
+
+The demo lets attendees "choose which partitions to fail" (§3.1) and then
+highlights the lost vertices. These helpers expose the engine's hash
+placement so demo scenarios and tests can predict exactly which vertices a
+worker failure destroys.
+"""
+
+from __future__ import annotations
+
+from ..runtime.partition import HashPartitioner
+from .graph import Graph
+
+
+def partition_vertices(graph: Graph, parallelism: int) -> dict[int, int]:
+    """``{vertex: partition id}`` under the engine's hash placement."""
+    partitioner = HashPartitioner(parallelism)
+    return {vertex: partitioner.partition(vertex) for vertex in graph.vertices}
+
+
+def vertices_on_partition(graph: Graph, parallelism: int, partition_id: int) -> list[int]:
+    """The vertices whose state lives on ``partition_id``."""
+    partitioner = HashPartitioner(parallelism)
+    return [
+        vertex
+        for vertex in graph.vertices
+        if partitioner.partition(vertex) == partition_id
+    ]

@@ -1,0 +1,85 @@
+"""Graph properties, computed independently of the dataflow engine.
+
+These serve two roles: exploratory statistics for the demo, and *test
+oracles* — the union-find component labeling here shares no code with the
+delta-iteration Connected Components, so agreement between the two is a
+meaningful correctness check.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from .graph import Graph
+
+
+class _UnionFind:
+    """Minimal union-find with path compression (internal oracle)."""
+
+    def __init__(self, elements: list[int]):
+        self._parent = {e: e for e in elements}
+
+    def find(self, element: int) -> int:
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Attach the larger root id under the smaller so the final
+            # representative of each set is its minimum element — the
+            # same labels min-propagation converges to.
+            if root_a < root_b:
+                self._parent[root_b] = root_a
+            else:
+                self._parent[root_a] = root_b
+
+
+def connected_component_labels(graph: Graph) -> dict[int, int]:
+    """``{vertex: minimum vertex id of its component}``.
+
+    This is exactly the fixpoint of the paper's diffusion algorithm ("at
+    convergence, all vertices in a connected component share the same
+    label, namely the minimum of the initial labels", §2.2.1), computed
+    by union-find instead of iteration. Directed graphs are treated as
+    undirected (weak connectivity).
+    """
+    union_find = _UnionFind(graph.vertices)
+    for source, target in graph.edges:
+        union_find.union(source, target)
+    return {vertex: union_find.find(vertex) for vertex in graph.vertices}
+
+
+def num_components(graph: Graph) -> int:
+    """Number of (weakly) connected components."""
+    return len(set(connected_component_labels(graph).values()))
+
+
+def component_sizes(graph: Graph) -> dict[int, int]:
+    """``{component label: size}``."""
+    sizes: dict[int, int] = {}
+    for label in connected_component_labels(graph).values():
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has exactly one component (and >= 1 vertex)."""
+    return graph.num_vertices > 0 and num_components(graph) == 1
+
+
+def degree_statistics(graph: Graph) -> dict[str, float]:
+    """Min / max / mean / median of the (out-)degree distribution."""
+    degrees = [graph.degree(v) for v in graph.vertices]
+    if not degrees:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0}
+    return {
+        "min": float(min(degrees)),
+        "max": float(max(degrees)),
+        "mean": statistics.fmean(degrees),
+        "median": float(statistics.median(degrees)),
+    }

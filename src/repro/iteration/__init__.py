@@ -1,0 +1,45 @@
+"""Iterative execution on top of the dataflow engine.
+
+Flink offers two iteration modes (§2.1 of the paper), both reproduced
+here:
+
+* **bulk iterations** (:mod:`repro.iteration.bulk`) recompute the whole
+  intermediate state every superstep — PageRank's mode;
+* **delta iterations** (:mod:`repro.iteration.delta`) keep a *solution
+  set* and a *workset* of pending updates, terminating when the workset
+  runs empty — Connected Components' mode.
+
+Both drivers execute a user-supplied *step plan* once per superstep,
+inject scheduled failures at the end of a superstep's compute phase,
+delegate to a pluggable recovery strategy (:mod:`repro.core`), collect the
+per-superstep statistics the demo GUI plots, and can snapshot state for
+the demo's backward/replay buttons.
+"""
+
+from .bulk import BulkIterationSpec, run_bulk_iteration
+from .delta import DeltaIterationSpec, run_delta_iteration
+from .result import IterationResult
+from .snapshots import SnapshotPhase, SnapshotStore, StateSnapshot
+from .termination import (
+    EmptyWorkset,
+    EpsilonL1,
+    FixedSupersteps,
+    NoUpdates,
+    TerminationCriterion,
+)
+
+__all__ = [
+    "BulkIterationSpec",
+    "DeltaIterationSpec",
+    "EmptyWorkset",
+    "EpsilonL1",
+    "FixedSupersteps",
+    "IterationResult",
+    "NoUpdates",
+    "SnapshotPhase",
+    "SnapshotStore",
+    "StateSnapshot",
+    "TerminationCriterion",
+    "run_bulk_iteration",
+    "run_delta_iteration",
+]

@@ -1,0 +1,273 @@
+"""Bulk iterations.
+
+A bulk iteration "always recomputes the intermediate result of an
+iteration as a whole" (§2.1): every superstep executes the step plan over
+the full current state and replaces it with the plan's output. PageRank is
+the paper's bulk workload.
+
+Failure semantics: scheduled failures fire at the end of a superstep's
+compute phase, destroying the freshly computed state partitions hosted on
+the failed workers. The driver then pauses (charging failure detection),
+acquires replacement workers, and delegates state repair to the configured
+:class:`repro.core.recovery.RecoveryStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..config import DEFAULT_CONFIG, EngineConfig
+from ..core.recovery import RecoveryContext, RecoveryStrategy
+from ..core.restart import RestartRecovery
+from ..dataflow.datatypes import KeySpec
+from ..dataflow.plan import Plan
+from ..errors import IterationError, TerminationError
+from ..runtime.events import EventKind
+from ..runtime.executor import PartitionedDataset
+from ..runtime.failures import FailureSchedule
+from ..runtime.metrics import IterationStats, StatsSeries
+from ._runtime import bind_statics, build_runtime, count_converged, pin_initial_inputs
+from .result import IterationResult
+from .snapshots import SnapshotPhase, SnapshotStore
+from .termination import TerminationCriterion
+
+
+@dataclass
+class BulkIterationSpec:
+    """Description of a bulk-iterative job.
+
+    Attributes:
+        name: job name (used in storage keys and reports).
+        step_plan: the dataflow executed once per superstep. It must have
+            a source named ``state_source`` (bound to the current state)
+            and may have further sources for loop-invariant inputs.
+        state_source: name of the plan source carrying the current state.
+        next_state_output: name of the operator whose output becomes the
+            next state. State records are ``(key, value)`` tuples.
+        state_key: key spec the state is partitioned by across supersteps.
+        termination: convergence test, consulted after every failure-free
+            superstep.
+        max_supersteps: hard budget; exceeding it either raises (strict
+            config) or returns an unconverged result.
+        message_counter: metrics counter whose per-superstep increase is
+            reported as "messages" (e.g. ``records_in.recompute-ranks``).
+        value_fn: extracts a float from a state record; enables L1-delta
+            computation between consecutive states (PageRank's
+            convergence plot).
+        truth: precomputed correct final values keyed by state key, for
+            the converged-count plot; optional.
+        truth_tolerance: tolerance for float truth comparison.
+    """
+
+    name: str
+    step_plan: Plan
+    state_source: str
+    next_state_output: str
+    state_key: KeySpec
+    termination: TerminationCriterion
+    max_supersteps: int = 100
+    message_counter: str | None = None
+    value_fn: Callable[[Any], float] | None = None
+    truth: dict[Any, Any] | None = None
+    truth_tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_supersteps < 1:
+            raise IterationError(f"max_supersteps must be >= 1, got {self.max_supersteps}")
+        source_names = {op.name for op in self.step_plan.sources()}
+        if self.state_source not in source_names:
+            raise IterationError(
+                f"step plan has no source named {self.state_source!r} "
+                f"(sources: {sorted(source_names)})"
+            )
+        self.step_plan.operator_by_name(self.next_state_output)
+
+
+def _values(records: Iterable[Any]) -> dict[Any, Any]:
+    return {record[0]: record[1] for record in records}
+
+
+def _l1_delta(
+    old: list[Any], new: list[Any], value_fn: Callable[[Any], float]
+) -> float:
+    old_values = {record[0]: value_fn(record) for record in old}
+    new_values = {record[0]: value_fn(record) for record in new}
+    keys = old_values.keys() | new_values.keys()
+    return sum(abs(new_values.get(k, 0.0) - old_values.get(k, 0.0)) for k in keys)
+
+
+def _count_updates(old: list[Any], new: list[Any]) -> int:
+    old_values = _values(old)
+    changed = 0
+    for record in new:
+        if old_values.get(record[0]) != record[1]:
+            changed += 1
+    return changed
+
+
+def run_bulk_iteration(
+    spec: BulkIterationSpec,
+    initial_records: Iterable[Any],
+    statics: dict[str, Iterable[Any]] | None = None,
+    *,
+    config: EngineConfig = DEFAULT_CONFIG,
+    recovery: RecoveryStrategy | None = None,
+    failures: FailureSchedule | None = None,
+    snapshots: SnapshotStore | None = None,
+) -> IterationResult:
+    """Run a bulk iteration to convergence (or budget exhaustion).
+
+    Args:
+        spec: the job description.
+        initial_records: the initial state as ``(key, value)`` records.
+        statics: loop-invariant inputs, ``{plan source name: records}``.
+        config: engine configuration (parallelism, spares, cost model).
+        recovery: fault-tolerance strategy; defaults to
+            :class:`repro.core.restart.RestartRecovery` (no fault
+            tolerance — restart is all an unprotected system can do).
+        failures: the failure schedule to inject (default: none).
+        snapshots: optional store capturing per-superstep state copies.
+
+    Returns:
+        An :class:`repro.iteration.result.IterationResult`.
+    """
+    recovery = recovery if recovery is not None else RestartRecovery()
+    runtime = build_runtime(config, failures)
+    parallelism = config.parallelism
+    bound_statics = bind_statics(
+        spec.step_plan, dict(statics or {}), {spec.state_source}, parallelism
+    )
+    initial_state = PartitionedDataset.from_records(
+        initial_records, parallelism, key=spec.state_key
+    )
+    if initial_state.num_records() == 0:
+        raise IterationError(f"bulk iteration {spec.name!r} started with empty state")
+    ctx = RecoveryContext(
+        job_name=spec.name,
+        cluster=runtime.cluster,
+        executor=runtime.executor,
+        storage=runtime.storage,
+        state_key=spec.state_key,
+        statics=bound_statics,
+        initial_state=initial_state,
+    )
+    pin_initial_inputs(runtime, ctx, initial_state, None)
+    recovery.reset()
+    recovery.on_start(ctx)
+    spec.termination.reset()
+
+    series = StatsSeries()
+    state = initial_state.copy()
+    if snapshots is not None:
+        snapshots.add(-1, SnapshotPhase.INITIAL, state.all_records())
+    converged = False
+    supersteps_run = 0
+
+    for superstep in range(spec.max_supersteps):
+        supersteps_run = superstep + 1
+        stats = IterationStats(superstep, sim_time_start=runtime.clock.now)
+        runtime.events.record(
+            EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
+        )
+        metrics_before = runtime.metrics.snapshot()
+        previous_records = state.all_records()
+
+        outputs = runtime.executor.execute(
+            spec.step_plan,
+            {spec.state_source: state, **bound_statics},
+            outputs=[spec.next_state_output],
+        )
+        next_state = runtime.executor.repartition(
+            outputs[spec.next_state_output], spec.state_key, context=f"{spec.name}.state"
+        )
+        if spec.message_counter is not None:
+            stats.messages = runtime.metrics.diff(metrics_before).get(
+                spec.message_counter, 0
+            )
+        computed_records = next_state.all_records()
+        stats.updates = _count_updates(previous_records, computed_records)
+        if spec.value_fn is not None:
+            stats.l1_delta = _l1_delta(previous_records, computed_records, spec.value_fn)
+
+        due = runtime.injector.pop(superstep)
+        if due:
+            if snapshots is not None:
+                snapshots.add(
+                    superstep, SnapshotPhase.BEFORE_FAILURE, computed_records
+                )
+            lost: list[int] = []
+            for event in due:
+                lost.extend(
+                    runtime.cluster.fail_workers(list(event.worker_ids), superstep)
+                )
+            runtime.clock.charge_failure_detection()
+            stats.failed = True
+            if lost:
+                next_state.lose(lost)
+                runtime.cluster.reassign_lost(superstep)
+                outcome = recovery.recover(ctx, superstep, next_state, None, lost)
+                next_state = runtime.executor.repartition(
+                    outcome.state, spec.state_key, context=f"{spec.name}.recovered"
+                )
+                stats.compensated = outcome.compensated
+                stats.rolled_back = outcome.rolled_back_to is not None
+                stats.restarted = outcome.restarted
+                if outcome.restarted:
+                    spec.termination.reset()
+                if snapshots is not None:
+                    phase = (
+                        SnapshotPhase.AFTER_COMPENSATION
+                        if outcome.compensated
+                        else SnapshotPhase.AFTER_ROLLBACK
+                        if stats.rolled_back
+                        else SnapshotPhase.AFTER_RESTART
+                    )
+                    snapshots.add(superstep, phase, next_state.all_records())
+        else:
+            recovery.on_superstep_committed(ctx, superstep, next_state, None)
+
+        stats.converged = count_converged(
+            next_state.all_records(), spec.truth, spec.truth_tolerance
+        )
+        stats.sim_time_end = runtime.clock.now
+        series.append(stats)
+        runtime.events.record(
+            EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
+        )
+        if snapshots is not None:
+            snapshots.add(superstep, SnapshotPhase.AFTER_SUPERSTEP, next_state.all_records())
+
+        state = next_state
+        if not stats.failed and spec.termination.should_stop(stats):
+            converged = True
+            runtime.events.record(
+                EventKind.CONVERGED, time=runtime.clock.now, superstep=superstep
+            )
+            break
+
+    if not converged and config.strict_iterations:
+        raise TerminationError(
+            f"bulk iteration {spec.name!r} did not converge within "
+            f"{spec.max_supersteps} supersteps"
+        )
+    if snapshots is not None and converged:
+        snapshots.add(supersteps_run - 1, SnapshotPhase.CONVERGED, state.all_records())
+    runtime.events.record(
+        EventKind.TERMINATED,
+        time=runtime.clock.now,
+        superstep=supersteps_run - 1,
+        converged=converged,
+    )
+    return IterationResult(
+        job_name=spec.name,
+        final_records=state.all_records(),
+        converged=converged,
+        supersteps=supersteps_run,
+        stats=series,
+        events=runtime.events,
+        clock=runtime.clock,
+        metrics=runtime.metrics,
+        cluster=runtime.cluster,
+        snapshots=snapshots,
+    )

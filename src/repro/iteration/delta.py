@@ -1,0 +1,333 @@
+"""Delta iterations.
+
+A delta iteration (§2.1) maintains two datasets: the **solution set**
+holding the current intermediate result and the **workset** holding
+pending updates. Every superstep consumes the workset, selectively updates
+elements of the solution set, and computes the next workset; the iteration
+terminates once the workset runs empty. Connected Components is the
+paper's delta workload.
+
+The step plan sees two dynamic sources — the solution set and the
+workset — and produces two outputs: the *delta* (``(key, value)`` records
+replacing/inserting solution-set entries) and the next workset. The driver
+applies the delta partition-locally (the solution set is kept partitioned
+by the state key, like Flink's co-located solution sets, so no shuffle is
+needed).
+
+Failures destroy the freshly updated solution-set partitions *and* the
+next workset partitions on the failed workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..config import DEFAULT_CONFIG, EngineConfig
+from ..core.recovery import RecoveryContext, RecoveryStrategy
+from ..core.restart import RestartRecovery
+from ..dataflow.datatypes import KeySpec
+from ..dataflow.plan import Plan
+from ..errors import IterationError, TerminationError
+from ..runtime.events import EventKind
+from ..runtime.executor import PartitionedDataset
+from ..runtime.failures import FailureSchedule
+from ..runtime.metrics import IterationStats, StatsSeries
+from ._runtime import bind_statics, build_runtime, count_converged, pin_initial_inputs
+from .result import IterationResult
+from .snapshots import SnapshotPhase, SnapshotStore
+from .termination import EmptyWorkset, TerminationCriterion
+
+
+@dataclass
+class DeltaIterationSpec:
+    """Description of a delta-iterative job.
+
+    Attributes:
+        name: job name.
+        step_plan: dataflow executed once per superstep, with sources
+            named ``solution_source`` and ``workset_source`` plus any
+            loop-invariant inputs.
+        solution_source: plan source bound to the current solution set.
+        workset_source: plan source bound to the current workset.
+        delta_output: operator whose output records ``(key, value)``
+            replace/insert solution-set entries.
+        workset_output: operator whose output becomes the next workset.
+        state_key: key spec both solution set and workset are partitioned
+            by.
+        termination: convergence test; defaults to the canonical
+            empty-workset criterion.
+        max_supersteps: hard superstep budget.
+        message_counter: metrics counter reported as "messages" per
+            superstep (e.g. ``records_in.candidate-label``).
+        truth: precomputed correct final solution, for convergence plots.
+        truth_tolerance: tolerance for float truth comparison.
+        value_fn: optional float extraction for L1-delta tracking.
+    """
+
+    name: str
+    step_plan: Plan
+    solution_source: str
+    workset_source: str
+    delta_output: str
+    workset_output: str
+    state_key: KeySpec
+    termination: TerminationCriterion | None = None
+    max_supersteps: int = 100
+    message_counter: str | None = None
+    truth: dict[Any, Any] | None = None
+    truth_tolerance: float = 0.0
+    value_fn: Callable[[Any], float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_supersteps < 1:
+            raise IterationError(f"max_supersteps must be >= 1, got {self.max_supersteps}")
+        if self.termination is None:
+            self.termination = EmptyWorkset()
+        source_names = {op.name for op in self.step_plan.sources()}
+        for required in (self.solution_source, self.workset_source):
+            if required not in source_names:
+                raise IterationError(
+                    f"step plan has no source named {required!r} "
+                    f"(sources: {sorted(source_names)})"
+                )
+        self.step_plan.operator_by_name(self.delta_output)
+        self.step_plan.operator_by_name(self.workset_output)
+
+
+def _apply_delta(
+    solution: PartitionedDataset,
+    delta: PartitionedDataset,
+    key: KeySpec,
+) -> tuple[PartitionedDataset, int]:
+    """Merge delta records into the solution set, partition-locally.
+
+    Returns the new solution set and the number of entries that actually
+    changed (inserts count as changes).
+    """
+    new_partitions: list[list[Any] | None] = []
+    changed = 0
+    for solution_part, delta_part in zip(solution.partitions, delta.partitions):
+        if not delta_part:
+            new_partitions.append(list(solution_part or []))
+            continue
+        merged = {key(record): record for record in (solution_part or [])}
+        for record in delta_part:
+            record_key = key(record)
+            if merged.get(record_key) != record:
+                changed += 1
+            merged[record_key] = record
+        new_partitions.append(list(merged.values()))
+    return PartitionedDataset(partitions=new_partitions, partitioned_by=key), changed
+
+
+def run_delta_iteration(
+    spec: DeltaIterationSpec,
+    initial_solution: Iterable[Any],
+    initial_workset: Iterable[Any] | None = None,
+    statics: dict[str, Iterable[Any]] | None = None,
+    *,
+    config: EngineConfig = DEFAULT_CONFIG,
+    recovery: RecoveryStrategy | None = None,
+    failures: FailureSchedule | None = None,
+    snapshots: SnapshotStore | None = None,
+) -> IterationResult:
+    """Run a delta iteration until the workset empties (or budget ends).
+
+    Args:
+        spec: the job description.
+        initial_solution: initial solution set, ``(key, value)`` records.
+        initial_workset: initial workset; defaults to a copy of the
+            initial solution set (the paper's Connected Components does
+            exactly this: "the workset initially equals the labels
+            input").
+        statics: loop-invariant inputs ``{plan source name: records}``.
+        config: engine configuration.
+        recovery: fault-tolerance strategy (default: restart / no FT).
+        failures: failure schedule to inject.
+        snapshots: optional per-superstep state snapshot store.
+
+    Returns:
+        An :class:`repro.iteration.result.IterationResult`; its
+        ``final_records`` are the solution set.
+    """
+    recovery = recovery if recovery is not None else RestartRecovery()
+    runtime = build_runtime(config, failures)
+    parallelism = config.parallelism
+    bound_statics = bind_statics(
+        spec.step_plan,
+        dict(statics or {}),
+        {spec.solution_source, spec.workset_source},
+        parallelism,
+    )
+    initial_solution = list(initial_solution)
+    if not initial_solution:
+        raise IterationError(f"delta iteration {spec.name!r} started with empty solution set")
+    workset_records = (
+        list(initial_workset) if initial_workset is not None else list(initial_solution)
+    )
+    solution = PartitionedDataset.from_records(
+        initial_solution, parallelism, key=spec.state_key
+    )
+    workset = PartitionedDataset.from_records(
+        workset_records, parallelism, key=spec.state_key
+    )
+    ctx = RecoveryContext(
+        job_name=spec.name,
+        cluster=runtime.cluster,
+        executor=runtime.executor,
+        storage=runtime.storage,
+        state_key=spec.state_key,
+        statics=bound_statics,
+        initial_state=solution.copy(),
+        initial_workset=workset.copy(),
+    )
+    pin_initial_inputs(runtime, ctx, solution, workset)
+    recovery.reset()
+    recovery.on_start(ctx)
+    assert spec.termination is not None
+    spec.termination.reset()
+
+    series = StatsSeries()
+    if snapshots is not None:
+        snapshots.add(-1, SnapshotPhase.INITIAL, solution.all_records())
+    converged = False
+    supersteps_run = 0
+
+    for superstep in range(spec.max_supersteps):
+        supersteps_run = superstep + 1
+        stats = IterationStats(superstep, sim_time_start=runtime.clock.now)
+        runtime.events.record(
+            EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
+        )
+        metrics_before = runtime.metrics.snapshot()
+        previous_records = solution.all_records() if spec.value_fn is not None else []
+
+        outputs = runtime.executor.execute(
+            spec.step_plan,
+            {
+                spec.solution_source: solution,
+                spec.workset_source: workset,
+                **bound_statics,
+            },
+            outputs=[spec.delta_output, spec.workset_output],
+        )
+        delta = runtime.executor.repartition(
+            outputs[spec.delta_output], spec.state_key, context=f"{spec.name}.delta"
+        )
+        next_workset = runtime.executor.repartition(
+            outputs[spec.workset_output], spec.state_key, context=f"{spec.name}.workset"
+        )
+        if next_workset is delta:
+            # One operator may feed both outputs (Connected Components'
+            # label-update does); decouple so losing workset partitions
+            # cannot alias into the delta.
+            next_workset = delta.copy()
+        if spec.message_counter is not None:
+            stats.messages = runtime.metrics.diff(metrics_before).get(
+                spec.message_counter, 0
+            )
+        new_solution, stats.updates = _apply_delta(solution, delta, spec.state_key)
+        if spec.value_fn is not None:
+            new_values = {r[0]: spec.value_fn(r) for r in new_solution.all_records()}
+            old_values = {r[0]: spec.value_fn(r) for r in previous_records}
+            keys = new_values.keys() | old_values.keys()
+            stats.l1_delta = sum(
+                abs(new_values.get(k, 0.0) - old_values.get(k, 0.0)) for k in keys
+            )
+
+        due = runtime.injector.pop(superstep)
+        if due:
+            if snapshots is not None:
+                snapshots.add(
+                    superstep, SnapshotPhase.BEFORE_FAILURE, new_solution.all_records()
+                )
+            lost: list[int] = []
+            for event in due:
+                lost.extend(
+                    runtime.cluster.fail_workers(list(event.worker_ids), superstep)
+                )
+            runtime.clock.charge_failure_detection()
+            stats.failed = True
+            if lost:
+                new_solution.lose(lost)
+                next_workset.lose(lost)
+                runtime.cluster.reassign_lost(superstep)
+                outcome = recovery.recover(
+                    ctx, superstep, new_solution, next_workset, lost
+                )
+                new_solution = runtime.executor.repartition(
+                    outcome.state, spec.state_key, context=f"{spec.name}.recovered"
+                )
+                if outcome.workset is None:
+                    raise IterationError(
+                        f"recovery strategy {recovery.name!r} returned no workset "
+                        f"for delta iteration {spec.name!r}"
+                    )
+                next_workset = runtime.executor.repartition(
+                    outcome.workset, spec.state_key, context=f"{spec.name}.recovered-ws"
+                )
+                stats.compensated = outcome.compensated
+                stats.rolled_back = outcome.rolled_back_to is not None
+                stats.restarted = outcome.restarted
+                if outcome.restarted:
+                    spec.termination.reset()
+                if snapshots is not None:
+                    phase = (
+                        SnapshotPhase.AFTER_COMPENSATION
+                        if outcome.compensated
+                        else SnapshotPhase.AFTER_ROLLBACK
+                        if stats.rolled_back
+                        else SnapshotPhase.AFTER_RESTART
+                    )
+                    snapshots.add(superstep, phase, new_solution.all_records())
+        else:
+            recovery.on_superstep_committed(ctx, superstep, new_solution, next_workset)
+
+        stats.workset_size = next_workset.num_records()
+        stats.converged = count_converged(
+            new_solution.all_records(), spec.truth, spec.truth_tolerance
+        )
+        stats.sim_time_end = runtime.clock.now
+        series.append(stats)
+        runtime.events.record(
+            EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
+        )
+        if snapshots is not None:
+            snapshots.add(
+                superstep, SnapshotPhase.AFTER_SUPERSTEP, new_solution.all_records()
+            )
+
+        solution, workset = new_solution, next_workset
+        if not stats.failed and spec.termination.should_stop(stats):
+            converged = True
+            runtime.events.record(
+                EventKind.CONVERGED, time=runtime.clock.now, superstep=superstep
+            )
+            break
+
+    if not converged and config.strict_iterations:
+        raise TerminationError(
+            f"delta iteration {spec.name!r} did not converge within "
+            f"{spec.max_supersteps} supersteps"
+        )
+    if snapshots is not None and converged:
+        snapshots.add(supersteps_run - 1, SnapshotPhase.CONVERGED, solution.all_records())
+    runtime.events.record(
+        EventKind.TERMINATED,
+        time=runtime.clock.now,
+        superstep=supersteps_run - 1,
+        converged=converged,
+    )
+    return IterationResult(
+        job_name=spec.name,
+        final_records=solution.all_records(),
+        converged=converged,
+        supersteps=supersteps_run,
+        stats=series,
+        events=runtime.events,
+        clock=runtime.clock,
+        metrics=runtime.metrics,
+        cluster=runtime.cluster,
+        snapshots=snapshots,
+    )

@@ -1,0 +1,71 @@
+"""Result object returned by the iteration drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..runtime.clock import SimulatedClock
+from ..runtime.cluster import SimulatedCluster
+from ..runtime.events import EventKind, EventLog
+from ..runtime.metrics import MetricsRegistry, StatsSeries
+from .snapshots import SnapshotStore
+
+
+@dataclass
+class IterationResult:
+    """Everything a run produced.
+
+    Attributes:
+        job_name: the iteration's name.
+        final_records: the final state (solution set for delta
+            iterations) as a flat record list.
+        converged: True when the termination criterion fired within the
+            superstep budget; False when the budget ran out first.
+        supersteps: number of supersteps executed (including supersteps
+            re-executed after rollbacks or restarts).
+        stats: per-superstep statistics — the demo GUI's plot series.
+        events: the structured event log of the run.
+        clock: the simulated clock (total time, per-category breakdown).
+        metrics: the raw counter registry.
+        cluster: the cluster in its end-of-run condition.
+        snapshots: state snapshots, when a store was supplied.
+    """
+
+    job_name: str
+    final_records: list[Any]
+    converged: bool
+    supersteps: int
+    stats: StatsSeries
+    events: EventLog
+    clock: SimulatedClock
+    metrics: MetricsRegistry
+    cluster: SimulatedCluster
+    snapshots: SnapshotStore | None = None
+
+    @property
+    def final_dict(self) -> dict[Any, Any]:
+        """The final state as ``{key: value}`` (assumes 2-tuple records)."""
+        return {record[0]: record[1] for record in self.final_records}
+
+    @property
+    def sim_time(self) -> float:
+        """Total simulated seconds of the run."""
+        return self.clock.now
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Simulated seconds per cost category."""
+        return self.clock.breakdown()
+
+    @property
+    def num_failures(self) -> int:
+        """How many failure events struck during the run."""
+        return len(self.events.of_kind(EventKind.FAILURE))
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.job_name}: {status} after {self.supersteps} supersteps, "
+            f"{self.num_failures} failures, sim_time={self.sim_time:.4f}s"
+        )

@@ -1,0 +1,103 @@
+"""State snapshots for the demo's replay controls.
+
+The demo GUI lets attendees step backward through iterations and shows
+four canonical states of a run (Figures 3 and 5 of the paper): the initial
+state, the state right before a failure, the state right after the
+compensation function ran, and the converged state. The drivers record a
+:class:`StateSnapshot` for every superstep (plus the special phases) into
+a :class:`SnapshotStore` when one is supplied.
+
+Snapshots hold full copies of the state records; they are intended for
+demo-scale inputs, so stores can be bounded with ``max_snapshots``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class SnapshotPhase(enum.Enum):
+    """Which moment of the run a snapshot captures."""
+
+    INITIAL = "initial"
+    AFTER_SUPERSTEP = "after_superstep"
+    BEFORE_FAILURE = "before_failure"
+    AFTER_COMPENSATION = "after_compensation"
+    AFTER_ROLLBACK = "after_rollback"
+    AFTER_RESTART = "after_restart"
+    CONVERGED = "converged"
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """An immutable copy of the iterative state at one moment.
+
+    Attributes:
+        superstep: 0-based superstep index (``-1`` for the initial state).
+        phase: the moment captured.
+        records: the full state (for delta iterations, the solution set).
+        lost_partitions: partitions whose state was destroyed at capture
+            time (only non-empty for BEFORE_FAILURE snapshots, where it
+            names what the failure is about to take out / has taken out).
+    """
+
+    superstep: int
+    phase: SnapshotPhase
+    records: tuple[Any, ...]
+    lost_partitions: tuple[int, ...] = ()
+
+    def as_dict(self) -> dict[Any, Any]:
+        """View the records as ``{key: value}`` assuming 2-tuples."""
+        return {record[0]: record[1] for record in self.records}
+
+
+class SnapshotStore:
+    """Ordered collection of snapshots with phase lookups."""
+
+    def __init__(self, max_snapshots: int | None = None):
+        self._snapshots: list[StateSnapshot] = []
+        self.max_snapshots = max_snapshots
+
+    def add(
+        self,
+        superstep: int,
+        phase: SnapshotPhase,
+        records: list[Any],
+        lost_partitions: list[int] | None = None,
+    ) -> StateSnapshot | None:
+        """Record a snapshot; drops it silently when the store is full."""
+        if self.max_snapshots is not None and len(self._snapshots) >= self.max_snapshots:
+            return None
+        snapshot = StateSnapshot(
+            superstep=superstep,
+            phase=phase,
+            records=tuple(records),
+            lost_partitions=tuple(lost_partitions or ()),
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[StateSnapshot]:
+        return iter(self._snapshots)
+
+    def __getitem__(self, index: int) -> StateSnapshot:
+        return self._snapshots[index]
+
+    def of_phase(self, phase: SnapshotPhase) -> list[StateSnapshot]:
+        """All snapshots of one phase, in order."""
+        return [snap for snap in self._snapshots if snap.phase is phase]
+
+    def at_superstep(self, superstep: int) -> list[StateSnapshot]:
+        """All snapshots captured during one superstep — the backward
+        button's lookup."""
+        return [snap for snap in self._snapshots if snap.superstep == superstep]
+
+    def latest(self, phase: SnapshotPhase | None = None) -> StateSnapshot | None:
+        """The most recent snapshot, optionally of one phase."""
+        candidates = self.of_phase(phase) if phase is not None else self._snapshots
+        return candidates[-1] if candidates else None

@@ -1,0 +1,87 @@
+"""Termination criteria for iterations.
+
+A criterion inspects the :class:`repro.runtime.metrics.IterationStats` of
+the superstep that just finished (the drivers fill in ``l1_delta``,
+``updates`` and ``workset_size`` before asking) and decides whether the
+fixpoint is reached. Criteria are never consulted for a superstep during
+which a failure struck: right after a rollback or a compensation the state
+is consistent but not meaningful for convergence testing, and a rollback
+could otherwise terminate an unconverged run (restored state can be
+spuriously close to the pre-failure state).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import IterationError
+from ..runtime.metrics import IterationStats
+
+
+class TerminationCriterion(ABC):
+    """Decides when an iteration has converged."""
+
+    @abstractmethod
+    def should_stop(self, stats: IterationStats) -> bool:
+        """True when the superstep described by ``stats`` reached the
+        fixpoint. Drivers call this exactly once per committed superstep."""
+
+    def reset(self) -> None:
+        """Clear any internal state (called when an iteration restarts)."""
+
+
+class FixedSupersteps(TerminationCriterion):
+    """Run exactly ``n`` supersteps — Flink's "predefined number of
+    iterations" mode (§2.1)."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise IterationError(f"FixedSupersteps needs n >= 1, got {n}")
+        self.n = n
+        self._completed = 0
+
+    def should_stop(self, stats: IterationStats) -> bool:
+        self._completed += 1
+        return self._completed >= self.n
+
+    def reset(self) -> None:
+        self._completed = 0
+
+
+class EmptyWorkset(TerminationCriterion):
+    """Stop when the next workset is empty — the delta-iteration default
+    ("the delta iteration terminates once the working set becomes
+    empty", §2.1)."""
+
+    def should_stop(self, stats: IterationStats) -> bool:
+        if stats.workset_size is None:
+            raise IterationError("EmptyWorkset requires a delta iteration (workset_size unset)")
+        return stats.workset_size == 0
+
+
+class EpsilonL1(TerminationCriterion):
+    """Stop when the L1 norm between consecutive states drops below
+    ``epsilon`` — the classic PageRank convergence test the demo's second
+    plot visualizes."""
+
+    def __init__(self, epsilon: float):
+        if epsilon <= 0:
+            raise IterationError(f"EpsilonL1 needs epsilon > 0, got {epsilon}")
+        self.epsilon = epsilon
+
+    def should_stop(self, stats: IterationStats) -> bool:
+        if stats.l1_delta is None:
+            raise IterationError(
+                "EpsilonL1 requires the iteration spec to define value_fn "
+                "so the driver can compute L1 deltas"
+            )
+        return stats.l1_delta < self.epsilon
+
+
+class NoUpdates(TerminationCriterion):
+    """Stop when a superstep changed nothing (``updates == 0``). A
+    cheaper alternative to :class:`EpsilonL1` for discrete-state
+    algorithms run as bulk iterations."""
+
+    def should_stop(self, stats: IterationStats) -> bool:
+        return stats.updates == 0

@@ -1,0 +1,60 @@
+"""Vertex-centric ("think like a vertex") programming layer.
+
+The paper's introduction places iterative dataflows next to specialized
+vertex-centric systems like Pregel [11] and GraphLab [10]. This package
+shows the two are one engine apart: a :class:`VertexProgram` — the
+Pregel-style ``compute(vertex, value, messages, edges)`` function — is
+compiled onto the delta-iteration engine (solution set = vertex values,
+workset = in-flight messages), and optimistic recovery comes for free
+through a generic message-replaying compensation.
+
+Example::
+
+    from repro.pregel import VertexProgram, vertex_program_job
+
+    class MinLabel(VertexProgram):
+        def initial_value(self, vertex):
+            return vertex
+        def compute(self, vertex, value, messages, edges):
+            best = min(messages)
+            if best < value:
+                return best, [(n, best) for n, _w in edges]
+            return None, []
+
+    job = vertex_program_job(MinLabel(), graph)
+    result = job.run(recovery=job.optimistic(), failures=...)
+"""
+
+from .library import (
+    KCoreProgram,
+    MaxValueProgram,
+    MinLabelProgram,
+    ShortestPathsProgram,
+    exact_k_core,
+    k_core_members,
+    pregel_connected_components,
+    pregel_k_core,
+    pregel_sssp,
+)
+from .vertex_program import (
+    PregelCompensation,
+    VertexProgram,
+    vertex_program_job,
+    vertex_program_plan,
+)
+
+__all__ = [
+    "KCoreProgram",
+    "MaxValueProgram",
+    "MinLabelProgram",
+    "PregelCompensation",
+    "ShortestPathsProgram",
+    "VertexProgram",
+    "exact_k_core",
+    "k_core_members",
+    "pregel_connected_components",
+    "pregel_k_core",
+    "pregel_sssp",
+    "vertex_program_job",
+    "vertex_program_plan",
+]

@@ -1,0 +1,209 @@
+"""Ready-made vertex programs.
+
+These are the classic value-propagation programs, shipped so the
+vertex-centric layer is usable without writing a program first — and so
+tests can assert the layer against the engine's native algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..algorithms.base import DeltaJob
+from ..algorithms.reference import exact_connected_components, exact_sssp
+from ..graph.graph import Graph
+from .vertex_program import VertexProgram, vertex_program_job
+
+
+class MinLabelProgram(VertexProgram):
+    """Connected Components: propagate the minimum reachable label.
+
+    On directed graphs this follows edge direction; for the usual *weak*
+    connectivity semantics, compile over the undirected view (see
+    :func:`pregel_connected_components`).
+    """
+
+    name = "pregel-cc"
+
+    def initial_value(self, vertex: int) -> int:
+        return vertex
+
+    def compute(self, vertex, value, messages, edges):
+        best = min(messages)
+        if best < value:
+            return best, [(neighbor, best) for neighbor, _w in edges]
+        return None, []
+
+
+class MaxValueProgram(VertexProgram):
+    """Propagate the maximum reachable initial value (e.g. hub seeding)."""
+
+    name = "pregel-max"
+
+    def initial_value(self, vertex: int) -> Any:
+        return vertex
+
+    def compute(self, vertex, value, messages, edges):
+        best = max(messages)
+        if best > value:
+            return best, [(neighbor, best) for neighbor, _w in edges]
+        return None, []
+
+
+class ShortestPathsProgram(VertexProgram):
+    """Single-source shortest paths; messages carry ``value + weight``.
+
+    Overrides :meth:`recovery_messages` accordingly (the announce-value
+    default would undershoot distances — see the base-class docstring).
+    """
+
+    name = "pregel-sssp"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def initial_value(self, vertex: int) -> float:
+        return 0.0 if vertex == self.source else math.inf
+
+    def initial_messages(self, vertex, value, edges):
+        if vertex != self.source:
+            return []
+        return [(neighbor, value + weight) for neighbor, weight in edges]
+
+    def recovery_messages(self, vertex, value, edges):
+        if math.isinf(value):
+            return []
+        return [(neighbor, value + weight) for neighbor, weight in edges]
+
+    def compute(self, vertex, value, messages, edges):
+        best = min(messages)
+        if best < value:
+            return best, [(neighbor, best + weight) for neighbor, weight in edges]
+        return None, []
+
+
+class KCoreProgram(VertexProgram):
+    """k-core decomposition: iteratively peel vertices of degree < k.
+
+    A vertex's value is the **frozenset of neighbors it knows to be
+    removed**; its own status is derived: removed iff
+    ``degree - len(value) < k``. Messages carry the sender's vertex id
+    and are therefore *idempotent* — receiving the same removal notice
+    twice changes nothing — which makes the program compensable with the
+    plain reset-and-replay recovery: after a failure, removed vertices
+    simply re-announce their ids (the default
+    :meth:`recovery_messages` behaviour is overridden to do exactly
+    that) and reset vertices rebuild their removal sets without any
+    double-counting. Designing messages to be idempotent is the general
+    trick for making peeling/deletion algorithms optimistically
+    recoverable.
+
+    At the fixpoint, vertices with ``degree - len(value) >= k`` form the
+    k-core.
+    """
+
+    name = "pregel-kcore"
+
+    def __init__(self, k: int, degrees: dict[int, int]):
+        self.k = k
+        self.degrees = degrees
+
+    def _removed(self, vertex: int, known_removed: frozenset) -> bool:
+        return self.degrees[vertex] - len(known_removed) < self.k
+
+    def initial_value(self, vertex: int) -> frozenset:
+        return frozenset()
+
+    def initial_messages(self, vertex, value, edges):
+        # vertices below k to begin with announce their removal
+        if not self._removed(vertex, value):
+            return []
+        return [(neighbor, vertex) for neighbor, _w in edges]
+
+    def recovery_messages(self, vertex, value, edges):
+        # removed vertices re-announce; announcements are idempotent
+        if not self._removed(vertex, value):
+            return []
+        return [(neighbor, vertex) for neighbor, _w in edges]
+
+    def compute(self, vertex, value, messages, edges):
+        was_removed = self._removed(vertex, value)
+        merged = value | frozenset(messages)
+        if merged == value:
+            return None, []
+        outgoing = []
+        if not was_removed and self._removed(vertex, merged):
+            outgoing = [(neighbor, vertex) for neighbor, _w in edges]
+        return merged, outgoing
+
+
+def exact_k_core(graph: Graph, k: int) -> set[int]:
+    """The k-core by direct iterative peeling (the test oracle)."""
+    alive = set(graph.vertices)
+    changed = True
+    while changed:
+        changed = False
+        for vertex in list(alive):
+            degree = sum(1 for n in graph.neighbors(vertex) if n in alive)
+            if degree < k:
+                alive.discard(vertex)
+                changed = True
+    return alive
+
+
+def pregel_k_core(graph: Graph, k: int, max_supersteps: int = 300) -> DeltaJob:
+    """k-core decomposition via the vertex-centric layer (undirected
+    semantics; directed inputs are symmetrized). The job's final state
+    maps each vertex to its known-removed neighbor set; use
+    :func:`k_core_members` to extract the core."""
+    undirected = (
+        Graph(graph.vertices, graph.edges, directed=False) if graph.directed else graph
+    )
+    degrees = {v: undirected.degree(v) for v in undirected.vertices}
+    return vertex_program_job(
+        KCoreProgram(k, degrees), undirected, max_supersteps=max_supersteps
+    )
+
+
+def k_core_members(result_dict: dict[int, frozenset], degrees: dict[int, int], k: int) -> set[int]:
+    """Extract the k-core from a finished :func:`pregel_k_core` state."""
+    return {
+        vertex
+        for vertex, removed in result_dict.items()
+        if degrees[vertex] - len(removed) >= k
+    }
+
+
+def pregel_connected_components(graph: Graph, max_supersteps: int = 300) -> DeltaJob:
+    """Connected Components via the vertex-centric layer, with weak
+    connectivity semantics (directed inputs are symmetrized) and the
+    union-find ground truth attached."""
+    undirected = (
+        Graph(graph.vertices, graph.edges, directed=False) if graph.directed else graph
+    )
+    return vertex_program_job(
+        MinLabelProgram(),
+        undirected,
+        max_supersteps=max_supersteps,
+        truth=exact_connected_components(undirected),
+    )
+
+
+def pregel_sssp(
+    graph: Graph,
+    source: int,
+    weights: dict[tuple[int, int], float] | None = None,
+    max_supersteps: int = 300,
+) -> DeltaJob:
+    """SSSP via the vertex-centric layer (hop counts unless ``weights``
+    are given), with the BFS ground truth attached for the unweighted
+    case."""
+    truth = exact_sssp(graph, source) if weights is None else None
+    return vertex_program_job(
+        ShortestPathsProgram(source),
+        graph,
+        weights=weights,
+        max_supersteps=max_supersteps,
+        truth=truth,
+    )

@@ -1,0 +1,260 @@
+"""Compiling vertex programs onto the delta-iteration engine.
+
+Execution model (message-driven Pregel):
+
+* every vertex holds a value (the solution set);
+* the workset holds in-flight ``(target, message)`` records;
+* each superstep, every vertex with at least one incoming message runs
+  :meth:`VertexProgram.compute` with its gathered messages and its
+  adjacency, optionally updating its value and emitting new messages;
+* the iteration terminates when no messages are in flight.
+
+Superstep 0 is seeded by :meth:`VertexProgram.initial_messages` (by
+default every vertex announces its initial value to its neighbors —
+the right seed for value-propagation programs like Connected Components
+and SSSP).
+
+Recovery: :class:`PregelCompensation` resets lost vertices to their
+initial values and rebuilds the workset from the surviving in-flight
+messages plus :meth:`VertexProgram.recovery_messages` from every vertex
+(default: re-announce the current value to all neighbors), which repairs
+the reset vertices exactly like the paper's ``fix-components``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+from ..algorithms.base import DeltaJob
+from ..core.compensation import CompensationContext, CompensationFunction
+from ..core.guarantees import KeySetPreserved
+from ..dataflow.datatypes import KeySpec, first_field, second_field
+from ..dataflow.plan import Plan
+from ..errors import GraphError
+from ..graph.graph import Graph
+from ..iteration.delta import DeltaIterationSpec
+from ..iteration.termination import EmptyWorkset
+from ..runtime.executor import PartitionedDataset
+
+#: the vertex-id key for values, messages and adjacency.
+VERTEX_KEY: KeySpec = first_field("vertex")
+
+#: counter whose per-superstep increase is the "messages" statistic.
+MESSAGE_COUNTER = "records_in.gather-messages"
+
+
+class VertexProgram(ABC):
+    """A Pregel-style vertex program.
+
+    Values and messages may be any comparable/serializable Python
+    objects. ``edges`` arguments are ``(neighbor, weight)`` pairs (weight
+    1.0 unless the job was built with explicit weights).
+    """
+
+    #: identifier used for the compiled job and its plan.
+    name: str = "vertex-program"
+
+    @abstractmethod
+    def initial_value(self, vertex: int) -> Any:
+        """The vertex's value before superstep 0."""
+
+    @abstractmethod
+    def compute(
+        self,
+        vertex: int,
+        value: Any,
+        messages: list[Any],
+        edges: list[tuple[int, float]],
+    ) -> tuple[Any | None, list[tuple[int, Any]]]:
+        """Process one superstep's messages.
+
+        Returns ``(new value or None if unchanged, outgoing messages)``.
+        ``messages`` is never empty — vertices without incoming messages
+        do not run.
+        """
+
+    def initial_messages(
+        self, vertex: int, value: Any, edges: list[tuple[int, float]]
+    ) -> list[tuple[int, Any]]:
+        """Messages seeding superstep 0 (default: announce the initial
+        value to every neighbor)."""
+        return [(neighbor, value) for neighbor, _weight in edges]
+
+    def recovery_messages(
+        self, vertex: int, value: Any, edges: list[tuple[int, float]]
+    ) -> list[tuple[int, Any]]:
+        """Messages injected after a compensation. Called for **every**
+        vertex, so reset vertices re-learn from surviving neighbors and
+        vice versa.
+
+        The default re-announces the current value verbatim to every
+        neighbor, which is consistent exactly when regular messages also
+        carry the sender's value verbatim (Connected-Components-style
+        programs). Programs whose messages transform the value — SSSP
+        sends ``value + edge weight`` — **must** override this to apply
+        the same transformation, or the injected messages would violate
+        the program's invariants (e.g. undershoot true distances).
+        """
+        return [(neighbor, value) for neighbor, _weight in edges]
+
+
+def vertex_program_plan(program: VertexProgram) -> Plan:
+    """Compile a vertex program into a delta-iteration step plan.
+
+    Sources: ``values`` (solution set), ``messages`` (workset,
+    ``(target, payload)`` records), ``adjacency`` (static ``(vertex,
+    ((neighbor, weight), ...))`` records). Sinks: ``updates`` (the
+    solution delta) and ``out-messages`` (the next workset).
+    """
+    plan = Plan(f"{program.name}-step")
+    values = plan.source("values", partitioned_by=VERTEX_KEY)
+    messages = plan.source("messages", partitioned_by=VERTEX_KEY)
+    adjacency = plan.source("adjacency", partitioned_by=VERTEX_KEY)
+
+    inbox = messages.group_reduce(
+        VERTEX_KEY,
+        fn=lambda vertex, group: [(vertex, [payload for _t, payload in group])],
+        name="gather-messages",
+    )
+    with_state = inbox.join(
+        values,
+        left_key=VERTEX_KEY,
+        right_key=VERTEX_KEY,
+        fn=lambda gathered, state: (gathered[0], state[1], gathered[1]),
+        name="join-state",
+        preserves="left",
+    )
+    with_adjacency = with_state.join(
+        adjacency,
+        left_key=VERTEX_KEY,
+        right_key=VERTEX_KEY,
+        fn=lambda state, adj: (state[0], state[1], state[2], list(adj[1])),
+        name="join-adjacency",
+        preserves="left",
+    )
+
+    def run_compute(record: Any) -> Iterable[Any]:
+        vertex, value, inbox_messages, edges = record
+        new_value, outgoing = program.compute(vertex, value, inbox_messages, edges)
+        if new_value is not None:
+            yield ("delta", vertex, new_value)
+        for target, payload in outgoing:
+            yield ("msg", target, payload)
+
+    outcome = with_adjacency.flat_map(run_compute, name="compute")
+    outcome.filter(lambda r: r[0] == "delta", name="select-updates").map(
+        lambda r: (r[1], r[2]), name="updates"
+    )
+    outcome.filter(lambda r: r[0] == "msg", name="select-messages").map(
+        lambda r: (r[1], r[2]), name="out-messages"
+    )
+    return plan
+
+
+class PregelCompensation(CompensationFunction):
+    """Generic compensation for compiled vertex programs.
+
+    Lost vertices are reset to :meth:`VertexProgram.initial_value`; the
+    workset is rebuilt from the surviving in-flight messages plus the
+    program's :meth:`VertexProgram.recovery_messages` for every vertex.
+    """
+
+    name = "fix-vertex-values"
+
+    def __init__(self, program: VertexProgram, adjacency: dict[int, list[tuple[int, float]]]):
+        self.program = program
+        self._adjacency = adjacency
+
+    def compensate_partition(
+        self,
+        partition_id: int,
+        records: list[Any] | None,
+        aggregate: Any,
+        ctx: CompensationContext,
+    ) -> list[Any]:
+        if records is not None:
+            return records
+        return [
+            (vertex, self.program.initial_value(vertex))
+            for vertex, _old in ctx.initial_partition(partition_id)
+        ]
+
+    def rebuild_workset(
+        self,
+        solution: PartitionedDataset,
+        workset: PartitionedDataset,
+        lost_partitions: list[int],
+        ctx: CompensationContext,
+    ) -> PartitionedDataset:
+        records: list[tuple[int, Any]] = []
+        # surviving in-flight messages must not be dropped
+        for partition in workset.partitions:
+            if partition is not None:
+                records.extend(partition)
+        # every vertex re-announces so reset vertices can be repaired
+        for vertex, value in solution.all_records():
+            records.extend(
+                self.program.recovery_messages(
+                    vertex, value, self._adjacency.get(vertex, [])
+                )
+            )
+        return PartitionedDataset.from_records(
+            records, ctx.parallelism, key=ctx.state_key
+        )
+
+
+def vertex_program_job(
+    program: VertexProgram,
+    graph: Graph,
+    weights: dict[tuple[int, int], float] | None = None,
+    max_supersteps: int = 300,
+    truth: dict[int, Any] | None = None,
+    truth_tolerance: float = 0.0,
+) -> DeltaJob:
+    """Compile ``program`` over ``graph`` into a runnable job.
+
+    Undirected graphs get symmetric adjacency; ``weights`` (keyed by
+    canonical edge tuples) attach edge weights, defaulting to 1.0.
+    """
+    if graph.num_vertices == 0:
+        raise GraphError("vertex programs need a non-empty graph")
+    adjacency: dict[int, list[tuple[int, float]]] = {v: [] for v in graph.vertices}
+    for edge in graph.edges:
+        weight = 1.0 if weights is None else weights.get(edge)
+        if weight is None:
+            raise GraphError(f"no weight for edge {edge!r}")
+        adjacency[edge[0]].append((edge[1], weight))
+        if not graph.directed:
+            adjacency[edge[1]].append((edge[0], weight))
+    initial_values = [(v, program.initial_value(v)) for v in graph.vertices]
+    initial_messages: list[tuple[int, Any]] = []
+    for vertex, value in initial_values:
+        initial_messages.extend(
+            program.initial_messages(vertex, value, adjacency[vertex])
+        )
+    adjacency_records = [
+        (vertex, tuple(edges)) for vertex, edges in adjacency.items()
+    ]
+    spec = DeltaIterationSpec(
+        name=program.name,
+        step_plan=vertex_program_plan(program),
+        solution_source="values",
+        workset_source="messages",
+        delta_output="updates",
+        workset_output="out-messages",
+        state_key=VERTEX_KEY,
+        termination=EmptyWorkset(),
+        max_supersteps=max_supersteps,
+        message_counter=MESSAGE_COUNTER,
+        truth=truth,
+        truth_tolerance=truth_tolerance,
+    )
+    return DeltaJob(
+        spec=spec,
+        initial_solution=initial_values,
+        initial_workset=initial_messages,
+        statics={"adjacency": adjacency_records},
+        compensation=PregelCompensation(program, adjacency),
+        invariants=[KeySetPreserved()],
+    )

@@ -1,0 +1,105 @@
+"""Simulated cost clock.
+
+Real wall-clock measurements of a single-process simulator would say
+nothing about the paper's cluster-level trade-offs (checkpoint I/O vs.
+recomputation vs. compensation). Instead, every runtime component charges
+its work to a :class:`SimulatedClock` using the cost constants from
+:class:`repro.config.CostModel`. Experiments then compare deterministic
+simulated times whose *ratios* reflect the modeled cluster.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..config import CostModel
+from ..errors import ConfigError
+
+
+class CostCategory(enum.Enum):
+    """Buckets that simulated time is charged to.
+
+    Keeping per-category accounts lets benchmarks decompose total runtime
+    into compute / network / checkpoint-I/O / recovery components, which is
+    how the paper argues about failure-free overhead.
+    """
+
+    COMPUTE = "compute"
+    NETWORK = "network"
+    CHECKPOINT_IO = "checkpoint_io"
+    RESTORE_IO = "restore_io"
+    RECOVERY = "recovery"
+    COMPENSATION = "compensation"
+
+
+@dataclass
+class SimulatedClock:
+    """Accumulates simulated time, broken down by :class:`CostCategory`.
+
+    Attributes:
+        cost_model: the constants used by the ``charge_*`` helpers.
+    """
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    _now: float = 0.0
+    _accounts: dict[CostCategory, float] = field(default_factory=dict)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float, category: CostCategory = CostCategory.COMPUTE) -> float:
+        """Advance the clock by ``seconds``, charging ``category``.
+
+        Returns the new simulated time. Negative durations are rejected.
+        """
+        if seconds < 0:
+            raise ConfigError(f"cannot advance the clock by {seconds} seconds")
+        self._now += seconds
+        self._accounts[category] = self._accounts.get(category, 0.0) + seconds
+        return self._now
+
+    def spent(self, category: CostCategory) -> float:
+        """Simulated seconds charged to ``category`` so far."""
+        return self._accounts.get(category, 0.0)
+
+    def breakdown(self) -> dict[str, float]:
+        """Return ``{category value: seconds}`` for all non-zero accounts."""
+        return {cat.value: secs for cat, secs in sorted(self._accounts.items(), key=lambda kv: kv[0].value)}
+
+    # -- record-count helpers -------------------------------------------------
+
+    def charge_compute(self, records: int) -> None:
+        """Charge CPU time for pushing ``records`` through one operator."""
+        self.advance(records * self.cost_model.cpu_per_record, CostCategory.COMPUTE)
+
+    def charge_network(self, records: int) -> None:
+        """Charge network time for shuffling ``records``."""
+        self.advance(records * self.cost_model.network_per_record, CostCategory.NETWORK)
+
+    def charge_checkpoint(self, records: int) -> None:
+        """Charge stable-storage write time for checkpointing ``records``."""
+        self.advance(records * self.cost_model.checkpoint_per_record, CostCategory.CHECKPOINT_IO)
+
+    def charge_restore(self, records: int) -> None:
+        """Charge stable-storage read time for restoring ``records``."""
+        self.advance(records * self.cost_model.restore_per_record, CostCategory.RESTORE_IO)
+
+    def charge_failure_detection(self) -> None:
+        """Charge the flat cost of detecting a failure and pausing."""
+        self.advance(self.cost_model.failure_detection, CostCategory.RECOVERY)
+
+    def charge_worker_acquisition(self, workers: int = 1) -> None:
+        """Charge the flat cost of acquiring ``workers`` replacements."""
+        self.advance(workers * self.cost_model.worker_acquisition, CostCategory.RECOVERY)
+
+    def charge_compensation(self, records: int) -> None:
+        """Charge the cost of running a compensation function over state."""
+        self.advance(records * self.cost_model.compensation_per_record, CostCategory.COMPENSATION)
+
+    def reset(self) -> None:
+        """Zero the clock and all accounts (used between benchmark runs)."""
+        self._now = 0.0
+        self._accounts.clear()

@@ -1,0 +1,197 @@
+"""Simulated cluster: workers, spares, and partition placement.
+
+The engine models the aspect of a cluster that matters for recovery
+semantics: *iterative state partitions live on workers, and when a worker
+fails, the partitions it hosts lose their state*. Loop-invariant inputs
+survive on stable storage (see :mod:`repro.runtime.storage`).
+
+A :class:`SimulatedCluster` starts with ``parallelism`` active workers,
+each hosting exactly one state partition (partition ``i`` on worker ``i``),
+plus a pool of ``spare_workers`` standbys. Failing a worker marks it dead
+and reports the orphaned partitions; :meth:`SimulatedCluster.reassign_lost`
+then wires spare workers in, charging the acquisition cost the paper's
+recovery pays ("re-assigns the lost computations to newly acquired
+nodes").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import EngineConfig
+from ..errors import ExecutionError, RecoveryError
+from .clock import SimulatedClock
+from .events import EventKind, EventLog
+
+
+class WorkerState(enum.Enum):
+    """Lifecycle state of a worker."""
+
+    ACTIVE = "active"
+    SPARE = "spare"
+    FAILED = "failed"
+
+
+@dataclass
+class Worker:
+    """One (simulated) machine.
+
+    Attributes:
+        worker_id: unique id; active workers are numbered from 0, spares
+            continue the sequence.
+        state: current lifecycle state.
+    """
+
+    worker_id: int
+    state: WorkerState = WorkerState.ACTIVE
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is WorkerState.ACTIVE
+
+    def __repr__(self) -> str:
+        return f"Worker({self.worker_id}, {self.state.value})"
+
+
+class SimulatedCluster:
+    """Workers plus the partition→worker placement map."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        clock: SimulatedClock | None = None,
+        events: EventLog | None = None,
+    ):
+        self.config = config
+        self.clock = clock if clock is not None else SimulatedClock(config.cost_model)
+        self.events = events if events is not None else EventLog()
+        self._workers: dict[int, Worker] = {}
+        self._assignment: dict[int, int] = {}
+        per_worker = config.partitions_per_worker
+        for worker_id in range(config.active_workers):
+            self._workers[worker_id] = Worker(worker_id=worker_id, state=WorkerState.ACTIVE)
+        for partition_id in range(config.parallelism):
+            self._assignment[partition_id] = partition_id // per_worker
+        next_id = config.active_workers
+        for offset in range(config.spare_workers):
+            worker = Worker(worker_id=next_id + offset, state=WorkerState.SPARE)
+            self._workers[worker.worker_id] = worker
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def parallelism(self) -> int:
+        """Number of state partitions (== configured parallelism)."""
+        return self.config.parallelism
+
+    def worker(self, worker_id: int) -> Worker:
+        """Look up a worker by id."""
+        if worker_id not in self._workers:
+            raise ExecutionError(f"unknown worker id {worker_id}")
+        return self._workers[worker_id]
+
+    def active_workers(self) -> list[Worker]:
+        """All workers currently hosting partitions."""
+        return [w for w in self._workers.values() if w.state is WorkerState.ACTIVE]
+
+    def spare_pool(self) -> list[Worker]:
+        """Standby workers available for recovery."""
+        return [w for w in self._workers.values() if w.state is WorkerState.SPARE]
+
+    def failed_workers(self) -> list[Worker]:
+        """Workers that have died."""
+        return [w for w in self._workers.values() if w.state is WorkerState.FAILED]
+
+    def worker_for_partition(self, partition_id: int) -> Worker:
+        """The worker currently hosting ``partition_id``."""
+        if partition_id not in self._assignment:
+            raise ExecutionError(f"unknown partition id {partition_id}")
+        return self._workers[self._assignment[partition_id]]
+
+    def partitions_on_worker(self, worker_id: int) -> list[int]:
+        """Partition ids hosted on ``worker_id`` (usually one)."""
+        return sorted(pid for pid, wid in self._assignment.items() if wid == worker_id)
+
+    def assignment(self) -> dict[int, int]:
+        """A copy of the partition→worker map."""
+        return dict(self._assignment)
+
+    def orphaned_partitions(self) -> list[int]:
+        """Partitions whose host is not active (pending reassignment)."""
+        return sorted(
+            pid
+            for pid, wid in self._assignment.items()
+            if self._workers[wid].state is not WorkerState.ACTIVE
+        )
+
+    # -- failure mechanics ----------------------------------------------------
+
+    def fail_workers(self, worker_ids: list[int], superstep: int = -1) -> list[int]:
+        """Kill the given workers; return the orphaned partition ids.
+
+        Already-failed workers are ignored (a machine cannot die twice);
+        failing a spare simply removes it from the pool.
+        """
+        lost_partitions: list[int] = []
+        newly_failed: list[int] = []
+        for worker_id in worker_ids:
+            worker = self.worker(worker_id)
+            if worker.state is WorkerState.FAILED:
+                continue
+            was_active = worker.state is WorkerState.ACTIVE
+            worker.state = WorkerState.FAILED
+            newly_failed.append(worker_id)
+            if was_active:
+                lost_partitions.extend(self.partitions_on_worker(worker_id))
+        if newly_failed:
+            self.events.record(
+                EventKind.FAILURE,
+                time=self.clock.now,
+                superstep=superstep,
+                workers=sorted(newly_failed),
+                lost_partitions=sorted(lost_partitions),
+            )
+        return sorted(lost_partitions)
+
+    def reassign_lost(self, superstep: int = -1) -> dict[int, int]:
+        """Move orphaned partitions onto spare workers.
+
+        Charges one ``worker_acquisition`` per spare pulled in, emits a
+        ``WORKERS_ACQUIRED`` event, and returns the ``{partition: new
+        worker}`` map. Raises :class:`repro.errors.RecoveryError` when the
+        spare pool is too small — the condition under which even the
+        paper's system cannot continue.
+        """
+        orphans = self.orphaned_partitions()
+        if not orphans:
+            return {}
+        per_worker = self.config.partitions_per_worker
+        needed = -(-len(orphans) // per_worker)  # ceil division
+        spares = self.spare_pool()
+        if len(spares) < needed:
+            raise RecoveryError(
+                f"{len(orphans)} partitions lost their workers, needing "
+                f"{needed} replacements, but only {len(spares)} spare "
+                f"workers remain"
+            )
+        moves: dict[int, int] = {}
+        for index, partition_id in enumerate(orphans):
+            spare = spares[index // per_worker]
+            spare.state = WorkerState.ACTIVE
+            self._assignment[partition_id] = spare.worker_id
+            moves[partition_id] = spare.worker_id
+        self.clock.charge_worker_acquisition(needed)
+        self.events.record(
+            EventKind.WORKERS_ACQUIRED,
+            time=self.clock.now,
+            superstep=superstep,
+            moves=dict(moves),
+        )
+        return moves
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedCluster(active={len(self.active_workers())}, "
+            f"spare={len(self.spare_pool())}, failed={len(self.failed_workers())})"
+        )

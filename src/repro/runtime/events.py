@@ -1,0 +1,102 @@
+"""Structured event log.
+
+The demo GUI visualizes the life of a run: iterations finishing, failures
+striking, compensation functions firing. The headless reproduction records
+the same happenings as :class:`Event` entries in an :class:`EventLog`,
+which the demo controller, the tests and the benchmark reports all consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class EventKind(enum.Enum):
+    """All event types emitted by the engine."""
+
+    SUPERSTEP_STARTED = "superstep_started"
+    SUPERSTEP_FINISHED = "superstep_finished"
+    FAILURE = "failure"
+    WORKERS_ACQUIRED = "workers_acquired"
+    COMPENSATION = "compensation"
+    CHECKPOINT_WRITTEN = "checkpoint_written"
+    ROLLBACK = "rollback"
+    RESTART = "restart"
+    CONVERGED = "converged"
+    TERMINATED = "terminated"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One engine event.
+
+    Attributes:
+        time: simulated timestamp at which the event occurred.
+        kind: the event type.
+        superstep: the superstep during which it occurred (0-based;
+            ``-1`` for events outside any iteration).
+        details: free-form payload, e.g. failed worker ids or the number
+            of records checkpointed.
+    """
+
+    time: float
+    kind: EventKind
+    superstep: int = -1
+    details: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" {self.details}" if self.details else ""
+        return f"[t={self.time:10.4f}] superstep={self.superstep:3d} {self.kind.value}{extra}"
+
+
+class EventLog:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(
+        self,
+        kind: EventKind,
+        time: float,
+        superstep: int = -1,
+        **details: Any,
+    ) -> Event:
+        """Append a new event and return it."""
+        event = Event(time=time, kind=kind, superstep=superstep, details=dict(details))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def in_superstep(self, superstep: int) -> list[Event]:
+        """All events recorded during one superstep."""
+        return [event for event in self._events if event.superstep == superstep]
+
+    def failures(self) -> list[Event]:
+        """Shorthand for :meth:`of_kind` with :attr:`EventKind.FAILURE`."""
+        return self.of_kind(EventKind.FAILURE)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def summary(self) -> dict[str, int]:
+        """Return ``{event kind: count}`` over the whole log."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts

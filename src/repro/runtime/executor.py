@@ -1,0 +1,443 @@
+"""Plan execution over partitioned data.
+
+:class:`PlanExecutor` walks a logical plan in topological order and
+materializes every operator's output as a :class:`PartitionedDataset` with
+exactly ``parallelism`` partitions, charging simulated compute time per
+record processed and network time per record shuffled, and incrementing
+the ``records_in.<operator>`` / ``shuffled.<operator>`` counters that the
+demo statistics are derived from.
+
+Partitioning is tracked through the plan: a dataset knows which
+:class:`repro.dataflow.datatypes.KeySpec` it is currently hash-partitioned
+by (if any), and keyed operators skip the shuffle when their input is
+already partitioned correctly — the same co-location reasoning Flink
+applies to delta-iteration solution sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..dataflow.datatypes import KeySpec
+from ..dataflow.functions import emitted
+from ..dataflow.operators import (
+    CoGroupOperator,
+    CrossOperator,
+    FilterOperator,
+    FlatMapOperator,
+    GroupReduceOperator,
+    JoinOperator,
+    MapOperator,
+    Operator,
+    ReduceByKeyOperator,
+    SourceOperator,
+    UnionOperator,
+)
+from ..dataflow.plan import Plan
+from ..errors import ExecutionError, PartitionLostError
+from .clock import SimulatedClock
+from .metrics import MetricsRegistry
+from .partition import HashPartitioner
+
+
+@dataclass
+class PartitionedDataset:
+    """A dataset split into ``n`` partitions.
+
+    Attributes:
+        partitions: one list of records per partition. A partition may be
+            ``None``, meaning its state was destroyed by a failure and has
+            not been recovered yet; executing a plan over such a dataset
+            raises :class:`repro.errors.PartitionLostError`.
+        partitioned_by: the key spec the data is hash-partitioned by, or
+            ``None`` for round-robin / unknown placement.
+    """
+
+    partitions: list[list[Any] | None]
+    partitioned_by: KeySpec | None = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Any],
+        num_partitions: int,
+        key: KeySpec | None = None,
+    ) -> "PartitionedDataset":
+        """Distribute ``records`` over ``num_partitions``.
+
+        With a ``key``, records are hash-partitioned (and the result is
+        marked as partitioned by that key); without one they are dealt
+        round-robin.
+        """
+        records = list(records)
+        if key is not None:
+            partitioner = HashPartitioner(num_partitions)
+            parts = partitioner.split(records, key)
+            return cls(partitions=parts, partitioned_by=key)
+        parts: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for index, record in enumerate(records):
+            parts[index % num_partitions].append(record)
+        return cls(partitions=parts, partitioned_by=None)
+
+    @classmethod
+    def empty(cls, num_partitions: int, key: KeySpec | None = None) -> "PartitionedDataset":
+        """An empty dataset with ``num_partitions`` partitions."""
+        return cls(partitions=[[] for _ in range(num_partitions)], partitioned_by=key)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def lost_partitions(self) -> list[int]:
+        """Ids of partitions whose state is destroyed."""
+        return [pid for pid, part in enumerate(self.partitions) if part is None]
+
+    def require_complete(self, context: str = "dataset") -> None:
+        """Raise :class:`PartitionLostError` if any partition is lost."""
+        lost = self.lost_partitions()
+        if lost:
+            raise PartitionLostError(lost, f"{context}: state lost for partitions {lost}")
+
+    def all_records(self) -> list[Any]:
+        """All records, concatenated in partition order."""
+        self.require_complete()
+        result: list[Any] = []
+        for part in self.partitions:
+            result.extend(part)  # type: ignore[arg-type]
+        return result
+
+    def num_records(self) -> int:
+        """Total record count over non-lost partitions."""
+        return sum(len(part) for part in self.partitions if part is not None)
+
+    def partition_sizes(self) -> list[int]:
+        """Per-partition record counts (``-1`` for lost partitions)."""
+        return [len(part) if part is not None else -1 for part in self.partitions]
+
+    # -- mutation (used by iteration drivers and recovery) ----------------------
+
+    def lose(self, partition_ids: Sequence[int]) -> int:
+        """Destroy the state of the given partitions; returns records lost."""
+        lost_records = 0
+        for pid in partition_ids:
+            if pid < 0 or pid >= self.num_partitions:
+                raise ExecutionError(f"no partition {pid} in dataset of {self.num_partitions}")
+            if self.partitions[pid] is not None:
+                lost_records += len(self.partitions[pid])  # type: ignore[arg-type]
+                self.partitions[pid] = None
+        return lost_records
+
+    def replace_partition(self, partition_id: int, records: list[Any]) -> None:
+        """Install new contents for one partition."""
+        if partition_id < 0 or partition_id >= self.num_partitions:
+            raise ExecutionError(
+                f"no partition {partition_id} in dataset of {self.num_partitions}"
+            )
+        self.partitions[partition_id] = list(records)
+
+    def copy(self) -> "PartitionedDataset":
+        """A deep-enough copy (fresh partition lists, shared records)."""
+        return PartitionedDataset(
+            partitions=[list(part) if part is not None else None for part in self.partitions],
+            partitioned_by=self.partitioned_by,
+        )
+
+    def __repr__(self) -> str:
+        key = self.partitioned_by.name if self.partitioned_by else None
+        return (
+            f"PartitionedDataset(n={self.num_partitions}, "
+            f"records={self.num_records()}, key={key!r})"
+        )
+
+
+class PlanExecutor:
+    """Executes logical plans with simulated costs.
+
+    One executor is typically shared across all supersteps of a run so
+    that costs and counters accumulate into a single clock / registry.
+    """
+
+    def __init__(
+        self,
+        parallelism: int,
+        clock: SimulatedClock | None = None,
+        metrics: MetricsRegistry | None = None,
+        combiners: bool = False,
+    ):
+        if parallelism < 1:
+            raise ExecutionError(f"parallelism must be >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: when True, reduce_by_key pre-folds each source partition
+        #: before shuffling (Flink's combiners), shrinking network volume.
+        #: The result is unchanged — the fold is associative by contract —
+        #: but per-operator input counts reflect the pre-combined records,
+        #: so jobs that interpret those counters (e.g. the demo's
+        #: "messages" statistic) run with combiners off.
+        self.combiners = combiners
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Plan,
+        bindings: dict[str, PartitionedDataset],
+        outputs: Sequence[str] | None = None,
+    ) -> dict[str, PartitionedDataset]:
+        """Run ``plan`` with its sources bound to concrete datasets.
+
+        Args:
+            plan: the logical plan.
+            bindings: ``{source name: dataset}``; every source of the plan
+                must be bound, and every bound dataset must have exactly
+                ``parallelism`` partitions and no lost partitions.
+            outputs: operator names whose results to return; defaults to
+                the plan's sinks.
+
+        Returns:
+            ``{operator name: materialized dataset}`` for each requested
+            output.
+        """
+        plan.validate()
+        self._check_bindings(plan, bindings)
+        results: dict[int, PartitionedDataset] = {}
+        for op in plan.topological_order():
+            results[op.op_id] = self._execute_operator(op, results, bindings)
+        wanted = list(outputs) if outputs is not None else [op.name for op in plan.sinks()]
+        produced = {}
+        for name in wanted:
+            op = plan.operator_by_name(name)
+            produced[name] = results[op.op_id]
+        return produced
+
+    def repartition(
+        self, dataset: PartitionedDataset, key: KeySpec, context: str = "repartition"
+    ) -> PartitionedDataset:
+        """Hash-repartition ``dataset`` by ``key`` (no-op when already
+        placed correctly), charging network costs. Iteration drivers use
+        this to keep state partitioned by the state key across supersteps.
+        """
+        dataset.require_complete(context)
+        return self._shuffle(dataset, key, context)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_bindings(self, plan: Plan, bindings: dict[str, PartitionedDataset]) -> None:
+        for source in plan.sources():
+            if source.name not in bindings:
+                raise ExecutionError(
+                    f"source {source.name!r} of plan {plan.name!r} is not bound"
+                )
+            dataset = bindings[source.name]
+            if dataset.num_partitions != self.parallelism:
+                raise ExecutionError(
+                    f"source {source.name!r} has {dataset.num_partitions} partitions, "
+                    f"executor parallelism is {self.parallelism}"
+                )
+            dataset.require_complete(f"source {source.name!r}")
+
+    def _count_in(self, op: Operator, records: int) -> None:
+        self.metrics.increment(f"records_in.{op.name}", records)
+        self.clock.charge_compute(records)
+
+    def _shuffle(
+        self, dataset: PartitionedDataset, key: KeySpec, op_name: str
+    ) -> PartitionedDataset:
+        """Hash-repartition ``dataset`` by ``key`` unless already placed."""
+        if dataset.partitioned_by == key:
+            return dataset
+        partitioner = HashPartitioner(self.parallelism)
+        parts: list[list[Any]] = [[] for _ in range(self.parallelism)]
+        moved = 0
+        for part in dataset.partitions:
+            for record in part:  # type: ignore[union-attr]
+                parts[partitioner.partition(key(record))].append(record)
+                moved += 1
+        self.clock.charge_network(moved)
+        self.metrics.increment(f"shuffled.{op_name}", moved)
+        return PartitionedDataset(partitions=parts, partitioned_by=key)
+
+    def _execute_operator(
+        self,
+        op: Operator,
+        results: dict[int, PartitionedDataset],
+        bindings: dict[str, PartitionedDataset],
+    ) -> PartitionedDataset:
+        if isinstance(op, SourceOperator):
+            dataset = bindings[op.name]
+            if op.partitioned_by is not None:
+                dataset = self._shuffle(dataset, op.partitioned_by, op.name)
+            return dataset
+        inputs = [results[inp.op_id] for inp in op.inputs]
+        if isinstance(op, MapOperator):
+            return self._run_map(op, inputs[0])
+        if isinstance(op, FlatMapOperator):
+            return self._run_flat_map(op, inputs[0])
+        if isinstance(op, FilterOperator):
+            return self._run_filter(op, inputs[0])
+        if isinstance(op, ReduceByKeyOperator):
+            return self._run_reduce_by_key(op, inputs[0])
+        if isinstance(op, GroupReduceOperator):
+            return self._run_group_reduce(op, inputs[0])
+        if isinstance(op, JoinOperator):
+            return self._run_join(op, inputs[0], inputs[1])
+        if isinstance(op, CoGroupOperator):
+            return self._run_co_group(op, inputs[0], inputs[1])
+        if isinstance(op, CrossOperator):
+            return self._run_cross(op, inputs[0], inputs[1])
+        if isinstance(op, UnionOperator):
+            return self._run_union(op, inputs)
+        raise ExecutionError(f"unsupported operator type {type(op).__name__}")
+
+    def _run_map(self, op: MapOperator, data: PartitionedDataset) -> PartitionedDataset:
+        self._count_in(op, data.num_records())
+        parts = [[op.fn(record) for record in part] for part in data.partitions]  # type: ignore[union-attr]
+        return PartitionedDataset(partitions=parts, partitioned_by=None)
+
+    def _run_flat_map(self, op: FlatMapOperator, data: PartitionedDataset) -> PartitionedDataset:
+        self._count_in(op, data.num_records())
+        parts: list[list[Any]] = []
+        for part in data.partitions:
+            out: list[Any] = []
+            for record in part:  # type: ignore[union-attr]
+                out.extend(op.fn(record))
+            parts.append(out)
+        return PartitionedDataset(partitions=parts, partitioned_by=None)
+
+    def _run_filter(self, op: FilterOperator, data: PartitionedDataset) -> PartitionedDataset:
+        self._count_in(op, data.num_records())
+        parts = [
+            [record for record in part if op.fn(record)]  # type: ignore[union-attr]
+            for part in data.partitions
+        ]
+        # A filter never rewrites records, so hash placement survives.
+        return PartitionedDataset(partitions=parts, partitioned_by=data.partitioned_by)
+
+    def _combine_locally(
+        self, op: ReduceByKeyOperator, data: PartitionedDataset
+    ) -> PartitionedDataset:
+        """Pre-fold each partition by key before the shuffle."""
+        parts: list[list[Any]] = []
+        for part in data.partitions:
+            folded: dict[Any, Any] = {}
+            for record in part:  # type: ignore[union-attr]
+                key = op.key(record)
+                folded[key] = record if key not in folded else op.fn(folded[key], record)
+            parts.append(list(folded.values()))
+        return PartitionedDataset(partitions=parts, partitioned_by=data.partitioned_by)
+
+    def _run_reduce_by_key(
+        self, op: ReduceByKeyOperator, data: PartitionedDataset
+    ) -> PartitionedDataset:
+        self._count_in(op, data.num_records())
+        if self.combiners and data.partitioned_by != op.key:
+            data = self._combine_locally(op, data)
+        data = self._shuffle(data, op.key, op.name)
+        parts: list[list[Any]] = []
+        for part in data.partitions:
+            folded: dict[Any, Any] = {}
+            for record in part:  # type: ignore[union-attr]
+                key = op.key(record)
+                folded[key] = record if key not in folded else op.fn(folded[key], record)
+            parts.append(list(folded.values()))
+        # Contract: the reduce function preserves the key field, so the
+        # output remains partitioned by the same key.
+        return PartitionedDataset(partitions=parts, partitioned_by=op.key)
+
+    def _run_group_reduce(
+        self, op: GroupReduceOperator, data: PartitionedDataset
+    ) -> PartitionedDataset:
+        self._count_in(op, data.num_records())
+        data = self._shuffle(data, op.key, op.name)
+        parts: list[list[Any]] = []
+        for part in data.partitions:
+            groups: dict[Any, list[Any]] = {}
+            for record in part:  # type: ignore[union-attr]
+                groups.setdefault(op.key(record), []).append(record)
+            out: list[Any] = []
+            for key, group in groups.items():
+                out.extend(op.fn(key, group))
+            parts.append(out)
+        # Group reducers may emit arbitrary records; placement is unknown.
+        return PartitionedDataset(partitions=parts, partitioned_by=None)
+
+    def _join_partitioning(self, op: JoinOperator | CoGroupOperator) -> KeySpec | None:
+        if op.preserves == "left":
+            return op.left_key
+        if op.preserves == "right":
+            return op.right_key
+        return None
+
+    def _run_join(
+        self, op: JoinOperator, left: PartitionedDataset, right: PartitionedDataset
+    ) -> PartitionedDataset:
+        self._count_in(op, left.num_records() + right.num_records())
+        left = self._shuffle(left, op.left_key, op.name)
+        right = self._shuffle(right, op.right_key, op.name)
+        parts: list[list[Any]] = []
+        for left_part, right_part in zip(left.partitions, right.partitions):
+            table: dict[Any, list[Any]] = {}
+            for record in right_part:  # type: ignore[union-attr]
+                table.setdefault(op.right_key(record), []).append(record)
+            out: list[Any] = []
+            for record in left_part:  # type: ignore[union-attr]
+                for match in table.get(op.left_key(record), ()):
+                    out.extend(emitted(op.fn(record, match)))
+            parts.append(out)
+        return PartitionedDataset(partitions=parts, partitioned_by=self._join_partitioning(op))
+
+    def _run_co_group(
+        self, op: CoGroupOperator, left: PartitionedDataset, right: PartitionedDataset
+    ) -> PartitionedDataset:
+        self._count_in(op, left.num_records() + right.num_records())
+        left = self._shuffle(left, op.left_key, op.name)
+        right = self._shuffle(right, op.right_key, op.name)
+        parts: list[list[Any]] = []
+        for left_part, right_part in zip(left.partitions, right.partitions):
+            left_groups: dict[Any, list[Any]] = {}
+            for record in left_part:  # type: ignore[union-attr]
+                left_groups.setdefault(op.left_key(record), []).append(record)
+            right_groups: dict[Any, list[Any]] = {}
+            for record in right_part:  # type: ignore[union-attr]
+                right_groups.setdefault(op.right_key(record), []).append(record)
+            out: list[Any] = []
+            for key in left_groups.keys() | right_groups.keys():
+                out.extend(op.fn(key, left_groups.get(key, []), right_groups.get(key, [])))
+            parts.append(out)
+        return PartitionedDataset(partitions=parts, partitioned_by=self._join_partitioning(op))
+
+    def _run_cross(
+        self, op: CrossOperator, left: PartitionedDataset, right: PartitionedDataset
+    ) -> PartitionedDataset:
+        # The right side is broadcast: every partition receives a full copy.
+        broadcast = right.all_records()
+        self.clock.charge_network(len(broadcast) * self.parallelism)
+        self.metrics.increment(f"shuffled.{op.name}", len(broadcast) * self.parallelism)
+        pairs = left.num_records() * len(broadcast)
+        self._count_in(op, pairs)
+        parts: list[list[Any]] = []
+        for part in left.partitions:
+            out: list[Any] = []
+            for record in part:  # type: ignore[union-attr]
+                for other in broadcast:
+                    out.extend(emitted(op.fn(record, other)))
+            parts.append(out)
+        return PartitionedDataset(partitions=parts, partitioned_by=None)
+
+    def _run_union(self, op: UnionOperator, inputs: list[PartitionedDataset]) -> PartitionedDataset:
+        self._count_in(op, sum(ds.num_records() for ds in inputs))
+        parts: list[list[Any]] = []
+        for pid in range(self.parallelism):
+            merged: list[Any] = []
+            for dataset in inputs:
+                merged.extend(dataset.partitions[pid])  # type: ignore[arg-type]
+            parts.append(merged)
+        keys = {ds.partitioned_by for ds in inputs}
+        partitioned_by = keys.pop() if len(keys) == 1 else None
+        return PartitionedDataset(partitions=parts, partitioned_by=partitioned_by)

@@ -1,0 +1,138 @@
+"""Failure schedules and injection.
+
+In the demo, conference attendees pick which partitions to fail and in
+which iterations via the GUI. Programmatically this is a
+:class:`FailureSchedule` — a set of :class:`FailureEvent` entries, each
+naming a superstep and the workers to kill at the end of that superstep's
+compute phase. Random schedules (for the robustness experiments) are
+generated with an explicit seed so every run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Kill ``worker_ids`` during superstep ``superstep`` (0-based).
+
+    The failure takes effect after the superstep's compute phase but
+    before its results are committed, so the state produced in that
+    superstep on the failed workers is lost — the scenario §2.2 of the
+    paper describes.
+    """
+
+    superstep: int
+    worker_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0:
+            raise ConfigError(f"failure superstep must be >= 0, got {self.superstep}")
+        if not self.worker_ids:
+            raise ConfigError("a failure event must name at least one worker")
+        object.__setattr__(self, "worker_ids", tuple(sorted(set(self.worker_ids))))
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered collection of failure events."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """A failure-free schedule."""
+        return cls([])
+
+    @classmethod
+    def single(cls, superstep: int, worker_ids: Iterable[int]) -> "FailureSchedule":
+        """One failure at ``superstep`` killing ``worker_ids``."""
+        return cls([FailureEvent(superstep, tuple(worker_ids))])
+
+    @classmethod
+    def at(cls, *events: tuple[int, Iterable[int]]) -> "FailureSchedule":
+        """Build from ``(superstep, worker_ids)`` pairs."""
+        return cls([FailureEvent(step, tuple(ids)) for step, ids in events])
+
+    @classmethod
+    def random(
+        cls,
+        num_workers: int,
+        max_superstep: int,
+        num_failures: int,
+        seed: int,
+        workers_per_failure: int = 1,
+    ) -> "FailureSchedule":
+        """A reproducible random schedule.
+
+        Picks ``num_failures`` distinct supersteps in
+        ``[1, max_superstep]`` and, for each, a random subset of
+        ``workers_per_failure`` workers. Superstep 0 is excluded so that a
+        run always completes at least one full iteration before the first
+        failure, matching the demo's scenarios.
+        """
+        if num_failures < 0:
+            raise ConfigError(f"num_failures must be >= 0, got {num_failures}")
+        if workers_per_failure < 1 or workers_per_failure > num_workers:
+            raise ConfigError(
+                f"workers_per_failure must be in [1, {num_workers}], got {workers_per_failure}"
+            )
+        if num_failures > max_superstep:
+            raise ConfigError(
+                f"cannot place {num_failures} failures in supersteps 1..{max_superstep}"
+            )
+        rng = random.Random(seed)
+        steps = rng.sample(range(1, max_superstep + 1), num_failures)
+        events = [
+            FailureEvent(step, tuple(rng.sample(range(num_workers), workers_per_failure)))
+            for step in sorted(steps)
+        ]
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_superstep(self, superstep: int) -> list[FailureEvent]:
+        """Events scheduled for ``superstep``."""
+        return [event for event in self.events if event.superstep == superstep]
+
+    def max_superstep(self) -> int:
+        """Largest superstep with a scheduled failure (``-1`` if none)."""
+        return max((event.superstep for event in self.events), default=-1)
+
+
+class FailureInjector:
+    """Drives a :class:`FailureSchedule` during a run.
+
+    The iteration drivers ask :meth:`pop` once per superstep. Events fire
+    exactly once: re-running the same injector object continues from where
+    it stopped, so drivers create a fresh injector per run. When the
+    iteration restarts from scratch (restart recovery), already-fired
+    events do not fire again — the machines are already dead.
+    """
+
+    def __init__(self, schedule: FailureSchedule):
+        self.schedule = schedule
+        self._fired: set[int] = set()
+
+    def pop(self, superstep: int) -> list[FailureEvent]:
+        """Events that fire in ``superstep`` and have not fired before."""
+        due = []
+        for index, event in enumerate(self.schedule.events):
+            if event.superstep == superstep and index not in self._fired:
+                self._fired.add(index)
+                due.append(event)
+        return due
+
+    @property
+    def pending(self) -> int:
+        """How many scheduled events have not fired yet."""
+        return len(self.schedule.events) - len(self._fired)

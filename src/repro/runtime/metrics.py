@@ -1,0 +1,172 @@
+"""Counters and per-superstep statistics.
+
+The demo GUI plots four statistic series (§3.2–3.3 of the paper):
+
+* Connected Components: (i) vertices converged to their final component
+  per iteration, (ii) messages (candidate labels sent to neighbors) per
+  iteration;
+* PageRank: (i) vertices converged to their true rank per iteration,
+  (ii) the L1 norm of the difference between consecutive rank estimates.
+
+:class:`IterationStats` captures one superstep's worth of those numbers,
+:class:`StatsSeries` collects the run-long series, and
+:class:`MetricsRegistry` provides the low-level named counters the executor
+increments (e.g. records entering each named operator, which is how we
+count "messages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class MetricsRegistry:
+    """A flat registry of named monotonic counters.
+
+    Counter names are free-form strings. The executor uses the convention
+    ``records_in.<operator name>`` for per-operator input cardinalities and
+    ``shuffled.<operator name>`` for exchange volumes, which lets the demo
+    read off "messages per iteration" as the input count of the paper's
+    ``candidate-label`` reduce.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        value = self._counters.get(name, 0) + amount
+        self._counters[name] = value
+        return value
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (zero if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def names(self) -> list[str]:
+        """All counter names, sorted."""
+        return sorted(self._counters)
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Per-counter increase since an ``earlier`` :meth:`snapshot`."""
+        return {
+            name: value - earlier.get(name, 0)
+            for name, value in self._counters.items()
+            if value != earlier.get(name, 0)
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+
+@dataclass
+class IterationStats:
+    """Statistics of one superstep.
+
+    Attributes:
+        superstep: 0-based superstep index.
+        messages: records exchanged between vertices this superstep (the
+            GUI's "messages" plot for Connected Components; for PageRank it
+            counts rank contributions).
+        updates: solution-set updates (delta iterations) or state records
+            recomputed (bulk iterations).
+        converged: number of state entries already equal to the precomputed
+            ground truth at the *end* of this superstep.
+        l1_delta: L1 norm between this superstep's state and the previous
+            one (the GUI's PageRank convergence plot); ``None`` when the
+            observer does not compute it.
+        workset_size: size of the delta-iteration workset *entering* the
+            superstep (``None`` for bulk iterations).
+        sim_time_start: simulated clock at superstep start.
+        sim_time_end: simulated clock at superstep end.
+        failed: True when a failure struck during this superstep.
+        compensated: True when a compensation function ran this superstep.
+        rolled_back: True when rollback recovery restored a checkpoint.
+        restarted: True when the iteration was restarted from scratch.
+    """
+
+    superstep: int
+    messages: int = 0
+    updates: int = 0
+    converged: int = 0
+    l1_delta: float | None = None
+    workset_size: int | None = None
+    sim_time_start: float = 0.0
+    sim_time_end: float = 0.0
+    failed: bool = False
+    compensated: bool = False
+    rolled_back: bool = False
+    restarted: bool = False
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds spent in this superstep."""
+        return self.sim_time_end - self.sim_time_start
+
+
+class StatsSeries:
+    """The run-long sequence of :class:`IterationStats`.
+
+    Provides the column accessors the demo plots and the benchmark reports
+    need (``converged_series()``, ``messages_series()``, ...).
+    """
+
+    def __init__(self) -> None:
+        self._stats: list[IterationStats] = []
+
+    def append(self, stats: IterationStats) -> None:
+        self._stats.append(stats)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __iter__(self) -> Iterator[IterationStats]:
+        return iter(self._stats)
+
+    def __getitem__(self, index: int) -> IterationStats:
+        return self._stats[index]
+
+    @property
+    def last(self) -> IterationStats | None:
+        """The most recent superstep's stats, or ``None`` if empty."""
+        return self._stats[-1] if self._stats else None
+
+    def converged_series(self) -> list[int]:
+        """Converged-entity count per superstep (GUI plot (i))."""
+        return [s.converged for s in self._stats]
+
+    def messages_series(self) -> list[int]:
+        """Messages per superstep (GUI plot (ii) for CC)."""
+        return [s.messages for s in self._stats]
+
+    def l1_series(self) -> list[float | None]:
+        """L1 deltas per superstep (GUI plot (ii) for PageRank)."""
+        return [s.l1_delta for s in self._stats]
+
+    def updates_series(self) -> list[int]:
+        """Solution-set updates per superstep."""
+        return [s.updates for s in self._stats]
+
+    def duration_series(self) -> list[float]:
+        """Simulated duration per superstep."""
+        return [s.sim_duration for s in self._stats]
+
+    def failure_supersteps(self) -> list[int]:
+        """Supersteps during which a failure struck."""
+        return [s.superstep for s in self._stats if s.failed]
+
+    def total_messages(self) -> int:
+        """Sum of the message series."""
+        return sum(s.messages for s in self._stats)
+
+    def total_sim_time(self) -> float:
+        """Simulated seconds from first superstep start to last end."""
+        if not self._stats:
+            return 0.0
+        return self._stats[-1].sim_time_end - self._stats[0].sim_time_start

@@ -1,0 +1,179 @@
+"""Tests for ALS matrix factorization (the CIKM-13 third workload family)."""
+
+import pytest
+
+from repro.algorithms.als import (
+    AlsCompensation,
+    als,
+    als_plan,
+    als_rmse,
+    exact_als,
+    initial_factor,
+    synthetic_ratings,
+)
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.errors import GraphError
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_ratings(30, 20, rank=3, density=0.3, seed=1)
+
+
+class TestSyntheticRatings:
+    def test_every_user_and_item_rated(self, dataset):
+        assert dataset.users == list(range(30))
+        assert dataset.items == list(range(20))
+
+    def test_deterministic(self):
+        first = synthetic_ratings(10, 8, seed=4)
+        second = synthetic_ratings(10, 8, seed=4)
+        assert first.ratings == second.ratings
+
+    def test_no_duplicate_cells(self, dataset):
+        cells = [(u, i) for u, i, _r in dataset.ratings]
+        assert len(cells) == len(set(cells))
+
+    def test_density_validation(self):
+        with pytest.raises(GraphError):
+            synthetic_ratings(5, 5, density=0.0)
+
+
+class TestInitialFactor:
+    def test_deterministic_per_entity(self):
+        assert initial_factor("u", 3, 4, seed=7) == initial_factor("u", 3, 4, seed=7)
+
+    def test_distinct_entities_distinct_vectors(self):
+        assert initial_factor("u", 3, 4, seed=7) != initial_factor("u", 4, 4, seed=7)
+        assert initial_factor("u", 3, 4, seed=7) != initial_factor("i", 3, 4, seed=7)
+
+    def test_rank_respected(self):
+        assert len(initial_factor("i", 0, 5, seed=1)) == 5
+
+
+class TestFailureFree:
+    def test_matches_reference_als(self, dataset):
+        job = als(dataset, rank=3, iterations=6, seed=5)
+        result = job.run(config=CONFIG)
+        reference = exact_als(dataset, rank=3, iterations=6, seed=5)
+        assert result.converged
+        for key, vector in result.final_dict.items():
+            assert vector == pytest.approx(reference[key], abs=1e-9)
+
+    def test_rmse_decreases_from_initial(self, dataset):
+        job = als(dataset, rank=3, iterations=6, seed=5)
+        result = job.run(config=CONFIG)
+        initial = {k: v for k, v in job.initial_records}
+        assert als_rmse(result.final_dict, dataset.ratings) < 0.5 * als_rmse(
+            initial, dataset.ratings
+        )
+
+    def test_recovers_planted_structure(self, dataset):
+        # noise is 0.05; a rank-3 fit should land near the noise floor
+        result = als(dataset, rank=3, iterations=10, seed=5).run(config=CONFIG)
+        assert als_rmse(result.final_dict, dataset.ratings) < 0.15
+
+    def test_runs_exact_iteration_count(self, dataset):
+        result = als(dataset, rank=3, iterations=4, seed=5).run(config=CONFIG)
+        assert result.supersteps == 4
+
+    def test_state_contains_every_user_and_item(self, dataset):
+        result = als(dataset, rank=3, iterations=2, seed=5).run(config=CONFIG)
+        keys = set(result.final_dict)
+        assert keys == {("u", u) for u in dataset.users} | {
+            ("i", i) for i in dataset.items
+        }
+
+    def test_validation(self, dataset):
+        with pytest.raises(GraphError):
+            als(dataset, rank=0)
+        from repro.algorithms.als import RatingsDataset
+
+        with pytest.raises(GraphError):
+            als(RatingsDataset(()))
+
+
+class TestWithFailures:
+    @pytest.mark.parametrize("failed_workers", [[0], [2], [0, 1]])
+    def test_optimistic_recovery_recovers_rmse(self, dataset, failed_workers):
+        job = als(dataset, rank=3, iterations=10, seed=5)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(4, failed_workers),
+        )
+        assert result.converged
+        assert als_rmse(result.final_dict, dataset.ratings) < 0.15
+
+    def test_compensation_resets_to_initial_factors(self, dataset):
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        job = als(dataset, rank=3, iterations=8, seed=5)
+        store = SnapshotStore()
+        job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(3, [0]),
+            snapshots=store,
+        )
+        compensated = store.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0].as_dict()
+        initial = store.of_phase(SnapshotPhase.INITIAL)[0].as_dict()
+        before = store.of_phase(SnapshotPhase.BEFORE_FAILURE)[0].as_dict()
+        reset_count = 0
+        for key, vector in compensated.items():
+            if vector == initial[key] and vector != before[key]:
+                reset_count += 1
+            else:
+                assert vector == before[key]
+        assert reset_count > 0
+
+    def test_rmse_spike_then_recovery(self, dataset):
+        """After compensation the model worsens, then ALS's monotone
+        block minimization pulls the loss back down."""
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        job = als(dataset, rank=3, iterations=10, seed=5)
+        store = SnapshotStore()
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(5, [1]),
+            snapshots=store,
+        )
+        rmse_series = [
+            als_rmse(snap.as_dict(), dataset.ratings)
+            for snap in store.of_phase(SnapshotPhase.AFTER_SUPERSTEP)
+        ]
+        failure_rmse = rmse_series[5]
+        assert failure_rmse > rmse_series[4]  # the spike
+        assert rmse_series[-1] < failure_rmse  # the recovery
+        assert rmse_series[-1] < 0.15
+
+    def test_checkpoint_recovery_matches_failure_free(self, dataset):
+        baseline = als(dataset, rank=3, iterations=6, seed=5).run(config=CONFIG)
+        recovered = als(dataset, rank=3, iterations=6, seed=5).run(
+            config=CONFIG,
+            recovery=CheckpointRecovery(interval=1),
+            failures=FailureSchedule.single(3, [1]),
+        )
+        for key, vector in recovered.final_dict.items():
+            assert vector == pytest.approx(baseline.final_dict[key], abs=1e-12)
+
+
+def test_plan_contains_the_alternation():
+    plan = als_plan(rank=3, lam=0.05)
+    names = {op.name for op in plan.operators}
+    assert {
+        "gather-item-vectors",
+        "update-user-factors",
+        "gather-user-vectors",
+        "update-item-factors",
+        "next-factors",
+    } <= names
+    # the item half-step consumes the *new* user factors
+    gather_users = plan.operator_by_name("gather-user-vectors")
+    assert "update-user-factors" in {op.name for op in gather_users.inputs}

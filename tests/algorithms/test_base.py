@@ -1,0 +1,65 @@
+"""Tests for the job wrappers (BulkJob / DeltaJob)."""
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank
+from repro.algorithms.base import BulkJob, DeltaJob
+from repro.config import EngineConfig
+from repro.core.optimistic import OptimisticRecovery
+from repro.graph import demo_graph, demo_pagerank_graph
+
+CONFIG = EngineConfig(parallelism=2, spare_workers=2)
+
+
+def test_delta_job_optimistic_wires_compensation():
+    job = connected_components(demo_graph())
+    strategy = job.optimistic()
+    assert isinstance(strategy, OptimisticRecovery)
+    assert strategy.compensation is job.compensation
+    assert strategy.invariants == job.invariants
+
+
+def test_bulk_job_optimistic_wires_compensation():
+    job = pagerank(demo_pagerank_graph())
+    strategy = job.optimistic()
+    assert strategy.compensation is job.compensation
+
+
+def test_optimistic_without_compensation_raises():
+    cc = connected_components(demo_graph())
+    bare_delta = DeltaJob(
+        spec=cc.spec,
+        initial_solution=cc.initial_solution,
+        statics=cc.statics,
+    )
+    with pytest.raises(ValueError, match="no compensation"):
+        bare_delta.optimistic()
+    pr = pagerank(demo_pagerank_graph())
+    bare_bulk = BulkJob(spec=pr.spec, initial_records=pr.initial_records, statics=pr.statics)
+    with pytest.raises(ValueError, match="no compensation"):
+        bare_bulk.optimistic()
+
+
+def test_truth_property_mirrors_spec():
+    job = connected_components(demo_graph())
+    assert job.truth is job.spec.truth
+    assert job.truth is not None
+
+
+def test_job_is_rerunnable():
+    """A job object can run multiple times (spec state is reset)."""
+    job = connected_components(demo_graph())
+    first = job.run(config=CONFIG)
+    second = job.run(config=CONFIG)
+    assert first.final_dict == second.final_dict
+    assert first.supersteps == second.supersteps
+
+
+def test_runs_are_isolated():
+    """Two runs of the same job share no runtime state (fresh cluster,
+    clock, metrics each time)."""
+    job = pagerank(demo_pagerank_graph())
+    first = job.run(config=CONFIG)
+    second = job.run(config=CONFIG)
+    assert first.clock is not second.clock
+    assert first.sim_time == pytest.approx(second.sim_time)

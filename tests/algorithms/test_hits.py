@@ -1,0 +1,158 @@
+"""Tests for HITS (hubs & authorities) — extension scope."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.hits import exact_hits, hits, hits_plan
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.errors import GraphError
+from repro.graph.generators import (
+    demo_pagerank_graph,
+    star_graph,
+    twitter_like_graph,
+)
+from repro.graph.graph import Graph
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+def _max_error(ours, truth):
+    return max(
+        max(abs(a - b) for a, b in zip(ours[v], truth[v])) for v in truth
+    )
+
+
+class TestExactHits:
+    def test_matches_networkx(self):
+        graph = twitter_like_graph(80, seed=4)
+        ours = exact_hits(graph)
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(graph.vertices)
+        nx_graph.add_edges_from(graph.edges)
+        nx_hubs, nx_auth = nx.hits(nx_graph, max_iter=2000, tol=1e-14)
+        # networkx normalizes to sum 1, we normalize to L2 norm 1: rescale
+        hub_sum = sum(v[0] for v in ours.values())
+        auth_sum = sum(v[1] for v in ours.values())
+        for vertex in graph.vertices:
+            assert ours[vertex][0] / hub_sum == pytest.approx(nx_hubs[vertex], abs=1e-8)
+            assert ours[vertex][1] / auth_sum == pytest.approx(nx_auth[vertex], abs=1e-8)
+
+    def test_unit_norms(self):
+        scores = exact_hits(demo_pagerank_graph())
+        hub_norm = math.sqrt(sum(v[0] ** 2 for v in scores.values()))
+        auth_norm = math.sqrt(sum(v[1] ** 2 for v in scores.values()))
+        assert hub_norm == pytest.approx(1.0)
+        assert auth_norm == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert exact_hits(Graph([], [])) == {}
+
+    def test_star_authority_concentrates_on_leaves(self):
+        # directed star: hub 0 points at every leaf
+        graph = Graph(range(5), [(0, i) for i in range(1, 5)], directed=True)
+        scores = exact_hits(graph)
+        assert scores[0][0] == pytest.approx(1.0)  # the only hub
+        for leaf in range(1, 5):
+            assert scores[leaf][1] == pytest.approx(0.5)  # 4 equal authorities
+
+
+class TestHitsJob:
+    def test_failure_free_matches_reference(self):
+        graph = demo_pagerank_graph()
+        result = hits(graph, epsilon=1e-10).run(config=CONFIG)
+        assert result.converged
+        assert _max_error(result.final_dict, exact_hits(graph)) < 1e-7
+
+    def test_undirected_graph(self):
+        graph = star_graph(6)
+        result = hits(graph, epsilon=1e-10).run(config=CONFIG)
+        assert _max_error(result.final_dict, exact_hits(graph)) < 1e-7
+
+    def test_twitter_like_graph(self):
+        graph = twitter_like_graph(100, seed=4)
+        result = hits(graph, epsilon=1e-9, max_supersteps=500).run(config=CONFIG)
+        assert result.converged
+        assert _max_error(result.final_dict, exact_hits(graph)) < 1e-5
+
+    def test_scores_stay_normalized(self):
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        store = SnapshotStore()
+        hits(demo_pagerank_graph(), epsilon=1e-9).run(config=CONFIG, snapshots=store)
+        for snap in store.of_phase(SnapshotPhase.AFTER_SUPERSTEP):
+            state = snap.as_dict()
+            hub_norm = math.sqrt(sum(v[0] ** 2 for v in state.values()))
+            auth_norm = math.sqrt(sum(v[1] ** 2 for v in state.values()))
+            assert hub_norm == pytest.approx(1.0, abs=1e-9)
+            assert auth_norm == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            hits(Graph([], []))
+        with pytest.raises(GraphError):
+            hits(Graph([0, 1], []))  # edgeless
+
+    def test_plan_operators(self):
+        plan = hits_plan()
+        names = {op.name for op in plan.operators}
+        assert {
+            "propagate-hubs",
+            "sum-authorities",
+            "normalize-authorities",
+            "propagate-authorities",
+            "sum-hubs",
+            "normalize-hubs",
+            "combine-scores",
+        } <= names
+
+
+class TestHitsRecovery:
+    @pytest.mark.parametrize("failed_workers", [[0], [1, 2]])
+    def test_optimistic_recovers_to_true_scores(self, failed_workers):
+        graph = demo_pagerank_graph()
+        job = hits(graph, epsilon=1e-10, max_supersteps=600)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(10, failed_workers),
+        )
+        assert result.converged
+        assert _max_error(result.final_dict, exact_hits(graph)) < 1e-7
+
+    def test_normalization_restores_consistency_after_compensation(self):
+        """The compensated vector is not normalized (uniform values were
+        spliced in), but one superstep later the per-step normalization
+        has restored unit norms — HITS's consistency condition."""
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        graph = demo_pagerank_graph()
+        job = hits(graph, epsilon=1e-9)
+        store = SnapshotStore()
+        job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(8, [1]),
+            snapshots=store,
+        )
+        after = [
+            snap
+            for snap in store.of_phase(SnapshotPhase.AFTER_SUPERSTEP)
+            if snap.superstep == 9
+        ][0]
+        state = after.as_dict()
+        auth_norm = math.sqrt(sum(v[1] ** 2 for v in state.values()))
+        assert auth_norm == pytest.approx(1.0, abs=1e-9)
+
+    def test_checkpoint_recovery_matches_failure_free(self):
+        graph = demo_pagerank_graph()
+        baseline = hits(graph, epsilon=1e-9).run(config=CONFIG)
+        recovered = hits(graph, epsilon=1e-9).run(
+            config=CONFIG,
+            recovery=CheckpointRecovery(interval=3),
+            failures=FailureSchedule.single(7, [0]),
+        )
+        assert _max_error(recovered.final_dict, baseline.final_dict) < 1e-12

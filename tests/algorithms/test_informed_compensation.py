@@ -1,0 +1,114 @@
+"""Tests for the neighbor-informed CC compensation (confined-recovery
+style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connected_components import (
+    NeighborInformedCompensation,
+    connected_components,
+)
+from repro.algorithms.reference import exact_connected_components
+from repro.config import EngineConfig
+from repro.core.optimistic import OptimisticRecovery
+from repro.graph.generators import erdos_renyi_graph, multi_component_graph
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+def _informed_job(graph):
+    job = connected_components(graph)
+    job.compensation = NeighborInformedCompensation()
+    return job
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("failed_workers", [[0], [2], [0, 3]])
+    def test_converges_to_exact_components(self, failed_workers):
+        graph = multi_component_graph(3, 20, seed=8)
+        job = _informed_job(graph)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(2, failed_workers),
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+
+    def test_full_cluster_failure_degrades_to_reset(self):
+        """With no survivors, the informed compensation has no neighbor
+        labels to consult and must behave exactly like the plain reset."""
+        graph = multi_component_graph(3, 20, seed=8)
+        job = _informed_job(graph)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(2, [0, 1, 2, 3]),
+        )
+        assert result.final_dict == exact_connected_components(graph)
+
+    def test_invariants_still_hold(self):
+        """Informed labels are still drawn from the initial label domain,
+        so the job's shipped invariants pass."""
+        graph = multi_component_graph(3, 20, seed=8)
+        job = _informed_job(graph)
+        strategy = OptimisticRecovery(job.compensation, job.invariants)
+        result = job.run(
+            config=CONFIG,
+            recovery=strategy,
+            failures=FailureSchedule.single(2, [1]),
+        )
+        assert result.final_dict == exact_connected_components(graph)
+
+
+class TestImprovementOverReset:
+    def test_compensated_state_closer_to_truth(self):
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        graph = multi_component_graph(3, 25, seed=8)
+        truth = exact_connected_components(graph)
+
+        def compensated_errors(job):
+            store = SnapshotStore()
+            job.run(
+                config=CONFIG,
+                recovery=job.optimistic(),
+                failures=FailureSchedule.single(2, [0]),
+                snapshots=store,
+            )
+            state = store.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0].as_dict()
+            return sum(1 for v, label in state.items() if label != truth[v])
+
+        reset_errors = compensated_errors(connected_components(graph))
+        informed_errors = compensated_errors(_informed_job(graph))
+        assert informed_errors <= reset_errors
+
+    def test_fewer_or_equal_recovery_messages(self):
+        graph = multi_component_graph(3, 25, seed=8)
+        schedule = FailureSchedule.single(2, [0])
+        reset_job = connected_components(graph)
+        reset = reset_job.run(
+            config=CONFIG, recovery=reset_job.optimistic(), failures=schedule
+        )
+        informed_job = _informed_job(graph)
+        informed = informed_job.run(
+            config=CONFIG, recovery=informed_job.optimistic(), failures=schedule
+        )
+        assert informed.stats.total_messages() <= reset.stats.total_messages()
+        assert informed.supersteps <= reset.supersteps
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    failure_seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_property_informed_compensation_always_correct(seed, failure_seed):
+    graph = erdos_renyi_graph(30, 0.06, seed=seed)
+    job = _informed_job(graph)
+    schedule = FailureSchedule.random(4, 5, 2, seed=failure_seed)
+    result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    assert result.final_dict == exact_connected_components(graph)

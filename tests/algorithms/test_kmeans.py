@@ -1,0 +1,107 @@
+"""Tests for the K-Means dataflow job (extension scope)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.kmeans import kmeans
+from repro.algorithms.reference import exact_kmeans, kmeans_inertia
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.errors import GraphError
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+def _blobs(seed=0, per_cluster=25):
+    rng = random.Random(seed)
+    centers = [(0.0, 0.0), (8.0, 8.0), (0.0, 8.0)]
+    return [
+        (rng.gauss(cx, 0.6), rng.gauss(cy, 0.6))
+        for cx, cy in centers
+        for _ in range(per_cluster)
+    ]
+
+
+class TestFailureFree:
+    def test_matches_reference_lloyd(self):
+        points = _blobs()
+        job = kmeans(points, 3, iterations=10, seed=1)
+        result = job.run(config=CONFIG)
+        reference = exact_kmeans(
+            points, [job.initial_records[i][1] for i in range(3)], 10
+        )
+        assert result.converged
+        for cid, coords in result.final_dict.items():
+            assert coords == pytest.approx(reference[cid], abs=1e-9)
+
+    def test_runs_exactly_requested_iterations(self):
+        result = kmeans(_blobs(), 3, iterations=7).run(config=CONFIG)
+        assert result.supersteps == 7
+
+    def test_inertia_not_worse_than_initial(self):
+        points = _blobs()
+        job = kmeans(points, 3, iterations=10, seed=1)
+        result = job.run(config=CONFIG)
+        initial = [coords for _cid, coords in job.initial_records]
+        final = [coords for _cid, coords in sorted(result.final_dict.items())]
+        assert kmeans_inertia(points, final) <= kmeans_inertia(points, initial)
+
+    def test_finds_the_planted_clusters(self):
+        points = _blobs()
+        result = kmeans(points, 3, iterations=15, seed=3).run(config=CONFIG)
+        finals = sorted(result.final_dict.values())
+        planted = [(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]
+        for found, true_center in zip(finals, planted):
+            assert found == pytest.approx(true_center, abs=0.5)
+
+    def test_k_validation(self):
+        with pytest.raises(GraphError):
+            kmeans(_blobs(), 0)
+        with pytest.raises(GraphError):
+            kmeans([(0.0, 0.0)], 2)
+
+    def test_deterministic_given_seed(self):
+        first = kmeans(_blobs(), 3, iterations=5, seed=9).run(config=CONFIG)
+        second = kmeans(_blobs(), 3, iterations=5, seed=9).run(config=CONFIG)
+        assert first.final_dict == second.final_dict
+
+
+class TestWithFailures:
+    def test_optimistic_recovery_still_clusters(self):
+        points = _blobs()
+        job = kmeans(points, 3, iterations=15, seed=3, with_truth=False)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(5, [0]),
+        )
+        assert result.converged
+        final = [coords for _cid, coords in sorted(result.final_dict.items())]
+        # a compensated run may land in a different local optimum, but on
+        # well-separated blobs it must still find the planted centers
+        assert kmeans_inertia(points, final) < 2.0 * kmeans_inertia(
+            points, [(0.0, 0.0), (0.0, 8.0), (8.0, 8.0)]
+        )
+
+    def test_all_centroids_survive_compensation(self):
+        job = kmeans(_blobs(), 4, iterations=10, seed=3, with_truth=False)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(4, [0, 1]),
+        )
+        assert sorted(result.final_dict.keys()) == [0, 1, 2, 3]
+
+    def test_checkpoint_recovery_matches_failure_free(self):
+        """Rollback recovery replays the exact trajectory, so the result
+        matches the failure-free run bit for bit."""
+        points = _blobs()
+        baseline = kmeans(points, 3, iterations=8, seed=2).run(config=CONFIG)
+        recovered = kmeans(points, 3, iterations=8, seed=2).run(
+            config=CONFIG,
+            recovery=CheckpointRecovery(interval=1),
+            failures=FailureSchedule.single(4, [1]),
+        )
+        assert recovered.final_dict == baseline.final_dict

@@ -1,0 +1,262 @@
+"""Tests for the PageRank dataflow job."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRankCompensation, pagerank
+from repro.algorithms.reference import exact_pagerank
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.compensation import CompensationContext
+from repro.core.restart import RestartRecovery
+from repro.errors import GraphError
+from repro.graph.generators import (
+    demo_pagerank_graph,
+    star_graph,
+    twitter_like_graph,
+)
+from repro.graph.graph import Graph
+from repro.runtime.events import EventKind
+from repro.runtime.executor import PartitionedDataset
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+def _assert_matches_reference(graph, result, tol=1e-6):
+    truth = exact_pagerank(graph)
+    assert result.converged
+    for vertex, rank in result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=tol)
+
+
+class TestFailureFree:
+    def test_demo_graph_matches_reference(self):
+        graph = demo_pagerank_graph()
+        result = pagerank(graph, epsilon=1e-10).run(config=CONFIG)
+        _assert_matches_reference(graph, result, tol=1e-8)
+
+    def test_star_graph(self):
+        graph = star_graph(8)
+        result = pagerank(graph, epsilon=1e-10).run(config=CONFIG)
+        _assert_matches_reference(graph, result, tol=1e-8)
+
+    def test_twitter_like_graph(self):
+        graph = twitter_like_graph(150, seed=3)
+        result = pagerank(graph, epsilon=1e-9, max_supersteps=500).run(config=CONFIG)
+        _assert_matches_reference(graph, result, tol=1e-6)
+
+    def test_ranks_sum_to_one_every_superstep(self):
+        graph = demo_pagerank_graph()
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        store = SnapshotStore()
+        pagerank(graph, epsilon=1e-9).run(config=CONFIG, snapshots=store)
+        for snap in store.of_phase(SnapshotPhase.AFTER_SUPERSTEP):
+            assert sum(snap.as_dict().values()) == pytest.approx(1.0)
+
+    def test_l1_series_trends_downward(self):
+        graph = demo_pagerank_graph()
+        result = pagerank(graph, epsilon=1e-9).run(config=CONFIG)
+        l1 = result.stats.l1_series()
+        assert all(value is not None for value in l1)
+        assert l1[-1] < l1[0]
+        # strictly decreasing after the first couple of supersteps
+        assert all(b <= a for a, b in zip(l1[2:], l1[3:]))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            pagerank(Graph([], []))
+
+    def test_dangling_mass_handled(self):
+        # all-dangling: two isolated vertices; ranks must stay uniform
+        graph = Graph([0, 1], [], directed=True)
+        result = pagerank(graph, epsilon=1e-12).run(
+            config=EngineConfig(parallelism=2, spare_workers=2)
+        )
+        assert result.final_dict[0] == pytest.approx(0.5)
+        assert result.final_dict[1] == pytest.approx(0.5)
+
+    def test_converged_count_reaches_n(self):
+        graph = demo_pagerank_graph()
+        result = pagerank(graph, epsilon=1e-10).run(config=CONFIG)
+        assert result.stats.converged_series()[-1] == graph.num_vertices
+
+
+class TestWithFailures:
+    @pytest.mark.parametrize("failed_workers", [[0], [1], [2, 3], [0, 1, 2, 3]])
+    def test_optimistic_correct_for_any_failed_subset(self, failed_workers):
+        graph = demo_pagerank_graph()
+        job = pagerank(graph, epsilon=1e-10, max_supersteps=400)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(5, failed_workers),
+        )
+        _assert_matches_reference(graph, result, tol=1e-8)
+
+    @pytest.mark.parametrize("superstep", [0, 3, 10, 30])
+    def test_optimistic_correct_for_any_failure_time(self, superstep):
+        graph = demo_pagerank_graph()
+        job = pagerank(graph, epsilon=1e-10, max_supersteps=400)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(superstep, [1]),
+        )
+        _assert_matches_reference(graph, result, tol=1e-8)
+
+    def test_compensated_state_sums_to_one(self):
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        graph = demo_pagerank_graph()
+        job = pagerank(graph, epsilon=1e-9)
+        store = SnapshotStore()
+        job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(4, [1]),
+            snapshots=store,
+        )
+        compensated = store.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0]
+        assert sum(compensated.as_dict().values()) == pytest.approx(1.0)
+
+    def test_compensated_vertices_get_uniform_share(self):
+        from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+        graph = demo_pagerank_graph()
+        job = pagerank(graph, epsilon=1e-9)
+        store = SnapshotStore()
+        job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(4, [1]),
+            snapshots=store,
+        )
+        compensated = store.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0].as_dict()
+        lost_vertices = [v for v in graph.vertices if v % 4 == 1]
+        shares = {compensated[v] for v in lost_vertices}
+        assert len(shares) == 1  # uniform redistribution
+
+    def test_l1_spike_at_iteration_after_failure(self):
+        """§3.3: 'we can expect to observe an increase in the difference
+        after an iteration with failures.'"""
+        graph = demo_pagerank_graph()
+        job = pagerank(graph, epsilon=1e-9)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(4, [1]),
+        )
+        l1 = result.stats.l1_series()
+        assert l1[5] > l1[4]
+
+    def test_convergence_plummet_after_failure(self):
+        graph = twitter_like_graph(150, seed=3)
+        job = pagerank(graph, epsilon=1e-9, max_supersteps=500, truth_tolerance=1e-4)
+        baseline = job.run(config=CONFIG)
+        failing = pagerank(graph, epsilon=1e-9, max_supersteps=500, truth_tolerance=1e-4)
+        superstep = baseline.supersteps // 2
+        result = failing.run(
+            config=CONFIG,
+            recovery=failing.optimistic(),
+            failures=FailureSchedule.single(superstep, [0]),
+        )
+        assert (
+            result.stats.converged_series()[superstep]
+            < baseline.stats.converged_series()[superstep]
+        )
+
+    def test_checkpoint_recovery_correct(self):
+        graph = demo_pagerank_graph()
+        result = pagerank(graph, epsilon=1e-10, max_supersteps=400).run(
+            config=CONFIG,
+            recovery=CheckpointRecovery(interval=5),
+            failures=FailureSchedule.single(7, [0]),
+        )
+        _assert_matches_reference(graph, result, tol=1e-8)
+        assert result.events.of_kind(EventKind.ROLLBACK)
+
+    def test_restart_recovery_correct(self):
+        graph = demo_pagerank_graph()
+        result = pagerank(graph, epsilon=1e-10, max_supersteps=400).run(
+            config=CONFIG,
+            recovery=RestartRecovery(),
+            failures=FailureSchedule.single(7, [0]),
+        )
+        _assert_matches_reference(graph, result, tol=1e-8)
+
+
+class TestCompensationUnit:
+    def _ctx_and_state(self, lost):
+        graph = demo_pagerank_graph()
+        parallelism = 4
+        n = graph.num_vertices
+        initial = PartitionedDataset.from_records(
+            [(v, 1.0 / n) for v in graph.vertices],
+            parallelism,
+            key=pagerank(graph).spec.state_key,
+        )
+        ctx = CompensationContext(
+            parallelism=parallelism,
+            state_key=initial.partitioned_by,
+            initial_state=initial,
+        )
+        state = initial.copy()
+        state.lose(lost)
+        return ctx, state
+
+    def test_prepare_reports_surviving_mass_and_lost_count(self):
+        ctx, state = self._ctx_and_state([1])
+        mass, lost_count = PageRankCompensation().prepare(state, [1], ctx)
+        lost_vertices = [v for v in range(10) if v % 4 == 1]
+        assert lost_count == len(lost_vertices)
+        assert mass == pytest.approx(1.0 - lost_count / 10.0)
+
+    def test_compensation_restores_unit_mass(self):
+        ctx, state = self._ctx_and_state([1, 2])
+        comp = PageRankCompensation()
+        aggregate = comp.prepare(state, [1, 2], ctx)
+        total = 0.0
+        for pid in range(4):
+            records = state.partitions[pid]
+            rebuilt = comp.compensate_partition(
+                pid, list(records) if records is not None else None, aggregate, ctx
+            )
+            total += sum(r[1] for r in rebuilt)
+        assert total == pytest.approx(1.0)
+
+    def test_survivors_unchanged(self):
+        ctx, state = self._ctx_and_state([1])
+        comp = PageRankCompensation()
+        aggregate = comp.prepare(state, [1], ctx)
+        survivors = comp.compensate_partition(0, list(state.partitions[0]), aggregate, ctx)
+        assert survivors == state.partitions[0]
+
+    def test_no_lost_vertices_yields_empty_partition(self):
+        ctx, state = self._ctx_and_state([])
+        comp = PageRankCompensation()
+        # a lost partition that held no vertices (possible for tiny inputs)
+        aggregate = (1.0, 0)
+        assert comp.compensate_partition(3, None, aggregate, ctx) == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    failure_superstep=st.integers(min_value=0, max_value=15),
+    worker=st.integers(min_value=0, max_value=3),
+)
+def test_property_pagerank_correct_under_random_failures(seed, failure_superstep, worker):
+    graph = twitter_like_graph(60, seed=seed)
+    job = pagerank(graph, epsilon=1e-9, max_supersteps=500)
+    result = job.run(
+        config=CONFIG,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.single(failure_superstep, [worker]),
+    )
+    truth = exact_pagerank(graph)
+    assert result.converged
+    for vertex, rank in result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for the SSSP dataflow job (extension scope)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.reference import exact_sssp
+from repro.algorithms.sssp import sssp
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.restart import RestartRecovery
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chain_graph,
+    demo_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    star_graph,
+    twitter_like_graph,
+)
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+class TestFailureFree:
+    @pytest.mark.parametrize(
+        "graph_factory, source",
+        [
+            (lambda: chain_graph(12), 0),
+            (lambda: chain_graph(12), 6),
+            (lambda: star_graph(7), 3),
+            (lambda: grid_graph(5, 5), 0),
+            (lambda: demo_graph(), 0),  # has unreachable components
+        ],
+    )
+    def test_correct_distances(self, graph_factory, source):
+        graph = graph_factory()
+        result = sssp(graph, source).run(config=CONFIG)
+        assert result.converged
+        assert result.final_dict == exact_sssp(graph, source)
+
+    def test_directed_graph(self):
+        graph = twitter_like_graph(80, seed=2)
+        result = sssp(graph, 5).run(config=CONFIG)
+        assert result.final_dict == exact_sssp(graph, 5)
+
+    def test_unreachable_vertices_stay_infinite(self):
+        graph = demo_graph()  # components {0..6}, {7..12}, {13..15}
+        result = sssp(graph, 0).run(config=CONFIG)
+        assert math.isinf(result.final_dict[7])
+        assert math.isinf(result.final_dict[13])
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(GraphError):
+            sssp(chain_graph(3), 99)
+
+    def test_supersteps_track_eccentricity(self):
+        # distance frontier advances one hop per superstep
+        result = sssp(chain_graph(10), 0).run(config=CONFIG)
+        assert 10 <= result.supersteps <= 12
+
+
+class TestWithFailures:
+    @pytest.mark.parametrize("failed_workers", [[0], [3], [1, 2]])
+    def test_optimistic_correct(self, failed_workers):
+        graph = grid_graph(5, 5)
+        job = sssp(graph, 0)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(3, failed_workers),
+        )
+        assert result.converged
+        assert result.final_dict == exact_sssp(graph, 0)
+
+    def test_failure_on_source_partition(self):
+        graph = grid_graph(5, 5)
+        job = sssp(graph, 0)
+        source_partition = 0 % 4
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(1, [source_partition]),
+        )
+        assert result.final_dict == exact_sssp(graph, 0)
+
+    def test_checkpoint_recovery_correct(self):
+        graph = grid_graph(5, 5)
+        result = sssp(graph, 0).run(
+            config=CONFIG,
+            recovery=CheckpointRecovery(interval=2),
+            failures=FailureSchedule.single(3, [1]),
+        )
+        assert result.final_dict == exact_sssp(graph, 0)
+
+    def test_restart_recovery_correct(self):
+        graph = grid_graph(5, 5)
+        result = sssp(graph, 0).run(
+            config=CONFIG,
+            recovery=RestartRecovery(),
+            failures=FailureSchedule.single(3, [1]),
+        )
+        assert result.final_dict == exact_sssp(graph, 0)
+
+    def test_multiple_failures(self):
+        graph = grid_graph(6, 6)
+        job = sssp(graph, 0)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.at((1, [0]), (3, [1]), (5, [2])),
+        )
+        assert result.final_dict == exact_sssp(graph, 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    failure_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_sssp_correct_under_random_failures(seed, failure_seed):
+    graph = erdos_renyi_graph(25, 0.1, seed=seed)
+    job = sssp(graph, 0)
+    schedule = FailureSchedule.random(
+        num_workers=4, max_superstep=4, num_failures=2, seed=failure_seed
+    )
+    result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    assert result.final_dict == exact_sssp(graph, 0)

@@ -1,0 +1,126 @@
+"""Tests for weighted SSSP (Dijkstra-verified delta iteration)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sssp import exact_weighted_sssp, sssp
+from repro.config import EngineConfig
+from repro.core.restart import RestartRecovery
+from repro.errors import GraphError
+from repro.graph.generators import chain_graph, erdos_renyi_graph, grid_graph
+from repro.graph.graph import Graph
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+def _random_weights(graph, seed):
+    rng = random.Random(seed)
+    return {edge: round(rng.uniform(0.5, 4.0), 3) for edge in graph.edges}
+
+
+class TestExactWeightedSssp:
+    def test_chain_with_weights(self):
+        graph = chain_graph(4)
+        weights = {(0, 1): 2.0, (1, 2): 0.5, (2, 3): 1.0}
+        distances = exact_weighted_sssp(graph, 0, weights)
+        assert distances == {0: 0.0, 1: 2.0, 2: 2.5, 3: 3.5}
+
+    def test_prefers_cheaper_detour(self):
+        graph = Graph(range(3), [(0, 1), (1, 2), (0, 2)])
+        weights = {(0, 1): 1.0, (1, 2): 1.0, (0, 2): 5.0}
+        assert exact_weighted_sssp(graph, 0, weights)[2] == 2.0
+
+    def test_matches_networkx_dijkstra(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=3)
+        weights = _random_weights(graph, 9)
+        ours = exact_weighted_sssp(graph, 0, weights)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.vertices)
+        for (u, v), w in weights.items():
+            nx_graph.add_edge(u, v, weight=w)
+        theirs = nx.single_source_dijkstra_path_length(nx_graph, 0)
+        for vertex in graph.vertices:
+            if vertex in theirs:
+                assert ours[vertex] == pytest.approx(theirs[vertex])
+            else:
+                assert math.isinf(ours[vertex])
+
+    def test_missing_weight_rejected(self):
+        graph = chain_graph(3)
+        with pytest.raises(GraphError, match="no weight"):
+            exact_weighted_sssp(graph, 0, {(0, 1): 1.0})
+
+    def test_negative_weight_rejected(self):
+        graph = chain_graph(2)
+        with pytest.raises(GraphError, match="negative"):
+            exact_weighted_sssp(graph, 0, {(0, 1): -1.0})
+
+
+class TestWeightedJob:
+    def test_failure_free_matches_dijkstra(self):
+        graph = grid_graph(5, 5)
+        weights = _random_weights(graph, 4)
+        result = sssp(graph, 0, weights=weights).run(config=CONFIG)
+        assert result.converged
+        truth = exact_weighted_sssp(graph, 0, weights)
+        for vertex, distance in result.final_dict.items():
+            assert distance == pytest.approx(truth[vertex])
+
+    def test_weight_validation_at_build_time(self):
+        graph = chain_graph(3)
+        with pytest.raises(GraphError):
+            sssp(graph, 0, weights={(0, 1): 1.0})  # (1, 2) missing
+
+    @pytest.mark.parametrize("failed_workers", [[0], [1, 2]])
+    def test_optimistic_recovery(self, failed_workers):
+        graph = grid_graph(5, 5)
+        weights = _random_weights(graph, 4)
+        job = sssp(graph, 0, weights=weights)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(3, failed_workers),
+        )
+        truth = exact_weighted_sssp(graph, 0, weights)
+        for vertex, distance in result.final_dict.items():
+            assert distance == pytest.approx(truth[vertex])
+
+    def test_restart_recovery(self):
+        graph = grid_graph(5, 5)
+        weights = _random_weights(graph, 4)
+        result = sssp(graph, 0, weights=weights).run(
+            config=CONFIG,
+            recovery=RestartRecovery(),
+            failures=FailureSchedule.single(3, [0]),
+        )
+        truth = exact_weighted_sssp(graph, 0, weights)
+        for vertex, distance in result.final_dict.items():
+            assert distance == pytest.approx(truth[vertex])
+
+    def test_unweighted_still_hop_counts(self):
+        graph = chain_graph(6)
+        result = sssp(graph, 0).run(config=CONFIG)
+        assert result.final_dict[5] == 5.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    failure_seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_property_weighted_sssp_under_failures(seed, failure_seed):
+    graph = erdos_renyi_graph(20, 0.15, seed=seed)
+    weights = _random_weights(graph, seed)
+    job = sssp(graph, 0, weights=weights)
+    schedule = FailureSchedule.random(4, 4, 1, seed=failure_seed)
+    result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+    truth = exact_weighted_sssp(graph, 0, weights)
+    assert result.converged
+    for vertex, distance in result.final_dict.items():
+        assert distance == pytest.approx(truth[vertex])

@@ -1,0 +1,61 @@
+"""Tests for CSV export."""
+
+import math
+
+from repro.analysis.export import read_csv_columns, result_to_csv, series_to_csv
+from repro.analysis.series import Series
+from repro.algorithms import connected_components
+from repro.config import EngineConfig
+from repro.graph import demo_graph
+from repro.runtime import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+class TestSeriesToCsv:
+    def test_round_trip(self, tmp_path):
+        path = series_to_csv(
+            [Series.of("a", [1, 2, 3]), Series.of("b", [0.5, None, 1.5])],
+            tmp_path / "series.csv",
+        )
+        columns = read_csv_columns(path)
+        assert columns["step"] == ["0", "1", "2"]
+        assert columns["a"] == ["1", "2", "3"]
+        assert columns["b"] == ["0.5", "", "1.5"]
+
+    def test_unequal_lengths_padded(self, tmp_path):
+        path = series_to_csv(
+            [Series.of("long", [1, 2, 3]), Series.of("short", [9])],
+            tmp_path / "series.csv",
+        )
+        columns = read_csv_columns(path)
+        assert columns["short"] == ["9", "", ""]
+
+    def test_empty(self, tmp_path):
+        path = series_to_csv([], tmp_path / "empty.csv")
+        assert read_csv_columns(path) == {"step": []}
+
+    def test_inf_cells(self, tmp_path):
+        path = series_to_csv([Series.of("d", [1.0, math.inf])], tmp_path / "inf.csv")
+        assert read_csv_columns(path)["d"] == ["1.0", "inf"]
+
+
+class TestResultToCsv:
+    def test_full_run_export(self, tmp_path):
+        job = connected_components(demo_graph())
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(2, [0]),
+        )
+        path = result_to_csv(result, tmp_path / "run.csv")
+        columns = read_csv_columns(path)
+        assert len(columns["superstep"]) == result.supersteps
+        assert columns["failed"].count("1") == 1
+        assert columns["compensated"].count("1") == 1
+        assert [int(x) for x in columns["messages"]] == result.stats.messages_series()
+
+    def test_workset_column_present_for_delta(self, tmp_path):
+        result = connected_components(demo_graph()).run(config=CONFIG)
+        columns = read_csv_columns(result_to_csv(result, tmp_path / "run.csv"))
+        assert columns["workset_size"][-1] == "0"

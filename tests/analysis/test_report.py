@@ -1,0 +1,72 @@
+"""Tests for tables and figure blocks."""
+
+import pytest
+
+from repro.analysis.report import Table, format_figure, format_float
+from repro.analysis.series import Series
+
+
+class TestFormatFloat:
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_moderate_fixed_point(self):
+        assert format_float(1.5) == "1.5"
+        assert format_float(3.14159, digits=3) == "3.142"
+
+    def test_tiny_scientific(self):
+        assert "e" in format_float(1e-9)
+
+    def test_huge_scientific(self):
+        assert "e" in format_float(1e12)
+
+    def test_trailing_zeros_stripped(self):
+        assert format_float(2.0) == "2"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row("a", 1.5)
+        table.add_row("longer", "x")
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        # all rows same width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_cell_count_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_floats_formatted(self):
+        table = Table(["x"])
+        table.add_row(0.5)
+        assert "0.5" in table.to_text()
+
+    def test_str_is_text(self):
+        table = Table(["x"])
+        table.add_row(1)
+        assert str(table) == table.to_text()
+
+
+class TestFormatFigure:
+    def test_contains_title_sparkline_and_values(self):
+        text = format_figure("Fig X", [Series.of("messages", [3, 1, 2])])
+        assert "=== Fig X ===" in text
+        assert "messages" in text
+        assert "[3, 1, 2]" in text
+
+    def test_multiple_series(self):
+        text = format_figure(
+            "F", [Series.of("a", [1]), Series.of("b", [2.5])]
+        )
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_figure("F", [Series.of("a", [None, 1])])
+        assert "[-, 1]" in text

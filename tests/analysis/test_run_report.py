@@ -1,0 +1,66 @@
+"""Tests for the full-text run report."""
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank
+from repro.analysis.run_report import render_run_report
+from repro.config import EngineConfig
+from repro.graph import demo_graph, demo_pagerank_graph
+from repro.runtime import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+@pytest.fixture(scope="module")
+def cc_result():
+    job = connected_components(demo_graph())
+    return job.run(
+        config=CONFIG,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.single(2, [0]),
+    )
+
+
+def test_report_contains_all_sections(cc_result):
+    report = render_run_report(cc_result)
+    assert "==== connected-components ====" in report
+    assert "converged after" in report
+    assert "cost category" in report
+    assert "per-superstep statistics" in report
+    assert "event timeline:" in report
+
+
+def test_report_timeline_mentions_failure_and_compensation(cc_result):
+    report = render_run_report(cc_result)
+    assert "failure" in report
+    assert "compensation" in report
+    assert "workers_acquired" in report
+
+
+def test_report_custom_title(cc_result):
+    assert "==== my run ====" in render_run_report(cc_result, title="my run")
+
+
+def test_report_timeline_limit(cc_result):
+    report = render_run_report(cc_result, timeline_limit=1)
+    assert "more events" in report
+
+
+def test_report_shows_workset_for_delta(cc_result):
+    assert "workset" in render_run_report(cc_result)
+
+
+def test_report_shows_l1_for_pagerank():
+    result = pagerank(demo_pagerank_graph(), epsilon=1e-6).run(config=CONFIG)
+    report = render_run_report(result)
+    assert "l1_delta" in report
+    assert "workset" not in report
+
+
+def test_cli_report_flag(capsys):
+    from repro.demo.cli import main
+
+    assert main(["--fail", "2:0", "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "cost category" in out
+    assert "event timeline:" in out

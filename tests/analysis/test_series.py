@@ -1,0 +1,68 @@
+"""Tests for numeric series and sparklines."""
+
+import math
+
+import pytest
+
+from repro.analysis.series import Series, sparkline
+
+
+class TestSparkline:
+    def test_rising_series(self):
+        spark = sparkline([0, 1, 2, 3])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert len(spark) == 4
+
+    def test_constant_series_mid_height(self):
+        spark = sparkline([5, 5, 5])
+        assert len(set(spark)) == 1
+
+    def test_none_renders_as_space(self):
+        assert sparkline([1, None, 2])[1] == " "
+
+    def test_inf_renders_as_space(self):
+        assert sparkline([1.0, math.inf, 2.0])[1] == " "
+
+    def test_all_none(self):
+        assert sparkline([None, None]) == "  "
+
+    def test_downsampling(self):
+        spark = sparkline(list(range(100)), width=10)
+        assert len(spark) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestSeries:
+    def test_of_and_len(self):
+        series = Series.of("s", [1, 2, 3])
+        assert len(series) == 3
+
+    def test_total_skips_gaps(self):
+        assert Series.of("s", [1, None, 2]).total == 3
+
+    def test_minmax(self):
+        series = Series.of("s", [3, 1, None, 5])
+        assert series.minimum == 1
+        assert series.maximum == 5
+
+    def test_minmax_empty(self):
+        assert Series.of("s", []).maximum is None
+
+    def test_argmax(self):
+        assert Series.of("s", [1, 9, 3]).argmax() == 1
+        assert Series.of("s", [None, None]).argmax() is None
+
+    def test_drops(self):
+        assert Series.of("s", [5, 3, 4, 2]).drops() == [1, 3]
+
+    def test_spikes(self):
+        assert Series.of("s", [5, 3, 4, 2]).spikes() == [2]
+
+    def test_drops_ignore_gaps(self):
+        assert Series.of("s", [5, None, 1]).drops() == []
+
+    def test_spark_delegates(self):
+        assert len(Series.of("s", [1, 2]).spark()) == 2

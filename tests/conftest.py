@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.graph.generators import (
+    chain_graph,
+    demo_graph,
+    demo_pagerank_graph,
+    grid_graph,
+    multi_component_graph,
+    twitter_like_graph,
+)
+
+
+@pytest.fixture
+def config4():
+    """Default 4-worker configuration with plenty of spares."""
+    return EngineConfig(parallelism=4, spare_workers=8)
+
+
+@pytest.fixture
+def config2():
+    """Minimal 2-worker configuration."""
+    return EngineConfig(parallelism=2, spare_workers=4)
+
+
+@pytest.fixture
+def small_graph():
+    """The paper's small hand-crafted Connected Components graph."""
+    return demo_graph()
+
+
+@pytest.fixture
+def small_pr_graph():
+    """The small directed PageRank demo graph."""
+    return demo_pagerank_graph()
+
+
+@pytest.fixture
+def medium_graph():
+    """Three random components, 20 vertices each."""
+    return multi_component_graph(3, 20, seed=11)
+
+
+@pytest.fixture
+def chain10():
+    return chain_graph(10)
+
+
+@pytest.fixture
+def grid5():
+    return grid_graph(5, 5)
+
+
+@pytest.fixture
+def twitter200():
+    return twitter_like_graph(200, seed=5)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

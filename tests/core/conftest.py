@@ -1,0 +1,63 @@
+"""Shared fixtures for recovery-layer tests.
+
+Builds a minimal :class:`RecoveryContext` around a 4-partition state of
+``(key, value)`` records without running a full iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.recovery import RecoveryContext
+from repro.dataflow.datatypes import first_field
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.executor import PartitionedDataset, PlanExecutor
+from repro.runtime.storage import StableStorage
+
+KEY = first_field("k")
+PARALLELISM = 4
+
+
+@pytest.fixture
+def initial_records():
+    return [(k, float(k)) for k in range(12)]
+
+
+@pytest.fixture
+def recovery_ctx(initial_records):
+    config = EngineConfig(parallelism=PARALLELISM, spare_workers=8)
+    cluster = SimulatedCluster(config)
+    executor = PlanExecutor(PARALLELISM, clock=cluster.clock)
+    storage = StableStorage(cluster.clock)
+    initial_state = PartitionedDataset.from_records(
+        initial_records, PARALLELISM, key=KEY
+    )
+    initial_workset = initial_state.copy()
+    ctx = RecoveryContext(
+        job_name="job",
+        cluster=cluster,
+        executor=executor,
+        storage=storage,
+        state_key=KEY,
+        statics={},
+        initial_state=initial_state,
+        initial_workset=initial_workset,
+    )
+    for pid, records in enumerate(initial_state.partitions):
+        storage.write(ctx.initial_state_key(pid), records, charge=False)
+        storage.write(ctx.initial_workset_key(pid), records, charge=False)
+    return ctx
+
+
+def damaged_state(ctx: RecoveryContext, lost: list[int]) -> PartitionedDataset:
+    """A live state (values doubled vs. initial) with ``lost`` destroyed."""
+    live = PartitionedDataset(
+        partitions=[
+            [(k, v * 2.0) for k, v in part]
+            for part in ctx.initial_state.partitions
+        ],
+        partitioned_by=ctx.state_key,
+    )
+    live.lose(lost)
+    return live

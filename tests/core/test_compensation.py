@@ -1,0 +1,102 @@
+"""Tests for the compensation function protocol and its context."""
+
+from typing import Any
+
+import pytest
+
+from repro.core.compensation import CompensationContext, CompensationFunction
+from repro.dataflow.datatypes import first_field
+from repro.errors import CompensationError
+from repro.runtime.executor import PartitionedDataset
+from repro.runtime.partition import HashPartitioner
+
+KEY = first_field("k")
+
+
+class Identity(CompensationFunction):
+    name = "identity"
+
+    def compensate_partition(self, partition_id, records, aggregate, ctx):
+        return records if records is not None else []
+
+
+def _ctx(parallelism=3) -> CompensationContext:
+    initial = PartitionedDataset.from_records(
+        [(k, k) for k in range(9)], parallelism, key=KEY
+    )
+    statics = {
+        "edges": PartitionedDataset.from_records([(0, 1), (1, 2)], parallelism, key=KEY)
+    }
+    return CompensationContext(
+        parallelism=parallelism, state_key=KEY, statics=statics, initial_state=initial
+    )
+
+
+def test_initial_partition_access():
+    ctx = _ctx()
+    for pid in range(3):
+        for record in ctx.initial_partition(pid):
+            assert record[0] % 3 == pid
+
+
+def test_initial_partition_returns_copy():
+    ctx = _ctx()
+    ctx.initial_partition(0).append(("bogus", -1))
+    assert all(r[0] != "bogus" for r in ctx.initial_partition(0))
+
+
+def test_initial_partition_without_initial_state_raises():
+    ctx = CompensationContext(parallelism=2, state_key=KEY)
+    with pytest.raises(CompensationError):
+        ctx.initial_partition(0)
+
+
+def test_static_records():
+    ctx = _ctx()
+    assert sorted(ctx.static_records("edges")) == [(0, 1), (1, 2)]
+
+
+def test_static_records_unknown_name_raises():
+    with pytest.raises(CompensationError, match="no static input"):
+        _ctx().static_records("bogus")
+
+
+def test_partition_of_matches_engine_hashing():
+    ctx = _ctx(parallelism=5)
+    partitioner = HashPartitioner(5)
+    for key in range(20):
+        assert ctx.partition_of(key) == partitioner.partition(key)
+
+
+def test_default_prepare_returns_none():
+    assert Identity().prepare(PartitionedDataset.empty(2), [], _ctx()) is None
+
+
+def _damaged_workset(parallelism=3, lost=(0,)):
+    workset = PartitionedDataset.from_records(
+        [(k, k) for k in range(6)], parallelism, key=KEY
+    )
+    workset.lose(list(lost))
+    return workset
+
+
+def test_default_rebuild_workset_is_full_solution():
+    comp = Identity()
+    solution = PartitionedDataset.from_records([(k, k) for k in range(6)], 3, key=KEY)
+    workset = comp.rebuild_workset(solution, _damaged_workset(), [0], _ctx())
+    assert sorted(workset.all_records()) == sorted(solution.all_records())
+
+
+def test_default_rebuild_workset_is_a_copy():
+    comp = Identity()
+    solution = PartitionedDataset.from_records([(k, k) for k in range(6)], 3, key=KEY)
+    workset = comp.rebuild_workset(solution, _damaged_workset(), [0], _ctx())
+    workset.lose([0])
+    assert solution.lost_partitions() == []
+
+
+def test_surviving_workset_keys_skips_lost_partitions():
+    comp = Identity()
+    damaged = _damaged_workset(lost=(0,))
+    keys = comp.surviving_workset_keys(damaged)
+    assert keys == {k for k in range(6) if k % 3 != 0}

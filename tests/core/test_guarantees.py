@@ -1,0 +1,125 @@
+"""Tests for compensation consistency invariants."""
+
+import pytest
+
+from repro.core.compensation import CompensationContext
+from repro.core.guarantees import (
+    KeySetPreserved,
+    MassConservation,
+    PartitionPlacement,
+    ValuesFromInitial,
+    check_invariants,
+)
+from repro.dataflow.datatypes import first_field
+from repro.errors import CompensationError
+from repro.runtime.executor import PartitionedDataset
+
+KEY = first_field("k")
+
+
+def _ctx(parallelism=3, initial=None) -> CompensationContext:
+    records = initial if initial is not None else [(k, k) for k in range(9)]
+    return CompensationContext(
+        parallelism=parallelism,
+        state_key=KEY,
+        initial_state=PartitionedDataset.from_records(records, parallelism, key=KEY),
+    )
+
+
+def _state(records, parallelism=3):
+    return PartitionedDataset.from_records(records, parallelism, key=KEY)
+
+
+class TestMassConservation:
+    def test_holds_for_unit_mass(self):
+        state = _state([(0, 0.25), (1, 0.25), (2, 0.5)])
+        assert MassConservation(total=1.0).check(state, _ctx()) is None
+
+    def test_violation_reported(self):
+        state = _state([(0, 0.25), (1, 0.25)])
+        violation = MassConservation(total=1.0).check(state, _ctx())
+        assert violation is not None
+        assert "0.5" in violation
+
+    def test_tolerance(self):
+        state = _state([(0, 1.0 + 1e-12)])
+        assert MassConservation(total=1.0, tolerance=1e-9).check(state, _ctx()) is None
+
+    def test_custom_value_fn(self):
+        state = _state([(0, ("payload", 0.6)), (1, ("payload", 0.4))])
+        invariant = MassConservation(total=1.0, value_fn=lambda r: r[1][1])
+        assert invariant.check(state, _ctx()) is None
+
+
+class TestKeySetPreserved:
+    def test_holds_for_identical_keys(self):
+        assert KeySetPreserved().check(_state([(k, 99) for k in range(9)]), _ctx()) is None
+
+    def test_missing_key_detected(self):
+        violation = KeySetPreserved().check(_state([(k, 0) for k in range(8)]), _ctx())
+        assert violation is not None and "missing" in violation
+
+    def test_invented_key_detected(self):
+        records = [(k, 0) for k in range(9)] + [(999, 0)]
+        violation = KeySetPreserved().check(_state(records), _ctx())
+        assert violation is not None and "999" in violation
+
+    def test_requires_initial_state(self):
+        ctx = CompensationContext(parallelism=3, state_key=KEY)
+        assert KeySetPreserved().check(_state([(0, 0)]), ctx) is not None
+
+
+class TestValuesFromInitial:
+    def test_holds_when_values_are_initial_labels(self):
+        # labels are vertex ids 0..8; any of them is a legal value
+        state = _state([(k, 0) for k in range(9)])
+        assert ValuesFromInitial().check(state, _ctx()) is None
+
+    def test_fabricated_value_detected(self):
+        state = _state([(0, 12345)] + [(k, 0) for k in range(1, 9)])
+        violation = ValuesFromInitial().check(state, _ctx())
+        assert violation is not None and "12345" in violation
+
+
+class TestPartitionPlacement:
+    def test_holds_for_hash_partitioned_state(self):
+        assert PartitionPlacement().check(_state([(k, k) for k in range(9)]), _ctx()) is None
+
+    def test_misplaced_record_detected(self):
+        state = _state([(k, k) for k in range(9)])
+        # move a record to the wrong partition by hand
+        record = state.partitions[0].pop()
+        state.partitions[1].append(record)
+        violation = PartitionPlacement().check(state, _ctx())
+        assert violation is not None and "hashes to" in violation
+
+    def test_lost_partition_detected(self):
+        state = _state([(k, k) for k in range(9)])
+        state.lose([2])
+        violation = PartitionPlacement().check(state, _ctx())
+        assert violation is not None and "still lost" in violation
+
+
+class TestCheckInvariants:
+    def test_passes_quietly(self):
+        check_invariants(
+            [KeySetPreserved(), PartitionPlacement()],
+            _state([(k, k) for k in range(9)]),
+            _ctx(),
+        )
+
+    def test_raises_on_first_violation(self):
+        with pytest.raises(CompensationError, match="key-set-preserved"):
+            check_invariants(
+                [KeySetPreserved()],
+                _state([(0, 0)]),
+                _ctx(),
+                compensation_name="fix-things",
+            )
+
+    def test_error_names_the_compensation(self):
+        with pytest.raises(CompensationError, match="fix-things"):
+            check_invariants([KeySetPreserved()], _state([(0, 0)]), _ctx(), "fix-things")
+
+    def test_empty_invariant_list_is_noop(self):
+        check_invariants([], _state([(0, 0)]), _ctx())

@@ -1,0 +1,123 @@
+"""Tests for incremental checkpointing on delta iterations."""
+
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.reference import exact_connected_components
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.incremental import IncrementalCheckpointRecovery
+from repro.errors import IterationError
+from repro.graph.generators import multi_component_graph
+from repro.runtime.clock import CostCategory
+from repro.runtime.events import EventKind
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+@pytest.fixture
+def graph():
+    return multi_component_graph(3, 20, seed=6)
+
+
+class TestFailureFree:
+    def test_converges_correctly(self, graph):
+        result = connected_components(graph).run(
+            config=CONFIG, recovery=IncrementalCheckpointRecovery()
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+
+    def test_writes_base_then_deltas(self, graph):
+        result = connected_components(graph).run(
+            config=CONFIG, recovery=IncrementalCheckpointRecovery()
+        )
+        checkpoints = result.events.of_kind(EventKind.CHECKPOINT_WRITTEN)
+        assert len(checkpoints) == result.supersteps
+        # the base (first) write is the biggest; later writes shrink with
+        # the update rate
+        sizes = [event.details["records"] for event in checkpoints]
+        assert sizes[0] == max(sizes)
+        assert sizes[-1] < sizes[0]
+
+    def test_cheaper_than_full_checkpointing(self, graph):
+        incremental = connected_components(graph).run(
+            config=CONFIG, recovery=IncrementalCheckpointRecovery()
+        )
+        full = connected_components(graph).run(
+            config=CONFIG, recovery=CheckpointRecovery(interval=1)
+        )
+        assert incremental.clock.spent(CostCategory.CHECKPOINT_IO) < full.clock.spent(
+            CostCategory.CHECKPOINT_IO
+        )
+
+    def test_rejects_bulk_iterations(self):
+        from repro.algorithms.pagerank import pagerank
+        from repro.graph.generators import demo_pagerank_graph
+
+        with pytest.raises(IterationError, match="delta iteration"):
+            pagerank(demo_pagerank_graph()).run(
+                config=CONFIG, recovery=IncrementalCheckpointRecovery()
+            )
+
+
+class TestRecovery:
+    def test_recovers_correctly(self, graph):
+        result = connected_components(graph).run(
+            config=CONFIG,
+            recovery=IncrementalCheckpointRecovery(),
+            failures=FailureSchedule.single(2, [0]),
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+        rollbacks = result.events.of_kind(EventKind.ROLLBACK)
+        assert len(rollbacks) == 1
+        assert rollbacks[0].details["incremental"] is True
+
+    def test_restores_the_latest_committed_superstep(self, graph):
+        """Replaying base + deltas reconstructs the state right before
+        the failed superstep, so only that one superstep re-executes."""
+        baseline = connected_components(graph).run(config=CONFIG)
+        result = connected_components(graph).run(
+            config=CONFIG,
+            recovery=IncrementalCheckpointRecovery(),
+            failures=FailureSchedule.single(3, [1]),
+        )
+        rollback = result.events.of_kind(EventKind.ROLLBACK)[0]
+        assert rollback.details["restored_from"] == 2
+        # one failed superstep re-executed on top of the baseline count
+        assert result.supersteps == baseline.supersteps + 1
+
+    def test_failure_at_superstep_zero_restarts(self, graph):
+        result = connected_components(graph).run(
+            config=CONFIG,
+            recovery=IncrementalCheckpointRecovery(),
+            failures=FailureSchedule.single(0, [0]),
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+        assert result.events.of_kind(EventKind.RESTART)
+
+    def test_multiple_failures(self, graph):
+        result = connected_components(graph).run(
+            config=CONFIG,
+            recovery=IncrementalCheckpointRecovery(),
+            failures=FailureSchedule.at((1, [0]), (3, [2])),
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+
+    def test_reset_clears_state(self, graph):
+        strategy = IncrementalCheckpointRecovery()
+        connected_components(graph).run(config=CONFIG, recovery=strategy)
+        assert strategy.records_written > 0
+        strategy.reset()
+        assert strategy.records_written == 0
+        # reusable for a fresh run
+        result = connected_components(graph).run(
+            config=CONFIG,
+            recovery=strategy,
+            failures=FailureSchedule.single(2, [0]),
+        )
+        assert result.final_dict == exact_connected_components(graph)

@@ -1,0 +1,40 @@
+"""Tests for KeySpec and the key conventions."""
+
+from repro.dataflow.datatypes import KeySpec, first_field, second_field
+
+
+def test_keyspec_extracts():
+    spec = KeySpec("k", lambda r: r[0])
+    assert spec((7, "x")) == 7
+
+
+def test_keyspec_equality_by_name_only():
+    first = KeySpec("vertex", lambda r: r[0])
+    second = KeySpec("vertex", lambda r: r[0] + 0)
+    assert first == second
+    assert hash(first) == hash(second)
+
+
+def test_keyspec_inequality():
+    assert KeySpec("a", lambda r: r) != KeySpec("b", lambda r: r)
+    assert KeySpec("a", lambda r: r) != "a"
+
+
+def test_first_field():
+    spec = first_field("vertex")
+    assert spec.name == "vertex"
+    assert spec((3, 4)) == 3
+
+
+def test_second_field():
+    spec = second_field("target")
+    assert spec((3, 4)) == 4
+
+
+def test_default_names():
+    assert first_field().name == "field0"
+    assert second_field().name == "field1"
+
+
+def test_repr_mentions_name():
+    assert "vertex" in repr(first_field("vertex"))

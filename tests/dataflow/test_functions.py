@@ -1,0 +1,116 @@
+"""Tests for UDF wrappers."""
+
+import pytest
+
+from repro.dataflow.functions import (
+    CoGroupFunction,
+    CrossFunction,
+    FilterFunction,
+    FlatMapFunction,
+    GroupReduceFunction,
+    JoinFunction,
+    MapFunction,
+    ReduceFunction,
+    emitted,
+)
+
+
+def test_map_from_callable():
+    fn = MapFunction(lambda x: x + 1)
+    assert fn(1) == 2
+
+
+def test_map_subclass():
+    class AddTen(MapFunction):
+        def apply(self, record):
+            return record + 10
+
+    assert AddTen()(5) == 15
+
+
+def test_map_without_fn_raises():
+    with pytest.raises(NotImplementedError):
+        MapFunction()(1)
+
+
+def test_flat_map():
+    fn = FlatMapFunction(lambda x: range(x))
+    assert list(fn(3)) == [0, 1, 2]
+
+
+def test_filter_coerces_to_bool():
+    fn = FilterFunction(lambda x: x)  # returns the value itself
+    assert fn(5) is True
+    assert fn(0) is False
+
+
+def test_reduce():
+    fn = ReduceFunction(lambda a, b: a + b)
+    assert fn(2, 3) == 5
+
+
+def test_group_reduce():
+    fn = GroupReduceFunction(lambda key, group: [(key, sum(group))])
+    assert list(fn("k", [1, 2, 3])) == [("k", 6)]
+
+
+def test_join():
+    fn = JoinFunction(lambda l, r: (l, r))
+    assert fn(1, 2) == (1, 2)
+
+
+def test_co_group():
+    fn = CoGroupFunction(lambda key, left, right: [(key, len(left), len(right))])
+    assert list(fn("k", [1], [2, 3])) == [("k", 1, 2)]
+
+
+def test_cross():
+    fn = CrossFunction(lambda l, r: l * r)
+    assert fn(3, 4) == 12
+
+
+def test_default_names_are_class_names():
+    assert MapFunction(lambda x: x).name == "MapFunction"
+
+
+def test_explicit_names():
+    assert MapFunction(lambda x: x, name="fix-ranks").name == "fix-ranks"
+
+
+def test_every_wrapper_raises_unimplemented():
+    for cls in (FlatMapFunction, FilterFunction, GroupReduceFunction,
+                JoinFunction, CoGroupFunction, CrossFunction):
+        with pytest.raises(NotImplementedError):
+            instance = cls()
+            if cls in (GroupReduceFunction, CoGroupFunction):
+                instance("k", [], []) if cls is CoGroupFunction else instance("k", [])
+            elif cls in (JoinFunction, CrossFunction):
+                instance(1, 2)
+            else:
+                instance(1)
+
+
+def test_reduce_without_fn_raises():
+    with pytest.raises(NotImplementedError):
+        ReduceFunction()(1, 2)
+
+
+class TestEmitted:
+    def test_none_emits_nothing(self):
+        assert list(emitted(None)) == []
+
+    def test_scalar_emits_one(self):
+        assert list(emitted(42)) == [42]
+
+    def test_tuple_is_one_record(self):
+        assert list(emitted((1, 2))) == [(1, 2)]
+
+    def test_iterator_is_drained(self):
+        assert list(emitted(iter([1, 2, 3]))) == [1, 2, 3]
+
+    def test_generator_is_drained(self):
+        def gen():
+            yield "a"
+            yield "b"
+
+        assert list(emitted(gen())) == ["a", "b"]

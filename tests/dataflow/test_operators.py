@@ -1,0 +1,79 @@
+"""Tests for the logical operator nodes themselves."""
+
+import pytest
+
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.functions import JoinFunction, MapFunction
+from repro.dataflow.operators import (
+    CoGroupOperator,
+    JoinOperator,
+    MapOperator,
+    SourceOperator,
+)
+from repro.errors import PlanError
+
+KEY = first_field("k")
+
+
+def test_operator_requires_a_name():
+    with pytest.raises(PlanError, match="non-empty name"):
+        SourceOperator(0, "")
+
+
+def test_source_kind_and_arity():
+    source = SourceOperator(0, "input", partitioned_by=KEY)
+    assert source.kind == "source"
+    assert source.arity == 0
+    assert source.partitioned_by == KEY
+    source.validate()
+
+
+def test_source_with_inputs_rejected():
+    source = SourceOperator(0, "input")
+    source.inputs = [SourceOperator(1, "other")]
+    with pytest.raises(PlanError, match="cannot have inputs"):
+        source.validate()
+
+
+def test_map_arity_and_kind():
+    source = SourceOperator(0, "input")
+    mapped = MapOperator(1, "double", source, MapFunction(lambda r: r * 2))
+    assert mapped.kind == "map"
+    assert mapped.arity == 1
+    assert mapped.inputs == [source]
+
+
+def test_join_preserves_validation():
+    left = SourceOperator(0, "l")
+    right = SourceOperator(1, "r")
+    join = JoinOperator(
+        2, "j", left, right, KEY, KEY, JoinFunction(lambda a, b: a), preserves="left"
+    )
+    join.validate()
+    bad = JoinOperator(
+        3, "j2", left, right, KEY, KEY, JoinFunction(lambda a, b: a), preserves="middle"
+    )
+    with pytest.raises(PlanError, match="preserves"):
+        bad.validate()
+
+
+def test_co_group_preserves_validation():
+    left = SourceOperator(0, "l")
+    right = SourceOperator(1, "r")
+    bad = CoGroupOperator(
+        2, "cg", left, right, KEY, KEY,
+        __import__("repro.dataflow.functions", fromlist=["CoGroupFunction"]).CoGroupFunction(
+            lambda k, l, r: []
+        ),
+        preserves="nope",
+    )
+    with pytest.raises(PlanError, match="preserves"):
+        bad.validate()
+
+
+def test_repr_shows_wiring():
+    source = SourceOperator(0, "input")
+    mapped = MapOperator(1, "work", source, MapFunction(lambda r: r))
+    text = repr(mapped)
+    assert "work" in text
+    assert "input" in text

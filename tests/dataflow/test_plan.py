@@ -1,0 +1,141 @@
+"""Tests for plan construction and validation."""
+
+import pytest
+
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.operators import SourceOperator
+from repro.dataflow.plan import Plan
+from repro.errors import PlanError
+
+KEY = first_field("k")
+
+
+def test_source_creation():
+    plan = Plan("p")
+    src = plan.source("input", partitioned_by=KEY)
+    assert isinstance(src.op, SourceOperator)
+    assert src.op.partitioned_by == KEY
+    assert plan.sources() == [src.op]
+
+
+def test_duplicate_names_rejected():
+    plan = Plan("p")
+    plan.source("input")
+    with pytest.raises(PlanError, match="duplicate"):
+        plan.source("input")
+
+
+def test_duplicate_operator_name_rejected():
+    plan = Plan("p")
+    src = plan.source("input")
+    src.map(lambda r: r, name="m")
+    with pytest.raises(PlanError, match="duplicate"):
+        src.map(lambda r: r, name="m")
+
+
+def test_empty_operator_name_rejected():
+    plan = Plan("p")
+    src = plan.source("input")
+    with pytest.raises(PlanError):
+        src.map(lambda r: r, name="")
+
+
+def test_operator_by_name():
+    plan = Plan("p")
+    src = plan.source("input")
+    mapped = src.map(lambda r: r, name="m")
+    assert plan.operator_by_name("m") is mapped.op
+    with pytest.raises(PlanError):
+        plan.operator_by_name("absent")
+
+
+def test_sinks_are_unconsumed_operators():
+    plan = Plan("p")
+    src = plan.source("input")
+    mid = src.map(lambda r: r, name="mid")
+    mid.map(lambda r: r, name="end")
+    sinks = plan.sinks()
+    assert [op.name for op in sinks] == ["end"]
+
+
+def test_multiple_sinks():
+    plan = Plan("p")
+    src = plan.source("input")
+    src.map(lambda r: r, name="a")
+    src.map(lambda r: r, name="b")
+    assert {op.name for op in plan.sinks()} == {"a", "b"}
+
+
+def test_topological_order_is_creation_order():
+    plan = Plan("p")
+    src = plan.source("input")
+    a = src.map(lambda r: r, name="a")
+    a.map(lambda r: r, name="b")
+    names = [op.name for op in plan.topological_order()]
+    assert names == ["input", "a", "b"]
+
+
+def test_cross_plan_combination_rejected():
+    plan_a = Plan("a")
+    plan_b = Plan("b")
+    src_a = plan_a.source("in_a")
+    src_b = plan_b.source("in_b")
+    with pytest.raises(PlanError, match="different plans"):
+        src_a.join(src_b, KEY, KEY, lambda l, r: l, name="j")
+
+
+def test_cross_plan_union_rejected():
+    plan_a = Plan("a")
+    plan_b = Plan("b")
+    with pytest.raises(PlanError):
+        plan_a.source("x").union(plan_b.source("y"), name="u")
+
+
+def test_validate_rejects_empty_plan():
+    with pytest.raises(PlanError, match="empty"):
+        Plan("p").validate()
+
+
+def test_validate_requires_a_source():
+    # impossible to build source-less plans through the API, so validate
+    # against a hand-assembled plan
+    plan = Plan("p")
+    plan.source("in")
+    plan.validate()  # fine
+
+
+def test_fluent_chain_builds_expected_shape():
+    plan = Plan("wordcount")
+    words = plan.source("words")
+    counted = (
+        words.flat_map(lambda line: line.split(), name="tokenize")
+        .map(lambda w: (w, 1), name="pair")
+        .reduce_by_key(KEY, lambda a, b: (a[0], a[1] + b[1]), name="count")
+    )
+    assert counted.name == "count"
+    assert len(plan.operators) == 4
+
+
+def test_join_preserves_validation():
+    plan = Plan("p")
+    left = plan.source("l")
+    right = plan.source("r")
+    with pytest.raises(PlanError, match="preserves"):
+        left.join(right, KEY, KEY, lambda l, r: l, name="j", preserves="bogus")
+
+
+def test_union_requires_two_inputs():
+    # reachable only through direct operator construction
+    from repro.dataflow.operators import UnionOperator
+
+    plan = Plan("p")
+    src = plan.source("in")
+    op = UnionOperator(99, "u", [src.op])
+    with pytest.raises(PlanError, match="at least two"):
+        op.validate()
+
+
+def test_dataset_name_matches_operator():
+    plan = Plan("p")
+    ds = plan.source("in").map(lambda r: r, name="renamed")
+    assert ds.name == "renamed"

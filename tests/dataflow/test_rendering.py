@@ -1,0 +1,78 @@
+"""Tests for plan rendering (the Figure 1 regeneration)."""
+
+from repro.algorithms.connected_components import connected_components_plan
+from repro.algorithms.pagerank import pagerank_plan
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.plan import Plan
+from repro.dataflow.rendering import plan_to_dot, plan_to_text
+
+KEY = first_field("k")
+
+
+def _simple_plan() -> Plan:
+    plan = Plan("simple")
+    src = plan.source("input")
+    src.map(lambda r: r, name="work")
+    return plan
+
+
+def test_text_lists_every_operator():
+    text = plan_to_text(_simple_plan())
+    assert "input (source)" in text
+    assert "work (map) <- input" in text
+
+
+def test_text_marks_compensations():
+    text = plan_to_text(_simple_plan(), compensations=["work"])
+    assert "[compensation]" in text
+
+
+def test_dot_is_wellformed():
+    dot = plan_to_dot(_simple_plan())
+    assert dot.startswith('digraph "simple" {')
+    assert dot.rstrip().endswith("}")
+    assert "op0 -> op1;" in dot
+
+
+def test_dot_dashed_compensations():
+    dot = plan_to_dot(_simple_plan(), compensations=["work"])
+    assert 'style="dashed"' in dot
+
+
+def test_figure_1a_connected_components_operators():
+    """The CC dataflow contains exactly the paper's named operators."""
+    plan = connected_components_plan()
+    names = {op.name for op in plan.operators}
+    assert {"labels", "workset", "graph",
+            "label-to-neighbors", "candidate-label", "label-update"} <= names
+
+
+def test_figure_1a_topology():
+    plan = connected_components_plan()
+    update = plan.operator_by_name("label-update")
+    assert {op.name for op in update.inputs} == {"candidate-label", "labels"}
+    candidate = plan.operator_by_name("candidate-label")
+    assert [op.name for op in candidate.inputs] == ["label-to-neighbors"]
+    to_neighbors = plan.operator_by_name("label-to-neighbors")
+    assert {op.name for op in to_neighbors.inputs} == {"workset", "graph"}
+
+
+def test_figure_1b_pagerank_operators():
+    plan = pagerank_plan(damping=0.85, num_vertices=10)
+    names = {op.name for op in plan.operators}
+    assert {"ranks", "links",
+            "find-neighbors", "recompute-ranks", "compare-to-old-rank"} <= names
+
+
+def test_figure_1b_topology():
+    plan = pagerank_plan(damping=0.85, num_vertices=10)
+    compare = plan.operator_by_name("compare-to-old-rank")
+    assert "ranks" in {op.name for op in compare.inputs}
+    find = plan.operator_by_name("find-neighbors")
+    assert {op.name for op in find.inputs} == {"ranks", "links"}
+
+
+def test_figure_renderings_do_not_crash_on_real_plans():
+    for plan in (connected_components_plan(), pagerank_plan(0.85, 5)):
+        assert plan_to_text(plan)
+        assert plan_to_dot(plan)

@@ -1,0 +1,93 @@
+"""Tests for the demo CLI."""
+
+import pytest
+
+from repro.demo.cli import _parse_failure, build_parser, main
+
+
+class TestFailureSpecParsing:
+    def test_single_partition(self):
+        assert _parse_failure("2:0") == (2, [0])
+
+    def test_multiple_partitions(self):
+        assert _parse_failure("4:1,3") == (4, [1, 3])
+
+    def test_missing_colon_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_failure("4")
+
+    def test_empty_partitions_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_failure("4:")
+
+    def test_non_numeric_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_failure("a:b")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.algorithm == "connected-components"
+        assert args.graph == "small"
+        assert args.recovery == "optimistic"
+        assert args.failures == []
+
+    def test_multiple_failures(self):
+        args = build_parser().parse_args(["--fail", "2:0", "--fail", "5:1,3"])
+        assert args.failures == [(2, [0]), (5, [1, 3])]
+
+
+class TestMain:
+    def test_basic_run(self, capsys):
+        assert main(["--fail", "2:0"]) == 0
+        out = capsys.readouterr().out
+        assert "connected-components: converged" in out
+        assert "1 failures" in out
+
+    def test_states_flag(self, capsys):
+        assert main(["--fail", "2:0", "--states"]) == 0
+        out = capsys.readouterr().out
+        assert "initial state" in out
+        assert "after compensation" in out
+        assert "converged state" in out
+
+    def test_plots_flag_pagerank(self, capsys):
+        assert main(["--algorithm", "pagerank", "--fail", "4:1", "--plots"]) == 0
+        out = capsys.readouterr().out
+        assert "l1_delta" in out
+        assert "failures struck at iteration(s): [4]" in out
+
+    def test_plots_flag_cc(self, capsys):
+        assert main(["--plots"]) == 0
+        out = capsys.readouterr().out
+        assert "messages" in out
+
+    def test_twitter_graph(self, capsys):
+        assert main(["--graph", "twitter", "--size", "120", "--fail", "1:0"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_checkpoint_recovery(self, capsys):
+        code = main(
+            ["--fail", "2:0", "--recovery", "checkpoint", "--checkpoint-interval", "1"]
+        )
+        assert code == 0
+
+    def test_restart_after_rollback_states(self, capsys):
+        assert main(["--fail", "2:0", "--recovery", "restart", "--states"]) == 0
+        out = capsys.readouterr().out
+        assert "after restart" in out
+
+    def test_failure_free_run(self, capsys):
+        assert main([]) == 0
+        assert "0 failures" in capsys.readouterr().out
+
+    def test_invalid_partition_errors_cleanly(self, capsys):
+        assert main(["--fail", "2:99"]) == 1
+        assert "error:" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Tests for the ASCII renderings."""
+
+from repro.demo.render import render_components, render_ranks, render_snapshot
+from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+
+class TestRenderComponents:
+    def test_groups_by_label(self):
+        text = render_components({0: 0, 1: 0, 2: 2})
+        assert "2 component(s)" in text
+        assert "{0, 1}" in text
+        assert "{2}" in text
+
+    def test_highlight_marks_vertices(self):
+        text = render_components({0: 0, 1: 0}, highlight=[1])
+        assert "1*" in text
+        assert "0*" not in text
+
+    def test_truncation(self):
+        labels = {v: v for v in range(30)}  # 30 singleton components
+        text = render_components(labels, max_components=5)
+        assert "and 25 more" in text
+
+    def test_component_count_tracks_convergence(self):
+        before = render_components({v: v for v in range(4)})
+        after = render_components({v: 0 for v in range(4)})
+        assert "4 component(s)" in before
+        assert "1 component(s)" in after
+
+
+class TestRenderRanks:
+    def test_bar_lengths_proportional(self):
+        text = render_ranks({0: 0.5, 1: 0.25}, width=8)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 4
+
+    def test_sorted_by_rank_descending(self):
+        text = render_ranks({0: 0.1, 1: 0.9})
+        assert text.index("v1") < text.index("v0")
+
+    def test_highlight(self):
+        text = render_ranks({0: 0.5, 1: 0.5}, highlight=[0])
+        assert "v0     *" in text
+
+    def test_empty(self):
+        assert "empty" in render_ranks({})
+
+    def test_truncation(self):
+        text = render_ranks({v: 1.0 / 40 for v in range(40)}, max_vertices=10)
+        assert "and 30 more" in text
+
+
+class TestRenderSnapshot:
+    def _snapshot(self, records, phase=SnapshotPhase.AFTER_SUPERSTEP):
+        store = SnapshotStore()
+        return store.add(3, phase, records)
+
+    def test_components_view(self):
+        text = render_snapshot(self._snapshot([(0, 0), (1, 0)]))
+        assert "superstep 3" in text
+        assert "component" in text
+
+    def test_ranks_view(self):
+        text = render_snapshot(self._snapshot([(0, 0.7), (1, 0.3)]), kind="ranks")
+        assert "#" in text
+
+    def test_phase_in_header(self):
+        snap = self._snapshot([(0, 0)], SnapshotPhase.AFTER_COMPENSATION)
+        assert "after_compensation" in render_snapshot(snap)

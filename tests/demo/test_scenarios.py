@@ -1,0 +1,87 @@
+"""Tests for the canned demo scenarios (the paper's figure walkthroughs)."""
+
+import pytest
+
+from repro.algorithms.reference import exact_connected_components, exact_pagerank
+from repro.demo.scenarios import (
+    small_cc_scenario,
+    small_pagerank_scenario,
+    twitter_cc_scenario,
+    twitter_pagerank_scenario,
+)
+from repro.iteration.snapshots import SnapshotPhase
+
+
+class TestSmallCcScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return small_cc_scenario()
+
+    def test_converges_to_correct_components(self, run):
+        assert run.result.converged
+        assert run.result.final_dict == exact_connected_components(run.graph)
+
+    def test_failure_at_default_superstep(self, run):
+        assert run.statistics().failures == [2]
+
+    def test_all_four_figure_states_captured(self, run):
+        snapshots = run.result.snapshots
+        assert snapshots.of_phase(SnapshotPhase.INITIAL)
+        assert snapshots.of_phase(SnapshotPhase.BEFORE_FAILURE)
+        assert snapshots.of_phase(SnapshotPhase.AFTER_COMPENSATION)
+        assert snapshots.of_phase(SnapshotPhase.CONVERGED)
+
+    def test_message_spike_after_failure(self, run):
+        messages = run.statistics().messages.values
+        assert messages[3] > messages[2]
+
+    def test_initial_state_every_vertex_own_component(self, run):
+        initial = run.result.snapshots.of_phase(SnapshotPhase.INITIAL)[0]
+        labels = initial.as_dict()
+        assert all(v == label for v, label in labels.items())
+
+
+class TestSmallPagerankScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return small_pagerank_scenario()
+
+    def test_converges_to_true_ranks(self, run):
+        truth = exact_pagerank(run.graph)
+        for vertex, rank in run.result.final_dict.items():
+            assert rank == pytest.approx(truth[vertex], abs=1e-7)
+
+    def test_failure_at_default_superstep(self, run):
+        assert run.statistics().failures == [4]
+
+    def test_l1_spike_at_following_iteration(self, run):
+        """§3.3: failure in iteration 5 (superstep 4) appears as a spike
+        in the L1 plot at iteration 6 (superstep 5)."""
+        l1 = run.statistics().l1.values
+        assert l1[5] > l1[4]
+        assert 5 in run.statistics().l1_spikes()
+
+    def test_compensated_state_uniform_over_lost_partition(self, run):
+        compensated = run.result.snapshots.of_phase(SnapshotPhase.AFTER_COMPENSATION)[0]
+        state = compensated.as_dict()
+        lost = run.lost_vertices(4)
+        assert len({state[v] for v in lost}) == 1
+
+
+class TestTwitterScenarios:
+    def test_twitter_cc(self):
+        run = twitter_cc_scenario(twitter_size=120)
+        assert run.result.converged
+        assert run.result.final_dict == exact_connected_components(run.graph)
+
+    def test_twitter_pagerank(self):
+        run = twitter_pagerank_scenario(twitter_size=120)
+        truth = exact_pagerank(run.graph)
+        for vertex, rank in run.result.final_dict.items():
+            assert rank == pytest.approx(truth[vertex], abs=1e-6)
+
+    def test_twitter_statistics_usable(self):
+        run = twitter_cc_scenario(twitter_size=120)
+        stats = run.statistics()
+        assert stats.supersteps == len(stats.messages.values)
+        assert stats.messages.total > 0

@@ -1,0 +1,56 @@
+"""Tests for the demo statistics extraction."""
+
+from repro.demo.statistics import DemoStatistics
+from repro.iteration.result import IterationResult
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.events import EventLog
+from repro.runtime.metrics import IterationStats, MetricsRegistry, StatsSeries
+from repro.config import EngineConfig
+
+
+def _result_with(stats_rows) -> IterationResult:
+    series = StatsSeries()
+    for row in stats_rows:
+        series.append(row)
+    return IterationResult(
+        job_name="fake",
+        final_records=[],
+        converged=True,
+        supersteps=len(stats_rows),
+        stats=series,
+        events=EventLog(),
+        clock=SimulatedClock(),
+        metrics=MetricsRegistry(),
+        cluster=SimulatedCluster(EngineConfig(parallelism=1, spare_workers=0)),
+    )
+
+
+def test_from_result_extracts_series():
+    result = _result_with(
+        [
+            IterationStats(0, messages=10, converged=3, l1_delta=0.5),
+            IterationStats(1, messages=5, converged=6, l1_delta=0.2, failed=True),
+        ]
+    )
+    stats = DemoStatistics.from_result(result)
+    assert stats.converged.values == [3, 6]
+    assert stats.messages.values == [10, 5]
+    assert stats.l1.values == [0.5, 0.2]
+    assert stats.failures == [1]
+    assert stats.supersteps == 2
+
+
+def test_plummets_and_spikes():
+    result = _result_with(
+        [
+            IterationStats(0, messages=10, converged=5, l1_delta=0.5),
+            IterationStats(1, messages=8, converged=8, l1_delta=0.3),
+            IterationStats(2, messages=6, converged=4, l1_delta=0.1, failed=True),
+            IterationStats(3, messages=9, converged=7, l1_delta=0.4),
+        ]
+    )
+    stats = DemoStatistics.from_result(result)
+    assert stats.convergence_plummets() == [2]
+    assert stats.message_spikes() == [3]
+    assert stats.l1_spikes() == [3]

@@ -1,0 +1,125 @@
+"""Tests for the Graph type."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def test_basic_construction():
+    graph = Graph([0, 1, 2], [(0, 1)])
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 1
+    assert not graph.directed
+
+
+def test_vertices_sorted_and_deduplicated():
+    graph = Graph([2, 0, 1, 1], [])
+    assert graph.vertices == [0, 1, 2]
+
+
+def test_unknown_endpoint_rejected():
+    with pytest.raises(GraphError, match="unknown vertex"):
+        Graph([0, 1], [(0, 5)])
+
+
+def test_self_loops_rejected():
+    with pytest.raises(GraphError, match="self-loop"):
+        Graph([0, 1], [(1, 1)])
+
+
+def test_negative_vertex_ids_rejected():
+    with pytest.raises(GraphError):
+        Graph([-1, 0], [])
+
+
+def test_undirected_edges_canonicalized_and_deduplicated():
+    graph = Graph([0, 1], [(1, 0), (0, 1)])
+    assert graph.edges == [(0, 1)]
+
+
+def test_directed_edges_keep_direction():
+    graph = Graph([0, 1], [(1, 0)], directed=True)
+    assert graph.edges == [(1, 0)]
+    assert graph.neighbors(1) == [0]
+    assert graph.neighbors(0) == []
+
+
+def test_directed_antiparallel_edges_both_kept():
+    graph = Graph([0, 1], [(0, 1), (1, 0)], directed=True)
+    assert graph.num_edges == 2
+
+
+def test_neighbors_undirected_symmetric():
+    graph = Graph([0, 1, 2], [(0, 1), (1, 2)])
+    assert graph.neighbors(1) == [0, 2]
+    assert graph.neighbors(0) == [1]
+
+
+def test_neighbors_unknown_vertex():
+    with pytest.raises(GraphError):
+        Graph([0], []).neighbors(7)
+
+
+def test_degree_and_out_degrees():
+    graph = Graph([0, 1, 2], [(0, 1), (0, 2)])
+    assert graph.degree(0) == 2
+    assert graph.out_degrees() == {0: 2, 1: 1, 2: 1}
+
+
+def test_contains_and_iter():
+    graph = Graph([0, 1], [])
+    assert 0 in graph
+    assert 5 not in graph
+    assert list(graph) == [0, 1]
+
+
+def test_symmetric_edge_records():
+    graph = Graph([0, 1], [(0, 1)])
+    assert sorted(graph.symmetric_edge_records()) == [(0, 1), (1, 0)]
+
+
+def test_transition_records_probabilities_sum_to_one_per_vertex():
+    graph = Graph([0, 1, 2], [(0, 1), (0, 2), (1, 2)])
+    sums: dict[int, float] = {}
+    for source, _target, probability in graph.transition_records():
+        sums[source] = sums.get(source, 0.0) + probability
+    for vertex, total in sums.items():
+        assert total == pytest.approx(1.0)
+
+
+def test_transition_records_directed():
+    graph = Graph([0, 1, 2], [(0, 1), (0, 2)], directed=True)
+    records = graph.transition_records()
+    assert all(source == 0 for source, _t, _p in records)
+    assert all(probability == pytest.approx(0.5) for _s, _t, probability in records)
+
+
+def test_dangling_vertices():
+    graph = Graph([0, 1, 2], [(0, 1)], directed=True)
+    assert graph.dangling_vertices() == [1, 2]
+    undirected = Graph([0, 1, 2], [(0, 1)])
+    assert undirected.dangling_vertices() == [2]
+
+
+def test_isolated_vertices_are_legal():
+    graph = Graph([0, 1, 2], [])
+    assert graph.num_vertices == 3
+    assert graph.neighbors(1) == []
+
+
+def test_subgraph():
+    graph = Graph(range(5), [(0, 1), (1, 2), (3, 4)])
+    sub = graph.subgraph([0, 1, 3])
+    assert sub.vertices == [0, 1, 3]
+    assert sub.edges == [(0, 1)]
+
+
+def test_subgraph_unknown_vertex():
+    with pytest.raises(GraphError):
+        Graph([0], []).subgraph([0, 9])
+
+
+def test_repr_mentions_sizes():
+    text = repr(Graph([0, 1], [(0, 1)]))
+    assert "|V|=2" in text and "|E|=1" in text

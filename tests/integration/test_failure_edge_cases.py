@@ -1,0 +1,147 @@
+"""Integration tests for failure-handling edge cases.
+
+These pin down behaviours the happy-path experiments never touch: spare
+exhaustion, failures of replacement workers, failures at the first and
+last supersteps, and back-to-back failure storms.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components, exact_connected_components, pagerank
+from repro.algorithms.reference import exact_pagerank
+from repro.config import EngineConfig
+from repro.core import CheckpointRecovery
+from repro.errors import RecoveryError
+from repro.graph.generators import demo_pagerank_graph, multi_component_graph
+from repro.runtime.failures import FailureSchedule
+
+
+def test_spare_exhaustion_raises_recovery_error():
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=1)
+    job = connected_components(graph)
+    with pytest.raises(RecoveryError, match="spare"):
+        job.run(
+            config=config,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(1, [0, 1]),
+        )
+
+
+def test_replacement_workers_can_fail_too():
+    """Kill worker 0 at superstep 1; its partition moves to a spare; then
+    kill that spare at superstep 3 — recovery must work both times."""
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=4)
+    # after the first failure, partition 0 lives on worker 4 (first spare)
+    job = connected_components(graph)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.at((1, [0]), (3, [4])),
+    )
+    assert result.converged
+    assert result.final_dict == exact_connected_components(graph)
+    failures = result.events.failures()
+    assert len(failures) == 2
+    assert failures[1].details["lost_partitions"] == [0]
+
+
+def test_failure_at_superstep_zero():
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=4)
+    job = connected_components(graph)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.single(0, [2]),
+    )
+    assert result.final_dict == exact_connected_components(graph)
+
+
+def test_failure_on_final_superstep_still_converges():
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=4)
+    baseline = connected_components(graph).run(config=config)
+    last = baseline.supersteps - 1
+    job = connected_components(graph)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.single(last, [1]),
+    )
+    assert result.converged
+    assert result.final_dict == exact_connected_components(graph)
+    assert result.supersteps > baseline.supersteps
+
+
+def test_failure_storm_consecutive_supersteps():
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=16)
+    job = connected_components(graph)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.at((1, [0]), (2, [1]), (3, [2]), (4, [3])),
+    )
+    assert result.converged
+    assert result.final_dict == exact_connected_components(graph)
+    assert result.num_failures == 4
+
+
+def test_two_failures_same_superstep():
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=8)
+    job = connected_components(graph)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.at((2, [0]), (2, [3])),
+    )
+    assert result.final_dict == exact_connected_components(graph)
+    # both events struck during the same superstep
+    assert result.stats.failure_supersteps() == [2]
+    assert len(result.events.failures()) == 2
+
+
+def test_failure_scheduled_after_convergence_never_fires():
+    graph = multi_component_graph(3, 15, seed=2)
+    config = EngineConfig(parallelism=4, spare_workers=4)
+    job = connected_components(graph)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.single(10_000, [0]),
+    )
+    assert result.converged
+    assert result.num_failures == 0
+    assert result.sim_time == connected_components(graph).run(config=config).sim_time
+
+
+def test_checkpoint_strategy_survives_storm():
+    graph = demo_pagerank_graph()
+    config = EngineConfig(parallelism=4, spare_workers=16)
+    result = pagerank(graph, epsilon=1e-10, max_supersteps=600).run(
+        config=config,
+        recovery=CheckpointRecovery(interval=2),
+        failures=FailureSchedule.at((3, [0]), (4, [1]), (9, [2])),
+    )
+    truth = exact_pagerank(graph)
+    assert result.converged
+    for vertex, rank in result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-8)
+
+
+def test_pagerank_failure_storm_optimistic():
+    graph = demo_pagerank_graph()
+    config = EngineConfig(parallelism=4, spare_workers=24)
+    job = pagerank(graph, epsilon=1e-10, max_supersteps=800)
+    result = job.run(
+        config=config,
+        recovery=job.optimistic(),
+        failures=FailureSchedule.at((2, [0]), (3, [1]), (4, [2]), (10, [3]), (20, [4])),
+    )
+    truth = exact_pagerank(graph)
+    assert result.converged
+    for vertex, rank in result.final_dict.items():
+        assert rank == pytest.approx(truth[vertex], abs=1e-8)

@@ -1,0 +1,277 @@
+"""Tests for the bulk iteration driver, using a toy halving fixpoint.
+
+The toy job halves every value each superstep; its fixpoint is the zero
+vector, reached (within epsilon) after a predictable number of steps.
+Compensation resets lost partitions to their initial values, which is
+consistent for this contraction — exactly the structure the paper's
+optimistic recovery relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.compensation import CompensationContext, CompensationFunction
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.optimistic import OptimisticRecovery
+from repro.core.restart import RestartRecovery
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.plan import Plan
+from repro.errors import IterationError, TerminationError
+from repro.iteration.bulk import BulkIterationSpec, run_bulk_iteration
+from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+from repro.iteration.termination import EpsilonL1, FixedSupersteps
+from repro.runtime.events import EventKind
+from repro.runtime.failures import FailureSchedule
+
+KEY = first_field("k")
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+class ResetCompensation(CompensationFunction):
+    name = "reset-to-initial"
+
+    def compensate_partition(
+        self, partition_id: int, records: list[Any] | None, aggregate: Any, ctx: CompensationContext
+    ) -> list[Any]:
+        if records is not None:
+            return records
+        return ctx.initial_partition(partition_id)
+
+
+def _halving_plan() -> Plan:
+    plan = Plan("halve-step")
+    state = plan.source("state", partitioned_by=KEY)
+    state.map(lambda r: (r[0], r[1] / 2.0), name="halve")
+    return plan
+
+
+def _halving_spec(epsilon: float = 1e-6, max_supersteps: int = 100) -> BulkIterationSpec:
+    return BulkIterationSpec(
+        name="halve",
+        step_plan=_halving_plan(),
+        state_source="state",
+        next_state_output="halve",
+        state_key=KEY,
+        termination=EpsilonL1(epsilon),
+        max_supersteps=max_supersteps,
+        message_counter="records_in.halve",
+        value_fn=lambda r: r[1],
+        truth={k: 0.0 for k in range(8)},
+        truth_tolerance=1e-6,
+    )
+
+
+INITIAL = [(k, 1.0) for k in range(8)]
+
+
+def test_failure_free_convergence():
+    result = run_bulk_iteration(_halving_spec(), INITIAL, config=CONFIG)
+    assert result.converged
+    for value in result.final_dict.values():
+        assert value < 1e-6
+
+
+def test_spec_validation_unknown_source():
+    with pytest.raises(IterationError, match="no source"):
+        BulkIterationSpec(
+            name="x",
+            step_plan=_halving_plan(),
+            state_source="bogus",
+            next_state_output="halve",
+            state_key=KEY,
+            termination=EpsilonL1(1e-6),
+        )
+
+
+def test_spec_validation_unknown_output():
+    from repro.errors import PlanError
+
+    with pytest.raises(PlanError):
+        BulkIterationSpec(
+            name="x",
+            step_plan=_halving_plan(),
+            state_source="state",
+            next_state_output="bogus",
+            state_key=KEY,
+            termination=EpsilonL1(1e-6),
+        )
+
+
+def test_empty_initial_state_rejected():
+    with pytest.raises(IterationError, match="empty"):
+        run_bulk_iteration(_halving_spec(), [], config=CONFIG)
+
+
+def test_superstep_budget_without_convergence():
+    spec = _halving_spec(epsilon=1e-30, max_supersteps=5)
+    result = run_bulk_iteration(spec, INITIAL, config=CONFIG)
+    assert not result.converged
+    assert result.supersteps == 5
+
+
+def test_strict_mode_raises_on_budget_exhaustion():
+    spec = _halving_spec(epsilon=1e-30, max_supersteps=5)
+    strict = EngineConfig(parallelism=4, spare_workers=8, strict_iterations=True)
+    with pytest.raises(TerminationError):
+        run_bulk_iteration(spec, INITIAL, config=strict)
+
+
+def test_l1_series_is_halving():
+    result = run_bulk_iteration(_halving_spec(), INITIAL, config=CONFIG)
+    l1 = result.stats.l1_series()
+    for previous, current in zip(l1, l1[1:]):
+        assert current == pytest.approx(previous / 2.0)
+
+
+def test_messages_counted_per_superstep():
+    result = run_bulk_iteration(_halving_spec(), INITIAL, config=CONFIG)
+    assert all(m == 8 for m in result.stats.messages_series())
+
+
+def test_converged_counts_against_truth():
+    result = run_bulk_iteration(_halving_spec(), INITIAL, config=CONFIG)
+    converged = result.stats.converged_series()
+    assert converged[0] == 0
+    assert converged[-1] == 8
+    assert converged == sorted(converged)  # monotone for this toy
+
+
+def test_fixed_supersteps_termination():
+    spec = BulkIterationSpec(
+        name="halve-fixed",
+        step_plan=_halving_plan(),
+        state_source="state",
+        next_state_output="halve",
+        state_key=KEY,
+        termination=FixedSupersteps(7),
+        max_supersteps=100,
+    )
+    result = run_bulk_iteration(spec, INITIAL, config=CONFIG)
+    assert result.converged
+    assert result.supersteps == 7
+
+
+def test_failure_without_recovery_strategy_defaults_to_restart():
+    spec = _halving_spec()
+    result = run_bulk_iteration(
+        spec, INITIAL, config=CONFIG, failures=FailureSchedule.single(3, [0])
+    )
+    assert result.converged
+    assert result.num_failures == 1
+    assert len(result.events.of_kind(EventKind.RESTART)) == 1
+
+
+def test_optimistic_recovery_converges():
+    spec = _halving_spec()
+    result = run_bulk_iteration(
+        spec,
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.single(3, [1]),
+    )
+    assert result.converged
+    assert len(result.events.of_kind(EventKind.COMPENSATION)) == 1
+    for value in result.final_dict.values():
+        assert value < 1e-6
+
+
+def test_checkpoint_recovery_converges():
+    spec = _halving_spec()
+    result = run_bulk_iteration(
+        spec,
+        INITIAL,
+        config=CONFIG,
+        recovery=CheckpointRecovery(interval=2),
+        failures=FailureSchedule.single(3, [1]),
+    )
+    assert result.converged
+    assert len(result.events.of_kind(EventKind.ROLLBACK)) == 1
+
+
+def test_failed_superstep_never_terminates():
+    """Even if the state looks converged, a failed superstep must not end
+    the run — recovery happens first, convergence is re-checked later."""
+    spec = _halving_spec(epsilon=1e-1)  # converges quickly
+    result = run_bulk_iteration(
+        spec,
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.single(4, [0]),
+    )
+    assert result.converged
+    failed_steps = result.stats.failure_supersteps()
+    assert failed_steps == [4]
+    converged_step = result.events.of_kind(EventKind.CONVERGED)[0].superstep
+    assert converged_step > 4
+
+
+def test_multiple_failures():
+    spec = _halving_spec()
+    result = run_bulk_iteration(
+        spec,
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.at((2, [0]), (6, [1]), (9, [2])),
+    )
+    assert result.converged
+    assert result.num_failures == 3
+
+
+def test_snapshots_capture_phases():
+    spec = _halving_spec()
+    store = SnapshotStore()
+    run_bulk_iteration(
+        spec,
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.single(3, [0]),
+        snapshots=store,
+    )
+    phases = {snap.phase for snap in store}
+    assert SnapshotPhase.INITIAL in phases
+    assert SnapshotPhase.BEFORE_FAILURE in phases
+    assert SnapshotPhase.AFTER_COMPENSATION in phases
+    assert SnapshotPhase.CONVERGED in phases
+
+
+def test_restart_resets_termination_counter():
+    spec = BulkIterationSpec(
+        name="halve-fixed",
+        step_plan=_halving_plan(),
+        state_source="state",
+        next_state_output="halve",
+        state_key=KEY,
+        termination=FixedSupersteps(5),
+        max_supersteps=50,
+    )
+    result = run_bulk_iteration(
+        spec,
+        INITIAL,
+        config=CONFIG,
+        recovery=RestartRecovery(),
+        failures=FailureSchedule.single(2, [0]),
+    )
+    assert result.converged
+    # 3 committed supersteps (0,1 counted; 2 failed) + 5 counted after restart
+    assert result.supersteps == 8
+
+
+def test_sim_time_monotone_across_stats():
+    result = run_bulk_iteration(_halving_spec(), INITIAL, config=CONFIG)
+    times = [s.sim_time_start for s in result.stats] + [result.stats.last.sim_time_end]
+    assert times == sorted(times)
+
+
+def test_statics_must_match_plan_sources():
+    with pytest.raises(IterationError, match="matches no plan source"):
+        run_bulk_iteration(
+            _halving_spec(), INITIAL, statics={"bogus": [1]}, config=CONFIG
+        )

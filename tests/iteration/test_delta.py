@@ -1,0 +1,228 @@
+"""Tests for the delta iteration driver, using a toy countdown job.
+
+Each workset entry ``(k, n)`` with ``n > 0`` proposes ``(k, n - 1)``;
+the delta replaces the solution entry and becomes the next workset. The
+workset therefore empties once every value reaches zero, after
+``max(initial values)`` supersteps — a fully predictable delta iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.compensation import CompensationContext, CompensationFunction
+from repro.core.optimistic import OptimisticRecovery
+from repro.core.restart import RestartRecovery
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.plan import Plan
+from repro.errors import IterationError
+from repro.iteration.delta import DeltaIterationSpec, run_delta_iteration
+from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+from repro.runtime.events import EventKind
+from repro.runtime.failures import FailureSchedule
+
+KEY = first_field("k")
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+class ResetCompensation(CompensationFunction):
+    name = "reset-to-initial"
+
+    def compensate_partition(
+        self, partition_id: int, records: list[Any] | None, aggregate: Any, ctx: CompensationContext
+    ) -> list[Any]:
+        if records is not None:
+            return records
+        return ctx.initial_partition(partition_id)
+
+
+def _countdown_plan() -> Plan:
+    plan = Plan("countdown-step")
+    plan.source("solution", partitioned_by=KEY)
+    workset = plan.source("workset", partitioned_by=KEY)
+    (
+        workset.filter(lambda r: r[1] > 0, name="still-positive")
+        .map(lambda r: (r[0], r[1] - 1), name="decrement")
+    )
+    return plan
+
+
+def _countdown_spec(max_supersteps: int = 50) -> DeltaIterationSpec:
+    return DeltaIterationSpec(
+        name="countdown",
+        step_plan=_countdown_plan(),
+        solution_source="solution",
+        workset_source="workset",
+        delta_output="decrement",
+        workset_output="decrement",
+        state_key=KEY,
+        max_supersteps=max_supersteps,
+        message_counter="records_in.decrement",
+        truth={k: 0 for k in range(8)},
+    )
+
+
+INITIAL = [(k, k + 1) for k in range(8)]  # values 1..8
+
+
+def test_failure_free_convergence():
+    result = run_delta_iteration(_countdown_spec(), INITIAL, config=CONFIG)
+    assert result.converged
+    assert result.final_dict == {k: 0 for k in range(8)}
+
+
+def test_supersteps_equal_max_initial_value_plus_empty_check():
+    result = run_delta_iteration(_countdown_spec(), INITIAL, config=CONFIG)
+    # value 8 needs 8 decrements (supersteps 0..7); a freshly decremented
+    # zero still sits in the workset one more superstep before the filter
+    # drops it, so the run ends after 9 supersteps.
+    assert result.supersteps == 9
+
+
+def test_workset_shrinks_monotonically_failure_free():
+    result = run_delta_iteration(_countdown_spec(), INITIAL, config=CONFIG)
+    sizes = [s.workset_size for s in result.stats]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[-1] == 0
+
+
+def test_default_workset_is_the_solution_set():
+    result = run_delta_iteration(_countdown_spec(), INITIAL, None, config=CONFIG)
+    assert result.converged
+
+
+def test_explicit_workset_subset():
+    # only key 7 active: other keys never change
+    result = run_delta_iteration(
+        _countdown_spec(), INITIAL, [(7, 8)], config=CONFIG
+    )
+    assert result.converged
+    assert result.final_dict[7] == 0
+    assert result.final_dict[0] == 1  # untouched
+
+
+def test_empty_solution_rejected():
+    with pytest.raises(IterationError, match="empty"):
+        run_delta_iteration(_countdown_spec(), [], config=CONFIG)
+
+
+def test_spec_validation_missing_sources():
+    with pytest.raises(IterationError, match="no source"):
+        DeltaIterationSpec(
+            name="x",
+            step_plan=_countdown_plan(),
+            solution_source="bogus",
+            workset_source="workset",
+            delta_output="decrement",
+            workset_output="decrement",
+            state_key=KEY,
+        )
+
+
+def test_updates_counted():
+    result = run_delta_iteration(_countdown_spec(), INITIAL, config=CONFIG)
+    assert result.stats.updates_series()[0] == 8  # every key decremented
+    assert result.stats.updates_series()[-1] == 0
+
+
+def test_restart_recovery_converges():
+    result = run_delta_iteration(
+        _countdown_spec(),
+        INITIAL,
+        config=CONFIG,
+        recovery=RestartRecovery(),
+        failures=FailureSchedule.single(3, [0]),
+    )
+    assert result.converged
+    assert result.final_dict == {k: 0 for k in range(8)}
+    assert len(result.events.of_kind(EventKind.RESTART)) == 1
+    assert result.supersteps > 8  # paid re-execution
+
+
+def test_optimistic_recovery_converges():
+    result = run_delta_iteration(
+        _countdown_spec(),
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.single(3, [0]),
+    )
+    assert result.converged
+    assert result.final_dict == {k: 0 for k in range(8)}
+    assert len(result.events.of_kind(EventKind.COMPENSATION)) == 1
+
+
+def test_checkpoint_recovery_converges():
+    result = run_delta_iteration(
+        _countdown_spec(),
+        INITIAL,
+        config=CONFIG,
+        recovery=CheckpointRecovery(interval=2),
+        failures=FailureSchedule.single(4, [0]),
+    )
+    assert result.converged
+    assert result.final_dict == {k: 0 for k in range(8)}
+    rollbacks = result.events.of_kind(EventKind.ROLLBACK)
+    assert len(rollbacks) == 1
+    assert rollbacks[0].details["restored_from"] == 3
+
+
+def test_checkpoint_before_first_interval_restarts():
+    result = run_delta_iteration(
+        _countdown_spec(),
+        INITIAL,
+        config=CONFIG,
+        recovery=CheckpointRecovery(interval=10),
+        failures=FailureSchedule.single(1, [0]),
+    )
+    assert result.converged
+    assert len(result.events.of_kind(EventKind.RESTART)) == 1
+
+
+def test_failure_on_workset_only_partition_is_recovered():
+    # fail every worker at once
+    result = run_delta_iteration(
+        _countdown_spec(),
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.single(2, [0, 1, 2, 3]),
+    )
+    assert result.converged
+    assert result.final_dict == {k: 0 for k in range(8)}
+
+
+def test_snapshots_capture_failure_phases():
+    store = SnapshotStore()
+    run_delta_iteration(
+        _countdown_spec(),
+        INITIAL,
+        config=CONFIG,
+        recovery=OptimisticRecovery(ResetCompensation()),
+        failures=FailureSchedule.single(3, [1]),
+        snapshots=store,
+    )
+    phases = {snap.phase for snap in store}
+    assert SnapshotPhase.BEFORE_FAILURE in phases
+    assert SnapshotPhase.AFTER_COMPENSATION in phases
+    assert SnapshotPhase.CONVERGED in phases
+
+
+def test_converged_counts_against_truth():
+    result = run_delta_iteration(_countdown_spec(), INITIAL, config=CONFIG)
+    converged = result.stats.converged_series()
+    assert converged[-1] == 8
+    assert converged == sorted(converged)
+
+
+def test_value_fn_enables_l1_tracking():
+    spec = _countdown_spec()
+    spec.value_fn = lambda r: float(r[1])
+    result = run_delta_iteration(spec, INITIAL, config=CONFIG)
+    l1 = result.stats.l1_series()
+    assert all(v is not None for v in l1)
+    assert l1[0] == pytest.approx(8.0)  # 8 keys decremented by 1

@@ -1,0 +1,94 @@
+"""Tests for the internal iteration runtime helpers."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.dataflow.plan import Plan
+from repro.errors import IterationError
+from repro.iteration._runtime import (
+    _matches,
+    bind_statics,
+    build_runtime,
+    count_converged,
+)
+from repro.runtime.failures import FailureSchedule
+
+
+class TestMatches:
+    def test_exact_equality_without_tolerance(self):
+        assert _matches(3, 3, 0.0)
+        assert not _matches(3, 4, 0.0)
+
+    def test_float_tolerance(self):
+        assert _matches(1.0, 1.0 + 1e-9, 1e-6)
+        assert not _matches(1.0, 1.1, 1e-6)
+
+    def test_tuple_tolerance(self):
+        assert _matches((1.0, 2.0), (1.0 + 1e-9, 2.0), 1e-6)
+        assert not _matches((1.0, 2.0), (1.0, 2.1), 1e-6)
+
+    def test_tuple_length_mismatch(self):
+        assert not _matches((1.0,), (1.0, 2.0), 1e-6)
+
+    def test_mixed_types_fall_back_to_equality(self):
+        assert not _matches((1.0, "x"), (1.0, "y"), 1e-6)
+        assert _matches("label", "label", 1e-6)
+
+    def test_int_vs_float_tolerance(self):
+        assert _matches(1, 1.0000001, 1e-3)
+
+
+class TestCountConverged:
+    TRUTH = {0: 10, 1: 20, 2: 30}
+
+    def test_counts_matches(self):
+        records = [(0, 10), (1, 99), (2, 30)]
+        assert count_converged(records, self.TRUTH, 0.0) == 2
+
+    def test_none_truth_counts_nothing(self):
+        assert count_converged([(0, 10)], None, 0.0) == 0
+
+    def test_unknown_keys_skipped(self):
+        assert count_converged([(99, 10)], self.TRUTH, 0.0) == 0
+
+    def test_tolerance_applied(self):
+        records = [(0, 10.0000001)]
+        assert count_converged(records, self.TRUTH, 1e-3) == 1
+
+
+class TestBindStatics:
+    def test_unknown_static_rejected(self):
+        plan = Plan("p")
+        plan.source("state")
+        with pytest.raises(IterationError, match="matches no plan source"):
+            bind_statics(plan, {"bogus": [1]}, {"state"}, 2)
+
+    def test_unbound_non_dynamic_source_rejected(self):
+        plan = Plan("p")
+        plan.source("state")
+        plan.source("edges")
+        with pytest.raises(IterationError, match="neither iterative state"):
+            bind_statics(plan, {}, {"state"}, 2)
+
+    def test_partitioned_per_source_spec(self):
+        from repro.dataflow.datatypes import first_field
+
+        key = first_field("k")
+        plan = Plan("p")
+        plan.source("state")
+        plan.source("edges", partitioned_by=key)
+        bound = bind_statics(plan, {"edges": [(1, 2), (2, 3)]}, {"state"}, 2)
+        assert bound["edges"].partitioned_by == key
+
+
+class TestBuildRuntime:
+    def test_assembles_consistent_objects(self):
+        runtime = build_runtime(
+            EngineConfig(parallelism=3, spare_workers=1), FailureSchedule.none()
+        )
+        assert runtime.cluster.parallelism == 3
+        assert runtime.executor.parallelism == 3
+        # clock is shared between cluster, executor and storage
+        assert runtime.executor.clock is runtime.cluster.clock
+        runtime.storage.write("x", [1, 2])
+        assert runtime.clock.now > 0

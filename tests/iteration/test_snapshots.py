@@ -1,0 +1,75 @@
+"""Tests for the snapshot store."""
+
+from repro.iteration.snapshots import SnapshotPhase, SnapshotStore
+
+
+def test_add_and_len():
+    store = SnapshotStore()
+    store.add(-1, SnapshotPhase.INITIAL, [(1, 1)])
+    store.add(0, SnapshotPhase.AFTER_SUPERSTEP, [(1, 2)])
+    assert len(store) == 2
+
+
+def test_snapshot_records_are_immutable_copies():
+    store = SnapshotStore()
+    records = [(1, 1)]
+    snap = store.add(0, SnapshotPhase.AFTER_SUPERSTEP, records)
+    records.append((2, 2))
+    assert snap.records == ((1, 1),)
+
+
+def test_as_dict():
+    store = SnapshotStore()
+    snap = store.add(0, SnapshotPhase.AFTER_SUPERSTEP, [(1, "a"), (2, "b")])
+    assert snap.as_dict() == {1: "a", 2: "b"}
+
+
+def test_of_phase():
+    store = SnapshotStore()
+    store.add(-1, SnapshotPhase.INITIAL, [])
+    store.add(0, SnapshotPhase.AFTER_SUPERSTEP, [])
+    store.add(1, SnapshotPhase.BEFORE_FAILURE, [])
+    store.add(1, SnapshotPhase.AFTER_COMPENSATION, [])
+    assert len(store.of_phase(SnapshotPhase.BEFORE_FAILURE)) == 1
+    assert len(store.of_phase(SnapshotPhase.AFTER_SUPERSTEP)) == 1
+
+
+def test_at_superstep():
+    store = SnapshotStore()
+    store.add(1, SnapshotPhase.BEFORE_FAILURE, [])
+    store.add(1, SnapshotPhase.AFTER_COMPENSATION, [])
+    store.add(2, SnapshotPhase.AFTER_SUPERSTEP, [])
+    assert len(store.at_superstep(1)) == 2
+
+
+def test_latest():
+    store = SnapshotStore()
+    assert store.latest() is None
+    store.add(0, SnapshotPhase.AFTER_SUPERSTEP, [(1, 1)])
+    store.add(1, SnapshotPhase.AFTER_SUPERSTEP, [(1, 2)])
+    assert store.latest().superstep == 1
+    assert store.latest(SnapshotPhase.INITIAL) is None
+
+
+def test_bounded_store_drops_overflow():
+    store = SnapshotStore(max_snapshots=2)
+    assert store.add(0, SnapshotPhase.AFTER_SUPERSTEP, []) is not None
+    assert store.add(1, SnapshotPhase.AFTER_SUPERSTEP, []) is not None
+    assert store.add(2, SnapshotPhase.AFTER_SUPERSTEP, []) is None
+    assert len(store) == 2
+
+
+def test_lost_partitions_default_empty():
+    store = SnapshotStore()
+    snap = store.add(0, SnapshotPhase.BEFORE_FAILURE, [], lost_partitions=[1, 3])
+    assert snap.lost_partitions == (1, 3)
+    snap2 = store.add(0, SnapshotPhase.AFTER_SUPERSTEP, [])
+    assert snap2.lost_partitions == ()
+
+
+def test_iteration_and_indexing():
+    store = SnapshotStore()
+    store.add(0, SnapshotPhase.AFTER_SUPERSTEP, [])
+    store.add(1, SnapshotPhase.AFTER_SUPERSTEP, [])
+    assert [s.superstep for s in store] == [0, 1]
+    assert store[1].superstep == 1

@@ -1,0 +1,72 @@
+"""Tests for termination criteria."""
+
+import pytest
+
+from repro.errors import IterationError
+from repro.iteration.termination import (
+    EmptyWorkset,
+    EpsilonL1,
+    FixedSupersteps,
+    NoUpdates,
+)
+from repro.runtime.metrics import IterationStats
+
+
+def _stats(**kwargs) -> IterationStats:
+    return IterationStats(superstep=kwargs.pop("superstep", 0), **kwargs)
+
+
+class TestFixedSupersteps:
+    def test_stops_after_n_calls(self):
+        criterion = FixedSupersteps(3)
+        assert not criterion.should_stop(_stats())
+        assert not criterion.should_stop(_stats())
+        assert criterion.should_stop(_stats())
+
+    def test_reset_restarts_the_count(self):
+        criterion = FixedSupersteps(2)
+        criterion.should_stop(_stats())
+        criterion.reset()
+        assert not criterion.should_stop(_stats())
+        assert criterion.should_stop(_stats())
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(IterationError):
+            FixedSupersteps(0)
+
+
+class TestEmptyWorkset:
+    def test_stops_on_empty(self):
+        assert EmptyWorkset().should_stop(_stats(workset_size=0))
+
+    def test_continues_on_nonempty(self):
+        assert not EmptyWorkset().should_stop(_stats(workset_size=5))
+
+    def test_requires_delta_iteration(self):
+        with pytest.raises(IterationError):
+            EmptyWorkset().should_stop(_stats(workset_size=None))
+
+
+class TestEpsilonL1:
+    def test_stops_below_epsilon(self):
+        assert EpsilonL1(1e-3).should_stop(_stats(l1_delta=1e-4))
+
+    def test_continues_at_or_above_epsilon(self):
+        assert not EpsilonL1(1e-3).should_stop(_stats(l1_delta=1e-3))
+        assert not EpsilonL1(1e-3).should_stop(_stats(l1_delta=1.0))
+
+    def test_requires_l1_tracking(self):
+        with pytest.raises(IterationError):
+            EpsilonL1(1e-3).should_stop(_stats(l1_delta=None))
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(IterationError):
+            EpsilonL1(0.0)
+
+
+class TestNoUpdates:
+    def test_stops_when_nothing_changed(self):
+        assert NoUpdates().should_stop(_stats(updates=0))
+
+    def test_continues_when_something_changed(self):
+        assert not NoUpdates().should_stop(_stats(updates=1))

@@ -1,0 +1,99 @@
+"""Tests for k-core decomposition (idempotent-message peeling)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EngineConfig
+from repro.graph.generators import erdos_renyi_graph, star_graph, twitter_like_graph
+from repro.graph.graph import Graph
+from repro.pregel import exact_k_core, k_core_members, pregel_k_core
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+def _core_from_run(graph: Graph, result, k: int) -> set[int]:
+    undirected = (
+        Graph(graph.vertices, graph.edges, directed=False) if graph.directed else graph
+    )
+    degrees = {v: undirected.degree(v) for v in undirected.vertices}
+    return k_core_members(result.final_dict, degrees, k)
+
+
+class TestExactKCore:
+    def test_triangle_with_tail(self):
+        # triangle 0-1-2 plus a path 2-3-4: 2-core is the triangle
+        graph = Graph(range(5), [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        assert exact_k_core(graph, 2) == {0, 1, 2}
+
+    def test_star_has_no_2_core(self):
+        assert exact_k_core(star_graph(6), 2) == set()
+
+    def test_k1_core_drops_isolated_vertices(self):
+        graph = Graph(range(4), [(0, 1)])
+        assert exact_k_core(graph, 1) == {0, 1}
+
+    def test_matches_networkx(self):
+        graph = erdos_renyi_graph(40, 0.12, seed=5)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.vertices)
+        nx_graph.add_edges_from(graph.edges)
+        for k in (1, 2, 3):
+            theirs = set(nx.k_core(nx_graph, k).nodes())
+            assert exact_k_core(graph, k) == theirs
+
+
+class TestPregelKCore:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_failure_free_matches_oracle(self, k):
+        graph = erdos_renyi_graph(40, 0.12, seed=5)
+        result = pregel_k_core(graph, k).run(config=CONFIG)
+        assert result.converged
+        assert _core_from_run(graph, result, k) == exact_k_core(graph, k)
+
+    def test_directed_input_symmetrized(self):
+        graph = twitter_like_graph(100, seed=2)
+        undirected = Graph(graph.vertices, graph.edges, directed=False)
+        result = pregel_k_core(graph, 3).run(config=CONFIG)
+        assert _core_from_run(graph, result, 3) == exact_k_core(undirected, 3)
+
+    @pytest.mark.parametrize("failed_workers", [[0], [1, 2]])
+    def test_recovers_from_failure(self, failed_workers):
+        graph = erdos_renyi_graph(40, 0.12, seed=5)
+        job = pregel_k_core(graph, 2)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(1, failed_workers),
+        )
+        assert result.converged
+        assert _core_from_run(graph, result, 2) == exact_k_core(graph, 2)
+
+    def test_no_double_counting_under_repeated_failures(self):
+        """The idempotence property: replayed removal notices must not
+        over-remove, even across several compensations."""
+        graph = erdos_renyi_graph(40, 0.12, seed=5)
+        job = pregel_k_core(graph, 2)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.at((1, [0]), (2, [1]), (3, [2])),
+        )
+        assert _core_from_run(graph, result, 2) == exact_k_core(graph, 2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    failure_seed=st.integers(min_value=0, max_value=5_000),
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_property_kcore_correct_under_random_failures(seed, failure_seed, k):
+    graph = erdos_renyi_graph(30, 0.15, seed=seed)
+    job = pregel_k_core(graph, k)
+    schedule = FailureSchedule.random(4, 3, 2, seed=failure_seed)
+    result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    assert _core_from_run(graph, result, k) == exact_k_core(graph, k)

@@ -1,0 +1,91 @@
+"""Tests for the shipped vertex-program library."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    exact_connected_components,
+    exact_sssp,
+    exact_weighted_sssp,
+)
+from repro.config import EngineConfig
+from repro.graph.generators import grid_graph, twitter_like_graph
+from repro.pregel import (
+    MaxValueProgram,
+    MinLabelProgram,
+    ShortestPathsProgram,
+    pregel_connected_components,
+    pregel_sssp,
+    vertex_program_job,
+)
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+class TestPregelConnectedComponents:
+    def test_directed_input_symmetrized(self):
+        """Weak connectivity on the directed Twitter graph."""
+        graph = twitter_like_graph(150, seed=3)
+        job = pregel_connected_components(graph)
+        result = job.run(config=CONFIG)
+        from repro.graph.graph import Graph
+
+        undirected = Graph(graph.vertices, graph.edges, directed=False)
+        assert result.final_dict == exact_connected_components(undirected)
+
+    def test_truth_attached(self):
+        graph = twitter_like_graph(100, seed=3)
+        job = pregel_connected_components(graph)
+        result = job.run(config=CONFIG)
+        assert result.stats.converged_series()[-1] == graph.num_vertices
+
+    def test_recovers_from_failure(self):
+        graph = twitter_like_graph(150, seed=3)
+        job = pregel_connected_components(graph)
+        baseline = pregel_connected_components(graph).run(config=CONFIG)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(1, [2]),
+        )
+        assert result.final_dict == baseline.final_dict
+
+
+class TestPregelSssp:
+    def test_unweighted(self):
+        graph = grid_graph(5, 5)
+        result = pregel_sssp(graph, 0).run(config=CONFIG)
+        assert result.final_dict == exact_sssp(graph, 0)
+
+    def test_weighted_with_failure(self):
+        graph = grid_graph(4, 4)
+        rng = random.Random(6)
+        weights = {edge: round(rng.uniform(0.5, 3.0), 3) for edge in graph.edges}
+        job = pregel_sssp(graph, 0, weights=weights)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(2, [1]),
+        )
+        truth = exact_weighted_sssp(graph, 0, weights)
+        for vertex, distance in result.final_dict.items():
+            assert distance == pytest.approx(truth[vertex])
+
+
+class TestMaxValueProgram:
+    def test_reaches_component_maximum(self):
+        graph = grid_graph(3, 3)  # one component, vertices 0..8
+        job = vertex_program_job(MaxValueProgram(), graph)
+        result = job.run(config=CONFIG)
+        assert all(value == 8 for value in result.final_dict.values())
+
+
+class TestProgramsAreReusable:
+    def test_program_instance_shared_across_jobs(self):
+        program = MinLabelProgram()
+        graph = grid_graph(3, 3)
+        first = vertex_program_job(program, graph).run(config=CONFIG)
+        second = vertex_program_job(program, graph).run(config=CONFIG)
+        assert first.final_dict == second.final_dict

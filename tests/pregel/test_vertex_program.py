@@ -1,0 +1,211 @@
+"""Tests for the Pregel-style vertex-centric layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    connected_components,
+    exact_connected_components,
+    exact_sssp,
+    exact_weighted_sssp,
+)
+from repro.config import EngineConfig
+from repro.errors import GraphError
+from repro.graph.generators import (
+    chain_graph,
+    demo_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    multi_component_graph,
+)
+from repro.graph.graph import Graph
+from repro.pregel import VertexProgram, vertex_program_job, vertex_program_plan
+from repro.runtime.failures import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=16)
+
+
+class MinLabel(VertexProgram):
+    """Connected Components as a vertex program."""
+
+    name = "pregel-cc"
+
+    def initial_value(self, vertex):
+        return vertex
+
+    def compute(self, vertex, value, messages, edges):
+        best = min(messages)
+        if best < value:
+            return best, [(neighbor, best) for neighbor, _w in edges]
+        return None, []
+
+
+class ShortestPaths(VertexProgram):
+    """SSSP as a vertex program (messages carry value + weight)."""
+
+    name = "pregel-sssp"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def initial_value(self, vertex):
+        return 0.0 if vertex == self.source else math.inf
+
+    def initial_messages(self, vertex, value, edges):
+        if vertex != self.source:
+            return []
+        return [(neighbor, value + weight) for neighbor, weight in edges]
+
+    def recovery_messages(self, vertex, value, edges):
+        if math.isinf(value):
+            return []
+        return [(neighbor, value + weight) for neighbor, weight in edges]
+
+    def compute(self, vertex, value, messages, edges):
+        best = min(messages)
+        if best < value:
+            return best, [(neighbor, best + weight) for neighbor, weight in edges]
+        return None, []
+
+
+class MaxValue(VertexProgram):
+    """Max propagation — exercises a non-min aggregation."""
+
+    name = "pregel-max"
+
+    def initial_value(self, vertex):
+        return vertex
+
+    def compute(self, vertex, value, messages, edges):
+        best = max(messages)
+        if best > value:
+            return best, [(neighbor, best) for neighbor, _w in edges]
+        return None, []
+
+
+class TestPlanCompilation:
+    def test_plan_shape(self):
+        plan = vertex_program_plan(MinLabel())
+        names = {op.name for op in plan.operators}
+        assert {
+            "gather-messages",
+            "join-state",
+            "join-adjacency",
+            "compute",
+            "updates",
+            "out-messages",
+        } <= names
+
+    def test_two_sinks(self):
+        plan = vertex_program_plan(MinLabel())
+        assert {op.name for op in plan.sinks()} == {"updates", "out-messages"}
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            vertex_program_job(MinLabel(), Graph([], []))
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(GraphError, match="no weight"):
+            vertex_program_job(MinLabel(), chain_graph(3), weights={(0, 1): 1.0})
+
+
+class TestConnectedComponentsProgram:
+    def test_failure_free(self):
+        graph = multi_component_graph(3, 15, seed=4)
+        result = vertex_program_job(MinLabel(), graph).run(config=CONFIG)
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+
+    def test_matches_the_dataflow_cc_superstep_for_superstep(self):
+        """The vertex program and the hand-built Figure 1(a) dataflow are
+        the same algorithm: identical label trajectories."""
+        graph = demo_graph()
+        pregel = vertex_program_job(
+            MinLabel(), graph, truth=exact_connected_components(graph)
+        ).run(config=CONFIG)
+        dataflow = connected_components(graph).run(config=CONFIG)
+        assert pregel.final_dict == dataflow.final_dict
+        assert pregel.stats.converged_series() == dataflow.stats.converged_series()
+
+    @pytest.mark.parametrize("failed_workers", [[0], [1, 3]])
+    def test_with_failures(self, failed_workers):
+        graph = multi_component_graph(3, 15, seed=4)
+        job = vertex_program_job(MinLabel(), graph)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(1, failed_workers),
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+
+
+class TestShortestPathsProgram:
+    def test_unweighted(self):
+        graph = grid_graph(5, 5)
+        result = vertex_program_job(ShortestPaths(0), graph).run(config=CONFIG)
+        assert result.final_dict == exact_sssp(graph, 0)
+
+    def test_weighted(self):
+        import random
+
+        graph = grid_graph(4, 4)
+        rng = random.Random(8)
+        weights = {edge: round(rng.uniform(0.5, 3.0), 3) for edge in graph.edges}
+        result = vertex_program_job(ShortestPaths(0), graph, weights=weights).run(
+            config=CONFIG
+        )
+        truth = exact_weighted_sssp(graph, 0, weights)
+        for vertex, distance in result.final_dict.items():
+            assert distance == pytest.approx(truth[vertex])
+
+    def test_with_failures(self):
+        graph = grid_graph(5, 5)
+        job = vertex_program_job(ShortestPaths(0), graph)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.at((2, [0]), (5, [3])),
+        )
+        assert result.final_dict == exact_sssp(graph, 0)
+
+
+class TestMaxPropagation:
+    def test_converges_to_component_maximum(self):
+        graph = multi_component_graph(2, 10, seed=3)
+        result = vertex_program_job(MaxValue(), graph).run(config=CONFIG)
+        components: dict[int, list[int]] = {}
+        for vertex, label in exact_connected_components(graph).items():
+            components.setdefault(label, []).append(vertex)
+        for members in components.values():
+            expected = max(members)
+            for vertex in members:
+                assert result.final_dict[vertex] == expected
+
+    def test_max_propagation_recovers(self):
+        graph = multi_component_graph(2, 10, seed=3)
+        job = vertex_program_job(MaxValue(), graph)
+        result = job.run(
+            config=CONFIG,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(1, [2]),
+        )
+        baseline = vertex_program_job(MaxValue(), graph).run(config=CONFIG)
+        assert result.final_dict == baseline.final_dict
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    failure_seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_property_pregel_cc_correct_under_random_failures(seed, failure_seed):
+    graph = erdos_renyi_graph(25, 0.08, seed=seed)
+    job = vertex_program_job(MinLabel(), graph)
+    schedule = FailureSchedule.random(4, 4, 2, seed=failure_seed)
+    result = job.run(config=CONFIG, recovery=job.optimistic(), failures=schedule)
+    assert result.converged
+    assert result.final_dict == exact_connected_components(graph)

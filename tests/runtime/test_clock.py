@@ -1,0 +1,109 @@
+"""Tests for the simulated cost clock."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.errors import ConfigError
+from repro.runtime.clock import CostCategory, SimulatedClock
+
+
+def test_clock_starts_at_zero():
+    assert SimulatedClock().now == 0.0
+
+
+def test_advance_moves_time_forward():
+    clock = SimulatedClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_advance_returns_new_time():
+    clock = SimulatedClock()
+    assert clock.advance(3.0) == pytest.approx(3.0)
+
+
+def test_advance_rejects_negative_durations():
+    with pytest.raises(ConfigError):
+        SimulatedClock().advance(-0.1)
+
+
+def test_advance_zero_is_allowed():
+    clock = SimulatedClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_accounts_track_categories_separately():
+    clock = SimulatedClock()
+    clock.advance(1.0, CostCategory.COMPUTE)
+    clock.advance(2.0, CostCategory.NETWORK)
+    clock.advance(3.0, CostCategory.COMPUTE)
+    assert clock.spent(CostCategory.COMPUTE) == pytest.approx(4.0)
+    assert clock.spent(CostCategory.NETWORK) == pytest.approx(2.0)
+    assert clock.spent(CostCategory.CHECKPOINT_IO) == 0.0
+
+
+def test_breakdown_reports_nonzero_accounts():
+    clock = SimulatedClock()
+    clock.advance(1.0, CostCategory.RECOVERY)
+    breakdown = clock.breakdown()
+    assert breakdown == {"recovery": pytest.approx(1.0)}
+
+
+def test_charge_compute_uses_cost_model():
+    model = CostModel(cpu_per_record=2.0)
+    clock = SimulatedClock(cost_model=model)
+    clock.charge_compute(5)
+    assert clock.now == pytest.approx(10.0)
+    assert clock.spent(CostCategory.COMPUTE) == pytest.approx(10.0)
+
+
+def test_charge_network_uses_cost_model():
+    clock = SimulatedClock(cost_model=CostModel(network_per_record=3.0))
+    clock.charge_network(4)
+    assert clock.spent(CostCategory.NETWORK) == pytest.approx(12.0)
+
+
+def test_charge_checkpoint_and_restore_use_distinct_accounts():
+    model = CostModel(checkpoint_per_record=1.0, restore_per_record=2.0)
+    clock = SimulatedClock(cost_model=model)
+    clock.charge_checkpoint(3)
+    clock.charge_restore(3)
+    assert clock.spent(CostCategory.CHECKPOINT_IO) == pytest.approx(3.0)
+    assert clock.spent(CostCategory.RESTORE_IO) == pytest.approx(6.0)
+
+
+def test_charge_failure_detection_flat_cost():
+    clock = SimulatedClock(cost_model=CostModel(failure_detection=0.7))
+    clock.charge_failure_detection()
+    assert clock.spent(CostCategory.RECOVERY) == pytest.approx(0.7)
+
+
+def test_charge_worker_acquisition_scales_with_workers():
+    clock = SimulatedClock(cost_model=CostModel(worker_acquisition=2.0))
+    clock.charge_worker_acquisition(3)
+    assert clock.spent(CostCategory.RECOVERY) == pytest.approx(6.0)
+
+
+def test_charge_compensation_uses_its_own_account():
+    clock = SimulatedClock(cost_model=CostModel(compensation_per_record=0.5))
+    clock.charge_compensation(4)
+    assert clock.spent(CostCategory.COMPENSATION) == pytest.approx(2.0)
+
+
+def test_reset_zeroes_everything():
+    clock = SimulatedClock()
+    clock.advance(5.0, CostCategory.NETWORK)
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.breakdown() == {}
+
+
+def test_total_time_equals_sum_of_accounts():
+    clock = SimulatedClock()
+    clock.charge_compute(100)
+    clock.charge_network(50)
+    clock.charge_checkpoint(10)
+    clock.charge_failure_detection()
+    assert clock.now == pytest.approx(sum(clock.breakdown().values()))

@@ -1,0 +1,140 @@
+"""Tests for the simulated cluster and failure mechanics."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import ExecutionError, RecoveryError
+from repro.runtime.cluster import SimulatedCluster, WorkerState
+from repro.runtime.events import EventKind
+
+
+def _cluster(parallelism=4, spares=2) -> SimulatedCluster:
+    return SimulatedCluster(EngineConfig(parallelism=parallelism, spare_workers=spares))
+
+
+def test_initial_layout_one_partition_per_worker():
+    cluster = _cluster()
+    assert len(cluster.active_workers()) == 4
+    assert len(cluster.spare_pool()) == 2
+    for pid in range(4):
+        assert cluster.worker_for_partition(pid).worker_id == pid
+
+
+def test_spare_ids_continue_the_sequence():
+    cluster = _cluster(parallelism=3, spares=2)
+    assert sorted(w.worker_id for w in cluster.spare_pool()) == [3, 4]
+
+
+def test_unknown_worker_raises():
+    with pytest.raises(ExecutionError):
+        _cluster().worker(99)
+
+
+def test_unknown_partition_raises():
+    with pytest.raises(ExecutionError):
+        _cluster().worker_for_partition(99)
+
+
+def test_fail_worker_reports_lost_partitions():
+    cluster = _cluster()
+    lost = cluster.fail_workers([1], superstep=3)
+    assert lost == [1]
+    assert cluster.worker(1).state is WorkerState.FAILED
+
+
+def test_fail_worker_records_event():
+    cluster = _cluster()
+    cluster.fail_workers([0, 2], superstep=5)
+    failures = cluster.events.of_kind(EventKind.FAILURE)
+    assert len(failures) == 1
+    assert failures[0].superstep == 5
+    assert failures[0].details["workers"] == [0, 2]
+    assert failures[0].details["lost_partitions"] == [0, 2]
+
+
+def test_failing_a_dead_worker_is_a_noop():
+    cluster = _cluster()
+    cluster.fail_workers([1])
+    lost = cluster.fail_workers([1])
+    assert lost == []
+    assert len(cluster.events.failures()) == 1
+
+
+def test_failing_a_spare_loses_no_partitions():
+    cluster = _cluster(parallelism=2, spares=2)
+    lost = cluster.fail_workers([2])
+    assert lost == []
+    assert len(cluster.spare_pool()) == 1
+
+
+def test_orphaned_partitions_after_failure():
+    cluster = _cluster()
+    cluster.fail_workers([0, 3])
+    assert cluster.orphaned_partitions() == [0, 3]
+
+
+def test_reassign_lost_moves_partitions_to_spares():
+    cluster = _cluster()
+    cluster.fail_workers([1])
+    moves = cluster.reassign_lost(superstep=2)
+    assert list(moves.keys()) == [1]
+    new_host = cluster.worker_for_partition(1)
+    assert new_host.state is WorkerState.ACTIVE
+    assert new_host.worker_id >= 4  # a former spare
+    assert cluster.orphaned_partitions() == []
+
+
+def test_reassign_lost_charges_acquisition():
+    cluster = _cluster()
+    cluster.fail_workers([1, 2])
+    before = cluster.clock.now
+    cluster.reassign_lost()
+    acquisition = cluster.config.cost_model.worker_acquisition
+    assert cluster.clock.now - before == pytest.approx(2 * acquisition)
+
+
+def test_reassign_lost_records_event():
+    cluster = _cluster()
+    cluster.fail_workers([0])
+    cluster.reassign_lost(superstep=7)
+    acquired = cluster.events.of_kind(EventKind.WORKERS_ACQUIRED)
+    assert len(acquired) == 1
+    assert acquired[0].superstep == 7
+
+
+def test_reassign_lost_without_orphans_is_free():
+    cluster = _cluster()
+    assert cluster.reassign_lost() == {}
+    assert cluster.clock.now == 0.0
+
+
+def test_reassign_raises_when_spares_exhausted():
+    cluster = _cluster(parallelism=4, spares=1)
+    cluster.fail_workers([0, 1])
+    with pytest.raises(RecoveryError):
+        cluster.reassign_lost()
+
+
+def test_spares_are_consumed_across_failures():
+    cluster = _cluster(parallelism=2, spares=2)
+    cluster.fail_workers([0])
+    cluster.reassign_lost()
+    cluster.fail_workers([1])
+    cluster.reassign_lost()
+    assert len(cluster.spare_pool()) == 0
+    cluster.fail_workers([cluster.worker_for_partition(0).worker_id])
+    with pytest.raises(RecoveryError):
+        cluster.reassign_lost()
+
+
+def test_assignment_is_a_copy():
+    cluster = _cluster()
+    assignment = cluster.assignment()
+    assignment[0] = 99
+    assert cluster.worker_for_partition(0).worker_id == 0
+
+
+def test_partitions_on_worker():
+    cluster = _cluster()
+    assert cluster.partitions_on_worker(2) == [2]
+    assert cluster.partitions_on_worker(5) == []  # a spare hosts nothing

@@ -1,0 +1,89 @@
+"""Tests for map-side combiners (pre-shuffle aggregation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.plan import Plan
+from repro.runtime.executor import PartitionedDataset, PlanExecutor
+
+KEY = first_field("k")
+
+
+def _sum_plan() -> Plan:
+    plan = Plan("p")
+    plan.source("in").reduce_by_key(
+        KEY, lambda a, b: (a[0], a[1] + b[1]), name="sum"
+    )
+    return plan
+
+
+def _run(combiners: bool, records, parallelism=4):
+    executor = PlanExecutor(parallelism, combiners=combiners)
+    data = PartitionedDataset.from_records(records, parallelism)
+    out = executor.execute(_sum_plan(), {"in": data}, outputs=["sum"])
+    return sorted(out["sum"].all_records()), executor
+
+
+def test_combiners_preserve_results():
+    records = [(i % 5, i) for i in range(100)]
+    plain, _ = _run(False, records)
+    combined, _ = _run(True, records)
+    assert plain == combined
+
+
+def test_combiners_shrink_shuffle_volume():
+    records = [(i % 5, i) for i in range(100)]  # 5 keys, heavy duplication
+    _, plain_exec = _run(False, records)
+    _, combined_exec = _run(True, records)
+    assert combined_exec.metrics.get("shuffled.sum") < plain_exec.metrics.get(
+        "shuffled.sum"
+    )
+    # at most parallelism * keys records cross the network
+    assert combined_exec.metrics.get("shuffled.sum") <= 4 * 5
+
+
+def test_combiners_reduce_network_cost():
+    records = [(i % 3, i) for i in range(300)]
+    _, plain_exec = _run(False, records)
+    _, combined_exec = _run(True, records)
+    assert (
+        combined_exec.clock.breakdown()["network"]
+        < plain_exec.clock.breakdown()["network"]
+    )
+
+
+def test_input_counters_unchanged():
+    """records_in still counts the logical input cardinality."""
+    records = [(i % 5, i) for i in range(100)]
+    _, plain_exec = _run(False, records)
+    _, combined_exec = _run(True, records)
+    assert combined_exec.metrics.get("records_in.sum") == plain_exec.metrics.get(
+        "records_in.sum"
+    )
+
+
+def test_copartitioned_input_skips_combining_and_shuffling():
+    executor = PlanExecutor(4, combiners=True)
+    data = PartitionedDataset.from_records([(i, i) for i in range(40)], 4, key=KEY)
+    executor.execute(_sum_plan(), {"in": data}, outputs=["sum"])
+    assert executor.metrics.get("shuffled.sum") == 0
+
+
+def test_default_is_off():
+    assert PlanExecutor(2).combiners is False
+
+
+@settings(max_examples=40)
+@given(
+    records=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=8), st.integers()),
+        max_size=60,
+    ),
+    parallelism=st.integers(min_value=1, max_value=6),
+)
+def test_property_combiners_never_change_the_result(records, parallelism):
+    plain, _ = _run(False, records, parallelism)
+    combined, _ = _run(True, records, parallelism)
+    assert plain == combined

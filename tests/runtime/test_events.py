@@ -1,0 +1,79 @@
+"""Tests for the structured event log."""
+
+from repro.runtime.events import Event, EventKind, EventLog
+
+
+def _log_with_samples() -> EventLog:
+    log = EventLog()
+    log.record(EventKind.SUPERSTEP_STARTED, time=0.0, superstep=0)
+    log.record(EventKind.SUPERSTEP_FINISHED, time=1.0, superstep=0)
+    log.record(EventKind.FAILURE, time=1.5, superstep=1, workers=[2])
+    log.record(EventKind.COMPENSATION, time=2.0, superstep=1)
+    log.record(EventKind.SUPERSTEP_FINISHED, time=2.5, superstep=1)
+    return log
+
+
+def test_record_returns_the_event():
+    log = EventLog()
+    event = log.record(EventKind.FAILURE, time=1.0, superstep=3, workers=[0])
+    assert event.kind is EventKind.FAILURE
+    assert event.superstep == 3
+    assert event.details == {"workers": [0]}
+
+
+def test_len_counts_events():
+    assert len(_log_with_samples()) == 5
+
+
+def test_iteration_preserves_order():
+    log = _log_with_samples()
+    times = [event.time for event in log]
+    assert times == sorted(times)
+
+
+def test_indexing():
+    log = _log_with_samples()
+    assert log[0].kind is EventKind.SUPERSTEP_STARTED
+    assert log[-1].kind is EventKind.SUPERSTEP_FINISHED
+
+
+def test_of_kind_filters():
+    log = _log_with_samples()
+    finished = log.of_kind(EventKind.SUPERSTEP_FINISHED)
+    assert len(finished) == 2
+    assert all(e.kind is EventKind.SUPERSTEP_FINISHED for e in finished)
+
+
+def test_in_superstep_filters():
+    log = _log_with_samples()
+    superstep1 = log.in_superstep(1)
+    assert len(superstep1) == 3
+
+
+def test_failures_shorthand():
+    log = _log_with_samples()
+    assert len(log.failures()) == 1
+    assert log.failures()[0].details["workers"] == [2]
+
+
+def test_clear_empties_the_log():
+    log = _log_with_samples()
+    log.clear()
+    assert len(log) == 0
+
+
+def test_summary_counts_by_kind():
+    summary = _log_with_samples().summary()
+    assert summary["superstep_finished"] == 2
+    assert summary["failure"] == 1
+
+
+def test_events_are_value_comparable_modulo_details():
+    first = Event(time=1.0, kind=EventKind.FAILURE, superstep=2, details={"a": 1})
+    second = Event(time=1.0, kind=EventKind.FAILURE, superstep=2, details={"b": 2})
+    assert first == second  # details excluded from comparison
+
+
+def test_default_superstep_is_outside_iterations():
+    event = EventLog().record(EventKind.TERMINATED, time=0.0)
+    assert event.superstep == -1

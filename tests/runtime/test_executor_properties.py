@@ -1,0 +1,164 @@
+"""Property-based tests: the executor vs. plain-Python oracles.
+
+Each keyed/binary operator is checked against an obvious single-machine
+reference over randomized inputs and parallelism, which pins down the
+semantics the algorithm layer relies on (inner-join multiplicity,
+co-group's outer visibility, cross completeness, shuffle stability).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.plan import Plan
+from repro.runtime.executor import PartitionedDataset, PlanExecutor
+
+KEY = first_field("k")
+
+keyed_records = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9), st.integers(min_value=-50, max_value=50)),
+    max_size=40,
+)
+parallelisms = st.integers(min_value=1, max_value=6)
+
+
+def _execute(plan, bindings, output, parallelism):
+    executor = PlanExecutor(parallelism)
+    return executor.execute(plan, bindings, outputs=[output])[output].all_records()
+
+
+@settings(max_examples=60)
+@given(left=keyed_records, right=keyed_records, parallelism=parallelisms)
+def test_join_matches_nested_loop_oracle(left, right, parallelism):
+    plan = Plan("p")
+    l = plan.source("l")
+    r = plan.source("r")
+    l.join(r, KEY, KEY, lambda a, b: (a[0], a[1], b[1]), name="j")
+    out = _execute(
+        plan,
+        {
+            "l": PartitionedDataset.from_records(left, parallelism),
+            "r": PartitionedDataset.from_records(right, parallelism),
+        },
+        "j",
+        parallelism,
+    )
+    oracle = [
+        (a[0], a[1], b[1]) for a in left for b in right if a[0] == b[0]
+    ]
+    assert sorted(out) == sorted(oracle)
+
+
+@settings(max_examples=60)
+@given(left=keyed_records, right=keyed_records, parallelism=parallelisms)
+def test_co_group_matches_dict_oracle(left, right, parallelism):
+    plan = Plan("p")
+    l = plan.source("l")
+    r = plan.source("r")
+
+    def merge(key, left_group, right_group):
+        yield (key, sorted(v for _k, v in left_group), sorted(v for _k, v in right_group))
+
+    l.co_group(r, KEY, KEY, merge, name="cg")
+    out = _execute(
+        plan,
+        {
+            "l": PartitionedDataset.from_records(left, parallelism),
+            "r": PartitionedDataset.from_records(right, parallelism),
+        },
+        "cg",
+        parallelism,
+    )
+    left_groups: dict[int, list[int]] = {}
+    for k, v in left:
+        left_groups.setdefault(k, []).append(v)
+    right_groups: dict[int, list[int]] = {}
+    for k, v in right:
+        right_groups.setdefault(k, []).append(v)
+    oracle = [
+        (key, sorted(left_groups.get(key, [])), sorted(right_groups.get(key, [])))
+        for key in left_groups.keys() | right_groups.keys()
+    ]
+    assert sorted(out) == sorted(oracle)
+
+
+@settings(max_examples=40)
+@given(
+    left=st.lists(st.integers(min_value=-5, max_value=5), max_size=15),
+    right=st.lists(st.integers(min_value=-5, max_value=5), max_size=10),
+    parallelism=parallelisms,
+)
+def test_cross_produces_full_product(left, right, parallelism):
+    plan = Plan("p")
+    l = plan.source("l")
+    r = plan.source("r")
+    l.cross(r, lambda a, b: (a, b), name="x")
+    out = _execute(
+        plan,
+        {
+            "l": PartitionedDataset.from_records(left, parallelism),
+            "r": PartitionedDataset.from_records(right, parallelism),
+        },
+        "x",
+        parallelism,
+    )
+    assert sorted(out) == sorted((a, b) for a in left for b in right)
+
+
+@settings(max_examples=60)
+@given(records=keyed_records, parallelism=parallelisms)
+def test_group_reduce_sees_whole_groups(records, parallelism):
+    plan = Plan("p")
+    plan.source("in").group_reduce(
+        KEY, lambda key, group: [(key, len(group), sum(v for _k, v in group))], name="g"
+    )
+    out = _execute(
+        plan,
+        {"in": PartitionedDataset.from_records(records, parallelism)},
+        "g",
+        parallelism,
+    )
+    oracle: dict[int, tuple[int, int]] = {}
+    for k, v in records:
+        count, total = oracle.get(k, (0, 0))
+        oracle[k] = (count + 1, total + v)
+    assert sorted(out) == sorted((k, c, t) for k, (c, t) in oracle.items())
+
+
+@settings(max_examples=60)
+@given(records=keyed_records, parallelism=parallelisms)
+def test_results_identical_across_parallelism(records, parallelism):
+    """Any plan of the supported operators computes a parallelism-
+    independent bag of records (determinism of the engine)."""
+    plan = Plan("p")
+    src = plan.source("in")
+    (
+        src.map(lambda r: (r[0], r[1] + 1), name="inc")
+        .reduce_by_key(KEY, lambda a, b: (a[0], a[1] + b[1]), name="sum")
+        .filter(lambda r: r[1] % 2 == 0, name="evens")
+    )
+    out = _execute(
+        plan,
+        {"in": PartitionedDataset.from_records(records, parallelism)},
+        "evens",
+        parallelism,
+    )
+    baseline = _execute(
+        plan,
+        {"in": PartitionedDataset.from_records(records, 1)},
+        "evens",
+        1,
+    )
+    assert sorted(out) == sorted(baseline)
+
+
+@settings(max_examples=40)
+@given(records=keyed_records, parallelism=parallelisms)
+def test_repartition_is_content_preserving(records, parallelism):
+    executor = PlanExecutor(parallelism)
+    dataset = PartitionedDataset.from_records(records, parallelism)
+    placed = executor.repartition(dataset, KEY)
+    assert sorted(placed.all_records()) == sorted(records)
+    # and idempotent
+    again = executor.repartition(placed, KEY)
+    assert again is placed

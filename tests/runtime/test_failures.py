@@ -1,0 +1,106 @@
+"""Tests for failure schedules and the injector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.runtime.failures import FailureEvent, FailureInjector, FailureSchedule
+
+
+class TestFailureEvent:
+    def test_normalizes_worker_ids(self):
+        event = FailureEvent(3, (2, 0, 2))
+        assert event.worker_ids == (0, 2)
+
+    def test_rejects_negative_superstep(self):
+        with pytest.raises(ConfigError):
+            FailureEvent(-1, (0,))
+
+    def test_rejects_empty_workers(self):
+        with pytest.raises(ConfigError):
+            FailureEvent(0, ())
+
+
+class TestFailureSchedule:
+    def test_none_is_empty(self):
+        assert len(FailureSchedule.none()) == 0
+
+    def test_single(self):
+        schedule = FailureSchedule.single(5, [1, 2])
+        assert len(schedule) == 1
+        assert schedule.events[0].superstep == 5
+        assert schedule.events[0].worker_ids == (1, 2)
+
+    def test_at_builds_multiple(self):
+        schedule = FailureSchedule.at((1, [0]), (4, [2, 3]))
+        assert [e.superstep for e in schedule] == [1, 4]
+
+    def test_for_superstep(self):
+        schedule = FailureSchedule.at((1, [0]), (1, [2]), (3, [1]))
+        assert len(schedule.for_superstep(1)) == 2
+        assert schedule.for_superstep(2) == []
+
+    def test_max_superstep(self):
+        assert FailureSchedule.at((1, [0]), (9, [0])).max_superstep() == 9
+        assert FailureSchedule.none().max_superstep() == -1
+
+    def test_random_is_reproducible(self):
+        first = FailureSchedule.random(4, 20, 3, seed=11)
+        second = FailureSchedule.random(4, 20, 3, seed=11)
+        assert first.events == second.events
+
+    def test_random_different_seeds_differ(self):
+        first = FailureSchedule.random(4, 50, 5, seed=1)
+        second = FailureSchedule.random(4, 50, 5, seed=2)
+        assert first.events != second.events
+
+    def test_random_avoids_superstep_zero(self):
+        schedule = FailureSchedule.random(4, 30, 10, seed=3)
+        assert all(e.superstep >= 1 for e in schedule)
+
+    def test_random_distinct_supersteps(self):
+        schedule = FailureSchedule.random(4, 30, 10, seed=3)
+        steps = [e.superstep for e in schedule]
+        assert len(set(steps)) == len(steps)
+
+    def test_random_rejects_impossible_requests(self):
+        with pytest.raises(ConfigError):
+            FailureSchedule.random(4, 3, 10, seed=1)
+        with pytest.raises(ConfigError):
+            FailureSchedule.random(4, 10, 2, seed=1, workers_per_failure=5)
+        with pytest.raises(ConfigError):
+            FailureSchedule.random(4, 10, -1, seed=1)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_random_workers_in_range(self, workers, failures, seed):
+        schedule = FailureSchedule.random(workers, 20, failures, seed=seed)
+        for event in schedule:
+            assert all(0 <= w < workers for w in event.worker_ids)
+
+
+class TestFailureInjector:
+    def test_pop_fires_due_events(self):
+        injector = FailureInjector(FailureSchedule.at((2, [0]), (4, [1])))
+        assert injector.pop(0) == []
+        assert len(injector.pop(2)) == 1
+        assert len(injector.pop(4)) == 1
+
+    def test_events_fire_once(self):
+        injector = FailureInjector(FailureSchedule.single(2, [0]))
+        assert len(injector.pop(2)) == 1
+        assert injector.pop(2) == []
+
+    def test_pending_counts_unfired(self):
+        injector = FailureInjector(FailureSchedule.at((2, [0]), (4, [1])))
+        assert injector.pending == 2
+        injector.pop(2)
+        assert injector.pending == 1
+
+    def test_multiple_events_same_superstep(self):
+        injector = FailureInjector(FailureSchedule.at((3, [0]), (3, [1])))
+        assert len(injector.pop(3)) == 2

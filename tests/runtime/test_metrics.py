@@ -1,0 +1,114 @@
+"""Tests for counters and per-superstep statistics."""
+
+import pytest
+
+from repro.runtime.metrics import IterationStats, MetricsRegistry, StatsSeries
+
+
+class TestMetricsRegistry:
+    def test_counters_start_at_zero(self):
+        assert MetricsRegistry().get("anything") == 0
+
+    def test_increment_default_amount(self):
+        registry = MetricsRegistry()
+        registry.increment("records_in.map")
+        assert registry.get("records_in.map") == 1
+
+    def test_increment_returns_new_value(self):
+        registry = MetricsRegistry()
+        assert registry.increment("c", 5) == 5
+        assert registry.increment("c", 2) == 7
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.increment("z")
+        registry.increment("a")
+        assert registry.names() == ["a", "z"]
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.increment("c", 1)
+        snap = registry.snapshot()
+        registry.increment("c", 1)
+        assert snap["c"] == 1
+
+    def test_diff_reports_increases_since_snapshot(self):
+        registry = MetricsRegistry()
+        registry.increment("a", 3)
+        snap = registry.snapshot()
+        registry.increment("a", 2)
+        registry.increment("b", 4)
+        assert registry.diff(snap) == {"a": 2, "b": 4}
+
+    def test_diff_omits_unchanged_counters(self):
+        registry = MetricsRegistry()
+        registry.increment("a", 3)
+        snap = registry.snapshot()
+        assert registry.diff(snap) == {}
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.increment("a", 3)
+        registry.reset()
+        assert registry.get("a") == 0
+
+
+class TestIterationStats:
+    def test_duration(self):
+        stats = IterationStats(0, sim_time_start=1.0, sim_time_end=3.5)
+        assert stats.sim_duration == pytest.approx(2.5)
+
+    def test_defaults(self):
+        stats = IterationStats(superstep=7)
+        assert stats.messages == 0
+        assert stats.l1_delta is None
+        assert stats.workset_size is None
+        assert not stats.failed
+        assert not stats.compensated
+
+
+class TestStatsSeries:
+    def _series(self) -> StatsSeries:
+        series = StatsSeries()
+        series.append(IterationStats(0, messages=10, converged=2, sim_time_start=0, sim_time_end=1))
+        series.append(IterationStats(1, messages=6, converged=5, l1_delta=0.5, failed=True,
+                                     sim_time_start=1, sim_time_end=4))
+        series.append(IterationStats(2, messages=9, converged=4, l1_delta=0.9,
+                                     sim_time_start=4, sim_time_end=5))
+        return series
+
+    def test_len_and_iteration(self):
+        series = self._series()
+        assert len(series) == 3
+        assert [s.superstep for s in series] == [0, 1, 2]
+
+    def test_last(self):
+        assert self._series().last.superstep == 2
+        assert StatsSeries().last is None
+
+    def test_converged_series(self):
+        assert self._series().converged_series() == [2, 5, 4]
+
+    def test_messages_series(self):
+        assert self._series().messages_series() == [10, 6, 9]
+
+    def test_l1_series_keeps_nones(self):
+        assert self._series().l1_series() == [None, 0.5, 0.9]
+
+    def test_failure_supersteps(self):
+        assert self._series().failure_supersteps() == [1]
+
+    def test_total_messages(self):
+        assert self._series().total_messages() == 25
+
+    def test_total_sim_time_spans_first_to_last(self):
+        assert self._series().total_sim_time() == pytest.approx(5.0)
+
+    def test_total_sim_time_empty(self):
+        assert StatsSeries().total_sim_time() == 0.0
+
+    def test_duration_series(self):
+        assert self._series().duration_series() == [1, 3, 1]
+
+    def test_indexing(self):
+        assert self._series()[1].failed

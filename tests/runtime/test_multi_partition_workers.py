@@ -1,0 +1,108 @@
+"""Tests for dense placement: several partitions per worker."""
+
+import pytest
+
+from repro.algorithms import connected_components, exact_connected_components, pagerank
+from repro.algorithms.reference import exact_pagerank
+from repro.config import EngineConfig
+from repro.errors import ConfigError, RecoveryError
+from repro.graph.generators import demo_pagerank_graph, multi_component_graph
+from repro.runtime.cluster import SimulatedCluster
+from repro.runtime.failures import FailureSchedule
+
+
+class TestConfig:
+    def test_active_workers_derived(self):
+        config = EngineConfig(parallelism=8, partitions_per_worker=2)
+        assert config.active_workers == 4
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigError, match="divisible"):
+            EngineConfig(parallelism=5, partitions_per_worker=2)
+
+    def test_positive_enforced(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(partitions_per_worker=0)
+
+    def test_default_is_one_to_one(self):
+        assert EngineConfig(parallelism=4).active_workers == 4
+
+
+class TestClusterLayout:
+    def _cluster(self):
+        return SimulatedCluster(
+            EngineConfig(parallelism=8, partitions_per_worker=2, spare_workers=3)
+        )
+
+    def test_two_partitions_per_worker(self):
+        cluster = self._cluster()
+        assert len(cluster.active_workers()) == 4
+        for worker_id in range(4):
+            assert cluster.partitions_on_worker(worker_id) == [
+                2 * worker_id,
+                2 * worker_id + 1,
+            ]
+
+    def test_spare_ids_follow_active_ids(self):
+        cluster = self._cluster()
+        assert sorted(w.worker_id for w in cluster.spare_pool()) == [4, 5, 6]
+
+    def test_one_failure_loses_two_partitions(self):
+        cluster = self._cluster()
+        lost = cluster.fail_workers([1])
+        assert lost == [2, 3]
+
+    def test_reassign_consumes_one_spare_for_two_partitions(self):
+        cluster = self._cluster()
+        cluster.fail_workers([1])
+        moves = cluster.reassign_lost()
+        assert set(moves.keys()) == {2, 3}
+        assert len(set(moves.values())) == 1  # both land on one spare
+        assert len(cluster.spare_pool()) == 2
+
+    def test_reassign_spreads_over_multiple_spares(self):
+        cluster = self._cluster()
+        cluster.fail_workers([0, 1, 2])  # six orphaned partitions
+        moves = cluster.reassign_lost()
+        assert len(moves) == 6
+        assert len(set(moves.values())) == 3
+
+    def test_spare_exhaustion_counts_workers_not_partitions(self):
+        cluster = SimulatedCluster(
+            EngineConfig(parallelism=8, partitions_per_worker=2, spare_workers=1)
+        )
+        cluster.fail_workers([0])  # 2 partitions, 1 spare suffices
+        cluster.reassign_lost()
+        cluster.fail_workers([1])
+        with pytest.raises(RecoveryError):
+            cluster.reassign_lost()
+
+
+class TestEndToEnd:
+    def test_cc_recovers_with_dense_placement(self):
+        graph = multi_component_graph(3, 20, seed=5)
+        config = EngineConfig(parallelism=8, partitions_per_worker=2, spare_workers=4)
+        job = connected_components(graph)
+        result = job.run(
+            config=config,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(2, [0]),
+        )
+        assert result.converged
+        assert result.final_dict == exact_connected_components(graph)
+        # the single machine failure destroyed two partitions
+        failure = result.events.failures()[0]
+        assert failure.details["lost_partitions"] == [0, 1]
+
+    def test_pagerank_recovers_with_dense_placement(self):
+        graph = demo_pagerank_graph()
+        config = EngineConfig(parallelism=4, partitions_per_worker=2, spare_workers=4)
+        job = pagerank(graph, epsilon=1e-10, max_supersteps=400)
+        result = job.run(
+            config=config,
+            recovery=job.optimistic(),
+            failures=FailureSchedule.single(5, [1]),
+        )
+        truth = exact_pagerank(graph)
+        for vertex, rank in result.final_dict.items():
+            assert rank == pytest.approx(truth[vertex], abs=1e-8)

@@ -1,0 +1,115 @@
+"""Tests for deterministic partitioning, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.runtime.partition import HashPartitioner, RangePartitioner, stable_hash
+
+
+class TestStableHash:
+    def test_integers_hash_to_themselves(self):
+        assert stable_hash(42) == 42
+        assert stable_hash(0) == 0
+
+    def test_bools_hash_like_small_ints(self):
+        assert stable_hash(True) == 1
+        assert stable_hash(False) == 0
+
+    def test_none_hashes_to_zero(self):
+        assert stable_hash(None) == 0
+
+    def test_strings_are_deterministic(self):
+        assert stable_hash("vertex") == stable_hash("vertex")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_bytes_and_str_of_same_content(self):
+        # both go through CRC32 of the utf-8 bytes
+        assert stable_hash(b"abc") == stable_hash("abc")
+
+    def test_floats_are_deterministic(self):
+        assert stable_hash(3.14) == stable_hash(3.14)
+
+    def test_tuples_combine_elements(self):
+        assert stable_hash((1, 2)) == stable_hash((1, 2))
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_fallback_for_other_types(self):
+        assert stable_hash(frozenset([1])) == stable_hash(frozenset([1]))
+
+    @given(st.integers())
+    def test_integer_hash_identity_property(self, n):
+        assert stable_hash(n) == n
+
+    @given(st.text())
+    def test_string_hash_stable_property(self, s):
+        assert stable_hash(s) == stable_hash(s)
+        assert stable_hash(s) >= 0
+
+
+class TestHashPartitioner:
+    def test_rejects_nonpositive_partition_count(self):
+        with pytest.raises(ExecutionError):
+            HashPartitioner(0)
+
+    def test_partition_in_range(self):
+        partitioner = HashPartitioner(4)
+        for key in range(100):
+            assert 0 <= partitioner.partition(key) < 4
+
+    def test_same_key_same_partition(self):
+        partitioner = HashPartitioner(7)
+        assert partitioner.partition("x") == partitioner.partition("x")
+
+    def test_split_preserves_all_records(self):
+        partitioner = HashPartitioner(3)
+        records = [(i, i * i) for i in range(20)]
+        parts = partitioner.split(records, lambda r: r[0])
+        flattened = [record for part in parts for record in part]
+        assert sorted(flattened) == sorted(records)
+
+    def test_split_places_by_key(self):
+        partitioner = HashPartitioner(3)
+        records = [(i, "payload") for i in range(20)]
+        parts = partitioner.split(records, lambda r: r[0])
+        for pid, part in enumerate(parts):
+            for record in part:
+                assert partitioner.partition(record[0]) == pid
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000)),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_split_is_a_partition_of_the_input(self, keys, n):
+        partitioner = HashPartitioner(n)
+        parts = partitioner.split(keys, lambda k: k)
+        assert sorted(k for part in parts for k in part) == sorted(keys)
+
+
+class TestRangePartitioner:
+    def test_boundary_count_must_match(self):
+        with pytest.raises(ExecutionError):
+            RangePartitioner(3, boundaries=[5])
+
+    def test_boundaries_must_be_sorted(self):
+        with pytest.raises(ExecutionError):
+            RangePartitioner(3, boundaries=[10, 5])
+
+    def test_placement(self):
+        partitioner = RangePartitioner(3, boundaries=[3, 7])
+        assert partitioner.partition(0) == 0
+        assert partitioner.partition(3) == 0
+        assert partitioner.partition(4) == 1
+        assert partitioner.partition(7) == 1
+        assert partitioner.partition(8) == 2
+        assert partitioner.partition(100) == 2
+
+    def test_rejects_non_integer_keys(self):
+        partitioner = RangePartitioner(2, boundaries=[0])
+        with pytest.raises(ExecutionError):
+            partitioner.partition("a")
+
+    def test_single_partition_needs_no_boundaries(self):
+        partitioner = RangePartitioner(1, boundaries=[])
+        assert partitioner.partition(12345) == 0

@@ -1,0 +1,126 @@
+"""Tests for simulated stable storage."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.errors import StorageError
+from repro.runtime.clock import CostCategory, SimulatedClock
+from repro.runtime.storage import StableStorage
+
+
+def _storage_with_clock() -> tuple[StableStorage, SimulatedClock]:
+    clock = SimulatedClock(CostModel(checkpoint_per_record=1.0, restore_per_record=2.0))
+    return StableStorage(clock), clock
+
+
+def test_write_then_read_round_trip():
+    storage = StableStorage()
+    storage.write("k", [(1, "a"), (2, "b")])
+    assert storage.read("k") == [(1, "a"), (2, "b")]
+
+
+def test_read_missing_key_raises():
+    with pytest.raises(StorageError):
+        StableStorage().read("absent")
+
+
+def test_write_returns_record_count():
+    assert StableStorage().write("k", [1, 2, 3]) == 3
+
+
+def test_contains_and_len():
+    storage = StableStorage()
+    storage.write("a", [1])
+    storage.write("b", [2])
+    assert "a" in storage
+    assert "c" not in storage
+    assert len(storage) == 2
+
+
+def test_write_copies_input():
+    storage = StableStorage()
+    records = [1, 2]
+    storage.write("k", records)
+    records.append(3)
+    assert storage.read("k") == [1, 2]
+
+
+def test_read_returns_a_copy():
+    storage = StableStorage()
+    storage.write("k", [1, 2])
+    first = storage.read("k")
+    first.append(99)
+    assert storage.read("k") == [1, 2]
+
+
+def test_write_charges_checkpoint_io():
+    storage, clock = _storage_with_clock()
+    storage.write("k", [1, 2, 3])
+    assert clock.spent(CostCategory.CHECKPOINT_IO) == pytest.approx(3.0)
+
+
+def test_write_uncharged_when_requested():
+    storage, clock = _storage_with_clock()
+    storage.write("k", [1, 2, 3], charge=False)
+    assert clock.now == 0.0
+
+
+def test_read_charges_restore_io():
+    storage, clock = _storage_with_clock()
+    storage.write("k", [1, 2], charge=False)
+    storage.read("k")
+    assert clock.spent(CostCategory.RESTORE_IO) == pytest.approx(4.0)
+
+
+def test_read_uncharged_when_requested():
+    storage, clock = _storage_with_clock()
+    storage.write("k", [1, 2], charge=False)
+    storage.read("k", charge=False)
+    assert clock.now == 0.0
+
+
+def test_delete_is_idempotent():
+    storage = StableStorage()
+    storage.write("k", [1])
+    storage.delete("k")
+    storage.delete("k")
+    assert "k" not in storage
+
+
+def test_delete_prefix():
+    storage = StableStorage()
+    storage.write("checkpoint/job/0/p0", [1])
+    storage.write("checkpoint/job/0/p1", [2])
+    storage.write("checkpoint/job/1/p0", [3])
+    removed = storage.delete_prefix("checkpoint/job/0/")
+    assert removed == 2
+    assert storage.keys() == ["checkpoint/job/1/p0"]
+
+
+def test_keys_with_prefix():
+    storage = StableStorage()
+    storage.write("a/1", [1])
+    storage.write("a/2", [1])
+    storage.write("b/1", [1])
+    assert storage.keys_with_prefix("a/") == ["a/1", "a/2"]
+
+
+def test_total_records():
+    storage = StableStorage()
+    storage.write("a", [1, 2])
+    storage.write("b", [3])
+    assert storage.total_records() == 3
+
+
+def test_overwrite_replaces_contents():
+    storage = StableStorage()
+    storage.write("k", [1, 2])
+    storage.write("k", [9])
+    assert storage.read("k") == [9]
+    assert len(storage) == 1
+
+
+def test_storage_without_clock_never_charges():
+    storage = StableStorage(clock=None)
+    storage.write("k", [1, 2, 3])
+    assert storage.read("k") == [1, 2, 3]

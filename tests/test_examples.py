@@ -1,0 +1,47 @@
+"""Every shipped example must run cleanly — examples are documentation,
+and documentation that crashes is worse than none."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_all_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "connected_components_demo",
+        "pagerank_demo",
+        "recovery_comparison",
+        "extensions_demo",
+        "matrix_factorization",
+        "vertex_centric",
+    } <= names
+
+
+def test_demo_cli_module_entrypoint():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.demo", "--fail", "2:0"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "converged" in completed.stdout
