@@ -1,0 +1,95 @@
+"""Baseline recovery-cost profiles for the two demo scenarios.
+
+These are not figure reproductions: they archive the profiler's category
+breakdown for the canonical PageRank (bulk) and Connected Components
+(delta) demo runs under each recovery strategy, so future changes to the
+engine or cost model can be diffed against a known-good attribution.
+
+The structural invariant — the six categories partition the run's total
+simulated time — is asserted here on realistic traced runs, on top of
+the unit coverage in ``tests/observability/test_profile.py``.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank
+from repro.config import EngineConfig
+from repro.core import (
+    CheckpointRecovery,
+    IncrementalCheckpointRecovery,
+    RestartRecovery,
+)
+from repro.graph import twitter_like_graph
+from repro.observability.profile import format_profile, profile_spans
+from repro.observability.tracer import RecordingTracer
+from repro.runtime import FailureSchedule
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+GRAPH_SIZE = 500
+FAILURE = FailureSchedule.single(3, [1])
+
+
+def _traced(job, recovery):
+    tracer = RecordingTracer()
+    result = job.run(config=CONFIG, recovery=recovery, failures=FAILURE, tracer=tracer)
+    return result, tracer
+
+
+def _strategies(job, delta: bool):
+    strategies = [
+        ("optimistic", job.optimistic()),
+        ("checkpoint-k2", CheckpointRecovery(interval=2)),
+        ("restart", RestartRecovery()),
+    ]
+    if delta:
+        strategies.append(("incremental", IncrementalCheckpointRecovery()))
+    return strategies
+
+
+def _profile_block(title, result, tracer):
+    profile = profile_spans(tracer.roots)
+    assert sum(profile.categories.values()) == pytest.approx(profile.total)
+    assert profile.total == pytest.approx(result.clock.now)
+    return format_profile(profile, title=title)
+
+
+def test_pagerank_profile_baseline(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+
+    def run():
+        blocks = []
+        job = pagerank(graph)
+        for name, strategy in _strategies(job, delta=False):
+            result, tracer = _traced(job, strategy)
+            blocks.append(
+                _profile_block(
+                    f"pagerank / {name} (failure at superstep 3)", result, tracer
+                )
+            )
+        return blocks
+
+    for block in run_once(benchmark, run):
+        report(block)
+
+
+def test_connected_components_profile_baseline(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+
+    def run():
+        blocks = []
+        job = connected_components(graph)
+        for name, strategy in _strategies(job, delta=True):
+            result, tracer = _traced(job, strategy)
+            blocks.append(
+                _profile_block(
+                    f"connected-components / {name} (failure at superstep 3)",
+                    result,
+                    tracer,
+                )
+            )
+        return blocks
+
+    for block in run_once(benchmark, run):
+        report(block)

@@ -26,6 +26,7 @@ from ..iteration.bulk import BulkIterationSpec, run_bulk_iteration
 from ..iteration.delta import DeltaIterationSpec, run_delta_iteration
 from ..iteration.result import IterationResult
 from ..iteration.snapshots import SnapshotStore
+from ..observability.tracer import Tracer
 from ..runtime.failures import FailureSchedule
 
 
@@ -46,6 +47,7 @@ class BulkJob:
         recovery: RecoveryStrategy | None = None,
         failures: FailureSchedule | None = None,
         snapshots: SnapshotStore | None = None,
+        tracer: Tracer | None = None,
     ) -> IterationResult:
         """Execute the job; see :func:`repro.iteration.run_bulk_iteration`."""
         return run_bulk_iteration(
@@ -56,6 +58,7 @@ class BulkJob:
             recovery=recovery,
             failures=failures,
             snapshots=snapshots,
+            tracer=tracer,
         )
 
     def optimistic(self) -> OptimisticRecovery:
@@ -89,6 +92,7 @@ class DeltaJob:
         recovery: RecoveryStrategy | None = None,
         failures: FailureSchedule | None = None,
         snapshots: SnapshotStore | None = None,
+        tracer: Tracer | None = None,
     ) -> IterationResult:
         """Execute the job; see :func:`repro.iteration.run_delta_iteration`."""
         return run_delta_iteration(
@@ -100,6 +104,7 @@ class DeltaJob:
             recovery=recovery,
             failures=failures,
             snapshots=snapshots,
+            tracer=tracer,
         )
 
     def optimistic(self) -> OptimisticRecovery:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import math
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Sequence
 
 from ..iteration.result import IterationResult
 from .series import Series
@@ -21,6 +21,9 @@ def _cell(value: Any) -> str:
     if value is None:
         return ""
     if isinstance(value, float):
+        if math.isnan(value):
+            # NaN means "no measurement" — same as None, so same empty cell
+            return ""
         if math.isinf(value):
             return "inf" if value > 0 else "-inf"
         return repr(value)

@@ -19,6 +19,7 @@ initial inputs.
 from __future__ import annotations
 
 from ..errors import IterationError
+from ..observability.span import SpanKind
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from .recovery import RecoveryContext, RecoveryOutcome, RecoveryStrategy
@@ -64,18 +65,26 @@ class CheckpointRecovery(RecoveryStrategy):
     ) -> None:
         if (superstep + 1) % self.interval != 0:
             return
-        records = 0
-        for pid, partition in enumerate(state.partitions):
-            records += ctx.storage.write(self._state_key(ctx, superstep, pid), partition or [])
-        if workset is not None:
-            for pid, partition in enumerate(workset.partitions):
+        with ctx.tracer.span(
+            "checkpoint-write", kind=SpanKind.CHECKPOINT, superstep=superstep
+        ) as span:
+            records = 0
+            for pid, partition in enumerate(state.partitions):
                 records += ctx.storage.write(
-                    self._workset_key(ctx, superstep, pid), partition or []
+                    self._state_key(ctx, superstep, pid), partition or []
                 )
-        if not self.keep_history and self._last_checkpoint is not None:
-            ctx.storage.delete_prefix(f"checkpoint/{ctx.job_name}/{self._last_checkpoint}/")
-        self._last_checkpoint = superstep
-        self.checkpoints_written += 1
+            if workset is not None:
+                for pid, partition in enumerate(workset.partitions):
+                    records += ctx.storage.write(
+                        self._workset_key(ctx, superstep, pid), partition or []
+                    )
+            if not self.keep_history and self._last_checkpoint is not None:
+                ctx.storage.delete_prefix(
+                    f"checkpoint/{ctx.job_name}/{self._last_checkpoint}/"
+                )
+            self._last_checkpoint = superstep
+            self.checkpoints_written += 1
+            span.set_attribute("records", records)
         ctx.cluster.events.record(
             EventKind.CHECKPOINT_WRITTEN,
             time=ctx.executor.clock.now,
@@ -94,22 +103,28 @@ class CheckpointRecovery(RecoveryStrategy):
         if self._last_checkpoint is None:
             return self._restart_from_inputs(ctx, superstep, workset is not None)
         checkpoint = self._last_checkpoint
-        restored_state = PartitionedDataset(
-            partitions=[
-                ctx.storage.read(self._state_key(ctx, checkpoint, pid))
-                for pid in range(ctx.parallelism)
-            ],
-            partitioned_by=ctx.state_key,
-        )
-        restored_workset: PartitionedDataset | None = None
-        if workset is not None:
-            restored_workset = PartitionedDataset(
+        with ctx.tracer.span(
+            "rollback",
+            kind=SpanKind.ROLLBACK,
+            superstep=superstep,
+            restored_from=checkpoint,
+        ):
+            restored_state = PartitionedDataset(
                 partitions=[
-                    ctx.storage.read(self._workset_key(ctx, checkpoint, pid))
+                    ctx.storage.read(self._state_key(ctx, checkpoint, pid))
                     for pid in range(ctx.parallelism)
                 ],
                 partitioned_by=ctx.state_key,
             )
+            restored_workset: PartitionedDataset | None = None
+            if workset is not None:
+                restored_workset = PartitionedDataset(
+                    partitions=[
+                        ctx.storage.read(self._workset_key(ctx, checkpoint, pid))
+                        for pid in range(ctx.parallelism)
+                    ],
+                    partitioned_by=ctx.state_key,
+                )
         ctx.cluster.events.record(
             EventKind.ROLLBACK,
             time=ctx.executor.clock.now,
@@ -126,22 +141,25 @@ class CheckpointRecovery(RecoveryStrategy):
         self, ctx: RecoveryContext, superstep: int, is_delta: bool
     ) -> RecoveryOutcome:
         """Fall back to a restart when no checkpoint exists yet."""
-        state = PartitionedDataset(
-            partitions=[
-                ctx.storage.read(ctx.initial_state_key(pid))
-                for pid in range(ctx.parallelism)
-            ],
-            partitioned_by=ctx.state_key,
-        )
-        workset: PartitionedDataset | None = None
-        if is_delta:
-            workset = PartitionedDataset(
+        with ctx.tracer.span(
+            "restart", kind=SpanKind.RESTART, superstep=superstep
+        ):
+            state = PartitionedDataset(
                 partitions=[
-                    ctx.storage.read(ctx.initial_workset_key(pid))
+                    ctx.storage.read(ctx.initial_state_key(pid))
                     for pid in range(ctx.parallelism)
                 ],
                 partitioned_by=ctx.state_key,
             )
+            workset: PartitionedDataset | None = None
+            if is_delta:
+                workset = PartitionedDataset(
+                    partitions=[
+                        ctx.storage.read(ctx.initial_workset_key(pid))
+                        for pid in range(ctx.parallelism)
+                    ],
+                    partitioned_by=ctx.state_key,
+                )
         ctx.cluster.events.record(
             EventKind.RESTART,
             time=ctx.executor.clock.now,

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import IterationError
+from ..observability.span import SpanKind
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from .recovery import RecoveryContext, RecoveryOutcome, RecoveryStrategy
@@ -74,32 +75,43 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
             raise IterationError(
                 "IncrementalCheckpointRecovery requires a delta iteration"
             )
-        written = 0
-        if self._base_superstep is None:
-            # first commit: full base checkpoint
-            for pid, records in enumerate(state.partitions):
-                written += ctx.storage.write(self._base_key(ctx, pid), records or [])
-            self._base_superstep = superstep
-        else:
-            assert self._last_state is not None
-            for pid, records in enumerate(state.partitions):
-                changed = [
-                    record
-                    for record in (records or [])
-                    if self._last_state[pid].get(ctx.state_key(record)) != record
-                ]
+        with ctx.tracer.span(
+            "checkpoint-write",
+            kind=SpanKind.CHECKPOINT,
+            superstep=superstep,
+            incremental=True,
+        ) as span:
+            written = 0
+            if self._base_superstep is None:
+                # first commit: full base checkpoint
+                for pid, records in enumerate(state.partitions):
+                    written += ctx.storage.write(
+                        self._base_key(ctx, pid), records or []
+                    )
+                self._base_superstep = superstep
+            else:
+                assert self._last_state is not None
+                for pid, records in enumerate(state.partitions):
+                    changed = [
+                        record
+                        for record in (records or [])
+                        if self._last_state[pid].get(ctx.state_key(record)) != record
+                    ]
+                    written += ctx.storage.write(
+                        self._delta_key(ctx, superstep, pid), changed
+                    )
+                self._delta_supersteps.append(superstep)
+            # the workset is tiny and always replaced wholesale
+            for pid, records in enumerate(workset.partitions):
                 written += ctx.storage.write(
-                    self._delta_key(ctx, superstep, pid), changed
+                    self._workset_key(ctx, pid), records or []
                 )
-            self._delta_supersteps.append(superstep)
-        # the workset is tiny and always replaced wholesale
-        for pid, records in enumerate(workset.partitions):
-            written += ctx.storage.write(self._workset_key(ctx, pid), records or [])
-        self._last_state = [
-            {ctx.state_key(record): record for record in (records or [])}
-            for records in state.partitions
-        ]
-        self.records_written += written
+            self._last_state = [
+                {ctx.state_key(record): record for record in (records or [])}
+                for records in state.partitions
+            ]
+            self.records_written += written
+            span.set_attribute("records", written)
         ctx.cluster.events.record(
             EventKind.CHECKPOINT_WRITTEN,
             time=ctx.executor.clock.now,
@@ -122,20 +134,23 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
             )
         if self._base_superstep is None:
             # nothing checkpointed yet: fall back to the pinned inputs
-            restored = PartitionedDataset(
-                partitions=[
-                    ctx.storage.read(ctx.initial_state_key(pid))
-                    for pid in range(ctx.parallelism)
-                ],
-                partitioned_by=ctx.state_key,
-            )
-            restored_workset = PartitionedDataset(
-                partitions=[
-                    ctx.storage.read(ctx.initial_workset_key(pid))
-                    for pid in range(ctx.parallelism)
-                ],
-                partitioned_by=ctx.state_key,
-            )
+            with ctx.tracer.span(
+                "restart", kind=SpanKind.RESTART, superstep=superstep
+            ):
+                restored = PartitionedDataset(
+                    partitions=[
+                        ctx.storage.read(ctx.initial_state_key(pid))
+                        for pid in range(ctx.parallelism)
+                    ],
+                    partitioned_by=ctx.state_key,
+                )
+                restored_workset = PartitionedDataset(
+                    partitions=[
+                        ctx.storage.read(ctx.initial_workset_key(pid))
+                        for pid in range(ctx.parallelism)
+                    ],
+                    partitioned_by=ctx.state_key,
+                )
             ctx.cluster.events.record(
                 EventKind.RESTART,
                 time=ctx.executor.clock.now,
@@ -145,26 +160,34 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
             return RecoveryOutcome(
                 state=restored, workset=restored_workset, restarted=True
             )
-        partitions: list[list[Any] | None] = []
-        for pid in range(ctx.parallelism):
-            merged = {
-                ctx.state_key(record): record
-                for record in ctx.storage.read(self._base_key(ctx, pid))
-            }
-            for delta_superstep in self._delta_supersteps:
-                for record in ctx.storage.read(
-                    self._delta_key(ctx, delta_superstep, pid)
-                ):
-                    merged[ctx.state_key(record)] = record
-            partitions.append(list(merged.values()))
-        restored = PartitionedDataset(partitions=partitions, partitioned_by=ctx.state_key)
-        restored_workset = PartitionedDataset(
-            partitions=[
-                ctx.storage.read(self._workset_key(ctx, pid))
-                for pid in range(ctx.parallelism)
-            ],
-            partitioned_by=ctx.state_key,
-        )
+        with ctx.tracer.span(
+            "rollback-replay",
+            kind=SpanKind.ROLLBACK,
+            superstep=superstep,
+            incremental=True,
+        ):
+            partitions: list[list[Any] | None] = []
+            for pid in range(ctx.parallelism):
+                merged = {
+                    ctx.state_key(record): record
+                    for record in ctx.storage.read(self._base_key(ctx, pid))
+                }
+                for delta_superstep in self._delta_supersteps:
+                    for record in ctx.storage.read(
+                        self._delta_key(ctx, delta_superstep, pid)
+                    ):
+                        merged[ctx.state_key(record)] = record
+                partitions.append(list(merged.values()))
+            restored = PartitionedDataset(
+                partitions=partitions, partitioned_by=ctx.state_key
+            )
+            restored_workset = PartitionedDataset(
+                partitions=[
+                    ctx.storage.read(self._workset_key(ctx, pid))
+                    for pid in range(ctx.parallelism)
+                ],
+                partitioned_by=ctx.state_key,
+            )
         last_committed = (
             self._delta_supersteps[-1] if self._delta_supersteps else self._base_superstep
         )

@@ -25,6 +25,7 @@ experiments account for it.
 from __future__ import annotations
 
 from ..errors import CompensationError
+from ..observability.span import SpanKind
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from .compensation import CompensationContext, CompensationFunction
@@ -68,34 +69,45 @@ class OptimisticRecovery(RecoveryStrategy):
         lost_partitions: list[int],
     ) -> RecoveryOutcome:
         comp_ctx = self._compensation_context(ctx)
-        aggregate = self.compensation.prepare(state, lost_partitions, comp_ctx)
-        new_partitions: list[list | None] = []
-        compensated_records = 0
-        for partition_id, records in enumerate(state.partitions):
-            surviving = list(records) if records is not None else None
-            rebuilt = self.compensation.compensate_partition(
-                partition_id, surviving, aggregate, comp_ctx
-            )
-            if rebuilt is None:
-                raise CompensationError(
-                    f"compensation {self.compensation.name!r} returned None "
-                    f"for partition {partition_id}"
+        with ctx.tracer.span(
+            "compensation",
+            kind=SpanKind.COMPENSATION,
+            superstep=superstep,
+            compensation=self.compensation.name,
+        ) as span:
+            aggregate = self.compensation.prepare(state, lost_partitions, comp_ctx)
+            new_partitions: list[list | None] = []
+            compensated_records = 0
+            for partition_id, records in enumerate(state.partitions):
+                surviving = list(records) if records is not None else None
+                rebuilt = self.compensation.compensate_partition(
+                    partition_id, surviving, aggregate, comp_ctx
                 )
-            new_partitions.append(list(rebuilt))
-            compensated_records += len(rebuilt)
-        ctx.executor.clock.charge_compensation(compensated_records)
-        new_state = PartitionedDataset(
-            partitions=new_partitions, partitioned_by=ctx.state_key
-        )
-        check_invariants(self.invariants, new_state, comp_ctx, self.compensation.name)
-        new_workset: PartitionedDataset | None = None
-        if workset is not None:
-            new_workset = self.compensation.rebuild_workset(
-                new_state, workset, lost_partitions, comp_ctx
+                if rebuilt is None:
+                    raise CompensationError(
+                        f"compensation {self.compensation.name!r} returned None "
+                        f"for partition {partition_id}"
+                    )
+                new_partitions.append(list(rebuilt))
+                compensated_records += len(rebuilt)
+            ctx.executor.clock.charge_compensation(compensated_records)
+            new_state = PartitionedDataset(
+                partitions=new_partitions, partitioned_by=ctx.state_key
             )
-            new_workset = ctx.executor.repartition(
-                new_workset, ctx.state_key, context=f"{self.compensation.name}.workset"
+            check_invariants(
+                self.invariants, new_state, comp_ctx, self.compensation.name
             )
+            new_workset: PartitionedDataset | None = None
+            if workset is not None:
+                new_workset = self.compensation.rebuild_workset(
+                    new_state, workset, lost_partitions, comp_ctx
+                )
+                new_workset = ctx.executor.repartition(
+                    new_workset,
+                    ctx.state_key,
+                    context=f"{self.compensation.name}.workset",
+                )
+            span.set_attribute("records", compensated_records)
         ctx.cluster.events.record(
             EventKind.COMPENSATION,
             time=ctx.executor.clock.now,

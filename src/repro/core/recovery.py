@@ -20,6 +20,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from ..dataflow.datatypes import KeySpec
+from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.executor import PartitionedDataset, PlanExecutor
 from ..runtime.storage import StableStorage
@@ -58,6 +59,16 @@ class RecoveryContext:
     @property
     def parallelism(self) -> int:
         return self.cluster.parallelism
+
+    @property
+    def tracer(self) -> Tracer:
+        """The run's span tracer (the no-op tracer unless tracing is on).
+
+        Strategies open recovery-phase spans (checkpoint writes, rollback
+        restores, compensation, restarts) through this so the profiler can
+        attribute their costs.
+        """
+        return getattr(self.executor, "tracer", NOOP_TRACER)
 
     def initial_state_key(self, partition_id: int) -> str:
         """Storage key of the pinned initial state of one partition."""

@@ -19,6 +19,7 @@ experiments can report it under its proper name.
 
 from __future__ import annotations
 
+from ..observability.span import SpanKind
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from .recovery import RecoveryContext, RecoveryOutcome, RecoveryStrategy
@@ -37,22 +38,25 @@ class RestartRecovery(RecoveryStrategy):
         workset: PartitionedDataset | None,
         lost_partitions: list[int],
     ) -> RecoveryOutcome:
-        restored_state = PartitionedDataset(
-            partitions=[
-                ctx.storage.read(ctx.initial_state_key(pid))
-                for pid in range(ctx.parallelism)
-            ],
-            partitioned_by=ctx.state_key,
-        )
-        restored_workset: PartitionedDataset | None = None
-        if workset is not None:
-            restored_workset = PartitionedDataset(
+        with ctx.tracer.span(
+            "restart", kind=SpanKind.RESTART, superstep=superstep, strategy=self.name
+        ):
+            restored_state = PartitionedDataset(
                 partitions=[
-                    ctx.storage.read(ctx.initial_workset_key(pid))
+                    ctx.storage.read(ctx.initial_state_key(pid))
                     for pid in range(ctx.parallelism)
                 ],
                 partitioned_by=ctx.state_key,
             )
+            restored_workset: PartitionedDataset | None = None
+            if workset is not None:
+                restored_workset = PartitionedDataset(
+                    partitions=[
+                        ctx.storage.read(ctx.initial_workset_key(pid))
+                        for pid in range(ctx.parallelism)
+                    ],
+                    partitioned_by=ctx.state_key,
+                )
         ctx.cluster.events.record(
             EventKind.RESTART,
             time=ctx.executor.clock.now,

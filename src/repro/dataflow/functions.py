@@ -13,7 +13,7 @@ their role).
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from typing import Any, Callable, Iterable, Iterator
 
 

@@ -15,8 +15,6 @@ Operators are pure descriptions; execution lives in
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
-
 from ..errors import PlanError
 from .datatypes import KeySpec
 from .functions import (

@@ -9,16 +9,29 @@ play, and look at the state renderings and statistics plots::
 
     python -m repro.demo --algorithm pagerank --graph twitter --size 500 \
         --fail 4:1 --fail 9:0,2 --plots
+
+Passing ``--trace-out trace.jsonl`` records the run's span tree (run →
+superstep → operator → partition) and writes it as JSONL; the companion
+``profile`` subcommand reads such a trace back and prints where the
+simulated time went::
+
+    python -m repro.demo --algorithm pagerank --fail 3:0 \
+        --recovery optimistic --trace-out trace.jsonl
+    python -m repro.demo profile trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from ..analysis import Series, format_figure
 from ..errors import ReproError
 from ..iteration.snapshots import SnapshotPhase
+from ..observability.export import trace_to_jsonl
+from ..observability.profile import format_profile, profile_trace
+from ..observability.tracer import RecordingTracer
 from .controller import ALGORITHMS, GRAPHS, RECOVERIES, DemoRun, DemoSession
 from .render import render_components, render_ranks
 
@@ -106,7 +119,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=7, help="generator seed (default: 7)"
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record the run's span tree and write it as JSONL to PATH",
+    )
     return parser
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-demo profile",
+        description="Attribute a recorded trace's simulated time to "
+        "recovery-cost categories",
+    )
+    parser.add_argument("trace", help="JSONL trace written with --trace-out")
+    return parser
+
+
+def profile_main(argv: Sequence[str]) -> int:
+    """``profile`` subcommand: read a trace, print the cost breakdown."""
+    args = build_profile_parser().parse_args(argv)
+    try:
+        report = format_profile(profile_trace(args.trace), title=args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}")
+        return 1
+    print(report)
+    return 0
 
 
 def _render_state(run: DemoRun, state: dict, highlight: list[int]) -> str:
@@ -152,7 +193,11 @@ def _print_plots(run: DemoRun) -> None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     args = build_parser().parse_args(argv)
+    tracer = RecordingTracer() if args.trace_out else None
     try:
         session = DemoSession(
             algorithm=args.algorithm,
@@ -165,13 +210,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         for superstep, partitions in args.failures:
             session.schedule_failure(superstep, partitions)
         run = session.press_play(
-            recovery=args.recovery, checkpoint_interval=args.checkpoint_interval
+            recovery=args.recovery,
+            checkpoint_interval=args.checkpoint_interval,
+            tracer=tracer,
         )
     except ReproError as error:
         print(f"error: {error}")
         return 1
     print(run.result.summary())
     print(f"cost breakdown: {run.result.cost_breakdown()}")
+    if tracer is not None:
+        try:
+            trace_to_jsonl(
+                tracer.roots,
+                args.trace_out,
+                events=run.result.events,
+                stats=run.result.stats,
+                meta={
+                    "algorithm": args.algorithm,
+                    "graph": args.graph,
+                    "recovery": args.recovery,
+                    "parallelism": args.parallelism,
+                    "supersteps": run.result.supersteps,
+                    "converged": run.result.converged,
+                    "sim_time": run.result.clock.now,
+                },
+            )
+        except OSError as error:
+            print(f"error: cannot write trace: {error}")
+            return 1
+        print(f"trace written to {args.trace_out}")
     if args.states:
         _print_states(run)
     if args.plots:

@@ -26,6 +26,7 @@ from ..graph.graph import Graph
 from ..graph.partitioning import partition_vertices
 from ..iteration.result import IterationResult
 from ..iteration.snapshots import SnapshotPhase, SnapshotStore, StateSnapshot
+from ..observability.tracer import Tracer
 from ..runtime.failures import FailureSchedule
 from .render import render_components, render_ranks
 from .statistics import DemoStatistics
@@ -247,8 +248,14 @@ class DemoSession:
         recovery: str = "optimistic",
         checkpoint_interval: int = 2,
         epsilon: float = 1e-9,
+        tracer: Tracer | None = None,
     ) -> DemoRun:
-        """Run the demo to completion and return the navigable run."""
+        """Run the demo to completion and return the navigable run.
+
+        Pass a :class:`repro.observability.tracer.RecordingTracer` as
+        ``tracer`` to capture the run's span tree for export or
+        profiling; by default no tracing happens.
+        """
         config = EngineConfig(
             parallelism=self.parallelism, spare_workers=self.spare_workers
         )
@@ -263,5 +270,6 @@ class DemoSession:
             recovery=strategy,
             failures=schedule,
             snapshots=SnapshotStore(),
+            tracer=tracer,
         )
         return DemoRun(self.algorithm, self.graph, result, self.parallelism)

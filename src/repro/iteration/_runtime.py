@@ -10,6 +10,7 @@ from ..core.recovery import RecoveryContext
 from ..dataflow.operators import SourceOperator
 from ..dataflow.plan import Plan
 from ..errors import IterationError
+from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.executor import PartitionedDataset, PlanExecutor
 from ..runtime.failures import FailureInjector, FailureSchedule
@@ -38,12 +39,30 @@ class JobRuntime:
     def metrics(self):
         return self.executor.metrics
 
+    @property
+    def tracer(self):
+        return self.executor.tracer
 
-def build_runtime(config: EngineConfig, failures: FailureSchedule | None) -> JobRuntime:
-    """Assemble a fresh cluster/executor/storage/injector for one run."""
+
+def build_runtime(
+    config: EngineConfig,
+    failures: FailureSchedule | None,
+    tracer: Tracer | None = None,
+) -> JobRuntime:
+    """Assemble a fresh cluster/executor/storage/injector for one run.
+
+    When a ``tracer`` is given it is bound to the run's simulated clock
+    and handed to the executor, so operator spans nest under whatever
+    spans the driver opens.
+    """
     cluster = SimulatedCluster(config)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    tracer.bind(cluster.clock)
     executor = PlanExecutor(
-        config.parallelism, clock=cluster.clock, combiners=config.combiners
+        config.parallelism,
+        clock=cluster.clock,
+        combiners=config.combiners,
+        tracer=tracer,
     )
     storage = StableStorage(cluster.clock)
     injector = FailureInjector(failures if failures is not None else FailureSchedule.none())

@@ -14,7 +14,7 @@ acquires replacement workers, and delegates state repair to the configured
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from ..config import DEFAULT_CONFIG, EngineConfig
@@ -23,6 +23,8 @@ from ..core.restart import RestartRecovery
 from ..dataflow.datatypes import KeySpec
 from ..dataflow.plan import Plan
 from ..errors import IterationError, TerminationError
+from ..observability.span import SpanKind
+from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from ..runtime.failures import FailureSchedule
@@ -115,6 +117,7 @@ def run_bulk_iteration(
     recovery: RecoveryStrategy | None = None,
     failures: FailureSchedule | None = None,
     snapshots: SnapshotStore | None = None,
+    tracer: Tracer | None = None,
 ) -> IterationResult:
     """Run a bulk iteration to convergence (or budget exhaustion).
 
@@ -128,12 +131,16 @@ def run_bulk_iteration(
             tolerance — restart is all an unprotected system can do).
         failures: the failure schedule to inject (default: none).
         snapshots: optional store capturing per-superstep state copies.
+        tracer: optional span tracer (default: the no-op tracer). A
+            :class:`repro.observability.tracer.RecordingTracer` captures
+            the run → superstep → operator → partition span tree.
 
     Returns:
         An :class:`repro.iteration.result.IterationResult`.
     """
     recovery = recovery if recovery is not None else RestartRecovery()
-    runtime = build_runtime(config, failures)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    runtime = build_runtime(config, failures, tracer=tracer)
     parallelism = config.parallelism
     bound_statics = bind_statics(
         spec.step_plan, dict(statics or {}), {spec.state_source}, parallelism
@@ -164,87 +171,128 @@ def run_bulk_iteration(
     converged = False
     supersteps_run = 0
 
-    for superstep in range(spec.max_supersteps):
-        supersteps_run = superstep + 1
-        stats = IterationStats(superstep, sim_time_start=runtime.clock.now)
-        runtime.events.record(
-            EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
-        )
-        metrics_before = runtime.metrics.snapshot()
-        previous_records = state.all_records()
-
-        outputs = runtime.executor.execute(
-            spec.step_plan,
-            {spec.state_source: state, **bound_statics},
-            outputs=[spec.next_state_output],
-        )
-        next_state = runtime.executor.repartition(
-            outputs[spec.next_state_output], spec.state_key, context=f"{spec.name}.state"
-        )
-        if spec.message_counter is not None:
-            stats.messages = runtime.metrics.diff(metrics_before).get(
-                spec.message_counter, 0
+    with tracer.span(
+        f"run:{spec.name}",
+        kind=SpanKind.RUN,
+        job=spec.name,
+        mode="bulk",
+        strategy=recovery.name,
+        parallelism=parallelism,
+    ) as run_span:
+        for superstep in range(spec.max_supersteps):
+            supersteps_run = superstep + 1
+            stats = IterationStats(superstep, sim_time_start=runtime.clock.now)
+            runtime.events.record(
+                EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
             )
-        computed_records = next_state.all_records()
-        stats.updates = _count_updates(previous_records, computed_records)
-        if spec.value_fn is not None:
-            stats.l1_delta = _l1_delta(previous_records, computed_records, spec.value_fn)
+            metrics_before = runtime.metrics.snapshot()
+            previous_records = state.all_records()
 
-        due = runtime.injector.pop(superstep)
-        if due:
+            with tracer.span(
+                f"superstep:{superstep}", kind=SpanKind.SUPERSTEP, superstep=superstep
+            ) as superstep_span:
+                outputs = runtime.executor.execute(
+                    spec.step_plan,
+                    {spec.state_source: state, **bound_statics},
+                    outputs=[spec.next_state_output],
+                )
+                next_state = runtime.executor.repartition(
+                    outputs[spec.next_state_output],
+                    spec.state_key,
+                    context=f"{spec.name}.state",
+                )
+                if spec.message_counter is not None:
+                    stats.messages = runtime.metrics.diff(metrics_before).get(
+                        spec.message_counter, 0
+                    )
+                computed_records = next_state.all_records()
+                stats.updates = _count_updates(previous_records, computed_records)
+                if spec.value_fn is not None:
+                    stats.l1_delta = _l1_delta(
+                        previous_records, computed_records, spec.value_fn
+                    )
+
+                due = runtime.injector.pop(superstep)
+                if due:
+                    if snapshots is not None:
+                        snapshots.add(
+                            superstep, SnapshotPhase.BEFORE_FAILURE, computed_records
+                        )
+                    with tracer.span(
+                        "recovery", kind=SpanKind.RECOVERY, superstep=superstep
+                    ) as recovery_span:
+                        lost: list[int] = []
+                        for event in due:
+                            lost.extend(
+                                runtime.cluster.fail_workers(
+                                    list(event.worker_ids), superstep
+                                )
+                            )
+                        runtime.clock.charge_failure_detection()
+                        stats.failed = True
+                        if lost:
+                            next_state.lose(lost)
+                            runtime.cluster.reassign_lost(superstep)
+                            outcome = recovery.recover(ctx, superstep, next_state, None, lost)
+                            next_state = runtime.executor.repartition(
+                                outcome.state,
+                                spec.state_key,
+                                context=f"{spec.name}.recovered",
+                            )
+                            stats.compensated = outcome.compensated
+                            stats.rolled_back = outcome.rolled_back_to is not None
+                            stats.restarted = outcome.restarted
+                            if outcome.restarted:
+                                spec.termination.reset()
+                            recovery_span.set_attribute("lost_partitions", sorted(lost))
+                            recovery_span.set_attribute(
+                                "outcome",
+                                "compensation"
+                                if outcome.compensated
+                                else "rollback"
+                                if stats.rolled_back
+                                else "restart",
+                            )
+                            if snapshots is not None:
+                                phase = (
+                                    SnapshotPhase.AFTER_COMPENSATION
+                                    if outcome.compensated
+                                    else SnapshotPhase.AFTER_ROLLBACK
+                                    if stats.rolled_back
+                                    else SnapshotPhase.AFTER_RESTART
+                                )
+                                snapshots.add(superstep, phase, next_state.all_records())
+                else:
+                    with tracer.span(
+                        "commit", kind=SpanKind.CHECKPOINT, superstep=superstep
+                    ):
+                        recovery.on_superstep_committed(ctx, superstep, next_state, None)
+
+                stats.converged = count_converged(
+                    next_state.all_records(), spec.truth, spec.truth_tolerance
+                )
+                stats.sim_time_end = runtime.clock.now
+                superstep_span.set_attribute("messages", stats.messages)
+                superstep_span.set_attribute("updates", stats.updates)
+                superstep_span.set_attribute("failed", stats.failed)
+            series.append(stats)
+            runtime.events.record(
+                EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
+            )
             if snapshots is not None:
                 snapshots.add(
-                    superstep, SnapshotPhase.BEFORE_FAILURE, computed_records
+                    superstep, SnapshotPhase.AFTER_SUPERSTEP, next_state.all_records()
                 )
-            lost: list[int] = []
-            for event in due:
-                lost.extend(
-                    runtime.cluster.fail_workers(list(event.worker_ids), superstep)
-                )
-            runtime.clock.charge_failure_detection()
-            stats.failed = True
-            if lost:
-                next_state.lose(lost)
-                runtime.cluster.reassign_lost(superstep)
-                outcome = recovery.recover(ctx, superstep, next_state, None, lost)
-                next_state = runtime.executor.repartition(
-                    outcome.state, spec.state_key, context=f"{spec.name}.recovered"
-                )
-                stats.compensated = outcome.compensated
-                stats.rolled_back = outcome.rolled_back_to is not None
-                stats.restarted = outcome.restarted
-                if outcome.restarted:
-                    spec.termination.reset()
-                if snapshots is not None:
-                    phase = (
-                        SnapshotPhase.AFTER_COMPENSATION
-                        if outcome.compensated
-                        else SnapshotPhase.AFTER_ROLLBACK
-                        if stats.rolled_back
-                        else SnapshotPhase.AFTER_RESTART
-                    )
-                    snapshots.add(superstep, phase, next_state.all_records())
-        else:
-            recovery.on_superstep_committed(ctx, superstep, next_state, None)
 
-        stats.converged = count_converged(
-            next_state.all_records(), spec.truth, spec.truth_tolerance
-        )
-        stats.sim_time_end = runtime.clock.now
-        series.append(stats)
-        runtime.events.record(
-            EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
-        )
-        if snapshots is not None:
-            snapshots.add(superstep, SnapshotPhase.AFTER_SUPERSTEP, next_state.all_records())
-
-        state = next_state
-        if not stats.failed and spec.termination.should_stop(stats):
-            converged = True
-            runtime.events.record(
-                EventKind.CONVERGED, time=runtime.clock.now, superstep=superstep
-            )
-            break
+            state = next_state
+            if not stats.failed and spec.termination.should_stop(stats):
+                converged = True
+                runtime.events.record(
+                    EventKind.CONVERGED, time=runtime.clock.now, superstep=superstep
+                )
+                break
+        run_span.set_attribute("supersteps", supersteps_run)
+        run_span.set_attribute("converged", converged)
 
     if not converged and config.strict_iterations:
         raise TerminationError(

@@ -29,6 +29,8 @@ from ..core.restart import RestartRecovery
 from ..dataflow.datatypes import KeySpec
 from ..dataflow.plan import Plan
 from ..errors import IterationError, TerminationError
+from ..observability.span import SpanKind
+from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from ..runtime.failures import FailureSchedule
@@ -131,6 +133,7 @@ def run_delta_iteration(
     recovery: RecoveryStrategy | None = None,
     failures: FailureSchedule | None = None,
     snapshots: SnapshotStore | None = None,
+    tracer: Tracer | None = None,
 ) -> IterationResult:
     """Run a delta iteration until the workset empties (or budget ends).
 
@@ -146,13 +149,17 @@ def run_delta_iteration(
         recovery: fault-tolerance strategy (default: restart / no FT).
         failures: failure schedule to inject.
         snapshots: optional per-superstep state snapshot store.
+        tracer: optional span tracer (default: the no-op tracer). A
+            :class:`repro.observability.tracer.RecordingTracer` captures
+            the run → superstep → operator → partition span tree.
 
     Returns:
         An :class:`repro.iteration.result.IterationResult`; its
         ``final_records`` are the solution set.
     """
     recovery = recovery if recovery is not None else RestartRecovery()
-    runtime = build_runtime(config, failures)
+    tracer = tracer if tracer is not None else NOOP_TRACER
+    runtime = build_runtime(config, failures, tracer=tracer)
     parallelism = config.parallelism
     bound_statics = bind_statics(
         spec.step_plan,
@@ -194,117 +201,171 @@ def run_delta_iteration(
     converged = False
     supersteps_run = 0
 
-    for superstep in range(spec.max_supersteps):
-        supersteps_run = superstep + 1
-        stats = IterationStats(superstep, sim_time_start=runtime.clock.now)
-        runtime.events.record(
-            EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
-        )
-        metrics_before = runtime.metrics.snapshot()
-        previous_records = solution.all_records() if spec.value_fn is not None else []
-
-        outputs = runtime.executor.execute(
-            spec.step_plan,
-            {
-                spec.solution_source: solution,
-                spec.workset_source: workset,
-                **bound_statics,
-            },
-            outputs=[spec.delta_output, spec.workset_output],
-        )
-        delta = runtime.executor.repartition(
-            outputs[spec.delta_output], spec.state_key, context=f"{spec.name}.delta"
-        )
-        next_workset = runtime.executor.repartition(
-            outputs[spec.workset_output], spec.state_key, context=f"{spec.name}.workset"
-        )
-        if next_workset is delta:
-            # One operator may feed both outputs (Connected Components'
-            # label-update does); decouple so losing workset partitions
-            # cannot alias into the delta.
-            next_workset = delta.copy()
-        if spec.message_counter is not None:
-            stats.messages = runtime.metrics.diff(metrics_before).get(
-                spec.message_counter, 0
+    with tracer.span(
+        f"run:{spec.name}",
+        kind=SpanKind.RUN,
+        job=spec.name,
+        mode="delta",
+        strategy=recovery.name,
+        parallelism=parallelism,
+    ) as run_span:
+        for superstep in range(spec.max_supersteps):
+            supersteps_run = superstep + 1
+            stats = IterationStats(superstep, sim_time_start=runtime.clock.now)
+            runtime.events.record(
+                EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
             )
-        new_solution, stats.updates = _apply_delta(solution, delta, spec.state_key)
-        if spec.value_fn is not None:
-            new_values = {r[0]: spec.value_fn(r) for r in new_solution.all_records()}
-            old_values = {r[0]: spec.value_fn(r) for r in previous_records}
-            keys = new_values.keys() | old_values.keys()
-            stats.l1_delta = sum(
-                abs(new_values.get(k, 0.0) - old_values.get(k, 0.0)) for k in keys
-            )
+            metrics_before = runtime.metrics.snapshot()
+            previous_records = solution.all_records() if spec.value_fn is not None else []
+            entering_workset = workset.num_records()
+            runtime.metrics.set_gauge("workset_size", entering_workset)
+            runtime.metrics.observe("workset_size", entering_workset)
 
-        due = runtime.injector.pop(superstep)
-        if due:
+            with tracer.span(
+                f"superstep:{superstep}",
+                kind=SpanKind.SUPERSTEP,
+                superstep=superstep,
+                workset_size=entering_workset,
+            ) as superstep_span:
+                outputs = runtime.executor.execute(
+                    spec.step_plan,
+                    {
+                        spec.solution_source: solution,
+                        spec.workset_source: workset,
+                        **bound_statics,
+                    },
+                    outputs=[spec.delta_output, spec.workset_output],
+                )
+                delta = runtime.executor.repartition(
+                    outputs[spec.delta_output], spec.state_key, context=f"{spec.name}.delta"
+                )
+                next_workset = runtime.executor.repartition(
+                    outputs[spec.workset_output],
+                    spec.state_key,
+                    context=f"{spec.name}.workset",
+                )
+                if next_workset is delta:
+                    # One operator may feed both outputs (Connected Components'
+                    # label-update does); decouple so losing workset partitions
+                    # cannot alias into the delta.
+                    next_workset = delta.copy()
+                if spec.message_counter is not None:
+                    stats.messages = runtime.metrics.diff(metrics_before).get(
+                        spec.message_counter, 0
+                    )
+                new_solution, stats.updates = _apply_delta(solution, delta, spec.state_key)
+                if spec.value_fn is not None:
+                    new_values = {
+                        r[0]: spec.value_fn(r) for r in new_solution.all_records()
+                    }
+                    old_values = {r[0]: spec.value_fn(r) for r in previous_records}
+                    keys = new_values.keys() | old_values.keys()
+                    stats.l1_delta = sum(
+                        abs(new_values.get(k, 0.0) - old_values.get(k, 0.0)) for k in keys
+                    )
+
+                due = runtime.injector.pop(superstep)
+                if due:
+                    if snapshots is not None:
+                        snapshots.add(
+                            superstep,
+                            SnapshotPhase.BEFORE_FAILURE,
+                            new_solution.all_records(),
+                        )
+                    with tracer.span(
+                        "recovery", kind=SpanKind.RECOVERY, superstep=superstep
+                    ) as recovery_span:
+                        lost: list[int] = []
+                        for event in due:
+                            lost.extend(
+                                runtime.cluster.fail_workers(
+                                    list(event.worker_ids), superstep
+                                )
+                            )
+                        runtime.clock.charge_failure_detection()
+                        stats.failed = True
+                        if lost:
+                            new_solution.lose(lost)
+                            next_workset.lose(lost)
+                            runtime.cluster.reassign_lost(superstep)
+                            outcome = recovery.recover(
+                                ctx, superstep, new_solution, next_workset, lost
+                            )
+                            new_solution = runtime.executor.repartition(
+                                outcome.state,
+                                spec.state_key,
+                                context=f"{spec.name}.recovered",
+                            )
+                            if outcome.workset is None:
+                                raise IterationError(
+                                    f"recovery strategy {recovery.name!r} returned no "
+                                    f"workset for delta iteration {spec.name!r}"
+                                )
+                            next_workset = runtime.executor.repartition(
+                                outcome.workset,
+                                spec.state_key,
+                                context=f"{spec.name}.recovered-ws",
+                            )
+                            stats.compensated = outcome.compensated
+                            stats.rolled_back = outcome.rolled_back_to is not None
+                            stats.restarted = outcome.restarted
+                            if outcome.restarted:
+                                spec.termination.reset()
+                            recovery_span.set_attribute("lost_partitions", sorted(lost))
+                            recovery_span.set_attribute(
+                                "outcome",
+                                "compensation"
+                                if outcome.compensated
+                                else "rollback"
+                                if stats.rolled_back
+                                else "restart",
+                            )
+                            if snapshots is not None:
+                                phase = (
+                                    SnapshotPhase.AFTER_COMPENSATION
+                                    if outcome.compensated
+                                    else SnapshotPhase.AFTER_ROLLBACK
+                                    if stats.rolled_back
+                                    else SnapshotPhase.AFTER_RESTART
+                                )
+                                snapshots.add(
+                                    superstep, phase, new_solution.all_records()
+                                )
+                else:
+                    with tracer.span(
+                        "commit", kind=SpanKind.CHECKPOINT, superstep=superstep
+                    ):
+                        recovery.on_superstep_committed(
+                            ctx, superstep, new_solution, next_workset
+                        )
+
+                stats.workset_size = next_workset.num_records()
+                stats.converged = count_converged(
+                    new_solution.all_records(), spec.truth, spec.truth_tolerance
+                )
+                stats.sim_time_end = runtime.clock.now
+                superstep_span.set_attribute("messages", stats.messages)
+                superstep_span.set_attribute("updates", stats.updates)
+                superstep_span.set_attribute("next_workset_size", stats.workset_size)
+                superstep_span.set_attribute("failed", stats.failed)
+            series.append(stats)
+            runtime.events.record(
+                EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
+            )
             if snapshots is not None:
                 snapshots.add(
-                    superstep, SnapshotPhase.BEFORE_FAILURE, new_solution.all_records()
+                    superstep, SnapshotPhase.AFTER_SUPERSTEP, new_solution.all_records()
                 )
-            lost: list[int] = []
-            for event in due:
-                lost.extend(
-                    runtime.cluster.fail_workers(list(event.worker_ids), superstep)
-                )
-            runtime.clock.charge_failure_detection()
-            stats.failed = True
-            if lost:
-                new_solution.lose(lost)
-                next_workset.lose(lost)
-                runtime.cluster.reassign_lost(superstep)
-                outcome = recovery.recover(
-                    ctx, superstep, new_solution, next_workset, lost
-                )
-                new_solution = runtime.executor.repartition(
-                    outcome.state, spec.state_key, context=f"{spec.name}.recovered"
-                )
-                if outcome.workset is None:
-                    raise IterationError(
-                        f"recovery strategy {recovery.name!r} returned no workset "
-                        f"for delta iteration {spec.name!r}"
-                    )
-                next_workset = runtime.executor.repartition(
-                    outcome.workset, spec.state_key, context=f"{spec.name}.recovered-ws"
-                )
-                stats.compensated = outcome.compensated
-                stats.rolled_back = outcome.rolled_back_to is not None
-                stats.restarted = outcome.restarted
-                if outcome.restarted:
-                    spec.termination.reset()
-                if snapshots is not None:
-                    phase = (
-                        SnapshotPhase.AFTER_COMPENSATION
-                        if outcome.compensated
-                        else SnapshotPhase.AFTER_ROLLBACK
-                        if stats.rolled_back
-                        else SnapshotPhase.AFTER_RESTART
-                    )
-                    snapshots.add(superstep, phase, new_solution.all_records())
-        else:
-            recovery.on_superstep_committed(ctx, superstep, new_solution, next_workset)
 
-        stats.workset_size = next_workset.num_records()
-        stats.converged = count_converged(
-            new_solution.all_records(), spec.truth, spec.truth_tolerance
-        )
-        stats.sim_time_end = runtime.clock.now
-        series.append(stats)
-        runtime.events.record(
-            EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
-        )
-        if snapshots is not None:
-            snapshots.add(
-                superstep, SnapshotPhase.AFTER_SUPERSTEP, new_solution.all_records()
-            )
-
-        solution, workset = new_solution, next_workset
-        if not stats.failed and spec.termination.should_stop(stats):
-            converged = True
-            runtime.events.record(
-                EventKind.CONVERGED, time=runtime.clock.now, superstep=superstep
-            )
-            break
+            solution, workset = new_solution, next_workset
+            if not stats.failed and spec.termination.should_stop(stats):
+                converged = True
+                runtime.events.record(
+                    EventKind.CONVERGED, time=runtime.clock.now, superstep=superstep
+                )
+                break
+        run_span.set_attribute("supersteps", supersteps_run)
+        run_span.set_attribute("converged", converged)
 
     if not converged and config.strict_iterations:
         raise TerminationError(

@@ -14,7 +14,7 @@ demo-scale inputs, so stores can be bounded with ``max_snapshots``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 

@@ -1,0 +1,64 @@
+"""Observability: span tracing, rich metrics, trace export, profiling.
+
+The paper's demo is, at heart, an observability artifact — its GUI exists
+so the audience can *watch* supersteps, failures, compensation and
+re-convergence unfold. This package is the headless equivalent:
+
+* :mod:`repro.observability.span` / :mod:`repro.observability.tracer` —
+  a run → superstep → operator → partition span tree carrying simulated
+  and wall-clock durations plus per-category cost deltas; the default
+  :data:`NOOP_TRACER` records nothing and costs nothing;
+* :mod:`repro.observability.metrics` — histogram summaries (p50/p95/max)
+  and wall-clock timers backing the upgraded
+  :class:`repro.runtime.metrics.MetricsRegistry`;
+* :mod:`repro.observability.export` — JSONL serialization of spans,
+  events and per-superstep stats (``--trace-out`` in the demo CLI);
+* :mod:`repro.observability.profile` — the recovery-cost profiler that
+  attributes every simulated second to compute / shuffle / checkpoint /
+  rollback / compensation / restart (``python -m repro.demo profile``).
+
+The package is intentionally a leaf: it imports nothing from the rest of
+``repro``, so every engine layer can depend on it without cycles.
+"""
+
+from .export import (
+    TRACE_FORMAT_VERSION,
+    TraceData,
+    read_trace,
+    span_from_dict,
+    span_to_dict,
+    trace_to_jsonl,
+)
+from .metrics import HistogramStats, Timer, percentile
+from .profile import (
+    CATEGORIES,
+    ProfileReport,
+    format_profile,
+    profile_spans,
+    profile_trace,
+)
+from .span import Span, SpanKind
+from .tracer import NOOP_TRACER, NoopTracer, RecordingTracer, Tracer
+
+__all__ = [
+    "CATEGORIES",
+    "HistogramStats",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "ProfileReport",
+    "RecordingTracer",
+    "Span",
+    "SpanKind",
+    "TRACE_FORMAT_VERSION",
+    "Timer",
+    "TraceData",
+    "Tracer",
+    "format_profile",
+    "percentile",
+    "profile_spans",
+    "profile_trace",
+    "read_trace",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,162 @@
+"""Structured JSONL export of traces.
+
+A trace file is one JSON object per line, each tagged with a ``type``:
+
+* ``{"type": "meta", ...}`` — one header line describing the run;
+* ``{"type": "span", ...}`` — one line per span, parents before
+  children (pre-order), linked via ``span_id`` / ``parent_id``;
+* ``{"type": "event", ...}`` — the structured engine events;
+* ``{"type": "superstep", ...}`` — the per-superstep statistics rows.
+
+The format is deliberately flat and line-oriented so runs can be diffed
+with standard tools and loaded into pandas/duckdb with one call. Events
+and statistics are passed in duck-typed (anything with ``to_dict()``), so
+this module stays free of engine imports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .span import Span, SpanKind
+
+#: bumped when the line schema changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """One span as a JSON-ready dict (wall time collapses to a duration)."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "kind": span.kind.value,
+        "sim_start": span.sim_start,
+        "sim_end": span.sim_end if span.sim_end is not None else span.sim_start,
+        "wall_duration": span.wall_duration,
+        "attributes": span.attributes,
+        "costs": span.costs,
+    }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Rebuild one span (children are linked up by :func:`read_trace`)."""
+    return Span(
+        span_id=int(data["span_id"]),
+        name=str(data["name"]),
+        kind=SpanKind(data["kind"]),
+        sim_start=float(data["sim_start"]),
+        sim_end=float(data["sim_end"]),
+        wall_start=0.0,
+        wall_end=float(data.get("wall_duration", 0.0)),
+        parent_id=data.get("parent_id"),
+        attributes=dict(data.get("attributes", {})),
+        costs={str(k): float(v) for k, v in data.get("costs", {}).items()},
+    )
+
+
+@dataclass
+class TraceData:
+    """A trace file, loaded.
+
+    Attributes:
+        meta: the header line's payload (empty dict if absent).
+        spans: the re-linked span forest (top-level spans only; descend
+            via ``Span.children`` / ``Span.walk()``).
+        events: event lines as plain dicts, in file order.
+        stats: per-superstep statistic lines as plain dicts.
+    """
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    stats: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def root(self) -> Span | None:
+        """The run span, when the trace has exactly one top-level span."""
+        return self.spans[0] if self.spans else None
+
+    def all_spans(self) -> list[Span]:
+        """Every span of the forest, pre-order."""
+        return [span for root in self.spans for span in root.walk()]
+
+
+def trace_to_jsonl(
+    spans: Span | Sequence[Span] | None,
+    path: str | Path,
+    *,
+    events: Iterable[Any] | None = None,
+    stats: Iterable[Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Serialize a run's spans (and optionally events + stats) as JSONL.
+
+    Args:
+        spans: the root span, a list of root spans, or ``None`` (an
+            event/stats-only export is legal).
+        path: output file.
+        events: any iterable of objects with ``to_dict()`` (e.g. an
+            :class:`repro.runtime.events.EventLog`).
+        stats: any iterable of objects with ``to_dict()`` (e.g. a
+            :class:`repro.runtime.metrics.StatsSeries`).
+        meta: extra payload for the header line.
+    """
+    path = Path(path)
+    if spans is None:
+        roots: list[Span] = []
+    elif isinstance(spans, Span):
+        roots = [spans]
+    else:
+        roots = list(spans)
+    header = {"type": "meta", "format_version": TRACE_FORMAT_VERSION}
+    header.update(meta or {})
+    with path.open("w") as handle:
+        handle.write(json.dumps(header, default=str) + "\n")
+        for root in roots:
+            for span in root.walk():
+                line = {"type": "span", **span_to_dict(span)}
+                handle.write(json.dumps(line, default=str) + "\n")
+        for event in events or ():
+            handle.write(json.dumps({"type": "event", **event.to_dict()}, default=str) + "\n")
+        for stat in stats or ():
+            handle.write(
+                json.dumps({"type": "superstep", **stat.to_dict()}, default=str) + "\n"
+            )
+    return path
+
+
+def read_trace(path: str | Path) -> TraceData:
+    """Load a JSONL trace back into a :class:`TraceData`.
+
+    Spans are re-linked into their tree; unknown line types are ignored
+    so the format can grow.
+    """
+    path = Path(path)
+    trace = TraceData()
+    by_id: dict[int, Span] = {}
+    with path.open() as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            line = json.loads(raw)
+            line_type = line.pop("type", None)
+            if line_type == "meta":
+                trace.meta = line
+            elif line_type == "span":
+                span = span_from_dict(line)
+                by_id[span.span_id] = span
+                parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+                if parent is not None:
+                    parent.children.append(span)
+                else:
+                    trace.spans.append(span)
+            elif line_type == "event":
+                trace.events.append(line)
+            elif line_type == "superstep":
+                trace.stats.append(line)
+    return trace

@@ -1,0 +1,110 @@
+"""Histogram summaries and timers for the upgraded metrics layer.
+
+:class:`repro.runtime.metrics.MetricsRegistry` keeps its flat counter API
+and gains gauges, histograms and timers; the distribution math lives here
+so it can be reused on raw value lists (e.g. when analysing an exported
+trace). Stdlib-only, imported by the runtime — keep it dependency-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``values`` via linear interpolation.
+
+    Matches ``numpy.percentile``'s default ("linear") method. Raises
+    :class:`ValueError` on an empty input.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Summary statistics of one histogram's observations.
+
+    Attributes:
+        count: number of observations.
+        total: sum of all observations.
+        minimum / maximum: range of the observations.
+        mean: arithmetic mean.
+        p50 / p95: the median and the 95th percentile (linear
+            interpolation, like numpy's default).
+    """
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    mean: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "HistogramStats":
+        """Summarize a non-empty sequence of observations."""
+        if not values:
+            raise ValueError("cannot summarize an empty histogram")
+        total = float(sum(values))
+        return cls(
+            count=len(values),
+            total=total,
+            minimum=float(min(values)),
+            maximum=float(max(values)),
+            mean=total / len(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form for JSON export."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+
+class Timer:
+    """Context manager that records a wall-clock duration observation.
+
+    ``registry`` must expose ``observe(name, value)`` — in practice a
+    :class:`repro.runtime.metrics.MetricsRegistry`. Wall-clock timings
+    never feed back into the simulation; they only describe where the
+    reproduction itself spends real time.
+    """
+
+    def __init__(self, registry: Any, name: str):
+        self._registry = registry
+        self._name = name
+        self._started: float | None = None
+        #: the last measured duration in seconds (after ``__exit__``).
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._started is not None:
+            self.elapsed = time.perf_counter() - self._started
+            self._registry.observe(self._name, self.elapsed)
+            self._started = None

@@ -1,0 +1,182 @@
+"""The recovery-cost profiler.
+
+Consumes a span tree (live or loaded from a JSONL trace) and attributes
+every simulated second of the run to exactly one of six categories::
+
+    compute       useful operator work outside any recovery activity
+    shuffle       network time outside any recovery activity
+    checkpoint    failure-free checkpoint I/O (the pessimistic premium)
+    rollback      restoring + re-placing state from a checkpoint
+    compensation  running a compensation function and rebuilding worksets
+    restart       re-reading inputs and restarting, plus the generic
+                  failure-handling costs (detection, worker acquisition)
+                  of failures that ended in a restart
+
+The attribution is a *partition*: each span's self-costs (its clock
+charges minus its children's) land in exactly one bucket, so the category
+totals sum to the run's total simulated time — the invariant the tests
+pin down. This is the "what did recovery strategy X actually cost"
+breakdown behind the paper's Figure 4/5 narrative.
+
+Attribution rules, outermost first:
+
+1. inside a ``CHECKPOINT`` / ``ROLLBACK`` / ``RESTART`` / ``COMPENSATION``
+   span, everything belongs to that phase (e.g. the network cost of
+   re-partitioning a compensated workset is *compensation*, not shuffle);
+2. inside a driver-level ``RECOVERY`` span, costs belong to the failure's
+   outcome category (its ``outcome`` attribute) until rule 1 refines them;
+3. otherwise the clock category decides: compute → compute, network →
+   shuffle, checkpoint_io → checkpoint, restore_io → rollback,
+   compensation → compensation, recovery → restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .span import Span, SpanKind
+
+#: the six profile categories, in report order.
+CATEGORIES = (
+    "compute",
+    "shuffle",
+    "checkpoint",
+    "rollback",
+    "compensation",
+    "restart",
+)
+
+#: rule 1 — phase spans claim all enclosed costs.
+_PHASE_CATEGORY = {
+    SpanKind.CHECKPOINT: "checkpoint",
+    SpanKind.ROLLBACK: "rollback",
+    SpanKind.RESTART: "restart",
+    SpanKind.COMPENSATION: "compensation",
+}
+
+#: rule 3 — fallback map from simulated-clock cost categories.
+_CLOCK_CATEGORY = {
+    "compute": "compute",
+    "network": "shuffle",
+    "checkpoint_io": "checkpoint",
+    "restore_io": "rollback",
+    "compensation": "compensation",
+    "recovery": "restart",
+}
+
+
+@dataclass
+class ProfileReport:
+    """The category breakdown of one traced run.
+
+    Attributes:
+        categories: simulated seconds per profile category (all six keys
+            always present, zero-filled).
+        total: total simulated seconds attributed (== the run's simulated
+            duration when profiling a complete run trace).
+        operator_compute: useful compute seconds per operator name —
+            the "where does time go per operator" answer.
+        num_spans: how many spans the profile covered.
+    """
+
+    categories: dict[str, float] = field(
+        default_factory=lambda: {category: 0.0 for category in CATEGORIES}
+    )
+    total: float = 0.0
+    operator_compute: dict[str, float] = field(default_factory=dict)
+    num_spans: int = 0
+
+    def fraction(self, category: str) -> float:
+        """Share of total simulated time spent in ``category``."""
+        if self.total <= 0.0:
+            return 0.0
+        return self.categories.get(category, 0.0) / self.total
+
+    def overhead(self) -> float:
+        """Simulated seconds spent on anything but useful compute+shuffle.
+
+        This is the number recovery-strategy comparisons care about: the
+        price of fault tolerance (checkpointing) plus the price actually
+        paid when failures struck (rollback / compensation / restart).
+        """
+        return self.total - self.categories["compute"] - self.categories["shuffle"]
+
+    def to_dict(self) -> dict:
+        return {
+            "categories": dict(self.categories),
+            "total": self.total,
+            "operator_compute": dict(self.operator_compute),
+            "num_spans": self.num_spans,
+        }
+
+
+def _outcome_category(span: Span) -> str | None:
+    outcome = span.attributes.get("outcome")
+    return outcome if outcome in CATEGORIES else None
+
+
+def profile_spans(spans: Span | Sequence[Span]) -> ProfileReport:
+    """Attribute a span forest's simulated costs to profile categories."""
+    roots = [spans] if isinstance(spans, Span) else list(spans)
+    report = ProfileReport()
+
+    def visit(span: Span, context: str | None) -> None:
+        report.num_spans += 1
+        if span.kind in _PHASE_CATEGORY:
+            context = _PHASE_CATEGORY[span.kind]
+        elif span.kind is SpanKind.RECOVERY:
+            context = _outcome_category(span) or context
+        for clock_category, seconds in span.self_costs().items():
+            category = context or _CLOCK_CATEGORY.get(clock_category, "compute")
+            report.categories[category] += seconds
+            report.total += seconds
+            if (
+                category == "compute"
+                and span.kind is SpanKind.OPERATOR
+                and clock_category == "compute"
+            ):
+                operator = span.attributes.get("operator", span.name)
+                report.operator_compute[operator] = (
+                    report.operator_compute.get(operator, 0.0) + seconds
+                )
+        for child in span.children:
+            visit(child, context)
+
+    for root in roots:
+        visit(root, None)
+    return report
+
+
+def profile_trace(path: str | Path) -> ProfileReport:
+    """Profile a JSONL trace file written by ``--trace-out``."""
+    from .export import read_trace
+
+    return profile_spans(read_trace(path).spans)
+
+
+def format_profile(report: ProfileReport, title: str = "recovery-cost profile") -> str:
+    """Render the breakdown as the CLI's aligned text table."""
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'category':<14} {'sim seconds':>14} {'share':>8}")
+    lines.append(f"{'-' * 14} {'-' * 14} {'-' * 8}")
+    for category in CATEGORIES:
+        seconds = report.categories[category]
+        lines.append(
+            f"{category:<14} {seconds:>14.6f} {report.fraction(category):>7.1%}"
+        )
+    lines.append(f"{'-' * 14} {'-' * 14} {'-' * 8}")
+    lines.append(f"{'total':<14} {report.total:>14.6f} {1.0 if report.total else 0.0:>7.1%}")
+    lines.append(f"{'overhead':<14} {report.overhead():>14.6f} "
+                 f"{(report.overhead() / report.total if report.total else 0.0):>7.1%}")
+    if report.operator_compute:
+        lines.append("")
+        lines.append("useful compute per operator")
+        lines.append("---------------------------")
+        width = max(len(name) for name in report.operator_compute)
+        for name, seconds in sorted(
+            report.operator_compute.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"{name:<{width}} {seconds:>14.6f}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""The span tree.
+
+A :class:`Span` is one timed region of a run. Spans nest — the engine
+produces a ``run → superstep → operator → partition`` tree (with extra
+recovery-phase spans below the superstep that a failure struck) — and
+every span carries *two* clocks:
+
+* the **simulated** interval (``sim_start``/``sim_end``), taken from the
+  :class:`repro.runtime.clock.SimulatedClock`, which is what experiments
+  reason about, and
+* the **wall-clock** duration (``wall_duration``), which tells you where
+  the reproduction itself spends real time.
+
+Additionally each span records the simulated cost-category deltas that
+accrued while it was open (``costs``, inclusive of children); the
+recovery-cost profiler (:mod:`repro.observability.profile`) turns those
+into the per-category breakdown.
+
+This module is self-contained (stdlib only) so the rest of the engine can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+class SpanKind(enum.Enum):
+    """What part of the engine a span covers.
+
+    The profiler keys off these: costs inside a ``CHECKPOINT`` /
+    ``ROLLBACK`` / ``RESTART`` / ``COMPENSATION`` span are attributed to
+    that recovery phase regardless of their low-level clock category.
+    """
+
+    RUN = "run"
+    SUPERSTEP = "superstep"
+    OPERATOR = "operator"
+    PARTITION = "partition"
+    RECOVERY = "recovery"
+    CHECKPOINT = "checkpoint"
+    ROLLBACK = "rollback"
+    RESTART = "restart"
+    COMPENSATION = "compensation"
+    PHASE = "phase"
+
+
+@dataclass
+class Span:
+    """One node of the span tree.
+
+    Attributes:
+        span_id: id unique within one trace (assigned by the tracer).
+        name: human-readable label, e.g. ``op:candidate-label``.
+        kind: the :class:`SpanKind`.
+        sim_start: simulated clock when the span opened.
+        sim_end: simulated clock when it closed (``None`` while open).
+        wall_start: ``time.perf_counter()`` at open (0.0 for spans
+            reconstructed from a trace file).
+        wall_end: ``time.perf_counter()`` at close, or ``None``.
+        parent_id: the enclosing span's id, or ``None`` for the root.
+        attributes: free-form payload (operator name, superstep index,
+            record counts, recovery outcome, ...).
+        costs: simulated seconds charged per cost-category *while this
+            span was open* — inclusive of child spans.
+        children: nested spans, in open order.
+    """
+
+    span_id: int
+    name: str
+    kind: SpanKind = SpanKind.PHASE
+    sim_start: float = 0.0
+    sim_end: float | None = None
+    wall_start: float = 0.0
+    wall_end: float | None = None
+    parent_id: int | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    costs: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    # -- timing ------------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        return self.sim_end is None
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds the span covers (0.0 while still open)."""
+        if self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall-clock seconds the span took (0.0 while still open)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    def self_costs(self) -> dict[str, float]:
+        """Category costs charged in this span *excluding* child spans."""
+        own = dict(self.costs)
+        for child in self.children:
+            for category, seconds in child.costs.items():
+                own[category] = own.get(category, 0.0) - seconds
+        return {cat: secs for cat, secs in own.items() if abs(secs) > 0.0}
+
+    def total_cost(self) -> float:
+        """Sum of all category costs (inclusive of children)."""
+        return sum(self.costs.values())
+
+    # -- attributes --------------------------------------------------------
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        self.attributes[name] = value
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: SpanKind) -> list["Span"]:
+        """All descendant spans (including self) of one kind."""
+        return [span for span in self.walk() if span.kind is kind]
+
+    def __repr__(self) -> str:
+        state = "open" if self.is_open else f"{self.sim_duration:.6f}s"
+        return f"Span(#{self.span_id} {self.name!r} {self.kind.value} {state})"

@@ -1,0 +1,206 @@
+"""Tracers: build the span tree, or cost nothing.
+
+Two implementations of the same small surface:
+
+* :class:`NoopTracer` — the default everywhere. Its :meth:`~Tracer.span`
+  context manager is a shared, reusable null object; no spans are
+  allocated, no clock is read, so an un-traced run is byte-identical to a
+  run on a build without tracing at all.
+* :class:`RecordingTracer` — builds :class:`repro.observability.span.Span`
+  trees. Bound to the run's :class:`repro.runtime.clock.SimulatedClock`
+  by the iteration driver, it stamps each span with simulated start/end
+  times, wall-clock durations, and the per-category cost deltas that
+  accrued while the span was open.
+
+Neither tracer ever *charges* the simulated clock — tracing observes the
+simulation, it must not perturb it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from .span import Span, SpanKind
+
+
+class _NullSpan:
+    """Stand-in yielded by the no-op tracer; swallows all annotation."""
+
+    __slots__ = ()
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        pass
+
+
+class _NullContext:
+    """A reusable context manager yielding the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """The tracing surface the engine calls into.
+
+    The base class *is* the no-op implementation; every method is safe to
+    call unconditionally from hot paths. Code that would do real work just
+    to feed the tracer (e.g. computing per-partition record counts) should
+    guard on :attr:`enabled` first.
+    """
+
+    #: True only for tracers that actually record.
+    enabled: bool = False
+
+    def bind(self, clock: Any) -> None:
+        """Attach the simulated clock that stamps span times.
+
+        Iteration drivers call this once per run, before the run span
+        opens. ``clock`` must expose ``now`` and ``accounts()``.
+        """
+
+    def span(self, name: str, kind: SpanKind = SpanKind.PHASE, **attributes: Any):
+        """Open a span as a context manager yielding the span object."""
+        return _NULL_CONTEXT
+
+    def point(self, name: str, kind: SpanKind = SpanKind.PHASE, **attributes: Any) -> None:
+        """Record an instantaneous child span of the currently open span."""
+
+    @property
+    def roots(self) -> list[Span]:
+        """Top-level spans recorded so far (empty for the no-op tracer)."""
+        return []
+
+    @property
+    def root(self) -> Span | None:
+        """The first top-level span (the run span), or ``None``."""
+        return None
+
+
+class NoopTracer(Tracer):
+    """Explicitly-named alias of the no-op base class."""
+
+
+#: the shared default tracer; safe to use from any number of runs at once
+#: because it keeps no state whatsoever.
+NOOP_TRACER = NoopTracer()
+
+
+class _SpanContext:
+    """Context manager that closes a recording span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "RecordingTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._close(self._span)
+
+
+class RecordingTracer(Tracer):
+    """Builds the span tree of one run.
+
+    A tracer instance is single-run: create a fresh one per run (or call
+    :meth:`reset` between runs). It is bound to the run's simulated clock
+    by the iteration driver; until then spans carry sim time 0.0.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._clock: Any = None
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._start_accounts: dict[int, dict[str, float]] = {}
+        self._next_id = 0
+
+    # -- Tracer surface ----------------------------------------------------
+
+    def bind(self, clock: Any) -> None:
+        self._clock = clock
+
+    def span(self, name: str, kind: SpanKind = SpanKind.PHASE, **attributes: Any):
+        span = self._open(name, kind, attributes)
+        return _SpanContext(self, span)
+
+    def point(self, name: str, kind: SpanKind = SpanKind.PHASE, **attributes: Any) -> None:
+        span = self._open(name, kind, attributes)
+        self._close(span)
+
+    @property
+    def roots(self) -> list[Span]:
+        return list(self._roots)
+
+    @property
+    def root(self) -> Span | None:
+        return self._roots[0] if self._roots else None
+
+    # -- recording machinery -----------------------------------------------
+
+    def _now(self) -> float:
+        return float(self._clock.now) if self._clock is not None else 0.0
+
+    def _accounts(self) -> dict[str, float]:
+        if self._clock is None:
+            return {}
+        return {category.value: secs for category, secs in self._clock.accounts().items()}
+
+    def _open(self, name: str, kind: SpanKind, attributes: dict[str, Any]) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            kind=kind,
+            sim_start=self._now(),
+            wall_start=time.perf_counter(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        self._stack.append(span)
+        self._start_accounts[span.span_id] = self._accounts()
+        return span
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            # Close any forgotten inner spans first so the tree stays sane
+            # even if an exception unwound past an un-exited context.
+            while self._stack and self._stack[-1] is not span:
+                self._close(self._stack[-1])
+            if not self._stack:
+                return
+        self._stack.pop()
+        span.sim_end = self._now()
+        span.wall_end = time.perf_counter()
+        started = self._start_accounts.pop(span.span_id, {})
+        current = self._accounts()
+        costs = {
+            category: secs - started.get(category, 0.0)
+            for category, secs in current.items()
+            if secs - started.get(category, 0.0) != 0.0
+        }
+        span.costs = costs
+
+    def reset(self) -> None:
+        """Drop all recorded spans (for reuse across runs in tests)."""
+        self._roots.clear()
+        self._stack.clear()
+        self._start_accounts.clear()
+        self._next_id = 0

@@ -29,7 +29,7 @@ from typing import Any, Iterable
 from ..algorithms.base import DeltaJob
 from ..core.compensation import CompensationContext, CompensationFunction
 from ..core.guarantees import KeySetPreserved
-from ..dataflow.datatypes import KeySpec, first_field, second_field
+from ..dataflow.datatypes import KeySpec, first_field
 from ..dataflow.plan import Plan
 from ..errors import GraphError
 from ..graph.graph import Graph

@@ -69,6 +69,14 @@ class SimulatedClock:
         """Return ``{category value: seconds}`` for all non-zero accounts."""
         return {cat.value: secs for cat, secs in sorted(self._accounts.items(), key=lambda kv: kv[0].value)}
 
+    def accounts(self) -> dict[CostCategory, float]:
+        """A copy of the raw per-category accounts.
+
+        Tracers snapshot this at span boundaries to attribute cost deltas
+        to spans; reading it never advances the clock.
+        """
+        return dict(self._accounts)
+
     # -- record-count helpers -------------------------------------------------
 
     def charge_compute(self, records: int) -> None:

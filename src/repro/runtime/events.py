@@ -9,7 +9,9 @@ which the demo controller, the tests and the benchmark reports all consume.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterator
 
 
@@ -45,6 +47,25 @@ class Event:
     kind: EventKind
     superstep: int = -1
     details: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the kind becomes its string value)."""
+        return {
+            "time": self.time,
+            "kind": self.kind.value,
+            "superstep": self.superstep,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            time=float(data["time"]),
+            kind=EventKind(data["kind"]),
+            superstep=int(data.get("superstep", -1)),
+            details=dict(data.get("details", {})),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         extra = f" {self.details}" if self.details else ""
@@ -100,3 +121,24 @@ class EventLog:
         for event in self._events:
             counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
         return counts
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the log as JSON Lines, one event per line, in order."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event.to_dict(), default=str) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "EventLog":
+        """Load a log written by :meth:`to_jsonl` (blank lines ignored)."""
+        log = cls()
+        with Path(path).open() as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if raw:
+                    log._events.append(Event.from_dict(json.loads(raw)))
+        return log

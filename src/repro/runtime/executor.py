@@ -16,7 +16,7 @@ applies to delta-iteration solution sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..dataflow.datatypes import KeySpec
@@ -36,6 +36,8 @@ from ..dataflow.operators import (
 )
 from ..dataflow.plan import Plan
 from ..errors import ExecutionError, PartitionLostError
+from ..observability.span import SpanKind
+from ..observability.tracer import NOOP_TRACER, Tracer
 from .clock import SimulatedClock
 from .metrics import MetricsRegistry
 from .partition import HashPartitioner
@@ -168,12 +170,15 @@ class PlanExecutor:
         clock: SimulatedClock | None = None,
         metrics: MetricsRegistry | None = None,
         combiners: bool = False,
+        tracer: Tracer | None = None,
     ):
         if parallelism < 1:
             raise ExecutionError(f"parallelism must be >= 1, got {parallelism}")
         self.parallelism = parallelism
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: span tracer; the default no-op records nothing and costs nothing.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         #: when True, reduce_by_key pre-folds each source partition
         #: before shuffling (Flink's combiners), shrinking network volume.
         #: The result is unchanged — the fold is associative by contract —
@@ -208,7 +213,16 @@ class PlanExecutor:
         self._check_bindings(plan, bindings)
         results: dict[int, PartitionedDataset] = {}
         for op in plan.topological_order():
-            results[op.op_id] = self._execute_operator(op, results, bindings)
+            with self.tracer.span(
+                f"op:{op.name}",
+                kind=SpanKind.OPERATOR,
+                operator=op.name,
+                op_kind=op.kind,
+            ) as span:
+                result = self._execute_operator(op, results, bindings)
+                if self.tracer.enabled:
+                    self._annotate_operator_span(span, result)
+            results[op.op_id] = result
         wanted = list(outputs) if outputs is not None else [op.name for op in plan.sinks()]
         produced = {}
         for name in wanted:
@@ -224,9 +238,25 @@ class PlanExecutor:
         this to keep state partitioned by the state key across supersteps.
         """
         dataset.require_complete(context)
-        return self._shuffle(dataset, key, context)
+        with self.tracer.span(
+            f"repartition:{context}", kind=SpanKind.OPERATOR, operator=context
+        ) as span:
+            result = self._shuffle(dataset, key, context)
+            if self.tracer.enabled:
+                self._annotate_operator_span(span, result)
+        return result
 
     # -- internals ---------------------------------------------------------------
+
+    def _annotate_operator_span(self, span, result: PartitionedDataset) -> None:
+        """Attach output cardinalities and per-partition child spans."""
+        sizes = result.partition_sizes()
+        span.set_attribute("records_out", result.num_records())
+        span.set_attribute("partition_sizes", sizes)
+        for pid, size in enumerate(sizes):
+            self.tracer.point(
+                f"partition:{pid}", kind=SpanKind.PARTITION, partition=pid, records=size
+            )
 
     def _check_bindings(self, plan: Plan, bindings: dict[str, PartitionedDataset]) -> None:
         for source in plan.sources():
@@ -261,6 +291,8 @@ class PlanExecutor:
                 moved += 1
         self.clock.charge_network(moved)
         self.metrics.increment(f"shuffled.{op_name}", moved)
+        self.metrics.observe("shuffle_volume", moved)
+        self.metrics.observe(f"shuffle_volume.{op_name}", moved)
         return PartitionedDataset(partitions=parts, partitioned_by=key)
 
     def _execute_operator(
@@ -419,6 +451,8 @@ class PlanExecutor:
         broadcast = right.all_records()
         self.clock.charge_network(len(broadcast) * self.parallelism)
         self.metrics.increment(f"shuffled.{op.name}", len(broadcast) * self.parallelism)
+        self.metrics.observe("shuffle_volume", len(broadcast) * self.parallelism)
+        self.metrics.observe(f"shuffle_volume.{op.name}", len(broadcast) * self.parallelism)
         pairs = left.num_records() * len(broadcast)
         self._count_in(op, pairs)
         parts: list[list[Any]] = []

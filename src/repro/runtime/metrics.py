@@ -17,22 +17,39 @@ count "messages").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..observability.metrics import HistogramStats, Timer
 
 
 class MetricsRegistry:
-    """A flat registry of named monotonic counters.
+    """A registry of named counters, gauges, histograms and timers.
 
     Counter names are free-form strings. The executor uses the convention
     ``records_in.<operator name>`` for per-operator input cardinalities and
     ``shuffled.<operator name>`` for exchange volumes, which lets the demo
     read off "messages per iteration" as the input count of the paper's
     ``candidate-label`` reduce.
+
+    Counters are the original (and still primary) surface —
+    :meth:`increment` / :meth:`get` / :meth:`snapshot` / :meth:`diff`
+    behave exactly as they always did and see only counters. On top of
+    them the registry now keeps:
+
+    * **gauges** (:meth:`set_gauge`) — last-write-wins instantaneous
+      values, e.g. the delta iteration's current workset size;
+    * **histograms** (:meth:`observe`) — value distributions summarized
+      as count/min/max/mean/p50/p95 (:meth:`histogram`), e.g. per-shuffle
+      exchange volumes;
+    * **timers** (:meth:`timer`) — wall-clock context managers whose
+      durations land in the histogram of the same name.
     """
 
     def __init__(self) -> None:
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, list[float]] = {}
 
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
@@ -60,9 +77,59 @@ class MetricsRegistry:
             if value != earlier.get(name, 0)
         }
 
+    # -- gauges ----------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float | None = None) -> float | None:
+        """Current value of gauge ``name`` (``default`` if never set)."""
+        return self._gauges.get(name, default)
+
+    def gauges(self) -> dict[str, float]:
+        """A copy of all gauges."""
+        return dict(self._gauges)
+
+    # -- histograms and timers -------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        self._histograms.setdefault(name, []).append(value)
+
+    def histogram(self, name: str) -> HistogramStats | None:
+        """Summary stats of histogram ``name`` (``None`` if unobserved)."""
+        values = self._histograms.get(name)
+        return HistogramStats.of(values) if values else None
+
+    def histogram_values(self, name: str) -> list[float]:
+        """The raw observations of histogram ``name``, in order."""
+        return list(self._histograms.get(name, []))
+
+    def histograms(self) -> dict[str, HistogramStats]:
+        """Summary stats of every non-empty histogram."""
+        return {
+            name: HistogramStats.of(values)
+            for name, values in sorted(self._histograms.items())
+            if values
+        }
+
+    def timer(self, name: str) -> Timer:
+        """A context manager observing its wall-clock duration into the
+        histogram ``name``::
+
+            with metrics.timer("superstep_wall_seconds"):
+                ...
+        """
+        return Timer(self, name)
+
+    # -- lifecycle ---------------------------------------------------------------
+
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter, gauge and histogram."""
         self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
 
 
 @dataclass
@@ -108,6 +175,24 @@ class IterationStats:
     def sim_duration(self) -> float:
         """Simulated seconds spent in this superstep."""
         return self.sim_time_end - self.sim_time_start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for the structured trace exporter."""
+        return {
+            "superstep": self.superstep,
+            "messages": self.messages,
+            "updates": self.updates,
+            "converged": self.converged,
+            "l1_delta": self.l1_delta,
+            "workset_size": self.workset_size,
+            "sim_time_start": self.sim_time_start,
+            "sim_time_end": self.sim_time_end,
+            "sim_duration": self.sim_duration,
+            "failed": self.failed,
+            "compensated": self.compensated,
+            "rolled_back": self.rolled_back,
+            "restarted": self.restarted,
+        }
 
 
 class StatsSeries:

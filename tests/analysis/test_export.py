@@ -39,6 +39,19 @@ class TestSeriesToCsv:
         path = series_to_csv([Series.of("d", [1.0, math.inf])], tmp_path / "inf.csv")
         assert read_csv_columns(path)["d"] == ["1.0", "inf"]
 
+    def test_nan_cells_are_empty(self, tmp_path):
+        path = series_to_csv([Series.of("d", [1.0, math.nan])], tmp_path / "nan.csv")
+        assert read_csv_columns(path)["d"] == ["1.0", ""]
+
+    def test_missing_value_round_trip(self, tmp_path):
+        # None, nan (both "no measurement") come back as empty cells;
+        # signed infinities survive as spelled-out words.
+        path = series_to_csv(
+            [Series.of("v", [None, math.nan, math.inf, -math.inf, 2.5])],
+            tmp_path / "missing.csv",
+        )
+        assert read_csv_columns(path)["v"] == ["", "", "inf", "-inf", "2.5"]
+
 
 class TestResultToCsv:
     def test_full_run_export(self, tmp_path):

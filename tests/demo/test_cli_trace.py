@@ -1,0 +1,97 @@
+"""Tests for the CLI's tracing surface: --trace-out and the profile
+subcommand."""
+
+import json
+
+import pytest
+
+from repro.demo.cli import main
+from repro.observability.export import read_trace
+from repro.observability.profile import CATEGORIES, profile_trace
+from repro.observability.span import SpanKind
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "--algorithm",
+            "pagerank",
+            "--graph",
+            "small",
+            "--fail",
+            "3:0",
+            "--recovery",
+            "optimistic",
+            "--trace-out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestTraceOut:
+    def test_writes_announced_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["--fail", "2:0", "--trace-out", str(path)]) == 0
+        assert path.exists()
+        assert f"trace written to {path}" in capsys.readouterr().out
+        for raw in path.read_text().splitlines():
+            json.loads(raw)
+
+    def test_trace_nests_run_superstep_operator(self, trace_path):
+        trace = read_trace(trace_path)
+        run = trace.root
+        assert run.kind is SpanKind.RUN
+        supersteps = [s for s in run.children if s.kind is SpanKind.SUPERSTEP]
+        assert len(supersteps) == trace.meta["supersteps"]
+        operators = [
+            s for s in supersteps[0].children if s.kind is SpanKind.OPERATOR
+        ]
+        assert operators, "superstep spans must contain operator spans"
+        partitions = [
+            s for s in operators[0].children if s.kind is SpanKind.PARTITION
+        ]
+        assert len(partitions) == trace.meta["parallelism"]
+
+    def test_trace_carries_meta_events_and_stats(self, trace_path):
+        trace = read_trace(trace_path)
+        assert trace.meta["algorithm"] == "pagerank"
+        assert trace.meta["recovery"] == "optimistic"
+        assert trace.meta["converged"] is True
+        assert any(event["kind"] == "failure" for event in trace.events)
+        assert len(trace.stats) == trace.meta["supersteps"]
+
+    def test_recovery_span_present_for_failed_superstep(self, trace_path):
+        trace = read_trace(trace_path)
+        recovery_spans = trace.root.find(SpanKind.RECOVERY)
+        assert len(recovery_spans) == 1
+        assert recovery_spans[0].attributes["outcome"] == "compensation"
+
+    def test_categories_sum_to_run_simulated_time(self, trace_path):
+        trace = read_trace(trace_path)
+        report = profile_trace(trace_path)
+        assert sum(report.categories.values()) == pytest.approx(report.total)
+        assert report.total == pytest.approx(trace.meta["sim_time"])
+
+
+class TestProfileSubcommand:
+    def test_prints_breakdown(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["profile", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        for category in CATEGORIES:
+            assert category in out
+        assert "useful compute per operator" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().out
+
+
+def test_no_trace_flag_records_nothing(tmp_path, capsys):
+    assert main(["--fail", "2:0"]) == 0
+    assert "trace written" not in capsys.readouterr().out
+    assert list(tmp_path.iterdir()) == []

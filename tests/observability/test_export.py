@@ -1,0 +1,117 @@
+"""Tests for JSONL trace export and re-import."""
+
+import json
+
+from repro.observability.export import (
+    TRACE_FORMAT_VERSION,
+    read_trace,
+    span_from_dict,
+    span_to_dict,
+    trace_to_jsonl,
+)
+from repro.observability.span import Span, SpanKind
+from repro.observability.tracer import RecordingTracer
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.metrics import IterationStats
+
+
+def _recorded_tree() -> RecordingTracer:
+    clock = SimulatedClock()
+    tracer = RecordingTracer()
+    tracer.bind(clock)
+    with tracer.span("run", kind=SpanKind.RUN, job="toy"):
+        with tracer.span("superstep:0", kind=SpanKind.SUPERSTEP, superstep=0):
+            clock.charge_compute(10)
+            with tracer.span("op:map", kind=SpanKind.OPERATOR, operator="map"):
+                clock.charge_network(5)
+    return tracer
+
+
+class TestSpanDictRoundTrip:
+    def test_round_trip_preserves_identity_fields(self):
+        original = _recorded_tree().root.children[0].children[0]
+        rebuilt = span_from_dict(span_to_dict(original))
+        assert rebuilt.span_id == original.span_id
+        assert rebuilt.parent_id == original.parent_id
+        assert rebuilt.name == original.name
+        assert rebuilt.kind is original.kind
+        assert rebuilt.sim_start == original.sim_start
+        assert rebuilt.sim_end == original.sim_end
+        assert rebuilt.attributes == original.attributes
+        assert rebuilt.costs == original.costs
+
+    def test_wall_time_collapses_to_duration(self):
+        original = _recorded_tree().root
+        rebuilt = span_from_dict(span_to_dict(original))
+        assert rebuilt.wall_start == 0.0
+        assert rebuilt.wall_duration == original.wall_duration
+
+    def test_open_span_exports_zero_duration(self):
+        data = span_to_dict(Span(span_id=0, name="open", sim_start=2.0))
+        assert data["sim_end"] == 2.0
+
+
+class TestTraceFileRoundTrip:
+    def test_span_tree_round_trip(self, tmp_path):
+        tracer = _recorded_tree()
+        path = trace_to_jsonl(tracer.root, tmp_path / "trace.jsonl")
+        trace = read_trace(path)
+        assert trace.meta["format_version"] == TRACE_FORMAT_VERSION
+        assert trace.root.name == "run"
+        original_names = [s.name for s in tracer.root.walk()]
+        assert [s.name for s in trace.root.walk()] == original_names
+        original_costs = [s.costs for s in tracer.root.walk()]
+        assert [s.costs for s in trace.root.walk()] == original_costs
+
+    def test_events_and_stats_lines(self, tmp_path):
+        log = EventLog()
+        log.record(EventKind.FAILURE, time=1.0, superstep=2, workers=[0])
+        stats = [IterationStats(superstep=0, messages=7)]
+        path = trace_to_jsonl(
+            None,
+            tmp_path / "trace.jsonl",
+            events=log,
+            stats=stats,
+            meta={"algorithm": "pagerank"},
+        )
+        trace = read_trace(path)
+        assert trace.spans == []
+        assert trace.meta["algorithm"] == "pagerank"
+        assert trace.events[0]["kind"] == "failure"
+        assert trace.stats[0]["messages"] == 7
+
+    def test_multiple_roots(self, tmp_path):
+        tracer = RecordingTracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        trace = read_trace(trace_to_jsonl(tracer.roots, tmp_path / "t.jsonl"))
+        assert [s.name for s in trace.spans] == ["first", "second"]
+
+    def test_unknown_line_types_ignored(self, tmp_path):
+        path = trace_to_jsonl(None, tmp_path / "t.jsonl")
+        with path.open("a") as handle:
+            handle.write(json.dumps({"type": "future-extension", "x": 1}) + "\n")
+            handle.write("\n")
+        trace = read_trace(path)
+        assert trace.spans == []
+        assert trace.events == []
+
+    def test_lines_are_valid_json_objects(self, tmp_path):
+        path = trace_to_jsonl(_recorded_tree().root, tmp_path / "t.jsonl")
+        for raw in path.read_text().splitlines():
+            line = json.loads(raw)
+            assert "type" in line
+
+    def test_parents_precede_children(self, tmp_path):
+        path = trace_to_jsonl(_recorded_tree().root, tmp_path / "t.jsonl")
+        seen = set()
+        for raw in path.read_text().splitlines():
+            line = json.loads(raw)
+            if line["type"] != "span":
+                continue
+            if line["parent_id"] is not None:
+                assert line["parent_id"] in seen
+            seen.add(line["span_id"])

@@ -1,0 +1,160 @@
+"""Tests for the upgraded metrics layer (gauges, histograms, timers)."""
+
+import pytest
+
+from repro.observability.metrics import HistogramStats, Timer, percentile
+from repro.runtime.metrics import MetricsRegistry
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_p95_matches_numpy_linear_method(self):
+        values = list(range(1, 21))  # 1..20
+        # numpy.percentile(values, 95) == 19.05
+        assert percentile(values, 0.95) == pytest.approx(19.05)
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestHistogramStats:
+    def test_summary_fields(self):
+        stats = HistogramStats.of([4.0, 1.0, 3.0, 2.0])
+        assert stats.count == 4
+        assert stats.total == 10.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == 2.5
+        assert stats.p50 == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            HistogramStats.of([])
+
+    def test_to_dict_round_trips_keys(self):
+        data = HistogramStats.of([1.0, 2.0]).to_dict()
+        assert set(data) == {"count", "total", "min", "max", "mean", "p50", "p95"}
+
+
+class TestRegistryCounters:
+    """The original counter surface must behave exactly as before."""
+
+    def test_increment_and_get(self):
+        metrics = MetricsRegistry()
+        assert metrics.increment("records_in.map") == 1
+        assert metrics.increment("records_in.map", 4) == 5
+        assert metrics.get("records_in.map") == 5
+        assert metrics.get("never") == 0
+
+    def test_snapshot_and_diff_see_only_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("a", 2)
+        before = metrics.snapshot()
+        metrics.increment("a", 3)
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        assert metrics.diff(before) == {"a": 3}
+        assert metrics.snapshot() == {"a": 5}
+
+    def test_names_sorted(self):
+        metrics = MetricsRegistry()
+        metrics.increment("b")
+        metrics.increment("a")
+        assert metrics.names() == ["a", "b"]
+
+
+class TestRegistryGauges:
+    def test_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("workset_size", 10)
+        metrics.set_gauge("workset_size", 4)
+        assert metrics.gauge("workset_size") == 4
+
+    def test_default_for_unset(self):
+        metrics = MetricsRegistry()
+        assert metrics.gauge("missing") is None
+        assert metrics.gauge("missing", 0.0) == 0.0
+
+    def test_gauges_copy(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("x", 1.0)
+        copy = metrics.gauges()
+        copy["x"] = 99.0
+        assert metrics.gauge("x") == 1.0
+
+
+class TestRegistryHistograms:
+    def test_observe_and_summarize(self):
+        metrics = MetricsRegistry()
+        for value in [10.0, 30.0, 20.0]:
+            metrics.observe("shuffle_volume", value)
+        stats = metrics.histogram("shuffle_volume")
+        assert stats.count == 3
+        assert stats.maximum == 30.0
+        assert stats.p50 == 20.0
+
+    def test_unobserved_is_none(self):
+        assert MetricsRegistry().histogram("nothing") is None
+
+    def test_raw_values_preserved_in_order(self):
+        metrics = MetricsRegistry()
+        metrics.observe("h", 2.0)
+        metrics.observe("h", 1.0)
+        assert metrics.histogram_values("h") == [2.0, 1.0]
+
+    def test_histograms_summary_map(self):
+        metrics = MetricsRegistry()
+        metrics.observe("b", 1.0)
+        metrics.observe("a", 2.0)
+        summaries = metrics.histograms()
+        assert list(summaries) == ["a", "b"]
+        assert all(isinstance(s, HistogramStats) for s in summaries.values())
+
+
+class TestTimer:
+    def test_timer_observes_wall_duration(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("step_wall") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+        stats = metrics.histogram("step_wall")
+        assert stats.count == 1
+        assert stats.total == timer.elapsed
+
+    def test_timer_is_reusable(self):
+        metrics = MetricsRegistry()
+        timer = Timer(metrics, "t")
+        with timer:
+            pass
+        with timer:
+            pass
+        assert metrics.histogram("t").count == 2
+
+
+def test_reset_clears_all_three_families():
+    metrics = MetricsRegistry()
+    metrics.increment("c")
+    metrics.set_gauge("g", 1.0)
+    metrics.observe("h", 1.0)
+    metrics.reset()
+    assert metrics.snapshot() == {}
+    assert metrics.gauges() == {}
+    assert metrics.histogram("h") is None

@@ -1,0 +1,229 @@
+"""Tests for the recovery-cost profiler.
+
+The load-bearing invariant (an acceptance criterion of the observability
+PR): the six profile categories are a *partition* of the run's simulated
+time — they sum to the total, for every recovery strategy.
+"""
+
+import pytest
+
+from repro.algorithms import connected_components, pagerank
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.incremental import IncrementalCheckpointRecovery
+from repro.core.restart import RestartRecovery
+from repro.graph import demo_graph, demo_pagerank_graph
+from repro.observability.profile import (
+    CATEGORIES,
+    format_profile,
+    profile_spans,
+    profile_trace,
+)
+from repro.observability.span import Span, SpanKind
+from repro.observability.tracer import RecordingTracer
+from repro.runtime import FailureSchedule
+
+CONFIG = EngineConfig(parallelism=4, spare_workers=8)
+
+
+def _traced_run(job_factory, graph, recovery_factory, failures):
+    job = job_factory(graph)
+    tracer = RecordingTracer()
+    recovery = recovery_factory(job)
+    result = job.run(
+        config=CONFIG, recovery=recovery, failures=failures, tracer=tracer
+    )
+    return result, tracer
+
+
+class TestAttributionRules:
+    def test_phase_span_claims_enclosed_costs(self):
+        # network cost inside a COMPENSATION span is compensation, not shuffle
+        root = Span(span_id=0, name="run", kind=SpanKind.RUN, costs={"network": 3.0})
+        comp = Span(
+            span_id=1,
+            name="compensation",
+            kind=SpanKind.COMPENSATION,
+            costs={"network": 3.0},
+        )
+        root.children.append(comp)
+        report = profile_spans(root)
+        assert report.categories["compensation"] == 3.0
+        assert report.categories["shuffle"] == 0.0
+
+    def test_recovery_span_uses_outcome_attribute(self):
+        root = Span(span_id=0, name="run", kind=SpanKind.RUN, costs={"recovery": 2.0})
+        rec = Span(
+            span_id=1,
+            name="recovery",
+            kind=SpanKind.RECOVERY,
+            attributes={"outcome": "rollback"},
+            costs={"recovery": 2.0},
+        )
+        root.children.append(rec)
+        report = profile_spans(root)
+        assert report.categories["rollback"] == 2.0
+
+    def test_clock_category_fallback(self):
+        span = Span(
+            span_id=0,
+            name="run",
+            kind=SpanKind.RUN,
+            costs={
+                "compute": 1.0,
+                "network": 2.0,
+                "checkpoint_io": 3.0,
+                "restore_io": 4.0,
+                "compensation": 5.0,
+                "recovery": 6.0,
+            },
+        )
+        report = profile_spans(span)
+        assert report.categories == {
+            "compute": 1.0,
+            "shuffle": 2.0,
+            "checkpoint": 3.0,
+            "rollback": 4.0,
+            "compensation": 5.0,
+            "restart": 6.0,
+        }
+
+    def test_operator_compute_breakdown(self):
+        root = Span(span_id=0, name="run", kind=SpanKind.RUN, costs={"compute": 3.0})
+        op = Span(
+            span_id=1,
+            name="op:map",
+            kind=SpanKind.OPERATOR,
+            attributes={"operator": "map"},
+            costs={"compute": 2.0},
+        )
+        root.children.append(op)
+        report = profile_spans(root)
+        assert report.operator_compute == {"map": 2.0}
+        assert report.categories["compute"] == 3.0
+
+    def test_empty_profile(self):
+        report = profile_spans([])
+        assert report.total == 0.0
+        assert report.fraction("compute") == 0.0
+        assert all(report.categories[c] == 0.0 for c in CATEGORIES)
+
+
+SCENARIOS = [
+    pytest.param(
+        pagerank,
+        demo_pagerank_graph(),
+        lambda job: job.optimistic(),
+        "compensation",
+        id="pagerank-optimistic",
+    ),
+    pytest.param(
+        pagerank,
+        demo_pagerank_graph(),
+        lambda job: CheckpointRecovery(interval=2),
+        "rollback",
+        id="pagerank-checkpoint",
+    ),
+    pytest.param(
+        pagerank,
+        demo_pagerank_graph(),
+        lambda job: RestartRecovery(),
+        "restart",
+        id="pagerank-restart",
+    ),
+    pytest.param(
+        connected_components,
+        demo_graph(),
+        lambda job: job.optimistic(),
+        "compensation",
+        id="cc-optimistic",
+    ),
+    pytest.param(
+        connected_components,
+        demo_graph(),
+        lambda job: IncrementalCheckpointRecovery(),
+        "rollback",
+        id="cc-incremental",
+    ),
+]
+
+
+class TestCategoriesPartitionSimulatedTime:
+    """The acceptance criterion: the six categories sum to the total."""
+
+    @pytest.mark.parametrize("factory, graph, recovery, expected", SCENARIOS)
+    def test_sum_equals_total_simulated_time(self, factory, graph, recovery, expected):
+        result, tracer = _traced_run(
+            factory, graph, recovery, FailureSchedule.single(2, [0])
+        )
+        report = profile_spans(tracer.roots)
+        assert sum(report.categories.values()) == pytest.approx(report.total)
+        assert report.total == pytest.approx(result.clock.now)
+
+    @pytest.mark.parametrize("factory, graph, recovery, expected", SCENARIOS)
+    def test_failure_cost_lands_in_outcome_category(
+        self, factory, graph, recovery, expected
+    ):
+        result, tracer = _traced_run(
+            factory, graph, recovery, FailureSchedule.single(2, [0])
+        )
+        report = profile_spans(tracer.roots)
+        assert report.categories[expected] > 0.0
+
+    def test_failure_free_run_is_compute_and_shuffle_only(self):
+        result, tracer = _traced_run(
+            pagerank, demo_pagerank_graph(), lambda job: job.optimistic(), None
+        )
+        report = profile_spans(tracer.roots)
+        assert report.total == pytest.approx(result.clock.now)
+        assert report.overhead() == pytest.approx(0.0)
+
+    def test_checkpoint_strategy_pays_failure_free_premium(self):
+        _, tracer = _traced_run(
+            connected_components,
+            demo_graph(),
+            lambda job: CheckpointRecovery(interval=1),
+            None,
+        )
+        report = profile_spans(tracer.roots)
+        assert report.categories["checkpoint"] > 0.0
+        assert report.overhead() == pytest.approx(report.categories["checkpoint"])
+
+
+class TestProfileOutput:
+    def test_profile_trace_round_trip(self, tmp_path):
+        from repro.observability.export import trace_to_jsonl
+
+        result, tracer = _traced_run(
+            pagerank,
+            demo_pagerank_graph(),
+            lambda job: job.optimistic(),
+            FailureSchedule.single(2, [0]),
+        )
+        live = profile_spans(tracer.roots)
+        path = trace_to_jsonl(tracer.roots, tmp_path / "trace.jsonl")
+        loaded = profile_trace(path)
+        assert loaded.total == pytest.approx(live.total)
+        for category in CATEGORIES:
+            assert loaded.categories[category] == pytest.approx(
+                live.categories[category]
+            )
+
+    def test_format_profile_lists_all_categories(self):
+        _, tracer = _traced_run(
+            connected_components, demo_graph(), lambda job: job.optimistic(), None
+        )
+        text = format_profile(profile_spans(tracer.roots), title="cc run")
+        assert text.startswith("cc run")
+        for category in CATEGORIES:
+            assert category in text
+        assert "total" in text
+        assert "useful compute per operator" in text
+
+    def test_report_to_dict(self):
+        _, tracer = _traced_run(
+            connected_components, demo_graph(), lambda job: job.optimistic(), None
+        )
+        data = profile_spans(tracer.roots).to_dict()
+        assert set(data) == {"categories", "total", "operator_compute", "num_spans"}
+        assert data["num_spans"] > 0

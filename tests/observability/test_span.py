@@ -1,0 +1,78 @@
+"""Tests for the span tree data structure."""
+
+from repro.observability.span import Span, SpanKind
+
+
+def _tree() -> Span:
+    root = Span(span_id=0, name="run", kind=SpanKind.RUN, sim_start=0.0, sim_end=10.0)
+    step = Span(
+        span_id=1,
+        name="superstep:0",
+        kind=SpanKind.SUPERSTEP,
+        sim_start=0.0,
+        sim_end=10.0,
+        parent_id=0,
+    )
+    op = Span(
+        span_id=2,
+        name="op:map",
+        kind=SpanKind.OPERATOR,
+        sim_start=0.0,
+        sim_end=4.0,
+        parent_id=1,
+    )
+    root.children.append(step)
+    step.children.append(op)
+    return root
+
+
+def test_sim_duration():
+    span = Span(span_id=0, name="x", sim_start=1.5, sim_end=4.0)
+    assert span.sim_duration == 2.5
+
+
+def test_open_span_has_zero_duration():
+    span = Span(span_id=0, name="x", sim_start=1.5)
+    assert span.is_open
+    assert span.sim_duration == 0.0
+    assert span.wall_duration == 0.0
+
+
+def test_walk_is_preorder():
+    names = [span.name for span in _tree().walk()]
+    assert names == ["run", "superstep:0", "op:map"]
+
+
+def test_find_by_kind():
+    root = _tree()
+    assert [s.name for s in root.find(SpanKind.OPERATOR)] == ["op:map"]
+    assert [s.name for s in root.find(SpanKind.RUN)] == ["run"]
+
+
+def test_self_costs_subtracts_children():
+    root = Span(
+        span_id=0,
+        name="outer",
+        costs={"compute": 5.0, "network": 2.0},
+    )
+    child = Span(span_id=1, name="inner", costs={"compute": 3.0})
+    root.children.append(child)
+    assert root.self_costs() == {"compute": 2.0, "network": 2.0}
+    assert child.self_costs() == {"compute": 3.0}
+
+
+def test_self_costs_drops_zero_categories():
+    root = Span(span_id=0, name="outer", costs={"compute": 3.0})
+    root.children.append(Span(span_id=1, name="inner", costs={"compute": 3.0}))
+    assert root.self_costs() == {}
+
+
+def test_total_cost():
+    span = Span(span_id=0, name="x", costs={"compute": 1.0, "network": 0.5})
+    assert span.total_cost() == 1.5
+
+
+def test_set_attribute():
+    span = Span(span_id=0, name="x")
+    span.set_attribute("records", 42)
+    assert span.attributes == {"records": 42}

@@ -77,3 +77,66 @@ def test_events_are_value_comparable_modulo_details():
 def test_default_superstep_is_outside_iterations():
     event = EventLog().record(EventKind.TERMINATED, time=0.0)
     assert event.superstep == -1
+
+
+class TestEmptyLog:
+    def test_summary_is_empty(self):
+        assert EventLog().summary() == {}
+
+    def test_of_kind_is_empty(self):
+        assert EventLog().of_kind(EventKind.FAILURE) == []
+
+    def test_in_superstep_is_empty(self):
+        assert EventLog().in_superstep(0) == []
+
+    def test_failures_is_empty(self):
+        assert EventLog().failures() == []
+
+
+def test_in_superstep_minus_one_finds_out_of_iteration_events():
+    log = _log_with_samples()
+    log.record(EventKind.TERMINATED, time=3.0)
+    outside = log.in_superstep(-1)
+    assert [e.kind for e in outside] == [EventKind.TERMINATED]
+
+
+class TestEventSerialization:
+    def test_to_dict_uses_string_kind(self):
+        event = Event(time=1.5, kind=EventKind.ROLLBACK, superstep=4, details={"x": 1})
+        data = event.to_dict()
+        assert data == {
+            "time": 1.5,
+            "kind": "rollback",
+            "superstep": 4,
+            "details": {"x": 1},
+        }
+
+    def test_from_dict_round_trip(self):
+        event = Event(time=2.0, kind=EventKind.FAILURE, superstep=1, details={"w": [0]})
+        rebuilt = Event.from_dict(event.to_dict())
+        assert rebuilt == event
+        assert rebuilt.details == event.details
+
+    def test_from_dict_defaults(self):
+        event = Event.from_dict({"time": 0.0, "kind": "terminated"})
+        assert event.superstep == -1
+        assert event.details == {}
+
+
+class TestEventLogJsonl:
+    def test_round_trip(self, tmp_path):
+        log = _log_with_samples()
+        path = log.to_jsonl(tmp_path / "events.jsonl")
+        rebuilt = EventLog.from_jsonl(path)
+        assert len(rebuilt) == len(log)
+        assert list(rebuilt) == list(log)
+        assert [e.details for e in rebuilt] == [e.details for e in log]
+
+    def test_empty_log_round_trip(self, tmp_path):
+        path = EventLog().to_jsonl(tmp_path / "empty.jsonl")
+        assert len(EventLog.from_jsonl(path)) == 0
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = _log_with_samples().to_jsonl(tmp_path / "events.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert len(EventLog.from_jsonl(path)) == 5

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.demo",
     "repro.graph",
     "repro.iteration",
+    "repro.observability",
     "repro.pregel",
     "repro.runtime",
 ]
