@@ -87,6 +87,12 @@ class EngineConfig:
         strict_iterations: when True, exceeding ``max_supersteps`` without
             convergence raises :class:`repro.errors.TerminationError`
             instead of returning the best-effort state.
+        state_backend: how the delta-iteration driver maintains its
+            solution set: ``"keyed"`` (default) keeps per-partition hash
+            indexes and applies deltas in place in O(|delta|);
+            ``"rebuild"`` re-builds a dict over the full solution set
+            every superstep (the legacy implementation, kept for
+            equivalence testing and benchmarks). Results are identical.
     """
 
     parallelism: int = 4
@@ -96,6 +102,7 @@ class EngineConfig:
     combiners: bool = False
     seed: int = 42
     strict_iterations: bool = False
+    state_backend: str = "keyed"
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -111,6 +118,10 @@ class EngineConfig:
                 f"parallelism ({self.parallelism}) must be divisible by "
                 f"partitions_per_worker ({self.partitions_per_worker})"
             )
+        if self.state_backend not in ("keyed", "rebuild"):
+            raise ConfigError(
+                f"state_backend must be 'keyed' or 'rebuild', got {self.state_backend!r}"
+            )
         self.cost_model.validate()
 
     @property
@@ -125,6 +136,10 @@ class EngineConfig:
     def with_spares(self, spare_workers: int) -> "EngineConfig":
         """Return a copy with a different spare-worker pool size."""
         return replace(self, spare_workers=spare_workers)
+
+    def with_state_backend(self, state_backend: str) -> "EngineConfig":
+        """Return a copy with a different solution-set state backend."""
+        return replace(self, state_backend=state_backend)
 
 
 DEFAULT_CONFIG = EngineConfig()

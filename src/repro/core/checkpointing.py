@@ -66,7 +66,12 @@ class CheckpointRecovery(RecoveryStrategy):
         if (superstep + 1) % self.interval != 0:
             return
         with ctx.tracer.span(
-            "checkpoint-write", kind=SpanKind.CHECKPOINT, superstep=superstep
+            "checkpoint-write",
+            kind=SpanKind.CHECKPOINT,
+            superstep=superstep,
+            state_backend=(
+                ctx.state_backend.name if ctx.state_backend is not None else "none"
+            ),
         ) as span:
             records = 0
             for pid, partition in enumerate(state.partitions):

@@ -64,6 +64,11 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
 
     # -- hooks ------------------------------------------------------------------
 
+    def on_start(self, ctx: RecoveryContext) -> None:
+        backend = ctx.state_backend
+        if backend is not None and backend.supports_change_tracking:
+            backend.enable_change_tracking()
+
     def on_superstep_committed(
         self,
         ctx: RecoveryContext,
@@ -75,11 +80,14 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
             raise IterationError(
                 "IncrementalCheckpointRecovery requires a delta iteration"
             )
+        backend = ctx.state_backend
+        tracking = backend is not None and backend.change_tracking_enabled
         with ctx.tracer.span(
             "checkpoint-write",
             kind=SpanKind.CHECKPOINT,
             superstep=superstep,
             incremental=True,
+            state_backend=backend.name if backend is not None else "none",
         ) as span:
             written = 0
             if self._base_superstep is None:
@@ -89,6 +97,17 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
                         self._base_key(ctx, pid), records or []
                     )
                 self._base_superstep = superstep
+                if tracking:
+                    # the base IS the committed state; restart the change log
+                    backend.clear_changes()
+            elif tracking:
+                # the backend recorded exactly which records changed since
+                # the last commit — no full-state scan needed
+                for pid, changed in enumerate(backend.drain_changes()):
+                    written += ctx.storage.write(
+                        self._delta_key(ctx, superstep, pid), changed
+                    )
+                self._delta_supersteps.append(superstep)
             else:
                 assert self._last_state is not None
                 for pid, records in enumerate(state.partitions):
@@ -106,10 +125,11 @@ class IncrementalCheckpointRecovery(RecoveryStrategy):
                 written += ctx.storage.write(
                     self._workset_key(ctx, pid), records or []
                 )
-            self._last_state = [
-                {ctx.state_key(record): record for record in (records or [])}
-                for records in state.partitions
-            ]
+            if not tracking:
+                self._last_state = [
+                    {ctx.state_key(record): record for record in (records or [])}
+                    for records in state.partitions
+                ]
             self.records_written += written
             span.set_attribute("records", written)
         ctx.cluster.events.record(

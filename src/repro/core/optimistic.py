@@ -74,6 +74,9 @@ class OptimisticRecovery(RecoveryStrategy):
             kind=SpanKind.COMPENSATION,
             superstep=superstep,
             compensation=self.compensation.name,
+            state_backend=(
+                ctx.state_backend.name if ctx.state_backend is not None else "none"
+            ),
         ) as span:
             aggregate = self.compensation.prepare(state, lost_partitions, comp_ctx)
             new_partitions: list[list | None] = []

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..dataflow.datatypes import KeySpec
 from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.executor import PartitionedDataset, PlanExecutor
 from ..runtime.storage import StableStorage
+
+if TYPE_CHECKING:
+    from ..runtime.state import StateBackend
 
 
 @dataclass
@@ -45,6 +49,9 @@ class RecoveryContext:
             graph's edges) — compensation functions may consult them.
         initial_state: the state the iteration started from.
         initial_workset: the initial workset (delta iterations only).
+        state_backend: the delta driver's solution-set backend, when one
+            is in use — strategies may consult it for zero-copy partition
+            access and (when supported) per-superstep change logs.
     """
 
     job_name: str
@@ -55,6 +62,7 @@ class RecoveryContext:
     statics: dict[str, PartitionedDataset] = field(default_factory=dict)
     initial_state: PartitionedDataset | None = None
     initial_workset: PartitionedDataset | None = None
+    state_backend: "StateBackend | None" = None
 
     @property
     def parallelism(self) -> int:

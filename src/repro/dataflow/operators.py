@@ -80,13 +80,27 @@ class MapOperator(Operator):
 
 
 class FlatMapOperator(Operator):
-    """Applies a :class:`FlatMapFunction` record-wise; partition-local."""
+    """Applies a :class:`FlatMapFunction` record-wise; partition-local.
+
+    ``preserves_partitioning`` declares that the function never changes a
+    record's key placement (e.g. a fused chain of pure filters), so the
+    executor can keep the input's hash placement instead of dropping it.
+    """
 
     kind = "flat_map"
 
-    def __init__(self, op_id: int, name: str, input_op: Operator, fn: FlatMapFunction):
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        input_op: Operator,
+        fn: FlatMapFunction,
+        *,
+        preserves_partitioning: bool = False,
+    ):
         super().__init__(op_id, name, [input_op])
         self.fn = fn
+        self.preserves_partitioning = preserves_partitioning
 
 
 class FilterOperator(Operator):

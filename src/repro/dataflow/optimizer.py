@@ -133,6 +133,12 @@ def fuse_chains(plan: Plan) -> Plan:
                 name,
                 new_input(chain[0].inputs[0]),
                 _FusedFunction(chain, name),
+                # a chain of pure filters never rewrites records, so the
+                # fused operator must not discard the input's placement —
+                # otherwise an "optimized" plan gains shuffles downstream
+                preserves_partitioning=all(
+                    isinstance(link, FilterOperator) for link in chain
+                ),
             )
             new_plan._register(fused)
             rebuilt[head_id] = fused
@@ -193,7 +199,13 @@ def _clone_operator(
     elif isinstance(op, MapOperator):
         clone = MapOperator(next_id, op.name, resolve(op.inputs[0]), op.fn)
     elif isinstance(op, FlatMapOperator):
-        clone = FlatMapOperator(next_id, op.name, resolve(op.inputs[0]), op.fn)
+        clone = FlatMapOperator(
+            next_id,
+            op.name,
+            resolve(op.inputs[0]),
+            op.fn,
+            preserves_partitioning=op.preserves_partitioning,
+        )
     elif isinstance(op, FilterOperator):
         clone = FilterOperator(next_id, op.name, resolve(op.inputs[0]), op.fn)
     elif isinstance(op, ReduceByKeyOperator):

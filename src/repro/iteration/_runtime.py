@@ -14,6 +14,7 @@ from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.executor import PartitionedDataset, PlanExecutor
 from ..runtime.failures import FailureInjector, FailureSchedule
+from ..runtime.state import record_matches
 from ..runtime.storage import StableStorage
 
 
@@ -135,8 +136,10 @@ def count_converged(
     """How many ``(key, value)`` records match the precomputed truth.
 
     The demo "precomputes the true values for presentation reasons"
-    (§3.2); this is the comparison behind its convergence plots. Float
-    values compare within ``tolerance``, everything else exactly.
+    (§3.2); this is the comparison behind its convergence plots. The
+    comparison itself is :func:`repro.runtime.state.record_matches` —
+    shared with the keyed state backend's incremental converged counter
+    so bulk and delta iterations count identically.
     """
     if truth is None:
         return 0
@@ -145,21 +148,6 @@ def count_converged(
         key, value = record[0], record[1]
         if key not in truth:
             continue
-        if _matches(value, truth[key], tolerance):
+        if record_matches(value, truth[key], tolerance):
             converged += 1
     return converged
-
-
-def _matches(value: Any, expected: Any, tolerance: float) -> bool:
-    if tolerance > 0 and isinstance(value, (int, float)) and isinstance(expected, (int, float)):
-        return abs(value - expected) <= tolerance
-    if (
-        tolerance > 0
-        and isinstance(value, tuple)
-        and isinstance(expected, tuple)
-        and len(value) == len(expected)
-        and all(isinstance(x, (int, float)) for x in value)
-        and all(isinstance(x, (int, float)) for x in expected)
-    ):
-        return all(abs(a - b) <= tolerance for a, b in zip(value, expected))
-    return value == expected

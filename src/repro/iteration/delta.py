@@ -10,9 +10,12 @@ paper's delta workload.
 The step plan sees two dynamic sources — the solution set and the
 workset — and produces two outputs: the *delta* (``(key, value)`` records
 replacing/inserting solution-set entries) and the next workset. The driver
-applies the delta partition-locally (the solution set is kept partitioned
-by the state key, like Flink's co-located solution sets, so no shuffle is
-needed).
+keeps the solution set in a keyed state backend
+(:mod:`repro.runtime.state`): partitioned by the state key like Flink's
+co-located solution sets (so no shuffle is needed) and indexed per
+partition, so applying the delta costs O(|delta|) — not O(|state|) — per
+superstep. ``EngineConfig.state_backend`` selects the backend
+implementation.
 
 Failures destroy the freshly updated solution-set partitions *and* the
 next workset partitions on the failed workers.
@@ -35,7 +38,8 @@ from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from ..runtime.failures import FailureSchedule
 from ..runtime.metrics import IterationStats, StatsSeries
-from ._runtime import bind_statics, build_runtime, count_converged, pin_initial_inputs
+from ..runtime.state import make_state_backend
+from ._runtime import bind_statics, build_runtime, pin_initial_inputs
 from .result import IterationResult
 from .snapshots import SnapshotPhase, SnapshotStore
 from .termination import EmptyWorkset, TerminationCriterion
@@ -97,32 +101,6 @@ class DeltaIterationSpec:
         self.step_plan.operator_by_name(self.workset_output)
 
 
-def _apply_delta(
-    solution: PartitionedDataset,
-    delta: PartitionedDataset,
-    key: KeySpec,
-) -> tuple[PartitionedDataset, int]:
-    """Merge delta records into the solution set, partition-locally.
-
-    Returns the new solution set and the number of entries that actually
-    changed (inserts count as changes).
-    """
-    new_partitions: list[list[Any] | None] = []
-    changed = 0
-    for solution_part, delta_part in zip(solution.partitions, delta.partitions):
-        if not delta_part:
-            new_partitions.append(list(solution_part or []))
-            continue
-        merged = {key(record): record for record in (solution_part or [])}
-        for record in delta_part:
-            record_key = key(record)
-            if merged.get(record_key) != record:
-                changed += 1
-            merged[record_key] = record
-        new_partitions.append(list(merged.values()))
-    return PartitionedDataset(partitions=new_partitions, partitioned_by=key), changed
-
-
 def run_delta_iteration(
     spec: DeltaIterationSpec,
     initial_solution: Iterable[Any],
@@ -179,6 +157,15 @@ def run_delta_iteration(
     workset = PartitionedDataset.from_records(
         workset_records, parallelism, key=spec.state_key
     )
+    backend = make_state_backend(
+        config.state_backend,
+        solution,
+        spec.state_key,
+        metrics=runtime.metrics,
+        value_fn=spec.value_fn,
+        truth=spec.truth,
+        truth_tolerance=spec.truth_tolerance,
+    )
     ctx = RecoveryContext(
         job_name=spec.name,
         cluster=runtime.cluster,
@@ -188,6 +175,7 @@ def run_delta_iteration(
         statics=bound_statics,
         initial_state=solution.copy(),
         initial_workset=workset.copy(),
+        state_backend=backend,
     )
     pin_initial_inputs(runtime, ctx, solution, workset)
     recovery.reset()
@@ -197,7 +185,7 @@ def run_delta_iteration(
 
     series = StatsSeries()
     if snapshots is not None:
-        snapshots.add(-1, SnapshotPhase.INITIAL, solution.all_records())
+        snapshots.add(-1, SnapshotPhase.INITIAL, backend.records_view())
     converged = False
     supersteps_run = 0
 
@@ -208,6 +196,7 @@ def run_delta_iteration(
         mode="delta",
         strategy=recovery.name,
         parallelism=parallelism,
+        state_backend=backend.name,
     ) as run_span:
         for superstep in range(spec.max_supersteps):
             supersteps_run = superstep + 1
@@ -216,7 +205,6 @@ def run_delta_iteration(
                 EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
             )
             metrics_before = runtime.metrics.snapshot()
-            previous_records = solution.all_records() if spec.value_fn is not None else []
             entering_workset = workset.num_records()
             runtime.metrics.set_gauge("workset_size", entering_workset)
             runtime.metrics.observe("workset_size", entering_workset)
@@ -230,7 +218,7 @@ def run_delta_iteration(
                 outputs = runtime.executor.execute(
                     spec.step_plan,
                     {
-                        spec.solution_source: solution,
+                        spec.solution_source: backend.to_dataset(),
                         spec.workset_source: workset,
                         **bound_statics,
                     },
@@ -253,16 +241,9 @@ def run_delta_iteration(
                     stats.messages = runtime.metrics.diff(metrics_before).get(
                         spec.message_counter, 0
                     )
-                new_solution, stats.updates = _apply_delta(solution, delta, spec.state_key)
+                stats.updates = backend.apply_delta(delta)
                 if spec.value_fn is not None:
-                    new_values = {
-                        r[0]: spec.value_fn(r) for r in new_solution.all_records()
-                    }
-                    old_values = {r[0]: spec.value_fn(r) for r in previous_records}
-                    keys = new_values.keys() | old_values.keys()
-                    stats.l1_delta = sum(
-                        abs(new_values.get(k, 0.0) - old_values.get(k, 0.0)) for k in keys
-                    )
+                    stats.l1_delta = backend.last_l1_delta
 
                 due = runtime.injector.pop(superstep)
                 if due:
@@ -270,7 +251,7 @@ def run_delta_iteration(
                         snapshots.add(
                             superstep,
                             SnapshotPhase.BEFORE_FAILURE,
-                            new_solution.all_records(),
+                            backend.records_view(),
                         )
                     with tracer.span(
                         "recovery", kind=SpanKind.RECOVERY, superstep=superstep
@@ -285,17 +266,18 @@ def run_delta_iteration(
                         runtime.clock.charge_failure_detection()
                         stats.failed = True
                         if lost:
-                            new_solution.lose(lost)
+                            backend.lose(lost)
                             next_workset.lose(lost)
                             runtime.cluster.reassign_lost(superstep)
                             outcome = recovery.recover(
-                                ctx, superstep, new_solution, next_workset, lost
+                                ctx, superstep, backend.to_dataset(), next_workset, lost
                             )
-                            new_solution = runtime.executor.repartition(
+                            recovered_state = runtime.executor.repartition(
                                 outcome.state,
                                 spec.state_key,
                                 context=f"{spec.name}.recovered",
                             )
+                            backend.restore_from(recovered_state)
                             if outcome.workset is None:
                                 raise IterationError(
                                     f"recovery strategy {recovery.name!r} returned no "
@@ -329,20 +311,18 @@ def run_delta_iteration(
                                     else SnapshotPhase.AFTER_RESTART
                                 )
                                 snapshots.add(
-                                    superstep, phase, new_solution.all_records()
+                                    superstep, phase, backend.records_view()
                                 )
                 else:
                     with tracer.span(
                         "commit", kind=SpanKind.CHECKPOINT, superstep=superstep
                     ):
                         recovery.on_superstep_committed(
-                            ctx, superstep, new_solution, next_workset
+                            ctx, superstep, backend.to_dataset(), next_workset
                         )
 
                 stats.workset_size = next_workset.num_records()
-                stats.converged = count_converged(
-                    new_solution.all_records(), spec.truth, spec.truth_tolerance
-                )
+                stats.converged = backend.converged_count()
                 stats.sim_time_end = runtime.clock.now
                 superstep_span.set_attribute("messages", stats.messages)
                 superstep_span.set_attribute("updates", stats.updates)
@@ -354,10 +334,10 @@ def run_delta_iteration(
             )
             if snapshots is not None:
                 snapshots.add(
-                    superstep, SnapshotPhase.AFTER_SUPERSTEP, new_solution.all_records()
+                    superstep, SnapshotPhase.AFTER_SUPERSTEP, backend.records_view()
                 )
 
-            solution, workset = new_solution, next_workset
+            workset = next_workset
             if not stats.failed and spec.termination.should_stop(stats):
                 converged = True
                 runtime.events.record(
@@ -373,7 +353,7 @@ def run_delta_iteration(
             f"{spec.max_supersteps} supersteps"
         )
     if snapshots is not None and converged:
-        snapshots.add(supersteps_run - 1, SnapshotPhase.CONVERGED, solution.all_records())
+        snapshots.add(supersteps_run - 1, SnapshotPhase.CONVERGED, backend.records_view())
     runtime.events.record(
         EventKind.TERMINATED,
         time=runtime.clock.now,
@@ -382,7 +362,7 @@ def run_delta_iteration(
     )
     return IterationResult(
         job_name=spec.name,
-        final_records=solution.all_records(),
+        final_records=backend.records_view(),
         converged=converged,
         supersteps=supersteps_run,
         stats=series,

@@ -16,7 +16,9 @@ Flink on commodity machines). It provides:
   and failure mechanics,
 * :mod:`repro.runtime.failures` — failure schedules and injection,
 * :mod:`repro.runtime.executor` — execution of dataflow plans over
-  partitioned datasets.
+  partitioned datasets,
+* :mod:`repro.runtime.state` — keyed solution-set state backends for the
+  delta-iteration driver (O(|delta|) superstep maintenance).
 """
 
 from .clock import CostCategory, SimulatedClock
@@ -26,6 +28,13 @@ from .executor import PartitionedDataset, PlanExecutor
 from .failures import FailureEvent, FailureInjector, FailureSchedule
 from .metrics import IterationStats, MetricsRegistry, StatsSeries
 from .partition import HashPartitioner, Partitioner, RangePartitioner, stable_hash
+from .state import (
+    KeyedStateBackend,
+    RebuildStateBackend,
+    StateBackend,
+    make_state_backend,
+    record_matches,
+)
 from .storage import StableStorage
 
 __all__ = [
@@ -38,16 +47,21 @@ __all__ = [
     "FailureSchedule",
     "HashPartitioner",
     "IterationStats",
+    "KeyedStateBackend",
     "MetricsRegistry",
     "PartitionedDataset",
     "Partitioner",
     "PlanExecutor",
     "RangePartitioner",
+    "RebuildStateBackend",
     "SimulatedClock",
     "SimulatedCluster",
     "StableStorage",
+    "StateBackend",
     "StatsSeries",
     "Worker",
     "WorkerState",
+    "make_state_backend",
+    "record_matches",
     "stable_hash",
 ]

@@ -280,6 +280,7 @@ class PlanExecutor:
         self, dataset: PartitionedDataset, key: KeySpec, op_name: str
     ) -> PartitionedDataset:
         """Hash-repartition ``dataset`` by ``key`` unless already placed."""
+        dataset.require_complete(f"shuffle for {op_name!r}")
         if dataset.partitioned_by == key:
             return dataset
         partitioner = HashPartitioner(self.parallelism)
@@ -340,7 +341,10 @@ class PlanExecutor:
             for record in part:  # type: ignore[union-attr]
                 out.extend(op.fn(record))
             parts.append(out)
-        return PartitionedDataset(partitions=parts, partitioned_by=None)
+        # Placement survives only when the operator declares it never
+        # rewrites records (e.g. a fused filter-only chain).
+        partitioned_by = data.partitioned_by if op.preserves_partitioning else None
+        return PartitionedDataset(partitions=parts, partitioned_by=partitioned_by)
 
     def _run_filter(self, op: FilterOperator, data: PartitionedDataset) -> PartitionedDataset:
         self._count_in(op, data.num_records())
@@ -465,6 +469,8 @@ class PlanExecutor:
         return PartitionedDataset(partitions=parts, partitioned_by=None)
 
     def _run_union(self, op: UnionOperator, inputs: list[PartitionedDataset]) -> PartitionedDataset:
+        for position, dataset in enumerate(inputs):
+            dataset.require_complete(f"union {op.name!r} input {position}")
         self._count_in(op, sum(ds.num_records() for ds in inputs))
         parts: list[list[Any]] = []
         for pid in range(self.parallelism):

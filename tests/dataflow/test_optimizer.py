@@ -154,6 +154,61 @@ class TestFilterPushdown:
         assert optimized.operator_by_name("positive").kind == "filter"
 
 
+class TestFusionPlacement:
+    """A fused filter-only chain must keep its input's hash placement —
+    regression test for optimized plans gaining shuffles the original
+    didn't have."""
+
+    def _filter_chain_plan(self) -> Plan:
+        plan = Plan("placement")
+        src = plan.source("in", partitioned_by=KEY)
+        (
+            src.filter(lambda r: r[1] % 2 == 0, name="evens")
+            .filter(lambda r: r[1] >= 0, name="nonneg")
+            .reduce_by_key(KEY, lambda a, b: (a[0], a[1] + b[1]), name="sum")
+        )
+        return plan
+
+    def _shuffled_after_source(self, plan, sink):
+        executor = PlanExecutor(4)
+        data = PartitionedDataset.from_records(
+            [(i % 5, i) for i in range(40)], 4, key=KEY
+        )
+        executor.execute(plan, {"in": data}, outputs=[sink])
+        return executor.metrics.get(f"shuffled.{sink}")
+
+    def test_fused_filter_chain_marked_placement_preserving(self):
+        optimized = fuse_chains(self._filter_chain_plan())
+        fused = optimized.operator_by_name("evens+nonneg")
+        assert fused.preserves_partitioning
+
+    def test_chain_with_map_does_not_claim_placement(self):
+        plan = Plan("mapchain")
+        src = plan.source("in", partitioned_by=KEY)
+        (
+            src.filter(lambda r: r[1] % 2 == 0, name="evens")
+            .map(lambda r: (r[1], r[0]), name="swap")
+        )
+        optimized = fuse_chains(plan)
+        fused = optimized.operator_by_name("evens+swap")
+        assert not fused.preserves_partitioning
+
+    def test_optimized_plan_gains_no_shuffle(self):
+        plan = self._filter_chain_plan()
+        # unoptimized: filters preserve placement, the reduce never shuffles
+        assert self._shuffled_after_source(plan, "sum") == 0
+        # optimized: the fused chain must preserve it just the same
+        assert self._shuffled_after_source(fuse_chains(plan), "sum") == 0
+
+    def test_placement_survives_optimizer_cloning(self):
+        plan = self._filter_chain_plan()
+        fused_once = fuse_chains(plan)
+        from repro.dataflow.optimizer import push_filters_through_unions
+
+        recloned = push_filters_through_unions(fused_once)
+        assert recloned.operator_by_name("evens+nonneg").preserves_partitioning
+
+
 class TestOptimize:
     def test_full_pipeline_equivalence(self):
         plan = Plan("full")

@@ -1,0 +1,131 @@
+"""Optimizer/executor equivalence properties.
+
+The contract of ``optimize(plan)``: the rewritten plan computes the same
+sink output as the original and never moves *more* records over the
+network. These tests check that property over the paper's two step
+dataflows (Connected Components, PageRank) and over synthetic plans that
+actually exercise both rewrite rules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connected_components import connected_components_plan
+from repro.algorithms.pagerank import pagerank_plan
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.optimizer import optimize
+from repro.dataflow.plan import Plan
+from repro.graph.generators import (
+    chain_graph,
+    multi_component_graph,
+    twitter_like_graph,
+)
+from repro.runtime.executor import PartitionedDataset, PlanExecutor
+
+KEY = first_field("k")
+
+
+def _run(plan, bindings, sink, parallelism):
+    """Execute and return (sorted sink records, total shuffled records)."""
+    executor = PlanExecutor(parallelism)
+    bound = {
+        name: PartitionedDataset.from_records(records, parallelism)
+        for name, records in bindings.items()
+    }
+    result = executor.execute(plan, bound, outputs=[sink])
+    shuffled = sum(executor.metrics.histogram_values("shuffle_volume"))
+    return sorted(result[sink].all_records()), shuffled
+
+
+def assert_equivalent(plan, bindings, parallelism=4):
+    original_sink = plan.sinks()[0].name
+    original, original_shuffled = _run(plan, bindings, original_sink, parallelism)
+    optimized_plan = optimize(plan)
+    optimized_sink = optimized_plan.sinks()[0].name
+    optimized, optimized_shuffled = _run(
+        optimized_plan, bindings, optimized_sink, parallelism
+    )
+    assert optimized == original
+    assert optimized_shuffled <= original_shuffled
+
+
+class TestAlgorithmPlans:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            chain_graph(17),
+            multi_component_graph(3, 6),
+            twitter_like_graph(25),
+        ],
+        ids=["chain", "components", "twitter-like"],
+    )
+    def test_connected_components_step(self, graph):
+        labels = [(v, v) for v in graph.vertices]
+        # mid-iteration shape: a shrunken workset of still-active vertices
+        workset = [(v, max(0, v - 1)) for v in list(graph.vertices)[::2]]
+        assert_equivalent(
+            connected_components_plan(),
+            {
+                "labels": labels,
+                "workset": workset,
+                "graph": graph.symmetric_edge_records(),
+            },
+        )
+
+    @pytest.mark.parametrize(
+        "graph",
+        [chain_graph(9), twitter_like_graph(20)],
+        ids=["chain", "twitter-like"],
+    )
+    def test_pagerank_step(self, graph):
+        n = graph.num_vertices
+        assert_equivalent(
+            pagerank_plan(damping=0.85, num_vertices=n),
+            {
+                "ranks": [(v, 1.0 / n) for v in graph.vertices],
+                "links": graph.transition_records(),
+                "dangling": [(v,) for v in graph.dangling_vertices()],
+                "mass-seed": [("mass", 0.0)],
+            },
+        )
+
+
+class TestSyntheticPlans:
+    def _filter_chain_over_union(self):
+        plan = Plan("synthetic")
+        a = plan.source("a", partitioned_by=KEY)
+        b = plan.source("b", partitioned_by=KEY)
+        merged = a.union(b, name="both").filter(lambda r: r[1] % 2 == 0, name="evens")
+        merged.filter(lambda r: r[1] >= 0, name="nonneg").reduce_by_key(
+            KEY, lambda x, y: (x[0], x[1] + y[1]), name="sum"
+        )
+        return plan
+
+    def test_filter_chain_over_union(self):
+        # exercises pushdown + fusion + placement preservation at once
+        assert_equivalent(
+            self._filter_chain_over_union(),
+            {
+                "a": [(i, i - 10) for i in range(40)],
+                "b": [(i % 7, i) for i in range(40)],
+            },
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.integers()),
+            max_size=50,
+        ),
+        parallelism=st.integers(min_value=1, max_value=6),
+    )
+    def test_property_random_records(self, records, parallelism):
+        plan = Plan("prop")
+        src = plan.source("in", partitioned_by=KEY)
+        (
+            src.filter(lambda r: r[1] % 3 != 0, name="drop-thirds")
+            .filter(lambda r: r[1] > -100, name="floor")
+            .reduce_by_key(KEY, lambda x, y: (x[0], x[1] + y[1]), name="sum")
+        )
+        assert_equivalent(plan, {"in": records}, parallelism=parallelism)

@@ -6,12 +6,12 @@ from repro.config import EngineConfig
 from repro.dataflow.plan import Plan
 from repro.errors import IterationError
 from repro.iteration._runtime import (
-    _matches,
     bind_statics,
     build_runtime,
     count_converged,
 )
 from repro.runtime.failures import FailureSchedule
+from repro.runtime.state import record_matches as _matches
 
 
 class TestMatches:

@@ -1,0 +1,143 @@
+"""Keyed-vs-rebuild backend equivalence through the delta driver.
+
+The acceptance bar of the state-backend change: switching
+``EngineConfig.state_backend`` between ``"keyed"`` and ``"rebuild"`` must
+not change *anything* observable about a run — final records (including
+their order), superstep counts, simulated-clock totals, per-superstep
+statistics — in failure-free runs and under every recovery strategy.
+"""
+
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.config import EngineConfig
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.incremental import IncrementalCheckpointRecovery
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.plan import Plan
+from repro.errors import ConfigError
+from repro.graph.generators import multi_component_graph
+from repro.iteration.delta import DeltaIterationSpec, run_delta_iteration
+from repro.runtime.failures import FailureSchedule
+
+GRAPH = multi_component_graph(3, 8)
+
+
+def _run_both(recovery_factory=None, failures=None):
+    results = []
+    for backend in ("keyed", "rebuild"):
+        job = connected_components(GRAPH)
+        results.append(
+            job.run(
+                config=EngineConfig(state_backend=backend),
+                recovery=recovery_factory() if recovery_factory else None,
+                failures=failures,
+            )
+        )
+    return results
+
+
+def _assert_identical(keyed, rebuild):
+    assert keyed.final_records == rebuild.final_records  # bit-identical, order too
+    assert keyed.supersteps == rebuild.supersteps
+    assert keyed.converged == rebuild.converged
+    assert keyed.sim_time == rebuild.sim_time
+    assert keyed.cost_breakdown() == rebuild.cost_breakdown()
+    assert [s.converged for s in keyed.stats] == [s.converged for s in rebuild.stats]
+    assert [s.updates for s in keyed.stats] == [s.updates for s in rebuild.stats]
+
+
+class TestFailureFree:
+    def test_connected_components_identical(self):
+        _assert_identical(*_run_both())
+
+    def test_keyed_run_is_correct(self):
+        keyed, _ = _run_both()
+        job = connected_components(GRAPH)
+        assert keyed.final_dict == job.truth
+
+
+class TestUnderRecovery:
+    FAILURES = FailureSchedule.single(2, [1])
+
+    def test_optimistic_recovery_identical(self):
+        def factory():
+            return connected_components(GRAPH).optimistic()
+
+        _assert_identical(*_run_both(factory, self.FAILURES))
+
+    def test_checkpoint_recovery_identical(self):
+        _assert_identical(
+            *_run_both(lambda: CheckpointRecovery(interval=2), self.FAILURES)
+        )
+
+    def test_incremental_recovery_identical(self):
+        _assert_identical(
+            *_run_both(IncrementalCheckpointRecovery, self.FAILURES)
+        )
+
+    def test_recovered_run_is_still_correct(self):
+        keyed, _ = _run_both(
+            lambda: connected_components(GRAPH).optimistic(), self.FAILURES
+        )
+        assert keyed.final_dict == connected_components(GRAPH).truth
+
+
+class TestValueFnJobs:
+    """L1 tracking with a ``value_fn``: the keyed backend sums over only
+    the touched keys, so float association may differ — the series must
+    agree to float tolerance while everything else stays identical."""
+
+    KEY = first_field("k")
+
+    def _countdown_spec(self):
+        plan = Plan("countdown-step")
+        plan.source("solution", partitioned_by=self.KEY)
+        workset = plan.source("workset", partitioned_by=self.KEY)
+        (
+            workset.filter(lambda r: r[1] > 0, name="still-positive")
+            .map(lambda r: (r[0], r[1] - 1), name="decrement")
+        )
+        return DeltaIterationSpec(
+            name="countdown",
+            step_plan=plan,
+            solution_source="solution",
+            workset_source="workset",
+            delta_output="decrement",
+            workset_output="decrement",
+            state_key=self.KEY,
+            max_supersteps=50,
+            message_counter="records_in.decrement",
+            value_fn=lambda record: float(record[1]),
+        )
+
+    def test_l1_series_close_and_rest_identical(self):
+        initial = [(k, k + 1) for k in range(8)]
+        results = []
+        for backend in ("keyed", "rebuild"):
+            results.append(
+                run_delta_iteration(
+                    self._countdown_spec(),
+                    initial,
+                    config=EngineConfig(state_backend=backend),
+                )
+            )
+        keyed, rebuild = results
+        assert keyed.final_records == rebuild.final_records
+        assert keyed.supersteps == rebuild.supersteps
+        assert keyed.sim_time == rebuild.sim_time
+        keyed_l1 = [s.l1_delta for s in keyed.stats]
+        rebuild_l1 = [s.l1_delta for s in rebuild.stats]
+        assert keyed_l1 == pytest.approx(rebuild_l1)
+
+
+class TestConfig:
+    def test_default_backend_is_keyed(self):
+        assert EngineConfig().state_backend == "keyed"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="state_backend"):
+            EngineConfig(state_backend="bogus")
+
+    def test_with_state_backend_helper(self):
+        assert EngineConfig().with_state_backend("rebuild").state_backend == "rebuild"

@@ -375,3 +375,52 @@ def test_reduce_by_key_result_independent_of_parallelism(records, parallelism):
     for key, value in records:
         expected[key] = expected.get(key, 0) + value
     assert sorted(out["sum"].all_records()) == sorted(expected.items())
+
+
+class TestLostPartitionGuards:
+    """Executing over lost partitions must always raise PartitionLostError,
+    never a raw TypeError from iterating ``None``."""
+
+    def _lost_dataset(self, parallelism=4):
+        dataset = PartitionedDataset.from_records(
+            [(i, i) for i in range(12)], parallelism, key=KEY
+        )
+        dataset.lose([1])
+        return dataset
+
+    def test_shuffle_over_lost_partition_raises(self):
+        executor = PlanExecutor(4)
+        from repro.dataflow.datatypes import second_field
+        other_key = second_field("other")
+        with pytest.raises(PartitionLostError) as exc:
+            executor._shuffle(self._lost_dataset(), other_key, "op")
+        assert exc.value.partition_ids == (1,)
+
+    def test_shuffle_of_already_placed_lost_dataset_raises(self):
+        # placement matches, so pre-guard code returned the dataset
+        # untouched and downstream operators crashed with TypeError later
+        executor = PlanExecutor(4)
+        with pytest.raises(PartitionLostError):
+            executor._shuffle(self._lost_dataset(), KEY, "op")
+
+    def test_union_over_lost_input_raises(self):
+        executor = PlanExecutor(4)
+        plan = Plan("u")
+        a = plan.source("a")
+        b = plan.source("b")
+        a.union(b, name="both")
+        op = plan.operator_by_name("both")
+        complete = PartitionedDataset.from_records(
+            [(i, i) for i in range(8)], 4, key=KEY
+        )
+        with pytest.raises(PartitionLostError) as exc:
+            executor._run_union(op, [complete, self._lost_dataset()])
+        assert exc.value.partition_ids == (1,)
+
+    def test_plan_execution_over_lost_source_raises(self):
+        plan = Plan("p")
+        plan.source("in").map(lambda r: r, name="copy")
+        with pytest.raises(PartitionLostError):
+            PlanExecutor(4).execute(
+                plan, {"in": self._lost_dataset()}, outputs=["copy"]
+            )
