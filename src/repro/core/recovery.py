@@ -27,6 +27,7 @@ from ..runtime.executor import PartitionedDataset, PlanExecutor
 from ..runtime.storage import StableStorage
 
 if TYPE_CHECKING:
+    from ..runtime.cache import SuperstepExecutionCache
     from ..runtime.state import StateBackend
 
 
@@ -52,6 +53,12 @@ class RecoveryContext:
         state_backend: the delta driver's solution-set backend, when one
             is in use — strategies may consult it for zero-copy partition
             access and (when supported) per-superstep change logs.
+        execution_cache: the run's superstep execution cache, when one is
+            enabled. The driver invalidates it on every failure (cached
+            partitions lived on the failed workers); strategies whose
+            repair work re-places static data may additionally call
+            :meth:`~repro.runtime.cache.SuperstepExecutionCache.invalidate`
+            themselves if they disturb placements outside the lost set.
     """
 
     job_name: str
@@ -63,6 +70,7 @@ class RecoveryContext:
     initial_state: PartitionedDataset | None = None
     initial_workset: PartitionedDataset | None = None
     state_backend: "StateBackend | None" = None
+    execution_cache: "SuperstepExecutionCache | None" = None
 
     @property
     def parallelism(self) -> int:

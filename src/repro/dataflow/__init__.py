@@ -22,6 +22,7 @@ from .functions import (
     MapFunction,
     ReduceFunction,
 )
+from .invariants import InvariantAnalysis, analyze_invariants
 from .operators import (
     CoGroupOperator,
     CrossOperator,
@@ -50,6 +51,7 @@ __all__ = [
     "FlatMapFunction",
     "FlatMapOperator",
     "GroupReduceOperator",
+    "InvariantAnalysis",
     "JoinFunction",
     "JoinOperator",
     "KeySpec",
@@ -61,6 +63,7 @@ __all__ = [
     "ReduceFunction",
     "SourceOperator",
     "UnionOperator",
+    "analyze_invariants",
     "first_field",
     "fuse_chains",
     "optimize",

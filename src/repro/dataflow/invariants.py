@@ -1,0 +1,150 @@
+"""Loop-invariant subplan analysis.
+
+An iteration executes the same step plan every superstep, but only some
+of the plan's sources change between supersteps (the iterative state and
+workset); the rest are *loop-invariant* — the graph's edges, transition
+probabilities, dangling-vertex markers. Any operator whose entire
+upstream closure touches only loop-invariant sources therefore produces
+the exact same output every superstep, and re-executing it is pure
+waste. *Spinning Fast Iterative Data Flows* (Ewen et al.) describes how
+Flink caches such loop-invariant data across iterations;
+:func:`repro.iteration._runtime.bind_statics` models the placement half
+(statics are partitioned once), and this module supplies the analysis
+half: which operators the
+:class:`repro.runtime.cache.SuperstepExecutionCache` may serve from
+cache instead of recomputing.
+
+The analysis is a single topological sweep:
+
+* a source is invariant iff its name is not in ``dynamic_sources``;
+* any other operator is invariant iff **all** of its inputs are.
+
+On top of the invariant set, :func:`analyze_invariants` also derives the
+*build-side reuse* opportunities: joins and co-groups that are themselves
+dynamic (one input changes every superstep) but whose other input is
+invariant — there the executor cannot cache the operator's output, but it
+can cache the hash index it builds over the invariant side (Flink keeps
+the static build side of such joins resident across iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import PlanError
+from .operators import CoGroupOperator, CrossOperator, JoinOperator, Operator, SourceOperator
+from .plan import Plan
+
+
+@dataclass(frozen=True)
+class InvariantAnalysis:
+    """Which parts of a step plan are loop-invariant.
+
+    Attributes:
+        plan_name: name of the analyzed plan.
+        dynamic_sources: source names that change between supersteps.
+        invariant_sources: source names bound to loop-invariant inputs.
+        invariant_ops: op_ids of all invariant operators (sources
+            included).
+        cacheable_ops: op_ids of invariant *non-source* operators — the
+            ones whose materialized output the executor may serve from
+            cache (a source's output is just its binding; caching it
+            would only alias the bound dataset).
+        build_reuse: ``{join/co_group/cross op_id: ("left" | "right" |
+            "both")}`` for dynamic binary operators with an invariant
+            input — the sides whose build hash index (or, for a cross,
+            broadcast copy) survives across supersteps. A cross only ever
+            reuses its ``"right"`` (broadcast) side; its left side is
+            partition-local and needs no index.
+    """
+
+    plan_name: str
+    dynamic_sources: frozenset[str]
+    invariant_sources: frozenset[str]
+    invariant_ops: frozenset[int]
+    cacheable_ops: frozenset[int]
+    build_reuse: dict[int, str] = field(default_factory=dict)
+
+    def is_invariant(self, op: Operator) -> bool:
+        """Whether ``op``'s output is identical every superstep."""
+        return op.op_id in self.invariant_ops
+
+    def is_cacheable(self, op: Operator) -> bool:
+        """Whether the executor may serve ``op``'s output from cache."""
+        return op.op_id in self.cacheable_ops
+
+    def reusable_build_sides(self, op: Operator) -> tuple[str, ...]:
+        """The sides (``"left"``/``"right"``) of a dynamic join or
+        co-group whose build index is loop-invariant; empty otherwise."""
+        sides = self.build_reuse.get(op.op_id)
+        if sides is None:
+            return ()
+        if sides == "both":
+            return ("left", "right")
+        return (sides,)
+
+
+def analyze_invariants(
+    plan: Plan, dynamic_sources: Iterable[str]
+) -> InvariantAnalysis:
+    """Classify every operator of ``plan`` as loop-invariant or dynamic.
+
+    Args:
+        plan: the step plan an iteration driver executes every superstep.
+        dynamic_sources: names of the sources whose bindings change
+            between supersteps (the state source; for delta iterations
+            also the workset source). Every name must belong to a source
+            of the plan.
+
+    Returns:
+        An :class:`InvariantAnalysis` over ``plan``.
+    """
+    dynamic = frozenset(dynamic_sources)
+    source_names = {op.name for op in plan.sources()}
+    unknown = dynamic - source_names
+    if unknown:
+        raise PlanError(
+            f"dynamic sources {sorted(unknown)} match no source of plan "
+            f"{plan.name!r} (sources: {sorted(source_names)})"
+        )
+
+    invariant: set[int] = set()
+    invariant_sources: set[str] = set()
+    cacheable: set[int] = set()
+    for op in plan.topological_order():
+        if isinstance(op, SourceOperator):
+            if op.name not in dynamic:
+                invariant.add(op.op_id)
+                invariant_sources.add(op.name)
+        elif all(inp.op_id in invariant for inp in op.inputs):
+            invariant.add(op.op_id)
+            cacheable.add(op.op_id)
+
+    build_reuse: dict[int, str] = {}
+    for op in plan.operators:
+        if op.op_id in invariant:
+            continue
+        if isinstance(op, CrossOperator):
+            if op.inputs[1].op_id in invariant:
+                build_reuse[op.op_id] = "right"
+            continue
+        if not isinstance(op, (JoinOperator, CoGroupOperator)):
+            continue
+        left_static = op.inputs[0].op_id in invariant
+        right_static = op.inputs[1].op_id in invariant
+        if left_static and right_static:  # pragma: no cover - op would be invariant
+            build_reuse[op.op_id] = "both"
+        elif left_static:
+            build_reuse[op.op_id] = "left"
+        elif right_static:
+            build_reuse[op.op_id] = "right"
+
+    return InvariantAnalysis(
+        plan_name=plan.name,
+        dynamic_sources=dynamic,
+        invariant_sources=frozenset(invariant_sources),
+        invariant_ops=frozenset(invariant),
+        cacheable_ops=frozenset(cacheable),
+        build_reuse=build_reuse,
+    )

@@ -132,6 +132,7 @@ def count_converged(
     records: Iterable[Any],
     truth: dict[Any, Any] | None,
     tolerance: float,
+    job: str | None = None,
 ) -> int:
     """How many ``(key, value)`` records match the precomputed truth.
 
@@ -140,12 +141,24 @@ def count_converged(
     comparison itself is :func:`repro.runtime.state.record_matches` —
     shared with the keyed state backend's incremental converged counter
     so bulk and delta iterations count identically.
+
+    Raises:
+        IterationError: when a state record is not ``(key, value)``-shaped
+            (e.g. not subscriptable), naming ``job`` and the record.
     """
     if truth is None:
         return 0
     converged = 0
     for record in records:
-        key, value = record[0], record[1]
+        try:
+            key, value = record[0], record[1]
+        except (TypeError, IndexError) as exc:
+            where = f" of job {job!r}" if job is not None else ""
+            raise IterationError(
+                f"state record {record!r}{where} is not (key, value)-shaped: "
+                f"truth comparison needs subscriptable records with at least "
+                f"two fields"
+            ) from exc
         if key not in truth:
             continue
         if record_matches(value, truth[key], tolerance):

@@ -21,10 +21,12 @@ from ..config import DEFAULT_CONFIG, EngineConfig
 from ..core.recovery import RecoveryContext, RecoveryStrategy
 from ..core.restart import RestartRecovery
 from ..dataflow.datatypes import KeySpec
+from ..dataflow.invariants import analyze_invariants
 from ..dataflow.plan import Plan
 from ..errors import IterationError, TerminationError
 from ..observability.span import SpanKind
 from ..observability.tracer import NOOP_TRACER, Tracer
+from ..runtime.cache import SuperstepExecutionCache
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from ..runtime.failures import FailureSchedule
@@ -150,6 +152,13 @@ def run_bulk_iteration(
     )
     if initial_state.num_records() == 0:
         raise IterationError(f"bulk iteration {spec.name!r} started with empty state")
+    cache: SuperstepExecutionCache | None = None
+    if config.execution_cache != "off":
+        cache = SuperstepExecutionCache(
+            analyze_invariants(spec.step_plan, {spec.state_source}),
+            mode=config.execution_cache,
+            metrics=runtime.metrics,
+        )
     ctx = RecoveryContext(
         job_name=spec.name,
         cluster=runtime.cluster,
@@ -158,6 +167,7 @@ def run_bulk_iteration(
         state_key=spec.state_key,
         statics=bound_statics,
         initial_state=initial_state,
+        execution_cache=cache,
     )
     pin_initial_inputs(runtime, ctx, initial_state, None)
     recovery.reset()
@@ -170,6 +180,16 @@ def run_bulk_iteration(
         snapshots.add(-1, SnapshotPhase.INITIAL, state.all_records())
     converged = False
     supersteps_run = 0
+    track_l1 = spec.value_fn is not None
+    # Update counting is an O(|state|) dict-building pass; run it only
+    # when something consumes ``stats.updates``: L1 tracking, snapshot
+    # capture, truth comparison, or a termination criterion that reads it.
+    track_updates = (
+        track_l1
+        or snapshots is not None
+        or spec.truth is not None
+        or spec.termination.uses_updates
+    )
 
     with tracer.span(
         f"run:{spec.name}",
@@ -186,7 +206,7 @@ def run_bulk_iteration(
                 EventKind.SUPERSTEP_STARTED, time=runtime.clock.now, superstep=superstep
             )
             metrics_before = runtime.metrics.snapshot()
-            previous_records = state.all_records()
+            previous_records = state.all_records() if track_updates else None
 
             with tracer.span(
                 f"superstep:{superstep}", kind=SpanKind.SUPERSTEP, superstep=superstep
@@ -195,6 +215,7 @@ def run_bulk_iteration(
                     spec.step_plan,
                     {spec.state_source: state, **bound_statics},
                     outputs=[spec.next_state_output],
+                    cache=cache,
                 )
                 next_state = runtime.executor.repartition(
                     outputs[spec.next_state_output],
@@ -205,9 +226,12 @@ def run_bulk_iteration(
                     stats.messages = runtime.metrics.diff(metrics_before).get(
                         spec.message_counter, 0
                     )
-                computed_records = next_state.all_records()
-                stats.updates = _count_updates(previous_records, computed_records)
-                if spec.value_fn is not None:
+                # One materialization pass per superstep, shared by update
+                # counting, L1 tracking, truth comparison and snapshots.
+                computed_records = next_state.all_records() if track_updates else None
+                if track_updates:
+                    stats.updates = _count_updates(previous_records, computed_records)
+                if track_l1:
                     stats.l1_delta = _l1_delta(
                         previous_records, computed_records, spec.value_fn
                     )
@@ -233,6 +257,10 @@ def run_bulk_iteration(
                         if lost:
                             next_state.lose(lost)
                             runtime.cluster.reassign_lost(superstep)
+                            if cache is not None:
+                                # Cached partitions lived on the failed
+                                # workers; recovery must recompute them.
+                                cache.invalidate(lost)
                             outcome = recovery.recover(ctx, superstep, next_state, None, lost)
                             next_state = runtime.executor.repartition(
                                 outcome.state,
@@ -268,9 +296,15 @@ def run_bulk_iteration(
                     ):
                         recovery.on_superstep_committed(ctx, superstep, next_state, None)
 
-                stats.converged = count_converged(
-                    next_state.all_records(), spec.truth, spec.truth_tolerance
-                )
+                if stats.failed and track_updates:
+                    # Recovery replaced the state computed above.
+                    computed_records = next_state.all_records()
+                if spec.truth is not None:
+                    stats.converged = count_converged(
+                        computed_records, spec.truth, spec.truth_tolerance, job=spec.name
+                    )
+                else:
+                    stats.converged = 0
                 stats.sim_time_end = runtime.clock.now
                 superstep_span.set_attribute("messages", stats.messages)
                 superstep_span.set_attribute("updates", stats.updates)
@@ -280,9 +314,7 @@ def run_bulk_iteration(
                 EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
             )
             if snapshots is not None:
-                snapshots.add(
-                    superstep, SnapshotPhase.AFTER_SUPERSTEP, next_state.all_records()
-                )
+                snapshots.add(superstep, SnapshotPhase.AFTER_SUPERSTEP, computed_records)
 
             state = next_state
             if not stats.failed and spec.termination.should_stop(stats):

@@ -30,10 +30,12 @@ from ..config import DEFAULT_CONFIG, EngineConfig
 from ..core.recovery import RecoveryContext, RecoveryStrategy
 from ..core.restart import RestartRecovery
 from ..dataflow.datatypes import KeySpec
+from ..dataflow.invariants import analyze_invariants
 from ..dataflow.plan import Plan
 from ..errors import IterationError, TerminationError
 from ..observability.span import SpanKind
 from ..observability.tracer import NOOP_TRACER, Tracer
+from ..runtime.cache import SuperstepExecutionCache
 from ..runtime.events import EventKind
 from ..runtime.executor import PartitionedDataset
 from ..runtime.failures import FailureSchedule
@@ -166,6 +168,15 @@ def run_delta_iteration(
         truth=spec.truth,
         truth_tolerance=spec.truth_tolerance,
     )
+    cache: SuperstepExecutionCache | None = None
+    if config.execution_cache != "off":
+        cache = SuperstepExecutionCache(
+            analyze_invariants(
+                spec.step_plan, {spec.solution_source, spec.workset_source}
+            ),
+            mode=config.execution_cache,
+            metrics=runtime.metrics,
+        )
     ctx = RecoveryContext(
         job_name=spec.name,
         cluster=runtime.cluster,
@@ -176,6 +187,7 @@ def run_delta_iteration(
         initial_state=solution.copy(),
         initial_workset=workset.copy(),
         state_backend=backend,
+        execution_cache=cache,
     )
     pin_initial_inputs(runtime, ctx, solution, workset)
     recovery.reset()
@@ -223,6 +235,7 @@ def run_delta_iteration(
                         **bound_statics,
                     },
                     outputs=[spec.delta_output, spec.workset_output],
+                    cache=cache,
                 )
                 delta = runtime.executor.repartition(
                     outputs[spec.delta_output], spec.state_key, context=f"{spec.name}.delta"
@@ -269,6 +282,10 @@ def run_delta_iteration(
                             backend.lose(lost)
                             next_workset.lose(lost)
                             runtime.cluster.reassign_lost(superstep)
+                            if cache is not None:
+                                # Cached partitions lived on the failed
+                                # workers; recovery must recompute them.
+                                cache.invalidate(lost)
                             outcome = recovery.recover(
                                 ctx, superstep, backend.to_dataset(), next_workset, lost
                             )

@@ -21,6 +21,11 @@ from ..runtime.metrics import IterationStats
 class TerminationCriterion(ABC):
     """Decides when an iteration has converged."""
 
+    #: whether :meth:`should_stop` reads ``stats.updates`` — the bulk
+    #: driver consults this to decide if per-superstep update counting
+    #: (an O(|state|) dict build) can be skipped.
+    uses_updates: bool = False
+
     @abstractmethod
     def should_stop(self, stats: IterationStats) -> bool:
         """True when the superstep described by ``stats`` reached the
@@ -82,6 +87,8 @@ class NoUpdates(TerminationCriterion):
     """Stop when a superstep changed nothing (``updates == 0``). A
     cheaper alternative to :class:`EpsilonL1` for discrete-state
     algorithms run as bulk iterations."""
+
+    uses_updates = True
 
     def should_stop(self, stats: IterationStats) -> bool:
         return stats.updates == 0

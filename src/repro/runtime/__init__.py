@@ -18,9 +18,12 @@ Flink on commodity machines). It provides:
 * :mod:`repro.runtime.executor` — execution of dataflow plans over
   partitioned datasets,
 * :mod:`repro.runtime.state` — keyed solution-set state backends for the
-  delta-iteration driver (O(|delta|) superstep maintenance).
+  delta-iteration driver (O(|delta|) superstep maintenance),
+* :mod:`repro.runtime.cache` — the superstep execution cache serving
+  loop-invariant work across supersteps.
 """
 
+from .cache import EXECUTION_CACHE_MODES, ChargeLog, SuperstepExecutionCache
 from .clock import CostCategory, SimulatedClock
 from .cluster import SimulatedCluster, Worker, WorkerState
 from .events import Event, EventKind, EventLog
@@ -38,7 +41,9 @@ from .state import (
 from .storage import StableStorage
 
 __all__ = [
+    "ChargeLog",
     "CostCategory",
+    "EXECUTION_CACHE_MODES",
     "Event",
     "EventKind",
     "EventLog",
@@ -59,6 +64,7 @@ __all__ = [
     "StableStorage",
     "StateBackend",
     "StatsSeries",
+    "SuperstepExecutionCache",
     "Worker",
     "WorkerState",
     "make_state_backend",

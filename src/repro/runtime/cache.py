@@ -1,0 +1,376 @@
+"""Superstep execution cache: loop-invariant results reused across supersteps.
+
+Every superstep re-executes the full step plan, yet much of that plan is
+*loop-invariant* (see :mod:`repro.dataflow.invariants`): operators whose
+upstream closure touches only static sources produce bit-identical output
+every round, joins rebuild the same hash table over the static edge set
+every round, and misplaced static inputs are re-shuffled with the same
+placement every round. :class:`SuperstepExecutionCache` materializes each
+of those results once and serves it on every later ``execute()`` call:
+
+* **operator outputs** — the full :class:`~repro.runtime.executor.\
+  PartitionedDataset` of an invariant non-source operator;
+* **shuffle placements** — the hash-repartitioned form of an invariant
+  operator's output, keyed by target key spec (the static build side of
+  a dynamic join keeps its placement across supersteps);
+* **join/co-group build indexes** — the per-partition hash tables built
+  over an invariant input of a *dynamic* join or co-group (Flink keeps
+  the static build side of such joins resident across iterations).
+
+Two cache modes exist, selected by ``EngineConfig.execution_cache``:
+
+* ``"transparent"`` (the default) skips the redundant wall-clock work
+  but **replays the recorded simulated charges bit-identically** on every
+  hit — the simulated clock, the cost breakdown, and every metrics
+  counter advance exactly as they would with the cache off, so all
+  archived figures and benchmark baselines still reproduce exactly;
+* ``"modeled"`` also skips the simulated charges (what a real engine
+  with loop-invariant caching — Flink — actually does), for ablations
+  that quantify how much of a superstep's modeled cost is invariant
+  recomputation. Per-operator ``records_in.*`` counters then reflect
+  only the records actually processed.
+
+How transparency is achieved: the first (miss) execution of a cacheable
+operator runs with the executor's clock and metrics wrapped in recording
+proxies that forward every charge and log it; a hit replays the logged
+``advance`` calls in their original order with their original float
+amounts, which accumulates bit-identically to re-execution.
+
+Failure handling: cached results model data resident on workers. When
+workers fail and partitions are re-assigned, the driver calls
+:meth:`SuperstepExecutionCache.invalidate` and every entry is dropped —
+the next superstep re-materializes (and, in ``modeled`` mode, re-charges
+the placement network cost of) whatever the plan still needs. In
+``transparent`` mode this is cost-invisible by construction: a miss
+charges exactly what a hit would have replayed.
+
+The cache reports ``cache.hits`` / ``cache.misses`` /
+``cache.invalidations`` counters (plus per-kind ``cache.hits.<kind>``
+breakdowns for ``output`` / ``shuffle`` / ``build``) through the run's
+:class:`~repro.runtime.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from ..dataflow.datatypes import KeySpec
+from ..dataflow.invariants import InvariantAnalysis
+from ..dataflow.operators import Operator, SourceOperator
+from ..errors import ExecutionError
+from .clock import CostCategory, SimulatedClock
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..dataflow.plan import Plan
+    from .executor import PartitionedDataset, PlanExecutor
+
+#: the valid ``EngineConfig.execution_cache`` settings.
+EXECUTION_CACHE_MODES = ("off", "transparent", "modeled")
+
+
+class ChargeLog:
+    """The simulated charges one cached execution made on its miss.
+
+    Replaying the log re-applies the exact sequence of clock advances
+    (same float amounts, same order — so account totals accumulate
+    bit-identically to re-execution) and metric operations.
+    """
+
+    __slots__ = ("advances", "increments", "observations")
+
+    def __init__(self) -> None:
+        #: ``(seconds, category)`` clock advances, in charge order.
+        self.advances: list[tuple[float, CostCategory]] = []
+        #: ``(counter name, amount)`` increments, in order.
+        self.increments: list[tuple[str, int]] = []
+        #: ``(histogram name, value)`` observations, in order.
+        self.observations: list[tuple[str, float]] = []
+
+    def replay(
+        self,
+        clock: SimulatedClock,
+        metrics: MetricsRegistry,
+        *,
+        charge: bool = True,
+    ) -> None:
+        """Re-apply the log. With ``charge=False`` nothing is applied
+        (modeled mode: the whole point is skipping the charges)."""
+        if not charge:
+            return
+        for seconds, category in self.advances:
+            clock.advance(seconds, category)
+        for name, amount in self.increments:
+            metrics.increment(name, amount)
+        for name, value in self.observations:
+            metrics.observe(name, value)
+
+
+class _RecordingClock:
+    """Forwards every charge to the real clock while logging it.
+
+    Implements the :class:`~repro.runtime.clock.SimulatedClock` surface
+    the executor touches; anything else falls through to the real clock
+    un-logged (nothing in the executor's operator paths does).
+    """
+
+    def __init__(self, clock: SimulatedClock, log: ChargeLog):
+        self._clock = clock
+        self._log = log
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    @property
+    def cost_model(self):
+        return self._clock.cost_model
+
+    def advance(self, seconds: float, category: CostCategory = CostCategory.COMPUTE) -> float:
+        self._log.advances.append((seconds, category))
+        return self._clock.advance(seconds, category)
+
+    def charge_compute(self, records: int) -> None:
+        self.advance(records * self._clock.cost_model.cpu_per_record, CostCategory.COMPUTE)
+
+    def charge_network(self, records: int) -> None:
+        self.advance(records * self._clock.cost_model.network_per_record, CostCategory.NETWORK)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._clock, name)
+
+
+class _RecordingMetrics:
+    """Forwards counter/histogram writes to the real registry, logging them."""
+
+    def __init__(self, metrics: MetricsRegistry, log: ChargeLog):
+        self._metrics = metrics
+        self._log = log
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        self._log.increments.append((name, amount))
+        return self._metrics.increment(name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self._log.observations.append((name, value))
+        self._metrics.observe(name, value)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._metrics, name)
+
+
+class SuperstepExecutionCache:
+    """Per-run cache of loop-invariant execution results.
+
+    One instance belongs to one iteration run and one step plan; the
+    drivers build it from the plan's :class:`InvariantAnalysis` and pass
+    it to every :meth:`~repro.runtime.executor.PlanExecutor.execute`
+    call.
+
+    Args:
+        analysis: which operators of the step plan are loop-invariant.
+        mode: ``"transparent"`` or ``"modeled"`` (see the module
+            docstring; ``"off"`` is represented by not building a cache).
+        metrics: registry receiving the ``cache.*`` counters.
+    """
+
+    def __init__(
+        self,
+        analysis: InvariantAnalysis,
+        mode: str = "transparent",
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if mode not in ("transparent", "modeled"):
+            raise ExecutionError(
+                f"execution cache mode must be 'transparent' or 'modeled', got {mode!r}"
+            )
+        self.analysis = analysis
+        self.mode = mode
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._plan_id: int | None = None
+        self._outputs: dict[int, tuple["PartitionedDataset", ChargeLog]] = {}
+        self._shuffles: dict[tuple[int, KeySpec], tuple["PartitionedDataset", ChargeLog]] = {}
+        self._builds: dict[tuple[int, str], list[dict[Any, list[Any]]]] = {}
+        self._broadcasts: dict[int, tuple[list[Any], ChargeLog]] = {}
+        #: running totals, mirrored into the metrics registry.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @property
+    def transparent(self) -> bool:
+        """Whether hits replay their recorded simulated charges."""
+        return self.mode == "transparent"
+
+    def bind_plan(self, plan: "Plan") -> None:
+        """Pin the cache to the one plan it was analyzed for.
+
+        The analysis is positional (op_ids), so serving a different plan
+        — even a semantically equal optimized clone — would corrupt
+        results; the executor calls this on every ``execute()``.
+        """
+        if self._plan_id is None:
+            if plan.name != self.analysis.plan_name:
+                raise ExecutionError(
+                    f"execution cache was analyzed for plan "
+                    f"{self.analysis.plan_name!r}, not {plan.name!r}"
+                )
+            self._plan_id = id(plan)
+        elif self._plan_id != id(plan):
+            raise ExecutionError(
+                f"execution cache for plan {self.analysis.plan_name!r} was handed "
+                f"a different plan instance; build one cache per plan object"
+            )
+
+    def _record_hit(self, kind: str) -> None:
+        self.hits += 1
+        self.metrics.increment("cache.hits")
+        self.metrics.increment(f"cache.hits.{kind}")
+
+    def _record_miss(self, kind: str) -> None:
+        self.misses += 1
+        self.metrics.increment("cache.misses")
+        self.metrics.increment(f"cache.misses.{kind}")
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- recording ---------------------------------------------------------------
+
+    @contextmanager
+    def recording(self, executor: "PlanExecutor") -> Iterator[ChargeLog]:
+        """Swap the executor's clock/metrics for recording proxies.
+
+        Nesting is safe: an inner recording wraps the outer proxy, so the
+        outer log still sees every charge (an invariant operator whose
+        execution consults the shuffle memo records the shuffle charges
+        in both logs, and each log replays correctly on its own path).
+        """
+        log = ChargeLog()
+        saved_clock, saved_metrics = executor.clock, executor.metrics
+        executor.clock = _RecordingClock(saved_clock, log)  # type: ignore[assignment]
+        executor.metrics = _RecordingMetrics(saved_metrics, log)  # type: ignore[assignment]
+        try:
+            yield log
+        finally:
+            executor.clock, executor.metrics = saved_clock, saved_metrics
+
+    # -- operator outputs --------------------------------------------------------
+
+    def serves_output(self, op: Operator) -> bool:
+        """Whether ``op``'s full output is cacheable (invariant, non-source)."""
+        return not isinstance(op, SourceOperator) and self.analysis.is_cacheable(op)
+
+    def lookup_output(
+        self, op: Operator
+    ) -> "tuple[PartitionedDataset, ChargeLog] | None":
+        """Fetch ``op``'s materialized output and its recorded charges.
+
+        The executor replays the log itself (against whatever clock and
+        metrics it currently exposes) so nested recordings re-log
+        correctly.
+        """
+        entry = self._outputs.get(op.op_id)
+        if entry is not None:
+            self._record_hit("output")
+        return entry
+
+    def store_output(self, op: Operator, dataset: "PartitionedDataset", log: ChargeLog) -> None:
+        self._record_miss("output")
+        self._outputs[op.op_id] = (dataset, log)
+
+    # -- shuffle placements ------------------------------------------------------
+
+    def serves_shuffle(self, producer: Operator) -> bool:
+        """Whether repartitions of ``producer``'s output are memoizable."""
+        return self.analysis.is_invariant(producer)
+
+    def lookup_shuffle(
+        self, producer: Operator, key: KeySpec
+    ) -> "tuple[PartitionedDataset, ChargeLog] | None":
+        entry = self._shuffles.get((producer.op_id, key))
+        if entry is not None:
+            self._record_hit("shuffle")
+        return entry
+
+    def store_shuffle(
+        self,
+        producer: Operator,
+        key: KeySpec,
+        dataset: "PartitionedDataset",
+        log: ChargeLog,
+    ) -> None:
+        self._record_miss("shuffle")
+        self._shuffles[(producer.op_id, key)] = (dataset, log)
+
+    # -- join / co-group build indexes -------------------------------------------
+
+    def serves_build(self, op: Operator, side: str) -> bool:
+        """Whether the ``side`` build index of join/co-group ``op`` is
+        loop-invariant and therefore reusable across supersteps."""
+        return side in self.analysis.reusable_build_sides(op)
+
+    def lookup_build(self, op: Operator, side: str) -> "list[dict[Any, list[Any]]] | None":
+        tables = self._builds.get((op.op_id, side))
+        if tables is not None:
+            self._record_hit("build")
+        return tables
+
+    def store_build(
+        self, op: Operator, side: str, tables: "list[dict[Any, list[Any]]]"
+    ) -> None:
+        self._record_miss("build")
+        self._builds[(op.op_id, side)] = tables
+
+    # -- cross broadcast copies --------------------------------------------------
+
+    def lookup_broadcast(self, op: Operator) -> "tuple[list[Any], ChargeLog] | None":
+        """The memoized broadcast copy of a cross's invariant right side,
+        with the network charges its placement cost."""
+        entry = self._broadcasts.get(op.op_id)
+        if entry is not None:
+            self._record_hit("build")
+        return entry
+
+    def store_broadcast(self, op: Operator, records: list[Any], log: ChargeLog) -> None:
+        self._record_miss("build")
+        self._broadcasts[op.op_id] = (records, log)
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate(
+        self, lost_partitions: Sequence[int] | None = None, reason: str = "failure"
+    ) -> int:
+        """Drop every cache entry touched by a failure.
+
+        Cached datasets and build indexes are partitioned exactly like
+        the iterative state — partition ``p`` of every entry lived on the
+        worker hosting state partition ``p`` — so losing any partition
+        invalidates every entry (each entry spans all partitions). The
+        next ``execute()`` re-materializes on the replacement workers,
+        charging placement costs per the active mode.
+
+        Returns the number of entries dropped (also added to the
+        ``cache.invalidations`` counter).
+        """
+        dropped = (
+            len(self._outputs)
+            + len(self._shuffles)
+            + len(self._builds)
+            + len(self._broadcasts)
+        )
+        self._outputs.clear()
+        self._shuffles.clear()
+        self._builds.clear()
+        self._broadcasts.clear()
+        if dropped:
+            self.invalidations += dropped
+            self.metrics.increment("cache.invalidations", dropped)
+            self.metrics.increment(f"cache.invalidations.{reason}", dropped)
+        return dropped

@@ -38,6 +38,7 @@ from ..dataflow.plan import Plan
 from ..errors import ExecutionError, PartitionLostError
 from ..observability.span import SpanKind
 from ..observability.tracer import NOOP_TRACER, Tracer
+from .cache import SuperstepExecutionCache
 from .clock import SimulatedClock
 from .metrics import MetricsRegistry
 from .partition import HashPartitioner
@@ -186,6 +187,9 @@ class PlanExecutor:
         #: so jobs that interpret those counters (e.g. the demo's
         #: "messages" statistic) run with combiners off.
         self.combiners = combiners
+        #: the execution cache of the in-flight ``execute()`` call (set
+        #: per call from its ``cache`` argument; ``None`` disables reuse).
+        self._cache: SuperstepExecutionCache | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -194,6 +198,7 @@ class PlanExecutor:
         plan: Plan,
         bindings: dict[str, PartitionedDataset],
         outputs: Sequence[str] | None = None,
+        cache: SuperstepExecutionCache | None = None,
     ) -> dict[str, PartitionedDataset]:
         """Run ``plan`` with its sources bound to concrete datasets.
 
@@ -204,6 +209,13 @@ class PlanExecutor:
                 ``parallelism`` partitions and no lost partitions.
             outputs: operator names whose results to return; defaults to
                 the plan's sinks.
+            cache: optional
+                :class:`~repro.runtime.cache.SuperstepExecutionCache`
+                built for this plan. Loop-invariant operator outputs,
+                static shuffle placements and static join build indexes
+                are then served from cache instead of recomputed; the
+                cache's mode decides whether their simulated charges are
+                replayed (``transparent``) or skipped (``modeled``).
 
         Returns:
             ``{operator name: materialized dataset}`` for each requested
@@ -211,18 +223,23 @@ class PlanExecutor:
         """
         plan.validate()
         self._check_bindings(plan, bindings)
-        results: dict[int, PartitionedDataset] = {}
-        for op in plan.topological_order():
-            with self.tracer.span(
-                f"op:{op.name}",
-                kind=SpanKind.OPERATOR,
-                operator=op.name,
-                op_kind=op.kind,
-            ) as span:
-                result = self._execute_operator(op, results, bindings)
-                if self.tracer.enabled:
-                    self._annotate_operator_span(span, result)
-            results[op.op_id] = result
+        if cache is not None:
+            cache.bind_plan(plan)
+        previous_cache = self._cache
+        self._cache = cache
+        try:
+            results: dict[int, PartitionedDataset] = {}
+            for op in plan.topological_order():
+                with self.tracer.span(
+                    f"op:{op.name}",
+                    kind=SpanKind.OPERATOR,
+                    operator=op.name,
+                    op_kind=op.kind,
+                ) as span:
+                    result = self._execute_or_serve(op, results, bindings, span)
+                results[op.op_id] = result
+        finally:
+            self._cache = previous_cache
         wanted = list(outputs) if outputs is not None else [op.name for op in plan.sinks()]
         produced = {}
         for name in wanted:
@@ -279,22 +296,93 @@ class PlanExecutor:
     def _shuffle(
         self, dataset: PartitionedDataset, key: KeySpec, op_name: str
     ) -> PartitionedDataset:
-        """Hash-repartition ``dataset`` by ``key`` unless already placed."""
+        """Hash-repartition ``dataset`` by ``key`` unless already placed.
+
+        The redistribution loop is the hottest wall-clock path in the
+        engine, so it binds the partitioner and the per-partition
+        ``list.append`` methods once and routes each record with a single
+        dict-free dispatch; the simulated cost is unchanged (``moved``
+        still counts every record of every partition exactly once).
+        """
         dataset.require_complete(f"shuffle for {op_name!r}")
         if dataset.partitioned_by == key:
             return dataset
-        partitioner = HashPartitioner(self.parallelism)
+        partition = HashPartitioner(self.parallelism).partition
         parts: list[list[Any]] = [[] for _ in range(self.parallelism)]
+        appends = [part.append for part in parts]
         moved = 0
         for part in dataset.partitions:
+            moved += len(part)  # type: ignore[arg-type]
             for record in part:  # type: ignore[union-attr]
-                parts[partitioner.partition(key(record))].append(record)
-                moved += 1
+                appends[partition(key(record))](record)
         self.clock.charge_network(moved)
         self.metrics.increment(f"shuffled.{op_name}", moved)
         self.metrics.observe("shuffle_volume", moved)
         self.metrics.observe(f"shuffle_volume.{op_name}", moved)
         return PartitionedDataset(partitions=parts, partitioned_by=key)
+
+    def _cached_shuffle(
+        self,
+        producer: Operator,
+        dataset: PartitionedDataset,
+        key: KeySpec,
+        op_name: str,
+    ) -> PartitionedDataset:
+        """Shuffle a binary operator's input, memoizing the placement
+        when the input is loop-invariant.
+
+        On a hit the stored placement is returned at zero wall-clock cost
+        and the recorded network charges are replayed (transparent mode)
+        or skipped (modeled mode). No-op shuffles (input already placed)
+        bypass the memo: they charge nothing and cache nothing.
+        """
+        cache = self._cache
+        if (
+            cache is None
+            or not cache.serves_shuffle(producer)
+            or dataset.partitioned_by == key
+        ):
+            return self._shuffle(dataset, key, op_name)
+        entry = cache.lookup_shuffle(producer, key)
+        if entry is not None:
+            shuffled, log = entry
+            log.replay(self.clock, self.metrics, charge=cache.transparent)
+            return shuffled
+        with cache.recording(self) as log:
+            shuffled = self._shuffle(dataset, key, op_name)
+        cache.store_shuffle(producer, key, shuffled, log)
+        return shuffled
+
+    def _execute_or_serve(
+        self,
+        op: Operator,
+        results: dict[int, PartitionedDataset],
+        bindings: dict[str, PartitionedDataset],
+        span,
+    ) -> PartitionedDataset:
+        """Serve ``op`` from the execution cache when possible, otherwise
+        execute it (recording its charges if it is cacheable)."""
+        cache = self._cache
+        if cache is None or not cache.serves_output(op):
+            result = self._execute_operator(op, results, bindings)
+            if self.tracer.enabled:
+                self._annotate_operator_span(span, result)
+            return result
+        entry = cache.lookup_output(op)
+        if entry is not None:
+            result, log = entry
+            log.replay(self.clock, self.metrics, charge=cache.transparent)
+            if self.tracer.enabled:
+                span.set_attribute("cache", "hit")
+                self._annotate_operator_span(span, result)
+            return result
+        with cache.recording(self) as log:
+            result = self._execute_operator(op, results, bindings)
+        cache.store_output(op, result, log)
+        if self.tracer.enabled:
+            span.set_attribute("cache", "miss")
+            self._annotate_operator_span(span, result)
+        return result
 
     def _execute_operator(
         self,
@@ -413,50 +501,108 @@ class PlanExecutor:
     def _run_join(
         self, op: JoinOperator, left: PartitionedDataset, right: PartitionedDataset
     ) -> PartitionedDataset:
-        self._count_in(op, left.num_records() + right.num_records())
-        left = self._shuffle(left, op.left_key, op.name)
-        right = self._shuffle(right, op.right_key, op.name)
+        cache = self._cache
+        reusable = cache is not None and cache.serves_build(op, "right")
+        tables = cache.lookup_build(op, "right") if reusable else None
+        if tables is not None and not cache.transparent:
+            # modeled mode: the resident build side is not reprocessed.
+            self._count_in(op, left.num_records())
+        else:
+            self._count_in(op, left.num_records() + right.num_records())
+        left = self._cached_shuffle(op.inputs[0], left, op.left_key, op.name)
+        right = self._cached_shuffle(op.inputs[1], right, op.right_key, op.name)
+        building = tables is None
+        if building:
+            tables = []
+            right_key = op.right_key
+            for right_part in right.partitions:
+                table: dict[Any, list[Any]] = {}
+                for record in right_part:  # type: ignore[union-attr]
+                    table.setdefault(right_key(record), []).append(record)
+                tables.append(table)
+            if reusable:
+                cache.store_build(op, "right", tables)
         parts: list[list[Any]] = []
-        for left_part, right_part in zip(left.partitions, right.partitions):
-            table: dict[Any, list[Any]] = {}
-            for record in right_part:  # type: ignore[union-attr]
-                table.setdefault(op.right_key(record), []).append(record)
+        left_key, fn = op.left_key, op.fn
+        for left_part, table in zip(left.partitions, tables):
             out: list[Any] = []
             for record in left_part:  # type: ignore[union-attr]
-                for match in table.get(op.left_key(record), ()):
-                    out.extend(emitted(op.fn(record, match)))
+                for match in table.get(left_key(record), ()):
+                    out.extend(emitted(fn(record, match)))
             parts.append(out)
         return PartitionedDataset(partitions=parts, partitioned_by=self._join_partitioning(op))
+
+    @staticmethod
+    def _group_partitions(
+        dataset: PartitionedDataset, key: KeySpec
+    ) -> list[dict[Any, list[Any]]]:
+        groups_per_part: list[dict[Any, list[Any]]] = []
+        for part in dataset.partitions:
+            groups: dict[Any, list[Any]] = {}
+            for record in part:  # type: ignore[union-attr]
+                groups.setdefault(key(record), []).append(record)
+            groups_per_part.append(groups)
+        return groups_per_part
 
     def _run_co_group(
         self, op: CoGroupOperator, left: PartitionedDataset, right: PartitionedDataset
     ) -> PartitionedDataset:
-        self._count_in(op, left.num_records() + right.num_records())
-        left = self._shuffle(left, op.left_key, op.name)
-        right = self._shuffle(right, op.right_key, op.name)
+        cache = self._cache
+        left_reusable = cache is not None and cache.serves_build(op, "left")
+        right_reusable = cache is not None and cache.serves_build(op, "right")
+        left_groups_all = cache.lookup_build(op, "left") if left_reusable else None
+        right_groups_all = cache.lookup_build(op, "right") if right_reusable else None
+        counted = 0
+        if left_groups_all is None or cache.transparent:
+            counted += left.num_records()
+        if right_groups_all is None or cache.transparent:
+            counted += right.num_records()
+        self._count_in(op, counted)
+        left = self._cached_shuffle(op.inputs[0], left, op.left_key, op.name)
+        right = self._cached_shuffle(op.inputs[1], right, op.right_key, op.name)
+        if left_groups_all is None:
+            left_groups_all = self._group_partitions(left, op.left_key)
+            if left_reusable:
+                cache.store_build(op, "left", left_groups_all)
+        if right_groups_all is None:
+            right_groups_all = self._group_partitions(right, op.right_key)
+            if right_reusable:
+                cache.store_build(op, "right", right_groups_all)
         parts: list[list[Any]] = []
-        for left_part, right_part in zip(left.partitions, right.partitions):
-            left_groups: dict[Any, list[Any]] = {}
-            for record in left_part:  # type: ignore[union-attr]
-                left_groups.setdefault(op.left_key(record), []).append(record)
-            right_groups: dict[Any, list[Any]] = {}
-            for record in right_part:  # type: ignore[union-attr]
-                right_groups.setdefault(op.right_key(record), []).append(record)
+        fn = op.fn
+        for left_groups, right_groups in zip(left_groups_all, right_groups_all):
             out: list[Any] = []
             for key in left_groups.keys() | right_groups.keys():
-                out.extend(op.fn(key, left_groups.get(key, []), right_groups.get(key, [])))
+                out.extend(fn(key, left_groups.get(key, []), right_groups.get(key, [])))
             parts.append(out)
         return PartitionedDataset(partitions=parts, partitioned_by=self._join_partitioning(op))
 
-    def _run_cross(
-        self, op: CrossOperator, left: PartitionedDataset, right: PartitionedDataset
-    ) -> PartitionedDataset:
-        # The right side is broadcast: every partition receives a full copy.
+    def _broadcast_side(self, op: CrossOperator, right: PartitionedDataset) -> list[Any]:
         broadcast = right.all_records()
         self.clock.charge_network(len(broadcast) * self.parallelism)
         self.metrics.increment(f"shuffled.{op.name}", len(broadcast) * self.parallelism)
         self.metrics.observe("shuffle_volume", len(broadcast) * self.parallelism)
         self.metrics.observe(f"shuffle_volume.{op.name}", len(broadcast) * self.parallelism)
+        return broadcast
+
+    def _run_cross(
+        self, op: CrossOperator, left: PartitionedDataset, right: PartitionedDataset
+    ) -> PartitionedDataset:
+        # The right side is broadcast: every partition receives a full copy.
+        cache = self._cache
+        reusable = cache is not None and cache.serves_build(op, "right")
+        entry = cache.lookup_broadcast(op) if reusable else None
+        if entry is not None:
+            broadcast, log = entry
+            log.replay(self.clock, self.metrics, charge=cache.transparent)
+        elif reusable:
+            with cache.recording(self) as log:
+                broadcast = self._broadcast_side(op, right)
+            cache.store_broadcast(op, broadcast, log)
+        else:
+            broadcast = self._broadcast_side(op, right)
+        # The probe UDF genuinely runs against every pair each superstep,
+        # so pair processing is charged in every cache mode.
         pairs = left.num_records() * len(broadcast)
         self._count_in(op, pairs)
         parts: list[list[Any]] = []

@@ -1,0 +1,179 @@
+"""Loop-invariant subplan analysis."""
+
+import pytest
+
+from repro.algorithms.connected_components import connected_components_plan
+from repro.algorithms.pagerank import pagerank_plan
+from repro.dataflow.datatypes import first_field
+from repro.dataflow.invariants import InvariantAnalysis, analyze_invariants
+from repro.dataflow.plan import Plan
+from repro.errors import PlanError
+
+KEY = first_field("k")
+
+
+def _op(plan, name):
+    return plan.operator_by_name(name)
+
+
+class TestSourceClassification:
+    def test_dynamic_source_is_not_invariant(self):
+        plan = Plan("p")
+        plan.source("state")
+        analysis = analyze_invariants(plan, {"state"})
+        assert not analysis.is_invariant(_op(plan, "state"))
+        assert analysis.invariant_sources == frozenset()
+
+    def test_static_source_is_invariant(self):
+        plan = Plan("p")
+        plan.source("state")
+        plan.source("edges")
+        analysis = analyze_invariants(plan, {"state"})
+        assert analysis.is_invariant(_op(plan, "edges"))
+        assert analysis.invariant_sources == frozenset({"edges"})
+
+    def test_sources_are_never_cacheable(self):
+        plan = Plan("p")
+        plan.source("state")
+        plan.source("edges")
+        analysis = analyze_invariants(plan, {"state"})
+        assert not analysis.is_cacheable(_op(plan, "edges"))
+
+    def test_unknown_dynamic_source_rejected(self):
+        plan = Plan("p")
+        plan.source("state")
+        with pytest.raises(PlanError, match="bogus"):
+            analyze_invariants(plan, {"bogus"})
+
+
+class TestOperatorPropagation:
+    def _chain_plan(self):
+        plan = Plan("p")
+        state = plan.source("state", partitioned_by=KEY)
+        edges = plan.source("edges", partitioned_by=KEY)
+        prepared = edges.map(lambda r: (r[0], r[1] * 2), name="prep").filter(
+            lambda r: r[1] > 0, name="keep"
+        )
+        state.join(
+            prepared,
+            left_key=KEY,
+            right_key=KEY,
+            fn=lambda a, b: (a[0], a[1] + b[1]),
+            name="combine",
+        )
+        return plan
+
+    def test_static_chain_is_cacheable(self):
+        plan = self._chain_plan()
+        analysis = analyze_invariants(plan, {"state"})
+        assert analysis.is_cacheable(_op(plan, "prep"))
+        assert analysis.is_cacheable(_op(plan, "keep"))
+
+    def test_operator_touching_dynamic_source_is_not_invariant(self):
+        plan = self._chain_plan()
+        analysis = analyze_invariants(plan, {"state"})
+        assert not analysis.is_invariant(_op(plan, "combine"))
+
+    def test_all_invariant_join_is_itself_invariant(self):
+        plan = Plan("p")
+        plan.source("state")
+        a = plan.source("a", partitioned_by=KEY)
+        b = plan.source("b", partitioned_by=KEY)
+        a.join(b, left_key=KEY, right_key=KEY, fn=lambda x, y: x, name="static-join")
+        analysis = analyze_invariants(plan, {"state"})
+        join = _op(plan, "static-join")
+        assert analysis.is_cacheable(join)
+        # Its output is served whole; no per-side build reuse is needed.
+        assert analysis.reusable_build_sides(join) == ()
+
+
+class TestBuildReuse:
+    def _join_plan(self, static_side):
+        plan = Plan("p")
+        state = plan.source("state", partitioned_by=KEY)
+        edges = plan.source("edges", partitioned_by=KEY)
+        left, right = (edges, state) if static_side == "left" else (state, edges)
+        left.join(right, left_key=KEY, right_key=KEY, fn=lambda a, b: a, name="j")
+        return plan
+
+    def test_join_with_static_right(self):
+        plan = self._join_plan("right")
+        analysis = analyze_invariants(plan, {"state"})
+        assert analysis.reusable_build_sides(_op(plan, "j")) == ("right",)
+
+    def test_join_with_static_left(self):
+        plan = self._join_plan("left")
+        analysis = analyze_invariants(plan, {"state"})
+        assert analysis.reusable_build_sides(_op(plan, "j")) == ("left",)
+
+    def test_fully_dynamic_join_has_no_reuse(self):
+        plan = Plan("p")
+        state = plan.source("state", partitioned_by=KEY)
+        workset = plan.source("workset", partitioned_by=KEY)
+        state.join(workset, left_key=KEY, right_key=KEY, fn=lambda a, b: a, name="j")
+        analysis = analyze_invariants(plan, {"state", "workset"})
+        assert analysis.reusable_build_sides(_op(plan, "j")) == ()
+
+    def test_co_group_sides(self):
+        plan = Plan("p")
+        state = plan.source("state", partitioned_by=KEY)
+        edges = plan.source("edges", partitioned_by=KEY)
+        state.co_group(
+            edges,
+            left_key=KEY,
+            right_key=KEY,
+            fn=lambda key, ls, rs: [(key, len(ls) + len(rs))],
+            name="cg",
+        )
+        analysis = analyze_invariants(plan, {"state"})
+        assert analysis.reusable_build_sides(_op(plan, "cg")) == ("right",)
+
+    def test_cross_with_static_right_reuses_broadcast(self):
+        plan = Plan("p")
+        state = plan.source("state", partitioned_by=KEY)
+        consts = plan.source("consts")
+        state.cross(consts, fn=lambda a, b: a, name="x")
+        analysis = analyze_invariants(plan, {"state"})
+        assert analysis.reusable_build_sides(_op(plan, "x")) == ("right",)
+
+    def test_cross_with_dynamic_right_has_no_reuse(self):
+        plan = Plan("p")
+        state = plan.source("state", partitioned_by=KEY)
+        other = plan.source("other")
+        state.cross(other, fn=lambda a, b: a, name="x")
+        analysis = analyze_invariants(plan, {"state", "other"})
+        assert analysis.reusable_build_sides(_op(plan, "x")) == ()
+
+
+class TestDemoPlans:
+    def test_connected_components(self):
+        plan = connected_components_plan()
+        analysis = analyze_invariants(plan, {"labels", "workset"})
+        assert analysis.invariant_sources == frozenset({"graph"})
+        # The workset x graph join keeps the static edge index resident.
+        assert analysis.reusable_build_sides(_op(plan, "label-to-neighbors")) == (
+            "right",
+        )
+        # candidates x solution is fully dynamic.
+        assert analysis.reusable_build_sides(_op(plan, "label-update")) == ()
+        assert analysis.cacheable_ops == frozenset()
+
+    def test_pagerank(self):
+        plan = pagerank_plan(damping=0.85, num_vertices=10)
+        analysis = analyze_invariants(plan, {"ranks"})
+        assert analysis.invariant_sources == frozenset(
+            {"links", "dangling", "mass-seed"}
+        )
+        assert analysis.reusable_build_sides(_op(plan, "find-neighbors")) == ("right",)
+        assert analysis.reusable_build_sides(_op(plan, "collect-dangling")) == (
+            "right",
+        )
+        # apply-damping broadcasts the (dynamic) dangling-mass aggregate.
+        assert analysis.reusable_build_sides(_op(plan, "apply-damping")) == ()
+
+    def test_analysis_is_frozen(self):
+        plan = connected_components_plan()
+        analysis = analyze_invariants(plan, {"labels", "workset"})
+        assert isinstance(analysis, InvariantAnalysis)
+        with pytest.raises(AttributeError):
+            analysis.plan_name = "other"
