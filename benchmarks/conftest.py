@@ -14,6 +14,19 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Benchmarks sweep pool sizes and whole workloads; give them headroom.
+DEFAULT_BENCH_TIMEOUT = 600
+
+
+def pytest_collection_modifyitems(config, items):
+    # Mirror tests/conftest.py: a real per-test timeout only when the
+    # optional pytest-timeout plugin is installed (the `test` extra).
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(DEFAULT_BENCH_TIMEOUT))
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _results_dir():

@@ -27,17 +27,27 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
 
-from .config import DEFAULT_CONFIG, CostModel, EngineConfig
+from .config import (
+    DEFAULT_CONFIG,
+    DEFAULT_SERVICE_CONFIG,
+    CostModel,
+    EngineConfig,
+    ServiceConfig,
+)
 from .errors import (
+    AdmissionError,
     CompensationError,
     ConfigError,
     ExecutionError,
     GraphError,
     IterationError,
+    JobCancelledError,
+    JobTimeoutError,
     PartitionLostError,
     PlanError,
     RecoveryError,
     ReproError,
+    ServiceError,
     StorageError,
     TerminationError,
 )
@@ -45,18 +55,24 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "CompensationError",
     "ConfigError",
     "CostModel",
     "DEFAULT_CONFIG",
+    "DEFAULT_SERVICE_CONFIG",
     "EngineConfig",
     "ExecutionError",
     "GraphError",
     "IterationError",
+    "JobCancelledError",
+    "JobTimeoutError",
     "PartitionLostError",
     "PlanError",
     "RecoveryError",
     "ReproError",
+    "ServiceConfig",
+    "ServiceError",
     "StorageError",
     "TerminationError",
     "__version__",

@@ -163,3 +163,62 @@ class EngineConfig:
 
 
 DEFAULT_CONFIG = EngineConfig()
+
+#: admission backpressure policies of :class:`ServiceConfig`.
+BACKPRESSURE_POLICIES = ("reject", "block")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the multi-job service (:mod:`repro.service`).
+
+    Engine knobs stay on the per-job :class:`EngineConfig`; this class
+    holds the knobs of the layer above — the admission queue and the
+    worker pool that runs many independent engine runs concurrently.
+
+    Attributes:
+        pool_size: number of jobs executed concurrently. Each job's
+            engine is self-contained and deterministic, so cross-job
+            wall-clock parallelism never changes per-job results.
+        queue_capacity: admission-queue bound (``None`` = unbounded).
+            Jobs wait here between ``submit`` and a free worker.
+        backpressure: what a full queue does to ``submit``:
+            ``"reject"`` raises :class:`repro.errors.AdmissionError`
+            immediately; ``"block"`` waits up to ``admission_timeout``
+            seconds for room, then raises.
+        admission_timeout: how long a ``block`` admission may wait.
+        poll_interval: how often idle workers re-check the queue and the
+            shutdown flag (also bounds how quickly ``drain`` notices an
+            empty service).
+        trace_jobs: record a per-attempt span tree per job (tagged with
+            ``job_id``) via :class:`repro.observability.tracer.RecordingTracer`.
+    """
+
+    pool_size: int = 4
+    queue_capacity: int | None = 64
+    backpressure: str = "reject"
+    admission_timeout: float = 10.0
+    poll_interval: float = 0.02
+    trace_jobs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ConfigError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1 or None, got {self.queue_capacity}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.admission_timeout < 0:
+            raise ConfigError(
+                f"admission_timeout must be >= 0, got {self.admission_timeout}"
+            )
+        if self.poll_interval <= 0:
+            raise ConfigError(f"poll_interval must be > 0, got {self.poll_interval}")
+
+
+DEFAULT_SERVICE_CONFIG = ServiceConfig()

@@ -18,6 +18,12 @@ simulated time went::
     python -m repro.demo --algorithm pagerank --fail 3:0 \
         --recovery optimistic --trace-out trace.jsonl
     python -m repro.demo profile trace.jsonl
+
+The ``serve`` subcommand runs a seeded multi-job workload through the
+:mod:`repro.service` job service — many concurrent runs, injected
+failures, retries, backpressure — and prints the service report::
+
+    python -m repro.demo serve --jobs 50 --pool 4 --per-job
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ import sys
 from typing import Sequence
 
 from ..analysis import Series, format_figure
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError
 from ..iteration.snapshots import SnapshotPhase
 from ..observability.export import trace_to_jsonl
 from ..observability.profile import format_profile, profile_trace
@@ -35,19 +41,33 @@ from ..observability.tracer import RecordingTracer
 from .controller import ALGORITHMS, GRAPHS, RECOVERIES, DemoRun, DemoSession
 from .render import render_components, render_ranks
 
+#: the usage hint shown for malformed --fail specs.
+FAILURE_USAGE = (
+    "failure specs are SUPERSTEP:P1[,P2,...] with numeric superstep and "
+    "partition ids, e.g. --fail 2:0 or --fail 4:1,3"
+)
+
 
 def _parse_failure(text: str) -> tuple[int, list[int]]:
-    """Parse ``SUPERSTEP:P1,P2,...`` into ``(superstep, partitions)``."""
+    """Parse ``SUPERSTEP:P1,P2,...`` into ``(superstep, partitions)``.
+
+    Malformed specs — a missing worker list (``--fail 3``), non-numeric
+    ids (``--fail 3:a``), an empty list (``--fail 3:``) — raise
+    :class:`repro.errors.ConfigError` carrying a usage hint; the CLI
+    turns that into exit code 2.
+    """
     try:
         superstep_text, partitions_text = text.split(":", 1)
         superstep = int(superstep_text)
         partitions = [int(p) for p in partitions_text.split(",") if p]
     except ValueError as exc:
-        raise argparse.ArgumentTypeError(
-            f"expected SUPERSTEP:P1,P2,... (e.g. 2:0 or 4:1,3), got {text!r}"
+        raise ConfigError(
+            f"malformed failure spec {text!r}: {exc}\nhint: {FAILURE_USAGE}"
         ) from exc
     if not partitions:
-        raise argparse.ArgumentTypeError(f"no partitions in failure spec {text!r}")
+        raise ConfigError(
+            f"failure spec {text!r} names no partitions\nhint: {FAILURE_USAGE}"
+        )
     return superstep, partitions
 
 
@@ -83,7 +103,6 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fail",
         dest="failures",
-        type=_parse_failure,
         action="append",
         default=[],
         metavar="SUPERSTEP:PARTITIONS",
@@ -150,6 +169,97 @@ def profile_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-demo serve",
+        description="Run a seeded multi-job workload through the job "
+        "service and print the service report",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=50, help="workload size (default: 50)"
+    )
+    parser.add_argument(
+        "--pool", type=int, default=4, help="concurrent jobs (default: 4)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="admission queue bound (default: unbounded)",
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=("reject", "block"),
+        default="block",
+        help="policy when the queue is full (default: block)",
+    )
+    parser.add_argument(
+        "--cc-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of Connected Components jobs (default: 0.5)",
+    )
+    parser.add_argument(
+        "--failure-density",
+        type=float,
+        default=0.4,
+        help="probability a job gets injected partition failures (default: 0.4)",
+    )
+    parser.add_argument(
+        "--per-job",
+        action="store_true",
+        help="also print one line per terminal job",
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    """``serve`` subcommand: load-gen workload through the job service."""
+    from ..config import ServiceConfig
+    from ..service import JobService, WorkloadConfig, generate_workload
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        workload = generate_workload(
+            WorkloadConfig(
+                num_jobs=args.jobs,
+                seed=args.seed,
+                cc_fraction=args.cc_fraction,
+                failure_density=args.failure_density,
+            )
+        )
+        service_config = ServiceConfig(
+            pool_size=args.pool,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.backpressure,
+        )
+    except ConfigError as error:
+        print(f"error: {error}")
+        return 2
+    try:
+        with JobService(service_config) as service:
+            handles = service.run_all(workload)
+            report = service.report()
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    if args.per_job:
+        for handle in handles:
+            line = (
+                f"job {handle.job_id:>3} {handle.spec.name:<24} "
+                f"{handle.state.value:<10} attempts={handle.attempts}"
+            )
+            if handle.retries:
+                line += f" retries={handle.retries}"
+            print(line)
+        print()
+    print(report.format(title=f"serve: {args.jobs} jobs, pool={args.pool}"))
+    return 0
+
+
 def _render_state(run: DemoRun, state: dict, highlight: list[int]) -> str:
     if run.algorithm == "pagerank":
         return render_ranks(state, highlight=highlight, width=30)
@@ -192,13 +302,21 @@ def _print_plots(run: DemoRun) -> None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes follow argparse conventions: 2 for bad command-line input
+    (malformed ``--fail`` specs, out-of-range partitions), 1 for runtime
+    errors, 0 on success.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     tracer = RecordingTracer() if args.trace_out else None
     try:
+        failures = [_parse_failure(text) for text in args.failures]
         session = DemoSession(
             algorithm=args.algorithm,
             graph=args.graph,
@@ -207,13 +325,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             twitter_size=args.size,
             seed=args.seed,
         )
-        for superstep, partitions in args.failures:
+        for superstep, partitions in failures:
             session.schedule_failure(superstep, partitions)
+    except ConfigError as error:
+        print(f"error: {error}")
+        return 2
+    try:
         run = session.press_play(
             recovery=args.recovery,
             checkpoint_interval=args.checkpoint_interval,
             tracer=tracer,
         )
+    except ConfigError as error:
+        # Invalid option combination (e.g. incremental recovery on the
+        # bulk-iteration tab) — a usage error, same exit code as argparse.
+        print(f"error: {error}")
+        return 2
     except ReproError as error:
         print(f"error: {error}")
         return 1

@@ -66,3 +66,24 @@ class GraphError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when an :class:`repro.config.EngineConfig` is invalid."""
+
+
+class ServiceError(ReproError):
+    """Raised by the job service on lifecycle misuse (submitting to a
+    drained service, illegal job-state transitions, reading the result of
+    an unfinished job, ...)."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the job service's admission queue refuses a job — the
+    queue is at capacity under the ``reject`` backpressure policy, or a
+    ``block`` admission timed out waiting for room."""
+
+
+class JobCancelledError(ServiceError):
+    """Raised when the result of a cancelled job is requested."""
+
+
+class JobTimeoutError(ServiceError):
+    """Raised when a job misses its deadline — while queued, between retry
+    attempts, or (cooperatively, at superstep granularity) mid-run."""

@@ -122,12 +122,18 @@ class FailureInjector:
     def __init__(self, schedule: FailureSchedule):
         self.schedule = schedule
         self._fired: set[int] = set()
+        # Pre-index events by superstep so pop() is O(events due) instead
+        # of rescanning the whole schedule every superstep. Indexing keeps
+        # schedule order within a superstep, so firing order is unchanged.
+        self._by_superstep: dict[int, list[tuple[int, FailureEvent]]] = {}
+        for index, event in enumerate(schedule.events):
+            self._by_superstep.setdefault(event.superstep, []).append((index, event))
 
     def pop(self, superstep: int) -> list[FailureEvent]:
         """Events that fire in ``superstep`` and have not fired before."""
         due = []
-        for index, event in enumerate(self.schedule.events):
-            if event.superstep == superstep and index not in self._fired:
+        for index, event in self._by_superstep.get(superstep, ()):
+            if index not in self._fired:
                 self._fired.add(index)
                 due.append(event)
         return due

@@ -17,6 +17,7 @@ count "messages").
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -44,17 +45,23 @@ class MetricsRegistry:
       exchange volumes;
     * **timers** (:meth:`timer`) — wall-clock context managers whose
       durations land in the histogram of the same name.
+
+    The registry is thread-safe: the job service shares one registry
+    across its worker pool, so every read-modify-write goes through an
+    internal lock (uncontended in the single-threaded engine paths).
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, list[float]] = {}
 
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
-        value = self._counters.get(name, 0) + amount
-        self._counters[name] = value
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
         return value
 
     def get(self, name: str) -> int:
@@ -81,7 +88,8 @@ class MetricsRegistry:
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def gauge(self, name: str, default: float | None = None) -> float | None:
         """Current value of gauge ``name`` (``default`` if never set)."""
@@ -95,7 +103,8 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into histogram ``name``."""
-        self._histograms.setdefault(name, []).append(value)
+        with self._lock:
+            self._histograms.setdefault(name, []).append(value)
 
     def histogram(self, name: str) -> HistogramStats | None:
         """Summary stats of histogram ``name`` (``None`` if unobserved)."""
@@ -127,9 +136,10 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every counter, gauge and histogram."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 @dataclass

@@ -1,0 +1,50 @@
+"""repro.service — a concurrent job service above the single-run engine.
+
+The engine executes one deterministic iterative job; this package is the
+layer a deployment puts on top: admission (bounded priority queue with
+explicit backpressure), scheduling (a worker pool running N independent
+engine runs concurrently), and supervision (deadlines, cancellation, and
+retries that distinguish in-run injected failures — absorbed by the
+recovery strategies — from infrastructure failures like spare-pool
+exhaustion).
+
+Quickstart::
+
+    from repro.config import ServiceConfig
+    from repro.service import JobService, WorkloadConfig, generate_workload
+
+    with JobService(ServiceConfig(pool_size=4)) as service:
+        handles = service.run_all(generate_workload(WorkloadConfig(num_jobs=10)))
+        print(service.report().format())
+"""
+
+from .api import JobService, ServiceReport
+from .job import (
+    JOB_RECOVERIES,
+    TERMINAL_STATES,
+    JobHandle,
+    JobSpec,
+    JobState,
+    RetryPolicy,
+)
+from .loadgen import WorkloadConfig, generate_workload
+from .queue import AdmissionQueue
+from .scheduler import WorkerPool
+from .supervisor import DeadlineTracer, JobSupervisor
+
+__all__ = [
+    "AdmissionQueue",
+    "DeadlineTracer",
+    "JOB_RECOVERIES",
+    "JobHandle",
+    "JobService",
+    "JobSpec",
+    "JobState",
+    "JobSupervisor",
+    "RetryPolicy",
+    "ServiceReport",
+    "TERMINAL_STATES",
+    "WorkerPool",
+    "WorkloadConfig",
+    "generate_workload",
+]

@@ -1,0 +1,321 @@
+"""The public facade: :class:`JobService`.
+
+Usage::
+
+    from repro.config import ServiceConfig
+    from repro.service import JobService, JobSpec
+
+    with JobService(ServiceConfig(pool_size=4)) as service:
+        handle = service.submit(JobSpec(name="cc", make_job=lambda: job))
+        result = handle.result(timeout=30)
+
+``submit`` admits a job (or raises :class:`repro.errors.AdmissionError`
+under backpressure), ``status``/``result``/``cancel`` observe and steer
+it, ``drain`` stops admissions and waits for the in-flight work, and
+``run_all`` is the synchronous convenience the CLI and benchmarks use.
+
+Everything observable lands on one :class:`repro.runtime.metrics.MetricsRegistry`:
+
+==============================  ===========================================
+``service.submitted``           submit calls (before admission control)
+``service.admitted``            jobs accepted into the queue
+``service.admission_rejects``   jobs refused by backpressure
+``service.attempts``            engine runs started
+``service.retries``             infrastructure retries performed
+``service.succeeded`` /         terminal-state counters
+``service.failed`` /
+``service.cancelled`` /
+``service.timed_out``
+``service.queue_depth``         gauge: live queue depth
+``service.jobs_in_flight``      gauge: jobs currently executing
+``service.queue_depth_sampled`` histogram: depth observed at each admission
+``service.time_in_queue_seconds``  histogram: submit → first dequeue
+``service.attempt_seconds``     histogram: wall seconds per engine run
+``service.job_seconds``         histogram: submit → terminal state
+==============================  ===========================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig
+from ..errors import AdmissionError, ServiceError
+from ..iteration.result import IterationResult
+from ..runtime.metrics import MetricsRegistry
+from .job import JobHandle, JobSpec, JobState
+from .queue import AdmissionQueue
+from .scheduler import WorkerPool
+from .supervisor import JobSupervisor
+
+
+class JobService:
+    """Admits, queues, schedules and supervises many concurrent runs."""
+
+    def __init__(
+        self,
+        config: ServiceConfig = DEFAULT_SERVICE_CONFIG,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue = AdmissionQueue(
+            capacity=config.queue_capacity,
+            policy=config.backpressure,
+            block_timeout=config.admission_timeout,
+        )
+        self._supervisor = JobSupervisor(
+            metrics=self.metrics, trace_jobs=config.trace_jobs
+        )
+        self._pool = WorkerPool(
+            self._queue,
+            self._run_one,
+            pool_size=config.pool_size,
+            poll_interval=config.poll_interval,
+            on_timeout=self._on_queue_timeout,
+        )
+        self._lock = threading.Lock()
+        self._handles: dict[int, JobHandle] = {}
+        self._next_job_id = 0
+        self._accepting = True
+        self._closed = False
+        self._started_at = time.monotonic()
+        self.metrics.set_gauge("service.pool_size", config.pool_size)
+        self.metrics.set_gauge("service.jobs_in_flight", 0)
+        self.metrics.set_gauge("service.queue_depth", 0)
+
+    # -- internal --------------------------------------------------------------
+
+    def _run_one(self, handle: JobHandle) -> None:
+        if handle.started_at is None:
+            handle.started_at = time.monotonic()
+            self.metrics.observe(
+                "service.time_in_queue_seconds", handle.time_in_queue or 0.0
+            )
+        self.metrics.set_gauge("service.queue_depth", self._queue.depth)
+        self.metrics.set_gauge("service.jobs_in_flight", self._pool.in_flight)
+        try:
+            self._supervisor.run_job(handle)
+        finally:
+            self.metrics.set_gauge("service.jobs_in_flight", self._pool.in_flight - 1)
+            total = handle.total_seconds
+            if total is not None:
+                self.metrics.observe("service.job_seconds", total)
+
+    def _on_queue_timeout(self, handle: JobHandle) -> None:
+        # Deadline missed while queued: the pool never handed the job to
+        # the supervisor, so account for the terminal state here.
+        self.metrics.increment("service.timed_out")
+        total = handle.total_seconds
+        if total is not None:
+            self.metrics.observe("service.job_seconds", total)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, timeout: float | None = None) -> JobHandle:
+        """Admit one job; returns its handle.
+
+        Raises :class:`repro.errors.AdmissionError` when backpressure
+        refuses the job, and :class:`repro.errors.ServiceError` when the
+        service is draining or shut down.
+        """
+        self.metrics.increment("service.submitted")
+        with self._lock:
+            if not self._accepting:
+                raise ServiceError(
+                    "service is draining or shut down; not accepting jobs"
+                )
+            job_id = self._next_job_id
+            self._next_job_id += 1
+        handle = JobHandle(job_id, spec)
+        try:
+            self._queue.put(handle, timeout=timeout)
+        except AdmissionError:
+            self.metrics.increment("service.admission_rejects")
+            raise
+        with self._lock:
+            self._handles[job_id] = handle
+        self.metrics.increment("service.admitted")
+        depth = self._queue.depth
+        self.metrics.set_gauge("service.queue_depth", depth)
+        self.metrics.observe("service.queue_depth_sampled", depth)
+        return handle
+
+    # -- observation and steering ----------------------------------------------
+
+    def handle(self, job_id: int) -> JobHandle:
+        """The handle of a submitted job."""
+        with self._lock:
+            if job_id not in self._handles:
+                raise ServiceError(f"unknown job id {job_id}")
+            return self._handles[job_id]
+
+    def handles(self) -> list[JobHandle]:
+        """All handles, in submission order."""
+        with self._lock:
+            return [self._handles[jid] for jid in sorted(self._handles)]
+
+    def status(self, job_id: int) -> JobState:
+        """Current lifecycle state of a job."""
+        return self.handle(job_id).state
+
+    def result(self, job_id: int, timeout: float | None = None) -> IterationResult:
+        """Block for and return a job's result (see :meth:`JobHandle.result`)."""
+        return self.handle(job_id).result(timeout)
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a job; False when it already reached a terminal state."""
+        return self.handle(job_id).request_cancel()
+
+    # -- drain / shutdown -------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions and wait until every admitted job is terminal.
+
+        Returns False when ``timeout`` expired first (the service keeps
+        working on the remainder; call again or :meth:`shutdown`).
+        """
+        with self._lock:
+            self._accepting = False
+        return self._pool.wait_idle(timeout)
+
+    def shutdown(self, cancel_pending: bool = True) -> None:
+        """Drain admissions, stop the workers, cancel queued jobs."""
+        with self._lock:
+            if self._closed:
+                return
+            self._accepting = False
+            self._closed = True
+        for handle in self._pool.shutdown(cancel_pending=cancel_pending):
+            self.metrics.increment("service.cancelled")
+        self.metrics.set_gauge("service.queue_depth", self._queue.depth)
+        self.metrics.set_gauge("service.jobs_in_flight", 0)
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+        self.shutdown()
+
+    # -- conveniences ------------------------------------------------------------
+
+    def run_all(
+        self, specs: list[JobSpec], timeout: float | None = None
+    ) -> list[JobHandle]:
+        """Submit every spec, wait for all of them, return the handles.
+
+        Admission uses the service's backpressure policy; a rejected spec
+        surfaces as :class:`repro.errors.AdmissionError` immediately.
+        Handles come back in submission order regardless of completion
+        order; inspect each handle's state/result individually.
+        """
+        handles = [self.submit(spec, timeout=timeout) for spec in specs]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in handles:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            handle.wait(remaining)
+        return handles
+
+    def report(self) -> "ServiceReport":
+        """A snapshot report of the service's counters and latencies."""
+        return ServiceReport.from_service(self)
+
+
+@dataclass
+class ServiceReport:
+    """A printable summary of one service's activity."""
+
+    submitted: int
+    admitted: int
+    rejected: int
+    attempts: int
+    retries: int
+    by_state: dict[str, int]
+    wall_seconds: float
+    queue_depth_p50: float | None
+    queue_depth_max: float | None
+    time_in_queue_p50: float | None
+    time_in_queue_p95: float | None
+    attempt_seconds_p50: float | None
+    attempt_seconds_p95: float | None
+    job_seconds_p95: float | None
+
+    @classmethod
+    def from_service(cls, service: JobService) -> "ServiceReport":
+        metrics = service.metrics
+        terminal = {
+            state.value: sum(
+                1 for h in service.handles() if h.state is state
+            )
+            for state in (
+                JobState.SUCCEEDED,
+                JobState.FAILED,
+                JobState.CANCELLED,
+                JobState.TIMED_OUT,
+            )
+        }
+
+        def _stats(name: str):
+            return metrics.histogram(name)
+
+        depth = _stats("service.queue_depth_sampled")
+        queue_time = _stats("service.time_in_queue_seconds")
+        attempt = _stats("service.attempt_seconds")
+        job = _stats("service.job_seconds")
+        return cls(
+            submitted=metrics.get("service.submitted"),
+            admitted=metrics.get("service.admitted"),
+            rejected=metrics.get("service.admission_rejects"),
+            attempts=metrics.get("service.attempts"),
+            retries=metrics.get("service.retries"),
+            by_state=terminal,
+            wall_seconds=time.monotonic() - service._started_at,
+            queue_depth_p50=depth.p50 if depth else None,
+            queue_depth_max=depth.maximum if depth else None,
+            time_in_queue_p50=queue_time.p50 if queue_time else None,
+            time_in_queue_p95=queue_time.p95 if queue_time else None,
+            attempt_seconds_p50=attempt.p50 if attempt else None,
+            attempt_seconds_p95=attempt.p95 if attempt else None,
+            job_seconds_p95=job.p95 if job else None,
+        )
+
+    @property
+    def completed(self) -> int:
+        """Jobs that reached any terminal state."""
+        return sum(self.by_state.values())
+
+    @property
+    def throughput(self) -> float:
+        """Terminal jobs per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def format(self, title: str = "job service report") -> str:
+        """Human-readable report block (the ``serve`` CLI prints this)."""
+
+        def _sec(value: float | None) -> str:
+            return "-" if value is None else f"{value * 1000:.1f}ms"
+
+        lines = [
+            f"=== {title} ===",
+            f"submitted={self.submitted} admitted={self.admitted} "
+            f"rejected={self.rejected}",
+            "terminal: "
+            + " ".join(f"{state}={count}" for state, count in self.by_state.items()),
+            f"attempts={self.attempts} retries={self.retries}",
+            f"throughput: {self.completed} jobs in {self.wall_seconds:.3f}s "
+            f"({self.throughput:.1f} jobs/s)",
+            f"queue depth: p50={self.queue_depth_p50 if self.queue_depth_p50 is not None else '-'} "
+            f"max={self.queue_depth_max if self.queue_depth_max is not None else '-'}",
+            f"time in queue: p50={_sec(self.time_in_queue_p50)} "
+            f"p95={_sec(self.time_in_queue_p95)}",
+            f"attempt time:  p50={_sec(self.attempt_seconds_p50)} "
+            f"p95={_sec(self.attempt_seconds_p95)}",
+            f"job time:      p95={_sec(self.job_seconds_p95)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Seeded load generation: mixed CC / PageRank workloads.
+
+The generator turns one seed into a reproducible list of
+:class:`repro.service.job.JobSpec`: algorithm mix, graph sizes, priority
+mix, injected-failure density and the two forced scenarios the
+acceptance experiment needs — a spare-pool exhaustion that the
+supervisor retries on a boosted pool, and a zero-deadline job that times
+out. Same seed, same workload; the service's per-job results are then
+bit-identical run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..algorithms.connected_components import connected_components
+from ..algorithms.pagerank import pagerank
+from ..config import EngineConfig
+from ..errors import ConfigError
+from ..graph.generators import multi_component_graph, twitter_like_graph
+from ..runtime.failures import FailureSchedule
+from .job import JobSpec, RetryPolicy
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a generated workload.
+
+    Attributes:
+        num_jobs: total jobs generated.
+        seed: master seed; every per-job choice derives from it.
+        cc_fraction: fraction of Connected Components jobs (the rest is
+            PageRank).
+        failure_density: probability that a job gets an injected
+            partition-failure schedule (handled in-run by optimistic
+            recovery).
+        parallelism: per-job worker / partition count.
+        priorities: the priority levels jobs are drawn from (uniformly).
+        graph_vertices: vertex-count range ``(lo, hi)`` of the per-job
+            random graphs.
+        epsilon: PageRank convergence threshold (loose by default so a
+            load of jobs stays fast).
+        infra_failures: how many jobs are engineered to exhaust the spare
+            pool on their first attempt (``spare_workers=0`` plus an
+            injected failure); their retry runs on a boosted pool and
+            succeeds — the forced infrastructure-retry scenario.
+        deadline_timeouts: how many jobs get a zero deadline and
+            deterministically time out.
+        backoff_base: retry backoff base of the generated specs (small,
+            so workloads drain quickly in tests).
+    """
+
+    num_jobs: int = 50
+    seed: int = 7
+    cc_fraction: float = 0.5
+    failure_density: float = 0.4
+    parallelism: int = 4
+    priorities: tuple[int, ...] = (0, 1, 2)
+    graph_vertices: tuple[int, int] = (24, 60)
+    epsilon: float = 1e-3
+    infra_failures: int = 1
+    deadline_timeouts: int = 1
+    backoff_base: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.num_jobs < 1:
+            raise ConfigError(f"num_jobs must be >= 1, got {self.num_jobs}")
+        if not 0.0 <= self.cc_fraction <= 1.0:
+            raise ConfigError(
+                f"cc_fraction must be in [0, 1], got {self.cc_fraction}"
+            )
+        if not 0.0 <= self.failure_density <= 1.0:
+            raise ConfigError(
+                f"failure_density must be in [0, 1], got {self.failure_density}"
+            )
+        if self.infra_failures + self.deadline_timeouts > self.num_jobs:
+            raise ConfigError(
+                "infra_failures + deadline_timeouts cannot exceed num_jobs"
+            )
+        if not self.priorities:
+            raise ConfigError("priorities must name at least one level")
+        if self.graph_vertices[0] < 2 or self.graph_vertices[1] < self.graph_vertices[0]:
+            raise ConfigError(
+                f"graph_vertices must be a (lo, hi) range with 2 <= lo <= hi, "
+                f"got {self.graph_vertices}"
+            )
+
+
+def _make_cc(graph):
+    return lambda: connected_components(graph)
+
+
+def _make_pagerank(graph, epsilon):
+    return lambda: pagerank(graph, epsilon=epsilon)
+
+
+def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec]:
+    """Generate the workload: a list of job specs, reproducible per seed."""
+    rng = random.Random(config.seed)
+    specs: list[JobSpec] = []
+    retry = RetryPolicy(max_retries=2, backoff_base=config.backoff_base, jitter=0.5)
+    for index in range(config.num_jobs):
+        is_cc = rng.random() < config.cc_fraction
+        num_vertices = rng.randint(*config.graph_vertices)
+        graph_seed = rng.randint(0, 2**31)
+        if is_cc:
+            graph = multi_component_graph(
+                rng.randint(2, 4), max(2, num_vertices // 3), seed=graph_seed
+            )
+            make_job = _make_cc(graph)
+            kind = "cc"
+        else:
+            graph = twitter_like_graph(num_vertices, seed=graph_seed)
+            make_job = _make_pagerank(graph, config.epsilon)
+            kind = "pagerank"
+        failures = None
+        if rng.random() < config.failure_density:
+            # One single-worker failure in the early supersteps — always
+            # before CC's fastest convergence, so the event actually fires.
+            failures = FailureSchedule.single(
+                rng.randint(1, 2), [rng.randrange(config.parallelism)]
+            )
+        specs.append(
+            JobSpec(
+                name=f"{kind}-{index}",
+                make_job=make_job,
+                config=EngineConfig(
+                    parallelism=config.parallelism,
+                    spare_workers=config.parallelism,
+                ),
+                recovery="optimistic",
+                failures=failures,
+                priority=rng.choice(config.priorities),
+                retry=retry,
+                seed=config.seed,
+            )
+        )
+
+    # Forced infrastructure failures: no spares on the first attempt, so
+    # the injected failure exhausts the pool and raises RecoveryError;
+    # the retry runs with a boosted spare pool and succeeds.
+    rng_forced = random.Random(config.seed + 1)
+    for index in range(config.infra_failures):
+        target = rng_forced.randrange(len(specs))
+        spec = specs[target]
+        specs[target] = JobSpec(
+            name=f"{spec.name}-infra",
+            make_job=spec.make_job,
+            config=EngineConfig(
+                parallelism=config.parallelism, spare_workers=0
+            ),
+            recovery=spec.recovery,
+            failures=spec.failures
+            or FailureSchedule.single(1, [rng_forced.randrange(config.parallelism)]),
+            priority=spec.priority,
+            retry=retry,
+            retry_spare_boost=config.parallelism,
+            seed=config.seed,
+        )
+
+    # Forced deadline timeouts: a zero deadline expires while queued.
+    taken = set()
+    for index in range(config.deadline_timeouts):
+        target = rng_forced.randrange(len(specs))
+        while specs[target].name.endswith("-infra") or target in taken:
+            target = rng_forced.randrange(len(specs))
+        taken.add(target)
+        spec = specs[target]
+        specs[target] = JobSpec(
+            name=f"{spec.name}-deadline",
+            make_job=spec.make_job,
+            config=spec.config,
+            recovery=spec.recovery,
+            failures=spec.failures,
+            priority=spec.priority,
+            deadline=0.0,
+            retry=retry,
+            seed=config.seed,
+        )
+    return specs

@@ -1,0 +1,132 @@
+"""The admission queue: priority + FIFO, bounded, with backpressure.
+
+Jobs wait here between ``submit`` and a free worker. Ordering is by
+descending :attr:`repro.service.job.JobSpec.priority`, FIFO within a
+priority level (a monotonic admission sequence number breaks ties, so
+equal-priority jobs run in submission order).
+
+The queue is bounded; what happens when it is full is the *backpressure
+policy*:
+
+* ``reject`` — ``put`` raises :class:`repro.errors.AdmissionError`
+  immediately (load shedding: the caller learns right away);
+* ``block`` — ``put`` waits up to a timeout for room, then raises the
+  same typed error (admission control: the caller is slowed down).
+
+Jobs cancelled while queued are discarded lazily at dequeue time — they
+keep their slot until a worker pops them, which keeps ``put``/``cancel``
+O(log n) instead of O(n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+
+from ..errors import AdmissionError
+from .job import JobHandle
+
+#: backpressure policy names (mirrors repro.config.BACKPRESSURE_POLICIES).
+POLICIES = ("reject", "block")
+
+
+class AdmissionQueue:
+    """A thread-safe bounded priority + FIFO queue of job handles.
+
+    Args:
+        capacity: maximum queued jobs (``None`` = unbounded).
+        policy: ``"reject"`` or ``"block"`` (see module docstring).
+        block_timeout: how long a ``block`` admission waits for room
+            before raising :class:`repro.errors.AdmissionError`.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: str = "reject",
+        block_timeout: float = 10.0,
+    ):
+        if capacity is not None and capacity < 1:
+            raise AdmissionError(f"queue capacity must be >= 1 or None, got {capacity}")
+        if policy not in POLICIES:
+            raise AdmissionError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._capacity = capacity
+        self._policy = policy
+        self._block_timeout = block_timeout
+        self._heap: list[tuple[int, int, JobHandle]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def depth(self) -> int:
+        """Queued entries (including not-yet-discarded cancelled ones)."""
+        with self._lock:
+            return len(self._heap)
+
+    def _full(self) -> bool:
+        return self._capacity is not None and len(self._heap) >= self._capacity
+
+    def put(self, handle: JobHandle, timeout: float | None = None) -> None:
+        """Admit ``handle``, or raise :class:`repro.errors.AdmissionError`.
+
+        Under the ``block`` policy, waits up to ``timeout`` (default: the
+        queue's ``block_timeout``) for room.
+        """
+        with self._lock:
+            if self._full():
+                if self._policy == "reject":
+                    raise AdmissionError(
+                        f"admission queue full ({self._capacity} jobs queued); "
+                        f"job {handle.job_id} ({handle.spec.name!r}) rejected"
+                    )
+                budget = self._block_timeout if timeout is None else timeout
+                deadline = time.monotonic() + budget
+                while self._full():
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_full.wait(remaining):
+                        if self._full():
+                            raise AdmissionError(
+                                f"admission blocked for {budget:.3f}s waiting "
+                                f"for queue room; job {handle.job_id} "
+                                f"({handle.spec.name!r}) rejected"
+                            )
+            heapq.heappush(self._heap, (-handle.spec.priority, self._seq, handle))
+            self._seq += 1
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> JobHandle | None:
+        """Pop the highest-priority live handle, or ``None`` on timeout.
+
+        Handles that went terminal while queued (cancelled, or timed out
+        by the caller) are discarded silently.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, handle = heapq.heappop(self._heap)
+                    self._not_full.notify()
+                    if not handle.is_terminal:
+                        return handle
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        if not self._heap:
+                            return None
+
+    def drain_pending(self) -> list[JobHandle]:
+        """Remove and return every still-live queued handle (shutdown)."""
+        with self._lock:
+            pending = [h for _, _, h in self._heap if not h.is_terminal]
+            self._heap.clear()
+            self._not_full.notify_all()
+            return pending

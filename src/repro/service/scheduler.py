@@ -1,0 +1,132 @@
+"""The worker pool: N concurrent jobs, drain and shutdown.
+
+Each job's engine run is self-contained — its own simulated cluster,
+clock, executor, storage and metrics — and fully deterministic, so
+running many jobs side by side on a :class:`ThreadPoolExecutor` changes
+wall-clock behavior only, never per-job results.
+
+The pool runs ``pool_size`` long-lived worker loops. Each loop pulls the
+next live handle from the :class:`repro.service.queue.AdmissionQueue`
+(waking every ``poll_interval`` seconds to check the stop flag, so a
+quiet pool can always be shut down), enforces the job's deadline at
+dequeue time, and hands the job to the runner — in the service, the
+:class:`repro.service.supervisor.JobSupervisor`.
+
+Shutdown protocol:
+
+* :meth:`WorkerPool.wait_idle` — block until no job is queued or in
+  flight (the "drain" half; the service stops admissions first);
+* :meth:`WorkerPool.shutdown` — stop the loops after their current job,
+  cancel whatever is still queued, and join the threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from ..errors import ServiceError
+from .job import JobHandle, JobState
+from .queue import AdmissionQueue
+
+
+class WorkerPool:
+    """``pool_size`` worker loops draining one admission queue."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        runner: Callable[[JobHandle], None],
+        pool_size: int = 4,
+        poll_interval: float = 0.02,
+        thread_name_prefix: str = "repro-service",
+        on_timeout: Callable[[JobHandle], None] | None = None,
+    ):
+        if pool_size < 1:
+            raise ServiceError(f"pool_size must be >= 1, got {pool_size}")
+        self._queue = queue
+        self._runner = runner
+        self._on_timeout = on_timeout
+        self.pool_size = pool_size
+        self._poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix=thread_name_prefix
+        )
+        self._loops = [
+            self._executor.submit(self._worker_loop) for _ in range(pool_size)
+        ]
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently being executed by a worker."""
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            handle = self._queue.get(timeout=self._poll_interval)
+            if handle is None:
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                if handle.deadline_expired:
+                    # Missed the deadline while waiting in the queue.
+                    if handle.try_transition(JobState.TIMED_OUT) and self._on_timeout:
+                        self._on_timeout(handle)
+                else:
+                    self._runner(handle)
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+
+    # -- drain / shutdown -----------------------------------------------------
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and no job is in flight.
+
+        The caller must have stopped admissions first, otherwise new jobs
+        can keep the pool busy forever. Returns False on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._in_flight > 0 or self._queue.depth > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                # Wake periodically: queue depth changes on another lock.
+                wait = self._poll_interval if remaining is None else min(
+                    self._poll_interval, remaining
+                )
+                self._idle.wait(wait)
+        return True
+
+    def shutdown(self, cancel_pending: bool = True) -> list[JobHandle]:
+        """Stop the loops, cancel queued jobs, join the threads.
+
+        Running jobs finish their current attempt. Returns the handles
+        that were cancelled while still queued.
+        """
+        self._stop.set()
+        cancelled: list[JobHandle] = []
+        if cancel_pending:
+            for handle in self._queue.drain_pending():
+                if handle.request_cancel():
+                    cancelled.append(handle)
+        self._executor.shutdown(wait=True)
+        return cancelled

@@ -17,6 +17,23 @@ from repro.graph.generators import (
 )
 
 
+#: Per-test wall-clock budget when pytest-timeout is available. The
+#: service tests use real threads, queues and condition waits, so a
+#: deadlock would otherwise hang the whole suite; everything here
+#: normally finishes in milliseconds.
+DEFAULT_TEST_TIMEOUT = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    # pytest-timeout is an optional extra (installed in CI, maybe not
+    # locally); apply a per-test timeout only when the plugin is present.
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(DEFAULT_TEST_TIMEOUT))
+
+
 @pytest.fixture
 def config4():
     """Default 4-worker configuration with plenty of spares."""

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.demo.cli import _parse_failure, build_parser, main
+from repro.errors import ConfigError
 
 
 class TestFailureSpecParsing:
@@ -13,22 +14,44 @@ class TestFailureSpecParsing:
         assert _parse_failure("4:1,3") == (4, [1, 3])
 
     def test_missing_colon_rejected(self):
-        import argparse
-
-        with pytest.raises(argparse.ArgumentTypeError):
+        with pytest.raises(ConfigError, match="hint"):
             _parse_failure("4")
 
     def test_empty_partitions_rejected(self):
-        import argparse
-
-        with pytest.raises(argparse.ArgumentTypeError):
+        with pytest.raises(ConfigError, match="no partitions"):
             _parse_failure("4:")
 
     def test_non_numeric_rejected(self):
-        import argparse
-
-        with pytest.raises(argparse.ArgumentTypeError):
+        with pytest.raises(ConfigError, match="hint"):
             _parse_failure("a:b")
+
+
+class TestBadInputExitCodes:
+    """Malformed --fail arguments exit with code 2 and a usage hint, not
+    a raw traceback."""
+
+    def test_missing_worker_list(self, capsys):
+        assert main(["--fail", "3"]) == 2
+        out = capsys.readouterr().out
+        assert "malformed failure spec" in out
+        assert "hint" in out
+
+    def test_non_numeric_ids(self, capsys):
+        assert main(["--fail", "3:a,b"]) == 2
+        out = capsys.readouterr().out
+        assert "malformed failure spec" in out
+
+    def test_empty_partition_list(self, capsys):
+        assert main(["--fail", "3:"]) == 2
+        assert "no partitions" in capsys.readouterr().out
+
+    def test_out_of_range_partition(self, capsys):
+        assert main(["--fail", "2:-7"]) == 2
+        assert "out of range" in capsys.readouterr().out
+
+    def test_invalid_recovery_combo(self, capsys):
+        assert main(["--algorithm", "pagerank", "--recovery", "incremental"]) == 2
+        assert "delta iteration" in capsys.readouterr().out
 
 
 class TestParser:
@@ -40,8 +63,13 @@ class TestParser:
         assert args.failures == []
 
     def test_multiple_failures(self):
+        # --fail stays a raw string at parse time; main() parses specs so
+        # malformed ones surface as ConfigError with a usage hint.
         args = build_parser().parse_args(["--fail", "2:0", "--fail", "5:1,3"])
-        assert args.failures == [(2, [0]), (5, [1, 3])]
+        assert [_parse_failure(text) for text in args.failures] == [
+            (2, [0]),
+            (5, [1, 3]),
+        ]
 
 
 class TestMain:
@@ -89,5 +117,6 @@ class TestMain:
         assert "0 failures" in capsys.readouterr().out
 
     def test_invalid_partition_errors_cleanly(self, capsys):
-        assert main(["--fail", "2:99"]) == 1
+        # Out-of-range partitions are a usage error: argparse-style exit 2.
+        assert main(["--fail", "2:99"]) == 2
         assert "error:" in capsys.readouterr().out

@@ -115,6 +115,25 @@ def test_reassign_raises_when_spares_exhausted():
         cluster.reassign_lost()
 
 
+def test_exhaustion_error_names_shortfall_and_leaves_pool_intact():
+    cluster = _cluster(parallelism=4, spares=1)
+    cluster.fail_workers([0, 1, 2])
+    with pytest.raises(RecoveryError, match=r"3 partitions.*3 replacements.*1 spare"):
+        cluster.reassign_lost()
+    # The failed reassignment must not consume the remaining spare or
+    # charge acquisition cost — the job service retries the whole run on
+    # a fresh cluster, not this one.
+    assert len(cluster.spare_pool()) == 1
+    assert cluster.clock.now == 0.0
+
+
+def test_zero_spares_exhaust_on_first_failure():
+    cluster = _cluster(parallelism=2, spares=0)
+    cluster.fail_workers([0])
+    with pytest.raises(RecoveryError):
+        cluster.reassign_lost()
+
+
 def test_spares_are_consumed_across_failures():
     cluster = _cluster(parallelism=2, spares=2)
     cluster.fail_workers([0])

@@ -104,3 +104,35 @@ class TestFailureInjector:
     def test_multiple_events_same_superstep(self):
         injector = FailureInjector(FailureSchedule.at((3, [0]), (3, [1])))
         assert len(injector.pop(3)) == 2
+
+    def test_same_superstep_events_keep_schedule_order(self):
+        injector = FailureInjector(
+            FailureSchedule.at((3, [2]), (3, [0]), (3, [1]))
+        )
+        assert [e.worker_ids for e in injector.pop(3)] == [(2,), (0,), (1,)]
+
+    def test_refire_semantics_preserved_across_restarts(self):
+        # Restart recovery re-executes supersteps from 0; events that
+        # already fired must not fire again when their superstep is
+        # revisited — the machines are already dead. This pins the
+        # behavior across the pre-indexed pop() implementation.
+        injector = FailureInjector(FailureSchedule.at((1, [0]), (3, [1])))
+        assert len(injector.pop(0)) == 0
+        assert len(injector.pop(1)) == 1
+        # restart: supersteps run again from 0
+        for superstep in (0, 1, 2):
+            assert injector.pop(superstep) == []
+        assert len(injector.pop(3)) == 1
+        assert injector.pending == 0
+        # second restart: nothing left anywhere
+        for superstep in range(5):
+            assert injector.pop(superstep) == []
+
+    def test_pop_does_not_see_post_construction_mutation(self):
+        # The injector indexes its schedule at construction (drivers
+        # create a fresh injector per run, after the schedule is final).
+        schedule = FailureSchedule.at((2, [0]))
+        injector = FailureInjector(schedule)
+        schedule.events.append(FailureEvent(4, (1,)))
+        assert injector.pop(4) == []
+        assert len(injector.pop(2)) == 1

@@ -1,0 +1,197 @@
+"""Tests for the JobService facade: submit, observe, steer, drain."""
+
+import threading
+
+import pytest
+
+from repro.config import EngineConfig, ServiceConfig
+from repro.errors import AdmissionError, JobCancelledError, ServiceError
+from repro.runtime import FailureSchedule
+from repro.service import JobService, JobState, RetryPolicy
+
+from .test_job import cc_spec
+
+
+def service(**overrides) -> JobService:
+    defaults = dict(pool_size=2, poll_interval=0.01)
+    defaults.update(overrides)
+    return JobService(ServiceConfig(**defaults))
+
+
+class TestSubmitAndResult:
+    def test_submit_runs_and_returns_result(self):
+        with service() as svc:
+            handle = svc.submit(cc_spec())
+            result = handle.result(timeout=10.0)
+            assert result.converged
+            assert svc.status(handle.job_id) is JobState.SUCCEEDED
+
+    def test_service_result_matches_standalone(self):
+        spec = cc_spec(failures=FailureSchedule.single(2, [0]))
+        with service() as svc:
+            via_service = svc.submit(spec).result(timeout=10.0)
+        alone = spec.run_standalone()
+        assert via_service.final_records == alone.final_records
+        assert via_service.sim_time == alone.sim_time
+        assert via_service.num_failures == alone.num_failures
+
+    def test_job_ids_are_sequential(self):
+        with service() as svc:
+            ids = [svc.submit(cc_spec()).job_id for _ in range(4)]
+            assert ids == [0, 1, 2, 3]
+            svc.drain(timeout=10.0)
+
+    def test_unknown_job_id_raises(self):
+        with service() as svc:
+            with pytest.raises(ServiceError, match="unknown job id"):
+                svc.status(99)
+
+    def test_result_via_service_facade(self):
+        with service() as svc:
+            handle = svc.submit(cc_spec())
+            assert svc.result(handle.job_id, timeout=10.0).converged
+
+
+class TestBackpressure:
+    def test_reject_policy_surfaces_admission_error(self):
+        # One slow-ish job per worker plus a full queue, then one more.
+        svc = service(pool_size=1, queue_capacity=1, backpressure="reject")
+        block = threading.Event()
+        try:
+            # Occupy the single worker with a job that waits on `block`.
+            occupied = svc.submit(_blocking_spec(block))
+            _wait_until_running(occupied)
+            svc.submit(cc_spec())  # fills the queue
+            with pytest.raises(AdmissionError):
+                svc.submit(cc_spec())
+            assert svc.metrics.get("service.admission_rejects") == 1
+        finally:
+            block.set()
+            svc.shutdown()
+
+    def test_submit_after_drain_raises(self):
+        with service() as svc:
+            svc.drain(timeout=10.0)
+            with pytest.raises(ServiceError, match="not accepting"):
+                svc.submit(cc_spec())
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        svc = service(pool_size=1)
+        block = threading.Event()
+        try:
+            occupied = svc.submit(_blocking_spec(block))
+            _wait_until_running(occupied)
+            queued = svc.submit(cc_spec())
+            assert svc.cancel(queued.job_id)
+            with pytest.raises(JobCancelledError):
+                queued.result(timeout=5.0)
+        finally:
+            block.set()
+            svc.shutdown()
+
+    def test_cancel_terminal_job_returns_false(self):
+        with service() as svc:
+            handle = svc.submit(cc_spec())
+            handle.result(timeout=10.0)
+            assert not svc.cancel(handle.job_id)
+
+
+class TestRunAll:
+    def test_run_all_returns_in_submission_order(self):
+        specs = [cc_spec(name=f"cc-{i}") for i in range(6)]
+        with service(pool_size=3) as svc:
+            handles = svc.run_all(specs, timeout=30.0)
+        assert [h.spec.name for h in handles] == [s.name for s in specs]
+        assert all(h.state is JobState.SUCCEEDED for h in handles)
+
+    def test_run_all_mixed_terminal_states(self):
+        specs = [
+            cc_spec(name="ok"),
+            cc_spec(name="late", deadline=0.0),
+            cc_spec(
+                name="doomed",
+                failures=FailureSchedule.single(1, [0]),
+                config=EngineConfig(parallelism=4, spare_workers=0),
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0, jitter=0.0),
+            ),
+        ]
+        with service() as svc:
+            handles = svc.run_all(specs, timeout=30.0)
+        states = {h.spec.name: h.state for h in handles}
+        assert states["ok"] is JobState.SUCCEEDED
+        assert states["late"] is JobState.TIMED_OUT
+        assert states["doomed"] is JobState.FAILED
+
+
+class TestMetricsAndSpans:
+    def test_service_counters(self):
+        with service() as svc:
+            svc.run_all([cc_spec() for _ in range(3)], timeout=30.0)
+            metrics = svc.metrics
+        assert metrics.get("service.submitted") == 3
+        assert metrics.get("service.admitted") == 3
+        assert metrics.get("service.succeeded") == 3
+        assert metrics.get("service.attempts") == 3
+        assert metrics.histogram("service.job_seconds").count == 3
+        assert metrics.histogram("service.time_in_queue_seconds").count == 3
+
+    def test_per_job_spans_are_tagged_with_job_id(self):
+        with service(trace_jobs=True) as svc:
+            handles = svc.run_all([cc_spec(name=f"cc-{i}") for i in range(3)])
+        for handle in handles:
+            (root,) = handle.trace_roots
+            assert root.name == f"job:{handle.job_id}"
+            assert root.attributes["job_id"] == handle.job_id
+            assert root.attributes["job_name"] == handle.spec.name
+
+    def test_trace_jobs_off_records_nothing(self):
+        with service(trace_jobs=False) as svc:
+            handle = svc.submit(cc_spec())
+            handle.result(timeout=10.0)
+            assert handle.trace_roots == []
+
+    def test_report_snapshot(self):
+        with service() as svc:
+            svc.run_all([cc_spec() for _ in range(4)], timeout=30.0)
+            report = svc.report()
+        assert report.completed == 4
+        assert report.by_state["succeeded"] == 4
+        assert report.throughput > 0
+        assert "succeeded=4" in report.format()
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent(self):
+        svc = service()
+        svc.shutdown()
+        svc.shutdown()
+        with pytest.raises(ServiceError):
+            svc.submit(cc_spec())
+
+    def test_context_manager_drains_on_clean_exit(self):
+        with service() as svc:
+            handle = svc.submit(cc_spec())
+        # Exiting the with-block drained: the job reached a terminal state.
+        assert handle.state is JobState.SUCCEEDED
+
+
+def _blocking_spec(event: threading.Event, name: str = "blocker"):
+    """A spec whose run blocks until ``event`` is set (wall clock only)."""
+
+    class _BlockingJob:
+        def run(self, **kwargs):
+            event.wait(10.0)
+            return cc_spec().run_standalone()
+
+    return cc_spec(name=name, make_job=lambda: _BlockingJob(), recovery=None)
+
+
+def _wait_until_running(handle, timeout: float = 5.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while handle.state is JobState.QUEUED and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert handle.state is not JobState.QUEUED

@@ -1,0 +1,179 @@
+"""Tests for JobSpec, RetryPolicy, and the JobHandle state machine."""
+
+import random
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import (
+    ConfigError,
+    JobCancelledError,
+    JobTimeoutError,
+    ServiceError,
+)
+from repro.algorithms import connected_components
+from repro.graph import demo_graph
+from repro.service import JobHandle, JobSpec, JobState, RetryPolicy
+
+
+def cc_spec(**overrides) -> JobSpec:
+    graph = demo_graph()
+    defaults = dict(
+        name="cc",
+        make_job=lambda: connected_components(graph),
+        config=EngineConfig(parallelism=4, spare_workers=4),
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            cc_spec(name="")
+
+    def test_rejects_unknown_recovery(self):
+        with pytest.raises(ConfigError):
+            cc_spec(recovery="wishful-thinking")
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ConfigError):
+            cc_spec(deadline=-1.0)
+
+    def test_rejects_non_callable_factory(self):
+        with pytest.raises(ConfigError):
+            cc_spec(make_job="not a factory")
+
+    def test_config_for_attempt_boosts_spares(self):
+        spec = cc_spec(
+            config=EngineConfig(parallelism=4, spare_workers=0),
+            retry_spare_boost=3,
+        )
+        assert spec.config_for_attempt(0).spare_workers == 0
+        assert spec.config_for_attempt(1).spare_workers == 3
+        assert spec.config_for_attempt(2).spare_workers == 6
+
+    def test_config_for_attempt_without_boost_is_identity(self):
+        spec = cc_spec()
+        assert spec.config_for_attempt(3) is spec.config
+
+    def test_run_standalone_executes(self):
+        result = cc_spec().run_standalone()
+        assert result.converged
+
+    def test_run_standalone_is_deterministic(self):
+        first = cc_spec().run_standalone()
+        second = cc_spec().run_standalone()
+        assert first.final_records == second.final_records
+        assert first.sim_time == second.sim_time
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=2.0, backoff_cap=3.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        assert policy.delay(0, rng) == 1.0
+        assert policy.delay(1, rng) == 2.0
+        assert policy.delay(2, rng) == 3.0  # capped
+
+    def test_jitter_is_seeded(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=1.0)
+        a = policy.delay(0, random.Random(42))
+        b = policy.delay(0, random.Random(42))
+        assert a == b
+        assert 1.0 <= a < 2.0
+
+
+class TestJobHandleStateMachine:
+    def test_happy_path(self):
+        handle = JobHandle(0, cc_spec())
+        assert handle.state is JobState.QUEUED
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.SUCCEEDED)
+        assert handle.is_terminal
+
+    def test_retry_cycle(self):
+        handle = JobHandle(0, cc_spec())
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.RETRYING)
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.FAILED)
+        assert handle.is_terminal
+
+    def test_illegal_transitions_raise(self):
+        handle = JobHandle(0, cc_spec())
+        with pytest.raises(ServiceError):
+            handle.transition(JobState.SUCCEEDED)  # QUEUED -> SUCCEEDED
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.SUCCEEDED)
+        with pytest.raises(ServiceError):
+            handle.transition(JobState.RUNNING)  # terminal states are final
+
+    def test_try_transition_returns_false_instead(self):
+        handle = JobHandle(0, cc_spec())
+        assert not handle.try_transition(JobState.RETRYING)
+        assert handle.try_transition(JobState.RUNNING)
+
+    def test_terminal_sets_done_event(self):
+        handle = JobHandle(0, cc_spec())
+        assert not handle.wait(timeout=0)
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.SUCCEEDED)
+        assert handle.wait(timeout=0)
+
+    def test_cancel_queued_is_immediate(self):
+        handle = JobHandle(0, cc_spec())
+        assert handle.request_cancel()
+        assert handle.state is JobState.CANCELLED
+        with pytest.raises(JobCancelledError):
+            handle.result(timeout=0)
+
+    def test_cancel_running_is_cooperative(self):
+        handle = JobHandle(0, cc_spec())
+        handle.transition(JobState.RUNNING)
+        assert handle.request_cancel()
+        assert handle.state is JobState.RUNNING  # flag only
+        assert handle.cancel_requested
+
+    def test_cancel_terminal_returns_false(self):
+        handle = JobHandle(0, cc_spec())
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.SUCCEEDED)
+        assert not handle.request_cancel()
+
+    def test_result_of_timed_out_job_raises(self):
+        handle = JobHandle(0, cc_spec(deadline=5.0))
+        handle.transition(JobState.TIMED_OUT)
+        with pytest.raises(JobTimeoutError):
+            handle.result(timeout=0)
+
+    def test_result_before_terminal_raises_service_error(self):
+        handle = JobHandle(0, cc_spec())
+        with pytest.raises(ServiceError, match="still queued"):
+            handle.result(timeout=0)
+
+    def test_deadline_expiry(self):
+        expired = JobHandle(0, cc_spec(deadline=0.0))
+        assert expired.deadline_expired
+        fresh = JobHandle(0, cc_spec(deadline=60.0))
+        assert not fresh.deadline_expired
+        unbounded = JobHandle(0, cc_spec())
+        assert unbounded.deadline_at is None
+        assert not unbounded.deadline_expired
+
+    def test_rng_is_seeded_per_job(self):
+        a = JobHandle(3, cc_spec(seed=9))
+        b = JobHandle(3, cc_spec(seed=9))
+        c = JobHandle(4, cc_spec(seed=9))
+        assert a.rng.random() == b.rng.random()
+        assert a.rng.random() != c.rng.random()

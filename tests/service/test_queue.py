@@ -1,0 +1,114 @@
+"""Tests for the admission queue: ordering, capacity, backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service import AdmissionQueue, JobState
+
+from .test_job import cc_spec
+from repro.service import JobHandle
+
+
+def handle(job_id: int, priority: int = 0) -> JobHandle:
+    return JobHandle(job_id, cc_spec(name=f"job-{job_id}", priority=priority))
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        queue = AdmissionQueue()
+        for i in range(5):
+            queue.put(handle(i))
+        assert [queue.get(0.1).job_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_higher_priority_first(self):
+        queue = AdmissionQueue()
+        queue.put(handle(0, priority=0))
+        queue.put(handle(1, priority=5))
+        queue.put(handle(2, priority=1))
+        assert [queue.get(0.1).job_id for _ in range(3)] == [1, 2, 0]
+
+    def test_priority_ties_stay_fifo(self):
+        queue = AdmissionQueue()
+        for i in range(4):
+            queue.put(handle(i, priority=7))
+        assert [queue.get(0.1).job_id for _ in range(4)] == [0, 1, 2, 3]
+
+
+class TestCapacityAndBackpressure:
+    def test_reject_policy_raises_when_full(self):
+        queue = AdmissionQueue(capacity=2, policy="reject")
+        queue.put(handle(0))
+        queue.put(handle(1))
+        with pytest.raises(AdmissionError, match="full"):
+            queue.put(handle(2))
+
+    def test_block_policy_times_out(self):
+        queue = AdmissionQueue(capacity=1, policy="block", block_timeout=0.05)
+        queue.put(handle(0))
+        start = time.monotonic()
+        with pytest.raises(AdmissionError, match="blocked"):
+            queue.put(handle(1))
+        assert time.monotonic() - start >= 0.04
+
+    def test_block_policy_admits_when_room_appears(self):
+        queue = AdmissionQueue(capacity=1, policy="block", block_timeout=5.0)
+        queue.put(handle(0))
+
+        def consume():
+            time.sleep(0.05)
+            queue.get(1.0)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        queue.put(handle(1))  # blocks until the consumer makes room
+        consumer.join()
+        assert queue.depth == 1
+
+    def test_unbounded_by_default(self):
+        queue = AdmissionQueue()
+        for i in range(1000):
+            queue.put(handle(i))
+        assert queue.depth == 1000
+
+
+class TestDequeue:
+    def test_get_times_out_empty(self):
+        queue = AdmissionQueue()
+        assert queue.get(timeout=0.02) is None
+
+    def test_cancelled_handles_are_discarded(self):
+        queue = AdmissionQueue()
+        cancelled = handle(0)
+        queue.put(cancelled)
+        queue.put(handle(1))
+        cancelled.request_cancel()
+        assert cancelled.state is JobState.CANCELLED
+        got = queue.get(0.1)
+        assert got.job_id == 1
+
+    def test_get_wakes_on_put(self):
+        queue = AdmissionQueue()
+        received = []
+
+        def consume():
+            received.append(queue.get(timeout=2.0))
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        time.sleep(0.02)
+        queue.put(handle(7))
+        consumer.join()
+        assert received[0].job_id == 7
+
+    def test_drain_pending_returns_live_handles(self):
+        queue = AdmissionQueue()
+        first, second = handle(0), handle(1)
+        queue.put(first)
+        queue.put(second)
+        first.request_cancel()
+        pending = queue.drain_pending()
+        assert [h.job_id for h in pending] == [1]
+        assert queue.depth == 0

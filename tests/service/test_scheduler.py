@@ -1,0 +1,117 @@
+"""Tests for the worker pool: concurrency, deadlines, drain, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import AdmissionQueue, JobState, WorkerPool
+
+from .test_job import cc_spec
+from repro.service import JobHandle
+
+
+def make_pool(runner, pool_size=2, queue=None):
+    queue = queue if queue is not None else AdmissionQueue()
+    return queue, WorkerPool(queue, runner, pool_size=pool_size, poll_interval=0.01)
+
+
+def finish(handle: JobHandle) -> None:
+    handle.transition(JobState.RUNNING)
+    handle.transition(JobState.SUCCEEDED)
+
+
+class TestExecution:
+    def test_runs_queued_jobs(self):
+        done = []
+        queue, pool = make_pool(lambda h: (finish(h), done.append(h.job_id)))
+        try:
+            handles = [JobHandle(i, cc_spec()) for i in range(5)]
+            for handle in handles:
+                queue.put(handle)
+            assert pool.wait_idle(timeout=5.0)
+            assert sorted(done) == [0, 1, 2, 3, 4]
+        finally:
+            pool.shutdown()
+
+    def test_pool_runs_jobs_concurrently(self):
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def runner(handle):
+            barrier.wait()  # only passes if 3 workers run at once
+            finish(handle)
+
+        queue, pool = make_pool(runner, pool_size=3)
+        try:
+            for i in range(3):
+                queue.put(JobHandle(i, cc_spec()))
+            assert pool.wait_idle(timeout=5.0)
+        finally:
+            pool.shutdown()
+
+    def test_rejects_zero_pool_size(self):
+        with pytest.raises(ServiceError):
+            WorkerPool(AdmissionQueue(), lambda h: None, pool_size=0)
+
+
+class TestDeadlines:
+    def test_expired_deadline_times_out_at_dequeue(self):
+        ran = []
+        queue, pool = make_pool(lambda h: ran.append(h.job_id))
+        try:
+            expired = JobHandle(0, cc_spec(deadline=0.0))
+            queue.put(expired)
+            assert pool.wait_idle(timeout=5.0)
+            assert expired.wait(timeout=1.0)
+            assert expired.state is JobState.TIMED_OUT
+            assert ran == []  # the runner never saw it
+        finally:
+            pool.shutdown()
+
+
+class TestDrainShutdown:
+    def test_wait_idle_times_out_while_busy(self):
+        release = threading.Event()
+
+        def runner(handle):
+            release.wait(5.0)
+            finish(handle)
+
+        queue, pool = make_pool(runner, pool_size=1)
+        try:
+            queue.put(JobHandle(0, cc_spec()))
+            assert not pool.wait_idle(timeout=0.05)
+            release.set()
+            assert pool.wait_idle(timeout=5.0)
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_shutdown_cancels_queued_jobs(self):
+        release = threading.Event()
+
+        def runner(handle):
+            release.wait(5.0)
+            finish(handle)
+
+        queue, pool = make_pool(runner, pool_size=1)
+        running = JobHandle(0, cc_spec())
+        queued = JobHandle(1, cc_spec())
+        queue.put(running)
+        time.sleep(0.05)  # let the single worker pick up job 0
+        queue.put(queued)
+        release.set()
+        cancelled = pool.shutdown(cancel_pending=True)
+        assert [h.job_id for h in cancelled] == [1]
+        assert queued.state is JobState.CANCELLED
+        assert running.state is JobState.SUCCEEDED
+
+    def test_workers_stop_after_shutdown(self):
+        queue, pool = make_pool(finish)
+        pool.shutdown()
+        assert pool.stopped
+        late = JobHandle(9, cc_spec())
+        queue.put(late)
+        time.sleep(0.05)
+        assert late.state is JobState.QUEUED  # nobody is pulling anymore

@@ -1,0 +1,162 @@
+"""Tests for the supervisor: retry classification, deadlines, tracing.
+
+The core distinction under test: *expected* injected partition failures
+are absorbed inside the run by the recovery strategy and never reach the
+supervisor, while *infrastructure* failures (spare-pool exhaustion)
+surface as RecoveryError and are retried with backoff — optionally on a
+boosted spare pool, where the deterministic rerun then succeeds.
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.errors import IterationError, RecoveryError
+from repro.algorithms import connected_components
+from repro.graph import demo_graph
+from repro.runtime import FailureSchedule
+from repro.runtime.metrics import MetricsRegistry
+from repro.service import JobHandle, JobState, JobSupervisor, RetryPolicy
+
+from .test_job import cc_spec
+
+
+def run_supervised(spec, trace_jobs=False):
+    metrics = MetricsRegistry()
+    slept = []
+    supervisor = JobSupervisor(
+        metrics=metrics,
+        trace_jobs=trace_jobs,
+        sleep=lambda handle, delay: slept.append(delay),
+    )
+    handle = JobHandle(0, spec)
+    supervisor.run_job(handle)
+    return handle, metrics, slept
+
+
+class TestExpectedFailures:
+    def test_injected_failures_are_absorbed_not_retried(self):
+        spec = cc_spec(
+            failures=FailureSchedule.single(2, [0]),
+            config=EngineConfig(parallelism=4, spare_workers=4),
+        )
+        handle, metrics, slept = run_supervised(spec)
+        assert handle.state is JobState.SUCCEEDED
+        assert handle.attempts == 1
+        assert metrics.get("service.retries") == 0
+        assert slept == []
+        assert handle.result().num_failures == 1  # the failure did strike
+
+
+class TestInfrastructureFailures:
+    def test_spare_exhaustion_is_surfaced_as_retryable(self):
+        # Integration of the satellite: SimulatedCluster.reassign_lost
+        # raises RecoveryError when spares run out, and the supervisor
+        # treats exactly that as a retryable infrastructure failure.
+        spec = cc_spec(
+            failures=FailureSchedule.single(1, [0]),
+            config=EngineConfig(parallelism=4, spare_workers=0),
+            retry=RetryPolicy(max_retries=2, backoff_base=0.01, jitter=0.0),
+        )
+        handle, metrics, slept = run_supervised(spec)
+        # Deterministic engine + same spare pool: every attempt fails.
+        assert handle.state is JobState.FAILED
+        assert isinstance(handle.error, RecoveryError)
+        assert handle.attempts == 3  # initial + 2 retries
+        assert handle.retries == 2
+        assert metrics.get("service.retries") == 2
+        assert len(slept) == 2
+        assert slept[1] > slept[0]  # exponential backoff
+
+    def test_retry_on_boosted_spares_succeeds(self):
+        spec = cc_spec(
+            failures=FailureSchedule.single(1, [0]),
+            config=EngineConfig(parallelism=4, spare_workers=0),
+            retry=RetryPolicy(max_retries=1, backoff_base=0.0, jitter=0.0),
+            retry_spare_boost=4,
+        )
+        handle, metrics, _ = run_supervised(spec)
+        assert handle.state is JobState.SUCCEEDED
+        assert handle.attempts == 2
+        assert handle.retries == 1
+        # The successful retry matches a standalone run on the boosted config.
+        alone = spec.run_standalone(attempt=1)
+        assert handle.result().final_records == alone.final_records
+        assert handle.result().sim_time == alone.sim_time
+
+    def test_zero_max_retries_fails_immediately(self):
+        spec = cc_spec(
+            failures=FailureSchedule.single(1, [0]),
+            config=EngineConfig(parallelism=4, spare_workers=0),
+            retry=RetryPolicy(max_retries=0),
+        )
+        handle, metrics, slept = run_supervised(spec)
+        assert handle.state is JobState.FAILED
+        assert handle.attempts == 1
+        assert slept == []
+
+
+class TestPermanentFailures:
+    def test_deterministic_errors_are_not_retried(self):
+        graph = demo_graph()
+
+        def make_strict():
+            return connected_components(graph, max_supersteps=1)
+
+        spec = cc_spec(
+            make_job=make_strict,
+            config=EngineConfig(parallelism=4, spare_workers=4, strict_iterations=True),
+            retry=RetryPolicy(max_retries=5),
+        )
+        handle, metrics, slept = run_supervised(spec)
+        assert handle.state is JobState.FAILED
+        assert isinstance(handle.error, IterationError)
+        assert handle.attempts == 1  # no retries for deterministic errors
+        assert metrics.get("service.retries") == 0
+
+
+class TestDeadlines:
+    def test_deadline_expired_before_first_attempt(self):
+        handle, metrics, _ = run_supervised(cc_spec(deadline=0.0))
+        assert handle.state is JobState.TIMED_OUT
+        assert handle.attempts == 0
+        assert metrics.get("service.timed_out") == 1
+
+    def test_cancel_before_first_attempt(self):
+        supervisor = JobSupervisor(metrics=MetricsRegistry())
+        handle = JobHandle(0, cc_spec())
+        handle.transition(JobState.RUNNING)
+        handle.transition(JobState.RETRYING)  # park it mid-lifecycle
+        handle._cancel_requested = True
+        supervisor.run_job(handle)
+        assert handle.state is JobState.CANCELLED
+
+
+class TestTracing:
+    def test_job_root_span_is_tagged(self):
+        spec = cc_spec(failures=FailureSchedule.single(2, [0]))
+        handle, _, _ = run_supervised(spec, trace_jobs=True)
+        assert len(handle.trace_roots) == 1
+        root = handle.trace_roots[0]
+        assert root.name == "job:0"
+        assert root.attributes["job_id"] == 0
+        assert root.attributes["job_name"] == "cc"
+        assert root.attributes["outcome"] == "completed"
+        # The engine's run span nests under the job root span.
+        assert [c.name for c in root.children] == ["run:connected-components"]
+
+    def test_each_attempt_gets_its_own_root(self):
+        spec = cc_spec(
+            failures=FailureSchedule.single(1, [0]),
+            config=EngineConfig(parallelism=4, spare_workers=0),
+            retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+            retry_spare_boost=4,
+        )
+        handle, _, _ = run_supervised(spec, trace_jobs=True)
+        assert handle.state is JobState.SUCCEEDED
+        assert [r.attributes["attempt"] for r in handle.trace_roots] == [0, 1]
+        assert handle.trace_roots[0].attributes["outcome"] == "RecoveryError"
+        assert handle.trace_roots[1].attributes["outcome"] == "completed"
+
+    def test_untraced_supervisor_records_nothing(self):
+        handle, _, _ = run_supervised(cc_spec(), trace_jobs=False)
+        assert handle.trace_roots == []

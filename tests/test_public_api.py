@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.observability",
     "repro.pregel",
     "repro.runtime",
+    "repro.service",
 ]
 
 
