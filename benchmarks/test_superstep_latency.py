@@ -58,3 +58,63 @@ def test_s2_superstep_latency_timeline(benchmark, report):
     # all other supersteps track the failure-free timeline closely
     for index, duration in enumerate(baseline.stats.duration_series()[:2]):
         assert durations[index] == pytest.approx(duration, rel=0.2)
+
+
+def test_s2_metric_key_hoisting_microbench(benchmark, report):
+    """Hot-path check for the executor's interned metric-key cache.
+
+    The executor used to rebuild three f-strings (``records_in.*``,
+    ``shuffled.*``, ``shuffle_volume.*``) per operator per superstep;
+    they are now interned once per operator in ``_op_keys``. This
+    micro-bench shows the per-superstep delta of that hoisting and
+    confirms the serial hot path still completes a real run at its
+    usual latency.
+    """
+    import time
+    import timeit
+
+    from repro.runtime.executor import PlanExecutor
+
+    executor = PlanExecutor(4)
+    names = [f"operator-{i}" for i in range(12)]
+    for name in names:
+        executor._op_keys(name)  # warm the cache, as superstep 0 does
+
+    def cached():
+        for name in names:
+            executor._op_keys(name)
+
+    def rebuilt():
+        for name in names:
+            (
+                f"records_in.{name}",
+                f"shuffled.{name}",
+                f"shuffle_volume.{name}",
+            )
+
+    rounds = 5000
+    cached_seconds = timeit.timeit(cached, number=rounds)
+    rebuilt_seconds = timeit.timeit(rebuilt, number=rounds)
+
+    def run_serial():
+        graph = twitter_like_graph(600, seed=7)
+        started = time.perf_counter()
+        result = connected_components(graph).run(config=CONFIG)
+        return result, time.perf_counter() - started
+
+    result, wall = run_once(benchmark, run_serial)
+    per_lookup_ns = lambda total: total / (rounds * len(names)) * 1e9
+    report(
+        "S2 — metric-key hoisting micro-benchmark\n"
+        f"f-string rebuild: {per_lookup_ns(rebuilt_seconds):8.1f} ns/operator\n"
+        f"interned lookup:  {per_lookup_ns(cached_seconds):8.1f} ns/operator\n"
+        f"hoisting speedup: {rebuilt_seconds / cached_seconds:.2f}x\n"
+        f"\nserial CC 600 vertices: {result.supersteps} supersteps in "
+        f"{wall:.3f}s wall ({wall / result.supersteps * 1000:.1f} ms/superstep), "
+        f"sim_time={result.sim_time:.4f}s"
+    )
+    # One dict hit must beat three f-string constructions.
+    assert cached_seconds < rebuilt_seconds
+    # The interned cache holds exactly one entry per distinct operator.
+    assert len(executor._metric_keys) == len(names)
+    assert result.converged

@@ -48,6 +48,22 @@ VERTEX_KEY: KeySpec = first_field("vertex")
 MESSAGE_COUNTER = "records_in.candidate-label"
 
 
+# Operator UDFs live at module level so they pickle by reference and the
+# process execution backend can dispatch step-plan kernels to workers.
+
+
+def _label_to_neighbor(labeled: Any, edge: Any) -> Any:
+    return (edge[1], labeled[1])
+
+
+def _min_label(left: Any, right: Any) -> Any:
+    return left if left[1] <= right[1] else right
+
+
+def _improved_label(candidate: Any, current: Any) -> Any:
+    return candidate if candidate[1] < current[1] else None
+
+
 def connected_components_plan() -> Plan:
     """Build the Figure 1(a) step dataflow.
 
@@ -63,19 +79,19 @@ def connected_components_plan() -> Plan:
         graph,
         left_key=VERTEX_KEY,
         right_key=VERTEX_KEY,
-        fn=lambda labeled, edge: (edge[1], labeled[1]),
+        fn=_label_to_neighbor,
         name="label-to-neighbors",
     )
     candidates = messages.reduce_by_key(
         VERTEX_KEY,
-        fn=lambda left, right: left if left[1] <= right[1] else right,
+        fn=_min_label,
         name="candidate-label",
     )
     candidates.join(
         solution,
         left_key=VERTEX_KEY,
         right_key=VERTEX_KEY,
-        fn=lambda candidate, current: candidate if candidate[1] < current[1] else None,
+        fn=_improved_label,
         name="label-update",
         preserves="left",
     )

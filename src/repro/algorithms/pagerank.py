@@ -58,6 +58,57 @@ _MASS_KEY: KeySpec = first_field("mass")
 MESSAGE_COUNTER = "records_in.recompute-ranks"
 
 
+# Operator UDFs live at module level (not as lambdas inside
+# pagerank_plan) so they pickle by reference: the process execution
+# backend can then ship step-plan kernels to its workers instead of
+# falling back to inline execution.
+
+
+def _contribution(rank: Any, link: Any) -> Any:
+    return (link[1], rank[1] * link[2])
+
+
+def _zero_contribution(rank: Any) -> Any:
+    return (rank[0], 0.0)
+
+
+def _sum_ranks(left: Any, right: Any) -> Any:
+    return (left[0], left[1] + right[1])
+
+
+def _dangling_mass(rank: Any, marker: Any) -> Any:
+    return ("mass", rank[1])
+
+
+def _sum_mass(left: Any, right: Any) -> Any:
+    return ("mass", left[1] + right[1])
+
+
+class _ApplyDamping:
+    """``apply-damping`` closure over the damping factor and vertex count."""
+
+    __slots__ = ("damping", "n")
+
+    def __init__(self, damping: float, n: float):
+        self.damping = damping
+        self.n = n
+
+    def __call__(self, contribution: Any, mass: Any) -> Any:
+        return (
+            contribution[0],
+            (1.0 - self.damping) / self.n
+            + self.damping * (contribution[1] + mass[1] / self.n),
+        )
+
+
+def _keep_new_rank(new: Any, old: Any) -> Any:
+    return (new[0], new[1])
+
+
+def _rank_value(record: Any) -> float:
+    return record[1]
+
+
 def pagerank_plan(damping: float, num_vertices: int) -> Plan:
     """Build the Figure 1(b) step dataflow.
 
@@ -79,13 +130,13 @@ def pagerank_plan(damping: float, num_vertices: int) -> Plan:
         links,
         left_key=VERTEX_KEY,
         right_key=VERTEX_KEY,
-        fn=lambda rank, link: (link[1], rank[1] * link[2]),
+        fn=_contribution,
         name="find-neighbors",
     )
-    zeros = ranks.map(lambda rank: (rank[0], 0.0), name="init-contributions")
+    zeros = ranks.map(_zero_contribution, name="init-contributions")
     summed = zeros.union(contributions, name="gather-contributions").reduce_by_key(
         VERTEX_KEY,
-        fn=lambda left, right: (left[0], left[1] + right[1]),
+        fn=_sum_ranks,
         name="recompute-ranks",
     )
 
@@ -94,31 +145,27 @@ def pagerank_plan(damping: float, num_vertices: int) -> Plan:
             dangling,
             left_key=VERTEX_KEY,
             right_key=VERTEX_KEY,
-            fn=lambda rank, marker: ("mass", rank[1]),
+            fn=_dangling_mass,
             name="collect-dangling",
         )
         .union(mass_seed, name="seed-mass")
         .reduce_by_key(
             _MASS_KEY,
-            fn=lambda left, right: ("mass", left[1] + right[1]),
+            fn=_sum_mass,
             name="sum-dangling",
         )
     )
 
-    n = float(num_vertices)
     new_ranks = summed.cross(
         dangling_mass,
-        fn=lambda contribution, mass: (
-            contribution[0],
-            (1.0 - damping) / n + damping * (contribution[1] + mass[1] / n),
-        ),
+        fn=_ApplyDamping(damping, float(num_vertices)),
         name="apply-damping",
     )
     new_ranks.join(
         ranks,
         left_key=VERTEX_KEY,
         right_key=VERTEX_KEY,
-        fn=lambda new, old: (new[0], new[1]),
+        fn=_keep_new_rank,
         name="compare-to-old-rank",
         preserves="left",
     )
@@ -263,7 +310,7 @@ def pagerank(
         termination=EpsilonL1(epsilon),
         max_supersteps=max_supersteps,
         message_counter=MESSAGE_COUNTER,
-        value_fn=lambda record: record[1],
+        value_fn=_rank_value,
         truth=exact_pagerank(graph, damping=damping),
         truth_tolerance=truth_tolerance,
     )

@@ -9,9 +9,35 @@ without aliasing surprises.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
+
+#: intra-job partition-execution backends (see :mod:`repro.runtime.parallel`).
+PARALLEL_BACKENDS = ("serial", "threads", "processes")
+
+
+def _env_parallel_backend() -> str:
+    """Default backend, overridable via ``REPRO_PARALLEL_BACKEND``.
+
+    The env hook lets CI run the whole test suite under another backend
+    without touching any call site; the value is validated like an
+    explicit one in ``EngineConfig.__post_init__``.
+    """
+    return os.environ.get("REPRO_PARALLEL_BACKEND", "serial")
+
+
+def _env_parallel_workers() -> int | None:
+    raw = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_PARALLEL_WORKERS must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -103,6 +129,17 @@ class EngineConfig:
             charges of served work (Flink's real loop-invariant caching
             behavior, for ablation). ``"off"`` disables the cache and
             re-executes the full step plan every superstep.
+        parallel_backend: how partition kernels execute within one job:
+            ``"serial"`` (default — inline in the driver thread,
+            bit-identical to the original engine), ``"threads"`` (shared
+            thread pool) or ``"processes"`` (persistent forked worker
+            pool). Records, simulated time, metrics and superstep counts
+            are identical across backends; only wall-clock time changes.
+            Defaults to ``$REPRO_PARALLEL_BACKEND`` when set.
+        parallel_workers: worker count for the non-serial backends;
+            ``None`` uses :func:`repro.runtime.parallel.default_parallel_workers`
+            (cores, capped at 8). Defaults to ``$REPRO_PARALLEL_WORKERS``
+            when set.
     """
 
     parallelism: int = 4
@@ -114,6 +151,8 @@ class EngineConfig:
     strict_iterations: bool = False
     state_backend: str = "keyed"
     execution_cache: str = "transparent"
+    parallel_backend: str = field(default_factory=_env_parallel_backend)
+    parallel_workers: int | None = field(default_factory=_env_parallel_workers)
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -138,6 +177,15 @@ class EngineConfig:
                 f"execution_cache must be 'off', 'transparent' or 'modeled', "
                 f"got {self.execution_cache!r}"
             )
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ConfigError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ConfigError(
+                f"parallel_workers must be >= 1 or None, got {self.parallel_workers}"
+            )
         self.cost_model.validate()
 
     @property
@@ -160,6 +208,12 @@ class EngineConfig:
     def with_execution_cache(self, execution_cache: str) -> "EngineConfig":
         """Return a copy with a different execution-cache mode."""
         return replace(self, execution_cache=execution_cache)
+
+    def with_parallel(
+        self, backend: str, workers: int | None = None
+    ) -> "EngineConfig":
+        """Return a copy with a different intra-job execution backend."""
+        return replace(self, parallel_backend=backend, parallel_workers=workers)
 
 
 DEFAULT_CONFIG = EngineConfig()
@@ -192,6 +246,13 @@ class ServiceConfig:
             empty service).
         trace_jobs: record a per-attempt span tree per job (tagged with
             ``job_id``) via :class:`repro.observability.tracer.RecordingTracer`.
+        core_budget: machine cores shared between the ``pool_size`` job
+            slots and each job's intra-job parallel workers (see
+            :class:`repro.runtime.parallel.CoreBudget`). ``None`` uses
+            ``os.cpu_count()``. Each job's ``parallel_workers`` is
+            clamped to ``core_budget // pool_size`` (at least 1) so
+            concurrent jobs with process/thread backends don't
+            oversubscribe the machine.
     """
 
     pool_size: int = 4
@@ -200,6 +261,7 @@ class ServiceConfig:
     admission_timeout: float = 10.0
     poll_interval: float = 0.02
     trace_jobs: bool = True
+    core_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -219,6 +281,10 @@ class ServiceConfig:
             )
         if self.poll_interval <= 0:
             raise ConfigError(f"poll_interval must be > 0, got {self.poll_interval}")
+        if self.core_budget is not None and self.core_budget < 1:
+            raise ConfigError(
+                f"core_budget must be >= 1 or None, got {self.core_budget}"
+            )
 
 
 DEFAULT_SERVICE_CONFIG = ServiceConfig()

@@ -33,6 +33,7 @@ import sys
 from typing import Sequence
 
 from ..analysis import Series, format_figure
+from ..config import PARALLEL_BACKENDS
 from ..errors import ConfigError, ReproError
 from ..iteration.snapshots import SnapshotPhase
 from ..observability.export import trace_to_jsonl
@@ -69,6 +70,33 @@ def _parse_failure(text: str) -> tuple[int, list[int]]:
             f"failure spec {text!r} names no partitions\nhint: {FAILURE_USAGE}"
         )
     return superstep, partitions
+
+
+def add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--parallel-backend`` / ``--parallel-workers``
+    options (run, serve and profile all take them)."""
+    parser.add_argument(
+        "--parallel-backend",
+        choices=PARALLEL_BACKENDS,
+        default=None,
+        help="intra-job execution backend; results are identical across "
+        "backends, only wall-clock time changes (default: REPRO_PARALLEL_BACKEND "
+        "or serial)",
+    )
+    parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for a parallel backend (default: derived from "
+        "the machine's core count)",
+    )
+
+
+def _check_parallel_workers(workers: int | None) -> None:
+    """Reject non-positive ``--parallel-workers`` with a usage error."""
+    if workers is not None and workers < 1:
+        raise ConfigError(f"parallel_workers must be >= 1, got {workers}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record the run's span tree and write it as JSONL to PATH",
     )
+    add_parallel_arguments(parser)
     return parser
 
 
@@ -154,12 +183,23 @@ def build_profile_parser() -> argparse.ArgumentParser:
         "recovery-cost categories",
     )
     parser.add_argument("trace", help="JSONL trace written with --trace-out")
+    add_parallel_arguments(parser)
     return parser
 
 
 def profile_main(argv: Sequence[str]) -> int:
-    """``profile`` subcommand: read a trace, print the cost breakdown."""
+    """``profile`` subcommand: read a trace, print the cost breakdown.
+
+    The parallel options are accepted for symmetry with run/serve and
+    validated the same way; the analysis itself reads a recorded trace,
+    whose backend is already fixed (it appears as run-span attributes).
+    """
     args = build_profile_parser().parse_args(argv)
+    try:
+        _check_parallel_workers(args.parallel_workers)
+    except ConfigError as error:
+        print(f"error: {error}")
+        return 2
     try:
         report = format_profile(profile_trace(args.trace), title=args.trace)
     except (OSError, ValueError) as error:
@@ -213,6 +253,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print one line per terminal job",
     )
+    parser.add_argument(
+        "--core-budget",
+        type=int,
+        default=None,
+        metavar="CORES",
+        help="cores shared between the pool's job slots; each job's "
+        "parallel workers are clamped to budget // pool (default: all cores)",
+    )
+    add_parallel_arguments(parser)
     return parser
 
 
@@ -223,18 +272,22 @@ def serve_main(argv: Sequence[str]) -> int:
 
     args = build_serve_parser().parse_args(argv)
     try:
+        _check_parallel_workers(args.parallel_workers)
         workload = generate_workload(
             WorkloadConfig(
                 num_jobs=args.jobs,
                 seed=args.seed,
                 cc_fraction=args.cc_fraction,
                 failure_density=args.failure_density,
+                parallel_backend=args.parallel_backend,
+                parallel_workers=args.parallel_workers,
             )
         )
         service_config = ServiceConfig(
             pool_size=args.pool,
             queue_capacity=args.queue_capacity,
             backpressure=args.backpressure,
+            core_budget=args.core_budget,
         )
     except ConfigError as error:
         print(f"error: {error}")
@@ -324,6 +377,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             spare_workers=max(4, args.parallelism),
             twitter_size=args.size,
             seed=args.seed,
+            parallel_backend=args.parallel_backend,
+            parallel_workers=args.parallel_workers,
         )
         for superstep, partitions in failures:
             session.schedule_failure(superstep, partitions)
@@ -358,6 +413,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "graph": args.graph,
                     "recovery": args.recovery,
                     "parallelism": args.parallelism,
+                    "parallel_backend": args.parallel_backend,
+                    "parallel_workers": args.parallel_workers,
                     "supersteps": run.result.supersteps,
                     "converged": run.result.converged,
                     "sim_time": run.result.clock.now,

@@ -14,6 +14,7 @@ from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cluster import SimulatedCluster
 from ..runtime.executor import PartitionedDataset, PlanExecutor
 from ..runtime.failures import FailureInjector, FailureSchedule
+from ..runtime.parallel import get_backend
 from ..runtime.state import record_matches
 from ..runtime.storage import StableStorage
 
@@ -44,6 +45,15 @@ class JobRuntime:
     def tracer(self):
         return self.executor.tracer
 
+    def close(self) -> None:
+        """End-of-run cleanup: drop worker-resident side values.
+
+        The shared thread/process pools stay alive for the next run;
+        only this run's shipped build indexes and broadcasts are
+        released.
+        """
+        self.executor.release_residents()
+
 
 def build_runtime(
     config: EngineConfig,
@@ -64,6 +74,7 @@ def build_runtime(
         clock=cluster.clock,
         combiners=config.combiners,
         tracer=tracer,
+        backend=get_backend(config.parallel_backend, config.parallel_workers),
     )
     storage = StableStorage(cluster.clock)
     injector = FailureInjector(failures if failures is not None else FailureSchedule.none())

@@ -14,6 +14,7 @@ acquires replacement workers, and delegates state repair to the configured
 
 from __future__ import annotations
 
+from contextlib import closing
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -191,13 +192,17 @@ def run_bulk_iteration(
         or spec.termination.uses_updates
     )
 
-    with tracer.span(
+    # closing() releases worker-resident side values even when the run
+    # raises (the shared thread/process pools themselves stay up).
+    with closing(runtime), tracer.span(
         f"run:{spec.name}",
         kind=SpanKind.RUN,
         job=spec.name,
         mode="bulk",
         strategy=recovery.name,
         parallelism=parallelism,
+        parallel_backend=runtime.executor.backend.name,
+        parallel_workers=runtime.executor.backend.workers,
     ) as run_span:
         for superstep in range(spec.max_supersteps):
             supersteps_run = superstep + 1
@@ -261,6 +266,9 @@ def run_bulk_iteration(
                                 # Cached partitions lived on the failed
                                 # workers; recovery must recompute them.
                                 cache.invalidate(lost)
+                            # Worker-resident copies of the invalidated
+                            # build sides are stale too.
+                            runtime.executor.release_residents()
                             outcome = recovery.recover(ctx, superstep, next_state, None, lost)
                             next_state = runtime.executor.repartition(
                                 outcome.state,

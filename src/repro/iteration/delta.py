@@ -23,6 +23,7 @@ next workset partitions on the failed workers.
 
 from __future__ import annotations
 
+from contextlib import closing
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -201,7 +202,9 @@ def run_delta_iteration(
     converged = False
     supersteps_run = 0
 
-    with tracer.span(
+    # closing() releases worker-resident side values even when the run
+    # raises (the shared thread/process pools themselves stay up).
+    with closing(runtime), tracer.span(
         f"run:{spec.name}",
         kind=SpanKind.RUN,
         job=spec.name,
@@ -209,6 +212,8 @@ def run_delta_iteration(
         strategy=recovery.name,
         parallelism=parallelism,
         state_backend=backend.name,
+        parallel_backend=runtime.executor.backend.name,
+        parallel_workers=runtime.executor.backend.workers,
     ) as run_span:
         for superstep in range(spec.max_supersteps):
             supersteps_run = superstep + 1
@@ -286,6 +291,9 @@ def run_delta_iteration(
                                 # Cached partitions lived on the failed
                                 # workers; recovery must recompute them.
                                 cache.invalidate(lost)
+                            # Worker-resident copies of the invalidated
+                            # build sides are stale too.
+                            runtime.executor.release_residents()
                             outcome = recovery.recover(
                                 ctx, superstep, backend.to_dataset(), next_workset, lost
                             )

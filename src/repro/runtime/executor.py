@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..dataflow.datatypes import KeySpec
-from ..dataflow.functions import emitted
 from ..dataflow.operators import (
     CoGroupOperator,
     CrossOperator,
@@ -38,9 +37,18 @@ from ..dataflow.plan import Plan
 from ..errors import ExecutionError, PartitionLostError
 from ..observability.span import SpanKind
 from ..observability.tracer import NOOP_TRACER, Tracer
+from . import kernels
 from .cache import SuperstepExecutionCache
 from .clock import SimulatedClock
 from .metrics import MetricsRegistry
+from .parallel import (
+    HEAVY,
+    LIGHT,
+    ExecutionBackend,
+    Resident,
+    SerialBackend,
+    next_resident_token,
+)
 from .partition import HashPartitioner
 
 
@@ -172,6 +180,7 @@ class PlanExecutor:
         metrics: MetricsRegistry | None = None,
         combiners: bool = False,
         tracer: Tracer | None = None,
+        backend: ExecutionBackend | None = None,
     ):
         if parallelism < 1:
             raise ExecutionError(f"parallelism must be >= 1, got {parallelism}")
@@ -187,9 +196,22 @@ class PlanExecutor:
         #: so jobs that interpret those counters (e.g. the demo's
         #: "messages" statistic) run with combiners off.
         self.combiners = combiners
+        #: intra-job partition-execution backend; every simulated charge
+        #: happens in this thread regardless of backend, so records,
+        #: clock and counters are bit-identical across all of them.
+        self.backend = backend if backend is not None else SerialBackend()
         #: the execution cache of the in-flight ``execute()`` call (set
         #: per call from its ``cache`` argument; ``None`` disables reuse).
         self._cache: SuperstepExecutionCache | None = None
+        #: per-operator metric names, interned once instead of
+        #: re-formatting f-strings on the per-superstep hot path.
+        self._metric_keys: dict[str, tuple[str, str, str]] = {}
+        #: resident side values shipped to process workers: id(value) ->
+        #: Resident marker, plus pins keeping the values alive while the
+        #: workers hold copies (released via release_residents()).
+        self._resident_token = next_resident_token()
+        self._residents: dict[int, Resident] = {}
+        self._resident_pins: list[Any] = []
 
     # -- public API ------------------------------------------------------------
 
@@ -289,9 +311,54 @@ class PlanExecutor:
                 )
             dataset.require_complete(f"source {source.name!r}")
 
+    def _op_keys(self, name: str) -> tuple[str, str, str]:
+        """Metric names for one operator, formatted once per executor."""
+        keys = self._metric_keys.get(name)
+        if keys is None:
+            keys = (
+                f"records_in.{name}",
+                f"shuffled.{name}",
+                f"shuffle_volume.{name}",
+            )
+            self._metric_keys[name] = keys
+        return keys
+
     def _count_in(self, op: Operator, records: int) -> None:
-        self.metrics.increment(f"records_in.{op.name}", records)
+        self.metrics.increment(self._op_keys(op.name)[0], records)
         self.clock.charge_compute(records)
+
+    def _dispatch(self, kernel, tasks: list[tuple], weight: str = HEAVY) -> list[Any]:
+        """Run one partition kernel over every task via the backend."""
+        return self.backend.run(kernel, tasks, weight=weight)
+
+    def _resident(self, value: Any) -> Any:
+        """Mark a reusable side value for ship-once worker residency.
+
+        Only meaningful for backends with worker-local state (processes);
+        other backends receive the raw value. Same object in, same
+        marker out, so the workers' copies are reused across supersteps
+        until :meth:`release_residents`.
+        """
+        if not self.backend.uses_residents:
+            return value
+        marker = self._residents.get(id(value))
+        if marker is None:
+            marker = Resident((self._resident_token, len(self._resident_pins)), value)
+            self._residents[id(value)] = marker
+            self._resident_pins.append(value)
+        return marker
+
+    def release_residents(self) -> None:
+        """Drop this executor's resident values from all workers.
+
+        Iteration drivers call this whenever the execution cache is
+        invalidated (the build sides the residents mirror are rebuilt
+        with fresh identities) and once at end of run.
+        """
+        if self._resident_pins:
+            self.backend.drop_residents(self._resident_token)
+        self._residents.clear()
+        self._resident_pins.clear()
 
     def _shuffle(
         self, dataset: PartitionedDataset, key: KeySpec, op_name: str
@@ -307,18 +374,37 @@ class PlanExecutor:
         dataset.require_complete(f"shuffle for {op_name!r}")
         if dataset.partitioned_by == key:
             return dataset
-        partition = HashPartitioner(self.parallelism).partition
-        parts: list[list[Any]] = [[] for _ in range(self.parallelism)]
-        appends = [part.append for part in parts]
+        keys = self._op_keys(op_name)
         moved = 0
-        for part in dataset.partitions:
-            moved += len(part)  # type: ignore[arg-type]
-            for record in part:  # type: ignore[union-attr]
-                appends[partition(key(record))](record)
+        if self.backend.is_serial:
+            partition = HashPartitioner(self.parallelism).partition
+            parts: list[list[Any]] = [[] for _ in range(self.parallelism)]
+            appends = [part.append for part in parts]
+            for part in dataset.partitions:
+                moved += len(part)  # type: ignore[arg-type]
+                for record in part:  # type: ignore[union-attr]
+                    appends[partition(key(record))](record)
+        else:
+            # Routing is a single cheap pass (LIGHT), so parallel
+            # backends may run it inline; the merge below concatenates
+            # bucket p of every source partition in source order —
+            # exactly the record order the loop above produces.
+            routed = self._dispatch(
+                kernels.route_kernel,
+                [(part, key, self.parallelism) for part in dataset.partitions],
+                weight=LIGHT,
+            )
+            parts = []
+            for pid in range(self.parallelism):
+                merged: list[Any] = []
+                for buckets in routed:
+                    merged.extend(buckets[pid])
+                parts.append(merged)
+            moved = sum(len(part) for part in dataset.partitions)  # type: ignore[arg-type]
         self.clock.charge_network(moved)
-        self.metrics.increment(f"shuffled.{op_name}", moved)
+        self.metrics.increment(keys[1], moved)
         self.metrics.observe("shuffle_volume", moved)
-        self.metrics.observe(f"shuffle_volume.{op_name}", moved)
+        self.metrics.observe(keys[2], moved)
         return PartitionedDataset(partitions=parts, partitioned_by=key)
 
     def _cached_shuffle(
@@ -418,17 +504,16 @@ class PlanExecutor:
 
     def _run_map(self, op: MapOperator, data: PartitionedDataset) -> PartitionedDataset:
         self._count_in(op, data.num_records())
-        parts = [[op.fn(record) for record in part] for part in data.partitions]  # type: ignore[union-attr]
+        parts = self._dispatch(
+            kernels.map_kernel, [(part, op.fn) for part in data.partitions]
+        )
         return PartitionedDataset(partitions=parts, partitioned_by=None)
 
     def _run_flat_map(self, op: FlatMapOperator, data: PartitionedDataset) -> PartitionedDataset:
         self._count_in(op, data.num_records())
-        parts: list[list[Any]] = []
-        for part in data.partitions:
-            out: list[Any] = []
-            for record in part:  # type: ignore[union-attr]
-                out.extend(op.fn(record))
-            parts.append(out)
+        parts = self._dispatch(
+            kernels.flat_map_kernel, [(part, op.fn) for part in data.partitions]
+        )
         # Placement survives only when the operator declares it never
         # rewrites records (e.g. a fused filter-only chain).
         partitioned_by = data.partitioned_by if op.preserves_partitioning else None
@@ -436,10 +521,9 @@ class PlanExecutor:
 
     def _run_filter(self, op: FilterOperator, data: PartitionedDataset) -> PartitionedDataset:
         self._count_in(op, data.num_records())
-        parts = [
-            [record for record in part if op.fn(record)]  # type: ignore[union-attr]
-            for part in data.partitions
-        ]
+        parts = self._dispatch(
+            kernels.filter_kernel, [(part, op.fn) for part in data.partitions]
+        )
         # A filter never rewrites records, so hash placement survives.
         return PartitionedDataset(partitions=parts, partitioned_by=data.partitioned_by)
 
@@ -447,13 +531,10 @@ class PlanExecutor:
         self, op: ReduceByKeyOperator, data: PartitionedDataset
     ) -> PartitionedDataset:
         """Pre-fold each partition by key before the shuffle."""
-        parts: list[list[Any]] = []
-        for part in data.partitions:
-            folded: dict[Any, Any] = {}
-            for record in part:  # type: ignore[union-attr]
-                key = op.key(record)
-                folded[key] = record if key not in folded else op.fn(folded[key], record)
-            parts.append(list(folded.values()))
+        parts = self._dispatch(
+            kernels.fold_by_key_kernel,
+            [(part, op.key, op.fn) for part in data.partitions],
+        )
         return PartitionedDataset(partitions=parts, partitioned_by=data.partitioned_by)
 
     def _run_reduce_by_key(
@@ -463,13 +544,10 @@ class PlanExecutor:
         if self.combiners and data.partitioned_by != op.key:
             data = self._combine_locally(op, data)
         data = self._shuffle(data, op.key, op.name)
-        parts: list[list[Any]] = []
-        for part in data.partitions:
-            folded: dict[Any, Any] = {}
-            for record in part:  # type: ignore[union-attr]
-                key = op.key(record)
-                folded[key] = record if key not in folded else op.fn(folded[key], record)
-            parts.append(list(folded.values()))
+        parts = self._dispatch(
+            kernels.fold_by_key_kernel,
+            [(part, op.key, op.fn) for part in data.partitions],
+        )
         # Contract: the reduce function preserves the key field, so the
         # output remains partitioned by the same key.
         return PartitionedDataset(partitions=parts, partitioned_by=op.key)
@@ -479,15 +557,10 @@ class PlanExecutor:
     ) -> PartitionedDataset:
         self._count_in(op, data.num_records())
         data = self._shuffle(data, op.key, op.name)
-        parts: list[list[Any]] = []
-        for part in data.partitions:
-            groups: dict[Any, list[Any]] = {}
-            for record in part:  # type: ignore[union-attr]
-                groups.setdefault(op.key(record), []).append(record)
-            out: list[Any] = []
-            for key, group in groups.items():
-                out.extend(op.fn(key, group))
-            parts.append(out)
+        parts = self._dispatch(
+            kernels.group_reduce_kernel,
+            [(part, op.key, op.fn) for part in data.partitions],
+        )
         # Group reducers may emit arbitrary records; placement is unknown.
         return PartitionedDataset(partitions=parts, partitioned_by=None)
 
@@ -511,38 +584,42 @@ class PlanExecutor:
             self._count_in(op, left.num_records() + right.num_records())
         left = self._cached_shuffle(op.inputs[0], left, op.left_key, op.name)
         right = self._cached_shuffle(op.inputs[1], right, op.right_key, op.name)
-        building = tables is None
-        if building:
-            tables = []
-            right_key = op.right_key
-            for right_part in right.partitions:
-                table: dict[Any, list[Any]] = {}
-                for record in right_part:  # type: ignore[union-attr]
-                    table.setdefault(right_key(record), []).append(record)
-                tables.append(table)
-            if reusable:
-                cache.store_build(op, "right", tables)
-        parts: list[list[Any]] = []
-        left_key, fn = op.left_key, op.fn
-        for left_part, table in zip(left.partitions, tables):
-            out: list[Any] = []
-            for record in left_part:  # type: ignore[union-attr]
-                for match in table.get(left_key(record), ()):
-                    out.extend(emitted(fn(record, match)))
-            parts.append(out)
+        if tables is None and not reusable:
+            # Dynamic build side: fuse build+probe in one kernel so the
+            # throwaway hash table never crosses a process boundary.
+            parts = self._dispatch(
+                kernels.hash_join_kernel,
+                [
+                    (left_part, right_part, op.left_key, op.right_key, op.fn)
+                    for left_part, right_part in zip(left.partitions, right.partitions)
+                ],
+            )
+            return PartitionedDataset(
+                partitions=parts, partitioned_by=self._join_partitioning(op)
+            )
+        if tables is None:
+            tables = self._dispatch(
+                kernels.build_index_kernel,
+                [(part, op.right_key) for part in right.partitions],
+            )
+            cache.store_build(op, "right", tables)
+        # Reusable build side: ship each table once per worker and probe
+        # against the resident copy every superstep.
+        parts = self._dispatch(
+            kernels.probe_join_kernel,
+            [
+                (left_part, self._resident(table), op.left_key, op.fn)
+                for left_part, table in zip(left.partitions, tables)
+            ],
+        )
         return PartitionedDataset(partitions=parts, partitioned_by=self._join_partitioning(op))
 
-    @staticmethod
     def _group_partitions(
-        dataset: PartitionedDataset, key: KeySpec
+        self, dataset: PartitionedDataset, key: KeySpec
     ) -> list[dict[Any, list[Any]]]:
-        groups_per_part: list[dict[Any, list[Any]]] = []
-        for part in dataset.partitions:
-            groups: dict[Any, list[Any]] = {}
-            for record in part:  # type: ignore[union-attr]
-                groups.setdefault(key(record), []).append(record)
-            groups_per_part.append(groups)
-        return groups_per_part
+        return self._dispatch(
+            kernels.build_index_kernel, [(part, key) for part in dataset.partitions]
+        )
 
     def _run_co_group(
         self, op: CoGroupOperator, left: PartitionedDataset, right: PartitionedDataset
@@ -560,29 +637,39 @@ class PlanExecutor:
         self._count_in(op, counted)
         left = self._cached_shuffle(op.inputs[0], left, op.left_key, op.name)
         right = self._cached_shuffle(op.inputs[1], right, op.right_key, op.name)
-        if left_groups_all is None:
+        if left_groups_all is None and left_reusable:
             left_groups_all = self._group_partitions(left, op.left_key)
-            if left_reusable:
-                cache.store_build(op, "left", left_groups_all)
-        if right_groups_all is None:
+            cache.store_build(op, "left", left_groups_all)
+        if right_groups_all is None and right_reusable:
             right_groups_all = self._group_partitions(right, op.right_key)
-            if right_reusable:
-                cache.store_build(op, "right", right_groups_all)
-        parts: list[list[Any]] = []
-        fn = op.fn
-        for left_groups, right_groups in zip(left_groups_all, right_groups_all):
-            out: list[Any] = []
-            for key in left_groups.keys() | right_groups.keys():
-                out.extend(fn(key, left_groups.get(key, []), right_groups.get(key, [])))
-            parts.append(out)
+            cache.store_build(op, "right", right_groups_all)
+        # Reusable sides travel as resident pre-grouped indexes; dynamic
+        # sides travel raw and are grouped inside the kernel (identical
+        # dicts either way, so the key-union iteration order matches).
+        tasks = []
+        for pid in range(self.parallelism):
+            if left_groups_all is not None:
+                lhs, left_grouped = self._resident(left_groups_all[pid]), True
+            else:
+                lhs, left_grouped = left.partitions[pid], False
+            if right_groups_all is not None:
+                rhs, right_grouped = self._resident(right_groups_all[pid]), True
+            else:
+                rhs, right_grouped = right.partitions[pid], False
+            tasks.append(
+                (lhs, rhs, op.left_key, op.right_key, op.fn, left_grouped, right_grouped)
+            )
+        parts = self._dispatch(kernels.co_group_kernel, tasks)
         return PartitionedDataset(partitions=parts, partitioned_by=self._join_partitioning(op))
 
     def _broadcast_side(self, op: CrossOperator, right: PartitionedDataset) -> list[Any]:
         broadcast = right.all_records()
-        self.clock.charge_network(len(broadcast) * self.parallelism)
-        self.metrics.increment(f"shuffled.{op.name}", len(broadcast) * self.parallelism)
-        self.metrics.observe("shuffle_volume", len(broadcast) * self.parallelism)
-        self.metrics.observe(f"shuffle_volume.{op.name}", len(broadcast) * self.parallelism)
+        keys = self._op_keys(op.name)
+        volume = len(broadcast) * self.parallelism
+        self.clock.charge_network(volume)
+        self.metrics.increment(keys[1], volume)
+        self.metrics.observe("shuffle_volume", volume)
+        self.metrics.observe(keys[2], volume)
         return broadcast
 
     def _run_cross(
@@ -605,13 +692,12 @@ class PlanExecutor:
         # so pair processing is charged in every cache mode.
         pairs = left.num_records() * len(broadcast)
         self._count_in(op, pairs)
-        parts: list[list[Any]] = []
-        for part in left.partitions:
-            out: list[Any] = []
-            for record in part:  # type: ignore[union-attr]
-                for other in broadcast:
-                    out.extend(emitted(op.fn(record, other)))
-            parts.append(out)
+        # A cache-reusable broadcast is stable across supersteps, so ship
+        # it once per worker; a dynamic one is shipped with each task.
+        side = self._resident(broadcast) if reusable else broadcast
+        parts = self._dispatch(
+            kernels.cross_kernel, [(part, side, op.fn) for part in left.partitions]
+        )
         return PartitionedDataset(partitions=parts, partitioned_by=None)
 
     def _run_union(self, op: UnionOperator, inputs: list[PartitionedDataset]) -> PartitionedDataset:

@@ -28,6 +28,9 @@ Everything observable lands on one :class:`repro.runtime.metrics.MetricsRegistry
 ``service.timed_out``
 ``service.queue_depth``         gauge: live queue depth
 ``service.jobs_in_flight``      gauge: jobs currently executing
+``service.core_budget``         gauge: cores shared across job slots
+``service.parallel_workers_per_job``  gauge: intra-job worker grant
+``service.parallel_workers_clamped``  workers trimmed by the core budget
 ``service.queue_depth_sampled`` histogram: depth observed at each admission
 ``service.time_in_queue_seconds``  histogram: submit → first dequeue
 ``service.attempt_seconds``     histogram: wall seconds per engine run
@@ -45,6 +48,7 @@ from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig
 from ..errors import AdmissionError, ServiceError
 from ..iteration.result import IterationResult
 from ..runtime.metrics import MetricsRegistry
+from ..runtime.parallel import CoreBudget
 from .job import JobHandle, JobSpec, JobState
 from .queue import AdmissionQueue
 from .scheduler import WorkerPool
@@ -66,8 +70,15 @@ class JobService:
             policy=config.backpressure,
             block_timeout=config.admission_timeout,
         )
+        # Split the machine's cores between the pool's job slots and each
+        # job's intra-job parallel workers (wall-clock only; results are
+        # backend-independent).
+        self._core_budget = CoreBudget(config.core_budget)
+        workers_per_job = self._core_budget.workers_per_slot(config.pool_size)
         self._supervisor = JobSupervisor(
-            metrics=self.metrics, trace_jobs=config.trace_jobs
+            metrics=self.metrics,
+            trace_jobs=config.trace_jobs,
+            max_parallel_workers=workers_per_job,
         )
         self._pool = WorkerPool(
             self._queue,
@@ -85,6 +96,8 @@ class JobService:
         self.metrics.set_gauge("service.pool_size", config.pool_size)
         self.metrics.set_gauge("service.jobs_in_flight", 0)
         self.metrics.set_gauge("service.queue_depth", 0)
+        self.metrics.set_gauge("service.core_budget", self._core_budget.total)
+        self.metrics.set_gauge("service.parallel_workers_per_job", workers_per_job)
 
     # -- internal --------------------------------------------------------------
 

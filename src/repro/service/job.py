@@ -238,17 +238,24 @@ class JobSpec:
         return LineageRecovery()
 
     def run_standalone(
-        self, attempt: int = 0, *, tracer: Tracer | None = None
+        self,
+        attempt: int = 0,
+        *,
+        tracer: Tracer | None = None,
+        config: EngineConfig | None = None,
     ) -> IterationResult:
         """Run this spec exactly as a service worker would.
 
         This is the single execution path shared by the service and by
         standalone callers, which is what makes the service's results
-        provably bit-identical to single-run execution.
+        provably bit-identical to single-run execution. ``config``
+        overrides the attempt's engine config; the supervisor uses it to
+        clamp ``parallel_workers`` to the service's core budget (a
+        wall-clock-only knob, so results stay identical).
         """
         job = self.make_job()
         return job.run(
-            config=self.config_for_attempt(attempt),
+            config=config if config is not None else self.config_for_attempt(attempt),
             recovery=self.build_recovery(job),
             failures=self.failures,
             snapshots=SnapshotStore() if self.snapshots else None,

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from ..algorithms.connected_components import connected_components
 from ..algorithms.pagerank import pagerank
-from ..config import EngineConfig
+from ..config import PARALLEL_BACKENDS, EngineConfig
 from ..errors import ConfigError
 from ..graph.generators import multi_component_graph, twitter_like_graph
 from ..runtime.failures import FailureSchedule
@@ -49,6 +49,13 @@ class WorkloadConfig:
             deterministically time out.
         backoff_base: retry backoff base of the generated specs (small,
             so workloads drain quickly in tests).
+        parallel_backend: intra-job execution backend stamped onto every
+            generated spec's :class:`repro.config.EngineConfig`;
+            ``None`` keeps the engine default. Results are
+            backend-independent, so the workload's per-job outputs stay
+            bit-identical either way.
+        parallel_workers: intra-job worker count for a parallel backend
+            (the service's core budget may clamp it further).
     """
 
     num_jobs: int = 50
@@ -62,6 +69,8 @@ class WorkloadConfig:
     infra_failures: int = 1
     deadline_timeouts: int = 1
     backoff_base: float = 0.01
+    parallel_backend: str | None = None
+    parallel_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_jobs < 1:
@@ -85,6 +94,27 @@ class WorkloadConfig:
                 f"graph_vertices must be a (lo, hi) range with 2 <= lo <= hi, "
                 f"got {self.graph_vertices}"
             )
+        if (
+            self.parallel_backend is not None
+            and self.parallel_backend not in PARALLEL_BACKENDS
+        ):
+            raise ConfigError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ConfigError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
+
+    def engine_overrides(self) -> dict[str, object]:
+        """Per-job :class:`EngineConfig` kwargs for the parallel fields."""
+        overrides: dict[str, object] = {}
+        if self.parallel_backend is not None:
+            overrides["parallel_backend"] = self.parallel_backend
+        if self.parallel_workers is not None:
+            overrides["parallel_workers"] = self.parallel_workers
+        return overrides
 
 
 def _make_cc(graph):
@@ -100,6 +130,7 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
     rng = random.Random(config.seed)
     specs: list[JobSpec] = []
     retry = RetryPolicy(max_retries=2, backoff_base=config.backoff_base, jitter=0.5)
+    overrides = config.engine_overrides()
     for index in range(config.num_jobs):
         is_cc = rng.random() < config.cc_fraction
         num_vertices = rng.randint(*config.graph_vertices)
@@ -128,6 +159,7 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
                 config=EngineConfig(
                     parallelism=config.parallelism,
                     spare_workers=config.parallelism,
+                    **overrides,
                 ),
                 recovery="optimistic",
                 failures=failures,
@@ -148,7 +180,7 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
             name=f"{spec.name}-infra",
             make_job=spec.make_job,
             config=EngineConfig(
-                parallelism=config.parallelism, spare_workers=0
+                parallelism=config.parallelism, spare_workers=0, **overrides
             ),
             recovery=spec.recovery,
             failures=spec.failures

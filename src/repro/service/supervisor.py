@@ -29,12 +29,15 @@ results are untouched for every job that does not time out.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Any, Callable
 
+from ..config import EngineConfig
 from ..errors import JobTimeoutError, RecoveryError, ReproError
 from ..observability.span import SpanKind
 from ..observability.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from ..runtime.metrics import MetricsRegistry
+from ..runtime.parallel import default_parallel_workers
 from .job import JobHandle, JobState
 
 #: exception types classified as retryable infrastructure failures.
@@ -83,6 +86,12 @@ class JobSupervisor:
         metrics: the service-level registry ``service.*`` metrics land in.
         trace_jobs: record a per-attempt span tree on each handle.
         sleep: injectable sleep (tests replace it to skip real backoff).
+        max_parallel_workers: per-job intra-job worker grant from the
+            service's :class:`repro.runtime.parallel.CoreBudget`;
+            ``None`` leaves job configs untouched. Clamping changes
+            wall-clock scheduling only — results are backend- and
+            worker-count-independent — so clamped jobs remain
+            bit-identical to standalone runs.
     """
 
     def __init__(
@@ -90,10 +99,31 @@ class JobSupervisor:
         metrics: MetricsRegistry | None = None,
         trace_jobs: bool = False,
         sleep: Callable[[JobHandle, float], None] | None = None,
+        max_parallel_workers: int | None = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace_jobs = trace_jobs
+        self.max_parallel_workers = max_parallel_workers
         self._sleep = sleep if sleep is not None else self._interruptible_sleep
+
+    def _clamp_parallel(self, config: EngineConfig) -> EngineConfig:
+        """Clamp a job's intra-job workers to the core-budget grant."""
+        limit = self.max_parallel_workers
+        if limit is None or config.parallel_backend == "serial":
+            return config
+        requested = (
+            config.parallel_workers
+            if config.parallel_workers is not None
+            else default_parallel_workers()
+        )
+        granted = min(requested, limit)
+        if granted == config.parallel_workers:
+            return config
+        if requested > granted:
+            self.metrics.increment(
+                "service.parallel_workers_clamped", requested - granted
+            )
+        return replace(config, parallel_workers=granted)
 
     @staticmethod
     def _interruptible_sleep(handle: JobHandle, delay: float) -> None:
@@ -144,7 +174,11 @@ class JobSupervisor:
             result = None
             with root_ctx as root_span:
                 try:
-                    result = spec.run_standalone(attempt=attempt, tracer=tracer)
+                    result = spec.run_standalone(
+                        attempt=attempt,
+                        tracer=tracer,
+                        config=self._clamp_parallel(spec.config_for_attempt(attempt)),
+                    )
                     root_span.set_attribute("outcome", "completed")
                 except BaseException as exc:  # noqa: BLE001 — workers must survive
                     error = exc

@@ -1,0 +1,254 @@
+"""Unit tests for the pluggable intra-job execution backends.
+
+The contract under test (see :mod:`repro.runtime.parallel`): every
+backend returns kernel outputs in task order regardless of completion
+order, re-raises the lowest failing task index's exception, ships
+:class:`Resident` side values once per worker, survives worker death,
+and falls back to inline execution — correctly and visibly — when a
+payload cannot cross the process boundary.
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.errors import ConfigError, ExecutionError, PartitionLostError
+from repro.runtime.parallel import (
+    HEAVY,
+    LIGHT,
+    CoreBudget,
+    ProcessBackend,
+    Resident,
+    SerialBackend,
+    ThreadBackend,
+    default_parallel_workers,
+    get_backend,
+    next_resident_token,
+)
+
+# -- kernels (module level so the process backend pickles them by reference) -----
+
+
+def double_kernel(part):
+    return [record * 2 for record in part], {"records": len(part)}
+
+
+def jitter_kernel(part, delay):
+    # Later tasks finish earlier — order must still be preserved.
+    time.sleep(delay)
+    return [record * 2 for record in part], {}
+
+
+def failing_kernel(part, bad_index, index):
+    if index == bad_index:
+        raise PartitionLostError([index])
+    return list(part), {}
+
+
+def value_error_kernel(part, bad_indices, index):
+    if index in bad_indices:
+        raise ValueError(f"task {index} blew up")
+    return list(part), {}
+
+
+def resident_sum_kernel(part, side):
+    total = sum(side)
+    return [record + total for record in part], {}
+
+
+def unpicklable_output_kernel(part):
+    return [lambda: record for record in part], {}
+
+
+def crash_once_kernel(part, marker_path):
+    # First execution kills the worker; the retried chunk (after the
+    # parent respawns the worker) finds the marker and succeeds.
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as fh:
+            fh.write("crashed")
+        os._exit(13)
+    return list(part), {}
+
+
+TASKS = [([i, i + 1],) for i in range(16)]
+EXPECTED = [[i * 2, (i + 1) * 2] for i in range(16)]
+
+
+@pytest.fixture(params=["threads", "processes"])
+def pooled_backend(request):
+    backend_cls = ThreadBackend if request.param == "threads" else ProcessBackend
+    backend = backend_cls(workers=3)
+    yield backend
+    backend.close()
+
+
+# -- ordering and basic dispatch --------------------------------------------------
+
+
+def test_serial_backend_runs_inline_in_order():
+    backend = SerialBackend()
+    assert backend.run(double_kernel, TASKS) == EXPECTED
+    assert backend.is_serial and backend.workers == 1
+
+
+def test_pooled_backends_preserve_task_order(pooled_backend):
+    assert pooled_backend.run(double_kernel, TASKS) == EXPECTED
+
+
+def test_pooled_backends_preserve_order_under_completion_skew(pooled_backend):
+    # Task 0 sleeps longest, so it completes last; output order must
+    # still match task order.
+    tasks = [([i], (8 - i) * 0.01) for i in range(8)]
+    out = pooled_backend.run(jitter_kernel, tasks)
+    assert out == [[i * 2] for i in range(8)]
+
+
+def test_light_weight_runs_inline(pooled_backend):
+    out = pooled_backend.run(double_kernel, TASKS, weight=LIGHT)
+    assert out == EXPECTED
+    assert pooled_backend.metrics.get("parallel.chunks.inline") >= 1
+
+
+def test_empty_task_list(pooled_backend):
+    assert pooled_backend.run(double_kernel, [], weight=HEAVY) == []
+
+
+# -- error transport ---------------------------------------------------------------
+
+
+def test_partition_lost_error_surfaces_with_payload(pooled_backend):
+    tasks = [([i], 5, i) for i in range(8)]
+    with pytest.raises(PartitionLostError) as excinfo:
+        pooled_backend.run(failing_kernel, tasks)
+    assert excinfo.value.partition_ids == (5,)
+
+
+def test_lowest_failing_index_wins(pooled_backend):
+    # Several tasks fail; the serial loop would have hit index 2 first.
+    tasks = [([i], (2, 5, 7), i) for i in range(8)]
+    with pytest.raises(ValueError, match="task 2 blew up"):
+        pooled_backend.run(value_error_kernel, tasks)
+
+
+def test_backend_usable_after_kernel_error(pooled_backend):
+    with pytest.raises(ValueError):
+        pooled_backend.run(value_error_kernel, [([i], (0,), i) for i in range(4)])
+    assert pooled_backend.run(double_kernel, TASKS) == EXPECTED
+
+
+# -- residents (process backend only) ---------------------------------------------
+
+
+def test_resident_pickles_as_key_only():
+    resident = Resident((1, 2), value=[1, 2, 3])
+    clone = pickle.loads(pickle.dumps(resident))
+    assert clone.key == (1, 2)
+    assert clone.value is None
+
+
+def test_residents_ship_once_and_drop():
+    backend = ProcessBackend(workers=2)
+    try:
+        token = next_resident_token()
+        side = Resident((token, 0), [10, 20])
+        tasks = [([i], side) for i in range(8)]
+        assert backend.run(resident_sum_kernel, tasks) == [[i + 30] for i in range(8)]
+        sent_after_first = [len(h.sent) for h in backend._handles if h is not None]
+        # A worker holds the resident at most once, however many of its
+        # chunks referenced it.
+        assert all(count <= 1 for count in sent_after_first)
+        # Second superstep: same resident, no re-ship bookkeeping growth.
+        assert backend.run(resident_sum_kernel, tasks) == [[i + 30] for i in range(8)]
+        assert [len(h.sent) for h in backend._handles if h is not None] == sent_after_first
+        backend.drop_residents(token)
+        assert all(not h.sent for h in backend._handles if h is not None)
+        # And the store refills transparently on the next dispatch.
+        assert backend.run(resident_sum_kernel, tasks) == [[i + 30] for i in range(8)]
+    finally:
+        backend.close()
+
+
+# -- degraded paths ----------------------------------------------------------------
+
+
+def test_unpicklable_kernel_falls_back_inline():
+    backend = ProcessBackend(workers=2)
+    try:
+        bump = 7
+        out = backend.run(lambda part: ([r + bump for r in part], {}), [([i],) for i in range(6)])
+        assert out == [[i + 7] for i in range(6)]
+        assert backend.metrics.get("parallel.inline_fallbacks") >= 1
+    finally:
+        backend.close()
+
+
+def test_unpicklable_output_redone_inline():
+    backend = ProcessBackend(workers=2)
+    try:
+        out = backend.run(unpicklable_output_kernel, [([i],) for i in range(6)])
+        assert [fn() for part in out for fn in part] == list(range(6))
+        assert backend.metrics.get("parallel.inline_fallbacks") >= 1
+    finally:
+        backend.close()
+
+
+def test_worker_death_respawns_and_retries(tmp_path):
+    backend = ProcessBackend(workers=2)
+    try:
+        marker = str(tmp_path / "crashed-once")
+        tasks = [([i], marker) for i in range(8)]
+        assert backend.run(crash_once_kernel, tasks) == [[i] for i in range(8)]
+        assert backend.metrics.get("parallel.worker_respawns") >= 1
+        # Pool still healthy afterwards.
+        assert backend.run(double_kernel, TASKS) == EXPECTED
+    finally:
+        backend.close()
+
+
+def test_closed_process_backend_runs_inline():
+    backend = ProcessBackend(workers=2)
+    backend.run(double_kernel, TASKS)
+    backend.close()
+    assert backend.run(double_kernel, TASKS) == EXPECTED
+    backend.close()  # idempotent
+
+
+# -- configuration ------------------------------------------------------------------
+
+
+def test_backend_rejects_non_positive_workers():
+    with pytest.raises(ConfigError):
+        ThreadBackend(workers=0)
+    with pytest.raises(ConfigError):
+        ProcessBackend(workers=-1)
+
+
+def test_get_backend_validates_name_and_workers():
+    with pytest.raises(ConfigError):
+        get_backend("bogus")
+    with pytest.raises(ConfigError):
+        get_backend("threads", workers=0)
+
+
+def test_get_backend_serial_is_fresh_pools_are_shared():
+    assert get_backend("serial") is not get_backend("serial")
+    first = get_backend("threads", workers=2)
+    assert get_backend("threads", workers=2) is first
+    assert get_backend("threads", workers=3) is not first
+
+
+def test_default_parallel_workers_bounds():
+    workers = default_parallel_workers()
+    assert 1 <= workers <= 8
+
+
+def test_core_budget_split():
+    budget = CoreBudget(total=8)
+    assert budget.workers_per_slot(4) == 2
+    assert budget.workers_per_slot(16) == 1
+    assert budget.workers_per_slot(1) == 8
+    assert CoreBudget().total == (os.cpu_count() or 1)
+    with pytest.raises(ConfigError):
+        CoreBudget(total=0)

@@ -1,0 +1,80 @@
+"""Core-budget sharing: service slots vs. intra-job parallel workers.
+
+The service splits the machine's cores between the pool's job slots;
+the supervisor clamps each job's ``parallel_workers`` to the grant.
+Clamping is wall-clock-only — the engine's results are backend- and
+worker-count-independent — so a clamped job must stay bit-identical to
+its standalone run.
+"""
+
+from repro.config import EngineConfig, ServiceConfig
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.parallel import default_parallel_workers
+from repro.service import JobService, JobState, JobSupervisor
+
+from .test_job import cc_spec
+
+
+def _supervisor(limit):
+    metrics = MetricsRegistry()
+    return JobSupervisor(metrics=metrics, max_parallel_workers=limit), metrics
+
+
+class TestClampParallel:
+    def test_no_limit_leaves_config_untouched(self):
+        supervisor, _ = _supervisor(None)
+        config = EngineConfig(parallel_backend="processes", parallel_workers=6)
+        assert supervisor._clamp_parallel(config) is config
+
+    def test_serial_jobs_are_never_clamped(self):
+        supervisor, metrics = _supervisor(1)
+        config = EngineConfig(parallel_backend="serial", parallel_workers=6)
+        assert supervisor._clamp_parallel(config) is config
+        assert metrics.get("service.parallel_workers_clamped") == 0
+
+    def test_over_budget_request_is_clamped_and_counted(self):
+        supervisor, metrics = _supervisor(2)
+        config = EngineConfig(parallel_backend="threads", parallel_workers=6)
+        clamped = supervisor._clamp_parallel(config)
+        assert clamped.parallel_workers == 2
+        assert metrics.get("service.parallel_workers_clamped") == 4
+
+    def test_within_budget_request_is_unchanged(self):
+        supervisor, metrics = _supervisor(4)
+        config = EngineConfig(parallel_backend="threads", parallel_workers=3)
+        assert supervisor._clamp_parallel(config) is config
+        assert metrics.get("service.parallel_workers_clamped") == 0
+
+    def test_unset_workers_resolve_to_default_then_clamp(self):
+        supervisor, metrics = _supervisor(1)
+        config = EngineConfig(parallel_backend="processes", parallel_workers=None)
+        clamped = supervisor._clamp_parallel(config)
+        assert clamped.parallel_workers == 1
+        expected_overflow = default_parallel_workers() - 1
+        assert metrics.get("service.parallel_workers_clamped") == expected_overflow
+
+
+class TestServiceWiring:
+    def test_budget_gauges_and_grant(self):
+        config = ServiceConfig(pool_size=2, core_budget=4)
+        with JobService(config) as service:
+            assert service.metrics.gauge("service.core_budget") == 4
+            assert service.metrics.gauge("service.parallel_workers_per_job") == 2
+
+    def test_clamped_job_matches_standalone_result(self):
+        spec = cc_spec(
+            config=EngineConfig(
+                parallelism=4,
+                spare_workers=4,
+                parallel_backend="threads",
+                parallel_workers=8,
+            )
+        )
+        standalone = spec.run_standalone()
+        with JobService(ServiceConfig(pool_size=2, core_budget=2)) as service:
+            handle = service.submit(spec)
+            result = handle.result(timeout=60)
+        assert handle.state is JobState.SUCCEEDED
+        assert sorted(result.final_records) == sorted(standalone.final_records)
+        assert result.clock.now == standalone.clock.now
+        assert result.supersteps == standalone.supersteps
