@@ -1,0 +1,160 @@
+"""S7 — live-telemetry overhead and observability artifacts.
+
+Not a paper figure: the observability extension's regression guard. The
+S5 seeded 50-job workload runs through the service with telemetry off
+and fully on (background collector, per-run series, convergence
+monitors, JSONL event stream) and three claims are pinned:
+
+* **bit-identity** — every job's records, simulated time and superstep
+  count are unchanged by telemetry; the instrumentation observes, never
+  participates;
+* **bounded overhead** — full telemetry costs < 5% wall clock. The
+  measurement is noise-hardened for small single-core CI boxes: each
+  sample is the summed service wall clock of ``REPS`` consecutive
+  workloads, modes are interleaved, and the minimum over ``ROUNDS``
+  samples is compared (slowdown spikes from CI neighbors only ever
+  inflate a sample, so the min estimates the true cost);
+* **artifacts** — the run archives a sample Prometheus scrape and the
+  streamed telemetry JSONL under ``benchmarks/results/`` so CI exposes
+  what the exposition endpoints actually serve.
+"""
+
+import json
+
+from repro.analysis import Table
+from repro.config import ServiceConfig, TelemetryConfig
+from repro.observability.prometheus import render_collector
+from repro.service import (
+    JobService,
+    JobState,
+    WorkloadConfig,
+    generate_workload,
+)
+
+from .conftest import RESULTS_DIR, run_once
+
+WORKLOAD = WorkloadConfig(num_jobs=50, seed=7)
+POOL_SIZE = 4
+ROUNDS = 4
+REPS = 2
+MAX_OVERHEAD = 0.05
+
+OFF = TelemetryConfig(enabled=False)
+ON = TelemetryConfig(enabled=True, sample_interval=0.25)
+
+
+def _drive(telemetry: TelemetryConfig, jsonl_path=None):
+    """One workload through the service; returns (handles, report, extras)."""
+    if jsonl_path is not None:
+        telemetry = TelemetryConfig(
+            enabled=telemetry.enabled,
+            sample_interval=telemetry.sample_interval,
+            jsonl_path=jsonl_path,
+        )
+    specs = generate_workload(WORKLOAD)
+    with JobService(
+        ServiceConfig(
+            pool_size=POOL_SIZE,
+            poll_interval=0.01,
+            trace_jobs=False,
+            telemetry=telemetry,
+        )
+    ) as service:
+        handles = service.run_all(specs, timeout=300.0)
+        report = service.report()
+        scrape = (
+            render_collector(service.collector)
+            if service.collector is not None
+            else None
+        )
+        health = service.health()
+    return handles, report, scrape, health
+
+
+def _sample(telemetry: TelemetryConfig) -> float:
+    """One noise-hardened sample: summed service wall over REPS workloads."""
+    return sum(_drive(telemetry)[1].wall_seconds for _ in range(REPS))
+
+
+def _fingerprints(handles):
+    prints = {}
+    for handle in handles:
+        if handle.state is JobState.SUCCEEDED:
+            result = handle.result(timeout=0)
+            prints[handle.spec.name] = (
+                sorted(result.final_records),
+                result.sim_time,
+                result.supersteps,
+            )
+        else:
+            prints[handle.spec.name] = handle.state.name
+    return prints
+
+
+def test_s7_telemetry_overhead_and_identity(benchmark, report):
+    jsonl_path = RESULTS_DIR / "s7_telemetry.jsonl"
+    jsonl_path.unlink(missing_ok=True)
+
+    def run_experiment():
+        off_samples, on_samples = [], []
+        for _ in range(ROUNDS):
+            off_samples.append(_sample(OFF))
+            on_samples.append(_sample(ON))
+        # One final instrumented + bare run for identity and artifacts.
+        off_run = _drive(OFF)
+        on_run = _drive(ON, jsonl_path=jsonl_path)
+        return off_samples, on_samples, off_run, on_run
+
+    off_samples, on_samples, off_run, on_run = run_once(benchmark, run_experiment)
+    off_handles = off_run[0]
+    on_handles, on_report, scrape, health = on_run
+
+    overhead = min(on_samples) / min(off_samples) - 1.0
+    table = Table(
+        ["mode", "best (s)", "samples (s)", "jobs", "succeeded", "series", "events"],
+        title=f"S7 — telemetry overhead, S5 workload x{REPS}, best of {ROUNDS} "
+        f"(pool={POOL_SIZE})",
+    )
+    table.add_row(
+        "off", round(min(off_samples), 3),
+        " ".join(f"{s:.2f}" for s in off_samples),
+        WORKLOAD.num_jobs, off_run[1].by_state["succeeded"], 0, 0,
+    )
+    table.add_row(
+        "on", round(min(on_samples), 3),
+        " ".join(f"{s:.2f}" for s in on_samples),
+        WORKLOAD.num_jobs, on_report.by_state["succeeded"],
+        health["telemetry"]["series"], health["telemetry"]["events"],
+    )
+    report(str(table))
+    report(f"telemetry overhead (min/min): {overhead:+.2%} (bound {MAX_OVERHEAD:.0%})")
+
+    # Artifact: what a Prometheus scrape of this service actually serves.
+    (RESULTS_DIR / "s7_sample_scrape.prom").write_text(scrape)
+
+    # -- bit-identity ------------------------------------------------------------
+    assert _fingerprints(on_handles) == _fingerprints(off_handles)
+
+    # -- workload completed in both modes ---------------------------------------
+    assert off_run[1].completed == on_report.completed == WORKLOAD.num_jobs
+    assert on_report.by_state["succeeded"] >= WORKLOAD.num_jobs - 5
+
+    # -- overhead bound ----------------------------------------------------------
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry overhead {overhead:+.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(on {min(on_samples):.3f}s vs off {min(off_samples):.3f}s)"
+    )
+
+    # -- the instrumentation actually observed the workload ----------------------
+    assert health["telemetry"]["enabled"] is True
+    assert health["telemetry"]["series"] > 0
+    assert health["telemetry"]["events"] > 0
+    assert "# TYPE repro_service_submitted_total counter" in scrape
+    assert "repro_service_succeeded_total" in scrape
+    lines = [
+        json.loads(line)
+        for line in jsonl_path.read_text().splitlines()
+        if line.strip()
+    ]
+    assert any(e["kind"] == "job_finished" for e in lines)
+    assert any(e.get("job_id") is not None for e in lines)

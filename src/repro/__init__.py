@@ -30,9 +30,11 @@ paper-vs-measured record of every reproduced figure.
 from .config import (
     DEFAULT_CONFIG,
     DEFAULT_SERVICE_CONFIG,
+    DEFAULT_TELEMETRY_CONFIG,
     CostModel,
     EngineConfig,
     ServiceConfig,
+    TelemetryConfig,
 )
 from .errors import (
     AdmissionError,
@@ -61,6 +63,7 @@ __all__ = [
     "CostModel",
     "DEFAULT_CONFIG",
     "DEFAULT_SERVICE_CONFIG",
+    "DEFAULT_TELEMETRY_CONFIG",
     "EngineConfig",
     "ExecutionError",
     "GraphError",
@@ -74,6 +77,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "StorageError",
+    "TelemetryConfig",
     "TerminationError",
     "__version__",
 ]

@@ -26,6 +26,7 @@ from ..iteration.bulk import BulkIterationSpec, run_bulk_iteration
 from ..iteration.delta import DeltaIterationSpec, run_delta_iteration
 from ..iteration.result import IterationResult
 from ..iteration.snapshots import SnapshotStore
+from ..observability.telemetry import RunTelemetry
 from ..observability.tracer import Tracer
 from ..runtime.failures import FailureSchedule
 
@@ -48,6 +49,7 @@ class BulkJob:
         failures: FailureSchedule | None = None,
         snapshots: SnapshotStore | None = None,
         tracer: Tracer | None = None,
+        telemetry: RunTelemetry | None = None,
     ) -> IterationResult:
         """Execute the job; see :func:`repro.iteration.run_bulk_iteration`."""
         return run_bulk_iteration(
@@ -59,6 +61,7 @@ class BulkJob:
             failures=failures,
             snapshots=snapshots,
             tracer=tracer,
+            telemetry=telemetry,
         )
 
     def optimistic(self) -> OptimisticRecovery:
@@ -93,6 +96,7 @@ class DeltaJob:
         failures: FailureSchedule | None = None,
         snapshots: SnapshotStore | None = None,
         tracer: Tracer | None = None,
+        telemetry: RunTelemetry | None = None,
     ) -> IterationResult:
         """Execute the job; see :func:`repro.iteration.run_delta_iteration`."""
         return run_delta_iteration(
@@ -105,6 +109,7 @@ class DeltaJob:
             failures=failures,
             snapshots=snapshots,
             tracer=tracer,
+            telemetry=telemetry,
         )
 
     def optimistic(self) -> OptimisticRecovery:

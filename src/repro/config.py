@@ -140,6 +140,12 @@ class EngineConfig:
             ``None`` uses :func:`repro.runtime.parallel.default_parallel_workers`
             (cores, capped at 8). Defaults to ``$REPRO_PARALLEL_WORKERS``
             when set.
+        event_log_capacity: bound on the per-run engine
+            :class:`repro.runtime.events.EventLog` ring buffer (``None``
+            = unbounded, the historical behavior). Long-running services
+            set this so a job's in-memory event history stays a window;
+            evicted entries are counted (``events.dropped``) and the
+            telemetry JSONL stream, when enabled, still sees everything.
     """
 
     parallelism: int = 4
@@ -153,6 +159,7 @@ class EngineConfig:
     execution_cache: str = "transparent"
     parallel_backend: str = field(default_factory=_env_parallel_backend)
     parallel_workers: int | None = field(default_factory=_env_parallel_workers)
+    event_log_capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -185,6 +192,10 @@ class EngineConfig:
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ConfigError(
                 f"parallel_workers must be >= 1 or None, got {self.parallel_workers}"
+            )
+        if self.event_log_capacity is not None and self.event_log_capacity < 1:
+            raise ConfigError(
+                f"event_log_capacity must be >= 1 or None, got {self.event_log_capacity}"
             )
         self.cost_model.validate()
 
@@ -222,6 +233,78 @@ DEFAULT_CONFIG = EngineConfig()
 BACKPRESSURE_POLICIES = ("reject", "block")
 
 
+def _env_telemetry_enabled() -> bool:
+    """Default telemetry switch, overridable via ``REPRO_TELEMETRY``.
+
+    Mirrors the ``REPRO_PARALLEL_BACKEND`` hook: CI flips the whole
+    suite to run with telemetry on without touching any call site.
+    """
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in ("on", "1", "true")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Configuration of the live telemetry layer
+    (:mod:`repro.observability.telemetry`).
+
+    Telemetry is purely observational — it samples metrics registries and
+    consumes per-superstep stats but never touches simulated clocks, RNGs
+    or iterative state, so records, simulated time and superstep counts
+    are bit-identical with telemetry on or off.
+
+    Attributes:
+        enabled: master switch for the collector, the convergence
+            monitors and the telemetry event log. Defaults to
+            ``$REPRO_TELEMETRY`` (``on``/``1``/``true``).
+        sample_interval: wall-clock seconds between background sweeps of
+            the registered metrics registries.
+        series_capacity: ring-buffer size of each time series (oldest
+            points are evicted; a drop counter keeps the tally).
+        event_capacity: ring-buffer size of the telemetry event log
+            (``None`` = unbounded; streamed JSONL entries are never
+            dropped regardless).
+        jsonl_path: when set, every telemetry event is appended to this
+            JSONL file as it is emitted (tail-able live).
+        stall_supersteps: consecutive no-progress supersteps before a
+            convergence monitor raises a ``stall`` health event.
+        divergence_supersteps: consecutive post-compensation L1 rises
+            before a ``divergence`` health event.
+    """
+
+    enabled: bool = field(default_factory=_env_telemetry_enabled)
+    sample_interval: float = 0.25
+    series_capacity: int = 512
+    event_capacity: int | None = 1024
+    jsonl_path: str | None = None
+    stall_supersteps: int = 5
+    divergence_supersteps: int = 3
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ConfigError(
+                f"sample_interval must be > 0, got {self.sample_interval}"
+            )
+        if self.series_capacity < 2:
+            raise ConfigError(
+                f"series_capacity must be >= 2, got {self.series_capacity}"
+            )
+        if self.event_capacity is not None and self.event_capacity < 1:
+            raise ConfigError(
+                f"event_capacity must be >= 1 or None, got {self.event_capacity}"
+            )
+        if self.stall_supersteps < 1:
+            raise ConfigError(
+                f"stall_supersteps must be >= 1, got {self.stall_supersteps}"
+            )
+        if self.divergence_supersteps < 1:
+            raise ConfigError(
+                f"divergence_supersteps must be >= 1, got {self.divergence_supersteps}"
+            )
+
+
+DEFAULT_TELEMETRY_CONFIG = TelemetryConfig()
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Configuration of the multi-job service (:mod:`repro.service`).
@@ -253,6 +336,8 @@ class ServiceConfig:
             clamped to ``core_budget // pool_size`` (at least 1) so
             concurrent jobs with process/thread backends don't
             oversubscribe the machine.
+        telemetry: the live telemetry layer's knobs (collector sampling,
+            ring capacities, stall/divergence thresholds, JSONL path).
     """
 
     pool_size: int = 4
@@ -262,6 +347,7 @@ class ServiceConfig:
     poll_interval: float = 0.02
     trace_jobs: bool = True
     core_budget: int | None = None
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:

@@ -24,6 +24,13 @@ The ``serve`` subcommand runs a seeded multi-job workload through the
 failures, retries, backpressure — and prints the service report::
 
     python -m repro.demo serve --jobs 50 --pool 4 --per-job
+
+With telemetry, ``serve`` doubles as a live dashboard: it prints
+``repro status`` frames while the workload runs and can export the final
+metrics as a Prometheus scrape plus a telemetry JSONL event stream::
+
+    python -m repro.demo serve --jobs 50 --status-interval 1 \
+        --prom-out scrape.prom --telemetry-out telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -261,18 +268,64 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="cores shared between the pool's job slots; each job's "
         "parallel workers are clamped to budget // pool (default: all cores)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the live telemetry layer (collector, convergence "
+        "monitors, event log); also on when REPRO_TELEMETRY=on",
+    )
+    parser.add_argument(
+        "--status-interval",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="print a live `repro status` frame every SECS seconds while "
+        "the workload runs (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus text-format scrape of the final metrics "
+        "to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry events to PATH as JSONL while the service "
+        "runs (implies --telemetry)",
+    )
     add_parallel_arguments(parser)
     return parser
 
 
+def _watch_service(service, handles, interval: float) -> None:
+    """Print live ``repro status`` frames until every handle is terminal."""
+    from ..observability.health import render_status
+
+    while True:
+        done = all(h.is_terminal for h in handles)
+        print(render_status(service.health()))
+        print()
+        if done:
+            return
+        remaining = [h for h in handles if not h.is_terminal]
+        remaining[0].wait(interval)
+
+
 def serve_main(argv: Sequence[str]) -> int:
     """``serve`` subcommand: load-gen workload through the job service."""
-    from ..config import ServiceConfig
+    from ..config import ServiceConfig, TelemetryConfig
     from ..service import JobService, WorkloadConfig, generate_workload
 
     args = build_serve_parser().parse_args(argv)
     try:
         _check_parallel_workers(args.parallel_workers)
+        if args.status_interval is not None and args.status_interval <= 0:
+            raise ConfigError(
+                f"status-interval must be > 0, got {args.status_interval}"
+            )
         workload = generate_workload(
             WorkloadConfig(
                 num_jobs=args.jobs,
@@ -283,22 +336,59 @@ def serve_main(argv: Sequence[str]) -> int:
                 parallel_workers=args.parallel_workers,
             )
         )
+        telemetry_config = TelemetryConfig(jsonl_path=args.telemetry_out)
+        if (
+            args.telemetry
+            or args.status_interval is not None
+            or args.telemetry_out is not None
+        ):
+            telemetry_config = TelemetryConfig(
+                enabled=True, jsonl_path=args.telemetry_out
+            )
         service_config = ServiceConfig(
             pool_size=args.pool,
             queue_capacity=args.queue_capacity,
             backpressure=args.backpressure,
             core_budget=args.core_budget,
+            telemetry=telemetry_config,
         )
     except ConfigError as error:
         print(f"error: {error}")
         return 2
     try:
         with JobService(service_config) as service:
-            handles = service.run_all(workload)
+            if args.status_interval is not None:
+                handles = [service.submit(spec) for spec in workload]
+                _watch_service(service, handles, args.status_interval)
+            else:
+                handles = service.run_all(workload)
             report = service.report()
+            prom_text = None
+            if args.prom_out is not None:
+                from ..observability.prometheus import (
+                    render_collector,
+                    render_snapshots,
+                )
+
+                if service.collector is not None:
+                    prom_text = render_collector(service.collector)
+                else:
+                    prom_text = render_snapshots(
+                        [({"scope": "service"}, service.metrics.snapshot_all())]
+                    )
     except ReproError as error:
         print(f"error: {error}")
         return 1
+    if prom_text is not None:
+        try:
+            with open(args.prom_out, "w") as handle:
+                handle.write(prom_text)
+        except OSError as error:
+            print(f"error: cannot write scrape: {error}")
+            return 1
+        print(f"prometheus scrape written to {args.prom_out}")
+    if args.telemetry_out is not None:
+        print(f"telemetry events written to {args.telemetry_out}")
     if args.per_job:
         for handle in handles:
             line = (

@@ -14,7 +14,7 @@ acquires replacement workers, and delegates state repair to the configured
 
 from __future__ import annotations
 
-from contextlib import closing
+from contextlib import closing, nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -26,6 +26,7 @@ from ..dataflow.invariants import analyze_invariants
 from ..dataflow.plan import Plan
 from ..errors import IterationError, TerminationError
 from ..observability.span import SpanKind
+from ..observability.telemetry import RunTelemetry
 from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cache import SuperstepExecutionCache
 from ..runtime.events import EventKind
@@ -121,6 +122,7 @@ def run_bulk_iteration(
     failures: FailureSchedule | None = None,
     snapshots: SnapshotStore | None = None,
     tracer: Tracer | None = None,
+    telemetry: RunTelemetry | None = None,
 ) -> IterationResult:
     """Run a bulk iteration to convergence (or budget exhaustion).
 
@@ -137,6 +139,10 @@ def run_bulk_iteration(
         tracer: optional span tracer (default: the no-op tracer). A
             :class:`repro.observability.tracer.RecordingTracer` captures
             the run → superstep → operator → partition span tree.
+        telemetry: optional live-telemetry bundle
+            (:class:`repro.observability.telemetry.RunTelemetry`). Purely
+            observational — the run's records, simulated time and
+            superstep count are bit-identical with or without it.
 
     Returns:
         An :class:`repro.iteration.result.IterationResult`.
@@ -144,6 +150,11 @@ def run_bulk_iteration(
     recovery = recovery if recovery is not None else RestartRecovery()
     tracer = tracer if tracer is not None else NOOP_TRACER
     runtime = build_runtime(config, failures, tracer=tracer)
+    if telemetry is not None:
+        telemetry.bind_runtime(
+            runtime.metrics, runtime.clock, runtime.events, job=spec.name
+        )
+        telemetry.set_target(getattr(spec.termination, "epsilon", None))
     parallelism = config.parallelism
     bound_statics = bind_statics(
         spec.step_plan, dict(statics or {}), {spec.state_source}, parallelism
@@ -193,8 +204,11 @@ def run_bulk_iteration(
     )
 
     # closing() releases worker-resident side values even when the run
-    # raises (the shared thread/process pools themselves stay up).
-    with closing(runtime), tracer.span(
+    # raises (the shared thread/process pools themselves stay up); the
+    # telemetry bundle unhooks from the collector and event log likewise.
+    with closing(runtime), (
+        closing(telemetry) if telemetry is not None else nullcontext()
+    ), tracer.span(
         f"run:{spec.name}",
         kind=SpanKind.RUN,
         job=spec.name,
@@ -318,6 +332,8 @@ def run_bulk_iteration(
                 superstep_span.set_attribute("updates", stats.updates)
                 superstep_span.set_attribute("failed", stats.failed)
             series.append(stats)
+            if telemetry is not None:
+                telemetry.on_superstep(stats)
             runtime.events.record(
                 EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
             )

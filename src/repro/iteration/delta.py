@@ -23,7 +23,7 @@ next workset partitions on the failed workers.
 
 from __future__ import annotations
 
-from contextlib import closing
+from contextlib import closing, nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -35,6 +35,7 @@ from ..dataflow.invariants import analyze_invariants
 from ..dataflow.plan import Plan
 from ..errors import IterationError, TerminationError
 from ..observability.span import SpanKind
+from ..observability.telemetry import RunTelemetry
 from ..observability.tracer import NOOP_TRACER, Tracer
 from ..runtime.cache import SuperstepExecutionCache
 from ..runtime.events import EventKind
@@ -115,6 +116,7 @@ def run_delta_iteration(
     failures: FailureSchedule | None = None,
     snapshots: SnapshotStore | None = None,
     tracer: Tracer | None = None,
+    telemetry: RunTelemetry | None = None,
 ) -> IterationResult:
     """Run a delta iteration until the workset empties (or budget ends).
 
@@ -133,6 +135,10 @@ def run_delta_iteration(
         tracer: optional span tracer (default: the no-op tracer). A
             :class:`repro.observability.tracer.RecordingTracer` captures
             the run → superstep → operator → partition span tree.
+        telemetry: optional live-telemetry bundle
+            (:class:`repro.observability.telemetry.RunTelemetry`). Purely
+            observational — the run's records, simulated time and
+            superstep count are bit-identical with or without it.
 
     Returns:
         An :class:`repro.iteration.result.IterationResult`; its
@@ -141,6 +147,11 @@ def run_delta_iteration(
     recovery = recovery if recovery is not None else RestartRecovery()
     tracer = tracer if tracer is not None else NOOP_TRACER
     runtime = build_runtime(config, failures, tracer=tracer)
+    if telemetry is not None:
+        telemetry.bind_runtime(
+            runtime.metrics, runtime.clock, runtime.events, job=spec.name
+        )
+        telemetry.set_target(getattr(spec.termination, "epsilon", None))
     parallelism = config.parallelism
     bound_statics = bind_statics(
         spec.step_plan,
@@ -203,8 +214,11 @@ def run_delta_iteration(
     supersteps_run = 0
 
     # closing() releases worker-resident side values even when the run
-    # raises (the shared thread/process pools themselves stay up).
-    with closing(runtime), tracer.span(
+    # raises (the shared thread/process pools themselves stay up); the
+    # telemetry bundle unhooks from the collector and event log likewise.
+    with closing(runtime), (
+        closing(telemetry) if telemetry is not None else nullcontext()
+    ), tracer.span(
         f"run:{spec.name}",
         kind=SpanKind.RUN,
         job=spec.name,
@@ -354,6 +368,8 @@ def run_delta_iteration(
                 superstep_span.set_attribute("next_workset_size", stats.workset_size)
                 superstep_span.set_attribute("failed", stats.failed)
             series.append(stats)
+            if telemetry is not None:
+                telemetry.on_superstep(stats)
             runtime.events.record(
                 EventKind.SUPERSTEP_FINISHED, time=runtime.clock.now, superstep=superstep
             )

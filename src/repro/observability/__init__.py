@@ -15,12 +15,25 @@ re-convergence unfold. This package is the headless equivalent:
   events and per-superstep stats (``--trace-out`` in the demo CLI);
 * :mod:`repro.observability.profile` — the recovery-cost profiler that
   attributes every simulated second to compute / shuffle / checkpoint /
-  rollback / compensation / restart (``python -m repro.demo profile``).
+  rollback / compensation / restart (``python -m repro.demo profile``);
+* :mod:`repro.observability.telemetry` — the live telemetry collector:
+  bounded time series sampled from metrics registries on wall and
+  simulated clocks, plus the per-run :class:`RunTelemetry` bundle the
+  iteration drivers feed;
+* :mod:`repro.observability.telemetry_log` — bounded, level-tagged
+  structured event log with correlation ids and streaming JSONL output;
+* :mod:`repro.observability.convergence` — live convergence rate / ETA
+  estimation and stall / divergence / re-convergence health events;
+* :mod:`repro.observability.prometheus` — Prometheus text-format
+  exposition (0.0.4) of registry snapshots and collector series;
+* :mod:`repro.observability.health` — the ``repro status`` / ``repro
+  top``-style renderer over :meth:`repro.service.api.JobService.health`.
 
 The package is intentionally a leaf: it imports nothing from the rest of
 ``repro``, so every engine layer can depend on it without cycles.
 """
 
+from .convergence import SIGNALS, ConvergenceMonitor
 from .export import (
     TRACE_FORMAT_VERSION,
     TraceData,
@@ -29,7 +42,14 @@ from .export import (
     span_to_dict,
     trace_to_jsonl,
 )
+from .health import render_status
 from .metrics import HistogramStats, Timer, percentile
+from .prometheus import (
+    format_value,
+    render_collector,
+    render_snapshots,
+    sanitize_metric_name,
+)
 from .profile import (
     CATEGORIES,
     ProfileReport,
@@ -38,26 +58,55 @@ from .profile import (
     profile_trace,
 )
 from .span import Span, SpanKind
+from .telemetry import (
+    RunTelemetry,
+    SeriesKey,
+    SeriesPoint,
+    TelemetryCollector,
+    TimeSeries,
+)
+from .telemetry_log import (
+    LEVELS,
+    TelemetryEvent,
+    TelemetryLog,
+    sanitize_json_value,
+)
 from .tracer import NOOP_TRACER, NoopTracer, RecordingTracer, Tracer
 
 __all__ = [
     "CATEGORIES",
+    "ConvergenceMonitor",
     "HistogramStats",
+    "LEVELS",
     "NOOP_TRACER",
     "NoopTracer",
     "ProfileReport",
     "RecordingTracer",
+    "RunTelemetry",
+    "SIGNALS",
+    "SeriesKey",
+    "SeriesPoint",
     "Span",
     "SpanKind",
     "TRACE_FORMAT_VERSION",
+    "TelemetryCollector",
+    "TelemetryEvent",
+    "TelemetryLog",
+    "TimeSeries",
     "Timer",
     "TraceData",
     "Tracer",
     "format_profile",
+    "format_value",
     "percentile",
     "profile_spans",
     "profile_trace",
     "read_trace",
+    "render_collector",
+    "render_snapshots",
+    "render_status",
+    "sanitize_json_value",
+    "sanitize_metric_name",
     "span_from_dict",
     "span_to_dict",
     "trace_to_jsonl",

@@ -1,0 +1,364 @@
+"""Live convergence monitoring: rate, ETA, stalls, divergence.
+
+The paper's argument is that optimistic recovery trades checkpoint cost
+for *bounded re-convergence work* — extra supersteps after a failure
+while the compensated state converges again. Until now that overhead was
+only measurable after the fact, from exported traces. The
+:class:`ConvergenceMonitor` makes it visible while the job runs: the
+iteration drivers feed it every superstep's
+:class:`repro.runtime.metrics.IterationStats` (duck-typed — anything
+with the same attributes works), and the monitor
+
+* estimates the **convergence rate** as the per-superstep geometric
+  decay of the L1 series (bulk iterations) or the workset size (delta
+  iterations), and from it an **ETA in supersteps** to the job's
+  termination threshold;
+* emits **health events** into a :class:`repro.observability.telemetry_log.TelemetryLog`:
+  ``stall`` (no forward progress in K consecutive supersteps — e.g. a
+  failure/restart loop injected via the failure injector), ``divergence``
+  (L1 rising superstep over superstep after a compensation ran — the
+  compensated state is moving *away* from the fixpoint), ``recovery``
+  (a failure struck; tagged with the strategy outcome) and
+  ``reconverged`` (the run is back to its pre-failure progress — the
+  paper's re-convergence overhead, counted live in supersteps).
+
+The monitor only *reads* the stats objects; it never touches simulated
+clocks, RNGs or state, so a monitored run is bit-identical to an
+unmonitored one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .telemetry_log import TelemetryLog
+
+#: signals the monitor may base progress decisions on, for reports.
+SIGNALS = ("l1", "workset", "updates", "messages")
+
+
+class ConvergenceMonitor:
+    """Per-run (one job attempt) convergence watcher.
+
+    Args:
+        job_name: human-readable job name for emitted events.
+        job_id / attempt: correlation ids stamped on emitted events.
+        log: destination for health events (``None`` = keep them only in
+            :meth:`events`, still inspectable).
+        stall_after: consecutive no-progress supersteps before a single
+            ``stall`` warning fires (re-armed once progress resumes).
+        divergence_after: consecutive L1 rises (after a compensation has
+            run) before a single ``divergence`` warning fires.
+        window: trailing supersteps the rate estimate looks at.
+        target: the termination threshold the ETA aims for — the
+            driver passes its criterion's epsilon (L1 jobs) and the
+            workset signal aims for "< 1 pending update" implicitly.
+    """
+
+    def __init__(
+        self,
+        job_name: str,
+        *,
+        job_id: int | None = None,
+        attempt: int | None = None,
+        log: TelemetryLog | None = None,
+        stall_after: int = 5,
+        divergence_after: int = 3,
+        window: int = 6,
+        target: float | None = None,
+    ):
+        if stall_after < 1:
+            raise ValueError(f"stall_after must be >= 1, got {stall_after}")
+        if divergence_after < 1:
+            raise ValueError(f"divergence_after must be >= 1, got {divergence_after}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.job_name = job_name
+        self.job_id = job_id
+        self.attempt = attempt
+        self.log = log
+        self.stall_after = stall_after
+        self.divergence_after = divergence_after
+        self.window = window
+        self.target = target
+        #: events emitted by this monitor, in order (mirror of what went
+        #: to ``log``, kept so callers without a log still see them).
+        self.events: list[Any] = []
+
+        self._superstep: int | None = None
+        self._sim_time: float | None = None
+        self._l1: list[float] = []
+        self._workset: list[float] = []
+        self._last_updates: int | None = None
+        self._last_messages: int | None = None
+        self._signal: str | None = None
+        self._no_progress_streak = 0
+        self._stalled = False
+        self._l1_rise_streak = 0
+        self._diverging = False
+        self._compensated_ever = False
+        self._failures = 0
+        #: best (lowest) L1 / workset before the most recent failure,
+        #: used to measure re-convergence overhead.
+        self._recovery_baseline: float | None = None
+        self._recovery_superstep: int | None = None
+
+    # -- feeding -----------------------------------------------------------------
+
+    def observe(self, stats: Any) -> None:
+        """Consume one superstep's stats (drivers call this per superstep)."""
+        self._superstep = stats.superstep
+        self._sim_time = getattr(stats, "sim_time_end", None)
+        l1 = getattr(stats, "l1_delta", None)
+        workset = getattr(stats, "workset_size", None)
+        updates = getattr(stats, "updates", 0)
+        messages = getattr(stats, "messages", 0)
+
+        previous_l1 = self._l1[-1] if self._l1 else None
+        previous_workset = self._workset[-1] if self._workset else None
+        if l1 is not None:
+            self._l1.append(float(l1))
+            self._signal = "l1"
+        if workset is not None:
+            self._workset.append(float(workset))
+            if self._signal is None:
+                self._signal = "workset"
+        if self._signal is None:
+            self._signal = "updates" if updates else "messages"
+        self._last_updates = updates
+        self._last_messages = messages
+
+        if stats.failed:
+            self._failures += 1
+            self._on_failure(stats)
+
+        progress = self._made_progress(
+            stats, l1, previous_l1, workset, previous_workset, updates, messages
+        )
+        if progress:
+            self._no_progress_streak = 0
+            if self._stalled:
+                self._stalled = False
+                self._emit(
+                    "stall_cleared",
+                    "info",
+                    stats,
+                    no_progress_supersteps=0,
+                )
+        else:
+            self._no_progress_streak += 1
+            if not self._stalled and self._no_progress_streak >= self.stall_after:
+                self._stalled = True
+                self._emit(
+                    "stall",
+                    "warning",
+                    stats,
+                    no_progress_supersteps=self._no_progress_streak,
+                    signal=self._signal,
+                    failures_so_far=self._failures,
+                )
+
+        self._track_divergence(stats, l1, previous_l1)
+        self._track_reconvergence(stats, l1, workset)
+
+    def _made_progress(
+        self,
+        stats: Any,
+        l1: float | None,
+        previous_l1: float | None,
+        workset: float | None,
+        previous_workset: float | None,
+        updates: int,
+        messages: int,
+    ) -> bool:
+        # A superstep whose work was thrown away (restart / rollback) is
+        # never progress, whatever the series did — this is what turns an
+        # injected failure loop into a visible stall.
+        if getattr(stats, "restarted", False) or getattr(stats, "rolled_back", False):
+            return False
+        if l1 is not None and previous_l1 is not None:
+            return l1 < previous_l1
+        if workset is not None and previous_workset is not None:
+            # A shrinking workset is the delta iteration converging. A
+            # flat one — zero included — is not: a clean run terminates
+            # the superstep its workset empties, so a *streak* of empty
+            # worksets means failures are blocking termination.
+            return workset < previous_workset
+        if updates:
+            return True
+        # First observed superstep, or a job tracking nothing: count raw
+        # activity as progress so we never cry stall without a signal.
+        return messages > 0 or previous_l1 is None and l1 is not None
+
+    def _on_failure(self, stats: Any) -> None:
+        outcome = (
+            "compensation"
+            if getattr(stats, "compensated", False)
+            else "rollback"
+            if getattr(stats, "rolled_back", False)
+            else "restart"
+            if getattr(stats, "restarted", False)
+            else "none"
+        )
+        if getattr(stats, "compensated", False):
+            self._compensated_ever = True
+        # Baseline = best progress before this failure; the run has
+        # "re-converged" once the series is back at or below it.
+        series = self._l1 if self._l1 else self._workset
+        history = series[:-1] if len(series) > 1 else series
+        if history:
+            self._recovery_baseline = min(history)
+            self._recovery_superstep = stats.superstep
+        self._emit(
+            "recovery",
+            "info",
+            stats,
+            outcome=outcome,
+            signal=self._signal,
+            baseline=self._recovery_baseline,
+        )
+
+    def _track_divergence(
+        self, stats: Any, l1: float | None, previous_l1: float | None
+    ) -> None:
+        if l1 is None or previous_l1 is None:
+            return
+        if l1 > previous_l1 and not stats.failed:
+            self._l1_rise_streak += 1
+        elif l1 <= previous_l1:
+            if self._diverging and l1 < previous_l1:
+                self._diverging = False
+            self._l1_rise_streak = 0
+        if (
+            self._compensated_ever
+            and not self._diverging
+            and self._l1_rise_streak >= self.divergence_after
+        ):
+            self._diverging = True
+            self._emit(
+                "divergence",
+                "warning",
+                stats,
+                rising_supersteps=self._l1_rise_streak,
+                l1=l1,
+            )
+
+    def _track_reconvergence(
+        self, stats: Any, l1: float | None, workset: float | None
+    ) -> None:
+        if self._recovery_baseline is None or self._recovery_superstep is None:
+            return
+        if stats.failed:
+            return
+        current = l1 if l1 is not None else workset
+        if current is None:
+            return
+        if current <= self._recovery_baseline:
+            self._emit(
+                "reconverged",
+                "info",
+                stats,
+                overhead_supersteps=stats.superstep - self._recovery_superstep,
+                baseline=self._recovery_baseline,
+            )
+            self._recovery_baseline = None
+            self._recovery_superstep = None
+
+    def _emit(self, kind: str, level: str, stats: Any, **details: Any) -> None:
+        details.setdefault("job", self.job_name)
+        if self.log is not None:
+            event = self.log.emit(
+                kind,
+                level,
+                job_id=self.job_id,
+                attempt=self.attempt,
+                superstep=stats.superstep,
+                sim_time=self._sim_time,
+                **details,
+            )
+        else:
+            event = {
+                "kind": kind,
+                "level": level,
+                "superstep": stats.superstep,
+                **details,
+            }
+        self.events.append(event)
+
+    # -- estimates ---------------------------------------------------------------
+
+    @property
+    def superstep(self) -> int | None:
+        """The last observed superstep (``None`` before any)."""
+        return self._superstep
+
+    @property
+    def stalled(self) -> bool:
+        """True while a stall episode is open."""
+        return self._stalled
+
+    @property
+    def signal(self) -> str | None:
+        """Which series drives the estimates (one of :data:`SIGNALS`)."""
+        return self._signal
+
+    def convergence_rate(self) -> float | None:
+        """Per-superstep geometric decay of the active series.
+
+        A rate of 0.6 means the residual shrinks to 60% each superstep;
+        ``None`` when there is no usable (positive, shrinking-capable)
+        window yet; a rate >= 1.0 means no decay over the window.
+        """
+        series = self._l1 if self._signal == "l1" else self._workset
+        window = [v for v in series[-self.window :] if v > 0]
+        if len(window) < 2 or window[0] <= 0:
+            return None
+        ratio = window[-1] / window[0]
+        return ratio ** (1.0 / (len(window) - 1))
+
+    def eta_supersteps(self) -> int | None:
+        """Estimated supersteps until termination, or ``None``.
+
+        L1 jobs aim for the driver-provided ``target`` (the termination
+        epsilon); workset jobs aim for an empty workset (< 1 pending
+        update). Undefined while the run is not decaying (rate >= 1).
+        """
+        rate = self.convergence_rate()
+        if rate is None or rate >= 1.0:
+            return None
+        if self._signal == "l1":
+            if self.target is None or not self._l1:
+                return None
+            current = self._l1[-1]
+            target = self.target
+        else:
+            if not self._workset:
+                return None
+            current = self._workset[-1]
+            target = 1.0
+        if current <= 0 or current <= target:
+            return 0
+        return max(0, math.ceil(math.log(target / current) / math.log(rate)))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Machine-readable live view (feeds ``JobService.health()``)."""
+        series = self._l1 if self._signal == "l1" else self._workset
+        return {
+            "job": self.job_name,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "superstep": self._superstep,
+            "sim_time": self._sim_time,
+            "signal": self._signal,
+            "residual": series[-1] if series else None,
+            "target": self.target if self._signal == "l1" else 1.0,
+            "updates": self._last_updates,
+            "messages": self._last_messages,
+            "rate": self.convergence_rate(),
+            "eta_supersteps": self.eta_supersteps(),
+            "stalled": self._stalled,
+            "diverging": self._diverging,
+            "failures": self._failures,
+            "recovering": self._recovery_baseline is not None,
+        }

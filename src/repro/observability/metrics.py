@@ -42,7 +42,7 @@ class HistogramStats:
         total: sum of all observations.
         minimum / maximum: range of the observations.
         mean: arithmetic mean.
-        p50 / p95: the median and the 95th percentile (linear
+        p50 / p95 / p99: the median and the tail percentiles (linear
             interpolation, like numpy's default).
     """
 
@@ -53,6 +53,7 @@ class HistogramStats:
     mean: float
     p50: float
     p95: float
+    p99: float
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "HistogramStats":
@@ -68,6 +69,34 @@ class HistogramStats:
             mean=total / len(values),
             p50=percentile(values, 0.50),
             p95=percentile(values, 0.95),
+            p99=percentile(values, 0.99),
+        )
+
+    def merge(self, other: "HistogramStats") -> "HistogramStats":
+        """Combine two summaries into one, count-weighted.
+
+        Count, total, min and max are exact; the mean is recomputed from
+        the merged totals. Percentiles cannot be recovered exactly from
+        two summaries, so they are the count-weighted average of the two
+        inputs' percentiles — the standard sketch-free approximation,
+        exact when both inputs share a distribution. Useful for rolling
+        up per-scope latency summaries (e.g. per-job into service-wide).
+        """
+        count = self.count + other.count
+        total = self.total + other.total
+
+        def _weighted(a: float, b: float) -> float:
+            return (a * self.count + b * other.count) / count
+
+        return HistogramStats(
+            count=count,
+            total=total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            mean=total / count,
+            p50=_weighted(self.p50, other.p50),
+            p95=_weighted(self.p95, other.p95),
+            p99=_weighted(self.p99, other.p99),
         )
 
     def to_dict(self) -> dict[str, float]:
@@ -80,6 +109,7 @@ class HistogramStats:
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
         }
 
 

@@ -1,0 +1,178 @@
+"""Prometheus text-format exposition of metrics and telemetry.
+
+Renders registry snapshots (and collector series) in the Prometheus
+text exposition format, version 0.0.4 — the format every Prometheus
+scraper, Grafana agent and ``promtool`` understands::
+
+    # TYPE repro_service_submitted_total counter
+    repro_service_submitted_total{scope="service"} 50
+    # TYPE repro_service_queue_depth gauge
+    repro_service_queue_depth{scope="service"} 3
+    # TYPE repro_service_job_seconds summary
+    repro_service_job_seconds{scope="service",quantile="0.5"} 0.012
+
+Conventions applied:
+
+* metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots and
+  dashes become underscores) and prefixed ``repro_``;
+* counters get a ``_total`` suffix, histograms render as summaries with
+  ``quantile`` labels (p50/p95/p99) plus ``_sum`` and ``_count``;
+* label values are escaped per the spec (backslash, quote, newline);
+* non-finite values render as the spec's ``NaN`` / ``+Inf`` / ``-Inf``
+  tokens — never as Python's ``nan``/``inf`` reprs, which scrapers
+  reject.
+
+Inputs are duck-typed snapshots (the dicts
+:meth:`repro.runtime.metrics.MetricsRegistry.snapshot_all` returns), so
+this module stays engine-import-free like the rest of the package.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+from .metrics import HistogramStats
+
+#: every exposed metric name starts with this.
+NAME_PREFIX = "repro_"
+
+#: the quantiles summaries expose.
+SUMMARY_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_NAME_START = re.compile(r"^[a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = NAME_PREFIX) -> str:
+    """A raw metric name (``service.queue_depth``) as a legal Prometheus
+    name (``repro_service_queue_depth``)."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not _NAME_START.match(cleaned):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: Any) -> str:
+    """One sample value as Prometheus text.
+
+    Finite floats keep full precision via ``repr``; integers stay
+    integral; NaN and ±inf become the spec tokens ``NaN`` / ``+Inf`` /
+    ``-Inf`` (mirroring the NaN-safe CSV cells, but in the scraper's own
+    vocabulary — an empty cell is not valid here).
+    """
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Renderer:
+    """Accumulates exposition lines, emitting each TYPE header once."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._typed: set[str] = set()
+
+    def _type(self, name: str, kind: str) -> None:
+        if name not in self._typed:
+            self._typed.add(name)
+            self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self, name: str, kind: str, value: Any, labels: Mapping[str, str]
+    ) -> None:
+        self._type(name, kind)
+        self._lines.append(f"{name}{_labels_text(labels)} {format_value(value)}")
+
+    def summary(
+        self, name: str, stats: HistogramStats, labels: Mapping[str, str]
+    ) -> None:
+        self._type(name, "summary")
+        for quantile, _ in SUMMARY_QUANTILES:
+            q_labels = dict(labels)
+            q_labels["quantile"] = str(quantile)
+            value = {0.5: stats.p50, 0.95: stats.p95, 0.99: stats.p99}[quantile]
+            self._lines.append(f"{name}{_labels_text(q_labels)} {format_value(value)}")
+        self._lines.append(f"{name}_sum{_labels_text(labels)} {format_value(stats.total)}")
+        self._lines.append(f"{name}_count{_labels_text(labels)} {format_value(stats.count)}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + ("\n" if self._lines else "")
+
+
+def render_snapshots(
+    snapshots: Iterable[tuple[Mapping[str, str], Mapping[str, Any]]],
+) -> str:
+    """Render ``(labels, snapshot_all-dict)`` pairs as exposition text.
+
+    Counters become ``<name>_total`` counter samples, gauges become
+    gauges, histograms become summaries (quantiles + sum + count). The
+    same metric from differently-labelled sources shares one TYPE header
+    and renders as one labelled family, which is exactly how a scraper
+    wants per-job series.
+    """
+    renderer = _Renderer()
+    for labels, snapshot in snapshots:
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            renderer.sample(
+                sanitize_metric_name(name) + "_total", "counter", value, labels
+            )
+        for name, value in sorted(snapshot.get("gauges", {}).items()):
+            renderer.sample(sanitize_metric_name(name), "gauge", value, labels)
+        for name, values in sorted(snapshot.get("histograms", {}).items()):
+            if values:
+                renderer.summary(
+                    sanitize_metric_name(name), HistogramStats.of(values), labels
+                )
+    return renderer.text()
+
+
+def render_collector(collector: Any) -> str:
+    """Exposition text of a :class:`~repro.observability.telemetry.TelemetryCollector`.
+
+    Live sources render in full (their current counters, gauges and
+    histogram summaries); collector-recorded series (per-superstep run
+    metrics) contribute their most recent point as a labelled gauge, so
+    the scrape always reflects "now".
+    """
+    renderer = _Renderer()
+    for labels, snapshot in collector.registered_snapshots():
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            renderer.sample(
+                sanitize_metric_name(name) + "_total", "counter", value, labels
+            )
+        for name, value in sorted(snapshot.get("gauges", {}).items()):
+            renderer.sample(sanitize_metric_name(name), "gauge", value, labels)
+        for name, values in sorted(snapshot.get("histograms", {}).items()):
+            if values:
+                renderer.summary(
+                    sanitize_metric_name(name), HistogramStats.of(values), labels
+                )
+    last = collector.last_values(origin="recorded")
+    for key in sorted(last, key=lambda k: (k.metric, k.job_id or -1, k.attempt or -1)):
+        renderer.sample(
+            sanitize_metric_name(key.metric), "gauge", last[key], key.labels()
+        )
+    return renderer.text()

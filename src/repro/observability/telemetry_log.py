@@ -1,0 +1,271 @@
+"""Structured, level-tagged telemetry event log.
+
+The engine's per-run :class:`repro.runtime.events.EventLog` records what
+*happened inside the simulation* (superstep boundaries, failures,
+compensation), stamped with simulated time. This module is the layer
+above: one log per service (or per standalone run, when asked for) that
+correlates happenings across many concurrent jobs —
+
+* every entry carries a **level** (``debug``/``info``/``warning``/``error``)
+  and **correlation ids** (``job_id`` → ``attempt`` → ``superstep``), so a
+  stall warning from job 17's second attempt is attributable at a glance;
+* the in-memory buffer is a **bounded ring** with a drop counter — a
+  service that runs for days holds a window, not its whole history;
+* an optional **streaming JSONL writer** appends every entry to disk the
+  moment it is emitted, so nothing is lost to the ring even at tiny
+  capacities and the file can be tailed live (``tail -f``) or loaded
+  into pandas/duckdb with one call.
+
+All payloads are sanitized to *strict* JSON before serialization:
+``NaN`` becomes ``null`` (it means "no measurement", mirroring the
+NaN-safe CSV cells of :mod:`repro.analysis.export`) and ``±inf`` becomes
+the strings ``"inf"`` / ``"-inf"`` — ``json.dumps`` would otherwise emit
+bare ``NaN``/``Infinity`` tokens that most parsers reject.
+
+Like the rest of :mod:`repro.observability` this module imports nothing
+from the engine; emitters hand it plain values.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+#: the levels an entry may carry, in increasing severity.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+def sanitize_json_value(value: Any) -> Any:
+    """Make ``value`` strict-JSON-safe, recursively.
+
+    Non-finite floats are rewritten (NaN → ``None``, ±inf → ``"inf"`` /
+    ``"-inf"``); dicts and lists/tuples are walked; everything else
+    unknown falls back to ``str()`` so an exotic payload degrades to a
+    readable string instead of a serialization error.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): sanitize_json_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json_value(v) for v in value]
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One telemetry log entry.
+
+    Attributes:
+        wall_time: ``time.time()`` at emission (epoch seconds).
+        level: one of :data:`LEVELS`.
+        kind: free-form event name, e.g. ``"stall"`` or ``"job_finished"``.
+        job_id: the job the entry belongs to (``None`` = service scope).
+        attempt: the job attempt (0-based; ``None`` outside any attempt).
+        superstep: the superstep (0-based; ``None`` outside any run).
+        sim_time: the run's simulated clock, when known.
+        details: free-form payload (JSON-sanitized at serialization).
+    """
+
+    wall_time: float
+    level: str
+    kind: str
+    job_id: int | None = None
+    attempt: int | None = None
+    superstep: int | None = None
+    sim_time: float | None = None
+    details: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON-ready form (non-finite floats sanitized)."""
+        return sanitize_json_value(
+            {
+                "wall_time": self.wall_time,
+                "level": self.level,
+                "kind": self.kind,
+                "job_id": self.job_id,
+                "attempt": self.attempt,
+                "superstep": self.superstep,
+                "sim_time": self.sim_time,
+                "details": dict(self.details),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryEvent":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        return cls(
+            wall_time=float(data["wall_time"]),
+            level=str(data["level"]),
+            kind=str(data["kind"]),
+            job_id=data.get("job_id"),
+            attempt=data.get("attempt"),
+            superstep=data.get("superstep"),
+            sim_time=data.get("sim_time"),
+            details=dict(data.get("details", {})),
+        )
+
+
+class TelemetryLog:
+    """Bounded, thread-safe telemetry log with optional streaming output.
+
+    Args:
+        capacity: in-memory ring size (``None`` = unbounded; the service
+            default is bounded — see
+            :class:`repro.config.TelemetryConfig`).
+        path: when given, every entry is appended to this JSONL file as
+            it is emitted. The writer is opened lazily on first emit and
+            flushed per line so the file can be tailed live.
+        min_level: entries below this level are counted but neither
+            buffered nor written (default ``"debug"`` keeps everything).
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = 1024,
+        path: str | Path | None = None,
+        min_level: str = "debug",
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"telemetry log capacity must be >= 1 or None, got {capacity}")
+        if min_level not in _LEVEL_RANK:
+            raise ValueError(f"min_level must be one of {LEVELS}, got {min_level!r}")
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self.min_level = min_level
+        self._lock = threading.Lock()
+        self._events: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._emitted = 0
+        self._suppressed = 0
+        self._writer: TextIO | None = None
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        level: str = "info",
+        *,
+        job_id: int | None = None,
+        attempt: int | None = None,
+        superstep: int | None = None,
+        sim_time: float | None = None,
+        **details: Any,
+    ) -> TelemetryEvent:
+        """Record one entry (and stream it, when a path is configured)."""
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+        event = TelemetryEvent(
+            wall_time=time.time(),
+            level=level,
+            kind=kind,
+            job_id=job_id,
+            attempt=attempt,
+            superstep=superstep,
+            sim_time=sim_time,
+            details=dict(details),
+        )
+        with self._lock:
+            if _LEVEL_RANK[level] < _LEVEL_RANK[self.min_level]:
+                self._suppressed += 1
+                return event
+            self._events.append(event)
+            self._emitted += 1
+            if self.path is not None:
+                if self._writer is None:
+                    self._writer = self.path.open("a")
+                self._writer.write(json.dumps(event.to_dict()) + "\n")
+                self._writer.flush()
+        return event
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted from the in-memory ring (streamed entries are
+        never lost — eviction affects only the buffer)."""
+        with self._lock:
+            return self._emitted - len(self._events)
+
+    @property
+    def emitted(self) -> int:
+        """Total entries accepted (excluding level-suppressed ones)."""
+        with self._lock:
+            return self._emitted
+
+    @property
+    def suppressed(self) -> int:
+        """Entries discarded because they fell below ``min_level``."""
+        with self._lock:
+            return self._suppressed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self.events())
+
+    def events(
+        self,
+        kind: str | None = None,
+        min_level: str | None = None,
+        job_id: int | None = None,
+    ) -> list[TelemetryEvent]:
+        """Buffered entries, oldest first, optionally filtered."""
+        with self._lock:
+            entries = list(self._events)
+        if kind is not None:
+            entries = [e for e in entries if e.kind == kind]
+        if min_level is not None:
+            rank = _LEVEL_RANK[min_level]
+            entries = [e for e in entries if _LEVEL_RANK[e.level] >= rank]
+        if job_id is not None:
+            entries = [e for e in entries if e.job_id == job_id]
+        return entries
+
+    def of_kind(self, kind: str) -> list[TelemetryEvent]:
+        """Shorthand for :meth:`events` filtered to one kind."""
+        return self.events(kind=kind)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the streaming writer (idempotent)."""
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+
+    def __enter__(self) -> "TelemetryLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- serialization -----------------------------------------------------------
+
+    @classmethod
+    def read_jsonl(cls, path: str | Path) -> list[TelemetryEvent]:
+        """Load entries streamed by a log (blank lines ignored)."""
+        entries: list[TelemetryEvent] = []
+        with Path(path).open() as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if raw:
+                    entries.append(TelemetryEvent.from_dict(json.loads(raw)))
+        return entries

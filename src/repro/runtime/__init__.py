@@ -44,6 +44,7 @@ from .parallel import (
     close_shared_backends,
     default_parallel_workers,
     get_backend,
+    iter_shared_backends,
 )
 from .partition import HashPartitioner, Partitioner, RangePartitioner, stable_hash
 from .state import (
@@ -91,6 +92,7 @@ __all__ = [
     "close_shared_backends",
     "default_parallel_workers",
     "get_backend",
+    "iter_shared_backends",
     "make_state_backend",
     "record_matches",
     "stable_hash",

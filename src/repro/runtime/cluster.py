@@ -65,7 +65,11 @@ class SimulatedCluster:
     ):
         self.config = config
         self.clock = clock if clock is not None else SimulatedClock(config.cost_model)
-        self.events = events if events is not None else EventLog()
+        self.events = (
+            events
+            if events is not None
+            else EventLog(capacity=config.event_log_capacity)
+        )
         self._workers: dict[int, Worker] = {}
         self._assignment: dict[int, int] = {}
         per_worker = config.partitions_per_worker

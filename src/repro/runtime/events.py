@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import enum
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
+
+from ..errors import ConfigError
 
 
 class EventKind(enum.Enum):
@@ -73,10 +76,36 @@ class Event:
 
 
 class EventLog:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
 
-    def __init__(self) -> None:
-        self._events: list[Event] = []
+    By default the log grows without bound — correct for short runs the
+    tests and benchmarks introspect in full. Long ``serve`` sessions pass
+    a ``capacity``: the log becomes a ring buffer keeping the *newest*
+    ``capacity`` events and counting what it had to drop
+    (:attr:`dropped`), so a service that runs for days holds a bounded
+    window instead of every event it ever saw.
+
+    Listeners registered via :meth:`subscribe` see every event at record
+    time, before any ring-buffer eviction — a streaming consumer (the
+    telemetry log) therefore loses nothing even at tiny capacities.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigError(f"event log capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._recorded = 0
+        self._listeners: list[Callable[[Event], None]] = []
+
+    def subscribe(self, listener: Callable[[Event], None]) -> None:
+        """Call ``listener(event)`` for every subsequently recorded event."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[Event], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def record(
         self,
@@ -88,7 +117,20 @@ class EventLog:
         """Append a new event and return it."""
         event = Event(time=time, kind=kind, superstep=superstep, details=dict(details))
         self._events.append(event)
+        self._recorded += 1
+        for listener in self._listeners:
+            listener(event)
         return event
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer (0 for unbounded logs)."""
+        return self._recorded - len(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded, including evicted ones."""
+        return self._recorded
 
     def __len__(self) -> int:
         return len(self._events)
@@ -112,8 +154,9 @@ class EventLog:
         return self.of_kind(EventKind.FAILURE)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events (and reset the drop counter)."""
         self._events.clear()
+        self._recorded = 0
 
     def summary(self) -> dict[str, int]:
         """Return ``{event kind: count}`` over the whole log."""
@@ -141,4 +184,5 @@ class EventLog:
                 raw = raw.strip()
                 if raw:
                     log._events.append(Event.from_dict(json.loads(raw)))
+                    log._recorded += 1
         return log

@@ -70,19 +70,59 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         """All counter names, sorted."""
-        return sorted(self._counters)
+        with self._lock:
+            return sorted(self._counters)
 
     def snapshot(self) -> dict[str, int]:
-        """A copy of all counters."""
-        return dict(self._counters)
+        """A copy of all counters, taken atomically."""
+        with self._lock:
+            return dict(self._counters)
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Per-counter increase since an ``earlier`` :meth:`snapshot`."""
-        return {
-            name: value - earlier.get(name, 0)
-            for name, value in self._counters.items()
-            if value != earlier.get(name, 0)
-        }
+        with self._lock:
+            return {
+                name: value - earlier.get(name, 0)
+                for name, value in self._counters.items()
+                if value != earlier.get(name, 0)
+            }
+
+    def snapshot_all(
+        self, include_histograms: bool = True
+    ) -> dict[str, dict[str, Any]]:
+        """One atomic copy of every counter, gauge and histogram.
+
+        All three families are copied under a single lock acquisition, so
+        a concurrent sampler (the telemetry collector) never sees a torn
+        view — e.g. a counter from before an increment paired with a
+        gauge from after it. With ``include_histograms=False`` the raw
+        observation lists are skipped (they can be large; the sampler
+        only needs counters and gauges every tick).
+        """
+        with self._lock:
+            snapshot: dict[str, dict[str, Any]] = {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+            if include_histograms:
+                snapshot["histograms"] = {
+                    name: list(values) for name, values in self._histograms.items()
+                }
+            return snapshot
+
+    def histogram_summaries(self) -> dict[str, HistogramStats]:
+        """Atomic :class:`HistogramStats` of every non-empty histogram.
+
+        Unlike :meth:`histograms` the raw values are copied under the
+        lock first, so a summary never reads a list mid-append.
+        """
+        with self._lock:
+            copies = {
+                name: list(values)
+                for name, values in self._histograms.items()
+                if values
+            }
+        return {name: HistogramStats.of(values) for name, values in sorted(copies.items())}
 
     # -- gauges ----------------------------------------------------------------
 
@@ -96,8 +136,9 @@ class MetricsRegistry:
         return self._gauges.get(name, default)
 
     def gauges(self) -> dict[str, float]:
-        """A copy of all gauges."""
-        return dict(self._gauges)
+        """A copy of all gauges, taken atomically."""
+        with self._lock:
+            return dict(self._gauges)
 
     # -- histograms and timers -------------------------------------------------
 
@@ -108,20 +149,18 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> HistogramStats | None:
         """Summary stats of histogram ``name`` (``None`` if unobserved)."""
-        values = self._histograms.get(name)
+        with self._lock:
+            values = list(self._histograms.get(name, ()))
         return HistogramStats.of(values) if values else None
 
     def histogram_values(self, name: str) -> list[float]:
         """The raw observations of histogram ``name``, in order."""
-        return list(self._histograms.get(name, []))
+        with self._lock:
+            return list(self._histograms.get(name, ()))
 
     def histograms(self) -> dict[str, HistogramStats]:
         """Summary stats of every non-empty histogram."""
-        return {
-            name: HistogramStats.of(values)
-            for name, values in sorted(self._histograms.items())
-            if values
-        }
+        return self.histogram_summaries()
 
     def timer(self, name: str) -> Timer:
         """A context manager observing its wall-clock duration into the

@@ -72,6 +72,7 @@ __all__ = [
     "default_parallel_workers",
     "get_backend",
     "close_shared_backends",
+    "iter_shared_backends",
 ]
 
 #: dispatch weight hints. LIGHT marks kernels whose work is a single
@@ -711,3 +712,16 @@ def close_shared_backends() -> None:
         _SHARED.clear()
     for backend in backends:
         backend.close()
+
+
+def iter_shared_backends() -> list[tuple[str, int, MetricsRegistry]]:
+    """``(backend_name, workers, metrics)`` per live shared pool.
+
+    Telemetry reads this to fold the shared thread/process pools'
+    ``parallel.*`` counters and utilization histograms into service
+    health reports and Prometheus scrapes. Read-only; the registries
+    themselves are thread-safe.
+    """
+    with _SHARED_LOCK:
+        items = list(_SHARED.items())
+    return [(name, workers, backend.metrics) for (name, workers), backend in items]

@@ -35,7 +35,16 @@ Everything observable lands on one :class:`repro.runtime.metrics.MetricsRegistry
 ``service.time_in_queue_seconds``  histogram: submit → first dequeue
 ``service.attempt_seconds``     histogram: wall seconds per engine run
 ``service.job_seconds``         histogram: submit → terminal state
+``service.worker_busy_seconds`` histogram: seconds per worker dispatch
 ==============================  ===========================================
+
+With :attr:`repro.config.ServiceConfig.telemetry` enabled the service
+additionally runs a :class:`repro.observability.telemetry.TelemetryCollector`
+(periodic time-series sampling of this registry plus every running
+attempt's per-run registry), a bounded
+:class:`repro.observability.telemetry_log.TelemetryLog` with per-job
+correlation ids, and per-attempt convergence monitors — all surfaced
+through :meth:`JobService.health` and the Prometheus renderer.
 """
 
 from __future__ import annotations
@@ -43,12 +52,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from typing import Any
 
 from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig
 from ..errors import AdmissionError, ServiceError
 from ..iteration.result import IterationResult
+from ..observability.telemetry import TelemetryCollector
+from ..observability.telemetry_log import TelemetryLog
 from ..runtime.metrics import MetricsRegistry
-from ..runtime.parallel import CoreBudget
+from ..runtime.parallel import CoreBudget, iter_shared_backends
 from .job import JobHandle, JobSpec, JobState
 from .queue import AdmissionQueue
 from .scheduler import WorkerPool
@@ -75,10 +87,33 @@ class JobService:
         # backend-independent).
         self._core_budget = CoreBudget(config.core_budget)
         workers_per_job = self._core_budget.workers_per_slot(config.pool_size)
+        # The telemetry layer is purely observational: the collector
+        # samples registries on the wall clock and the log records
+        # health/lifecycle events. Job results are bit-identical with it
+        # on or off.
+        telemetry_cfg = config.telemetry
+        self.telemetry_log: TelemetryLog | None = None
+        self.collector: TelemetryCollector | None = None
+        if telemetry_cfg.enabled:
+            self.telemetry_log = TelemetryLog(
+                capacity=telemetry_cfg.event_capacity,
+                path=telemetry_cfg.jsonl_path,
+            )
+            self.collector = TelemetryCollector(
+                interval=telemetry_cfg.sample_interval,
+                series_capacity=telemetry_cfg.series_capacity,
+                log=self.telemetry_log,
+            )
+            self.collector.register(self.metrics, scope="service")
+            self.collector.start()
         self._supervisor = JobSupervisor(
             metrics=self.metrics,
             trace_jobs=config.trace_jobs,
             max_parallel_workers=workers_per_job,
+            collector=self.collector,
+            telemetry_log=self.telemetry_log,
+            stall_supersteps=telemetry_cfg.stall_supersteps,
+            divergence_supersteps=telemetry_cfg.divergence_supersteps,
         )
         self._pool = WorkerPool(
             self._queue,
@@ -86,6 +121,7 @@ class JobService:
             pool_size=config.pool_size,
             poll_interval=config.poll_interval,
             on_timeout=self._on_queue_timeout,
+            metrics=self.metrics,
         )
         self._lock = threading.Lock()
         self._handles: dict[int, JobHandle] = {}
@@ -205,6 +241,11 @@ class JobService:
             self.metrics.increment("service.cancelled")
         self.metrics.set_gauge("service.queue_depth", self._queue.depth)
         self.metrics.set_gauge("service.jobs_in_flight", 0)
+        if self.collector is not None:
+            self.collector.stop()
+        if self.telemetry_log is not None:
+            self.telemetry_log.emit("service_shutdown", "info")
+            self.telemetry_log.close()
 
     def __enter__(self) -> "JobService":
         return self
@@ -236,6 +277,118 @@ class JobService:
     def report(self) -> "ServiceReport":
         """A snapshot report of the service's counters and latencies."""
         return ServiceReport.from_service(self)
+
+    def health(self) -> dict[str, Any]:
+        """A machine-readable live SLO/health report.
+
+        One dict with queue depth and overload state, worker-pool
+        utilization, job counters, p50/p95/p99 latency summaries,
+        shared parallel-backend utilization/steal counters, a per-running-
+        job convergence snapshot (rate, ETA, stall/divergence flags) and
+        the most recent warning-level telemetry alerts. Works with
+        telemetry disabled (jobs/alerts sections are then empty);
+        :func:`repro.observability.health.render_status` renders the same
+        dict as a ``repro status`` terminal frame.
+        """
+        metrics = self.metrics
+        summaries = metrics.histogram_summaries()
+
+        def _latency(name: str) -> dict[str, Any] | None:
+            stats = summaries.get(name)
+            if stats is None:
+                return None
+            return {
+                "p50": stats.p50,
+                "p95": stats.p95,
+                "p99": stats.p99,
+                "mean": stats.mean,
+                "count": stats.count,
+            }
+
+        with self._lock:
+            accepting = self._accepting
+        depth = self._queue.depth
+        capacity = self.config.queue_capacity
+        jobs = []
+        for monitor in self._supervisor.live_monitors():
+            snap = monitor.snapshot()
+            jobs.append(
+                {
+                    "job_id": snap["job_id"],
+                    "name": snap["job"],
+                    "state": "running",
+                    "attempt": snap["attempt"],
+                    "convergence": snap,
+                }
+            )
+        jobs.sort(key=lambda j: j["job_id"] if j["job_id"] is not None else -1)
+        backends = []
+        for name, workers, registry in iter_shared_backends():
+            snapshot = registry.snapshot_all(include_histograms=False)
+            counters = snapshot["counters"]
+            utilization = registry.histogram("parallel.worker_utilization")
+            backends.append(
+                {
+                    "name": name,
+                    "workers": workers,
+                    "chunks_dispatched": counters.get("parallel.chunks.dispatched", 0),
+                    "chunks_completed": counters.get("parallel.chunks.completed", 0),
+                    "chunks_stolen": counters.get("parallel.chunks.stolen", 0),
+                    "inline_fallbacks": counters.get("parallel.inline_fallbacks", 0),
+                    "worker_respawns": counters.get("parallel.worker_respawns", 0),
+                    "utilization": utilization.mean if utilization else None,
+                }
+            )
+        alerts: list[dict[str, Any]] = []
+        if self.telemetry_log is not None:
+            alerts = [
+                event.to_dict()
+                for event in self.telemetry_log.events(min_level="warning")[-20:]
+            ]
+        return {
+            "wall_seconds": time.monotonic() - self._started_at,
+            "accepting": accepting,
+            "queue": {
+                "depth": depth,
+                "capacity": capacity,
+                "overloaded": capacity is not None and depth >= capacity,
+                "backpressure": self.config.backpressure,
+            },
+            "pool": {
+                "size": self.config.pool_size,
+                "in_flight": self._pool.in_flight,
+                "utilization": self._pool.utilization(),
+                "busy_seconds": self._pool.busy_seconds,
+            },
+            "counters": {
+                "submitted": metrics.get("service.submitted"),
+                "admitted": metrics.get("service.admitted"),
+                "rejected": metrics.get("service.admission_rejects"),
+                "attempts": metrics.get("service.attempts"),
+                "retries": metrics.get("service.retries"),
+                "succeeded": metrics.get("service.succeeded"),
+                "failed": metrics.get("service.failed"),
+                "cancelled": metrics.get("service.cancelled"),
+                "timed_out": metrics.get("service.timed_out"),
+            },
+            "latency": {
+                "queue_wait": _latency("service.time_in_queue_seconds"),
+                "attempt": _latency("service.attempt_seconds"),
+                "job": _latency("service.job_seconds"),
+            },
+            "backends": backends,
+            "jobs": jobs,
+            "alerts": alerts,
+            "telemetry": {
+                "enabled": self.collector is not None,
+                "samples": self.collector.samples if self.collector else 0,
+                "series": len(self.collector.series_keys()) if self.collector else 0,
+                "events": self.telemetry_log.emitted if self.telemetry_log else 0,
+                "events_dropped": self.telemetry_log.dropped
+                if self.telemetry_log
+                else 0,
+            },
+        }
 
 
 @dataclass

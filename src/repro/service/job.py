@@ -243,6 +243,7 @@ class JobSpec:
         *,
         tracer: Tracer | None = None,
         config: EngineConfig | None = None,
+        telemetry: Any | None = None,
     ) -> IterationResult:
         """Run this spec exactly as a service worker would.
 
@@ -251,7 +252,9 @@ class JobSpec:
         provably bit-identical to single-run execution. ``config``
         overrides the attempt's engine config; the supervisor uses it to
         clamp ``parallel_workers`` to the service's core budget (a
-        wall-clock-only knob, so results stay identical).
+        wall-clock-only knob, so results stay identical). ``telemetry``
+        is a :class:`repro.observability.telemetry.RunTelemetry` bundle —
+        observational only, so telemetry on/off changes nothing either.
         """
         job = self.make_job()
         return job.run(
@@ -260,6 +263,7 @@ class JobSpec:
             failures=self.failures,
             snapshots=SnapshotStore() if self.snapshots else None,
             tracer=tracer,
+            telemetry=telemetry,
         )
 
 

@@ -28,12 +28,19 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from ..errors import ServiceError
+from ..runtime.metrics import MetricsRegistry
 from .job import JobHandle, JobState
 from .queue import AdmissionQueue
 
 
 class WorkerPool:
-    """``pool_size`` worker loops draining one admission queue."""
+    """``pool_size`` worker loops draining one admission queue.
+
+    When given a ``metrics`` registry the pool keeps per-worker busy-time
+    accounting: ``service.worker_busy_seconds`` accumulates seconds spent
+    executing jobs, which together with :meth:`utilization` feeds the
+    service's SLO health report.
+    """
 
     def __init__(
         self,
@@ -43,6 +50,7 @@ class WorkerPool:
         poll_interval: float = 0.02,
         thread_name_prefix: str = "repro-service",
         on_timeout: Callable[[JobHandle], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if pool_size < 1:
             raise ServiceError(f"pool_size must be >= 1, got {pool_size}")
@@ -51,10 +59,14 @@ class WorkerPool:
         self._on_timeout = on_timeout
         self.pool_size = pool_size
         self._poll_interval = poll_interval
+        self._metrics = metrics
         self._stop = threading.Event()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._in_flight = 0
+        self._busy_seconds = 0.0
+        self._dispatch_started: dict[int, float] = {}
+        self._started_at = time.monotonic()
         self._executor = ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix=thread_name_prefix
         )
@@ -71,6 +83,30 @@ class WorkerPool:
             return self._in_flight
 
     @property
+    def busy_seconds(self) -> float:
+        """Cumulative worker-seconds spent executing jobs (completed
+        dispatches only; in-flight time is counted when it finishes)."""
+        with self._lock:
+            return self._busy_seconds
+
+    def utilization(self) -> float:
+        """Fraction of the pool's lifetime worker capacity spent busy.
+
+        Counts both banked busy time and the elapsed time of currently
+        in-flight dispatches, so a saturated pool reads ~1.0 while its
+        jobs are still running.
+        """
+        now = time.monotonic()
+        elapsed = now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        with self._lock:
+            busy = self._busy_seconds + sum(
+                now - started for started in self._dispatch_started.values()
+            )
+        return min(1.0, busy / (elapsed * self.pool_size))
+
+    @property
     def stopped(self) -> bool:
         return self._stop.is_set()
 
@@ -81,8 +117,10 @@ class WorkerPool:
             handle = self._queue.get(timeout=self._poll_interval)
             if handle is None:
                 continue
+            started = time.monotonic()
             with self._lock:
                 self._in_flight += 1
+                self._dispatch_started[handle.job_id] = started
             try:
                 if handle.deadline_expired:
                     # Missed the deadline while waiting in the queue.
@@ -91,9 +129,14 @@ class WorkerPool:
                 else:
                     self._runner(handle)
             finally:
+                busy = time.monotonic() - started
                 with self._lock:
                     self._in_flight -= 1
+                    self._busy_seconds += busy
+                    self._dispatch_started.pop(handle.job_id, None)
                     self._idle.notify_all()
+                if self._metrics is not None:
+                    self._metrics.observe("service.worker_busy_seconds", busy)
 
     # -- drain / shutdown -----------------------------------------------------
 

@@ -28,13 +28,17 @@ results are untouched for every job that does not time out.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import replace
 from typing import Any, Callable
 
 from ..config import EngineConfig
 from ..errors import JobTimeoutError, RecoveryError, ReproError
+from ..observability.convergence import ConvergenceMonitor
 from ..observability.span import SpanKind
+from ..observability.telemetry import RunTelemetry, TelemetryCollector
+from ..observability.telemetry_log import TelemetryLog
 from ..observability.tracer import NOOP_TRACER, RecordingTracer, Tracer
 from ..runtime.metrics import MetricsRegistry
 from ..runtime.parallel import default_parallel_workers
@@ -92,6 +96,14 @@ class JobSupervisor:
             wall-clock scheduling only — results are backend- and
             worker-count-independent — so clamped jobs remain
             bit-identical to standalone runs.
+        collector: optional :class:`TelemetryCollector` each attempt's
+            per-run registry is registered with while it executes.
+        telemetry_log: optional :class:`TelemetryLog` job lifecycle and
+            convergence health events land in, correlated by
+            ``job_id``/``attempt``.
+        stall_supersteps / divergence_supersteps: thresholds of the
+            per-attempt :class:`ConvergenceMonitor` (see
+            :class:`repro.config.TelemetryConfig`).
     """
 
     def __init__(
@@ -100,11 +112,72 @@ class JobSupervisor:
         trace_jobs: bool = False,
         sleep: Callable[[JobHandle, float], None] | None = None,
         max_parallel_workers: int | None = None,
+        collector: TelemetryCollector | None = None,
+        telemetry_log: TelemetryLog | None = None,
+        stall_supersteps: int = 5,
+        divergence_supersteps: int = 3,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace_jobs = trace_jobs
         self.max_parallel_workers = max_parallel_workers
+        self.collector = collector
+        self.telemetry_log = telemetry_log
+        self.stall_supersteps = stall_supersteps
+        self.divergence_supersteps = divergence_supersteps
+        self._monitors_lock = threading.Lock()
+        self._monitors: dict[int, ConvergenceMonitor] = {}
         self._sleep = sleep if sleep is not None else self._interruptible_sleep
+
+    # -- telemetry ----------------------------------------------------------------
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        return self.collector is not None or self.telemetry_log is not None
+
+    def live_monitors(self) -> list[ConvergenceMonitor]:
+        """Convergence monitors of the attempts executing right now."""
+        with self._monitors_lock:
+            return list(self._monitors.values())
+
+    def _make_telemetry(
+        self, handle: JobHandle, attempt: int
+    ) -> RunTelemetry | None:
+        if not self.telemetry_enabled:
+            return None
+        monitor = ConvergenceMonitor(
+            handle.spec.name,
+            job_id=handle.job_id,
+            attempt=attempt,
+            log=self.telemetry_log,
+            stall_after=self.stall_supersteps,
+            divergence_after=self.divergence_supersteps,
+        )
+        with self._monitors_lock:
+            self._monitors[handle.job_id] = monitor
+        return RunTelemetry(
+            collector=self.collector,
+            monitor=monitor,
+            log=self.telemetry_log,
+            job_id=handle.job_id,
+            attempt=attempt,
+        )
+
+    def _drop_monitor(self, job_id: int) -> None:
+        with self._monitors_lock:
+            self._monitors.pop(job_id, None)
+
+    def _emit(
+        self, kind: str, level: str, handle: JobHandle, **details: Any
+    ) -> None:
+        if self.telemetry_log is not None:
+            self.telemetry_log.emit(
+                kind,
+                level,
+                job_id=handle.job_id,
+                attempt=max(0, handle.attempts - 1),
+                job=handle.spec.name,
+                **details,
+            )
 
     def _clamp_parallel(self, config: EngineConfig) -> EngineConfig:
         """Clamp a job's intra-job workers to the core-budget grant."""
@@ -151,6 +224,22 @@ class JobSupervisor:
 
     def run_job(self, handle: JobHandle) -> None:
         """Drive ``handle`` from QUEUED/RETRYING to a terminal state."""
+        try:
+            self._run_job(handle)
+        finally:
+            self._drop_monitor(handle.job_id)
+            if handle.is_terminal:
+                self._emit(
+                    "job_finished",
+                    "info" if handle.state is JobState.SUCCEEDED else "warning",
+                    handle,
+                    state=handle.state.value,
+                    attempts=handle.attempts,
+                    retries=handle.retries,
+                    total_seconds=handle.total_seconds,
+                )
+
+    def _run_job(self, handle: JobHandle) -> None:
         spec = handle.spec
         while True:
             if handle.is_terminal:
@@ -168,6 +257,8 @@ class JobSupervisor:
             attempt = handle.attempts
             handle.attempts += 1
             self.metrics.increment("service.attempts")
+            self._emit("attempt_started", "info", handle, queued_seconds=handle.time_in_queue)
+            telemetry = self._make_telemetry(handle, attempt)
             tracer, (inner, root_ctx) = self._attempt_tracer(handle, attempt)
             attempt_started = time.monotonic()
             error: BaseException | None = None
@@ -178,6 +269,7 @@ class JobSupervisor:
                         attempt=attempt,
                         tracer=tracer,
                         config=self._clamp_parallel(spec.config_for_attempt(attempt)),
+                        telemetry=telemetry,
                     )
                     root_span.set_attribute("outcome", "completed")
                 except BaseException as exc:  # noqa: BLE001 — workers must survive
@@ -217,6 +309,13 @@ class JobSupervisor:
                 handle.transition(JobState.RETRYING)
                 handle.retries += 1
                 self.metrics.increment("service.retries")
+                self._emit(
+                    "attempt_retrying",
+                    "warning",
+                    handle,
+                    error=type(error).__name__,
+                    retries=handle.retries,
+                )
                 delay = spec.retry.delay(handle.retries - 1, handle.rng)
                 if handle.deadline_at is not None:
                     delay = min(delay, max(0.0, handle.deadline_at - time.monotonic()))

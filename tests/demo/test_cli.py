@@ -192,3 +192,67 @@ class TestParallelFlags:
         capsys.readouterr()
         code = main(["profile", "--parallel-backend", "serial", str(trace)])
         assert code == 0
+
+
+class TestServeTelemetryFlags:
+    """serve --telemetry / --status-interval / --prom-out / --telemetry-out."""
+
+    def test_telemetry_flag_runs_clean(self, capsys):
+        assert main(["serve", "--jobs", "2", "--pool", "2", "--telemetry"]) == 0
+        assert "serve: 2 jobs" in capsys.readouterr().out
+
+    def test_status_interval_prints_live_frames(self, capsys):
+        code = main(
+            ["serve", "--jobs", "3", "--pool", "2", "--status-interval", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro status" in out
+        assert "in-flight" in out
+
+    def test_non_positive_status_interval_exits_2(self, capsys):
+        code = main(["serve", "--jobs", "2", "--status-interval", "0"])
+        assert code == 2
+        assert "status" in capsys.readouterr().out
+
+    def test_prom_out_writes_scrape(self, tmp_path, capsys):
+        scrape = tmp_path / "metrics.prom"
+        code = main(
+            ["serve", "--jobs", "2", "--telemetry", "--prom-out", str(scrape)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        text = scrape.read_text()
+        assert "# TYPE repro_service_submitted_total counter" in text
+        assert "repro_service_submitted_total" in text
+
+    def test_prom_out_without_telemetry_uses_service_registry(self, tmp_path, capsys):
+        scrape = tmp_path / "metrics.prom"
+        code = main(["serve", "--jobs", "2", "--prom-out", str(scrape)])
+        assert code == 0
+        capsys.readouterr()
+        assert "repro_service_submitted_total" in scrape.read_text()
+
+    def test_telemetry_out_writes_strict_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "telemetry.jsonl"
+        code = main(
+            ["serve", "--jobs", "2", "--telemetry", "--telemetry-out", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        lines = [line for line in path.read_text().splitlines() if line]
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert all("kind" in e and "level" in e for e in events)
+        # Correlated job lifecycle events made it to disk.
+        assert any(e["kind"] == "job_finished" for e in events)
+
+    def test_prom_out_unwritable_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "metrics.prom"
+        code = main(
+            ["serve", "--jobs", "2", "--telemetry", "--prom-out", str(target)]
+        )
+        assert code == 1
+        assert "prom" in capsys.readouterr().out.lower()

@@ -1,0 +1,213 @@
+"""Tests for the live convergence monitor: rate, ETA, stalls, recovery."""
+
+import math
+
+import pytest
+
+from repro.observability.convergence import ConvergenceMonitor
+from repro.observability.telemetry_log import TelemetryLog
+from repro.runtime.metrics import IterationStats
+
+
+def stats(
+    superstep,
+    l1=None,
+    workset=None,
+    updates=0,
+    messages=10,
+    failed=False,
+    compensated=False,
+    rolled_back=False,
+    restarted=False,
+):
+    s = IterationStats(superstep, sim_time_start=float(superstep))
+    s.sim_time_end = float(superstep) + 1.0
+    s.l1_delta = l1
+    s.workset_size = workset
+    s.updates = updates
+    s.messages = messages
+    s.failed = failed
+    s.compensated = compensated
+    s.rolled_back = rolled_back
+    s.restarted = restarted
+    return s
+
+
+class TestRateAndEta:
+    def test_geometric_l1_decay_recovers_rate(self):
+        monitor = ConvergenceMonitor("pr", target=1e-6)
+        for i in range(6):
+            monitor.observe(stats(i, l1=1.0 * (0.5**i), updates=10))
+        assert monitor.signal == "l1"
+        assert monitor.convergence_rate() == pytest.approx(0.5, rel=1e-6)
+
+    def test_eta_matches_analytic_supersteps(self):
+        monitor = ConvergenceMonitor("pr", target=1e-3)
+        for i in range(6):
+            monitor.observe(stats(i, l1=1.0 * (0.5**i), updates=10))
+        current = 0.5**5
+        expected = math.ceil(math.log(1e-3 / current) / math.log(0.5))
+        assert monitor.eta_supersteps() == expected
+
+    def test_workset_signal_targets_empty_workset(self):
+        monitor = ConvergenceMonitor("cc")
+        for i, size in enumerate([64, 32, 16, 8]):
+            monitor.observe(stats(i, workset=size, updates=size))
+        assert monitor.signal == "workset"
+        assert monitor.convergence_rate() == pytest.approx(0.5, rel=1e-6)
+        # 8 -> <1 takes 3 halvings.
+        assert monitor.eta_supersteps() == 3
+
+    def test_no_rate_without_enough_points(self):
+        monitor = ConvergenceMonitor("pr")
+        monitor.observe(stats(0, l1=1.0))
+        assert monitor.convergence_rate() is None
+        assert monitor.eta_supersteps() is None
+
+    def test_no_eta_when_not_decaying(self):
+        monitor = ConvergenceMonitor("pr", target=1e-3)
+        for i in range(4):
+            monitor.observe(stats(i, l1=1.0, updates=1))
+        assert monitor.eta_supersteps() is None
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor("x", stall_after=0)
+        with pytest.raises(ValueError):
+            ConvergenceMonitor("x", divergence_after=0)
+        with pytest.raises(ValueError):
+            ConvergenceMonitor("x", window=1)
+
+
+class TestStalls:
+    def test_restart_loop_fires_one_stall_warning(self):
+        # A failure injected every superstep under restart recovery makes
+        # no forward progress; after `stall_after` such supersteps the
+        # monitor must flag a stall — once, not every superstep.
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("cc", job_id=5, log=log, stall_after=3)
+        for i in range(6):
+            monitor.observe(
+                stats(i, workset=64, failed=True, restarted=True, messages=0)
+            )
+        stalls = log.of_kind("stall")
+        assert len(stalls) == 1
+        assert stalls[0].level == "warning"
+        assert stalls[0].job_id == 5
+        assert stalls[0].details["no_progress_supersteps"] == 3
+        assert monitor.stalled
+
+    def test_progress_clears_the_stall(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("cc", log=log, stall_after=2)
+        monitor.observe(stats(0, workset=64))
+        for i in range(1, 4):
+            monitor.observe(stats(i, workset=64, restarted=True, failed=True))
+        assert monitor.stalled
+        monitor.observe(stats(4, workset=32, updates=32))
+        assert not monitor.stalled
+        assert len(log.of_kind("stall_cleared")) == 1
+
+    def test_steady_l1_decrease_never_stalls(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("pr", log=log, stall_after=2)
+        for i in range(20):
+            monitor.observe(stats(i, l1=1.0 / (i + 1), updates=5))
+        assert log.of_kind("stall") == []
+
+    def test_activity_without_series_is_progress(self):
+        # A job tracking neither L1 nor workset must not cry stall while
+        # it is visibly doing work.
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("job", log=log, stall_after=2)
+        for i in range(10):
+            monitor.observe(stats(i, updates=3))
+        assert log.of_kind("stall") == []
+
+
+class TestRecoveryTagging:
+    def test_failure_emits_recovery_event_with_outcome(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("pr", log=log)
+        monitor.observe(stats(0, l1=1.0, updates=10))
+        monitor.observe(stats(1, l1=0.5, updates=10))
+        monitor.observe(stats(2, l1=0.9, updates=10, failed=True, compensated=True))
+        recoveries = log.of_kind("recovery")
+        assert len(recoveries) == 1
+        assert recoveries[0].details["outcome"] == "compensation"
+        assert recoveries[0].details["baseline"] == 0.5
+
+    def test_reconverged_counts_overhead_supersteps(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("pr", log=log)
+        monitor.observe(stats(0, l1=1.0, updates=10))
+        monitor.observe(stats(1, l1=0.5, updates=10))
+        monitor.observe(stats(2, l1=0.9, updates=10, failed=True, compensated=True))
+        monitor.observe(stats(3, l1=0.7, updates=10))
+        monitor.observe(stats(4, l1=0.4, updates=10))  # back below 0.5
+        reconverged = log.of_kind("reconverged")
+        assert len(reconverged) == 1
+        assert reconverged[0].details["overhead_supersteps"] == 2
+        assert not monitor.snapshot()["recovering"]
+
+    def test_recovering_flag_until_baseline_reached(self):
+        monitor = ConvergenceMonitor("pr")
+        monitor.observe(stats(0, l1=1.0, updates=10))
+        monitor.observe(stats(1, l1=0.5, updates=10))
+        monitor.observe(stats(2, l1=0.9, updates=10, failed=True, compensated=True))
+        assert monitor.snapshot()["recovering"]
+
+    def test_rollback_outcome_label(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("cc", log=log)
+        monitor.observe(stats(0, workset=64, updates=10))
+        monitor.observe(stats(1, workset=64, failed=True, rolled_back=True))
+        assert log.of_kind("recovery")[0].details["outcome"] == "rollback"
+
+
+class TestDivergence:
+    def test_l1_rising_after_compensation_fires_divergence(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("pr", log=log, divergence_after=3)
+        monitor.observe(stats(0, l1=1.0, updates=10))
+        monitor.observe(stats(1, l1=0.5, updates=10))
+        monitor.observe(stats(2, l1=0.6, updates=10, failed=True, compensated=True))
+        for i, l1 in enumerate([0.7, 0.8, 0.9], start=3):
+            monitor.observe(stats(i, l1=l1, updates=10))
+        divergences = log.of_kind("divergence")
+        assert len(divergences) == 1
+        assert divergences[0].level == "warning"
+        assert monitor.snapshot()["diverging"]
+
+    def test_no_divergence_without_compensation(self):
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("pr", log=log, divergence_after=2)
+        for i, l1 in enumerate([0.1, 0.2, 0.3, 0.4]):
+            monitor.observe(stats(i, l1=l1, updates=10))
+        assert log.of_kind("divergence") == []
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        monitor = ConvergenceMonitor("pr", job_id=9, attempt=1, target=1e-3)
+        for i in range(4):
+            monitor.observe(stats(i, l1=0.5**i, updates=10))
+        snap = monitor.snapshot()
+        assert snap["job"] == "pr"
+        assert snap["job_id"] == 9
+        assert snap["attempt"] == 1
+        assert snap["superstep"] == 3
+        assert snap["signal"] == "l1"
+        assert snap["residual"] == pytest.approx(0.125)
+        assert snap["target"] == 1e-3
+        assert snap["rate"] == pytest.approx(0.5, rel=1e-6)
+        assert isinstance(snap["eta_supersteps"], int)
+        assert snap["stalled"] is False
+        assert snap["failures"] == 0
+
+    def test_events_mirrored_without_log(self):
+        monitor = ConvergenceMonitor("cc", stall_after=1)
+        monitor.observe(stats(0, workset=10, restarted=True, failed=True, messages=0))
+        assert [e["kind"] for e in monitor.events if isinstance(e, dict)] or [
+            e.kind for e in monitor.events if hasattr(e, "kind")
+        ]

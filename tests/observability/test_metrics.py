@@ -34,6 +34,18 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
 
+    def test_duplicates_collapse(self):
+        assert percentile([2.0, 2.0, 2.0, 2.0], 0.95) == 2.0
+
+    def test_two_values_tail(self):
+        # position = 0.99 * 1 = 0.99 -> 1*(0.01) + 9*(0.99)
+        assert percentile([1.0, 9.0], 0.99) == pytest.approx(8.92)
+
+    def test_p99_matches_numpy_linear_method(self):
+        values = list(range(1, 101))  # 1..100
+        # numpy.percentile(values, 99) == 99.01
+        assert percentile(values, 0.99) == pytest.approx(99.01)
+
 
 class TestHistogramStats:
     def test_summary_fields(self):
@@ -51,7 +63,51 @@ class TestHistogramStats:
 
     def test_to_dict_round_trips_keys(self):
         data = HistogramStats.of([1.0, 2.0]).to_dict()
-        assert set(data) == {"count", "total", "min", "max", "mean", "p50", "p95"}
+        assert set(data) == {"count", "total", "min", "max", "mean", "p50", "p95", "p99"}
+
+    def test_p99_tracks_the_tail(self):
+        values = [1.0] * 99 + [100.0]
+        stats = HistogramStats.of(values)
+        assert stats.p50 == 1.0
+        assert stats.p99 > stats.p95
+        # position = 0.99 * 99 = 98.01 -> between 1.0 and 100.0
+        assert stats.p99 == pytest.approx(1.0 + 0.01 * 99.0)
+
+    def test_single_observation_all_percentiles_equal(self):
+        stats = HistogramStats.of([4.2])
+        assert stats.p50 == stats.p95 == stats.p99 == 4.2
+        assert stats.minimum == stats.maximum == stats.mean == 4.2
+
+    def test_merge_exact_fields(self):
+        a = HistogramStats.of([1.0, 2.0, 3.0])
+        b = HistogramStats.of([10.0])
+        merged = a.merge(b)
+        assert merged.count == 4
+        assert merged.total == 16.0
+        assert merged.minimum == 1.0
+        assert merged.maximum == 10.0
+        assert merged.mean == 4.0
+
+    def test_merge_percentiles_are_count_weighted(self):
+        a = HistogramStats.of([1.0, 1.0, 1.0])  # p50 = 1.0, count 3
+        b = HistogramStats.of([9.0])  # p50 = 9.0, count 1
+        merged = a.merge(b)
+        assert merged.p50 == pytest.approx((1.0 * 3 + 9.0 * 1) / 4)
+        assert merged.p99 == pytest.approx((1.0 * 3 + 9.0 * 1) / 4)
+
+    def test_merge_is_commutative_in_counts(self):
+        a = HistogramStats.of([1.0, 2.0])
+        b = HistogramStats.of([3.0, 4.0, 5.0])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.count == ba.count == 5
+        assert ab.total == ba.total
+        assert ab.p50 == pytest.approx(ba.p50)
+
+    def test_merge_exact_when_distributions_match(self):
+        a = HistogramStats.of([1.0, 2.0, 3.0])
+        merged = a.merge(HistogramStats.of([1.0, 2.0, 3.0]))
+        assert merged.p50 == a.p50
+        assert merged.mean == a.mean
 
 
 class TestRegistryCounters:

@@ -1,0 +1,139 @@
+"""Tests for the Prometheus text-format exposition renderer."""
+
+from repro.observability.prometheus import (
+    escape_label_value,
+    format_value,
+    render_collector,
+    render_snapshots,
+    sanitize_metric_name,
+)
+from repro.observability.telemetry import TelemetryCollector
+from repro.runtime.metrics import MetricsRegistry
+
+
+class TestNames:
+    def test_dots_become_underscores_with_prefix(self):
+        assert (
+            sanitize_metric_name("service.queue_depth") == "repro_service_queue_depth"
+        )
+
+    def test_dashes_and_spaces_sanitized(self):
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+
+    def test_leading_digit_gets_underscore(self):
+        assert sanitize_metric_name("9lives") == "repro__9lives"
+
+    def test_colons_survive(self):
+        assert sanitize_metric_name("ns:sub") == "repro_ns:sub"
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+
+class TestFormatValue:
+    def test_integers_stay_integral(self):
+        assert format_value(42) == "42"
+
+    def test_bools_become_zero_one(self):
+        assert format_value(True) == "1"
+        assert format_value(False) == "0"
+
+    def test_finite_floats_keep_precision(self):
+        assert format_value(0.1) == repr(0.1)
+
+    def test_nan_and_infinities_use_spec_tokens(self):
+        # The exposition spec wants NaN / +Inf / -Inf — Python's own
+        # nan/inf reprs are rejected by scrapers.
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+
+
+class TestRenderSnapshots:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.increment("service.submitted", 5)
+        registry.set_gauge("service.queue_depth", 3)
+        registry.observe("service.job_seconds", 0.010)
+        registry.observe("service.job_seconds", 0.030)
+        return registry
+
+    def test_counters_get_total_suffix(self):
+        text = render_snapshots([({}, self._registry().snapshot_all())])
+        assert "# TYPE repro_service_submitted_total counter" in text
+        assert "repro_service_submitted_total 5" in text
+
+    def test_gauges_render_as_gauges(self):
+        text = render_snapshots([({}, self._registry().snapshot_all())])
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 3" in text
+
+    def test_histograms_render_as_summaries(self):
+        text = render_snapshots([({}, self._registry().snapshot_all())])
+        assert "# TYPE repro_service_job_seconds summary" in text
+        assert 'repro_service_job_seconds{quantile="0.5"}' in text
+        assert 'repro_service_job_seconds{quantile="0.95"}' in text
+        assert 'repro_service_job_seconds{quantile="0.99"}' in text
+        assert "repro_service_job_seconds_sum 0.04" in text
+        assert "repro_service_job_seconds_count 2" in text
+
+    def test_labels_are_rendered_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs", 1)
+        text = render_snapshots(
+            [({"scope": "svc", "name": 'x"y'}, registry.snapshot_all())]
+        )
+        assert 'repro_jobs_total{name="x\\"y",scope="svc"} 1' in text
+
+    def test_one_type_header_per_family_across_sources(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.increment("jobs", 1)
+        b.increment("jobs", 2)
+        text = render_snapshots(
+            [({"job_id": "1"}, a.snapshot_all()), ({"job_id": "2"}, b.snapshot_all())]
+        )
+        assert text.count("# TYPE repro_jobs_total counter") == 1
+        assert 'repro_jobs_total{job_id="1"} 1' in text
+        assert 'repro_jobs_total{job_id="2"} 2' in text
+
+    def test_nonfinite_gauge_renders_spec_token(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("rate", float("nan"))
+        registry.set_gauge("eta", float("inf"))
+        text = render_snapshots([({}, registry.snapshot_all())])
+        assert "repro_rate NaN" in text
+        assert "repro_eta +Inf" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_snapshots([({}, MetricsRegistry().snapshot_all())]) == ""
+
+    def test_output_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.increment("x")
+        assert render_snapshots([({}, registry.snapshot_all())]).endswith("\n")
+
+
+class TestRenderCollector:
+    def test_live_sources_and_recorded_series(self):
+        registry = MetricsRegistry()
+        registry.increment("service.submitted", 4)
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(registry, scope="service")
+        collector.record("run.l1_delta", 0.25, job_id=7, attempt=0, sim_time=1.0)
+        text = render_collector(collector)
+        assert 'repro_service_submitted_total{scope="service"} 4' in text
+        assert 'repro_run_l1_delta{attempt="0",job_id="7"} 0.25' in text
+
+    def test_sampled_series_not_double_rendered(self):
+        # The live source renders its registry in full; its *sampled*
+        # series must not re-render as gauges (counters would show up
+        # twice, once with the wrong type).
+        registry = MetricsRegistry()
+        registry.increment("service.submitted", 4)
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(registry, scope="service")
+        collector.sample()
+        text = render_collector(collector)
+        assert text.count("repro_service_submitted") == 2  # TYPE line + sample

@@ -1,0 +1,279 @@
+"""Tests for the telemetry collector: time series, sampling, run bundles."""
+
+import time
+
+import pytest
+
+from repro.observability.convergence import ConvergenceMonitor
+from repro.observability.telemetry import (
+    RunTelemetry,
+    SeriesKey,
+    TelemetryCollector,
+    TimeSeries,
+)
+from repro.observability.telemetry_log import TelemetryLog
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.metrics import IterationStats, MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def run_stats(superstep, l1=0.5, workset=8, updates=3, messages=12):
+    s = IterationStats(superstep, sim_time_start=float(superstep))
+    s.sim_time_end = float(superstep) + 1.0
+    s.l1_delta = l1
+    s.workset_size = workset
+    s.updates = updates
+    s.messages = messages
+    return s
+
+
+class TestTimeSeries:
+    def test_ring_keeps_newest_and_counts_drops(self):
+        series = TimeSeries(SeriesKey("m"), capacity=3)
+        for i in range(10):
+            series.append(float(i))
+        assert series.values() == [7.0, 8.0, 9.0]
+        assert len(series) == 3
+        assert series.dropped == 7
+        assert series.last.value == 9.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TimeSeries(SeriesKey("m"), capacity=0)
+
+    def test_points_carry_both_clocks(self):
+        series = TimeSeries(SeriesKey("m"))
+        series.append(1.5, wall_time=100.0, sim_time=42.0)
+        point = series.points()[0]
+        assert point.wall_time == 100.0
+        assert point.sim_time == 42.0
+        assert point.value == 1.5
+
+    def test_key_labels(self):
+        assert SeriesKey("m").labels() == {}
+        assert SeriesKey("m", job_id=3, attempt=1).labels() == {
+            "job_id": "3",
+            "attempt": "1",
+        }
+
+    def test_to_dict_reports_drops(self):
+        series = TimeSeries(SeriesKey("m", job_id=1), capacity=2)
+        for i in range(5):
+            series.append(i, wall_time=float(i))
+        data = series.to_dict()
+        assert data["metric"] == "m"
+        assert data["job_id"] == 1
+        assert data["dropped"] == 3
+        assert [p["value"] for p in data["points"]] == [3.0, 4.0]
+
+
+class TestCollectorSampling:
+    def test_sample_sweeps_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs", 2)
+        registry.set_gauge("depth", 5)
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(registry, scope="service")
+        collector.sample()
+        assert collector.series("jobs").values() == [2.0]
+        assert collector.series("depth").values() == [5.0]
+        assert collector.samples == 1
+
+    def test_clock_stamps_sim_time(self):
+        registry = MetricsRegistry()
+        registry.increment("ticks")
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(registry, scope="run", job_id=4, clock=FakeClock(9.5))
+        collector.sample()
+        point = collector.series("ticks", job_id=4).points()[0]
+        assert point.sim_time == 9.5
+
+    def test_correlation_keeps_jobs_separate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.increment("updates", 1)
+        b.increment("updates", 9)
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(a, scope="run", job_id=1, attempt=0)
+        collector.register(b, scope="run", job_id=2, attempt=0)
+        collector.sample()
+        assert collector.series("updates", job_id=1, attempt=0).values() == [1.0]
+        assert collector.series("updates", job_id=2, attempt=0).values() == [9.0]
+
+    def test_unregister_takes_final_sample_by_default(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs", 7)
+        collector = TelemetryCollector(interval=10.0)
+        token = collector.register(registry, scope="run", job_id=3)
+        collector.unregister(token)
+        assert collector.sources == 0
+        assert collector.series("jobs", job_id=3).values() == [7.0]
+
+    def test_unregister_without_final_sample(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs", 7)
+        collector = TelemetryCollector(interval=10.0)
+        token = collector.register(registry, scope="run", job_id=3)
+        collector.unregister(token, final_sample=False)
+        assert collector.series("jobs", job_id=3) is None
+
+    def test_record_pushes_recorded_origin_series(self):
+        collector = TelemetryCollector(interval=10.0)
+        collector.record("run.l1_delta", 0.5, job_id=1, attempt=0, sim_time=2.0)
+        collector.record("run.l1_delta", 0.25, job_id=1, attempt=0, sim_time=3.0)
+        series = collector.series("run.l1_delta", job_id=1, attempt=0)
+        assert series.origin == "recorded"
+        assert series.values() == [0.5, 0.25]
+        assert [p.sim_time for p in series.points()] == [2.0, 3.0]
+
+    def test_last_values_filters_by_origin(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs", 4)
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(registry, scope="service")
+        collector.sample()
+        collector.record("run.l1_delta", 0.5, job_id=1)
+        sampled = collector.last_values(origin="sampled")
+        recorded = collector.last_values(origin="recorded")
+        assert {k.metric for k in sampled} == {"jobs"}
+        assert {k.metric for k in recorded} == {"run.l1_delta"}
+        assert len(collector.last_values()) == 2
+
+    def test_series_keys_sorted_by_metric(self):
+        collector = TelemetryCollector(interval=10.0)
+        collector.record("z", 1)
+        collector.record("a", 1)
+        collector.record("a", 1, job_id=2)
+        assert [(k.metric, k.job_id) for k in collector.series_keys()] == [
+            ("a", None),
+            ("a", 2),
+            ("z", None),
+        ]
+
+    def test_registered_snapshots_expose_labels(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs")
+        collector = TelemetryCollector(interval=10.0)
+        collector.register(registry, scope="run", job_id=5, attempt=2)
+        [(labels, snapshot)] = collector.registered_snapshots()
+        assert labels == {"scope": "run", "job_id": "5", "attempt": "2"}
+        assert snapshot["counters"]["jobs"] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryCollector(interval=0)
+        with pytest.raises(ValueError):
+            TelemetryCollector(series_capacity=0)
+
+
+class TestBackgroundSampler:
+    def test_background_thread_samples_until_stopped(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs")
+        collector = TelemetryCollector(interval=0.01)
+        collector.register(registry, scope="service")
+        collector.start()
+        assert collector.running
+        deadline = time.time() + 5.0
+        while collector.samples < 3 and time.time() < deadline:
+            time.sleep(0.01)
+        collector.stop()
+        assert not collector.running
+        assert collector.samples >= 3
+        assert len(collector.series("jobs")) >= 3
+
+    def test_start_is_idempotent(self):
+        collector = TelemetryCollector(interval=0.01)
+        collector.start()
+        collector.start()
+        collector.stop()
+
+    def test_context_manager_runs_sampler(self):
+        registry = MetricsRegistry()
+        registry.increment("jobs")
+        with TelemetryCollector(interval=0.01) as collector:
+            collector.register(registry, scope="service")
+            assert collector.running
+        assert not collector.running
+        # stop() takes a final sweep, so the series exists even if the
+        # background thread never got a turn.
+        assert collector.series("jobs") is not None
+
+
+class TestRunTelemetry:
+    def _bundle(self):
+        collector = TelemetryCollector(interval=10.0)
+        log = TelemetryLog()
+        monitor = ConvergenceMonitor("pr", job_id=1, attempt=0, log=log)
+        return RunTelemetry(
+            collector=collector, monitor=monitor, log=log, job_id=1, attempt=0
+        )
+
+    def test_bind_runtime_registers_run_registry(self):
+        telemetry = self._bundle()
+        metrics = MetricsRegistry()
+        events = EventLog()
+        telemetry.bind_runtime(metrics, FakeClock(), events, job="pr")
+        assert telemetry.collector.sources == 1
+        telemetry.close()
+        assert telemetry.collector.sources == 0
+
+    def test_engine_events_forwarded_with_correlation(self):
+        telemetry = self._bundle()
+        events = EventLog()
+        telemetry.bind_runtime(MetricsRegistry(), FakeClock(), events, job="pr")
+        events.record(EventKind.SUPERSTEP_STARTED, time=1.5, superstep=0)
+        forwarded = telemetry.log.of_kind("engine.superstep_started")
+        assert len(forwarded) == 1
+        assert forwarded[0].level == "debug"
+        assert forwarded[0].job_id == 1
+        assert forwarded[0].attempt == 0
+        assert forwarded[0].superstep == 0
+        assert forwarded[0].sim_time == 1.5
+
+    def test_close_stops_event_forwarding(self):
+        telemetry = self._bundle()
+        events = EventLog()
+        telemetry.bind_runtime(MetricsRegistry(), FakeClock(), events, job="pr")
+        telemetry.close()
+        events.record(EventKind.SUPERSTEP_STARTED, time=1.0, superstep=0)
+        assert telemetry.log.of_kind("engine.superstep_started") == []
+
+    def test_on_superstep_records_run_series_and_feeds_monitor(self):
+        telemetry = self._bundle()
+        telemetry.bind_runtime(MetricsRegistry(), FakeClock(), EventLog(), job="pr")
+        telemetry.on_superstep(run_stats(0, l1=0.5, workset=8, updates=3, messages=12))
+        telemetry.on_superstep(run_stats(1, l1=0.25, workset=4, updates=2, messages=6))
+        collector = telemetry.collector
+        assert collector.series("run.l1_delta", 1, 0).values() == [0.5, 0.25]
+        assert collector.series("run.workset_size", 1, 0).values() == [8.0, 4.0]
+        assert collector.series("run.updates", 1, 0).values() == [3.0, 2.0]
+        assert collector.series("run.messages", 1, 0).values() == [12.0, 6.0]
+        assert [p.sim_time for p in collector.series("run.l1_delta", 1, 0).points()] == [
+            1.0,
+            2.0,
+        ]
+        assert telemetry.monitor.snapshot()["superstep"] == 1
+
+    def test_set_target_feeds_eta_estimator(self):
+        telemetry = self._bundle()
+        telemetry.set_target(1e-3)
+        assert telemetry.monitor.target == 1e-3
+        telemetry.set_target(None)  # never clobbers with None
+        assert telemetry.monitor.target == 1e-3
+
+    def test_close_is_idempotent(self):
+        telemetry = self._bundle()
+        telemetry.bind_runtime(MetricsRegistry(), FakeClock(), EventLog(), job="pr")
+        telemetry.close()
+        telemetry.close()
+
+    def test_bundle_with_no_sinks_is_inert(self):
+        telemetry = RunTelemetry()
+        telemetry.bind_runtime(MetricsRegistry(), FakeClock(), EventLog())
+        telemetry.on_superstep(run_stats(0))
+        telemetry.set_target(1e-3)
+        telemetry.close()

@@ -1,0 +1,196 @@
+"""Tests for the bounded, level-tagged telemetry event log."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.observability.telemetry_log import (
+    LEVELS,
+    TelemetryEvent,
+    TelemetryLog,
+    sanitize_json_value,
+)
+
+
+class TestSanitizeJsonValue:
+    def test_nan_becomes_null(self):
+        assert sanitize_json_value(float("nan")) is None
+
+    def test_infinities_become_strings(self):
+        assert sanitize_json_value(float("inf")) == "inf"
+        assert sanitize_json_value(float("-inf")) == "-inf"
+
+    def test_finite_values_pass_through(self):
+        assert sanitize_json_value(1.5) == 1.5
+        assert sanitize_json_value(3) == 3
+        assert sanitize_json_value("x") == "x"
+        assert sanitize_json_value(True) is True
+        assert sanitize_json_value(None) is None
+
+    def test_recurses_into_containers(self):
+        value = {"a": [1.0, float("nan")], "b": {"c": float("inf")}}
+        assert sanitize_json_value(value) == {"a": [1.0, None], "b": {"c": "inf"}}
+
+    def test_unknown_types_degrade_to_str(self):
+        class Exotic:
+            def __repr__(self):
+                return "<exotic>"
+
+        assert sanitize_json_value(Exotic()) == "<exotic>"
+
+    def test_result_is_strict_json(self):
+        payload = sanitize_json_value(
+            {"nan": float("nan"), "inf": float("inf"), "list": [float("-inf")]}
+        )
+        # json.dumps with allow_nan=False rejects bare NaN/Infinity tokens.
+        json.dumps(payload, allow_nan=False)
+
+
+class TestEmission:
+    def test_emit_records_correlated_entry(self):
+        log = TelemetryLog()
+        event = log.emit(
+            "stall", "warning", job_id=17, attempt=1, superstep=9, sim_time=4.5, k=3
+        )
+        assert event.kind == "stall"
+        assert event.level == "warning"
+        assert event.job_id == 17
+        assert event.attempt == 1
+        assert event.superstep == 9
+        assert event.details == {"k": 3}
+        assert log.events() == [event]
+
+    def test_emit_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            TelemetryLog().emit("x", "loud")
+
+    def test_min_level_suppresses_and_counts(self):
+        log = TelemetryLog(min_level="warning")
+        log.emit("noise", "debug")
+        log.emit("info", "info")
+        log.emit("real", "warning")
+        assert [e.kind for e in log.events()] == ["real"]
+        assert log.suppressed == 2
+        assert log.emitted == 1
+
+    def test_levels_are_ordered(self):
+        assert LEVELS == ("debug", "info", "warning", "error")
+
+
+class TestBoundedRing:
+    def test_small_capacity_keeps_newest_and_counts_drops(self):
+        # Regression: the ring must hold exactly `capacity` newest events
+        # and the drop counter must account for every evicted one.
+        log = TelemetryLog(capacity=3)
+        for i in range(10):
+            log.emit(f"e{i}")
+        assert [e.kind for e in log.events()] == ["e7", "e8", "e9"]
+        assert len(log) == 3
+        assert log.dropped == 7
+        assert log.emitted == 10
+
+    def test_capacity_one(self):
+        log = TelemetryLog(capacity=1)
+        log.emit("a")
+        log.emit("b")
+        assert [e.kind for e in log.events()] == ["b"]
+        assert log.dropped == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryLog(capacity=0)
+
+    def test_unbounded_never_drops(self):
+        log = TelemetryLog(capacity=None)
+        for i in range(100):
+            log.emit(f"e{i}")
+        assert len(log) == 100
+        assert log.dropped == 0
+
+
+class TestFilters:
+    def test_filter_by_kind_level_and_job(self):
+        log = TelemetryLog()
+        log.emit("a", "debug", job_id=1)
+        log.emit("b", "warning", job_id=1)
+        log.emit("a", "error", job_id=2)
+        assert [e.job_id for e in log.of_kind("a")] == [1, 2]
+        assert [e.kind for e in log.events(min_level="warning")] == ["b", "a"]
+        assert [e.kind for e in log.events(job_id=1)] == ["a", "b"]
+        assert [e.kind for e in log.events(kind="a", min_level="error")] == ["a"]
+
+
+class TestStreaming:
+    def test_streams_jsonl_and_survives_ring_eviction(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryLog(capacity=2, path=path) as log:
+            for i in range(6):
+                log.emit(f"e{i}", job_id=i)
+        # The ring kept 2; the stream kept everything.
+        assert len(log) == 2
+        loaded = TelemetryLog.read_jsonl(path)
+        assert [e.kind for e in loaded] == [f"e{i}" for i in range(6)]
+        assert [e.job_id for e in loaded] == list(range(6))
+
+    def test_streamed_entries_are_strict_json(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryLog(path=path) as log:
+            log.emit("weird", value=float("nan"), hi=float("inf"))
+        raw = path.read_text()
+        assert "NaN" not in raw and "Infinity" not in raw
+        entry = json.loads(raw.strip())
+        assert entry["details"] == {"value": None, "hi": "inf"}
+
+    def test_round_trip_preserves_fields(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TelemetryLog(path=path) as log:
+            original = log.emit(
+                "stall", "warning", job_id=3, attempt=1, superstep=7, sim_time=2.5
+            )
+        loaded = TelemetryLog.read_jsonl(path)[0]
+        assert loaded.kind == original.kind
+        assert loaded.level == original.level
+        assert loaded.job_id == original.job_id
+        assert loaded.attempt == original.attempt
+        assert loaded.superstep == original.superstep
+        assert loaded.sim_time == original.sim_time
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = TelemetryLog(path=tmp_path / "t.jsonl")
+        log.emit("x")
+        log.close()
+        log.close()
+
+
+class TestThreadSafety:
+    def test_concurrent_emitters_lose_nothing(self):
+        log = TelemetryLog(capacity=None)
+        n, threads = 200, 8
+
+        def emitter(tid):
+            for i in range(n):
+                log.emit("tick", job_id=tid, i=i)
+
+        workers = [threading.Thread(target=emitter, args=(t,)) for t in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert log.emitted == n * threads
+        assert len(log) == n * threads
+
+
+class TestEventDict:
+    def test_to_dict_sanitizes(self):
+        event = TelemetryEvent(
+            wall_time=1.0, level="info", kind="x", details={"v": float("nan")}
+        )
+        data = event.to_dict()
+        assert data["details"]["v"] is None
+        assert not math.isnan(data["wall_time"])
+
+    def test_from_dict_round_trip(self):
+        event = TelemetryEvent(wall_time=2.0, level="error", kind="boom", job_id=4)
+        assert TelemetryEvent.from_dict(event.to_dict()) == event

@@ -140,3 +140,63 @@ class TestEventLogJsonl:
         path = _log_with_samples().to_jsonl(tmp_path / "events.jsonl")
         path.write_text(path.read_text() + "\n\n")
         assert len(EventLog.from_jsonl(path)) == 5
+
+
+class TestBoundedCapacity:
+    def test_small_capacity_keeps_newest_and_counts_drops(self):
+        # Regression for the bounded ring: a long-lived service must not
+        # accumulate unbounded engine events.
+        log = EventLog(capacity=3)
+        for i in range(8):
+            log.record(EventKind.SUPERSTEP_STARTED, time=float(i), superstep=i)
+        assert len(log) == 3
+        assert [e.superstep for e in log] == [5, 6, 7]
+        assert log.dropped == 5
+        assert log.recorded == 8
+
+    def test_unbounded_by_default(self):
+        log = EventLog()
+        for i in range(100):
+            log.record(EventKind.SUPERSTEP_STARTED, time=float(i), superstep=i)
+        assert len(log) == 100
+        assert log.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        from repro.config import ConfigError
+
+        with pytest.raises(ConfigError):
+            EventLog(capacity=0)
+
+    def test_clear_resets_counters(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.record(EventKind.SUPERSTEP_STARTED, time=float(i), superstep=i)
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+        assert log.recorded == 0
+
+
+class TestSubscribers:
+    def test_listener_sees_every_event_despite_eviction(self):
+        log = EventLog(capacity=2)
+        seen = []
+        log.subscribe(seen.append)
+        for i in range(6):
+            log.record(EventKind.SUPERSTEP_STARTED, time=float(i), superstep=i)
+        assert [e.superstep for e in seen] == list(range(6))
+        assert len(log) == 2
+
+    def test_unsubscribe_stops_delivery(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.record(EventKind.SUPERSTEP_STARTED, time=0.0, superstep=0)
+        log.unsubscribe(seen.append)
+        log.record(EventKind.SUPERSTEP_STARTED, time=1.0, superstep=1)
+        assert [e.superstep for e in seen] == [0]
+
+    def test_unsubscribe_unknown_listener_is_noop(self):
+        EventLog().unsubscribe(lambda e: None)

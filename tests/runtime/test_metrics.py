@@ -1,5 +1,7 @@
 """Tests for counters and per-superstep statistics."""
 
+import time
+
 import pytest
 
 from repro.runtime.metrics import IterationStats, MetricsRegistry, StatsSeries
@@ -112,3 +114,91 @@ class TestStatsSeries:
 
     def test_indexing(self):
         assert self._series()[1].failed
+
+
+class TestConcurrentSnapshots:
+    """Registry atomicity under sampler-style concurrent load.
+
+    Loops are bounded (no spin-until-event) so a lock convoy between a
+    tight sampling loop and the writers can never hang the suite.
+    """
+
+    def test_snapshot_all_never_tears_under_load(self):
+        # Writers keep a counter and a gauge in lockstep under the
+        # registry lock; every atomic snapshot must therefore see
+        # counter == gauge. A torn read (families copied under separate
+        # lock acquisitions) shows up as a mismatch.
+        import threading
+
+        registry = MetricsRegistry()
+        registry.set_gauge("service.progress", 0)
+        writers, increments = 4, 500
+
+        def writer():
+            for _ in range(increments):
+                with registry._lock:
+                    value = registry._counters.get("service.progress", 0) + 1
+                    registry._counters["service.progress"] = value
+                    registry._gauges["service.progress"] = value
+
+        writer_threads = [threading.Thread(target=writer) for _ in range(writers)]
+        for t in writer_threads:
+            t.start()
+        torn = []
+        while any(t.is_alive() for t in writer_threads):
+            snap = registry.snapshot_all(include_histograms=False)
+            if snap["counters"].get("service.progress", 0) != snap["gauges"].get(
+                "service.progress", 0
+            ):
+                torn.append(snap)
+            time.sleep(0.0005)  # yield so writers are never starved
+        for t in writer_threads:
+            t.join()
+        assert torn == []
+        assert registry.get("service.progress") == writers * increments
+
+    def test_concurrent_writers_lose_no_updates(self):
+        # 8 threads x 300 updates, like a busy 50-job service burst: the
+        # final snapshot must account for every increment/observation.
+        import threading
+
+        registry = MetricsRegistry()
+        threads, per_thread = 8, 300
+
+        def worker(tid):
+            for i in range(per_thread):
+                registry.increment("jobs")
+                registry.observe("latency", float(i))
+                registry.set_gauge(f"w{tid}", i)
+
+        workers = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        snap = registry.snapshot_all()
+        assert snap["counters"]["jobs"] == threads * per_thread
+        assert len(snap["histograms"]["latency"]) == threads * per_thread
+        assert registry.histogram_summaries()["latency"].count == threads * per_thread
+
+    def test_histogram_summaries_safe_while_observing(self):
+        # Summaries copy the raw lists under the lock, so a summary taken
+        # mid-append must still be internally consistent.
+        import threading
+
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+
+        def observer():
+            for _ in range(2000):
+                registry.observe("h", 1.0)
+
+        thread = threading.Thread(target=observer)
+        thread.start()
+        try:
+            for _ in range(100):
+                summary = registry.histogram_summaries()["h"]
+                assert summary.total == summary.count * 1.0
+                time.sleep(0.0002)
+        finally:
+            thread.join()
