@@ -1,0 +1,212 @@
+"""A9/S8 — confined recovery: pay for the lost partitions, not the job.
+
+Confined recovery logs outgoing messages while failure-free and, after a
+failure, restores and replays *only* the lost partitions — survivors keep
+their state. Two claims to pin, both at 8-way parallelism (the "S8"
+sweep):
+
+* the failure-free tax (message log + periodic snapshots) is bounded —
+  a small fraction of the run, and no worse than eager checkpointing
+  for the delta iteration;
+* the per-failure bill (restore I/O + replay) scales with the number of
+  lost partitions, so losing 1 of 8 costs measurably less than a
+  checkpoint rollback (which restores all partitions and re-executes)
+  or full optimistic compensation (which pays wash-out supersteps).
+"""
+
+import pytest
+
+from repro.algorithms import (
+    connected_components,
+    exact_connected_components,
+    exact_pagerank,
+    pagerank,
+)
+from repro.analysis import Table
+from repro.config import EngineConfig
+from repro.core import CheckpointRecovery
+from repro.core.confined import ConfinedRecovery
+from repro.graph import twitter_like_graph
+from repro.runtime import FailureSchedule
+
+from .conftest import run_once
+
+CONFIG = EngineConfig(parallelism=8, spare_workers=16)
+GRAPH_SIZE = 600
+
+
+def _recovery_bill(result):
+    """The failure-time cost confined recovery actually pays."""
+    breakdown = result.cost_breakdown()
+    return breakdown.get("restore_io", 0.0) + breakdown.get("replay", 0.0)
+
+
+def _overhead_row(name, result, baseline):
+    breakdown = result.cost_breakdown()
+    return (
+        name,
+        result.supersteps,
+        result.sim_time,
+        breakdown.get("log_io", 0.0),
+        breakdown.get("checkpoint_io", 0.0),
+        result.sim_time - baseline.sim_time,
+    )
+
+
+def test_a9_confined_failure_free_overhead(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+
+    def run_all():
+        runs = {}
+        for algo, factory in (
+            ("cc", lambda: connected_components(graph)),
+            ("pagerank", lambda: pagerank(graph, max_supersteps=500)),
+        ):
+            job = factory()
+            runs[(algo, "baseline")] = job.run(
+                config=CONFIG, recovery=job.optimistic()
+            )
+            runs[(algo, "confined")] = factory().run(
+                config=CONFIG, recovery=ConfinedRecovery()
+            )
+            runs[(algo, "checkpoint(k=2)")] = factory().run(
+                config=CONFIG, recovery=CheckpointRecovery(interval=2)
+            )
+        return runs
+
+    runs = run_once(benchmark, run_all)
+    table = Table(
+        ["algorithm / strategy", "supersteps", "sim time", "log io", "ckpt io", "overhead"],
+        title="A9 — failure-free overhead of confined logging, 8-way",
+    )
+    for algo in ("cc", "pagerank"):
+        baseline = runs[(algo, "baseline")]
+        for name in ("baseline", "confined", "checkpoint(k=2)"):
+            table.add_row(*_overhead_row(f"{algo} / {name}", runs[(algo, name)], baseline))
+    report(str(table))
+
+    for algo in ("cc", "pagerank"):
+        baseline = runs[(algo, "baseline")]
+        confined = runs[(algo, "confined")]
+        # logging never changes the computation itself
+        assert confined.supersteps == baseline.supersteps
+        assert sorted(confined.final_records) == sorted(baseline.final_records)
+        # the log tax is bounded: a small fraction of the failure-free run
+        overhead = confined.sim_time - baseline.sim_time
+        assert overhead < 0.15 * baseline.sim_time
+    # for the delta iteration the shrinking workset keeps the message log
+    # cheaper than eagerly checkpointing full state every other superstep
+    cc_confined = runs[("cc", "confined")].sim_time
+    cc_checkpoint = runs[("cc", "checkpoint(k=2)")].sim_time
+    assert cc_confined < cc_checkpoint
+
+
+def test_s8_recovery_cost_scales_with_lost_partitions(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+
+    def run_sweep():
+        outcomes = {}
+        for extent in (1, 2, 4, 8):
+            outcomes[extent] = connected_components(graph).run(
+                config=CONFIG,
+                recovery=ConfinedRecovery(),
+                failures=FailureSchedule.single(3, list(range(extent))),
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, run_sweep)
+    truth = exact_connected_components(graph)
+    table = Table(
+        ["partitions lost", "supersteps", "restore io", "replay", "recovery bill"],
+        title="S8 — confined recovery bill vs lost partitions (CC, failure at superstep 3)",
+    )
+    bills = []
+    for extent, result in outcomes.items():
+        assert result.final_dict == truth
+        bills.append(_recovery_bill(result))
+        breakdown = result.cost_breakdown()
+        table.add_row(
+            extent,
+            result.supersteps,
+            breakdown.get("restore_io", 0.0),
+            breakdown.get("replay", 0.0),
+            bills[-1],
+        )
+    report(str(table))
+    # the bill grows with the number of lost partitions...
+    assert bills == sorted(bills)
+    # ...and roughly proportionally: 1 of 8 costs well under a quarter of
+    # losing everything
+    assert bills[0] < bills[-1] / 4
+
+
+def test_s8_one_of_eight_beats_rollback_and_compensation(benchmark, report):
+    graph = twitter_like_graph(GRAPH_SIZE, seed=7)
+    scenarios = (
+        ("cc", lambda: connected_components(graph), 3),
+        ("pagerank", lambda: pagerank(graph, max_supersteps=500), 10),
+    )
+
+    def run_matrix():
+        results = {}
+        for algo, factory, failure_superstep in scenarios:
+            schedule = FailureSchedule.single(failure_superstep, [1])
+            free = factory()
+            results[(algo, "failure-free")] = free.run(
+                config=CONFIG, recovery=free.optimistic()
+            )
+            results[(algo, "confined")] = factory().run(
+                config=CONFIG, recovery=ConfinedRecovery(), failures=schedule
+            )
+            results[(algo, "checkpoint(k=2)")] = factory().run(
+                config=CONFIG,
+                recovery=CheckpointRecovery(interval=2),
+                failures=schedule,
+            )
+            job = factory()
+            results[(algo, "optimistic")] = job.run(
+                config=CONFIG, recovery=job.optimistic(), failures=schedule
+            )
+        return results
+
+    results = run_once(benchmark, run_matrix)
+    table = Table(
+        ["algorithm / strategy", "supersteps", "sim time", "restore io", "replay", "compensation"],
+        title="S8 — losing 1 of 8 partitions, confined vs rollback vs compensation",
+    )
+    for algo, _, _ in scenarios:
+        for name in ("failure-free", "confined", "checkpoint(k=2)", "optimistic"):
+            result = results[(algo, name)]
+            breakdown = result.cost_breakdown()
+            table.add_row(
+                f"{algo} / {name}",
+                result.supersteps,
+                result.sim_time,
+                breakdown.get("restore_io", 0.0),
+                breakdown.get("replay", 0.0),
+                breakdown.get("compensation", 0.0),
+            )
+    report(str(table))
+
+    cc_truth = exact_connected_components(graph)
+    pr_truth = exact_pagerank(graph)
+    for (algo, _name), result in results.items():
+        assert result.converged
+        if algo == "cc":
+            assert result.final_dict == cc_truth
+        else:
+            for vertex, rank in result.final_dict.items():
+                assert rank == pytest.approx(pr_truth[vertex], abs=1e-6)
+
+    for algo, _, _ in scenarios:
+        confined = results[(algo, "confined")]
+        # exact replay: no extra supersteps over the failure-free run
+        assert confined.supersteps == results[(algo, "failure-free")].supersteps
+        # measurably cheaper than restoring everything or compensating
+        assert confined.sim_time < results[(algo, "checkpoint(k=2)")].sim_time
+        assert confined.sim_time < results[(algo, "optimistic")].sim_time
+        # the confined bill restores 1/8 of the state; rollback restores all
+        rollback_restore = results[(algo, "checkpoint(k=2)")].cost_breakdown()[
+            "restore_io"
+        ]
+        assert confined.cost_breakdown()["restore_io"] < rollback_restore / 4

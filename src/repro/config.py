@@ -17,6 +17,18 @@ from .errors import ConfigError
 #: intra-job partition-execution backends (see :mod:`repro.runtime.parallel`).
 PARALLEL_BACKENDS = ("serial", "threads", "processes")
 
+#: recovery strategy names accepted by ``EngineConfig.recovery``, the service
+#: and the CLI ``--strategy`` flag (see :func:`repro.core.build_strategy`).
+RECOVERY_STRATEGIES = (
+    "restart",
+    "lineage",
+    "checkpoint",
+    "incremental",
+    "optimistic",
+    "confined",
+    "adaptive",
+)
+
 
 def _env_parallel_backend() -> str:
     """Default backend, overridable via ``REPRO_PARALLEL_BACKEND``.
@@ -63,6 +75,12 @@ class CostModel:
             worker to replace a failed one.
         compensation_per_record: cost of running the compensation function
             over one record of state.
+        log_per_record: cost of appending one outgoing record to the
+            confined-recovery message log on the shuffle path (a local
+            sequential append — far below the network cost of moving the
+            record itself).
+        replay_per_record: cost of replaying one logged record into a
+            lost partition during confined recovery.
     """
 
     cpu_per_record: float = 1.0e-6
@@ -72,6 +90,8 @@ class CostModel:
     failure_detection: float = 0.5
     worker_acquisition: float = 2.0
     compensation_per_record: float = 1.0e-6
+    log_per_record: float = 2.5e-7
+    replay_per_record: float = 1.0e-6
 
     def validate(self) -> None:
         for name in (
@@ -82,6 +102,8 @@ class CostModel:
             "failure_detection",
             "worker_acquisition",
             "compensation_per_record",
+            "log_per_record",
+            "replay_per_record",
         ):
             value = getattr(self, name)
             if value < 0:
@@ -140,6 +162,14 @@ class EngineConfig:
             ``None`` uses :func:`repro.runtime.parallel.default_parallel_workers`
             (cores, capped at 8). Defaults to ``$REPRO_PARALLEL_WORKERS``
             when set.
+        recovery: default recovery strategy name for drivers that were
+            not handed an explicit strategy object (one of
+            ``RECOVERY_STRATEGIES``, or ``None`` for the historical
+            restart default). ``"optimistic"``/``"adaptive"`` resolve
+            with the job's compensation function when run through a
+            :class:`repro.algorithms.base.BulkJob`/``DeltaJob``;
+            ``"optimistic"`` without a compensation function raises
+            :class:`repro.errors.ConfigError` at run start.
         event_log_capacity: bound on the per-run engine
             :class:`repro.runtime.events.EventLog` ring buffer (``None``
             = unbounded, the historical behavior). Long-running services
@@ -159,6 +189,7 @@ class EngineConfig:
     execution_cache: str = "transparent"
     parallel_backend: str = field(default_factory=_env_parallel_backend)
     parallel_workers: int | None = field(default_factory=_env_parallel_workers)
+    recovery: str | None = None
     event_log_capacity: int | None = None
 
     def __post_init__(self) -> None:
@@ -193,6 +224,11 @@ class EngineConfig:
             raise ConfigError(
                 f"parallel_workers must be >= 1 or None, got {self.parallel_workers}"
             )
+        if self.recovery is not None and self.recovery not in RECOVERY_STRATEGIES:
+            raise ConfigError(
+                f"recovery must be one of {RECOVERY_STRATEGIES} or None, "
+                f"got {self.recovery!r}"
+            )
         if self.event_log_capacity is not None and self.event_log_capacity < 1:
             raise ConfigError(
                 f"event_log_capacity must be >= 1 or None, got {self.event_log_capacity}"
@@ -225,6 +261,10 @@ class EngineConfig:
     ) -> "EngineConfig":
         """Return a copy with a different intra-job execution backend."""
         return replace(self, parallel_backend=backend, parallel_workers=workers)
+
+    def with_recovery(self, recovery: str | None) -> "EngineConfig":
+        """Return a copy with a different default recovery strategy name."""
+        return replace(self, recovery=recovery)
 
 
 DEFAULT_CONFIG = EngineConfig()
@@ -338,6 +378,10 @@ class ServiceConfig:
             oversubscribe the machine.
         telemetry: the live telemetry layer's knobs (collector sampling,
             ring capacities, stall/divergence thresholds, JSONL path).
+        default_recovery: recovery strategy name applied to submitted
+            jobs that did not pick one themselves (``JobSpec.recovery is
+            None``); ``None`` leaves such jobs on the per-spec default.
+            One of ``RECOVERY_STRATEGIES``.
     """
 
     pool_size: int = 4
@@ -348,6 +392,7 @@ class ServiceConfig:
     trace_jobs: bool = True
     core_budget: int | None = None
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    default_recovery: str | None = None
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -370,6 +415,14 @@ class ServiceConfig:
         if self.core_budget is not None and self.core_budget < 1:
             raise ConfigError(
                 f"core_budget must be >= 1 or None, got {self.core_budget}"
+            )
+        if (
+            self.default_recovery is not None
+            and self.default_recovery not in RECOVERY_STRATEGIES
+        ):
+            raise ConfigError(
+                f"default_recovery must be one of {RECOVERY_STRATEGIES} or None, "
+                f"got {self.default_recovery!r}"
             )
 
 

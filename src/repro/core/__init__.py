@@ -14,11 +14,20 @@ This package implements the fault-tolerance layer of the reproduction:
   and lineage-based recovery, which §2.2 argues degenerates to a restart
   for iterative jobs with all-to-all dependencies;
 * :mod:`repro.core.guarantees` — consistency invariants compensation
-  functions must uphold, checked after every compensation.
+  functions must uphold, checked after every compensation;
+* :mod:`repro.core.confined` — confined recovery: a bounded message log
+  on the shuffle path so only the *lost* partitions are rebuilt, from
+  local snapshots plus survivor log replay;
+* :mod:`repro.core.adaptive` — the adaptive selector that picks
+  restart/checkpoint/optimistic/confined per job from a cost model;
+* :mod:`repro.core.strategies` — the strategy-name registry behind
+  ``EngineConfig.recovery``, the service and the CLI ``--strategy`` flag.
 """
 
+from .adaptive import AdaptiveRecovery, WorkloadObservation, select_strategy
 from .checkpointing import CheckpointRecovery
 from .compensation import CompensationContext, CompensationFunction
+from .confined import ConfinedRecovery, MessageLog
 from .guarantees import (
     KeySetPreserved,
     MassConservation,
@@ -31,22 +40,31 @@ from .incremental import IncrementalCheckpointRecovery
 from .optimistic import OptimisticRecovery
 from .recovery import RecoveryContext, RecoveryOutcome, RecoveryStrategy
 from .restart import LineageRecovery, RestartRecovery
+from .strategies import STRATEGY_NAMES, build_strategy, resolve_recovery
 
 __all__ = [
+    "AdaptiveRecovery",
     "CheckpointRecovery",
     "CompensationContext",
     "CompensationFunction",
+    "ConfinedRecovery",
     "IncrementalCheckpointRecovery",
     "KeySetPreserved",
     "LineageRecovery",
     "MassConservation",
+    "MessageLog",
     "OptimisticRecovery",
     "PartitionPlacement",
     "RecoveryContext",
     "RecoveryOutcome",
     "RecoveryStrategy",
     "RestartRecovery",
+    "STRATEGY_NAMES",
     "StateInvariant",
     "ValuesFromInitial",
+    "WorkloadObservation",
+    "build_strategy",
     "check_invariants",
+    "resolve_recovery",
+    "select_strategy",
 ]

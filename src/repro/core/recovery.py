@@ -108,6 +108,11 @@ class RecoveryOutcome:
         rolled_back_to: superstep of the checkpoint that was restored, or
             ``None``.
         compensated: a compensation function re-initialized the state.
+        healed_partitions: when recovery was *confined*, the ids of the
+            partitions that were rebuilt — survivors kept their state
+            untouched, so the delta driver reinstalls only these
+            partitions into its state backend instead of rebuilding every
+            index. ``None`` for global strategies.
     """
 
     state: PartitionedDataset
@@ -115,6 +120,7 @@ class RecoveryOutcome:
     restarted: bool = False
     rolled_back_to: int | None = None
     compensated: bool = False
+    healed_partitions: list[int] | None = None
 
 
 class RecoveryStrategy(ABC):
@@ -123,8 +129,29 @@ class RecoveryStrategy(ABC):
     #: short identifier used in reports and event payloads.
     name: str = "abstract"
 
+    #: when True, the driver calls :meth:`capture_preloss` with the
+    #: computed post-superstep state *before* marking partitions lost —
+    #: confined recovery uses this as its deterministic replay oracle.
+    needs_preloss_capture: bool = False
+
     def on_start(self, ctx: RecoveryContext) -> None:
         """Called once before superstep 0."""
+
+    def capture_preloss(
+        self,
+        superstep: int,
+        state: PartitionedDataset,
+        workset: PartitionedDataset | None,
+        lost_partitions: list[int],
+    ) -> None:
+        """Called just before the driver destroys ``lost_partitions``.
+
+        ``state``/``workset`` still hold the complete superstep result the
+        failure is about to wipe; strategies that replay survivors' logged
+        messages forward capture the lost partitions' contents here — the
+        simulator's stand-in for the value a deterministic replay would
+        recompute. Default: no-op.
+        """
 
     def on_superstep_committed(
         self,

@@ -5,7 +5,9 @@ booth: pick the algorithm tab, pick the graph, schedule failures, press
 play, and look at the state renderings and statistics plots::
 
     python -m repro.demo --algorithm connected-components --graph small \
-        --fail 2:0 --recovery optimistic --states --plots
+        --fail 2:0 --strategy optimistic --states --plots
+
+    python -m repro.demo --algorithm pagerank --fail 3:1 --strategy confined
 
     python -m repro.demo --algorithm pagerank --graph twitter --size 500 \
         --fail 4:1 --fail 9:0,2 --plots
@@ -54,6 +56,24 @@ FAILURE_USAGE = (
     "failure specs are SUPERSTEP:P1[,P2,...] with numeric superstep and "
     "partition ids, e.g. --fail 2:0 or --fail 4:1,3"
 )
+
+#: the usage hint shown for unknown --strategy names.
+STRATEGY_USAGE = (
+    "valid strategies are " + ", ".join(RECOVERIES) + "; "
+    "e.g. --strategy confined or --strategy adaptive"
+)
+
+
+def _check_strategy(name: str) -> None:
+    """Reject unknown recovery strategy names with a usage error.
+
+    Mirrors the ``--fail`` convention: a :class:`repro.errors.ConfigError`
+    carrying a usage hint, which the CLI turns into exit code 2.
+    """
+    if name not in RECOVERIES:
+        raise ConfigError(
+            f"unknown recovery strategy {name!r}\nhint: {STRATEGY_USAGE}"
+        )
 
 
 def _parse_failure(text: str) -> tuple[int, list[int]]:
@@ -144,10 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail partitions at a superstep, e.g. --fail 2:0 --fail 5:1,3",
     )
     parser.add_argument(
+        "--strategy",
         "--recovery",
-        choices=RECOVERIES,
+        dest="strategy",
         default="optimistic",
-        help="recovery strategy (default: optimistic)",
+        metavar="NAME",
+        help="recovery strategy: " + ", ".join(RECOVERIES) + " "
+        "(default: optimistic; confined replays only the lost partitions, "
+        "adaptive picks a strategy from the job's failure profile)",
     )
     parser.add_argument(
         "--checkpoint-interval",
@@ -187,7 +211,8 @@ def build_profile_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-demo profile",
         description="Attribute a recorded trace's simulated time to "
-        "recovery-cost categories",
+        "recovery-cost categories (compute, shuffle, checkpoint, rollback, "
+        "compensation, restart, plus confined recovery's log and replay)",
     )
     parser.add_argument("trace", help="JSONL trace written with --trace-out")
     add_parallel_arguments(parser)
@@ -256,6 +281,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="probability a job gets injected partition failures (default: 0.4)",
     )
     parser.add_argument(
+        "--strategy",
+        default="optimistic",
+        metavar="NAME",
+        help="recovery strategy stamped onto every generated job: "
+        + ", ".join(RECOVERIES)
+        + " (default: optimistic)",
+    )
+    parser.add_argument(
         "--per-job",
         action="store_true",
         help="also print one line per terminal job",
@@ -322,6 +355,7 @@ def serve_main(argv: Sequence[str]) -> int:
     args = build_serve_parser().parse_args(argv)
     try:
         _check_parallel_workers(args.parallel_workers)
+        _check_strategy(args.strategy)
         if args.status_interval is not None and args.status_interval <= 0:
             raise ConfigError(
                 f"status-interval must be > 0, got {args.status_interval}"
@@ -332,6 +366,7 @@ def serve_main(argv: Sequence[str]) -> int:
                 seed=args.seed,
                 cc_fraction=args.cc_fraction,
                 failure_density=args.failure_density,
+                recovery=args.strategy,
                 parallel_backend=args.parallel_backend,
                 parallel_workers=args.parallel_workers,
             )
@@ -350,6 +385,7 @@ def serve_main(argv: Sequence[str]) -> int:
             queue_capacity=args.queue_capacity,
             backpressure=args.backpressure,
             core_budget=args.core_budget,
+            default_recovery=args.strategy,
             telemetry=telemetry_config,
         )
     except ConfigError as error:
@@ -459,6 +495,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     tracer = RecordingTracer() if args.trace_out else None
     try:
+        _check_strategy(args.strategy)
         failures = [_parse_failure(text) for text in args.failures]
         session = DemoSession(
             algorithm=args.algorithm,
@@ -477,7 +514,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     try:
         run = session.press_play(
-            recovery=args.recovery,
+            recovery=args.strategy,
             checkpoint_interval=args.checkpoint_interval,
             tracer=tracer,
         )
@@ -501,7 +538,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 meta={
                     "algorithm": args.algorithm,
                     "graph": args.graph,
-                    "recovery": args.recovery,
+                    "recovery": args.strategy,
                     "parallelism": args.parallelism,
                     "parallel_backend": args.parallel_backend,
                     "parallel_workers": args.parallel_workers,

@@ -15,8 +15,10 @@ from typing import Any
 
 from ..algorithms.connected_components import connected_components
 from ..algorithms.pagerank import pagerank
-from ..config import EngineConfig
+from ..config import RECOVERY_STRATEGIES, EngineConfig
+from ..core.adaptive import AdaptiveRecovery
 from ..core.checkpointing import CheckpointRecovery
+from ..core.confined import ConfinedRecovery
 from ..core.incremental import IncrementalCheckpointRecovery
 from ..core.recovery import RecoveryStrategy
 from ..core.restart import LineageRecovery, RestartRecovery
@@ -40,8 +42,9 @@ GRAPHS = ("small", "twitter")
 
 #: recovery modes selectable in this reproduction (the paper's demo only
 #: ships optimistic recovery; the baselines exist for comparison runs).
-#: "incremental" is valid for the delta-iterative tab only.
-RECOVERIES = ("optimistic", "checkpoint", "incremental", "restart", "lineage")
+#: "incremental" is valid for the delta-iterative tab only. Tracks the
+#: engine-wide registry, so "confined" and "adaptive" are selectable too.
+RECOVERIES = RECOVERY_STRATEGIES
 
 
 class DemoRun:
@@ -263,7 +266,18 @@ class DemoSession:
             return RestartRecovery()
         if name == "lineage":
             return LineageRecovery()
-        raise ConfigError(f"recovery must be one of {RECOVERIES}, got {name!r}")
+        if name == "confined":
+            return ConfinedRecovery()
+        if name == "adaptive":
+            return AdaptiveRecovery(
+                getattr(job, "compensation", None),
+                getattr(job, "invariants", None),
+                checkpoint_interval=checkpoint_interval,
+            )
+        raise ConfigError(
+            f"recovery must be one of {', '.join(RECOVERIES)}, got {name!r}; "
+            f"hint: pick a strategy name, e.g. --strategy confined"
+        )
 
     def press_play(
         self,

@@ -54,6 +54,14 @@ class CompensationError(RecoveryError):
     consistency contract (checked by :mod:`repro.core.guarantees`)."""
 
 
+class ReplayError(RecoveryError):
+    """Raised when confined recovery cannot replay the lost partitions —
+    the message log is inconsistent with the failure (e.g. no pre-loss
+    capture was taken, or the log predates the active run). Subclasses
+    :class:`RecoveryError` so the service supervisor classifies it as a
+    retryable infrastructure failure."""
+
+
 class StorageError(ReproError):
     """Raised by the simulated stable storage on missing keys or attempts
     to read partial/corrupt checkpoints."""

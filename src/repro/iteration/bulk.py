@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable
 from ..config import DEFAULT_CONFIG, EngineConfig
 from ..core.recovery import RecoveryContext, RecoveryStrategy
 from ..core.restart import RestartRecovery
+from ..core.strategies import resolve_recovery
 from ..dataflow.datatypes import KeySpec
 from ..dataflow.invariants import analyze_invariants
 from ..dataflow.plan import Plan
@@ -131,9 +132,11 @@ def run_bulk_iteration(
         initial_records: the initial state as ``(key, value)`` records.
         statics: loop-invariant inputs, ``{plan source name: records}``.
         config: engine configuration (parallelism, spares, cost model).
-        recovery: fault-tolerance strategy; defaults to
-            :class:`repro.core.restart.RestartRecovery` (no fault
-            tolerance — restart is all an unprotected system can do).
+        recovery: fault-tolerance strategy; ``None`` builds the strategy
+            named by ``config.recovery``, and when that is also unset
+            defaults to :class:`repro.core.restart.RestartRecovery` (no
+            fault tolerance — restart is all an unprotected system can
+            do).
         failures: the failure schedule to inject (default: none).
         snapshots: optional store capturing per-superstep state copies.
         tracer: optional span tracer (default: the no-op tracer). A
@@ -147,6 +150,8 @@ def run_bulk_iteration(
     Returns:
         An :class:`repro.iteration.result.IterationResult`.
     """
+    if recovery is None:
+        recovery = resolve_recovery(config)
     recovery = recovery if recovery is not None else RestartRecovery()
     tracer = tracer if tracer is not None else NOOP_TRACER
     runtime = build_runtime(config, failures, tracer=tracer)
@@ -274,6 +279,14 @@ def run_bulk_iteration(
                         runtime.clock.charge_failure_detection()
                         stats.failed = True
                         if lost:
+                            if recovery.needs_preloss_capture:
+                                # Confined recovery's replay oracle: the
+                                # partition contents the failure is about
+                                # to destroy (what a deterministic replay
+                                # would recompute).
+                                recovery.capture_preloss(
+                                    superstep, next_state, None, lost
+                                )
                             next_state.lose(lost)
                             runtime.cluster.reassign_lost(superstep)
                             if cache is not None:
@@ -292,12 +305,15 @@ def run_bulk_iteration(
                             stats.compensated = outcome.compensated
                             stats.rolled_back = outcome.rolled_back_to is not None
                             stats.restarted = outcome.restarted
+                            stats.confined = outcome.healed_partitions is not None
                             if outcome.restarted:
                                 spec.termination.reset()
                             recovery_span.set_attribute("lost_partitions", sorted(lost))
                             recovery_span.set_attribute(
                                 "outcome",
-                                "compensation"
+                                "replay"
+                                if stats.confined
+                                else "compensation"
                                 if outcome.compensated
                                 else "rollback"
                                 if stats.rolled_back
@@ -305,7 +321,9 @@ def run_bulk_iteration(
                             )
                             if snapshots is not None:
                                 phase = (
-                                    SnapshotPhase.AFTER_COMPENSATION
+                                    SnapshotPhase.AFTER_CONFINED
+                                    if stats.confined
+                                    else SnapshotPhase.AFTER_COMPENSATION
                                     if outcome.compensated
                                     else SnapshotPhase.AFTER_ROLLBACK
                                     if stats.rolled_back

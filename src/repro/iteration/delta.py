@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable
 from ..config import DEFAULT_CONFIG, EngineConfig
 from ..core.recovery import RecoveryContext, RecoveryStrategy
 from ..core.restart import RestartRecovery
+from ..core.strategies import resolve_recovery
 from ..dataflow.datatypes import KeySpec
 from ..dataflow.invariants import analyze_invariants
 from ..dataflow.plan import Plan
@@ -129,7 +130,8 @@ def run_delta_iteration(
             input").
         statics: loop-invariant inputs ``{plan source name: records}``.
         config: engine configuration.
-        recovery: fault-tolerance strategy (default: restart / no FT).
+        recovery: fault-tolerance strategy; ``None`` builds the strategy
+            named by ``config.recovery`` (default: restart / no FT).
         failures: failure schedule to inject.
         snapshots: optional per-superstep state snapshot store.
         tracer: optional span tracer (default: the no-op tracer). A
@@ -144,6 +146,8 @@ def run_delta_iteration(
         An :class:`repro.iteration.result.IterationResult`; its
         ``final_records`` are the solution set.
     """
+    if recovery is None:
+        recovery = resolve_recovery(config)
     recovery = recovery if recovery is not None else RestartRecovery()
     tracer = tracer if tracer is not None else NOOP_TRACER
     runtime = build_runtime(config, failures, tracer=tracer)
@@ -298,6 +302,17 @@ def run_delta_iteration(
                         runtime.clock.charge_failure_detection()
                         stats.failed = True
                         if lost:
+                            if recovery.needs_preloss_capture:
+                                # Confined recovery's replay oracle: the
+                                # partition contents the failure is about
+                                # to destroy (what a deterministic replay
+                                # would recompute).
+                                recovery.capture_preloss(
+                                    superstep,
+                                    backend.to_dataset(),
+                                    next_workset,
+                                    lost,
+                                )
                             backend.lose(lost)
                             next_workset.lose(lost)
                             runtime.cluster.reassign_lost(superstep)
@@ -316,7 +331,16 @@ def run_delta_iteration(
                                 spec.state_key,
                                 context=f"{spec.name}.recovered",
                             )
-                            backend.restore_from(recovered_state)
+                            if outcome.healed_partitions is not None:
+                                # Confined recovery: survivors' partitions
+                                # (and their indexes) are untouched — only
+                                # the healed ones are reinstalled.
+                                for pid in outcome.healed_partitions:
+                                    backend.replace_partition(
+                                        pid, recovered_state.partitions[pid] or []
+                                    )
+                            else:
+                                backend.restore_from(recovered_state)
                             if outcome.workset is None:
                                 raise IterationError(
                                     f"recovery strategy {recovery.name!r} returned no "
@@ -330,12 +354,15 @@ def run_delta_iteration(
                             stats.compensated = outcome.compensated
                             stats.rolled_back = outcome.rolled_back_to is not None
                             stats.restarted = outcome.restarted
+                            stats.confined = outcome.healed_partitions is not None
                             if outcome.restarted:
                                 spec.termination.reset()
                             recovery_span.set_attribute("lost_partitions", sorted(lost))
                             recovery_span.set_attribute(
                                 "outcome",
-                                "compensation"
+                                "replay"
+                                if stats.confined
+                                else "compensation"
                                 if outcome.compensated
                                 else "rollback"
                                 if stats.rolled_back
@@ -343,7 +370,9 @@ def run_delta_iteration(
                             )
                             if snapshots is not None:
                                 phase = (
-                                    SnapshotPhase.AFTER_COMPENSATION
+                                    SnapshotPhase.AFTER_CONFINED
+                                    if stats.confined
+                                    else SnapshotPhase.AFTER_COMPENSATION
                                     if outcome.compensated
                                     else SnapshotPhase.AFTER_ROLLBACK
                                     if stats.rolled_back

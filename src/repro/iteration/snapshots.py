@@ -27,6 +27,7 @@ class SnapshotPhase(enum.Enum):
     AFTER_COMPENSATION = "after_compensation"
     AFTER_ROLLBACK = "after_rollback"
     AFTER_RESTART = "after_restart"
+    AFTER_CONFINED = "after_confined"
     CONVERGED = "converged"
 
 

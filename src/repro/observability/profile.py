@@ -1,7 +1,7 @@
 """The recovery-cost profiler.
 
 Consumes a span tree (live or loaded from a JSONL trace) and attributes
-every simulated second of the run to exactly one of six categories::
+every simulated second of the run to exactly one of eight categories::
 
     compute       useful operator work outside any recovery activity
     shuffle       network time outside any recovery activity
@@ -11,6 +11,11 @@ every simulated second of the run to exactly one of six categories::
     restart       re-reading inputs and restarting, plus the generic
                   failure-handling costs (detection, worker acquisition)
                   of failures that ended in a restart
+    log           confined recovery's failure-free message-log appends
+                  (the bounded tax its replay capability costs)
+    replay        confined recovery's per-failure work: restoring the
+                  lost partitions' snapshots and replaying survivors'
+                  logged messages into them
 
 The attribution is a *partition*: each span's self-costs (its clock
 charges minus its children's) land in exactly one bucket, so the category
@@ -21,13 +26,15 @@ breakdown behind the paper's Figure 4/5 narrative.
 Attribution rules, outermost first:
 
 1. inside a ``CHECKPOINT`` / ``ROLLBACK`` / ``RESTART`` / ``COMPENSATION``
-   span, everything belongs to that phase (e.g. the network cost of
-   re-partitioning a compensated workset is *compensation*, not shuffle);
+   / ``REPLAY`` span, everything belongs to that phase (e.g. the network
+   cost of re-partitioning a compensated workset is *compensation*, not
+   shuffle);
 2. inside a driver-level ``RECOVERY`` span, costs belong to the failure's
    outcome category (its ``outcome`` attribute) until rule 1 refines them;
 3. otherwise the clock category decides: compute → compute, network →
    shuffle, checkpoint_io → checkpoint, restore_io → rollback,
-   compensation → compensation, recovery → restart.
+   compensation → compensation, recovery → restart, log_io → log,
+   replay → replay.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from typing import Sequence
 
 from .span import Span, SpanKind
 
-#: the six profile categories, in report order.
+#: the profile categories, in report order.
 CATEGORIES = (
     "compute",
     "shuffle",
@@ -46,6 +53,8 @@ CATEGORIES = (
     "rollback",
     "compensation",
     "restart",
+    "log",
+    "replay",
 )
 
 #: rule 1 — phase spans claim all enclosed costs.
@@ -54,6 +63,7 @@ _PHASE_CATEGORY = {
     SpanKind.ROLLBACK: "rollback",
     SpanKind.RESTART: "restart",
     SpanKind.COMPENSATION: "compensation",
+    SpanKind.REPLAY: "replay",
 }
 
 #: rule 3 — fallback map from simulated-clock cost categories.
@@ -64,6 +74,8 @@ _CLOCK_CATEGORY = {
     "restore_io": "rollback",
     "compensation": "compensation",
     "recovery": "restart",
+    "log_io": "log",
+    "replay": "replay",
 }
 
 
@@ -72,8 +84,8 @@ class ProfileReport:
     """The category breakdown of one traced run.
 
     Attributes:
-        categories: simulated seconds per profile category (all six keys
-            always present, zero-filled).
+        categories: simulated seconds per profile category (every key in
+            :data:`CATEGORIES` always present, zero-filled).
         total: total simulated seconds attributed (== the run's simulated
             duration when profiling a complete run trace).
         operator_compute: useful compute seconds per operator name —

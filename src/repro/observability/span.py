@@ -44,6 +44,7 @@ class SpanKind(enum.Enum):
     ROLLBACK = "rollback"
     RESTART = "restart"
     COMPENSATION = "compensation"
+    REPLAY = "replay"
     PHASE = "phase"
 
 

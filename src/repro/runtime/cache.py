@@ -78,7 +78,7 @@ class ChargeLog:
     bit-identically to re-execution) and metric operations.
     """
 
-    __slots__ = ("advances", "increments", "observations")
+    __slots__ = ("advances", "increments", "observations", "deliveries")
 
     def __init__(self) -> None:
         #: ``(seconds, category)`` clock advances, in charge order.
@@ -87,6 +87,9 @@ class ChargeLog:
         self.increments: list[tuple[str, int]] = []
         #: ``(histogram name, value)`` observations, in order.
         self.observations: list[tuple[str, float]] = []
+        #: ``(per-partition sizes, local)`` message-log deliveries made
+        #: while confined recovery's log was attached, in order.
+        self.deliveries: list[tuple[tuple[int, ...], bool]] = []
 
     def replay(
         self,
@@ -94,9 +97,13 @@ class ChargeLog:
         metrics: MetricsRegistry,
         *,
         charge: bool = True,
+        message_log: Any | None = None,
     ) -> None:
         """Re-apply the log. With ``charge=False`` nothing is applied
-        (modeled mode: the whole point is skipping the charges)."""
+        (modeled mode: the whole point is skipping the charges). When a
+        ``message_log`` is passed (confined recovery active), recorded
+        deliveries are re-delivered so the log's contents stay
+        bit-identical to a cache-off run."""
         if not charge:
             return
         for seconds, category in self.advances:
@@ -105,6 +112,9 @@ class ChargeLog:
             metrics.increment(name, amount)
         for name, value in self.observations:
             metrics.observe(name, value)
+        if message_log is not None:
+            for sizes, local in self.deliveries:
+                message_log.deliver(sizes, local=local)
 
 
 class _RecordingClock:
@@ -137,6 +147,9 @@ class _RecordingClock:
     def charge_network(self, records: int) -> None:
         self.advance(records * self._clock.cost_model.network_per_record, CostCategory.NETWORK)
 
+    def charge_log(self, records: int) -> None:
+        self.advance(records * self._clock.cost_model.log_per_record, CostCategory.LOG_IO)
+
     def __getattr__(self, name: str) -> Any:
         return getattr(self._clock, name)
 
@@ -158,6 +171,21 @@ class _RecordingMetrics:
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._metrics, name)
+
+
+class _RecordingMessageLog:
+    """Forwards deliveries to the real message log, logging them."""
+
+    def __init__(self, message_log: Any, log: ChargeLog):
+        self._message_log = message_log
+        self._log = log
+
+    def deliver(self, sizes: Sequence[int], *, local: bool = False) -> None:
+        self._log.deliveries.append((tuple(sizes), local))
+        self._message_log.deliver(sizes, local=local)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._message_log, name)
 
 
 class SuperstepExecutionCache:
@@ -254,12 +282,16 @@ class SuperstepExecutionCache:
         """
         log = ChargeLog()
         saved_clock, saved_metrics = executor.clock, executor.metrics
+        saved_message_log = executor.message_log
         executor.clock = _RecordingClock(saved_clock, log)  # type: ignore[assignment]
         executor.metrics = _RecordingMetrics(saved_metrics, log)  # type: ignore[assignment]
+        if saved_message_log is not None:
+            executor.message_log = _RecordingMessageLog(saved_message_log, log)
         try:
             yield log
         finally:
             executor.clock, executor.metrics = saved_clock, saved_metrics
+            executor.message_log = saved_message_log
 
     # -- operator outputs --------------------------------------------------------
 

@@ -31,6 +31,8 @@ class CostCategory(enum.Enum):
     RESTORE_IO = "restore_io"
     RECOVERY = "recovery"
     COMPENSATION = "compensation"
+    LOG_IO = "log_io"
+    REPLAY = "replay"
 
 
 @dataclass
@@ -106,6 +108,14 @@ class SimulatedClock:
     def charge_compensation(self, records: int) -> None:
         """Charge the cost of running a compensation function over state."""
         self.advance(records * self.cost_model.compensation_per_record, CostCategory.COMPENSATION)
+
+    def charge_log(self, records: int) -> None:
+        """Charge the cost of appending ``records`` to the message log."""
+        self.advance(records * self.cost_model.log_per_record, CostCategory.LOG_IO)
+
+    def charge_replay(self, records: int) -> None:
+        """Charge the cost of replaying ``records`` of logged messages."""
+        self.advance(records * self.cost_model.replay_per_record, CostCategory.REPLAY)
 
     def reset(self) -> None:
         """Zero the clock and all accounts (used between benchmark runs)."""

@@ -29,6 +29,8 @@ class EventKind(enum.Enum):
     CHECKPOINT_WRITTEN = "checkpoint_written"
     ROLLBACK = "rollback"
     RESTART = "restart"
+    CONFINED_REPLAY = "confined_replay"
+    STRATEGY_SELECTED = "strategy_selected"
     CONVERGED = "converged"
     TERMINATED = "terminated"
 

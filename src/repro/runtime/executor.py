@@ -203,6 +203,13 @@ class PlanExecutor:
         #: the execution cache of the in-flight ``execute()`` call (set
         #: per call from its ``cache`` argument; ``None`` disables reuse).
         self._cache: SuperstepExecutionCache | None = None
+        #: confined recovery's per-partition delivery log, attached by
+        #: :class:`repro.core.confined.ConfinedRecovery` at run start
+        #: (duck-typed: anything with a ``deliver(sizes, local=)``
+        #: method). ``None`` — the default — logs nothing and costs
+        #: nothing, preserving optimistic recovery's zero failure-free
+        #: overhead.
+        self.message_log = None
         #: per-operator metric names, interned once instead of
         #: re-formatting f-strings on the per-superstep hot path.
         self._metric_keys: dict[str, tuple[str, str, str]] = {}
@@ -405,6 +412,11 @@ class PlanExecutor:
         self.metrics.increment(keys[1], moved)
         self.metrics.observe("shuffle_volume", moved)
         self.metrics.observe(keys[2], moved)
+        log = self.message_log
+        if log is not None:
+            self.clock.charge_log(moved)
+            self.metrics.increment("message_log.logged", moved)
+            log.deliver([len(part) for part in parts])
         return PartitionedDataset(partitions=parts, partitioned_by=key)
 
     def _cached_shuffle(
@@ -432,7 +444,12 @@ class PlanExecutor:
         entry = cache.lookup_shuffle(producer, key)
         if entry is not None:
             shuffled, log = entry
-            log.replay(self.clock, self.metrics, charge=cache.transparent)
+            log.replay(
+                self.clock,
+                self.metrics,
+                charge=cache.transparent,
+                message_log=self.message_log,
+            )
             return shuffled
         with cache.recording(self) as log:
             shuffled = self._shuffle(dataset, key, op_name)
@@ -457,7 +474,12 @@ class PlanExecutor:
         entry = cache.lookup_output(op)
         if entry is not None:
             result, log = entry
-            log.replay(self.clock, self.metrics, charge=cache.transparent)
+            log.replay(
+                self.clock,
+                self.metrics,
+                charge=cache.transparent,
+                message_log=self.message_log,
+            )
             if self.tracer.enabled:
                 span.set_attribute("cache", "hit")
                 self._annotate_operator_span(span, result)
@@ -670,6 +692,11 @@ class PlanExecutor:
         self.metrics.increment(keys[1], volume)
         self.metrics.observe("shuffle_volume", volume)
         self.metrics.observe(keys[2], volume)
+        log = self.message_log
+        if log is not None:
+            self.clock.charge_log(volume)
+            self.metrics.increment("message_log.logged", volume)
+            log.deliver([len(broadcast)] * self.parallelism)
         return broadcast
 
     def _run_cross(
@@ -681,7 +708,12 @@ class PlanExecutor:
         entry = cache.lookup_broadcast(op) if reusable else None
         if entry is not None:
             broadcast, log = entry
-            log.replay(self.clock, self.metrics, charge=cache.transparent)
+            log.replay(
+                self.clock,
+                self.metrics,
+                charge=cache.transparent,
+                message_log=self.message_log,
+            )
         elif reusable:
             with cache.recording(self) as log:
                 broadcast = self._broadcast_side(op, right)
@@ -712,4 +744,13 @@ class PlanExecutor:
             parts.append(merged)
         keys = {ds.partitioned_by for ds in inputs}
         partitioned_by = keys.pop() if len(keys) == 1 else None
+        log = self.message_log
+        if log is not None:
+            # Union merges are partition-local (no network, no log I/O
+            # charge) but the merged records still have to be regenerated
+            # when a lost partition is replayed, so they count toward the
+            # confined replay volume.
+            sizes = [len(part) for part in parts]
+            self.metrics.increment("message_log.logged_local", sum(sizes))
+            log.deliver(sizes, local=True)
         return PartitionedDataset(partitions=parts, partitioned_by=partitioned_by)

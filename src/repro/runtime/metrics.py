@@ -205,6 +205,8 @@ class IterationStats:
         compensated: True when a compensation function ran this superstep.
         rolled_back: True when rollback recovery restored a checkpoint.
         restarted: True when the iteration was restarted from scratch.
+        confined: True when confined recovery replayed only the lost
+            partitions (survivors kept their state).
     """
 
     superstep: int
@@ -219,6 +221,7 @@ class IterationStats:
     compensated: bool = False
     rolled_back: bool = False
     restarted: bool = False
+    confined: bool = False
 
     @property
     def sim_duration(self) -> float:
@@ -241,6 +244,7 @@ class IterationStats:
             "compensated": self.compensated,
             "rolled_back": self.rolled_back,
             "restarted": self.restarted,
+            "confined": self.confined,
         }
 
 

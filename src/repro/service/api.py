@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from ..config import DEFAULT_SERVICE_CONFIG, ServiceConfig
@@ -169,8 +169,14 @@ class JobService:
         Raises :class:`repro.errors.AdmissionError` when backpressure
         refuses the job, and :class:`repro.errors.ServiceError` when the
         service is draining or shut down.
+
+        Specs that did not pick a recovery strategy (``recovery=None``)
+        inherit :attr:`repro.config.ServiceConfig.default_recovery` when
+        the service defines one; explicit per-job choices always win.
         """
         self.metrics.increment("service.submitted")
+        if spec.recovery is None and self.config.default_recovery is not None:
+            spec = replace(spec, recovery=self.config.default_recovery)
         with self._lock:
             if not self._accepting:
                 raise ServiceError(

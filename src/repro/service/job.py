@@ -35,8 +35,10 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
-from ..config import DEFAULT_CONFIG, EngineConfig
+from ..config import DEFAULT_CONFIG, RECOVERY_STRATEGIES, EngineConfig
+from ..core.adaptive import AdaptiveRecovery
 from ..core.checkpointing import CheckpointRecovery
+from ..core.confined import ConfinedRecovery
 from ..core.incremental import IncrementalCheckpointRecovery
 from ..core.recovery import RecoveryStrategy
 from ..core.restart import LineageRecovery, RestartRecovery
@@ -52,8 +54,9 @@ from ..observability.tracer import Tracer
 from ..runtime.failures import FailureSchedule
 
 #: recovery strategy names a :class:`JobSpec` accepts (``None`` keeps the
-#: driver default, which is restart — no fault tolerance).
-JOB_RECOVERIES = ("optimistic", "checkpoint", "incremental", "restart", "lineage")
+#: driver default, which is restart — no fault tolerance). Tracks the
+#: engine-wide registry so the service accepts exactly what the drivers do.
+JOB_RECOVERIES = RECOVERY_STRATEGIES
 
 
 class JobState(enum.Enum):
@@ -235,6 +238,14 @@ class JobSpec:
             return IncrementalCheckpointRecovery()
         if self.recovery == "restart":
             return RestartRecovery()
+        if self.recovery == "confined":
+            return ConfinedRecovery()
+        if self.recovery == "adaptive":
+            return AdaptiveRecovery(
+                getattr(job, "compensation", None),
+                getattr(job, "invariants", None),
+                checkpoint_interval=self.checkpoint_interval,
+            )
         return LineageRecovery()
 
     def run_standalone(

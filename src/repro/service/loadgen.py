@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from ..algorithms.connected_components import connected_components
 from ..algorithms.pagerank import pagerank
-from ..config import PARALLEL_BACKENDS, EngineConfig
+from ..config import PARALLEL_BACKENDS, RECOVERY_STRATEGIES, EngineConfig
 from ..errors import ConfigError
 from ..graph.generators import multi_component_graph, twitter_like_graph
 from ..runtime.failures import FailureSchedule
@@ -33,8 +33,11 @@ class WorkloadConfig:
         cc_fraction: fraction of Connected Components jobs (the rest is
             PageRank).
         failure_density: probability that a job gets an injected
-            partition-failure schedule (handled in-run by optimistic
-            recovery).
+            partition-failure schedule (handled in-run by the workload's
+            recovery strategy).
+        recovery: recovery strategy name stamped onto every generated
+            spec (one of :data:`repro.config.RECOVERY_STRATEGIES`); the
+            ``serve`` CLI's ``--strategy`` flag lands here.
         parallelism: per-job worker / partition count.
         priorities: the priority levels jobs are drawn from (uniformly).
         graph_vertices: vertex-count range ``(lo, hi)`` of the per-job
@@ -63,6 +66,7 @@ class WorkloadConfig:
     cc_fraction: float = 0.5
     failure_density: float = 0.4
     parallelism: int = 4
+    recovery: str = "optimistic"
     priorities: tuple[int, ...] = (0, 1, 2)
     graph_vertices: tuple[int, int] = (24, 60)
     epsilon: float = 1e-3
@@ -82,6 +86,11 @@ class WorkloadConfig:
         if not 0.0 <= self.failure_density <= 1.0:
             raise ConfigError(
                 f"failure_density must be in [0, 1], got {self.failure_density}"
+            )
+        if self.recovery not in RECOVERY_STRATEGIES:
+            raise ConfigError(
+                f"recovery must be one of {RECOVERY_STRATEGIES}, "
+                f"got {self.recovery!r}"
             )
         if self.infra_failures + self.deadline_timeouts > self.num_jobs:
             raise ConfigError(
@@ -161,7 +170,7 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
                     spare_workers=config.parallelism,
                     **overrides,
                 ),
-                recovery="optimistic",
+                recovery=config.recovery,
                 failures=failures,
                 priority=rng.choice(config.priorities),
                 retry=retry,

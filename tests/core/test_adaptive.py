@@ -1,0 +1,165 @@
+"""Tests for the adaptive strategy selector: estimator crossovers,
+deterministic selection, and mid-run re-selection."""
+
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.config import CostModel, EngineConfig
+from repro.core.adaptive import (
+    AdaptiveRecovery,
+    WorkloadObservation,
+    estimate_strategy_costs,
+    select_strategy,
+)
+from repro.graph.generators import demo_graph
+from repro.runtime.events import EventKind
+from repro.runtime.failures import FailureSchedule
+
+from .conftest import damaged_state
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+def observation(**overrides) -> WorkloadObservation:
+    base = dict(
+        state_records=10_000,
+        parallelism=8,
+        failure_rate=0.05,
+        messages_per_superstep=20_000,
+        expected_supersteps=20,
+        lost_fraction=0.125,
+    )
+    base.update(overrides)
+    return WorkloadObservation(**base)
+
+
+class TestEstimator:
+    def test_all_candidates_estimated_with_compensation(self):
+        estimates = estimate_strategy_costs(
+            observation(), DEFAULT_COST_MODEL, has_compensation=True
+        )
+        assert set(estimates) == {"restart", "checkpoint", "optimistic", "confined"}
+
+    def test_optimistic_omitted_without_compensation(self):
+        estimates = estimate_strategy_costs(observation(), DEFAULT_COST_MODEL)
+        assert "optimistic" not in estimates
+
+    def test_restart_wins_at_negligible_failure_rate(self):
+        winner, estimates = select_strategy(
+            observation(failure_rate=0.0), DEFAULT_COST_MODEL
+        )
+        assert winner == "restart"
+        assert estimates["restart"] == 0.0
+
+    def test_zero_overhead_tie_breaks_deterministically(self):
+        # At exactly zero failure rate both restart and optimistic cost
+        # nothing; the alphabetical tie-break picks optimistic every time.
+        winner, estimates = select_strategy(
+            observation(failure_rate=0.0), DEFAULT_COST_MODEL, has_compensation=True
+        )
+        assert winner == "optimistic"
+        assert estimates["optimistic"] == estimates["restart"] == 0.0
+
+    def test_confined_beats_global_strategies_at_high_rates(self):
+        winner, estimates = select_strategy(
+            observation(failure_rate=0.5), DEFAULT_COST_MODEL
+        )
+        assert winner == "confined"
+        assert estimates["confined"] < estimates["checkpoint"]
+        assert estimates["confined"] < estimates["restart"]
+
+    def test_checkpoint_wins_when_messages_dwarf_state(self):
+        # Huge per-superstep traffic makes the log tax and replay volume
+        # expensive while the (small) state stays cheap to checkpoint.
+        winner, _ = select_strategy(
+            observation(
+                state_records=100,
+                messages_per_superstep=10_000_000,
+                failure_rate=0.2,
+                lost_fraction=1.0,
+            ),
+            DEFAULT_COST_MODEL,
+        )
+        assert winner == "checkpoint"
+
+    def test_selection_is_deterministic(self):
+        obs = observation()
+        first = select_strategy(obs, DEFAULT_COST_MODEL, has_compensation=True)
+        second = select_strategy(obs, DEFAULT_COST_MODEL, has_compensation=True)
+        assert first == second
+
+
+class TestAdaptiveRecovery:
+    def test_selects_on_start_and_records_event(self, recovery_ctx):
+        strategy = AdaptiveRecovery(expected_failure_rate=0.5)
+        strategy.on_start(recovery_ctx)
+        assert strategy.selected_name is not None
+        assert strategy.selections[0][0] == -1
+        events = recovery_ctx.cluster.events.of_kind(EventKind.STRATEGY_SELECTED)
+        assert len(events) == 1
+        assert events[0].details["strategy"] == strategy.selected_name
+        assert "estimates" in events[0].details
+
+    def test_delegates_recover_and_reselects_on_observed_rate(self, recovery_ctx):
+        # Expect almost no failures -> restart is picked; after a failure
+        # at superstep 0 the observed rate is 1.0 -> switch to confined.
+        strategy = AdaptiveRecovery(expected_failure_rate=1e-9)
+        strategy.on_start(recovery_ctx)
+        assert strategy.selected_name == "restart"
+        state = damaged_state(recovery_ctx, [1])
+        outcome = strategy.recover(recovery_ctx, 0, state, None, [1])
+        assert outcome.restarted
+        assert strategy.selected_name == "confined"
+        assert [name for _, name in strategy.selections] == ["restart", "confined"]
+
+    def test_reselect_false_keeps_initial_choice(self, recovery_ctx):
+        strategy = AdaptiveRecovery(expected_failure_rate=1e-9, reselect=False)
+        strategy.on_start(recovery_ctx)
+        assert strategy.selected_name == "restart"
+        strategy.recover(recovery_ctx, 0, damaged_state(recovery_ctx, [1]), None, [1])
+        assert strategy.selected_name == "restart"
+
+    def test_switch_away_from_confined_detaches_log(self, recovery_ctx):
+        from dataclasses import replace
+
+        strategy = AdaptiveRecovery(expected_failure_rate=0.9)
+        strategy.on_start(recovery_ctx)
+        assert strategy.selected_name == "confined"
+        assert recovery_ctx.executor.message_log is not None
+        # Force a re-selection toward restart by observing a zero rate.
+        calm = replace(strategy._observation, failure_rate=0.0)
+        strategy._select(recovery_ctx, calm, superstep=5)
+        assert strategy.selected_name == "restart"
+        assert recovery_ctx.executor.message_log is None
+
+    def test_end_to_end_adaptive_run_converges(self):
+        job = connected_components(demo_graph())
+        free = connected_components(demo_graph()).run(
+            config=EngineConfig(parallelism=4, spare_workers=4)
+        )
+        result = job.run(
+            config=EngineConfig(parallelism=4, spare_workers=4),
+            recovery=AdaptiveRecovery(job.compensation, job.invariants),
+            failures=FailureSchedule.single(1, [0]),
+        )
+        assert result.converged
+        assert sorted(result.final_records) == sorted(free.final_records)
+        assert result.events.of_kind(EventKind.STRATEGY_SELECTED)
+
+    def test_engine_config_recovery_adaptive_resolves(self):
+        job = connected_components(demo_graph())
+        result = job.run(
+            config=EngineConfig(
+                parallelism=4, spare_workers=4, recovery="adaptive"
+            ),
+            failures=FailureSchedule.single(1, [0]),
+        )
+        assert result.converged
+
+    def test_reset_clears_selection(self, recovery_ctx):
+        strategy = AdaptiveRecovery()
+        strategy.on_start(recovery_ctx)
+        strategy.reset()
+        assert strategy.selected_name is None
+        assert strategy.selections == []
+        assert strategy.estimates == {}

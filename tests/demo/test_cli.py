@@ -59,7 +59,7 @@ class TestParser:
         args = build_parser().parse_args([])
         assert args.algorithm == "connected-components"
         assert args.graph == "small"
-        assert args.recovery == "optimistic"
+        assert args.strategy == "optimistic"
         assert args.failures == []
 
     def test_multiple_failures(self):

@@ -1,0 +1,105 @@
+"""Tests for the CLI --strategy flag (satellite of the confined PR).
+
+Unknown strategy names must exit 2 with a usage hint (the --fail
+convention); the new confined/adaptive names must be runnable, appear in
+--help, and flow through the serve subcommand.
+"""
+
+import pytest
+
+from repro.demo.cli import (
+    STRATEGY_USAGE,
+    _check_strategy,
+    build_parser,
+    build_serve_parser,
+    main,
+)
+from repro.errors import ConfigError
+
+
+class TestStrategyValidation:
+    def test_known_names_accepted(self):
+        for name in ("optimistic", "checkpoint", "confined", "adaptive"):
+            _check_strategy(name)  # must not raise
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(ConfigError, match="hint"):
+            _check_strategy("telepathy")
+
+    def test_usage_names_the_new_strategies(self):
+        assert "confined" in STRATEGY_USAGE
+        assert "adaptive" in STRATEGY_USAGE
+
+
+class TestStrategyExitCodes:
+    def test_unknown_strategy_exits_2_with_hint(self, capsys):
+        assert main(["--strategy", "telepathy"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown recovery strategy" in out
+        assert "hint" in out
+        assert "confined" in out
+
+    def test_recovery_alias_still_validates(self, capsys):
+        assert main(["--recovery", "telepathy"]) == 2
+        assert "hint" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_strategy(self, capsys):
+        from repro.demo.cli import serve_main
+
+        assert serve_main(["--jobs", "1", "--strategy", "telepathy"]) == 2
+        assert "hint" in capsys.readouterr().out
+
+
+class TestStrategyRuns:
+    def test_confined_run_cc(self, capsys):
+        assert main(["--fail", "2:0", "--strategy", "confined"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_confined_run_pagerank(self, capsys):
+        assert (
+            main(["--algorithm", "pagerank", "--fail", "3:1", "--strategy", "confined"])
+            == 0
+        )
+        assert "converged" in capsys.readouterr().out
+
+    def test_adaptive_run(self, capsys):
+        assert main(["--fail", "2:0", "--strategy", "adaptive"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_recovery_alias_runs(self, capsys):
+        assert main(["--fail", "2:0", "--recovery", "confined"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+
+class TestHelpText:
+    def test_run_help_lists_new_strategies(self):
+        help_text = build_parser().format_help()
+        assert "confined" in help_text
+        assert "adaptive" in help_text
+
+    def test_serve_help_lists_new_strategies(self):
+        help_text = build_serve_parser().format_help()
+        assert "confined" in help_text
+        assert "adaptive" in help_text
+
+    def test_profile_help_mentions_replay_categories(self):
+        from repro.demo.cli import build_profile_parser
+
+        help_text = build_profile_parser().format_help()
+        assert "replay" in help_text
+        assert "log" in help_text
+
+
+class TestServeStrategy:
+    def test_serve_with_confined_strategy(self, capsys):
+        from repro.demo.cli import serve_main
+
+        code = serve_main(
+            ["--jobs", "4", "--pool", "2", "--strategy", "confined", "--per-job"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the workload forces one deadline timeout; everything else (incl.
+        # the infra-retry job) must succeed under confined recovery
+        assert "succeeded=3" in out
+        assert "timed_out=1" in out

@@ -76,6 +76,8 @@ class TestAttributionRules:
                 "restore_io": 4.0,
                 "compensation": 5.0,
                 "recovery": 6.0,
+                "log_io": 7.0,
+                "replay": 8.0,
             },
         )
         report = profile_spans(span)
@@ -86,6 +88,8 @@ class TestAttributionRules:
             "rollback": 4.0,
             "compensation": 5.0,
             "restart": 6.0,
+            "log": 7.0,
+            "replay": 8.0,
         }
 
     def test_operator_compute_breakdown(self):

@@ -1,0 +1,98 @@
+"""Service wiring of confined/adaptive recovery and the default strategy."""
+
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.config import EngineConfig, ServiceConfig
+from repro.core.adaptive import AdaptiveRecovery
+from repro.core.confined import ConfinedRecovery
+from repro.errors import ConfigError, RecoveryError, ReplayError
+from repro.graph.generators import demo_graph
+from repro.runtime.failures import FailureSchedule
+from repro.service import JobService, JobSpec, WorkloadConfig, generate_workload
+from repro.service.job import JOB_RECOVERIES
+from repro.service.supervisor import INFRA_ERRORS
+
+
+def _spec(recovery, failures=None, **kwargs) -> JobSpec:
+    return JobSpec(
+        name=f"cc-{recovery}",
+        make_job=lambda: connected_components(demo_graph()),
+        config=EngineConfig(parallelism=4, spare_workers=4),
+        recovery=recovery,
+        failures=failures,
+        **kwargs,
+    )
+
+
+class TestJobSpecStrategies:
+    def test_job_recoveries_include_new_strategies(self):
+        assert "confined" in JOB_RECOVERIES
+        assert "adaptive" in JOB_RECOVERIES
+
+    def test_unknown_recovery_rejected(self):
+        with pytest.raises(ConfigError):
+            _spec("telepathy")
+
+    def test_build_recovery_confined(self):
+        spec = _spec("confined")
+        strategy = spec.build_recovery(spec.make_job())
+        assert isinstance(strategy, ConfinedRecovery)
+
+    def test_build_recovery_adaptive_takes_job_compensation(self):
+        spec = _spec("adaptive")
+        job = spec.make_job()
+        strategy = spec.build_recovery(job)
+        assert isinstance(strategy, AdaptiveRecovery)
+        assert strategy.compensation is job.compensation
+
+    def test_confined_job_runs_through_service(self):
+        spec = _spec("confined", failures=FailureSchedule.single(1, [0]))
+        with JobService(ServiceConfig(pool_size=1)) as service:
+            result = service.submit(spec).result(timeout=30)
+        assert result.converged
+        free = _spec(None).run_standalone()
+        assert sorted(result.final_records) == sorted(free.final_records)
+
+
+class TestDefaultRecovery:
+    def test_default_recovery_applies_to_unset_specs(self):
+        config = ServiceConfig(pool_size=1, default_recovery="confined")
+        with JobService(config) as service:
+            handle = service.submit(
+                _spec(None, failures=FailureSchedule.single(1, [0]))
+            )
+            result = handle.result(timeout=30)
+        assert handle.spec.recovery == "confined"
+        assert result.converged
+
+    def test_explicit_choice_wins_over_default(self):
+        config = ServiceConfig(pool_size=1, default_recovery="confined")
+        with JobService(config) as service:
+            handle = service.submit(_spec("restart"))
+            handle.result(timeout=30)
+        assert handle.spec.recovery == "restart"
+
+    def test_invalid_default_recovery_rejected(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(default_recovery="telepathy")
+
+
+class TestReplayErrorClassification:
+    def test_replay_error_is_retryable_infrastructure(self):
+        assert issubclass(ReplayError, RecoveryError)
+        assert isinstance(ReplayError("boom"), INFRA_ERRORS)
+
+
+class TestWorkloadRecovery:
+    def test_workload_stamps_recovery_onto_specs(self):
+        specs = generate_workload(WorkloadConfig(num_jobs=5, recovery="confined"))
+        assert all(spec.recovery == "confined" for spec in specs)
+
+    def test_workload_rejects_unknown_recovery(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(recovery="telepathy")
+
+    def test_default_workload_still_optimistic(self):
+        specs = generate_workload(WorkloadConfig(num_jobs=3))
+        assert all(spec.recovery == "optimistic" for spec in specs)
