@@ -52,6 +52,27 @@ def _env_parallel_workers() -> int | None:
         ) from None
 
 
+def _env_columnar() -> bool:
+    """Default columnar switch, overridable via ``REPRO_COLUMNAR``.
+
+    Mirrors the ``REPRO_PARALLEL_BACKEND`` hook: CI flips the whole
+    suite to columnar partition blocks without touching any call site.
+    """
+    return os.environ.get("REPRO_COLUMNAR", "").strip().lower() in ("on", "1", "true")
+
+
+def _env_block_budget() -> int | None:
+    raw = os.environ.get("REPRO_BLOCK_BUDGET")
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_BLOCK_BUDGET must be an integer byte count, got {raw!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class CostModel:
     """Simulated cost constants, in abstract "simulated seconds".
@@ -162,6 +183,19 @@ class EngineConfig:
             ``None`` uses :func:`repro.runtime.parallel.default_parallel_workers`
             (cores, capped at 8). Defaults to ``$REPRO_PARALLEL_WORKERS``
             when set.
+        columnar: store partition payloads as columnar blocks
+            (:mod:`repro.runtime.blocks`): typed arrays per tuple field,
+            vectorized kernel variants, compact/zero-copy IPC and
+            optional spill-to-disk. Records, simulated time, metrics and
+            superstep counts are bit-identical with columnar on or off —
+            only wall-clock time and memory shape change. Defaults to
+            ``$REPRO_COLUMNAR`` (``on``/``1``/``true``).
+        block_budget_bytes: resident-payload byte budget of the
+            columnar :class:`~repro.runtime.blocks.BlockStore`; blocks
+            beyond the budget spill to disk (LRU) and fault back on
+            access. ``None`` (default) keeps everything in memory.
+            Defaults to ``$REPRO_BLOCK_BUDGET`` when set. Only
+            meaningful with ``columnar=True``.
         recovery: default recovery strategy name for drivers that were
             not handed an explicit strategy object (one of
             ``RECOVERY_STRATEGIES``, or ``None`` for the historical
@@ -189,6 +223,8 @@ class EngineConfig:
     execution_cache: str = "transparent"
     parallel_backend: str = field(default_factory=_env_parallel_backend)
     parallel_workers: int | None = field(default_factory=_env_parallel_workers)
+    columnar: bool = field(default_factory=_env_columnar)
+    block_budget_bytes: int | None = field(default_factory=_env_block_budget)
     recovery: str | None = None
     event_log_capacity: int | None = None
 
@@ -223,6 +259,10 @@ class EngineConfig:
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ConfigError(
                 f"parallel_workers must be >= 1 or None, got {self.parallel_workers}"
+            )
+        if self.block_budget_bytes is not None and self.block_budget_bytes < 1:
+            raise ConfigError(
+                f"block_budget_bytes must be >= 1 or None, got {self.block_budget_bytes}"
             )
         if self.recovery is not None and self.recovery not in RECOVERY_STRATEGIES:
             raise ConfigError(
@@ -265,6 +305,14 @@ class EngineConfig:
     def with_recovery(self, recovery: str | None) -> "EngineConfig":
         """Return a copy with a different default recovery strategy name."""
         return replace(self, recovery=recovery)
+
+    def with_columnar(
+        self, columnar: bool = True, block_budget_bytes: int | None = None
+    ) -> "EngineConfig":
+        """Return a copy with columnar blocks on/off (and a spill budget)."""
+        return replace(
+            self, columnar=columnar, block_budget_bytes=block_budget_bytes
+        )
 
 
 DEFAULT_CONFIG = EngineConfig()

@@ -162,7 +162,11 @@ def run_bulk_iteration(
         telemetry.set_target(getattr(spec.termination, "epsilon", None))
     parallelism = config.parallelism
     bound_statics = bind_statics(
-        spec.step_plan, dict(statics or {}), {spec.state_source}, parallelism
+        spec.step_plan,
+        dict(statics or {}),
+        {spec.state_source},
+        parallelism,
+        executor=runtime.executor,
     )
     initial_state = PartitionedDataset.from_records(
         initial_records, parallelism, key=spec.state_key
@@ -192,7 +196,7 @@ def run_bulk_iteration(
     spec.termination.reset()
 
     series = StatsSeries()
-    state = initial_state.copy()
+    state = runtime.executor.pack_dataset(initial_state.copy())
     if snapshots is not None:
         snapshots.add(-1, SnapshotPhase.INITIAL, state.all_records())
     converged = False

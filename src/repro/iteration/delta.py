@@ -162,6 +162,7 @@ def run_delta_iteration(
         dict(statics or {}),
         {spec.solution_source, spec.workset_source},
         parallelism,
+        executor=runtime.executor,
     )
     initial_solution = list(initial_solution)
     if not initial_solution:
@@ -172,8 +173,12 @@ def run_delta_iteration(
     solution = PartitionedDataset.from_records(
         initial_solution, parallelism, key=spec.state_key
     )
-    workset = PartitionedDataset.from_records(
-        workset_records, parallelism, key=spec.state_key
+    # The workset is reborn every superstep from the repartitioned step
+    # output (which packs when columnar); packing the initial one keeps
+    # superstep 0 on the same representation. The solution set stays
+    # record lists — the keyed state backend owns and mutates it.
+    workset = runtime.executor.pack_dataset(
+        PartitionedDataset.from_records(workset_records, parallelism, key=spec.state_key)
     )
     backend = make_state_backend(
         config.state_backend,

@@ -10,17 +10,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, ClassVar, Sequence
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-quantile (0..1) of ``values`` via linear interpolation.
 
-    Matches ``numpy.percentile``'s default ("linear") method. Raises
-    :class:`ValueError` on an empty input.
+    Matches ``numpy.percentile``'s default ("linear") method. An empty
+    input short-circuits to ``0.0``: callers scrape snapshots that may
+    legitimately contain zero-observation histograms (e.g. a Prometheus
+    exposition taken before the first superstep), and an exception there
+    takes down the whole scrape.
     """
     if not values:
-        raise ValueError("cannot take a percentile of no values")
+        return 0.0
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
     ordered = sorted(values)
@@ -55,11 +58,20 @@ class HistogramStats:
     p95: float
     p99: float
 
+    #: the summary of zero observations: every statistic is 0.0.
+    EMPTY: ClassVar["HistogramStats"]
+
     @classmethod
     def of(cls, values: Sequence[float]) -> "HistogramStats":
-        """Summarize a non-empty sequence of observations."""
+        """Summarize a sequence of observations.
+
+        An empty sequence yields the all-zero :data:`EMPTY` summary
+        instead of raising, mirroring :func:`percentile` — scrape paths
+        summarize whatever the snapshot holds, including histograms that
+        have not seen an observation yet.
+        """
         if not values:
-            raise ValueError("cannot summarize an empty histogram")
+            return cls.EMPTY
         total = float(sum(values))
         return cls(
             count=len(values),
@@ -81,7 +93,14 @@ class HistogramStats:
         inputs' percentiles — the standard sketch-free approximation,
         exact when both inputs share a distribution. Useful for rolling
         up per-scope latency summaries (e.g. per-job into service-wide).
+
+        Merging with an empty summary returns the other side unchanged
+        (an all-zero summary must not drag the min down to 0).
         """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
         count = self.count + other.count
         total = self.total + other.total
 
@@ -111,6 +130,11 @@ class HistogramStats:
             "p95": self.p95,
             "p99": self.p99,
         }
+
+
+HistogramStats.EMPTY = HistogramStats(
+    count=0, total=0.0, minimum=0.0, maximum=0.0, mean=0.0, p50=0.0, p95=0.0, p99=0.0
+)
 
 
 class Timer:

@@ -1,0 +1,817 @@
+"""Columnar partition blocks.
+
+Partition payloads are plain Python record lists everywhere in the
+engine. That is the right *semantic* model — records are tuples, kernels
+are per-record functions — but a poor *physical* one: a partition of a
+million ``(int, float)`` tuples costs a tuple object, two boxed numbers
+and a list slot per record, and shipping it to a process worker pickles
+every one of them.
+
+:class:`ColumnarBlock` is the physical alternative: a partition stored
+as one typed column per tuple field (``array('q')`` for int64,
+``array('d')`` for float64, a plain list for everything else). A block
+is an immutable, read-only *sequence of the exact same records* the list
+held — ``len``, iteration, indexing, equality and pickling all behave
+like the list — so every existing consumer (kernels, checkpoints,
+message-log replay, state backends, snapshot stores) keeps working
+unchanged through the sequence protocol. Where it matters, the typed
+columns unlock:
+
+* vectorized kernels (:mod:`repro.runtime.vectorized` dispatches numpy
+  implementations when a partition is columnar),
+* compact pickles (one ``bytes`` per column instead of per-record
+  tuples) for the process backend and stable storage,
+* zero-copy shared-memory IPC (:func:`export_shm` /
+  :func:`attach_shm_block` ship typed columns through one
+  ``multiprocessing.shared_memory`` segment per chunk), and
+* spill-to-disk (:class:`BlockStore` keeps resident block bytes under a
+  budget by evicting cold payloads to disk and faulting them back on
+  access), lifting the whole-dataset-in-RAM ceiling.
+
+Simulated costs never look inside a block: the driver still charges from
+record counts, so columnar on/off is bit-identical in records, simulated
+time, metrics and superstep counts — only wall-clock time and the
+store-owned ``blocks.*`` telemetry change.
+
+Dtype detection is exact-type, not duck-typed: only ``type(v) is int``
+values land in an int64 column (``bool`` is an int subclass but must
+round-trip as ``bool``) and only ``type(v) is float`` in a float64
+column. Ints beyond 64 bits overflow ``array('q')`` and fall back to an
+object column. Anything non-uniform falls back to a row-layout block
+(a wrapped record list) — never an error.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import weakref
+from array import array
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import ExecutionError
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Column",
+    "ColumnarBlock",
+    "BlockStore",
+    "ShmBlockRef",
+    "maybe_block",
+    "ensure_records",
+    "concat_blocks",
+    "concat_parts",
+    "float64_zeros",
+    "int64_column_from_bytes",
+    "export_shm",
+    "attach_shm_block",
+]
+
+#: column kinds are ``array`` typecodes: int64, float64, plus "O" for a
+#: plain object list. The typed kinds double as ``memoryview.cast``
+#: format characters on the shared-memory path.
+INT64 = "q"
+FLOAT64 = "d"
+OBJECT = "O"
+
+_TYPED_KINDS = (INT64, FLOAT64)
+_ITEMSIZE = {INT64: 8, FLOAT64: 8}
+
+#: rough per-record byte estimate for object columns / row layouts
+#: (tuple header + pointer + boxed value); only budget accounting uses
+#: it, so a rough constant is fine.
+_OBJECT_RECORD_BYTES = 64
+
+
+class Column:
+    """One field of a columnar block.
+
+    ``data`` is an ``array.array`` (typed kinds), a contiguous
+    ``memoryview`` already cast to the kind's format (shared-memory
+    attach path), or a plain list (object kind). Iterating ``data``
+    yields the exact Python values the source records held: ``array``
+    round-trips int64/float64 exactly and object columns store the
+    original objects.
+    """
+
+    __slots__ = ("kind", "data")
+
+    def __init__(self, kind: str, data: Any):
+        self.kind = kind
+        self.data = data
+
+    @property
+    def typed(self) -> bool:
+        return self.kind in _TYPED_KINDS
+
+    def nbytes(self, length: int) -> int:
+        if self.typed:
+            return length * _ITEMSIZE[self.kind]
+        return length * _OBJECT_RECORD_BYTES
+
+    def tobytes(self) -> bytes:
+        """The raw little-endian bytes of a typed column."""
+        data = self.data
+        if isinstance(data, memoryview):
+            return data.tobytes()
+        return data.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Column(kind={self.kind!r}, n={len(self.data)})"
+
+
+def _build_column(values: list[Any]) -> Column:
+    """Pick the narrowest exact-type column for ``values``.
+
+    ``bool`` is excluded from int columns by the exact ``type`` check
+    (it must round-trip as ``bool``), and ints wider than 64 bits
+    overflow ``array('q')`` and fall back to an object column.
+    """
+    kinds = {type(v) for v in values}
+    if kinds == {int}:
+        try:
+            return Column(INT64, array(INT64, values))
+        except OverflowError:
+            return Column(OBJECT, list(values))
+    if kinds == {float}:
+        return Column(FLOAT64, array(FLOAT64, values))
+    return Column(OBJECT, list(values))
+
+
+def _normalize_buffer(kind: str, buf: Any) -> Any:
+    """Coerce a caller-supplied buffer into iterable column storage.
+
+    Accepts ``array.array``, ``bytes`` and ``memoryview`` (contiguous or
+    not — non-contiguous views are copied element-wise, which is the
+    only portable way to read them).
+    """
+    if isinstance(buf, array):
+        if buf.typecode != kind:
+            raise ExecutionError(
+                f"column buffer typecode {buf.typecode!r} does not match kind {kind!r}"
+            )
+        return buf
+    if isinstance(buf, (bytes, bytearray)):
+        return array(kind, bytes(buf))
+    if isinstance(buf, memoryview):
+        if buf.format == kind and buf.contiguous:
+            return buf
+        if buf.contiguous:
+            return array(kind, buf.cast("B").cast(kind))
+        # Non-contiguous (strided) view: element-wise copy.
+        if buf.format != kind:
+            raise ExecutionError(
+                f"non-contiguous column buffer has format {buf.format!r}, "
+                f"expected {kind!r}"
+            )
+        return array(kind, buf.tolist())
+    raise ExecutionError(f"unsupported column buffer type {type(buf).__name__}")
+
+
+#: block layouts. "cols" = one Column per tuple field; "rows" = the
+#: original record list, kept verbatim (non-tuple or ragged records).
+COLS = "cols"
+ROWS = "rows"
+
+
+class ColumnarBlock:
+    """An immutable columnar partition: a read-only sequence of records.
+
+    Iteration, indexing, ``len``, truthiness, equality and pickling all
+    match the record list the block was built from, so a block can stand
+    in for a partition list anywhere the engine only *reads* partitions
+    (which is everywhere — partitions are replaced, never mutated, by
+    contract of the kernels and the recovery paths).
+
+    When adopted by a :class:`BlockStore` the payload may be spilled to
+    disk; any access faults it back in transparently.
+    """
+
+    __slots__ = ("_length", "_layout", "_payload", "_store", "_bid", "__weakref__")
+
+    def __init__(self, length: int, layout: str, payload: Any):
+        self._length = length
+        self._layout = layout
+        self._payload = payload
+        self._store: "BlockStore | None" = None
+        self._bid: int | None = None
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[Any]) -> "ColumnarBlock":
+        """Build a block holding exactly ``records``.
+
+        Uniform same-width tuple records get the columnar layout; empty,
+        ragged or non-tuple partitions fall back to the row layout.
+        """
+        records = records if isinstance(records, list) else list(records)
+        if not records:
+            return cls(0, ROWS, [])
+        width = len(records[0]) if type(records[0]) is tuple else -1
+        if width < 1 or any(
+            type(r) is not tuple or len(r) != width for r in records
+        ):
+            return cls(len(records), ROWS, list(records))
+        columns = tuple(
+            _build_column([r[i] for r in records]) for i in range(width)
+        )
+        return cls(len(records), COLS, columns)
+
+    @classmethod
+    def from_columns(
+        cls, columns: Sequence[Column], length: int
+    ) -> "ColumnarBlock":
+        """Assemble a block directly from prepared columns."""
+        if length == 0:
+            return cls(0, ROWS, [])
+        return cls(length, COLS, tuple(columns))
+
+    # -- payload access (spill-aware) -------------------------------------------
+
+    def _data(self) -> Any:
+        """The live payload, faulting it in from the spill store if needed."""
+        payload = self._payload
+        if payload is not None:
+            store = self._store
+            if store is not None:
+                store.touch(self)
+            return payload
+        store = self._store
+        if store is None:
+            raise ExecutionError("columnar block payload lost without a store")
+        return store.load(self)
+
+    @property
+    def layout(self) -> str:
+        return self._layout
+
+    @property
+    def width(self) -> int:
+        """Number of tuple fields (-1 for row-layout blocks)."""
+        return len(self._data()) if self._layout == COLS else -1
+
+    @property
+    def spilled(self) -> bool:
+        return self._payload is None
+
+    def columns(self) -> tuple[Column, ...]:
+        if self._layout != COLS:
+            raise ExecutionError("row-layout block has no columns")
+        return self._data()
+
+    def column(self, index: int) -> Column | None:
+        """Column ``index``, or ``None`` for row layouts / bad indexes."""
+        if self._layout != COLS:
+            return None
+        columns = self._data()
+        if index < 0 or index >= len(columns):
+            return None
+        return columns[index]
+
+    def column_values(self, index: int) -> Any | None:
+        """The raw value sequence of column ``index`` (or ``None``)."""
+        col = self.column(index)
+        return col.data if col is not None else None
+
+    @property
+    def typed(self) -> bool:
+        """True when every column is a typed (int64/float64) array."""
+        return self._layout == COLS and all(c.typed for c in self._data())
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated payload size (exact for typed columns)."""
+        if self._layout == COLS:
+            return sum(c.nbytes(self._length) for c in self._data())
+        return self._length * _OBJECT_RECORD_BYTES
+
+    # -- sequence protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        payload = self._data()
+        if self._layout == COLS:
+            # zip() builds exactly the tuples the source records were.
+            return zip(*(c.data for c in payload))
+        return iter(payload)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        payload = self._data()
+        if self._layout == COLS:
+            if index < 0:
+                index += self._length
+            if index < 0 or index >= self._length:
+                raise IndexError("block index out of range")
+            return tuple(c.data[index] for c in payload)
+        return payload[index]
+
+    def to_records(self) -> list[Any]:
+        """The partition as a plain record list (a fresh copy)."""
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (ColumnarBlock, list)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    #: blocks compare by contents, so they are unhashable like lists.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarBlock(n={self._length}, layout={self._layout!r}, "
+            f"spilled={self.spilled})"
+        )
+
+    # -- bulk column ops (used by the vectorized kernels) ------------------------
+
+    def take(self, indices: Sequence[int]) -> "ColumnarBlock":
+        """A new block holding ``[self[i] for i in indices]``.
+
+        ``indices`` may be any int sequence (typically a numpy index
+        array); typed columns are gathered bytes-wise, object columns by
+        list indexing.
+        """
+        if self._layout != COLS:
+            rows = self._data()
+            return ColumnarBlock(len(indices), ROWS, [rows[i] for i in indices])
+        if len(indices) == 0:
+            return ColumnarBlock(0, ROWS, [])
+        out_columns = []
+        for col in self._data():
+            if col.typed:
+                try:
+                    import numpy as np
+
+                    gathered = np.frombuffer(col.data, dtype=col.kind)[indices]
+                    out_columns.append(
+                        Column(col.kind, array(col.kind, gathered.tobytes()))
+                    )
+                    continue
+                except ImportError:  # pragma: no cover - numpy is available
+                    pass
+            data = col.data
+            out_columns.append(
+                Column(col.kind, _gather(col.kind, data, indices))
+            )
+        return ColumnarBlock(len(indices), COLS, tuple(out_columns))
+
+    # -- pickling ---------------------------------------------------------------
+
+    def _encoded_payload(self):
+        """Pickle-friendly payload: typed columns as raw bytes."""
+        payload = self._data()
+        if self._layout == COLS:
+            return tuple(
+                (c.kind, c.tobytes() if c.typed else list(c.data))
+                for c in payload
+            )
+        return list(payload)
+
+    def __reduce__(self):
+        return (
+            _rebuild_block,
+            (self._length, self._layout, self._encoded_payload()),
+        )
+
+
+def _gather(kind: str, data: Any, indices: Sequence[int]) -> Any:
+    """Non-numpy take: element-wise gather into fresh column storage."""
+    if kind in _TYPED_KINDS:
+        return array(kind, [data[i] for i in indices])
+    return [data[i] for i in indices]
+
+
+def _decode_payload(layout: str, encoded: Any) -> Any:
+    if layout == COLS:
+        return tuple(
+            Column(kind, array(kind, raw) if kind in _TYPED_KINDS else list(raw))
+            for kind, raw in encoded
+        )
+    return list(encoded)
+
+
+def _rebuild_block(length: int, layout: str, encoded: Any) -> ColumnarBlock:
+    return ColumnarBlock(length, layout, _decode_payload(layout, encoded))
+
+
+# -- conversion shims -------------------------------------------------------------
+
+
+def maybe_block(
+    part: Any, store: "BlockStore | None" = None
+) -> ColumnarBlock:
+    """Coerce a partition (list or block) to a block, adopting it into
+    ``store`` when one is given. Blocks pass through untouched (modulo
+    adoption), lists are converted."""
+    if isinstance(part, ColumnarBlock):
+        block = part
+    else:
+        block = ColumnarBlock.from_records(part)
+    if store is not None:
+        store.adopt(block)
+    return block
+
+
+def ensure_records(part: Any) -> list[Any]:
+    """A partition as a plain record list (identity for lists)."""
+    if isinstance(part, list):
+        return part
+    return list(part)
+
+
+def concat_blocks(blocks: Sequence[ColumnarBlock]) -> ColumnarBlock | None:
+    """Concatenate blocks column-wise; ``None`` when layouts disagree.
+
+    All inputs must be columnar with identical widths and column kinds;
+    any mismatch returns ``None`` so the caller can fall back to a
+    record-list merge. The record order is the blocks' order — exactly
+    what extending a list with each block would produce.
+    """
+    nonempty = [b for b in blocks if len(b)]
+    if not nonempty:
+        return ColumnarBlock(0, ROWS, [])
+    if len(nonempty) == 1:
+        return nonempty[0]
+    first = nonempty[0]
+    if first.layout != COLS:
+        return None
+    width = first.width
+    kinds = [c.kind for c in first.columns()]
+    for block in nonempty[1:]:
+        if block.layout != COLS or block.width != width:
+            return None
+        if [c.kind for c in block.columns()] != kinds:
+            return None
+    length = sum(len(b) for b in nonempty)
+    out_columns = []
+    for i, kind in enumerate(kinds):
+        if kind in _TYPED_KINDS:
+            merged = array(kind)
+            for block in nonempty:
+                data = block.columns()[i].data
+                if isinstance(data, memoryview):
+                    merged.frombytes(data.tobytes())
+                else:
+                    merged.extend(data)
+        else:
+            merged = []
+            for block in nonempty:
+                merged.extend(block.columns()[i].data)
+        out_columns.append(Column(kind, merged))
+    return ColumnarBlock(length, COLS, tuple(out_columns))
+
+
+def concat_parts(parts: Sequence[Any]) -> Any:
+    """Merge per-source buckets into one partition.
+
+    When every bucket is a block and their layouts agree the merge stays
+    columnar; otherwise the buckets are flattened into a record list.
+    Either way the record order is bucket order — the shuffle-merge
+    contract.
+    """
+    if all(isinstance(p, ColumnarBlock) for p in parts):
+        merged = concat_blocks(parts)
+        if merged is not None:
+            return merged
+    out: list[Any] = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+def float64_zeros(length: int) -> Column:
+    """A float64 column of ``length`` zeros (IEEE +0.0)."""
+    return Column(FLOAT64, array(FLOAT64, bytes(8 * length)))
+
+
+def int64_column_from_bytes(raw: bytes) -> Column:
+    """An int64 column over little-endian raw bytes."""
+    return Column(INT64, array(INT64, raw))
+
+
+# -- spill-to-disk store ----------------------------------------------------------
+
+
+class BlockStore:
+    """LRU byte-budget manager for columnar block payloads.
+
+    Adopted blocks are tracked by a weakref registry; when the resident
+    payload bytes exceed ``budget_bytes`` the least-recently-used
+    payloads are spilled to one pickle file each under a private temp
+    directory (write-once: a block's contents never change) and the
+    in-memory payload is dropped. Any access to a spilled block faults
+    the payload back in — and may evict others to stay under budget.
+
+    The store has its own metrics registry (``blocks.*`` counters) so
+    job metrics stay bit-identical with the store on or off, mirroring
+    how the parallel backends keep ``parallel.*`` out of job metrics.
+
+    ``close()`` re-materializes every spilled live block, detaches all
+    blocks and removes the spill directory: result datasets outlive the
+    run (drivers materialize ``final_records`` after runtime cleanup),
+    so payloads must survive the store.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int | None = None,
+        spill_dir: str | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if budget_bytes is not None and budget_bytes < 1:
+            raise ExecutionError(
+                f"block store budget must be >= 1 byte or None, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.RLock()
+        self._ids = itertools.count()
+        #: bid -> weakref to the adopted block, in LRU order (oldest first).
+        self._blocks: dict[int, weakref.ref] = {}
+        self._sizes: dict[int, int] = {}
+        self._paths: dict[int, str] = {}
+        #: bids whose payload is currently spilled (not counted resident).
+        self._nonresident: set[int] = set()
+        self._resident = 0
+        self._closed = False
+        self._dir = spill_dir
+        self._tmpdir: str | None = None
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _spill_dir(self) -> str:
+        if self._dir is None:
+            if self._tmpdir is None:
+                self._tmpdir = tempfile.mkdtemp(prefix="repro-blocks-")
+            self._dir = self._tmpdir
+        return self._dir
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident
+
+    @property
+    def managed_blocks(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def adopt(self, block: ColumnarBlock) -> ColumnarBlock:
+        """Start managing ``block``'s payload (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return block
+            if block._store is self:
+                self._touch_locked(block._bid)
+                return block
+            if block._store is not None:
+                # Managed elsewhere; leave it to its own store.
+                return block
+            bid = next(self._ids)
+            block._store = self
+            block._bid = bid
+            self._blocks[bid] = weakref.ref(block)
+            self._sizes[bid] = block.nbytes
+            self._resident += self._sizes[bid]
+            self.metrics.increment("blocks.adopted")
+            self._evict_locked(exclude=bid)
+        return block
+
+    def touch(self, block: ColumnarBlock) -> None:
+        """LRU hint: mark ``block`` most recently used."""
+        bid = block._bid
+        if bid is None:
+            return
+        with self._lock:
+            self._touch_locked(bid)
+
+    def _touch_locked(self, bid: int | None) -> None:
+        if bid is not None and bid in self._blocks:
+            self._blocks[bid] = self._blocks.pop(bid)
+
+    def load(self, block: ColumnarBlock) -> Any:
+        """Fault a spilled payload back in (and rebalance the budget)."""
+        with self._lock:
+            payload = block._payload
+            if payload is not None:
+                self._touch_locked(block._bid)
+                return payload
+            bid = block._bid
+            path = self._paths.get(bid) if bid is not None else None
+            if path is None:
+                raise ExecutionError("spilled block has no spill file")
+            with open(path, "rb") as fh:
+                layout, encoded = pickle.load(fh)
+            payload = _decode_payload(layout, encoded)
+            block._payload = payload
+            self._nonresident.discard(bid)
+            self._resident += self._sizes.get(bid, 0)
+            self._touch_locked(bid)
+            self.metrics.increment("blocks.loaded")
+            self._evict_locked(exclude=bid)
+            return payload
+
+    def _evict_locked(self, exclude: int | None = None) -> None:
+        budget = self.budget_bytes
+        if budget is None or self._resident <= budget:
+            return
+        for bid in list(self._blocks):
+            if self._resident <= budget:
+                break
+            if bid == exclude:
+                continue
+            ref = self._blocks[bid]
+            block = ref()
+            if block is None:
+                # Dead block: reclaim its accounting (and spill file).
+                if self._paths.get(bid):
+                    self._remove_file(self._paths.pop(bid))
+                self._blocks.pop(bid)
+                size = self._sizes.pop(bid, 0)
+                if bid not in self._nonresident:
+                    self._resident = max(0, self._resident - size)
+                self._nonresident.discard(bid)
+                continue
+            if block._payload is None:
+                continue
+            self._spill_locked(bid, block)
+
+    def _spill_locked(self, bid: int, block: ColumnarBlock) -> None:
+        path = self._paths.get(bid)
+        if path is None:
+            path = os.path.join(self._spill_dir(), f"block-{bid}.pkl")
+            with open(path, "wb") as fh:
+                pickle.dump(
+                    (block._layout, block._encoded_payload_raw()), fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            self._paths[bid] = path
+        block._payload = None
+        self._nonresident.add(bid)
+        self._resident = max(0, self._resident - self._sizes.get(bid, 0))
+        self.metrics.increment("blocks.spilled")
+
+    @staticmethod
+    def _remove_file(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Detach every block (re-materializing spilled payloads) and
+        remove the spill directory. Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for bid, ref in list(self._blocks.items()):
+                block = ref()
+                if block is None:
+                    continue
+                if block._payload is None:
+                    path = self._paths.get(bid)
+                    if path is not None:
+                        with open(path, "rb") as fh:
+                            layout, encoded = pickle.load(fh)
+                        block._payload = _decode_payload(layout, encoded)
+                block._store = None
+                block._bid = None
+            self._blocks.clear()
+            self._sizes.clear()
+            for path in self._paths.values():
+                self._remove_file(path)
+            self._paths.clear()
+            self._nonresident.clear()
+            self._resident = 0
+            if self._tmpdir is not None:
+                shutil.rmtree(self._tmpdir, ignore_errors=True)
+                self._tmpdir = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BlockStore(budget={self.budget_bytes}, "
+            f"resident={self._resident}, blocks={len(self._blocks)})"
+        )
+
+
+def _encoded_payload_raw(self: ColumnarBlock):
+    """Encode the *in-memory* payload without spill-aware access.
+
+    Only the store's spill path uses this — the payload is known
+    resident (the store holds the lock and is about to drop it).
+    """
+    payload = self._payload
+    if self._layout == COLS:
+        return tuple(
+            (c.kind, c.tobytes() if c.typed else list(c.data)) for c in payload
+        )
+    return list(payload)
+
+
+ColumnarBlock._encoded_payload_raw = _encoded_payload_raw  # type: ignore[attr-defined]
+del _encoded_payload_raw
+
+
+# -- shared-memory IPC ------------------------------------------------------------
+
+
+class ShmBlockRef:
+    """Wire stand-in for a typed block shipped via shared memory.
+
+    Pickles as ``(segment name, record count, [(kind, offset, nbytes)])``
+    — a few dozen bytes regardless of block size. The worker attaches
+    the segment and rebuilds the block zero-copy with
+    :func:`attach_shm_block`.
+    """
+
+    __slots__ = ("name", "length", "layout")
+
+    def __init__(self, name: str, length: int, layout: list[tuple[str, int, int]]):
+        self.name = name
+        self.length = length
+        self.layout = layout
+
+    def __getstate__(self):
+        return (self.name, self.length, self.layout)
+
+    def __setstate__(self, state):
+        self.name, self.length, self.layout = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShmBlockRef(name={self.name!r}, n={self.length})"
+
+
+def shm_eligible(value: Any, min_bytes: int) -> bool:
+    """Whether ``value`` is a typed block big enough to ship via shm."""
+    return (
+        isinstance(value, ColumnarBlock)
+        and value.typed
+        and value.nbytes >= min_bytes
+    )
+
+
+def export_shm(blocks: Sequence[ColumnarBlock]):
+    """Copy typed blocks into one fresh shared-memory segment.
+
+    Returns ``(shm, refs)`` — the parent-owned segment (caller must
+    ``close()`` + ``unlink()`` it once the chunk completes) and one
+    :class:`ShmBlockRef` per input block, in order.
+    """
+    from multiprocessing import shared_memory
+
+    total = sum(b.nbytes for b in blocks)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    refs: list[ShmBlockRef] = []
+    offset = 0
+    buf = shm.buf
+    for block in blocks:
+        layout: list[tuple[str, int, int]] = []
+        for col in block.columns():
+            raw = col.tobytes()
+            nbytes = len(raw)
+            buf[offset : offset + nbytes] = raw
+            layout.append((col.kind, offset, nbytes))
+            offset += nbytes
+        refs.append(ShmBlockRef(shm.name, len(block), layout))
+    return shm, refs
+
+
+def attach_shm_block(ref: ShmBlockRef, segments: dict[str, Any]) -> ColumnarBlock:
+    """Rebuild a block zero-copy from an attached shm segment.
+
+    ``segments`` caches attached ``SharedMemory`` objects by name so one
+    chunk's blocks share a single attach. On Python 3.11 attaching
+    registers the segment with the resource tracker, which would later
+    double-unlink it (the parent owns the segment), so the worker
+    unregisters right after attaching.
+    """
+    from multiprocessing import shared_memory
+
+    shm = segments.get(ref.name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=ref.name)
+        try:  # the parent owns (and unlinks) the segment
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker API differences
+            pass
+        segments[ref.name] = shm
+    columns = []
+    view = memoryview(shm.buf)
+    for kind, offset, nbytes in ref.layout:
+        columns.append(Column(kind, view[offset : offset + nbytes].cast(kind)))
+    return ColumnarBlock.from_columns(columns, ref.length)

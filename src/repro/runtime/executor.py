@@ -38,6 +38,7 @@ from ..errors import ExecutionError, PartitionLostError
 from ..observability.span import SpanKind
 from ..observability.tracer import NOOP_TRACER, Tracer
 from . import kernels
+from .blocks import BlockStore, ColumnarBlock, concat_parts, maybe_block
 from .cache import SuperstepExecutionCache
 from .clock import SimulatedClock
 from .metrics import MetricsRegistry
@@ -57,10 +58,13 @@ class PartitionedDataset:
     """A dataset split into ``n`` partitions.
 
     Attributes:
-        partitions: one list of records per partition. A partition may be
-            ``None``, meaning its state was destroyed by a failure and has
-            not been recovered yet; executing a plan over such a dataset
-            raises :class:`repro.errors.PartitionLostError`.
+        partitions: one record sequence per partition — a plain list or,
+            under ``EngineConfig.columnar``, an immutable
+            :class:`~repro.runtime.blocks.ColumnarBlock` holding the
+            exact same records. A partition may be ``None``, meaning its
+            state was destroyed by a failure and has not been recovered
+            yet; executing a plan over such a dataset raises
+            :class:`repro.errors.PartitionLostError`.
         partitioned_by: the key spec the data is hash-partitioned by, or
             ``None`` for round-robin / unknown placement.
     """
@@ -152,9 +156,21 @@ class PartitionedDataset:
         self.partitions[partition_id] = list(records)
 
     def copy(self) -> "PartitionedDataset":
-        """A deep-enough copy (fresh partition lists, shared records)."""
+        """A deep-enough copy (fresh partition lists, shared records).
+
+        Columnar blocks are immutable, so the copy shares them outright
+        — the outer partition list is fresh either way, which is all the
+        decoupling callers (``lose``, ``replace_partition``) rely on.
+        """
         return PartitionedDataset(
-            partitions=[list(part) if part is not None else None for part in self.partitions],
+            partitions=[
+                part
+                if isinstance(part, ColumnarBlock)
+                else list(part)
+                if part is not None
+                else None
+                for part in self.partitions
+            ],
             partitioned_by=self.partitioned_by,
         )
 
@@ -181,6 +197,8 @@ class PlanExecutor:
         combiners: bool = False,
         tracer: Tracer | None = None,
         backend: ExecutionBackend | None = None,
+        columnar: bool = False,
+        block_store: BlockStore | None = None,
     ):
         if parallelism < 1:
             raise ExecutionError(f"parallelism must be >= 1, got {parallelism}")
@@ -203,6 +221,15 @@ class PlanExecutor:
         #: the execution cache of the in-flight ``execute()`` call (set
         #: per call from its ``cache`` argument; ``None`` disables reuse).
         self._cache: SuperstepExecutionCache | None = None
+        #: when True, partition payloads crossing materialization
+        #: boundaries (statics, shuffle outputs, repartitioned state) are
+        #: packed into columnar blocks; the records themselves and every
+        #: simulated charge stay bit-identical.
+        self.columnar = columnar
+        #: spill-to-disk manager for packed blocks (``None`` keeps all
+        #: payloads in memory). Owns its own ``blocks.*`` metrics so job
+        #: metrics are unchanged by the columnar flag.
+        self.block_store = block_store
         #: confined recovery's per-partition delivery log, attached by
         #: :class:`repro.core.confined.ConfinedRecovery` at run start
         #: (duck-typed: anything with a ``deliver(sizes, local=)``
@@ -288,9 +315,37 @@ class PlanExecutor:
             f"repartition:{context}", kind=SpanKind.OPERATOR, operator=context
         ) as span:
             result = self._shuffle(dataset, key, context)
+            # Driver-facing repartitions are materialization boundaries:
+            # keep the state/workset columnar even when the shuffle was a
+            # placement no-op (packing in place is idempotent and record-
+            # preserving, so aliased outputs stay aliased).
+            self.pack_dataset(result)
             if self.tracer.enabled:
                 self._annotate_operator_span(span, result)
         return result
+
+    def pack_dataset(self, dataset: PartitionedDataset) -> PartitionedDataset:
+        """Convert a dataset's partitions to columnar blocks, in place.
+
+        A no-op unless this executor runs columnar; lost (``None``)
+        partitions and already-columnar payloads pass through. Records
+        are unchanged — blocks are sequence-equal to the lists they
+        replace.
+        """
+        if self.columnar:
+            store = self.block_store
+            dataset.partitions = [
+                None if part is None else maybe_block(part, store)
+                for part in dataset.partitions
+            ]
+        return dataset
+
+    def _pack_parts(self, parts: list[Any]) -> list[Any]:
+        """Pack freshly shuffled output partitions when running columnar."""
+        if not self.columnar:
+            return parts
+        store = self.block_store
+        return [maybe_block(part, store) for part in parts]
 
     # -- internals ---------------------------------------------------------------
 
@@ -383,9 +438,9 @@ class PlanExecutor:
             return dataset
         keys = self._op_keys(op_name)
         moved = 0
-        if self.backend.is_serial:
+        if self.backend.is_serial and not self.columnar:
             partition = HashPartitioner(self.parallelism).partition
-            parts: list[list[Any]] = [[] for _ in range(self.parallelism)]
+            parts: list[Any] = [[] for _ in range(self.parallelism)]
             appends = [part.append for part in parts]
             for part in dataset.partitions:
                 moved += len(part)  # type: ignore[arg-type]
@@ -393,21 +448,26 @@ class PlanExecutor:
                     appends[partition(key(record))](record)
         else:
             # Routing is a single cheap pass (LIGHT), so parallel
-            # backends may run it inline; the merge below concatenates
-            # bucket p of every source partition in source order —
-            # exactly the record order the loop above produces.
+            # backends may run it inline (the serial backend always
+            # does); the merge below concatenates bucket p of every
+            # source partition in source order — exactly the record
+            # order the fused loop above produces. Columnar inputs take
+            # this path even serially so typed buckets can be routed
+            # and concatenated without decaying to record lists.
             routed = self._dispatch(
                 kernels.route_kernel,
                 [(part, key, self.parallelism) for part in dataset.partitions],
                 weight=LIGHT,
             )
-            parts = []
-            for pid in range(self.parallelism):
-                merged: list[Any] = []
-                for buckets in routed:
-                    merged.extend(buckets[pid])
-                parts.append(merged)
+            parts = [
+                concat_parts([buckets[pid] for buckets in routed])
+                for pid in range(self.parallelism)
+            ]
             moved = sum(len(part) for part in dataset.partitions)  # type: ignore[arg-type]
+        # Shuffle outputs are a materialization boundary: pack before
+        # charging so charge/deliver sizes are read off the final
+        # payloads (lengths are unchanged by packing).
+        parts = self._pack_parts(parts)
         self.clock.charge_network(moved)
         self.metrics.increment(keys[1], moved)
         self.metrics.observe("shuffle_volume", moved)

@@ -236,11 +236,18 @@ class StateBackend(ABC):
         """Reinstall the full state from a recovered dataset.
 
         Used by the delta driver after a recovery strategy returned a
-        complete post-recovery state; every partition index is rebuilt
-        (counted in ``state.index_rebuilds``) and any change log is
+        complete post-recovery state; each rebuilt partition index is
+        counted in ``state.index_rebuilds`` and any change log is
         cleared — for incremental checkpointing the restored state equals
         the last committed one, so "changed since last commit" restarts
         empty.
+
+        Empty incoming partitions whose live counterpart is already
+        present and empty are skipped outright: installing ``[]`` over
+        ``[]`` is a no-op, and skipping it keeps a restore O(records
+        actually restored) instead of O(num_partitions) index rebuilds —
+        which matters for sparse states where most partitions hold
+        nothing.
         """
         dataset.require_complete("state backend restore")
         if dataset.num_partitions != self.num_partitions:
@@ -248,9 +255,14 @@ class StateBackend(ABC):
                 f"cannot restore {dataset.num_partitions} partitions into "
                 f"backend of {self.num_partitions}"
             )
+        rebuilt = 0
+        live = self.partitions
         for pid, records in enumerate(dataset.partitions):
+            if not records and live[pid] is not None and not live[pid]:
+                continue
             self._install_partition(pid, list(records or []))
-        self._metrics.increment("state.index_rebuilds", self.num_partitions)
+            rebuilt += 1
+        self._metrics.increment("state.index_rebuilds", rebuilt)
         self._invalidate()
 
     # -- change tracking (consumed by incremental checkpointing) -----------------

@@ -1,0 +1,262 @@
+"""Vectorized kernel variants for columnar partitions.
+
+The kernels in :mod:`repro.runtime.kernels` stay per-record Python
+loops; this module supplies numpy fast paths that fire only when
+
+* numpy is importable (:data:`HAS_NUMPY`),
+* the partition is a typed :class:`~repro.runtime.blocks.ColumnarBlock`,
+  and
+* the operation is provably bit-identical to the record loop.
+
+That last clause is the whole design: a fast path that cannot guarantee
+the exact record values *and order* of the loop returns ``None`` and the
+caller falls back. The guarantees, case by case:
+
+* **route** (shuffle-key extraction): ``stable_hash`` is the identity on
+  ``int``, so for an int64 key column the bucket of each record is
+  ``key % n`` — ``numpy.remainder`` follows the divisor's sign exactly
+  like Python ``%``. Bucket order is preserved by ``flatnonzero``
+  (ascending indices).
+* **fold "sum"** (PageRank's rank/mass summation): grouped
+  ``np.add.at`` applies additions in element order (documented
+  unbuffered sequential application), so per key the accumulation order
+  equals the loop's first-seen fold order. Starting from ``0.0`` instead
+  of the first value is bitwise harmless for float64 — ``0.0 + v == v``
+  bit-for-bit — except for ``v == -0.0`` (yields ``+0.0``) and NaN
+  payloads; inputs containing either fall back to the loop. Key order is
+  restored to first-seen order via ``unique``'s first-occurrence
+  indexes. Gated to int64 keys + float64 values.
+* **fold "min"**: gated to int64 keys and int64 values, using
+  ``np.minimum.at``. The loop keeps the *left* record on ties, but for
+  two-field ``(key, value)`` records with equal keys the tied records
+  are equal, so emitting ``(key, min_value)`` is identical.
+
+UDFs opt in by attribute marks set where the UDF is defined
+(:func:`mark_fold`, :func:`mark_columnar_map`, ...); the marks travel
+with the function through pickling because the functions are
+module-level. Fold marks require the UDF to be a two-field
+``(key, value) -> (key, combined)`` combiner whose combine is plain
+``+``/``min`` on the value field.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Callable
+
+from .blocks import COLS, FLOAT64, INT64, Column, ColumnarBlock
+
+try:  # numpy is optional; every caller falls back to the record loop.
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+__all__ = [
+    "HAS_NUMPY",
+    "mark_fold",
+    "mark_columnar_map",
+    "mark_columnar_filter",
+    "mark_columnar_flat_map",
+    "typed_column",
+    "vectorized_route",
+    "vectorized_fold",
+    "apply_columnar_map",
+    "apply_columnar_filter",
+    "apply_columnar_flat_map",
+    "keyed_records",
+]
+
+
+# -- UDF marks --------------------------------------------------------------------
+
+
+def mark_fold(fn: Callable, op: str) -> Callable:
+    """Declare ``fn`` a vectorizable two-field combiner (``"sum"``/``"min"``)."""
+    if op not in ("sum", "min"):
+        raise ValueError(f"fold op must be 'sum' or 'min', got {op!r}")
+    fn.__columnar_fold__ = op
+    return fn
+
+
+def mark_columnar_map(fn: Callable, impl: Callable) -> Callable:
+    """Attach a block-level implementation to a map UDF.
+
+    ``impl(block)`` must return a partition equal record-for-record to
+    ``[fn(r) for r in block]`` — or ``None`` to decline (the kernel then
+    runs the loop)."""
+    fn.__columnar_map__ = impl
+    return fn
+
+
+def mark_columnar_filter(fn: Callable, impl: Callable) -> Callable:
+    """Attach a mask implementation to a filter UDF.
+
+    ``impl(block)`` must return a boolean numpy array matching
+    ``[bool(fn(r)) for r in block]`` — or ``None`` to decline."""
+    fn.__columnar_filter__ = impl
+    return fn
+
+
+def mark_columnar_flat_map(fn: Callable, impl: Callable) -> Callable:
+    """Attach a block-level implementation to a flat_map UDF.
+
+    ``impl(block)`` must return a partition equal to the flattened
+    ``fn`` outputs — or ``None`` to decline."""
+    fn.__columnar_flat_map__ = impl
+    return fn
+
+
+# -- column access ----------------------------------------------------------------
+
+
+def typed_column(part: Any, index: int, kind: str):
+    """Column ``index`` of ``part`` as a numpy array, or ``None``.
+
+    Returns ``None`` unless ``part`` is a columnar block whose column
+    ``index`` is typed as ``kind``.
+    """
+    if not HAS_NUMPY or not isinstance(part, ColumnarBlock):
+        return None
+    col = part.column(index)
+    if col is None or col.kind != kind:
+        return None
+    return np.frombuffer(col.data, dtype=kind)
+
+
+def keyed_records(part: Any, key: Callable[[Any], Any]):
+    """Iterate ``(record, key(record))`` pairs, reading the key column
+    directly when the partition is columnar and the key is a plain field
+    extractor (``KeySpec.field``). Identical pairs either way — a field
+    key spec's extractor is ``record[field]`` by contract."""
+    field = getattr(key, "field", None)
+    if field is not None and isinstance(part, ColumnarBlock):
+        values = part.column_values(field)
+        if values is not None:
+            return zip(part, values)
+    return ((record, key(record)) for record in part)
+
+
+# -- route (shuffle-key extraction) ------------------------------------------------
+
+
+def vectorized_route(
+    part: Any, key: Callable[[Any], Any], num_partitions: int
+) -> list[ColumnarBlock] | None:
+    """Bucket a typed block by ``hash(key) % n`` without a record loop.
+
+    Only fires for an int64 key column — ``stable_hash`` is the identity
+    on ``int``, so the bucket is exactly ``key % n``. Returns one block
+    per target partition (record order within a bucket preserved), or
+    ``None`` when the fast path does not apply.
+    """
+    field = getattr(key, "field", None)
+    if field is None or not isinstance(part, ColumnarBlock):
+        return None
+    keys = typed_column(part, field, INT64)
+    if keys is None:
+        return None
+    mods = keys % num_partitions
+    return [
+        part.take(np.flatnonzero(mods == pid)) for pid in range(num_partitions)
+    ]
+
+
+# -- fold_by_key ------------------------------------------------------------------
+
+
+def vectorized_fold(
+    part: Any, key: Callable[[Any], Any], op: str
+) -> ColumnarBlock | None:
+    """Grouped sum/min over a two-field typed block, loop-identical.
+
+    Returns the folded partition as a block in first-seen key order, or
+    ``None`` whenever bit-identity cannot be guaranteed (wrong shapes or
+    dtypes, ``-0.0``/NaN values for the float sum).
+    """
+    if not HAS_NUMPY or not isinstance(part, ColumnarBlock) or len(part) == 0:
+        return None
+    if getattr(key, "field", None) != 0 or part.width != 2:
+        return None
+    keys = typed_column(part, 0, INT64)
+    if keys is None:
+        return None
+    if op == "sum":
+        vals = typed_column(part, 1, FLOAT64)
+        if vals is None:
+            return None
+        # 0.0 + v is bitwise v except for v == -0.0 (gives +0.0) and
+        # NaN payload propagation; bail to the exact loop on either.
+        if np.any((vals == 0.0) & np.signbit(vals)) or np.isnan(vals).any():
+            return None
+        unique, first_idx, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        acc = np.zeros(len(unique), dtype=np.float64)
+        # np.<ufunc>.at applies updates sequentially in element order,
+        # so each group's additions happen in record order — the loop's
+        # fold order.
+        np.add.at(acc, inverse, vals)
+        order = np.argsort(first_idx, kind="stable")
+        out_keys = unique[order]
+        out_vals = acc[order]
+        return ColumnarBlock.from_columns(
+            (
+                Column(INT64, array(INT64, out_keys.tobytes())),
+                Column(FLOAT64, array(FLOAT64, out_vals.tobytes())),
+            ),
+            len(out_keys),
+        )
+    if op == "min":
+        vals = typed_column(part, 1, INT64)
+        if vals is None:
+            return None
+        unique, first_idx, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        acc = np.full(len(unique), np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(acc, inverse, vals)
+        order = np.argsort(first_idx, kind="stable")
+        out_keys = unique[order]
+        out_vals = acc[order]
+        return ColumnarBlock.from_columns(
+            (
+                Column(INT64, array(INT64, out_keys.tobytes())),
+                Column(INT64, array(INT64, out_vals.tobytes())),
+            ),
+            len(out_keys),
+        )
+    return None
+
+
+# -- map / filter / flat_map dispatch ---------------------------------------------
+
+
+def apply_columnar_map(fn: Callable, part: Any):
+    """Run a map UDF's block implementation, or return ``None``."""
+    impl = getattr(fn, "__columnar_map__", None)
+    if impl is None or not isinstance(part, ColumnarBlock):
+        return None
+    return impl(part)
+
+
+def apply_columnar_filter(fn: Callable, part: Any):
+    """Run a filter UDF's mask implementation; returns the kept
+    partition as a block, or ``None``."""
+    impl = getattr(fn, "__columnar_filter__", None)
+    if impl is None or not HAS_NUMPY or not isinstance(part, ColumnarBlock):
+        return None
+    mask = impl(part)
+    if mask is None:
+        return None
+    return part.take(np.flatnonzero(mask))
+
+
+def apply_columnar_flat_map(fn: Callable, part: Any):
+    """Run a flat_map UDF's block implementation, or return ``None``."""
+    impl = getattr(fn, "__columnar_flat_map__", None)
+    if impl is None or not isinstance(part, ColumnarBlock):
+        return None
+    return impl(part)

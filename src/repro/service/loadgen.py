@@ -59,6 +59,10 @@ class WorkloadConfig:
             bit-identical either way.
         parallel_workers: intra-job worker count for a parallel backend
             (the service's core budget may clamp it further).
+        columnar: pack every generated job's partition payloads into
+            typed columnar blocks; ``None`` keeps the engine default
+            (the ``REPRO_COLUMNAR`` environment variable). Like the
+            backend choice, it never changes per-job outputs.
     """
 
     num_jobs: int = 50
@@ -75,6 +79,7 @@ class WorkloadConfig:
     backoff_base: float = 0.01
     parallel_backend: str | None = None
     parallel_workers: int | None = None
+    columnar: bool | None = None
 
     def __post_init__(self) -> None:
         if self.num_jobs < 1:
@@ -123,6 +128,8 @@ class WorkloadConfig:
             overrides["parallel_backend"] = self.parallel_backend
         if self.parallel_workers is not None:
             overrides["parallel_workers"] = self.parallel_workers
+        if self.columnar is not None:
+            overrides["columnar"] = self.columnar
         return overrides
 
 

@@ -1,0 +1,178 @@
+"""Columnar bit-identity: blocks never change what a job computes.
+
+Columnar packing is a physical optimization — typed blocks, vectorized
+kernels, shared-memory shipping, spill-to-disk. None of it may leak into
+the simulation: a columnar run must produce the same final records, the
+same simulated time and cost breakdown, the same superstep count and
+the same per-superstep statistics as the record-list run, on every
+backend and under every recovery strategy's failure paths. These tests
+pin that contract with the same fingerprint used by the backend
+equivalence suite.
+"""
+
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.pagerank import pagerank
+from repro.config import EngineConfig
+from repro.core.adaptive import AdaptiveRecovery
+from repro.core.checkpointing import CheckpointRecovery
+from repro.core.confined import ConfinedRecovery
+from repro.core.incremental import IncrementalCheckpointRecovery
+from repro.core.restart import LineageRecovery, RestartRecovery
+from repro.errors import RecoveryError
+from repro.graph.generators import multi_component_graph, twitter_like_graph
+from repro.runtime.failures import FailureSchedule
+
+RECOVERIES = ("optimistic", "checkpoint", "restart", "lineage", "confined", "adaptive")
+
+
+def _strategy(job, name):
+    return {
+        "optimistic": job.optimistic,
+        "checkpoint": lambda: CheckpointRecovery(interval=2),
+        "incremental": IncrementalCheckpointRecovery,
+        "restart": RestartRecovery,
+        "lineage": LineageRecovery,
+        "confined": ConfinedRecovery,
+        "adaptive": lambda: AdaptiveRecovery(
+            getattr(job, "compensation", None),
+            getattr(job, "invariants", None),
+            checkpoint_interval=2,
+        ),
+    }[name]()
+
+
+def _config(backend, columnar, **overrides):
+    return EngineConfig(
+        parallelism=4,
+        spare_workers=8,
+        parallel_backend=backend,
+        parallel_workers=3,
+        columnar=columnar,
+        **overrides,
+    )
+
+
+def _fingerprint(result):
+    return (
+        sorted(result.final_records),
+        result.clock.now,
+        result.clock.breakdown(),
+        result.supersteps,
+        result.converged,
+        [series.values for series in vars(result.stats).values()
+         if hasattr(series, "values")],
+    )
+
+
+def _run_pagerank(backend, recovery_name, columnar, **overrides):
+    job = pagerank(twitter_like_graph(60, seed=11), epsilon=1e-3)
+    return job.run(
+        config=_config(backend, columnar, **overrides),
+        recovery=_strategy(job, recovery_name),
+        failures=FailureSchedule.single(3, [1]),
+    )
+
+
+def _run_cc(backend, recovery_name, columnar, **overrides):
+    job = connected_components(multi_component_graph(3, 12, seed=5))
+    return job.run(
+        config=_config(backend, columnar, **overrides),
+        recovery=_strategy(job, recovery_name),
+        failures=FailureSchedule.single(2, [0, 2]),
+    )
+
+
+# -- columnar on/off identity, all strategies -----------------------------------
+
+
+@pytest.mark.parametrize("recovery_name", RECOVERIES)
+def test_pagerank_columnar_matches_records(recovery_name):
+    baseline = _fingerprint(_run_pagerank("serial", recovery_name, columnar=False))
+    assert _fingerprint(_run_pagerank("serial", recovery_name, columnar=True)) == baseline
+
+
+@pytest.mark.parametrize("recovery_name", RECOVERIES + ("incremental",))
+def test_connected_components_columnar_matches_records(recovery_name):
+    baseline = _fingerprint(_run_cc("serial", recovery_name, columnar=False))
+    assert _fingerprint(_run_cc("serial", recovery_name, columnar=True)) == baseline
+
+
+# -- columnar × parallel backends -------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ("threads", "processes"))
+@pytest.mark.parametrize("recovery_name", ("optimistic", "confined"))
+def test_pagerank_columnar_identical_across_backends(backend, recovery_name):
+    baseline = _fingerprint(_run_pagerank("serial", recovery_name, columnar=False))
+    assert _fingerprint(_run_pagerank(backend, recovery_name, columnar=True)) == baseline
+
+
+@pytest.mark.parametrize("backend", ("threads", "processes"))
+def test_connected_components_columnar_identical_across_backends(backend):
+    baseline = _fingerprint(_run_cc("serial", "optimistic", columnar=False))
+    assert _fingerprint(_run_cc(backend, "optimistic", columnar=True)) == baseline
+
+
+def test_processes_shm_path_identical(monkeypatch):
+    # Force even tiny blocks over shared memory so the shm code path is
+    # actually exercised, not just eligible-in-principle.
+    from repro.runtime.parallel import ProcessBackend
+
+    monkeypatch.setattr(ProcessBackend, "shm_min_bytes", 64)
+    baseline = _fingerprint(_run_pagerank("serial", "optimistic", columnar=False))
+    assert _fingerprint(
+        _run_pagerank("processes", "optimistic", columnar=True)
+    ) == baseline
+
+
+# -- spill-to-disk identity -------------------------------------------------------
+
+
+@pytest.mark.parametrize("run", [_run_pagerank, _run_cc])
+def test_spill_to_disk_is_bit_identical(run):
+    # A byte budget far below the dataset size forces constant eviction
+    # and fault-in during the run; results must not notice.
+    baseline = _fingerprint(run("serial", "optimistic", columnar=False))
+    spilled = _fingerprint(
+        run("serial", "optimistic", columnar=True, block_budget_bytes=256)
+    )
+    assert spilled == baseline
+
+
+# -- failure paths ----------------------------------------------------------------
+
+
+def test_spare_exhaustion_fails_identically_with_columnar():
+    # Unrecoverable failure: the error class must not depend on packing.
+    def run(columnar):
+        job = pagerank(twitter_like_graph(40, seed=3), epsilon=1e-3)
+        config = EngineConfig(
+            parallelism=4,
+            spare_workers=0,
+            parallel_backend="serial",
+            columnar=columnar,
+        )
+        with pytest.raises(RecoveryError):
+            job.run(
+                config=config,
+                recovery=job.optimistic(),
+                failures=FailureSchedule.single(2, [1]),
+            )
+
+    run(False)
+    run(True)
+
+
+def test_multi_failure_columnar_identical():
+    # Two failure events, the second hitting the recovered topology.
+    def run(columnar):
+        job = connected_components(multi_component_graph(2, 14, seed=9))
+        return job.run(
+            config=_config("serial", columnar),
+            recovery=job.optimistic(),
+            failures=FailureSchedule.at((1, [0]), (3, [2])),
+        )
+
+    assert _fingerprint(run(True)) == _fingerprint(run(False))

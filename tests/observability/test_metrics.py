@@ -26,9 +26,11 @@ class TestPercentile:
     def test_unsorted_input(self):
         assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            percentile([], 0.5)
+    def test_empty_short_circuits_to_zero(self):
+        # Scrape paths summarize snapshots that may hold zero-observation
+        # histograms; an empty series must not take the scrape down.
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.99) == 0.0
 
     def test_out_of_range_quantile_raises(self):
         with pytest.raises(ValueError):
@@ -57,9 +59,21 @@ class TestHistogramStats:
         assert stats.mean == 2.5
         assert stats.p50 == 2.5
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            HistogramStats.of([])
+    def test_empty_yields_zero_summary(self):
+        stats = HistogramStats.of([])
+        assert stats is HistogramStats.EMPTY
+        assert stats.count == 0
+        assert stats.total == 0.0
+        assert stats.minimum == stats.maximum == 0.0
+        assert stats.p50 == stats.p95 == stats.p99 == 0.0
+
+    def test_merge_with_empty_is_identity(self):
+        # An all-zero summary must not drag the min (or the weighted
+        # percentiles) of the real side down.
+        real = HistogramStats.of([3.0, 5.0])
+        assert real.merge(HistogramStats.EMPTY) is real
+        assert HistogramStats.EMPTY.merge(real) is real
+        assert HistogramStats.EMPTY.merge(HistogramStats.EMPTY).count == 0
 
     def test_to_dict_round_trips_keys(self):
         data = HistogramStats.of([1.0, 2.0]).to_dict()

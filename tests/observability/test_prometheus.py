@@ -109,6 +109,21 @@ class TestRenderSnapshots:
     def test_empty_snapshot_renders_empty(self):
         assert render_snapshots([({}, MetricsRegistry().snapshot_all())]) == ""
 
+    def test_empty_histogram_series_does_not_break_scrape(self):
+        # Regression: snapshots built outside MetricsRegistry (replayed
+        # exports, external JSON) may carry zero-observation histogram
+        # series; the scrape must render the rest and skip them instead
+        # of raising from the percentile math.
+        snapshot = {
+            "counters": {"records": 3},
+            "gauges": {},
+            "histograms": {"latency": [], "volume": [5.0]},
+        }
+        text = render_snapshots([({}, snapshot)])
+        assert "repro_records_total 3" in text
+        assert "repro_volume_count 1" in text
+        assert "repro_latency" not in text
+
     def test_output_ends_with_newline(self):
         registry = MetricsRegistry()
         registry.increment("x")

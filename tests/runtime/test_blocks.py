@@ -1,0 +1,317 @@
+"""Columnar block format: conversion shims, spill store, shm export.
+
+The block layer's contract is purely physical: a
+:class:`~repro.runtime.blocks.ColumnarBlock` built from a record list
+must be indistinguishable from that list to every consumer — same
+records, same order, same length/truthiness, surviving pickling, disk
+spill and shared-memory round-trips. The hypothesis section states the
+record-list ↔ columnar round-trip as a property over mixed dtypes,
+empty partitions and non-contiguous buffers.
+"""
+
+import pickle
+from array import array
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.blocks import (
+    COLS,
+    FLOAT64,
+    INT64,
+    OBJECT,
+    ROWS,
+    BlockStore,
+    Column,
+    ColumnarBlock,
+    attach_shm_block,
+    concat_blocks,
+    concat_parts,
+    ensure_records,
+    export_shm,
+    maybe_block,
+    shm_eligible,
+)
+
+
+class TestFromRecords:
+    def test_typed_two_field_records(self):
+        records = [(1, 2.0), (5, 0.25), (-3, 1.5)]
+        block = ColumnarBlock.from_records(records)
+        assert block.layout == COLS
+        assert block.typed
+        assert block.width == 2
+        assert list(block) == records
+
+    def test_mixed_width_falls_back_to_rows(self):
+        records = [(1, 2), (3, 4, 5)]
+        block = ColumnarBlock.from_records(records)
+        assert block.layout == ROWS
+        assert list(block) == records
+
+    def test_non_tuple_records_fall_back_to_rows(self):
+        records = [(1, 2), [3, 4]]
+        block = ColumnarBlock.from_records(records)
+        assert block.layout == ROWS
+        assert list(block) == records
+
+    def test_empty(self):
+        block = ColumnarBlock.from_records([])
+        assert len(block) == 0
+        assert not block
+        assert list(block) == []
+
+    def test_mixed_dtype_column_is_object(self):
+        records = [(1, "a"), (2, "b")]
+        block = ColumnarBlock.from_records(records)
+        assert block.layout == COLS
+        assert block.column(0).kind == INT64
+        assert block.column(1).kind == OBJECT
+        assert list(block) == records
+
+    def test_bool_is_not_int64(self):
+        # bool is an int subclass; storing it in an int64 column would
+        # decay True to 1 on read-back. The column must go object.
+        records = [(1, True), (2, False)]
+        block = ColumnarBlock.from_records(records)
+        assert block.column(1).kind == OBJECT
+        assert list(block) == records
+        assert type(block[0][1]) is bool
+
+    def test_int64_overflow_goes_object(self):
+        big = 2**70
+        records = [(1, big), (2, 3)]
+        block = ColumnarBlock.from_records(records)
+        assert block.column(1).kind == OBJECT
+        assert list(block) == records
+
+    def test_float_column_preserves_special_values(self):
+        records = [(1, float("inf")), (2, -0.0), (3, 1e-300)]
+        block = ColumnarBlock.from_records(records)
+        assert block.column(1).kind == FLOAT64
+        out = list(block)
+        assert out == records
+        import math
+
+        assert math.copysign(1.0, out[1][1]) == -1.0
+
+
+class TestSequenceProtocol:
+    RECORDS = [(3, 1.5), (1, 2.5), (3, 0.5), (2, 4.0)]
+
+    def test_len_bool_iter(self):
+        block = ColumnarBlock.from_records(self.RECORDS)
+        assert len(block) == 4
+        assert block
+        assert [r for r in block] == self.RECORDS
+
+    def test_getitem_and_slice(self):
+        block = ColumnarBlock.from_records(self.RECORDS)
+        assert block[0] == (3, 1.5)
+        assert block[-1] == (2, 4.0)
+        assert block[1:3] == [(1, 2.5), (3, 0.5)]
+
+    def test_eq_against_list_and_block(self):
+        block = ColumnarBlock.from_records(self.RECORDS)
+        assert block == self.RECORDS
+        assert block == ColumnarBlock.from_records(self.RECORDS)
+        assert block != self.RECORDS[:-1]
+
+    def test_take(self):
+        block = ColumnarBlock.from_records(self.RECORDS)
+        taken = block.take([2, 0])
+        assert list(taken) == [(3, 0.5), (3, 1.5)]
+
+    def test_pickle_round_trip(self):
+        block = ColumnarBlock.from_records(self.RECORDS)
+        clone = pickle.loads(pickle.dumps(block))
+        assert list(clone) == self.RECORDS
+        assert clone.layout == COLS
+
+
+class TestShims:
+    def test_maybe_block_converts_lists(self):
+        block = maybe_block([(1, 2.0)])
+        assert isinstance(block, ColumnarBlock)
+        assert list(block) == [(1, 2.0)]
+
+    def test_maybe_block_passes_blocks_through(self):
+        block = ColumnarBlock.from_records([(1, 2.0)])
+        assert maybe_block(block) is block
+
+    def test_ensure_records(self):
+        block = ColumnarBlock.from_records([(1, 2.0)])
+        assert ensure_records(block) == [(1, 2.0)]
+        records = [(3, 4.0)]
+        assert ensure_records(records) is records
+
+    def test_concat_blocks_typed(self):
+        a = ColumnarBlock.from_records([(1, 2.0), (2, 3.0)])
+        b = ColumnarBlock.from_records([(5, 0.5)])
+        merged = concat_blocks([a, b])
+        assert merged is not None
+        assert list(merged) == [(1, 2.0), (2, 3.0), (5, 0.5)]
+        assert merged.layout == COLS
+
+    def test_concat_blocks_declines_mismatched_kinds(self):
+        a = ColumnarBlock.from_records([(1, 2.0)])
+        b = ColumnarBlock.from_records([(1, 2)])
+        assert concat_blocks([a, b]) is None
+
+    def test_concat_parts_mixed_shapes_flattens(self):
+        a = ColumnarBlock.from_records([(1, 2.0)])
+        merged = concat_parts([a, [(9, 9.0)]])
+        assert list(merged) == [(1, 2.0), (9, 9.0)]
+
+    def test_concat_parts_empty(self):
+        assert list(concat_parts([])) == []
+
+
+class TestBlockStore:
+    def test_spills_past_budget_and_faults_back(self, tmp_path):
+        store = BlockStore(budget_bytes=64, spill_dir=str(tmp_path))
+        blocks = [
+            maybe_block([(i, float(i)) for i in range(16)], store) for _ in range(4)
+        ]
+        assert any(b.spilled for b in blocks)
+        # Reading a spilled block faults it back in, identically.
+        for b in blocks:
+            assert list(b) == [(i, float(i)) for i in range(16)]
+        assert store.metrics.get("blocks.spilled") > 0
+        assert store.metrics.get("blocks.loaded") > 0
+        store.close()
+
+    def test_no_budget_never_spills(self):
+        store = BlockStore()
+        blocks = [maybe_block([(i, float(i))] * 50, store) for i in range(5)]
+        assert not any(b.spilled for b in blocks)
+        store.close()
+
+    def test_close_rematerializes_spilled_blocks(self, tmp_path):
+        # Result datasets outlive the runtime; close() must leave every
+        # live block readable from memory and delete the spill files.
+        store = BlockStore(budget_bytes=8, spill_dir=str(tmp_path))
+        blocks = [maybe_block([(i, float(i))] * 8, store) for i in range(3)]
+        assert any(b.spilled for b in blocks)
+        store.close()
+        assert not any(b.spilled for b in blocks)
+        for i, b in enumerate(blocks):
+            assert list(b) == [(i, float(i))] * 8
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_is_idempotent(self):
+        store = BlockStore(budget_bytes=8)
+        maybe_block([(1, 1.0)] * 8, store)
+        store.close()
+        store.close()
+
+
+class TestShm:
+    def test_eligibility(self):
+        big = ColumnarBlock.from_records([(i, float(i)) for i in range(100)])
+        assert shm_eligible(big, 64)
+        assert not shm_eligible(big, 10**6)
+        assert not shm_eligible([(1, 2.0)], 0)
+        rows = ColumnarBlock.from_records([(1, 2), (3, 4, 5)])
+        assert not shm_eligible(rows, 0)
+
+    def test_export_attach_round_trip(self):
+        blocks = [
+            ColumnarBlock.from_records([(i, float(i)) for i in range(40)]),
+            ColumnarBlock.from_records([(i, i * 2) for i in range(10)]),
+        ]
+        shm, refs = export_shm(blocks)
+        try:
+            segments = {}
+            rebuilt = [attach_shm_block(ref, segments) for ref in refs]
+            assert [list(b) for b in rebuilt] == [list(b) for b in blocks]
+            del rebuilt
+            for seg in segments.values():
+                seg.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+# -- hypothesis: record-list <-> columnar round-trip -------------------------------
+
+# Scalar strategies chosen to exercise every column kind: exact int64
+# range boundaries, overflowing ints, floats (finite — NaN breaks the
+# == comparison the property uses, and equality of records is the
+# contract), strings, None, and bools (which must NOT collapse into
+# int columns).
+_scalars = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.integers(min_value=2**63, max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def _record_lists(draw):
+    """Uniform-width tuple lists (columnar candidates) or ragged lists."""
+    width = draw(st.integers(min_value=1, max_value=4))
+    uniform = draw(st.booleans())
+    n = draw(st.integers(min_value=0, max_value=30))
+    records = []
+    for _ in range(n):
+        w = width if uniform else draw(st.integers(min_value=1, max_value=4))
+        records.append(tuple(draw(_scalars) for _ in range(w)))
+    return records
+
+
+@given(records=_record_lists())
+@settings(max_examples=200, deadline=None)
+def test_round_trip_preserves_records_exactly(records):
+    block = ColumnarBlock.from_records(records)
+    assert len(block) == len(records)
+    out = list(block)
+    assert out == records
+    # Types must survive exactly: no bool->int or int->float decay.
+    for got, want in zip(out, records):
+        for g, w in zip(got, want):
+            assert type(g) is type(w)
+
+
+@given(records=_record_lists())
+@settings(max_examples=100, deadline=None)
+def test_round_trip_survives_pickle(records):
+    block = ColumnarBlock.from_records(records)
+    assert list(pickle.loads(pickle.dumps(block))) == records
+
+
+@given(records=_record_lists(), budget=st.integers(min_value=1, max_value=128))
+@settings(max_examples=50, deadline=None)
+def test_round_trip_survives_spill(tmp_path_factory, records, budget):
+    tmp = tmp_path_factory.mktemp("spill")
+    store = BlockStore(budget_bytes=budget, spill_dir=str(tmp))
+    block = maybe_block(list(records), store)
+    # Force an eviction pass by adopting a second block.
+    maybe_block([(1, 2.0)] * 64, store)
+    assert list(block) == records
+    store.close()
+    assert list(block) == records
+
+
+@given(
+    values=st.lists(
+        st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        min_size=0,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_non_contiguous_memoryview_column(values):
+    # A strided memoryview (every other int64) is a legal column buffer:
+    # construction must normalize it to contiguous storage.
+    backing = array(INT64, [v for value in values for v in (value, 0)])
+    strided = memoryview(backing)[::2]
+    block = ColumnarBlock.from_columns(
+        (Column(INT64, strided), Column(INT64, array(INT64, [0] * len(values)))),
+        len(values),
+    )
+    assert [record[0] for record in block] == list(values)
+    assert list(pickle.loads(pickle.dumps(block))) == list(block)

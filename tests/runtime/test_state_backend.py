@@ -119,6 +119,29 @@ class TestMetrics:
         backend.restore_from(_dataset(INITIAL))
         assert metrics.get("state.index_rebuilds") == 1 + PARALLELISM
 
+    def test_restore_skips_empty_over_empty_partitions(self, kind):
+        # Regression: a sparse state (here everything hashes to
+        # partition 0) must restore in O(partitions actually holding
+        # records) — installing [] over a live empty partition is a
+        # no-op and must not count as an index rebuild.
+        sparse = [(0, 0), (4, 4), (8, 8)]  # all keys % 4 == 0
+        metrics = MetricsRegistry()
+        backend = _make(kind, sparse, metrics=metrics)
+        backend.restore_from(_dataset(sparse))
+        assert metrics.get("state.index_rebuilds") == 1
+        assert sorted(backend.records_view()) == sorted(sparse)
+
+    def test_restore_still_revives_lost_empty_partitions(self, kind):
+        # The early-out must not skip a *lost* partition: restoring []
+        # into a destroyed partition revives it as present-and-empty.
+        sparse = [(0, 0), (4, 4)]
+        backend = _make(kind, sparse)
+        backend.lose([1])
+        assert backend.lost_partitions() == [1]
+        backend.restore_from(_dataset(sparse))
+        assert backend.lost_partitions() == []
+        assert sorted(backend.records_view()) == sorted(sparse)
+
 
 class TestFailurePath:
     def test_lose_marks_partitions_and_counts_records(self, kind):
