@@ -68,3 +68,74 @@ def test_s1_scaling_with_graph_size(benchmark, report):
     # everything converged
     for _size, _edges, pr, cc in rows:
         assert pr.converged and cc.converged
+
+
+LARGE_SIZES = (5_000, 10_000, 20_000)
+COLUMNAR_CONFIG = EngineConfig(parallelism=4, spare_workers=8, columnar=True)
+
+
+def _peak_rss_mb() -> float:
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def test_s1_large_graphs_columnar(benchmark, report):
+    """The large-graph leg: columnar blocks, wall clock *and* peak RSS.
+
+    Runs the same PR/CC pair over genuinely large Twitter-like graphs
+    with columnar partition blocks on (the ``REPRO_COLUMNAR=on``
+    configuration), recording wall-clock seconds and the process's peak
+    resident set alongside the simulated costs — the footprint axis the
+    small-size sweep above cannot show.
+    """
+    import time
+
+    def run_sweep():
+        rows = []
+        for size in LARGE_SIZES:
+            graph = twitter_like_graph(size, seed=7)
+            started = time.perf_counter()
+            pr_job = pagerank(graph, max_supersteps=500)
+            pr = pr_job.run(config=COLUMNAR_CONFIG, recovery=pr_job.optimistic())
+            pr_wall = time.perf_counter() - started
+            started = time.perf_counter()
+            cc_job = connected_components(graph)
+            cc = cc_job.run(config=COLUMNAR_CONFIG, recovery=cc_job.optimistic())
+            cc_wall = time.perf_counter() - started
+            rows.append((size, graph.num_edges, pr, pr_wall, cc, cc_wall, _peak_rss_mb()))
+        return rows
+
+    rows = run_once(benchmark, run_sweep)
+    table = Table(
+        [
+            "vertices",
+            "edges",
+            "PR supersteps",
+            "PR wall s",
+            "CC supersteps",
+            "CC wall s",
+            "peak RSS MB",
+        ],
+        title="S1 — large Twitter-like graphs, columnar blocks (wall clock + peak RSS)",
+    )
+    for size, edges, pr, pr_wall, cc, cc_wall, rss in rows:
+        table.add_row(
+            size,
+            edges,
+            pr.supersteps,
+            round(pr_wall, 2),
+            cc.supersteps,
+            round(cc_wall, 2),
+            round(rss, 1),
+        )
+    report(str(table))
+
+    for _size, _edges, pr, _pw, cc, _cw, _rss in rows:
+        assert pr.converged and cc.converged
+    # peak RSS is monotone by definition (high-water mark); the point of
+    # archiving it is the absolute footprint, not a growth law.
+    rss_series = [rss for *_rest, rss in rows]
+    assert rss_series == sorted(rss_series)
+    walls = [pr_wall for _s, _e, _pr, pr_wall, _cc, _cw, _rss in rows]
+    assert all(wall > 0 for wall in walls)

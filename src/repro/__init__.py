@@ -31,10 +31,12 @@ from .config import (
     DEFAULT_CONFIG,
     DEFAULT_SERVICE_CONFIG,
     DEFAULT_TELEMETRY_CONFIG,
+    DEFAULT_VIEWS_CONFIG,
     CostModel,
     EngineConfig,
     ServiceConfig,
     TelemetryConfig,
+    ViewsConfig,
 )
 from .errors import (
     AdmissionError,
@@ -52,6 +54,7 @@ from .errors import (
     ServiceError,
     StorageError,
     TerminationError,
+    ViewError,
 )
 
 __version__ = "1.0.0"
@@ -64,6 +67,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DEFAULT_SERVICE_CONFIG",
     "DEFAULT_TELEMETRY_CONFIG",
+    "DEFAULT_VIEWS_CONFIG",
     "EngineConfig",
     "ExecutionError",
     "GraphError",
@@ -79,5 +83,7 @@ __all__ = [
     "StorageError",
     "TelemetryConfig",
     "TerminationError",
+    "ViewError",
+    "ViewsConfig",
     "__version__",
 ]

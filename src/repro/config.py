@@ -392,6 +392,66 @@ class TelemetryConfig:
 
 DEFAULT_TELEMETRY_CONFIG = TelemetryConfig()
 
+#: refresh modes of :class:`ViewsConfig`: ``"auto"`` picks warm vs. cold
+#: per refresh via the affected-keys threshold, the other two force one.
+VIEW_REFRESH_MODES = ("auto", "warm", "cold")
+
+
+def _env_view_refresh_mode() -> str:
+    """Default view refresh mode, overridable via ``REPRO_VIEWS_REFRESH``.
+
+    Mirrors the ``REPRO_PARALLEL_BACKEND`` hook: CI can force every view
+    refresh cold (or warm) without touching any call site.
+    """
+    return os.environ.get("REPRO_VIEWS_REFRESH", "auto").strip().lower() or "auto"
+
+
+@dataclass(frozen=True)
+class ViewsConfig:
+    """Configuration of the dynamic-view layer (:mod:`repro.views`).
+
+    Attributes:
+        refresh_mode: ``"auto"`` (default) lets the orchestrator choose
+            warm or cold per refresh — warm when the algorithm is
+            warm-capable and the affected-key fraction stays at or below
+            the view's ``warm_threshold`` — while ``"warm"``/``"cold"``
+            force the choice (``"warm"`` still falls back to cold for the
+            first materialization and for non-warm-capable algorithms).
+            Defaults to ``$REPRO_VIEWS_REFRESH``.
+        warm_threshold: default affected-key fraction above which an
+            ``auto`` refresh goes cold (views can override per
+            definition).
+        target_lag: default number of source epochs a view may trail
+            before a poll refreshes it (0 = refresh on any staleness).
+        poll_interval: wall-clock seconds between background polls when
+            the orchestrator's poller thread is running.
+    """
+
+    refresh_mode: str = field(default_factory=_env_view_refresh_mode)
+    warm_threshold: float = 0.5
+    target_lag: int = 0
+    poll_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.refresh_mode not in VIEW_REFRESH_MODES:
+            raise ConfigError(
+                f"refresh_mode must be one of {VIEW_REFRESH_MODES}, "
+                f"got {self.refresh_mode!r}"
+            )
+        if not 0.0 <= self.warm_threshold <= 1.0:
+            raise ConfigError(
+                f"warm_threshold must be in [0, 1], got {self.warm_threshold}"
+            )
+        if self.target_lag < 0:
+            raise ConfigError(f"target_lag must be >= 0, got {self.target_lag}")
+        if self.poll_interval <= 0:
+            raise ConfigError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+
+
+DEFAULT_VIEWS_CONFIG = ViewsConfig()
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -430,6 +490,9 @@ class ServiceConfig:
             jobs that did not pick one themselves (``JobSpec.recovery is
             None``); ``None`` leaves such jobs on the per-spec default.
             One of ``RECOVERY_STRATEGIES``.
+        views: the dynamic-view layer's knobs (refresh mode, warm
+            threshold, target lag, poll cadence) for orchestrators that
+            submit their refreshes through this service.
     """
 
     pool_size: int = 4
@@ -441,6 +504,7 @@ class ServiceConfig:
     core_budget: int | None = None
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     default_recovery: str | None = None
+    views: ViewsConfig = field(default_factory=ViewsConfig)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:

@@ -33,6 +33,15 @@ metrics as a Prometheus scrape plus a telemetry JSONL event stream::
 
     python -m repro.demo serve --jobs 50 --status-interval 1 \
         --prom-out scrape.prom --telemetry-out telemetry.jsonl
+
+The ``views`` subcommand maintains materialized views over a mutating
+graph (:mod:`repro.views`): seeded mutation epochs are committed and the
+refresh orchestrator keeps a small view DAG fresh, warm-starting each
+refresh from the previous solution when the mutation batch allows it::
+
+    python -m repro.demo views --epochs 3 --mutations 4
+    python -m repro.demo views --epochs 5 --removal-fraction 0 --service
+    python -m repro.demo views --epochs 3 --fail 2:0 --strategy optimistic
 """
 
 from __future__ import annotations
@@ -290,6 +299,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="probability a job gets injected partition failures (default: 0.4)",
     )
     parser.add_argument(
+        "--view-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of jobs that are warm view refreshes over seeded "
+        "mutated graphs (default: 0)",
+    )
+    parser.add_argument(
         "--strategy",
         default="optimistic",
         metavar="NAME",
@@ -375,6 +391,7 @@ def serve_main(argv: Sequence[str]) -> int:
                 seed=args.seed,
                 cc_fraction=args.cc_fraction,
                 failure_density=args.failure_density,
+                view_refresh_fraction=args.view_fraction,
                 recovery=args.strategy,
                 parallel_backend=args.parallel_backend,
                 parallel_workers=args.parallel_workers,
@@ -449,6 +466,197 @@ def serve_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_views_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-demo views",
+        description="Maintain materialized views (CC labels, PageRank "
+        "ranks, per-component rank mass) over a mutating graph: seeded "
+        "mutation epochs are committed and the refresh orchestrator keeps "
+        "the view DAG fresh, warm-starting from the previous solution "
+        "when the mutation batch is small enough",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=3,
+        help="mutation epochs to commit and refresh (default: 3)",
+    )
+    parser.add_argument(
+        "--components",
+        type=int,
+        default=4,
+        help="components of the starting graph (default: 4)",
+    )
+    parser.add_argument(
+        "--component-size",
+        type=int,
+        default=15,
+        help="vertices per starting component (default: 15)",
+    )
+    parser.add_argument(
+        "--mutations",
+        type=int,
+        default=4,
+        help="mutations per epoch batch (default: 4)",
+    )
+    parser.add_argument(
+        "--removal-fraction",
+        type=float,
+        default=0.25,
+        help="probability a mutation is a removal (default: 0.25; 0 keeps "
+        "the batch adds-only, the monotone-safe regime)",
+    )
+    parser.add_argument(
+        "--refresh-mode",
+        choices=("auto", "warm", "cold"),
+        default="auto",
+        help="warm/cold policy (default: auto — warm while the affected-key "
+        "fraction stays within the threshold)",
+    )
+    parser.add_argument(
+        "--warm-threshold",
+        type=float,
+        default=0.5,
+        help="affected-key fraction above which auto refreshes go cold "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=4,
+        help="partitions of every refresh job (default: 4)",
+    )
+    parser.add_argument(
+        "--strategy",
+        "--recovery",
+        dest="strategy",
+        default="optimistic",
+        metavar="NAME",
+        help="recovery strategy of refresh jobs: " + ", ".join(RECOVERIES) + " "
+        "(default: optimistic)",
+    )
+    parser.add_argument(
+        "--fail",
+        dest="failures",
+        action="append",
+        default=[],
+        metavar="SUPERSTEP:PARTITIONS",
+        help="inject partition failures into the refreshes of one epoch "
+        "(see --fail-epoch), healed in-run by the recovery strategy",
+    )
+    parser.add_argument(
+        "--fail-epoch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="epoch whose refreshes receive the --fail injections "
+        "(default: every epoch)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="submit refreshes through a JobService (admission, retries, "
+        "telemetry) instead of running them standalone",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="scenario seed (default: 7)"
+    )
+    add_parallel_arguments(parser)
+    return parser
+
+
+def views_main(argv: Sequence[str]) -> int:
+    """``views`` subcommand: the mutating-graph view-maintenance demo."""
+    from dataclasses import replace
+
+    from ..config import ServiceConfig, ViewsConfig
+    from ..runtime.failures import FailureSchedule
+    from ..views import ScenarioConfig, run_scenario
+
+    args = build_views_parser().parse_args(argv)
+    try:
+        _check_strategy(args.strategy)
+        _check_parallel_workers(args.parallel_workers)
+        if args.epochs < 1:
+            raise ConfigError(f"epochs must be >= 1, got {args.epochs}")
+        if args.fail_epoch is not None and args.fail_epoch < 1:
+            raise ConfigError(f"fail-epoch must be >= 1, got {args.fail_epoch}")
+        failure_specs = [_parse_failure(text) for text in args.failures]
+        config = ScenarioConfig(
+            num_components=args.components,
+            component_size=args.component_size,
+            seed=args.seed,
+            mutations_per_epoch=args.mutations,
+            removal_fraction=args.removal_fraction,
+            parallelism=args.parallelism,
+            recovery=args.strategy,
+            views=ViewsConfig(
+                refresh_mode=args.refresh_mode,
+                warm_threshold=args.warm_threshold,
+            ),
+        )
+        engine = config.engine
+        if args.parallel_backend is not None or args.parallel_workers is not None:
+            engine = engine.with_parallel(
+                args.parallel_backend or engine.parallel_backend,
+                args.parallel_workers,
+            )
+        if args.columnar:
+            engine = engine.with_columnar()
+    except ConfigError as error:
+        print(f"error: {error}")
+        return 2
+    failures = (
+        FailureSchedule.at(*[(s, ps) for s, ps in failure_specs])
+        if failure_specs
+        else None
+    )
+    scenario_kwargs = dict(
+        epochs=args.epochs, failures=failures, fail_epoch=args.fail_epoch
+    )
+    try:
+        # thread the engine overrides through the scenario's per-view config
+        config = replace(config, engine_config=engine)
+        if args.service:
+            from ..service import JobService
+
+            with JobService(ServiceConfig(views=config.views)) as service:
+                outcomes = run_scenario(config, service=service, **scenario_kwargs)
+        else:
+            outcomes = run_scenario(config, **scenario_kwargs)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    _print_view_outcomes(outcomes)
+    return 0
+
+
+def _print_view_outcomes(outcomes) -> None:
+    header = (
+        f"{'epoch':>5}  {'view':<16} {'mode':<5} {'supersteps':>10} "
+        f"{'changed':>8} {'affected':>9} {'failures':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for outcome in outcomes:
+        mutations = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(outcome.mutation_counts.items())
+        )
+        print(f"epoch {outcome.epoch}" + (f": {mutations}" if mutations else ": base graph"))
+        for report in outcome.reports:
+            affected = (
+                f"{report.affected}/{report.total_keys}" if report.total_keys else "-"
+            )
+            print(
+                f"{'':>5}  {report.view:<16} {report.mode:<5} "
+                f"{report.supersteps:>10} {report.changed:>8} {affected:>9} "
+                f"{report.failures:>8}"
+            )
+    warm = sum(1 for o in outcomes for r in o.reports if r.mode == "warm")
+    cold = sum(1 for o in outcomes for r in o.reports if r.mode == "cold")
+    print(f"\n{warm} warm refreshes, {cold} cold refreshes; all views fresh")
+
+
 def _render_state(run: DemoRun, state: dict, highlight: list[int]) -> str:
     if run.algorithm == "pagerank":
         return render_ranks(state, highlight=highlight, width=30)
@@ -502,6 +710,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "views":
+        return views_main(argv[1:])
     args = build_parser().parse_args(argv)
     tracer = RecordingTracer() if args.trace_out else None
     try:

@@ -72,6 +72,13 @@ class GraphError(ReproError):
     parse errors, negative vertex ids, unknown vertices, ...)."""
 
 
+class ViewError(ReproError):
+    """Raised by the dynamic-view layer (:mod:`repro.views`) on catalog
+    misuse: unknown or duplicate view names, dependency cycles, reading a
+    view that was never materialized, refreshing a derived view before its
+    parents, ..."""
+
+
 class ConfigError(ReproError):
     """Raised when an :class:`repro.config.EngineConfig` is invalid."""
 

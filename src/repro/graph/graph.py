@@ -146,6 +146,44 @@ class Graph:
         edges = [(s, t) for s, t in self._edges if s in keep and t in keep]
         return Graph(keep, edges, directed=self.directed)
 
+    def copy(self) -> "Graph":
+        """An independent copy sharing no mutable containers.
+
+        The copy gets fresh vertex/edge lists and its own (lazily built)
+        adjacency cache, so nothing a holder of the copy does — including
+        mutating the lists its accessors return — can alias back into
+        this graph. :class:`repro.views.MutableGraph` relies on this to
+        seed epoch snapshots from caller-owned graphs.
+        """
+        clone = Graph.__new__(Graph)
+        clone._vertices = list(self._vertices)
+        clone._edges = list(self._edges)
+        clone.directed = self.directed
+        clone._adjacency = None
+        return clone
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same directedness, vertices and edges.
+
+        Vertices and edges are stored canonically (sorted vertex ids,
+        canonicalized deduplicated edges), so list comparison is a true
+        set comparison.
+        """
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.directed == other.directed
+            and self._vertices == other._vertices
+            and sorted(self._edges) == sorted(other._edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.directed, tuple(self._vertices), tuple(sorted(self._edges)))
+        )
+
     def __repr__(self) -> str:
         kind = "directed" if self.directed else "undirected"
         return f"Graph({kind}, |V|={self.num_vertices}, |E|={self.num_edges})"

@@ -35,6 +35,14 @@ class WorkloadConfig:
         failure_density: probability that a job gets an injected
             partition-failure schedule (handled in-run by the workload's
             recovery strategy).
+        view_refresh_fraction: fraction of jobs that are **view
+            refreshes** (:mod:`repro.views`): each one warm-refreshes a
+            Connected Components view over a seeded mutated graph,
+            seeded from the view's previous fixpoint — so sustained
+            traffic exercises the refresh path (warm seeding, affected
+            keys, compensation under injected failures) through the
+            service. Carved out of the job mix before the CC/PageRank
+            split; 0 (the default) generates none.
         recovery: recovery strategy name stamped onto every generated
             spec (one of :data:`repro.config.RECOVERY_STRATEGIES`); the
             ``serve`` CLI's ``--strategy`` flag lands here.
@@ -69,6 +77,7 @@ class WorkloadConfig:
     seed: int = 7
     cc_fraction: float = 0.5
     failure_density: float = 0.4
+    view_refresh_fraction: float = 0.0
     parallelism: int = 4
     recovery: str = "optimistic"
     priorities: tuple[int, ...] = (0, 1, 2)
@@ -91,6 +100,11 @@ class WorkloadConfig:
         if not 0.0 <= self.failure_density <= 1.0:
             raise ConfigError(
                 f"failure_density must be in [0, 1], got {self.failure_density}"
+            )
+        if not 0.0 <= self.view_refresh_fraction <= 1.0:
+            raise ConfigError(
+                f"view_refresh_fraction must be in [0, 1], "
+                f"got {self.view_refresh_fraction}"
             )
         if self.recovery not in RECOVERY_STRATEGIES:
             raise ConfigError(
@@ -137,6 +151,37 @@ def _make_cc(graph):
     return lambda: connected_components(graph)
 
 
+def _make_view_refresh(base_graph, mutation_seed: int):
+    """A job factory producing one warm view refresh, reproducible per seed.
+
+    Builds the whole refresh input deterministically: the view's previous
+    fixpoint (a cold CC run over ``base_graph``), a seeded mutation epoch,
+    and the warm job seeded from the previous labels with the workset
+    shrunk to the affected keys. The import is deferred because
+    :mod:`repro.views` itself builds on :mod:`repro.service`.
+    """
+
+    def make():
+        from ..views import ConnectedComponentsView, MutableGraph, ScenarioConfig
+        from ..views.algorithms import PreviousState, RefreshInputs
+        from ..views.scenario import mutate_epoch
+
+        algorithm = ConnectedComponentsView()
+        mutable = MutableGraph(base_graph)
+        previous = PreviousState(
+            0,
+            algorithm.canonicalize(
+                algorithm.cold_job(RefreshInputs(0, base_graph)).run().final_records
+            ),
+        )
+        scenario = ScenarioConfig(seed=mutation_seed, mutations_per_epoch=3)
+        epoch = mutate_epoch(mutable, random.Random(mutation_seed), scenario)
+        snap = mutable.snapshot()
+        return algorithm.warm_job(RefreshInputs(snap.epoch, snap.graph), previous, [epoch])
+
+    return make
+
+
 def _make_pagerank(graph, epsilon):
     return lambda: pagerank(graph, epsilon=epsilon)
 
@@ -148,10 +193,17 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
     retry = RetryPolicy(max_retries=2, backoff_base=config.backoff_base, jitter=0.5)
     overrides = config.engine_overrides()
     for index in range(config.num_jobs):
+        is_view = rng.random() < config.view_refresh_fraction
         is_cc = rng.random() < config.cc_fraction
         num_vertices = rng.randint(*config.graph_vertices)
         graph_seed = rng.randint(0, 2**31)
-        if is_cc:
+        if is_view:
+            graph = multi_component_graph(
+                rng.randint(2, 4), max(2, num_vertices // 3), seed=graph_seed
+            )
+            make_job = _make_view_refresh(graph, graph_seed)
+            kind = "view-refresh"
+        elif is_cc:
             graph = multi_component_graph(
                 rng.randint(2, 4), max(2, num_vertices // 3), seed=graph_seed
             )

@@ -1,0 +1,273 @@
+"""The view catalog: definitions, materializations, and the view DAG.
+
+A :class:`ViewDefinition` names one iterative job as a view — either
+*graph-rooted* (its input is a :class:`repro.views.MutableGraph`
+registered with the catalog) or *derived* (its inputs are the canonical
+records of other views, forming a DAG edge). A :class:`MaterializedView`
+holds the view's current contents under snapshot isolation: readers
+always get a complete ``(epoch, records)`` pair installed by an atomic
+swap, never a mid-refresh mix.
+
+The catalog enforces the DAG by construction: a view's parents must be
+registered before the view itself, so registration order is already a
+topological order and :meth:`ViewCatalog.topological_order` simply
+replays it. Staleness is measured in source epochs:
+``staleness = source epoch - view epoch``, where a derived view's source
+epoch is the oldest epoch among its parents (it can only be as fresh as
+its most stale input).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import DEFAULT_CONFIG, RECOVERY_STRATEGIES, EngineConfig
+from ..errors import ViewError
+from .algorithms import ViewAlgorithm
+from .mutable_graph import MutableGraph
+
+#: epoch of a view that has never been materialized.
+NEVER_MATERIALIZED = -1
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """One registered view.
+
+    Attributes:
+        name: unique view name.
+        algorithm: the :class:`~repro.views.algorithms.ViewAlgorithm`
+            adapter that builds this view's refresh jobs.
+        source: name of the catalog's mutable graph this view computes
+            over (graph-rooted views; ``None`` for derived views).
+        depends_on: parent view names whose canonical records feed this
+            view (derived views; empty for graph-rooted views).
+        target_lag: how many source epochs the view may trail before a
+            poll refreshes it (0 = refresh on any staleness). ``None``
+            uses the orchestrator's :class:`repro.config.ViewsConfig`
+            default.
+        warm_threshold: affected-key fraction above which an ``auto``
+            refresh goes cold. ``None`` uses the config default.
+        config: engine configuration of this view's refresh jobs.
+        recovery: recovery strategy name for refresh jobs (one of
+            :data:`repro.config.RECOVERY_STRATEGIES`) or ``None`` for
+            the driver default (restart).
+    """
+
+    name: str
+    algorithm: ViewAlgorithm
+    source: str | None = None
+    depends_on: tuple[str, ...] = ()
+    target_lag: int | None = None
+    warm_threshold: float | None = None
+    config: EngineConfig = DEFAULT_CONFIG
+    recovery: str | None = "optimistic"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ViewError("a view definition needs a non-empty name")
+        if (self.source is None) == (not self.depends_on):
+            raise ViewError(
+                f"view {self.name!r} must have exactly one input kind: "
+                f"a source graph (graph-rooted) or parent views (derived)"
+            )
+        if self.name in self.depends_on:
+            raise ViewError(f"view {self.name!r} cannot depend on itself")
+        if self.target_lag is not None and self.target_lag < 0:
+            raise ViewError(
+                f"view {self.name!r}: target_lag must be >= 0, got {self.target_lag}"
+            )
+        if self.warm_threshold is not None and not 0.0 <= self.warm_threshold <= 1.0:
+            raise ViewError(
+                f"view {self.name!r}: warm_threshold must be in [0, 1], "
+                f"got {self.warm_threshold}"
+            )
+        if self.recovery is not None and self.recovery not in RECOVERY_STRATEGIES:
+            raise ViewError(
+                f"view {self.name!r}: recovery must be one of "
+                f"{RECOVERY_STRATEGIES} or None, got {self.recovery!r}"
+            )
+
+    @property
+    def is_derived(self) -> bool:
+        return bool(self.depends_on)
+
+
+@dataclass(frozen=True)
+class ViewReading:
+    """One snapshot-isolated read: a complete epoch's records."""
+
+    view: str
+    epoch: int
+    records: tuple[Any, ...]
+
+    @property
+    def as_dict(self) -> dict[Any, Any]:
+        """The records as ``{key: value}``."""
+        return {record[0]: record[1] for record in self.records}
+
+
+class MaterializedView:
+    """The current contents of one view, swapped atomically on refresh.
+
+    ``read()`` and ``install()`` are thread-safe; a reader concurrent
+    with a refresh sees either the previous epoch in full or the new one
+    in full.
+    """
+
+    def __init__(self, definition: ViewDefinition):
+        self.definition = definition
+        self._lock = threading.Lock()
+        self._epoch = NEVER_MATERIALIZED
+        self._records: tuple[Any, ...] = ()
+        #: refresh counters, maintained by the orchestrator via install().
+        self.refreshes = 0
+        self.warm_refreshes = 0
+        self.cold_refreshes = 0
+        self.last_report: Any = None
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def epoch(self) -> int:
+        """The source epoch the current contents reflect (-1 = never)."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def is_materialized(self) -> bool:
+        return self.epoch != NEVER_MATERIALIZED
+
+    def read(self) -> ViewReading:
+        """The current ``(epoch, records)`` pair, atomically."""
+        with self._lock:
+            if self._epoch == NEVER_MATERIALIZED:
+                raise ViewError(f"view {self.name!r} has never been materialized")
+            return ViewReading(self.name, self._epoch, self._records)
+
+    def install(self, epoch: int, records: tuple[Any, ...], report: Any = None) -> None:
+        """Atomically swap in a refreshed materialization."""
+        with self._lock:
+            if epoch < self._epoch:
+                raise ViewError(
+                    f"view {self.name!r}: cannot install epoch {epoch} over "
+                    f"newer epoch {self._epoch}"
+                )
+            self._epoch = epoch
+            self._records = tuple(records)
+            self.refreshes += 1
+            if report is not None:
+                self.last_report = report
+                if getattr(report, "mode", None) == "warm":
+                    self.warm_refreshes += 1
+                else:
+                    self.cold_refreshes += 1
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MaterializedView({self.name!r}, epoch={self._epoch}, "
+                f"records={len(self._records)}, refreshes={self.refreshes})"
+            )
+
+
+class ViewCatalog:
+    """Registry of mutable graphs and the views defined over them."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._graphs: dict[str, MutableGraph] = {}
+        #: insertion-ordered: parents precede children (see module doc).
+        self._views: dict[str, MaterializedView] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def add_graph(self, name: str, graph: MutableGraph) -> MutableGraph:
+        """Register a mutable graph views can be rooted at."""
+        with self._lock:
+            if not name:
+                raise ViewError("a graph registration needs a non-empty name")
+            if name in self._graphs:
+                raise ViewError(f"graph {name!r} is already registered")
+            self._graphs[name] = graph
+            return graph
+
+    def register(self, definition: ViewDefinition) -> MaterializedView:
+        """Register a view; its inputs must already be registered.
+
+        Requiring parents first makes cycles unrepresentable and keeps
+        the registration order topological.
+        """
+        with self._lock:
+            if definition.name in self._views:
+                raise ViewError(f"view {definition.name!r} is already registered")
+            if definition.source is not None and definition.source not in self._graphs:
+                raise ViewError(
+                    f"view {definition.name!r} is rooted at unknown graph "
+                    f"{definition.source!r} (register the graph first)"
+                )
+            for parent in definition.depends_on:
+                if parent not in self._views:
+                    raise ViewError(
+                        f"view {definition.name!r} depends on unregistered view "
+                        f"{parent!r} (register parents first)"
+                    )
+            view = MaterializedView(definition)
+            self._views[definition.name] = view
+            return view
+
+    # -- lookup ----------------------------------------------------------------
+
+    def graph(self, name: str) -> MutableGraph:
+        with self._lock:
+            if name not in self._graphs:
+                raise ViewError(f"unknown graph {name!r}")
+            return self._graphs[name]
+
+    def view(self, name: str) -> MaterializedView:
+        with self._lock:
+            if name not in self._views:
+                raise ViewError(f"unknown view {name!r}")
+            return self._views[name]
+
+    def read(self, name: str) -> ViewReading:
+        """Snapshot-isolated read of one view's current materialization."""
+        return self.view(name).read()
+
+    def topological_order(self) -> list[str]:
+        """Every view name, parents before children."""
+        with self._lock:
+            return list(self._views)
+
+    def graph_names(self) -> list[str]:
+        with self._lock:
+            return list(self._graphs)
+
+    # -- staleness -------------------------------------------------------------
+
+    def source_epoch(self, name: str) -> int:
+        """The newest epoch the view *could* reflect right now.
+
+        Graph-rooted views track their graph's committed head; a derived
+        view can only be as fresh as its most stale parent.
+        """
+        view = self.view(name)
+        definition = view.definition
+        if definition.source is not None:
+            return self.graph(definition.source).epoch
+        return min(self.view(parent).epoch for parent in definition.depends_on)
+
+    def staleness(self, name: str) -> int:
+        """Source epochs the view trails behind its input (0 = fresh)."""
+        return max(0, self.source_epoch(name) - self.view(name).epoch)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ViewCatalog(graphs={list(self._graphs)}, "
+                f"views={list(self._views)})"
+            )

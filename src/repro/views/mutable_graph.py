@@ -1,0 +1,194 @@
+"""A mutable, versioned wrapper around the immutable :class:`Graph`.
+
+The engine's :class:`repro.graph.Graph` is immutable — algorithms, plans
+and recovery all assume the input never moves under a running iteration.
+:class:`MutableGraph` keeps that property while letting the *world*
+change: edits are buffered as CDC records (:mod:`repro.views.mutations`)
+and only :meth:`MutableGraph.commit` makes them visible, as a brand-new
+immutable :class:`Graph` snapshot tagged with the next epoch number.
+
+Readers therefore get snapshot isolation for free: ``snapshot()`` hands
+out the graph *at* an epoch boundary, and a refresh that started against
+epoch ``n`` keeps computing against epoch ``n`` even while epoch ``n+1``
+is being written.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from ..graph.graph import Graph
+from .mutations import Mutation, MutationEpoch, MutationKind, MutationLog
+
+
+@dataclass(frozen=True)
+class GraphSnapshot:
+    """An immutable graph pinned to the epoch it reflects."""
+
+    epoch: int
+    graph: Graph
+
+
+class MutableGraph:
+    """An evolving graph emitting a deterministic epoch-batched CDC log.
+
+    Edits (:meth:`add_vertex`, :meth:`remove_vertex`, :meth:`add_edge`,
+    :meth:`remove_edge`) validate against the working state and buffer a
+    :class:`~repro.views.mutations.Mutation`; :meth:`commit` seals the
+    batch as the next :class:`~repro.views.mutations.MutationEpoch` and
+    publishes a new immutable :class:`Graph` snapshot. Every committed
+    snapshot stays addressable by epoch so refreshes running behind the
+    head still see a complete, consistent graph.
+
+    All public methods are thread-safe: a driver thread can mutate and
+    commit while a refresh orchestrator reads snapshots concurrently.
+    """
+
+    def __init__(self, base: Graph):
+        self._lock = threading.RLock()
+        self.directed = base.directed
+        # Working (uncommitted) state, seeded from a defensive copy so
+        # later commits can never alias the caller's graph.
+        base = base.copy()
+        self._vertices: set[int] = set(base.vertices)
+        self._edges: set[tuple[int, int]] = set(base.edges)
+        self.log = MutationLog()
+        self._snapshots: dict[int, Graph] = {0: base}
+
+    # -- canonical edge form ----------------------------------------------------
+
+    def _canonical(self, source: int, target: int) -> tuple[int, int]:
+        if source == target:
+            raise GraphError(f"self-loop ({source}, {target}) is not supported")
+        if self.directed:
+            return (source, target)
+        return (min(source, target), max(source, target))
+
+    # -- edits (buffered) -------------------------------------------------------
+
+    def add_vertex(self, vertex: int) -> None:
+        """Buffer the addition of an isolated vertex."""
+        with self._lock:
+            if vertex < 0:
+                raise GraphError("vertex ids must be non-negative integers")
+            if vertex in self._vertices:
+                raise GraphError(f"vertex {vertex} already exists")
+            self._vertices.add(vertex)
+            self.log.append(Mutation(MutationKind.ADD_VERTEX, vertex=vertex))
+
+    def remove_vertex(self, vertex: int) -> None:
+        """Buffer the removal of a vertex and (implicitly) its edges.
+
+        The CDC record names only the vertex; consumers that need the
+        dropped edges read them from the pre-epoch snapshot.
+        """
+        with self._lock:
+            if vertex not in self._vertices:
+                raise GraphError(f"unknown vertex {vertex}")
+            self._vertices.discard(vertex)
+            self._edges = {
+                edge for edge in self._edges if vertex not in edge
+            }
+            self.log.append(Mutation(MutationKind.REMOVE_VERTEX, vertex=vertex))
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Buffer the addition of an edge between existing vertices."""
+        with self._lock:
+            for vertex in (source, target):
+                if vertex not in self._vertices:
+                    raise GraphError(
+                        f"edge ({source}, {target}) references unknown vertex {vertex}"
+                    )
+            edge = self._canonical(source, target)
+            if edge in self._edges:
+                raise GraphError(f"edge {edge} already exists")
+            self._edges.add(edge)
+            self.log.append(Mutation(MutationKind.ADD_EDGE, edge=edge))
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Buffer the removal of an existing edge."""
+        with self._lock:
+            edge = self._canonical(source, target)
+            if edge not in self._edges:
+                raise GraphError(f"edge {edge} does not exist")
+            self._edges.discard(edge)
+            self.log.append(Mutation(MutationKind.REMOVE_EDGE, edge=edge))
+
+    @property
+    def vertices(self) -> list[int]:
+        """The *working* (uncommitted) vertex ids, sorted ascending."""
+        with self._lock:
+            return sorted(self._vertices)
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """The *working* (uncommitted) canonical edges, sorted."""
+        with self._lock:
+            return sorted(self._edges)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the *working* (uncommitted) state contains the edge."""
+        with self._lock:
+            try:
+                return self._canonical(source, target) in self._edges
+            except GraphError:
+                return False
+
+    def __contains__(self, vertex: int) -> bool:
+        with self._lock:
+            return vertex in self._vertices
+
+    # -- epochs -----------------------------------------------------------------
+
+    def commit(self) -> MutationEpoch:
+        """Seal the buffered batch as the next epoch and publish its
+        snapshot. Committing an empty batch is legal (an empty epoch)."""
+        with self._lock:
+            epoch = self.log.seal()
+            self._snapshots[epoch.epoch] = Graph(
+                self._vertices, sorted(self._edges), directed=self.directed
+            )
+            return epoch
+
+    @property
+    def epoch(self) -> int:
+        """The newest committed epoch number (0 = the base graph)."""
+        with self._lock:
+            return self.log.latest_epoch
+
+    @property
+    def pending_mutations(self) -> int:
+        """Buffered edits that the next :meth:`commit` will seal."""
+        with self._lock:
+            return self.log.pending_count
+
+    def snapshot(self, epoch: int | None = None) -> GraphSnapshot:
+        """The immutable graph at an epoch boundary.
+
+        ``None`` means the newest committed epoch. Requesting an epoch
+        that was never committed raises :class:`repro.errors.GraphError`.
+        """
+        with self._lock:
+            number = self.log.latest_epoch if epoch is None else epoch
+            if number not in self._snapshots:
+                raise GraphError(
+                    f"no snapshot for epoch {number} "
+                    f"(committed epochs: 0..{self.log.latest_epoch})"
+                )
+            return GraphSnapshot(number, self._snapshots[number])
+
+    def epochs_since(self, after: int) -> list[MutationEpoch]:
+        """The sealed epochs after watermark ``after`` (oldest first)."""
+        with self._lock:
+            return self.log.epochs_since(after)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            kind = "directed" if self.directed else "undirected"
+            return (
+                f"MutableGraph({kind}, |V|={len(self._vertices)}, "
+                f"|E|={len(self._edges)}, epoch={self.log.latest_epoch}, "
+                f"pending={self.log.pending_count})"
+            )

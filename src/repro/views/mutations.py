@@ -1,0 +1,179 @@
+"""CDC-style mutation log for evolving graphs.
+
+A :class:`MutableGraph` (``repro.views.mutable_graph``) does not apply
+edits in place: every ``add_edge``/``remove_vertex`` call is buffered as a
+:class:`Mutation` and becomes visible only when the batch is sealed into a
+:class:`MutationEpoch` — a deterministic, numbered change-data-capture
+record. The :class:`MutationLog` keeps the sealed epochs so any consumer
+(the refresh orchestrator, the affected-keys analyses, a test oracle) can
+replay exactly what changed between two graph versions.
+
+Epochs are the unit of snapshot isolation throughout :mod:`repro.views`:
+readers and refreshes always see the graph *at* an epoch boundary, never a
+half-applied batch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import GraphError
+
+
+class MutationKind(enum.Enum):
+    """The four CDC record types a mutable graph emits."""
+
+    ADD_VERTEX = "add_vertex"
+    REMOVE_VERTEX = "remove_vertex"
+    ADD_EDGE = "add_edge"
+    REMOVE_EDGE = "remove_edge"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One change record.
+
+    Attributes:
+        kind: what changed.
+        vertex: the vertex id of a vertex mutation (``None`` for edges).
+        edge: the ``(source, target)`` pair of an edge mutation, stored
+            exactly as the caller issued it (``None`` for vertices).
+    """
+
+    kind: MutationKind
+    vertex: int | None = None
+    edge: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (MutationKind.ADD_VERTEX, MutationKind.REMOVE_VERTEX):
+            if self.vertex is None or self.edge is not None:
+                raise GraphError(f"vertex mutation needs a vertex id only: {self!r}")
+        else:
+            if self.edge is None or self.vertex is not None:
+                raise GraphError(f"edge mutation needs an edge only: {self!r}")
+
+    def touched_vertices(self) -> tuple[int, ...]:
+        """The vertex ids this mutation directly touches."""
+        if self.vertex is not None:
+            return (self.vertex,)
+        assert self.edge is not None
+        return self.edge
+
+    def __repr__(self) -> str:
+        target = self.vertex if self.vertex is not None else self.edge
+        return f"Mutation({self.kind.value}, {target})"
+
+
+@dataclass(frozen=True)
+class MutationEpoch:
+    """One sealed, numbered batch of mutations.
+
+    Attributes:
+        epoch: the 1-based epoch number (epoch 0 is the base graph).
+        mutations: the batch, in the deterministic order it was issued.
+    """
+
+    epoch: int
+    mutations: tuple[Mutation, ...] = field(default_factory=tuple)
+
+    @property
+    def size(self) -> int:
+        return len(self.mutations)
+
+    def touched_vertices(self) -> set[int]:
+        """All vertex ids directly touched by this epoch's mutations."""
+        touched: set[int] = set()
+        for mutation in self.mutations:
+            touched.update(mutation.touched_vertices())
+        return touched
+
+    def counts(self) -> dict[str, int]:
+        """``{mutation kind value: count}`` for reporting."""
+        by_kind: dict[str, int] = {}
+        for mutation in self.mutations:
+            by_kind[mutation.kind.value] = by_kind.get(mutation.kind.value, 0) + 1
+        return by_kind
+
+    @property
+    def has_removals(self) -> bool:
+        """Whether the epoch shrinks the graph (removed edge or vertex).
+
+        Removals are what break monotone warm refreshes: an algorithm
+        whose state only ever tightens (CC's label lowering) can absorb
+        additions as-is but needs its affected region re-initialized when
+        structure disappears.
+        """
+        return any(
+            mutation.kind in (MutationKind.REMOVE_EDGE, MutationKind.REMOVE_VERTEX)
+            for mutation in self.mutations
+        )
+
+
+class MutationLog:
+    """Append-only log of sealed epochs.
+
+    The log is the CDC stream of one :class:`~repro.views.MutableGraph`:
+    ``append`` buffers change records, ``seal`` closes the batch as the
+    next :class:`MutationEpoch`. Consumers ask for ``epochs_since(n)`` to
+    learn everything that happened after the epoch they last saw.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[Mutation] = []
+        self._epochs: list[MutationEpoch] = []
+
+    # -- producer side ---------------------------------------------------------
+
+    def append(self, mutation: Mutation) -> None:
+        """Buffer one change record into the open batch."""
+        self._pending.append(mutation)
+
+    def seal(self) -> MutationEpoch:
+        """Close the open batch as the next epoch (it may be empty)."""
+        epoch = MutationEpoch(len(self._epochs) + 1, tuple(self._pending))
+        self._pending = []
+        self._epochs.append(epoch)
+        return epoch
+
+    # -- consumer side ---------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Buffered mutations not yet sealed into an epoch."""
+        return len(self._pending)
+
+    @property
+    def latest_epoch(self) -> int:
+        """The newest sealed epoch number (0 before any seal)."""
+        return len(self._epochs)
+
+    def epoch(self, number: int) -> MutationEpoch:
+        """The sealed epoch ``number`` (1-based)."""
+        if not 1 <= number <= len(self._epochs):
+            raise GraphError(
+                f"epoch {number} is not sealed (log has epochs 1..{len(self._epochs)})"
+            )
+        return self._epochs[number - 1]
+
+    def epochs_since(self, after: int) -> list[MutationEpoch]:
+        """All sealed epochs with ``epoch > after``, oldest first."""
+        if after < 0:
+            raise GraphError(f"epoch watermark must be >= 0, got {after}")
+        return list(self._epochs[after:])
+
+    def mutations_since(self, after: int) -> list[Mutation]:
+        """The flattened mutations of every epoch after ``after``."""
+        return [
+            mutation
+            for epoch in self.epochs_since(after)
+            for mutation in epoch.mutations
+        ]
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    def __repr__(self) -> str:
+        return (
+            f"MutationLog(epochs={len(self._epochs)}, pending={len(self._pending)})"
+        )

@@ -123,3 +123,64 @@ def test_subgraph_unknown_vertex():
 def test_repr_mentions_sizes():
     text = repr(Graph([0, 1], [(0, 1)]))
     assert "|V|=2" in text and "|E|=1" in text
+
+
+class TestValueSemantics:
+    def test_structural_equality(self):
+        assert Graph([0, 1, 2], [(0, 1)]) == Graph([2, 1, 0], [(1, 0)])
+        assert Graph([0, 1], [(0, 1)]) != Graph([0, 1], [])
+        assert Graph([0, 1], []) != Graph([0, 1, 2], [])
+
+    def test_directedness_distinguishes(self):
+        assert Graph([0, 1], [(0, 1)]) != Graph([0, 1], [(0, 1)], directed=True)
+
+    def test_equality_against_other_types(self):
+        assert Graph([0], []) != "graph"
+        assert Graph([0], []) != None  # noqa: E711
+
+    def test_hash_consistent_with_equality(self):
+        left = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        right = Graph([2, 1, 0], [(2, 1), (1, 0)])
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_usable_as_dict_key(self):
+        cache = {Graph([0, 1], [(0, 1)]): "result"}
+        assert cache[Graph([0, 1], [(1, 0)])] == "result"
+
+
+class TestCopy:
+    def test_copy_is_equal_but_distinct(self):
+        original = Graph([0, 1, 2], [(0, 1)])
+        clone = original.copy()
+        assert clone == original
+        assert clone is not original
+        assert clone.directed == original.directed
+
+    def test_mutating_copy_accessors_never_aliases_original(self):
+        original = Graph([0, 1, 2], [(0, 1), (1, 2)])
+        clone = original.copy()
+        # mutate every mutable container the copy hands out
+        clone.vertices.append(99)
+        clone.edges.append((99, 100))
+        clone.neighbors(1).append(99)
+        clone.out_degrees()[1] = 42
+        assert original.vertices == [0, 1, 2]
+        assert original.edges == [(0, 1), (1, 2)]
+        assert original.neighbors(1) == [0, 2]
+        assert clone == original
+
+    def test_copy_adjacency_cache_is_independent(self):
+        original = Graph([0, 1, 2], [(0, 1)])
+        original.neighbors(0)  # build the original's adjacency cache
+        clone = original.copy()
+        assert clone._adjacency is None  # fresh lazy cache
+        clone.neighbors(0)
+        assert clone._adjacency is not original._adjacency
+
+    def test_copy_of_directed_graph(self):
+        original = Graph([0, 1], [(1, 0)], directed=True)
+        clone = original.copy()
+        assert clone.directed
+        assert clone.edges == [(1, 0)]

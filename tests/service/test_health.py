@@ -220,3 +220,56 @@ class TestJobServiceStateAfterStall:
             assert svc.status(handle.job_id) is JobState.SUCCEEDED
             # The stall was visible even though the job got through.
             assert svc.telemetry_log.of_kind("stall")
+
+
+class TestHealthLifecycleEdges:
+    """health() is safe at every point of the service lifecycle."""
+
+    def test_health_on_empty_never_started_service(self):
+        svc = service()
+        try:
+            health = svc.health()
+        finally:
+            svc.shutdown()
+        assert health["accepting"] is True
+        assert health["queue"]["depth"] == 0
+        assert health["queue"]["overloaded"] is False
+        assert health["pool"]["in_flight"] == 0
+        assert health["pool"]["utilization"] == 0.0
+        for counter in health["counters"].values():
+            assert counter == 0
+        # no jobs have run: every latency summary is absent, not zero
+        assert all(stats is None for stats in health["latency"].values())
+        assert health["jobs"] == []
+        assert health["alerts"] == []
+        assert health["wall_seconds"] >= 0.0
+        assert render_status(health)  # the renderer handles the empty frame
+
+    def test_health_after_shutdown(self):
+        svc = service()
+        svc.run_all([cc_spec()])
+        svc.shutdown()
+        health = svc.health()
+        assert health["accepting"] is False
+        assert health["counters"]["submitted"] == 1
+        assert health["counters"]["succeeded"] == 1
+        assert health["queue"]["depth"] == 0
+        assert health["jobs"] == []
+        assert render_status(health)
+
+    def test_health_after_shutdown_of_idle_service(self):
+        svc = service()
+        svc.shutdown()
+        health = svc.health()
+        assert health["accepting"] is False
+        assert health["counters"]["submitted"] == 0
+        assert health["telemetry"]["enabled"] is False
+
+    def test_shutdown_is_idempotent_for_health(self):
+        svc = service()
+        svc.shutdown()
+        svc.shutdown()
+        first = svc.health()
+        second = svc.health()
+        assert first["accepting"] is second["accepting"] is False
+        assert first["counters"] == second["counters"]

@@ -169,3 +169,61 @@ class TestParallelWorkload:
     def test_bad_parallel_workers_rejected(self):
         with pytest.raises(ConfigError):
             WorkloadConfig(parallel_workers=0)
+
+
+class TestViewRefreshJobs:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(view_refresh_fraction=-0.1)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(view_refresh_fraction=1.5)
+
+    def test_zero_fraction_generates_none(self):
+        specs = generate_workload(WorkloadConfig(num_jobs=20, seed=3))
+        assert not [s for s in specs if s.name.startswith("view-refresh")]
+
+    def test_fraction_one_generates_only_view_refreshes(self):
+        specs = generate_workload(
+            WorkloadConfig(
+                num_jobs=4,
+                seed=3,
+                view_refresh_fraction=1.0,
+                infra_failures=0,
+                deadline_timeouts=0,
+                failure_density=0.0,
+            )
+        )
+        assert all(s.name.startswith("view-refresh") for s in specs)
+
+    def test_view_refresh_jobs_are_reproducible_and_runnable(self):
+        config = WorkloadConfig(
+            num_jobs=3,
+            seed=17,
+            view_refresh_fraction=1.0,
+            infra_failures=0,
+            deadline_timeouts=0,
+            failure_density=0.0,
+        )
+        first = [spec.run_standalone(0) for spec in generate_workload(config)]
+        second = [spec.run_standalone(0) for spec in generate_workload(config)]
+        for left, right in zip(first, second):
+            assert left.converged
+            assert sorted(left.final_records) == sorted(right.final_records)
+
+    def test_view_refresh_jobs_run_through_the_service(self):
+        config = WorkloadConfig(
+            num_jobs=4,
+            seed=5,
+            view_refresh_fraction=0.5,
+            infra_failures=0,
+            deadline_timeouts=0,
+            failure_density=0.2,
+        )
+        specs = generate_workload(config)
+        kinds = {spec.name.split("-")[0] for spec in specs}
+        with JobService(ServiceConfig(pool_size=2, poll_interval=0.01)) as svc:
+            handles = [svc.submit(spec) for spec in specs]
+            for handle in handles:
+                assert handle.result(timeout=60.0).converged
+                assert svc.status(handle.job_id) is JobState.SUCCEEDED
+        assert "view" in kinds  # at least one view-refresh in the mix

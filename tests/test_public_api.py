@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.pregel",
     "repro.runtime",
     "repro.service",
+    "repro.views",
 ]
 
 

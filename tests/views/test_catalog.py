@@ -1,0 +1,196 @@
+"""Tests for the view catalog: definitions, materializations, the DAG."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.graph.graph import Graph
+from repro.views import (
+    ComponentMassView,
+    ConnectedComponentsView,
+    MutableGraph,
+    PageRankView,
+    ViewCatalog,
+    ViewDefinition,
+)
+
+
+def cc_definition(name="cc", **overrides):
+    defaults = dict(name=name, algorithm=ConnectedComponentsView(), source="graph")
+    defaults.update(overrides)
+    return ViewDefinition(**defaults)
+
+
+def catalog_with_graph():
+    catalog = ViewCatalog()
+    mutable = MutableGraph(Graph([0, 1, 2], [(0, 1)]))
+    catalog.add_graph("graph", mutable)
+    return catalog, mutable
+
+
+class TestViewDefinition:
+    def test_requires_name(self):
+        with pytest.raises(ViewError, match="non-empty name"):
+            ViewDefinition(name="", algorithm=ConnectedComponentsView(), source="g")
+
+    def test_requires_exactly_one_input_kind(self):
+        with pytest.raises(ViewError, match="exactly one input kind"):
+            ViewDefinition(name="v", algorithm=ConnectedComponentsView())
+        with pytest.raises(ViewError, match="exactly one input kind"):
+            ViewDefinition(
+                name="v",
+                algorithm=ConnectedComponentsView(),
+                source="g",
+                depends_on=("other",),
+            )
+
+    def test_rejects_self_dependency(self):
+        with pytest.raises(ViewError, match="cannot depend on itself"):
+            ViewDefinition(
+                name="v",
+                algorithm=ComponentMassView(labels="v", ranks="r"),
+                depends_on=("v", "r"),
+            )
+
+    def test_validates_ranges_and_recovery(self):
+        with pytest.raises(ViewError, match="target_lag"):
+            cc_definition(target_lag=-1)
+        with pytest.raises(ViewError, match="warm_threshold"):
+            cc_definition(warm_threshold=1.5)
+        with pytest.raises(ViewError, match="recovery"):
+            cc_definition(recovery="heroic")
+
+    def test_is_derived(self):
+        assert not cc_definition().is_derived
+        derived = ViewDefinition(
+            name="mass",
+            algorithm=ComponentMassView(labels="cc", ranks="pr"),
+            depends_on=("cc", "pr"),
+        )
+        assert derived.is_derived
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self):
+        catalog, _ = catalog_with_graph()
+        catalog.register(cc_definition())
+        with pytest.raises(ViewError, match="already registered"):
+            catalog.register(cc_definition())
+        with pytest.raises(ViewError, match="already registered"):
+            catalog.add_graph("graph", MutableGraph(Graph([0], [])))
+
+    def test_unknown_source_graph_rejected(self):
+        catalog = ViewCatalog()
+        with pytest.raises(ViewError, match="unknown graph"):
+            catalog.register(cc_definition())
+
+    def test_parents_must_be_registered_first(self):
+        catalog, _ = catalog_with_graph()
+        with pytest.raises(ViewError, match="register parents first"):
+            catalog.register(
+                ViewDefinition(
+                    name="mass",
+                    algorithm=ComponentMassView(labels="cc", ranks="pr"),
+                    depends_on=("cc", "pr"),
+                )
+            )
+
+    def test_registration_order_is_topological(self):
+        catalog, _ = catalog_with_graph()
+        catalog.register(cc_definition("cc"))
+        catalog.register(cc_definition("pr", algorithm=PageRankView()))
+        catalog.register(
+            ViewDefinition(
+                name="mass",
+                algorithm=ComponentMassView(labels="cc", ranks="pr"),
+                depends_on=("cc", "pr"),
+            )
+        )
+        order = catalog.topological_order()
+        assert order.index("cc") < order.index("mass")
+        assert order.index("pr") < order.index("mass")
+
+    def test_lookups(self):
+        catalog, mutable = catalog_with_graph()
+        view = catalog.register(cc_definition())
+        assert catalog.graph("graph") is mutable
+        assert catalog.view("cc") is view
+        assert catalog.graph_names() == ["graph"]
+        with pytest.raises(ViewError, match="unknown graph"):
+            catalog.graph("nope")
+        with pytest.raises(ViewError, match="unknown view"):
+            catalog.view("nope")
+
+
+class TestMaterializedView:
+    def test_read_before_materialization_raises(self):
+        catalog, _ = catalog_with_graph()
+        view = catalog.register(cc_definition())
+        assert not view.is_materialized
+        with pytest.raises(ViewError, match="never been materialized"):
+            view.read()
+        with pytest.raises(ViewError, match="never been materialized"):
+            catalog.read("cc")
+
+    def test_install_and_read(self):
+        catalog, _ = catalog_with_graph()
+        view = catalog.register(cc_definition())
+        view.install(0, ((0, 0), (1, 0), (2, 2)))
+        reading = catalog.read("cc")
+        assert reading.epoch == 0
+        assert reading.records == ((0, 0), (1, 0), (2, 2))
+        assert reading.as_dict == {0: 0, 1: 0, 2: 2}
+
+    def test_install_rejects_older_epoch(self):
+        catalog, _ = catalog_with_graph()
+        view = catalog.register(cc_definition())
+        view.install(2, ())
+        with pytest.raises(ViewError, match="cannot install epoch 1"):
+            view.install(1, ())
+        view.install(2, ())  # same epoch is a legal re-install
+
+    def test_install_counts_modes(self):
+        class Report:
+            def __init__(self, mode):
+                self.mode = mode
+
+        catalog, _ = catalog_with_graph()
+        view = catalog.register(cc_definition())
+        view.install(0, (), Report("cold"))
+        view.install(1, (), Report("warm"))
+        view.install(2, (), Report("warm"))
+        assert view.refreshes == 3
+        assert view.cold_refreshes == 1
+        assert view.warm_refreshes == 2
+        assert view.last_report.mode == "warm"
+
+
+class TestStaleness:
+    def test_rooted_view_tracks_graph_epoch(self):
+        catalog, mutable = catalog_with_graph()
+        view = catalog.register(cc_definition())
+        assert catalog.source_epoch("cc") == 0
+        view.install(0, ())
+        assert catalog.staleness("cc") == 0
+        mutable.add_vertex(9)
+        mutable.commit()
+        assert catalog.source_epoch("cc") == 1
+        assert catalog.staleness("cc") == 1
+
+    def test_derived_view_is_as_fresh_as_stalest_parent(self):
+        catalog, _ = catalog_with_graph()
+        cc = catalog.register(cc_definition("cc"))
+        pr = catalog.register(cc_definition("pr", algorithm=PageRankView()))
+        mass = catalog.register(
+            ViewDefinition(
+                name="mass",
+                algorithm=ComponentMassView(labels="cc", ranks="pr"),
+                depends_on=("cc", "pr"),
+            )
+        )
+        cc.install(3, ())
+        pr.install(1, ())
+        assert catalog.source_epoch("mass") == 1
+        mass.install(1, ())
+        assert catalog.staleness("mass") == 0
+        pr.install(3, ())
+        assert catalog.staleness("mass") == 2

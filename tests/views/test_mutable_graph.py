@@ -1,0 +1,151 @@
+"""Tests for the mutable, versioned graph wrapper."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.views import MutableGraph, MutationKind
+
+
+def base_graph() -> Graph:
+    return Graph([0, 1, 2, 3], [(0, 1), (1, 2)])
+
+
+class TestEdits:
+    def test_add_vertex_and_edge(self):
+        mutable = MutableGraph(base_graph())
+        mutable.add_vertex(4)
+        mutable.add_edge(4, 0)
+        assert 4 in mutable
+        assert mutable.has_edge(0, 4)
+        assert mutable.pending_mutations == 2
+
+    def test_duplicate_vertex_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="already exists"):
+            mutable.add_vertex(0)
+
+    def test_negative_vertex_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="non-negative"):
+            mutable.add_vertex(-1)
+
+    def test_edge_to_unknown_vertex_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="unknown vertex"):
+            mutable.add_edge(0, 99)
+
+    def test_duplicate_edge_rejected_in_either_direction(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="already exists"):
+            mutable.add_edge(1, 0)  # (0, 1) exists, undirected
+
+    def test_self_loop_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="self-loop"):
+            mutable.add_edge(1, 1)
+
+    def test_remove_missing_edge_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="does not exist"):
+            mutable.remove_edge(0, 3)
+
+    def test_remove_unknown_vertex_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="unknown vertex"):
+            mutable.remove_vertex(42)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        mutable = MutableGraph(base_graph())
+        mutable.remove_vertex(1)
+        assert not mutable.has_edge(0, 1)
+        assert not mutable.has_edge(1, 2)
+        # but the CDC record names only the vertex
+        mutation = mutable.commit().mutations[0]
+        assert mutation.kind is MutationKind.REMOVE_VERTEX
+        assert mutation.vertex == 1
+
+
+class TestSnapshots:
+    def test_base_graph_is_epoch_zero(self):
+        mutable = MutableGraph(base_graph())
+        snap = mutable.snapshot()
+        assert snap.epoch == 0
+        assert snap.graph.vertices == [0, 1, 2, 3]
+
+    def test_edits_invisible_until_commit(self):
+        mutable = MutableGraph(base_graph())
+        mutable.add_vertex(4)
+        assert mutable.snapshot().graph.vertices == [0, 1, 2, 3]
+        epoch = mutable.commit()
+        assert epoch.epoch == 1
+        assert mutable.snapshot().graph.vertices == [0, 1, 2, 3, 4]
+
+    def test_old_epochs_stay_addressable(self):
+        mutable = MutableGraph(base_graph())
+        mutable.remove_edge(0, 1)
+        mutable.commit()
+        assert mutable.snapshot(0).graph.edges == [(0, 1), (1, 2)]
+        assert mutable.snapshot(1).graph.edges == [(1, 2)]
+
+    def test_unknown_epoch_rejected(self):
+        mutable = MutableGraph(base_graph())
+        with pytest.raises(GraphError, match="no snapshot"):
+            mutable.snapshot(7)
+
+    def test_base_graph_is_defensively_copied(self):
+        base = base_graph()
+        mutable = MutableGraph(base)
+        mutable.remove_vertex(3)
+        mutable.commit()
+        assert base.vertices == [0, 1, 2, 3]
+        assert mutable.snapshot(0).graph is not base
+
+    def test_snapshots_are_immutable_graphs(self):
+        mutable = MutableGraph(base_graph())
+        snap = mutable.snapshot().graph
+        mutable.add_vertex(4)
+        mutable.add_edge(4, 0)
+        mutable.commit()
+        assert snap.vertices == [0, 1, 2, 3]
+
+    def test_directedness_preserved(self):
+        mutable = MutableGraph(Graph([0, 1], [(1, 0)], directed=True))
+        assert mutable.directed
+        mutable.add_edge(0, 1)  # antiparallel is a distinct edge
+        epoch = mutable.commit()
+        assert epoch.mutations[0].edge == (0, 1)
+        assert mutable.snapshot().graph.edges == [(0, 1), (1, 0)]
+
+    def test_working_state_properties(self):
+        mutable = MutableGraph(base_graph())
+        mutable.add_vertex(9)
+        assert mutable.vertices == [0, 1, 2, 3, 9]
+        assert mutable.edges == [(0, 1), (1, 2)]
+
+
+class TestEpochLog:
+    def test_commit_seals_cdc_batch(self):
+        mutable = MutableGraph(base_graph())
+        mutable.add_vertex(4)
+        mutable.add_edge(4, 2)
+        epoch = mutable.commit()
+        kinds = [mutation.kind for mutation in epoch.mutations]
+        assert kinds == [MutationKind.ADD_VERTEX, MutationKind.ADD_EDGE]
+        assert mutable.epoch == 1
+
+    def test_epochs_since_watermark(self):
+        mutable = MutableGraph(base_graph())
+        mutable.add_vertex(4)
+        mutable.commit()
+        mutable.remove_vertex(4)
+        mutable.commit()
+        since = mutable.epochs_since(1)
+        assert [epoch.epoch for epoch in since] == [2]
+        assert since[0].has_removals
+
+    def test_empty_commit_is_legal(self):
+        mutable = MutableGraph(base_graph())
+        epoch = mutable.commit()
+        assert epoch.size == 0
+        assert mutable.snapshot().epoch == 1

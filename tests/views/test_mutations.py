@@ -1,0 +1,98 @@
+"""Tests for the CDC mutation log."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.views import Mutation, MutationEpoch, MutationKind, MutationLog
+
+
+class TestMutation:
+    def test_vertex_mutation_shape(self):
+        mutation = Mutation(MutationKind.ADD_VERTEX, vertex=3)
+        assert mutation.touched_vertices() == (3,)
+
+    def test_edge_mutation_shape(self):
+        mutation = Mutation(MutationKind.REMOVE_EDGE, edge=(1, 2))
+        assert mutation.touched_vertices() == (1, 2)
+
+    def test_vertex_mutation_rejects_edge(self):
+        with pytest.raises(GraphError, match="vertex mutation"):
+            Mutation(MutationKind.ADD_VERTEX, vertex=1, edge=(1, 2))
+        with pytest.raises(GraphError, match="vertex mutation"):
+            Mutation(MutationKind.REMOVE_VERTEX)
+
+    def test_edge_mutation_rejects_vertex(self):
+        with pytest.raises(GraphError, match="edge mutation"):
+            Mutation(MutationKind.ADD_EDGE, vertex=1)
+        with pytest.raises(GraphError, match="edge mutation"):
+            Mutation(MutationKind.REMOVE_EDGE, vertex=1, edge=(1, 2))
+
+    def test_repr_names_kind_and_target(self):
+        assert "add_edge" in repr(Mutation(MutationKind.ADD_EDGE, edge=(0, 1)))
+
+
+class TestMutationEpoch:
+    def test_size_touched_and_counts(self):
+        epoch = MutationEpoch(
+            1,
+            (
+                Mutation(MutationKind.ADD_EDGE, edge=(0, 1)),
+                Mutation(MutationKind.ADD_EDGE, edge=(1, 2)),
+                Mutation(MutationKind.ADD_VERTEX, vertex=9),
+            ),
+        )
+        assert epoch.size == 3
+        assert epoch.touched_vertices() == {0, 1, 2, 9}
+        assert epoch.counts() == {"add_edge": 2, "add_vertex": 1}
+
+    def test_has_removals(self):
+        adds = MutationEpoch(1, (Mutation(MutationKind.ADD_EDGE, edge=(0, 1)),))
+        assert not adds.has_removals
+        removes = MutationEpoch(
+            2, (Mutation(MutationKind.REMOVE_VERTEX, vertex=1),)
+        )
+        assert removes.has_removals
+
+
+class TestMutationLog:
+    def test_seal_numbers_epochs_from_one(self):
+        log = MutationLog()
+        log.append(Mutation(MutationKind.ADD_VERTEX, vertex=1))
+        first = log.seal()
+        second = log.seal()
+        assert first.epoch == 1
+        assert first.size == 1
+        assert second.epoch == 2
+        assert second.size == 0  # empty epochs are legal
+        assert log.latest_epoch == 2
+        assert len(log) == 2
+
+    def test_pending_count_resets_on_seal(self):
+        log = MutationLog()
+        log.append(Mutation(MutationKind.ADD_VERTEX, vertex=1))
+        assert log.pending_count == 1
+        log.seal()
+        assert log.pending_count == 0
+
+    def test_epoch_lookup_bounds(self):
+        log = MutationLog()
+        log.seal()
+        assert log.epoch(1).epoch == 1
+        with pytest.raises(GraphError, match="not sealed"):
+            log.epoch(2)
+        with pytest.raises(GraphError, match="not sealed"):
+            log.epoch(0)
+
+    def test_epochs_and_mutations_since(self):
+        log = MutationLog()
+        log.append(Mutation(MutationKind.ADD_VERTEX, vertex=1))
+        log.seal()
+        log.append(Mutation(MutationKind.ADD_VERTEX, vertex=2))
+        log.append(Mutation(MutationKind.ADD_EDGE, edge=(1, 2)))
+        log.seal()
+        assert [epoch.epoch for epoch in log.epochs_since(0)] == [1, 2]
+        assert [epoch.epoch for epoch in log.epochs_since(1)] == [2]
+        assert log.epochs_since(2) == []
+        assert len(log.mutations_since(1)) == 2
+        with pytest.raises(GraphError, match="watermark"):
+            log.epochs_since(-1)

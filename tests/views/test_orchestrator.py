@@ -1,0 +1,304 @@
+"""Tests for the refresh orchestrator: staleness, warm/cold, metrics."""
+
+import time
+
+import pytest
+
+from repro.config import EngineConfig, ServiceConfig, ViewsConfig
+from repro.errors import ViewError
+from repro.graph.generators import multi_component_graph
+from repro.runtime import FailureSchedule
+from repro.runtime.metrics import MetricsRegistry
+from repro.service import JobService
+from repro.views import (
+    ComponentMassView,
+    ConnectedComponentsView,
+    MutableGraph,
+    PageRankView,
+    RefreshOrchestrator,
+    ViewCatalog,
+    ViewDefinition,
+)
+
+ENGINE = EngineConfig(parallelism=2)
+
+
+def cc_catalog(**definition_overrides):
+    catalog = ViewCatalog()
+    mutable = MutableGraph(multi_component_graph(2, 6, seed=3))
+    catalog.add_graph("graph", mutable)
+    defaults = dict(
+        name="cc",
+        algorithm=ConnectedComponentsView(),
+        source="graph",
+        config=ENGINE,
+    )
+    defaults.update(definition_overrides)
+    catalog.register(ViewDefinition(**defaults))
+    return catalog, mutable
+
+
+class TestStalenessAndPolling:
+    def test_unmaterialized_view_is_stale(self):
+        catalog, _ = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        assert orchestrator.is_stale("cc")
+        assert orchestrator.stale_views() == ["cc"]
+
+    def test_poll_refreshes_then_view_is_fresh(self):
+        catalog, _ = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        reports = orchestrator.poll_once()
+        assert [report.view for report in reports] == ["cc"]
+        assert not orchestrator.is_stale("cc")
+        assert orchestrator.poll_once() == []
+
+    def test_first_materialization_is_cold(self):
+        catalog, _ = cc_catalog()
+        report = RefreshOrchestrator(catalog).poll_once()[0]
+        assert report.mode == "cold"
+        assert report.from_epoch == -1
+        assert report.to_epoch == 0
+        assert report.converged
+        assert report.total_keys == 0  # no previous materialization
+        assert report.changed == 12  # every record of the 2x6 graph is new
+
+    def test_commit_makes_view_stale_again(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        mutable.add_vertex(99)
+        mutable.commit()
+        assert orchestrator.is_stale("cc")
+        report = orchestrator.poll_once()[0]
+        assert report.to_epoch == 1
+
+    def test_target_lag_tolerates_staleness(self):
+        catalog, mutable = cc_catalog(target_lag=2)
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        for _ in range(2):
+            mutable.add_vertex(100 + _)
+            mutable.commit()
+        assert catalog.staleness("cc") == 2
+        assert not orchestrator.is_stale("cc")  # within per-view lag budget
+        mutable.add_vertex(200)
+        mutable.commit()
+        assert orchestrator.is_stale("cc")
+        # one poll catches all three epochs up in a single refresh
+        report = orchestrator.poll_once()[0]
+        assert report.to_epoch == 3
+
+
+class TestWarmColdDecision:
+    def test_auto_goes_warm_for_small_batches(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        report = orchestrator.poll_once()[0]
+        assert report.mode == "warm"
+        assert 0 < report.affected < report.total_keys
+
+    def test_forced_cold_mode(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(
+            catalog, config=ViewsConfig(refresh_mode="cold")
+        )
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        assert orchestrator.poll_once()[0].mode == "cold"
+
+    def test_zero_threshold_forces_cold_in_auto(self):
+        catalog, mutable = cc_catalog(warm_threshold=0.0)
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        report = orchestrator.poll_once()[0]
+        assert report.mode == "cold"
+        assert report.affected > 0  # the analysis still ran
+
+    def test_forced_warm_mode_overrides_threshold(self):
+        catalog, mutable = cc_catalog(warm_threshold=0.0)
+        orchestrator = RefreshOrchestrator(
+            catalog, config=ViewsConfig(refresh_mode="warm")
+        )
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        assert orchestrator.poll_once()[0].mode == "warm"
+
+    def test_config_threshold_used_when_definition_leaves_none(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(
+            catalog, config=ViewsConfig(warm_threshold=0.0)
+        )
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        assert orchestrator.poll_once()[0].mode == "cold"
+
+
+class TestDerivedViews:
+    def build(self):
+        catalog = ViewCatalog()
+        mutable = MutableGraph(multi_component_graph(2, 6, seed=3))
+        catalog.add_graph("graph", mutable)
+        catalog.register(
+            ViewDefinition(
+                name="cc",
+                algorithm=ConnectedComponentsView(),
+                source="graph",
+                config=ENGINE,
+            )
+        )
+        catalog.register(
+            ViewDefinition(
+                name="ranks",
+                algorithm=PageRankView(),
+                source="graph",
+                config=ENGINE,
+            )
+        )
+        catalog.register(
+            ViewDefinition(
+                name="mass",
+                algorithm=ComponentMassView(labels="cc", ranks="ranks"),
+                depends_on=("cc", "ranks"),
+                config=ENGINE,
+            )
+        )
+        return catalog, mutable, RefreshOrchestrator(catalog)
+
+    def test_refresh_before_parents_raises(self):
+        catalog, _, orchestrator = self.build()
+        with pytest.raises(ViewError, match="refresh parents first"):
+            orchestrator.refresh("mass")
+
+    def test_poll_refreshes_parents_first(self):
+        catalog, _, orchestrator = self.build()
+        reports = orchestrator.poll_once()
+        assert [report.view for report in reports] == ["cc", "ranks", "mass"]
+        mass = catalog.read("mass")
+        assert mass.epoch == 0
+        # one mass record per component, summing to total rank mass 1
+        labels = catalog.read("cc").as_dict
+        assert {record[0] for record in mass.records} == set(labels.values())
+        assert sum(mass.as_dict.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_derived_view_is_never_warm(self):
+        catalog, mutable, orchestrator = self.build()
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        by_view = {report.view: report for report in orchestrator.poll_once()}
+        assert by_view["cc"].mode == "warm"
+        assert by_view["mass"].mode == "cold"
+        assert catalog.read("mass").epoch == 1
+
+
+class TestReportsAndMetrics:
+    def test_report_counts_changed_records(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        before = catalog.read("cc").as_dict
+        mutable.add_vertex(99)  # isolated: exactly one new record
+        mutable.commit()
+        report = orchestrator.poll_once()[0]
+        after = catalog.read("cc").as_dict
+        expected = sum(
+            1 for key, value in after.items() if before.get(key) != value
+        ) + sum(1 for key in before if key not in after)
+        assert report.changed == expected == 1
+
+    def test_removed_keys_count_as_changes(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        victim = max(catalog.read("cc").as_dict)
+        mutable.remove_vertex(victim)
+        mutable.commit()
+        report = orchestrator.poll_once()[0]
+        assert report.changed >= 1
+        assert victim not in catalog.read("cc").as_dict
+
+    def test_metrics_and_gauges_published(self):
+        metrics = MetricsRegistry()
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog, metrics=metrics)
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        orchestrator.poll_once()
+        assert metrics.get("views.refreshes") == 2
+        assert metrics.get("views.refreshes.cold") == 1
+        assert metrics.get("views.refreshes.warm") == 1
+        assert metrics.histogram("views.refresh_supersteps").count == 2
+        assert metrics.gauge("views.epoch.cc") == 1.0
+        assert metrics.gauge("views.staleness.cc") == 0.0
+        assert metrics.gauge("views.lag_violation.cc") == 0.0
+
+    def test_summary_is_human_readable(self):
+        catalog, _ = cc_catalog()
+        report = RefreshOrchestrator(catalog).poll_once()[0]
+        assert "cc@0" in report.summary()
+        assert "cold refresh" in report.summary()
+
+    def test_affected_fraction_bounds(self):
+        catalog, _ = cc_catalog()
+        report = RefreshOrchestrator(catalog).poll_once()[0]
+        assert report.affected_fraction == 1.0  # no previous keys yet
+
+
+class TestExecutionPaths:
+    def test_injected_failure_healed_in_refresh(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.poll_once()
+        mutable.add_edge(0, 6)
+        mutable.commit()
+        report = orchestrator.poll_once(
+            failures=FailureSchedule.single(superstep=1, worker_ids=[0])
+        )[0]
+        assert report.failures == 1
+        assert report.converged
+
+    def test_refresh_through_job_service(self):
+        catalog, mutable = cc_catalog()
+        with JobService(ServiceConfig(pool_size=2, poll_interval=0.01)) as svc:
+            orchestrator = RefreshOrchestrator(catalog, service=svc)
+            orchestrator.poll_once()
+            mutable.add_edge(0, 6)
+            mutable.commit()
+            report = orchestrator.poll_once()[0]
+            assert report.mode == "warm"
+            health = svc.health()
+        assert health["counters"]["submitted"] == 2
+        assert health["counters"]["succeeded"] == 2
+
+    def test_background_poller_keeps_view_fresh(self):
+        catalog, mutable = cc_catalog()
+        orchestrator = RefreshOrchestrator(catalog)
+        orchestrator.start(interval=0.02)
+        try:
+            orchestrator.start(interval=0.02)  # idempotent
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if catalog.view("cc").is_materialized:
+                    break
+                time.sleep(0.01)
+            assert catalog.view("cc").is_materialized
+            mutable.add_vertex(99)
+            mutable.commit()
+            while time.monotonic() < deadline:
+                if catalog.view("cc").epoch == 1:
+                    break
+                time.sleep(0.01)
+            assert catalog.view("cc").epoch == 1
+        finally:
+            orchestrator.stop()
+        orchestrator.stop()  # no-op when already stopped

@@ -1,0 +1,96 @@
+"""Tests for the mutating-graph demo scenario."""
+
+import pytest
+
+from repro.config import ServiceConfig, ViewsConfig
+from repro.errors import ConfigError
+from repro.service import JobService
+from repro.views import ScenarioConfig, build_scenario, run_scenario
+
+
+class TestScenarioConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            ScenarioConfig(num_components=0)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(component_size=1)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(mutations_per_epoch=0)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(removal_fraction=1.1)
+        with pytest.raises(ConfigError):
+            ScenarioConfig(parallelism=0)
+
+    def test_engine_derived_from_parallelism(self):
+        assert ScenarioConfig(parallelism=3).engine.parallelism == 3
+
+
+def small_config(**overrides):
+    defaults = dict(num_components=2, component_size=6, parallelism=2)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestBuildScenario:
+    def test_registers_the_view_dag(self):
+        catalog, orchestrator, mutable = build_scenario(small_config())
+        assert catalog.topological_order() == ["cc-labels", "ranks", "component-mass"]
+        assert catalog.graph_names() == ["graph"]
+        assert mutable.epoch == 0
+        assert orchestrator.catalog is catalog
+
+
+class TestRunScenario:
+    def test_rejects_zero_epochs(self):
+        with pytest.raises(ConfigError, match="epochs"):
+            run_scenario(small_config(), epochs=0)
+
+    def test_epoch_zero_is_cold_then_epochs_advance(self):
+        outcomes = run_scenario(small_config(), epochs=2)
+        assert [outcome.epoch for outcome in outcomes] == [0, 1, 2]
+        assert outcomes[0].mutation_counts == {}
+        for report in outcomes[0].reports:
+            assert report.mode == "cold"
+        for outcome in outcomes[1:]:
+            # 4 batch slots; a vertex addition emits 2 CDC records
+            # (add_vertex + the connecting add_edge)
+            assert 4 <= sum(outcome.mutation_counts.values()) <= 8
+
+    def test_every_epoch_refreshes_every_view(self):
+        outcomes = run_scenario(small_config(), epochs=2)
+        for outcome in outcomes:
+            names = [report.view for report in outcome.reports]
+            assert names == ["cc-labels", "ranks", "component-mass"]
+            assert outcome.report_for("ranks").converged
+        assert outcomes[0].report_for("missing") is None
+
+    def test_same_seed_same_outcomes(self):
+        first = run_scenario(small_config(seed=13), epochs=2)
+        second = run_scenario(small_config(seed=13), epochs=2)
+        assert [outcome.mutation_counts for outcome in first] == [
+            outcome.mutation_counts for outcome in second
+        ]
+        for left, right in zip(first, second):
+            for view in ("cc-labels", "ranks", "component-mass"):
+                assert (
+                    left.report_for(view).supersteps
+                    == right.report_for(view).supersteps
+                )
+                assert left.report_for(view).changed == right.report_for(view).changed
+
+    def test_warm_mode_warms_iterative_views_after_epoch_zero(self):
+        outcomes = run_scenario(
+            small_config(views=ViewsConfig(refresh_mode="warm")), epochs=2
+        )
+        for outcome in outcomes[1:]:
+            assert outcome.report_for("cc-labels").mode == "warm"
+            assert outcome.report_for("ranks").mode == "warm"
+            assert outcome.report_for("component-mass").mode == "cold"
+
+    def test_runs_through_a_service(self):
+        with JobService(ServiceConfig(pool_size=2, poll_interval=0.01)) as svc:
+            outcomes = run_scenario(small_config(), epochs=1, service=svc)
+            health = svc.health()
+        assert len(outcomes) == 2
+        assert health["counters"]["submitted"] == 6  # 3 views x 2 polls
+        assert health["counters"]["succeeded"] == 6
