@@ -29,12 +29,16 @@ paper-vs-measured record of every reproduced figure.
 
 from .config import (
     DEFAULT_CONFIG,
+    DEFAULT_FAIRNESS_CONFIG,
     DEFAULT_SERVICE_CONFIG,
+    DEFAULT_SHARD_CONFIG,
     DEFAULT_TELEMETRY_CONFIG,
     DEFAULT_VIEWS_CONFIG,
     CostModel,
     EngineConfig,
+    FairnessConfig,
     ServiceConfig,
+    ShardConfig,
     TelemetryConfig,
     ViewsConfig,
 )
@@ -65,11 +69,14 @@ __all__ = [
     "ConfigError",
     "CostModel",
     "DEFAULT_CONFIG",
+    "DEFAULT_FAIRNESS_CONFIG",
     "DEFAULT_SERVICE_CONFIG",
+    "DEFAULT_SHARD_CONFIG",
     "DEFAULT_TELEMETRY_CONFIG",
     "DEFAULT_VIEWS_CONFIG",
     "EngineConfig",
     "ExecutionError",
+    "FairnessConfig",
     "GraphError",
     "IterationError",
     "JobCancelledError",
@@ -80,6 +87,7 @@ __all__ = [
     "ReproError",
     "ServiceConfig",
     "ServiceError",
+    "ShardConfig",
     "StorageError",
     "TelemetryConfig",
     "TerminationError",

@@ -454,6 +454,146 @@ DEFAULT_VIEWS_CONFIG = ViewsConfig()
 
 
 @dataclass(frozen=True)
+class FairnessConfig:
+    """Configuration of tenant-fair scheduling and load shedding
+    (:class:`repro.service.fair.FairAdmissionQueue`).
+
+    Attributes:
+        enabled: run the admission path through the tenant-fair queue
+            (deficit round-robin across per-tenant sub-queues) instead of
+            the plain priority+FIFO queue.
+        weights: per-tenant scheduling weights as ``(tenant, weight)``
+            pairs; a tenant with weight 4 receives ~4x the dequeues of a
+            weight-1 tenant while both stay backlogged. Tenants not named
+            here get :attr:`default_weight`.
+        default_weight: weight of tenants absent from :attr:`weights`.
+        tenant_quota: per-tenant cap on *live* queued jobs (``None`` =
+            no per-tenant cap); a tenant at quota gets an
+            :class:`repro.errors.AdmissionError` even when the queue has
+            global room, so one tenant cannot monopolize the backlog.
+        deadline_admission: reject jobs at admission whose deadline is
+            provably unmeetable — remaining deadline budget below the
+            observed queue-wait p95 — instead of queueing work that is
+            doomed to time out.
+        min_wait_samples: queue-wait observations required before the
+            deadline-admission estimator starts rejecting (cold starts
+            never shed on a guess).
+        shed_lowest_first: under overload (queue full), evict the newest
+            lowest-priority job of the lowest-weight backlogged tenant to
+            make room for a strictly higher-weight tenant's job; the
+            victim is FAILED with an :class:`repro.errors.AdmissionError`
+            (observable, never a silent drop). When the submitter itself
+            belongs to the lowest-weight class, its job is the one shed.
+    """
+
+    enabled: bool = False
+    weights: tuple[tuple[str, int], ...] = ()
+    default_weight: int = 1
+    tenant_quota: int | None = None
+    deadline_admission: bool = True
+    min_wait_samples: int = 10
+    shed_lowest_first: bool = True
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for pair in self.weights:
+            if len(pair) != 2:
+                raise ConfigError(
+                    f"weights must be (tenant, weight) pairs, got {pair!r}"
+                )
+            tenant, weight = pair
+            if not tenant or not isinstance(tenant, str):
+                raise ConfigError(f"tenant names must be non-empty strings, got {tenant!r}")
+            if tenant in seen:
+                raise ConfigError(f"tenant {tenant!r} appears twice in weights")
+            seen.add(tenant)
+            if not isinstance(weight, int) or weight < 1:
+                raise ConfigError(
+                    f"tenant weights must be integers >= 1, got {weight!r} for {tenant!r}"
+                )
+        if self.default_weight < 1:
+            raise ConfigError(
+                f"default_weight must be >= 1, got {self.default_weight}"
+            )
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ConfigError(
+                f"tenant_quota must be >= 1 or None, got {self.tenant_quota}"
+            )
+        if self.min_wait_samples < 1:
+            raise ConfigError(
+                f"min_wait_samples must be >= 1, got {self.min_wait_samples}"
+            )
+
+    def weight_of(self, tenant: str) -> int:
+        """The scheduling weight of ``tenant``."""
+        for name, weight in self.weights:
+            if name == tenant:
+                return weight
+        return self.default_weight
+
+
+DEFAULT_FAIRNESS_CONFIG = FairnessConfig()
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Configuration of the sharded multi-process service
+    (:class:`repro.service.shard.ShardedJobService`).
+
+    Shards are independent scheduler *processes* coordinated purely
+    through a shared spool directory: job descriptors are claimed by
+    atomic rename, so there is no leader election and no shared mutable
+    state beyond the filesystem.
+
+    Attributes:
+        num_shards: scheduler processes to run.
+        spool_dir: shared spool directory path (``None`` = a fresh
+            temporary directory owned by the coordinator).
+        work_donation: when a shard's own pending directory runs dry it
+            claims jobs from the most-backlogged sibling's directory, so
+            a skewed tenant placement cannot idle half the fleet.
+        claim_interval: seconds an idle shard sleeps between claim scans.
+        max_inflight: jobs a shard keeps admitted into its local service
+            at once (``None`` = ``2 * pool_size + 2``); keeping the rest
+            in the spool is what makes work donation possible.
+        health_interval: seconds between a shard's health-file updates.
+        shutdown_timeout: seconds the coordinator waits for a shard
+            process to drain and exit before terminating it.
+    """
+
+    num_shards: int = 2
+    spool_dir: str | None = None
+    work_donation: bool = True
+    claim_interval: float = 0.02
+    max_inflight: int | None = None
+    health_interval: float = 0.5
+    shutdown_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.claim_interval <= 0:
+            raise ConfigError(
+                f"claim_interval must be > 0, got {self.claim_interval}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1 or None, got {self.max_inflight}"
+            )
+        if self.health_interval <= 0:
+            raise ConfigError(
+                f"health_interval must be > 0, got {self.health_interval}"
+            )
+        if self.shutdown_timeout <= 0:
+            raise ConfigError(
+                f"shutdown_timeout must be > 0, got {self.shutdown_timeout}"
+            )
+
+
+DEFAULT_SHARD_CONFIG = ShardConfig()
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Configuration of the multi-job service (:mod:`repro.service`).
 
@@ -493,6 +633,11 @@ class ServiceConfig:
         views: the dynamic-view layer's knobs (refresh mode, warm
             threshold, target lag, poll cadence) for orchestrators that
             submit their refreshes through this service.
+        fairness: tenant-fair scheduling and load-shedding knobs; with
+            ``fairness.enabled`` the admission queue becomes a
+            :class:`repro.service.fair.FairAdmissionQueue` (deficit
+            round-robin across tenants, quotas, deadline-aware admission,
+            lowest-weight-first shedding under overload).
     """
 
     pool_size: int = 4
@@ -505,6 +650,7 @@ class ServiceConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     default_recovery: str | None = None
     views: ViewsConfig = field(default_factory=ViewsConfig)
+    fairness: FairnessConfig = field(default_factory=FairnessConfig)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:

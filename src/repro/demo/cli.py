@@ -354,8 +354,74 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="stream telemetry events to PATH as JSONL while the service "
         "runs (implies --telemetry)",
     )
+    parser.add_argument(
+        "--tenants",
+        metavar="SPEC",
+        default=None,
+        help="tenant weights as 'a=4,b=2,c=1': enables tenant-fair "
+        "scheduling (deficit round-robin, load shedding) and assigns "
+        "generated jobs to the named tenants round-robin",
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant cap on live queued jobs (default: none)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the workload through N scheduler shard processes "
+        "coordinated over a spool directory (default: 0 = in-process)",
+    )
+    parser.add_argument(
+        "--http",
+        action="store_true",
+        help="serve the HTTP front door instead of running a generated "
+        "workload; submit jobs via POST /api/v1/jobs, stop via "
+        "POST /api/v1/shutdown",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="front-door bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="front-door port, 0 picks a free one (default: 8080)",
+    )
     add_parallel_arguments(parser)
     return parser
+
+
+def _parse_tenants(text: str) -> tuple[tuple[str, int], ...]:
+    """Parse ``a=4,b=2,c=1`` into ``((tenant, weight), ...)`` pairs."""
+    weights = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, weight_text = item.partition("=")
+        if not name:
+            raise ConfigError(f"tenant spec {item!r} needs a name")
+        if not weight_text:
+            weight = 1
+        else:
+            try:
+                weight = int(weight_text)
+            except ValueError:
+                raise ConfigError(
+                    f"tenant weight in {item!r} must be an integer"
+                ) from None
+        weights.append((name, weight))
+    if not weights:
+        raise ConfigError("--tenants must name at least one tenant")
+    return tuple(weights)
 
 
 def _watch_service(service, handles, interval: float) -> None:
@@ -372,9 +438,95 @@ def _watch_service(service, handles, interval: float) -> None:
         remaining[0].wait(interval)
 
 
+def _serve_http(args, service_config) -> int:
+    """``serve --http``: block serving the front door until shut down."""
+    from ..config import ShardConfig
+    from ..service import (
+        JobService,
+        LocalBackend,
+        ShardBackend,
+        ShardedJobService,
+        make_http_server,
+    )
+
+    try:
+        if args.shards > 0:
+            backend = ShardBackend(
+                ShardedJobService(service_config, ShardConfig(num_shards=args.shards))
+            )
+        else:
+            backend = LocalBackend(JobService(service_config))
+        server = make_http_server(backend, args.host, args.port)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}")
+        return 1
+    host, port = server.server_address[:2]
+    mode = f"{args.shards} shards" if args.shards > 0 else "in-process"
+    print(
+        f"front door listening on http://{host}:{port} ({mode}); "
+        f"POST /api/v1/shutdown to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        backend.shutdown()
+    print("front door stopped")
+    return 0
+
+
+def _serve_sharded(args, service_config, tenant_names: tuple[str, ...]) -> int:
+    """``serve --shards N``: descriptor workload through shard processes."""
+    import time as _time
+
+    from ..config import ShardConfig
+    from ..service import ShardedJobService, generate_descriptor_workload
+
+    descriptors = generate_descriptor_workload(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        tenants=tenant_names,
+        cc_fraction=args.cc_fraction,
+        failure_density=args.failure_density,
+        recovery=args.strategy,
+    )
+    try:
+        with ShardedJobService(
+            service_config, ShardConfig(num_shards=args.shards)
+        ) as service:
+            started = _time.monotonic()
+            job_ids = service.submit_all(descriptors)
+            records = service.wait_all()
+            wall = _time.monotonic() - started
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    states: dict[str, int] = {}
+    for record in records.values():
+        states[record["state"]] = states.get(record["state"], 0) + 1
+    if args.per_job:
+        for job_id in job_ids:
+            record = records[job_id]
+            print(
+                f"job {job_id} {record['name']:<24} {record['state']:<10} "
+                f"attempts={record['attempts']}"
+            )
+        print()
+    print(f"=== serve: {args.jobs} jobs, {args.shards} shards ===")
+    print("terminal: " + " ".join(f"{s}={c}" for s, c in sorted(states.items())))
+    print(
+        f"throughput: {len(records)} jobs in {wall:.3f}s "
+        f"({len(records) / wall:.1f} jobs/s)" if wall > 0 else "throughput: -"
+    )
+    return 0
+
+
 def serve_main(argv: Sequence[str]) -> int:
     """``serve`` subcommand: load-gen workload through the job service."""
-    from ..config import ServiceConfig, TelemetryConfig
+    from ..config import FairnessConfig, ServiceConfig, TelemetryConfig
     from ..service import JobService, WorkloadConfig, generate_workload
 
     args = build_serve_parser().parse_args(argv)
@@ -385,6 +537,18 @@ def serve_main(argv: Sequence[str]) -> int:
             raise ConfigError(
                 f"status-interval must be > 0, got {args.status_interval}"
             )
+        if args.shards < 0:
+            raise ConfigError(f"--shards must be >= 0, got {args.shards}")
+        tenant_weights: tuple[tuple[str, int], ...] = ()
+        tenant_names: tuple[str, ...] = ()
+        if args.tenants is not None:
+            tenant_weights = _parse_tenants(args.tenants)
+            tenant_names = tuple(name for name, _ in tenant_weights)
+        fairness = FairnessConfig(
+            enabled=bool(tenant_weights) or args.tenant_quota is not None,
+            weights=tenant_weights,
+            tenant_quota=args.tenant_quota,
+        )
         workload = generate_workload(
             WorkloadConfig(
                 num_jobs=args.jobs,
@@ -396,6 +560,7 @@ def serve_main(argv: Sequence[str]) -> int:
                 parallel_backend=args.parallel_backend,
                 parallel_workers=args.parallel_workers,
                 columnar=args.columnar,
+                tenants=tenant_names,
             )
         )
         telemetry_config = TelemetryConfig(jsonl_path=args.telemetry_out)
@@ -414,10 +579,15 @@ def serve_main(argv: Sequence[str]) -> int:
             core_budget=args.core_budget,
             default_recovery=args.strategy,
             telemetry=telemetry_config,
+            fairness=fairness,
         )
     except ConfigError as error:
         print(f"error: {error}")
         return 2
+    if args.http:
+        return _serve_http(args, service_config)
+    if args.shards > 0:
+        return _serve_sharded(args, service_config, tenant_names)
     try:
         with JobService(service_config) as service:
             if args.status_interval is not None:

@@ -113,7 +113,27 @@ def render_status(health: Mapping[str, Any], max_jobs: int = 12, max_alerts: int
     busy = pool.get("utilization")
     if busy is not None:
         pool_text += f" ({_fmt_pct(busy)} busy)"
+    discarded = queue.get("discarded")
+    if discarded:
+        depth_text += f" discarded={discarded}"
     lines.append(f"queue   {depth_text:<18} {pool_text}")
+
+    fairness = health.get("fairness") or {}
+    if fairness.get("enabled"):
+        shed_text = (
+            f"fair    shed={fairness.get('shed_jobs', 0)} "
+            f"deadline-rejects={fairness.get('deadline_rejects', 0)}"
+        )
+        lines.append(shed_text)
+        tenants = fairness.get("tenants") or {}
+        for tenant in sorted(tenants):
+            stats = tenants[tenant]
+            lines.append(
+                f"  tenant {tenant:<12} w={stats.get('weight', 1)} "
+                f"queued={stats.get('queued', 0)} "
+                f"served={stats.get('dequeued', 0)} "
+                f"shed={stats.get('shed', 0)}"
+            )
 
     counters = health.get("counters") or {}
     if counters:

@@ -8,6 +8,14 @@ retries that distinguish in-run injected failures — absorbed by the
 recovery strategies — from infrastructure failures like spare-pool
 exhaustion).
 
+Scale-out adds three more layers (all stdlib, all deterministic per
+job): :mod:`repro.service.fair` — tenant-fair admission (weighted
+deficit round-robin, quotas, deadline-aware admission, load shedding);
+:mod:`repro.service.shard` — N scheduler *processes* coordinated through
+a shared spool directory with atomic-rename job claims, consistent-hash
+tenant placement and work donation; :mod:`repro.service.http` — a thin
+JSON/REST front door (``repro serve --http``).
+
 Quickstart::
 
     from repro.config import ServiceConfig
@@ -16,9 +24,28 @@ Quickstart::
     with JobService(ServiceConfig(pool_size=4)) as service:
         handles = service.run_all(generate_workload(WorkloadConfig(num_jobs=10)))
         print(service.report().format())
+
+Sharded::
+
+    from repro.config import ServiceConfig, ShardConfig
+    from repro.service import JobDescriptor, ShardedJobService
+
+    with ShardedJobService(ServiceConfig(pool_size=2),
+                           ShardConfig(num_shards=4)) as service:
+        job_id = service.submit(JobDescriptor(name="cc", kind="cc"))
+        record = service.result(job_id, timeout=60)
 """
 
 from .api import JobService, ServiceReport
+from .descriptor import (
+    JobDescriptor,
+    generate_descriptor_workload,
+    records_equal,
+    result_record,
+    serialize_result,
+)
+from .fair import FairAdmissionQueue
+from .http import LocalBackend, ShardBackend, make_http_server
 from .job import (
     JOB_RECOVERIES,
     TERMINAL_STATES,
@@ -30,21 +57,35 @@ from .job import (
 from .loadgen import WorkloadConfig, generate_workload
 from .queue import AdmissionQueue
 from .scheduler import WorkerPool
+from .shard import ConsistentHashRing, ShardedJobService
+from .spool import SpoolDir
 from .supervisor import DeadlineTracer, JobSupervisor
 
 __all__ = [
     "AdmissionQueue",
+    "ConsistentHashRing",
     "DeadlineTracer",
+    "FairAdmissionQueue",
     "JOB_RECOVERIES",
+    "JobDescriptor",
     "JobHandle",
     "JobService",
     "JobSpec",
     "JobState",
     "JobSupervisor",
+    "LocalBackend",
     "RetryPolicy",
     "ServiceReport",
+    "ShardBackend",
+    "ShardedJobService",
+    "SpoolDir",
     "TERMINAL_STATES",
     "WorkerPool",
     "WorkloadConfig",
+    "generate_descriptor_workload",
     "generate_workload",
+    "make_http_server",
+    "records_equal",
+    "result_record",
+    "serialize_result",
 ]

@@ -26,6 +26,10 @@ Everything observable lands on one :class:`repro.runtime.metrics.MetricsRegistry
 ``service.failed`` /
 ``service.cancelled`` /
 ``service.timed_out``
+``service.queue_discarded``     terminal corpses dropped from the queue
+``service.shed_jobs``           jobs evicted/refused by load shedding
+``service.deadline_rejects``    jobs refused as provably unmeetable
+``service.tenant.<t>.*``        per-tenant submitted/admitted/dequeued/shed
 ``service.queue_depth``         gauge: live queue depth
 ``service.jobs_in_flight``      gauge: jobs currently executing
 ``service.core_budget``         gauge: cores shared across job slots
@@ -61,6 +65,7 @@ from ..observability.telemetry import TelemetryCollector
 from ..observability.telemetry_log import TelemetryLog
 from ..runtime.metrics import MetricsRegistry
 from ..runtime.parallel import CoreBudget, iter_shared_backends
+from .fair import FairAdmissionQueue, tenant_metric
 from .job import JobHandle, JobSpec, JobState
 from .queue import AdmissionQueue
 from .scheduler import WorkerPool
@@ -77,11 +82,21 @@ class JobService:
     ):
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._queue = AdmissionQueue(
-            capacity=config.queue_capacity,
-            policy=config.backpressure,
-            block_timeout=config.admission_timeout,
-        )
+        if config.fairness.enabled:
+            self._queue: AdmissionQueue | FairAdmissionQueue = FairAdmissionQueue(
+                capacity=config.queue_capacity,
+                policy=config.backpressure,
+                block_timeout=config.admission_timeout,
+                fairness=config.fairness,
+                metrics=self.metrics,
+            )
+        else:
+            self._queue = AdmissionQueue(
+                capacity=config.queue_capacity,
+                policy=config.backpressure,
+                block_timeout=config.admission_timeout,
+                metrics=self.metrics,
+            )
         # Split the machine's cores between the pool's job slots and each
         # job's intra-job parallel workers (wall-clock only; results are
         # backend-independent).
@@ -140,9 +155,11 @@ class JobService:
     def _run_one(self, handle: JobHandle) -> None:
         if handle.started_at is None:
             handle.started_at = time.monotonic()
-            self.metrics.observe(
-                "service.time_in_queue_seconds", handle.time_in_queue or 0.0
-            )
+            wait = handle.time_in_queue or 0.0
+            self.metrics.observe("service.time_in_queue_seconds", wait)
+            # Feed the fair queue's deadline-admission estimator (a no-op
+            # on the base AdmissionQueue).
+            self._queue.note_wait(wait)
         self.metrics.set_gauge("service.queue_depth", self._queue.depth)
         self.metrics.set_gauge("service.jobs_in_flight", self._pool.in_flight)
         try:
@@ -175,6 +192,8 @@ class JobService:
         the service defines one; explicit per-job choices always win.
         """
         self.metrics.increment("service.submitted")
+        if self.config.fairness.enabled:
+            self.metrics.increment(tenant_metric(spec.tenant, "submitted"))
         if spec.recovery is None and self.config.default_recovery is not None:
             spec = replace(spec, recovery=self.config.default_recovery)
         with self._lock:
@@ -193,6 +212,8 @@ class JobService:
         with self._lock:
             self._handles[job_id] = handle
         self.metrics.increment("service.admitted")
+        if self.config.fairness.enabled:
+            self.metrics.increment(tenant_metric(spec.tenant, "admitted"))
         depth = self._queue.depth
         self.metrics.set_gauge("service.queue_depth", depth)
         self.metrics.observe("service.queue_depth_sampled", depth)
@@ -359,6 +380,15 @@ class JobService:
                 "capacity": capacity,
                 "overloaded": capacity is not None and depth >= capacity,
                 "backpressure": self.config.backpressure,
+                "discarded": self._queue.discarded,
+            },
+            "fairness": {
+                "enabled": self.config.fairness.enabled,
+                "shed_jobs": getattr(self._queue, "shed_jobs", 0),
+                "deadline_rejects": getattr(self._queue, "deadline_rejects", 0),
+                "tenants": self._queue.tenant_stats()
+                if isinstance(self._queue, FairAdmissionQueue)
+                else {},
             },
             "pool": {
                 "size": self.config.pool_size,

@@ -1,0 +1,315 @@
+"""Declarative job descriptions: the unit that crosses process boundaries.
+
+:class:`repro.service.job.JobSpec` carries a ``make_job`` closure — fine
+inside one process, unshippable across one (closures over graphs do not
+pickle, and an HTTP client cannot send one at all). The sharded service
+and the HTTP front door therefore speak :class:`JobDescriptor`: a pure
+JSON-serializable value (algorithm kind, graph-generator seeds and
+sizes, engine knobs, failure schedule, tenancy, deadline) from which any
+process can *deterministically* rebuild the identical
+:class:`~repro.service.job.JobSpec` via :meth:`JobDescriptor.to_spec`.
+The engine is deterministic per job, so a descriptor executed on shard 3
+of 4 produces bit-identical results to the same descriptor run
+standalone in the submitting process — the S11 benchmark asserts exactly
+that.
+
+Terminal results travel the reverse direction as plain dicts
+(:func:`result_record` / :func:`records_equal`): final records, superstep
+count, simulated-time, converged flag and error text. JSON round-trips
+Python floats exactly (``repr`` shortest-representation), so record
+equality across the wire is genuine bit-identity, not approximation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..algorithms.connected_components import connected_components
+from ..algorithms.pagerank import pagerank
+from ..config import RECOVERY_STRATEGIES, EngineConfig
+from ..errors import ConfigError
+from ..graph.generators import multi_component_graph, twitter_like_graph
+from ..iteration.result import IterationResult
+from ..runtime.failures import FailureSchedule
+from .job import JobHandle, JobSpec, JobState, RetryPolicy
+
+#: algorithm kinds a descriptor can name.
+DESCRIPTOR_KINDS = ("cc", "pagerank")
+
+
+@dataclass(frozen=True)
+class JobDescriptor:
+    """A JSON-serializable, deterministically-buildable job description.
+
+    Attributes:
+        name: human-readable job name.
+        kind: ``"cc"`` (Connected Components over a
+            :func:`~repro.graph.generators.multi_component_graph`) or
+            ``"pagerank"`` (over a
+            :func:`~repro.graph.generators.twitter_like_graph`).
+        tenant: owning tenant (fair scheduling / quotas / shedding).
+        priority: admission priority (higher runs earlier).
+        deadline: wall-clock seconds from submission, or ``None``.
+        recovery: recovery strategy name, one of
+            :data:`repro.config.RECOVERY_STRATEGIES`.
+        graph_seed: generator seed — with the size fields this pins the
+            input graph exactly.
+        num_components / component_size: CC graph shape.
+        num_vertices: PageRank graph size.
+        epsilon: PageRank convergence threshold.
+        parallelism: partitions / workers of the run.
+        spare_workers: spares held for in-run recovery.
+        failures: injected failure schedule as
+            ``[[superstep, [worker_id, ...]], ...]`` (JSON shape).
+        max_retries / backoff_base: infra retry policy.
+        retry_spare_boost: extra spares granted to a retry attempt.
+        seed: engine seed stamped onto the spec.
+    """
+
+    name: str
+    kind: str
+    tenant: str = "default"
+    priority: int = 0
+    deadline: float | None = None
+    recovery: str = "optimistic"
+    graph_seed: int = 7
+    num_components: int = 3
+    component_size: int = 8
+    num_vertices: int = 40
+    epsilon: float = 1e-3
+    parallelism: int = 4
+    spare_workers: int = 4
+    failures: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    max_retries: int = 2
+    backoff_base: float = 0.01
+    retry_spare_boost: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("a job descriptor needs a non-empty name")
+        if self.kind not in DESCRIPTOR_KINDS:
+            raise ConfigError(
+                f"kind must be one of {DESCRIPTOR_KINDS}, got {self.kind!r}"
+            )
+        if not self.tenant:
+            raise ConfigError("a job descriptor needs a non-empty tenant")
+        if self.recovery not in RECOVERY_STRATEGIES:
+            raise ConfigError(
+                f"recovery must be one of {RECOVERY_STRATEGIES}, "
+                f"got {self.recovery!r}"
+            )
+        if self.parallelism < 1:
+            raise ConfigError(f"parallelism must be >= 1, got {self.parallelism}")
+        # Normalize the failure schedule to hashable tuples so descriptors
+        # parsed from JSON (lists) compare equal to constructed ones.
+        object.__setattr__(
+            self,
+            "failures",
+            tuple(
+                (int(superstep), tuple(int(w) for w in workers))
+                for superstep, workers in self.failures
+            ),
+        )
+
+    # -- building --------------------------------------------------------------
+
+    def build_graph(self):
+        """The (deterministic) input graph this descriptor names."""
+        if self.kind == "cc":
+            return multi_component_graph(
+                self.num_components, self.component_size, seed=self.graph_seed
+            )
+        return twitter_like_graph(self.num_vertices, seed=self.graph_seed)
+
+    def to_spec(self) -> JobSpec:
+        """The equivalent :class:`JobSpec`, rebuilt deterministically."""
+        graph = self.build_graph()
+        if self.kind == "cc":
+            make_job = lambda: connected_components(graph)  # noqa: E731
+        else:
+            epsilon = self.epsilon
+            make_job = lambda: pagerank(graph, epsilon=epsilon)  # noqa: E731
+        failures = None
+        if self.failures:
+            failures = FailureSchedule.at(
+                *((superstep, list(workers)) for superstep, workers in self.failures)
+            )
+        return JobSpec(
+            name=self.name,
+            make_job=make_job,
+            config=EngineConfig(
+                parallelism=self.parallelism, spare_workers=self.spare_workers
+            ),
+            recovery=self.recovery,
+            failures=failures,
+            priority=self.priority,
+            tenant=self.tenant,
+            deadline=self.deadline,
+            retry=RetryPolicy(
+                max_retries=self.max_retries,
+                backoff_base=self.backoff_base,
+                jitter=0.5,
+            ),
+            retry_spare_boost=self.retry_spare_boost,
+            seed=self.seed,
+        )
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobDescriptor":
+        if not isinstance(data, dict):
+            raise ConfigError(f"a job descriptor must be an object, got {type(data)}")
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown descriptor fields: {sorted(unknown)}")
+        if "name" not in data or "kind" not in data:
+            raise ConfigError("a job descriptor needs at least 'name' and 'kind'")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobDescriptor":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid descriptor JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+# -- terminal result records ----------------------------------------------------
+
+
+def result_record(
+    job_id: str | int, descriptor: JobDescriptor, handle: JobHandle
+) -> dict[str, Any]:
+    """The JSON-shaped terminal record of one executed descriptor.
+
+    The handle must be terminal. Succeeded jobs carry the full result
+    payload (final records, supersteps, simulated time, converged);
+    failed/cancelled/timed-out jobs carry the error text instead.
+    """
+    record: dict[str, Any] = {
+        "job_id": job_id,
+        "name": descriptor.name,
+        "tenant": descriptor.tenant,
+        "state": handle.state.value,
+        "shed": handle.shed,
+        "attempts": handle.attempts,
+        "error": None,
+        "result": None,
+    }
+    if handle.state is JobState.SUCCEEDED:
+        result = handle.result(timeout=0)
+        record["result"] = serialize_result(result)
+    elif handle.error is not None:
+        record["error"] = f"{type(handle.error).__name__}: {handle.error}"
+    else:
+        record["error"] = f"job ended {handle.state.value} without a stored error"
+    return record
+
+
+def serialize_result(result: IterationResult) -> dict[str, Any]:
+    """The bit-exact JSON shape of an :class:`IterationResult` payload."""
+    return {
+        "final_records": [[key, value] for key, value in result.final_records],
+        "supersteps": result.supersteps,
+        "sim_time": result.sim_time,
+        "converged": result.converged,
+    }
+
+
+def records_equal(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    """Bit-identity of two serialized results (wire-canonical compare).
+
+    Both sides pass through one JSON round-trip so a freshly-serialized
+    local result compares against one read back from a spool file or an
+    HTTP body: tuples become lists, ints stay ints, floats stay
+    bit-exact (JSON uses ``repr`` shortest representation).
+    """
+    return json.loads(json.dumps(a, sort_keys=True)) == json.loads(
+        json.dumps(b, sort_keys=True)
+    )
+
+
+# -- workload generation ---------------------------------------------------------
+
+
+def generate_descriptor_workload(
+    num_jobs: int = 50,
+    seed: int = 7,
+    tenants: tuple[str, ...] = (),
+    cc_fraction: float = 0.5,
+    failure_density: float = 0.2,
+    graph_scale: float = 1.0,
+    parallelism: int = 4,
+    priorities: tuple[int, ...] = (0, 1, 2),
+    recovery: str = "optimistic",
+    deadline: float | None = None,
+) -> list[JobDescriptor]:
+    """A seeded list of descriptors mirroring the loadgen's CC/PageRank mix.
+
+    Same seed, same descriptors — and because descriptors rebuild their
+    inputs from seeds, the same per-job results on any shard or host.
+    ``graph_scale`` scales graph sizes down (for 500-job benchmark runs)
+    or up.
+    """
+    import random
+
+    if num_jobs < 1:
+        raise ConfigError(f"num_jobs must be >= 1, got {num_jobs}")
+    rng = random.Random(seed)
+    descriptors: list[JobDescriptor] = []
+    for index in range(num_jobs):
+        is_cc = rng.random() < cc_fraction
+        graph_seed = rng.randint(0, 2**31)
+        failures: tuple[tuple[int, tuple[int, ...]], ...] = ()
+        if rng.random() < failure_density:
+            failures = ((rng.randint(1, 2), (rng.randrange(parallelism),)),)
+        tenant = tenants[index % len(tenants)] if tenants else "default"
+        if is_cc:
+            descriptors.append(
+                JobDescriptor(
+                    name=f"cc-{index}",
+                    kind="cc",
+                    tenant=tenant,
+                    priority=rng.choice(priorities),
+                    deadline=deadline,
+                    recovery=recovery,
+                    graph_seed=graph_seed,
+                    num_components=rng.randint(2, 4),
+                    component_size=max(2, int(8 * graph_scale)),
+                    parallelism=parallelism,
+                    spare_workers=parallelism,
+                    failures=failures,
+                    seed=seed,
+                )
+            )
+        else:
+            descriptors.append(
+                JobDescriptor(
+                    name=f"pagerank-{index}",
+                    kind="pagerank",
+                    tenant=tenant,
+                    priority=rng.choice(priorities),
+                    deadline=deadline,
+                    recovery=recovery,
+                    graph_seed=graph_seed,
+                    num_vertices=max(8, int(32 * graph_scale)),
+                    epsilon=1e-3,
+                    parallelism=parallelism,
+                    spare_workers=parallelism,
+                    failures=failures,
+                    seed=seed,
+                )
+            )
+    return descriptors

@@ -1,0 +1,403 @@
+"""Tenant-fair admission: weighted deficit round-robin, quotas, shedding.
+
+:class:`FairAdmissionQueue` is a drop-in replacement for
+:class:`repro.service.queue.AdmissionQueue` (same ``put`` / ``get`` /
+``depth`` / ``drain_pending`` surface, so the worker pool is oblivious)
+that splits the backlog into per-tenant sub-queues and serves them with
+**deficit round-robin**: each round a tenant's deficit grows by its
+weight and every dequeue costs one credit, so backlogged tenants receive
+service in proportion to their weights — a weight-4 tenant completes
+~4x the jobs of a weight-1 tenant under saturation, and a single heavy
+tenant can no longer starve the rest of the fleet. Within a tenant the
+ordering is the classic priority + FIFO heap.
+
+Overload handling is layered on top:
+
+* **per-tenant quotas** — a tenant at its live-queued cap is refused even
+  when the queue has global room;
+* **deadline-aware admission** — a job whose remaining deadline budget is
+  below the observed queue-wait p95 is provably going to time out in the
+  queue, so it is rejected at the door instead of wasting a slot;
+* **load shedding** — when the queue is full, the newest lowest-priority
+  job of the *lowest-weight* backlogged tenant is evicted to make room
+  for a strictly higher-weight tenant's job. A shed job is never a
+  silent drop: its handle transitions to FAILED with the
+  :class:`repro.errors.AdmissionError` stored, so ``result()`` raises and
+  the ``service.shed_jobs`` / per-tenant ``service.tenant.*`` counters
+  account for it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import deque
+
+from ..config import DEFAULT_FAIRNESS_CONFIG, FairnessConfig
+from ..errors import AdmissionError
+from ..observability.metrics import percentile
+from ..runtime.metrics import MetricsRegistry
+from .job import JobHandle, JobState
+from .queue import DISCARDED_METRIC, POLICIES
+
+#: metric names of the shedding/fairness surface.
+SHED_METRIC = "service.shed_jobs"
+DEADLINE_REJECT_METRIC = "service.deadline_rejects"
+
+
+def tenant_metric(tenant: str, suffix: str) -> str:
+    """The ``service.tenant.<tenant>.<suffix>`` metric name."""
+    return f"service.tenant.{tenant}.{suffix}"
+
+
+class _TenantLane:
+    """One tenant's sub-queue plus its DRR accounting."""
+
+    __slots__ = ("tenant", "weight", "heap", "deficit", "dequeued", "shed")
+
+    def __init__(self, tenant: str, weight: int):
+        self.tenant = tenant
+        self.weight = weight
+        self.heap: list[tuple[int, int, JobHandle]] = []
+        self.deficit = 0.0
+        self.dequeued = 0
+        self.shed = 0
+
+    def live(self) -> int:
+        return sum(1 for _, _, h in self.heap if not h.is_terminal)
+
+
+class FairAdmissionQueue:
+    """A bounded multi-tenant queue with weighted fair dequeue order.
+
+    Args:
+        capacity: global bound on live queued jobs (``None`` = unbounded).
+        policy: ``"reject"`` or ``"block"`` — what a full queue (after
+            compaction and shedding) does to ``put``.
+        block_timeout: wait budget of a ``block`` admission.
+        fairness: weights, quotas and shedding knobs
+            (:class:`repro.config.FairnessConfig`).
+        metrics: registry the shed/discard/tenant counters land in.
+        wait_window: queue-wait observations kept for the deadline
+            estimator (ring buffer).
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        policy: str = "reject",
+        block_timeout: float = 10.0,
+        fairness: FairnessConfig = DEFAULT_FAIRNESS_CONFIG,
+        metrics: MetricsRegistry | None = None,
+        wait_window: int = 256,
+    ):
+        if capacity is not None and capacity < 1:
+            raise AdmissionError(f"queue capacity must be >= 1 or None, got {capacity}")
+        if policy not in POLICIES:
+            raise AdmissionError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._capacity = capacity
+        self._policy = policy
+        self._block_timeout = block_timeout
+        self._fairness = fairness
+        self._metrics = metrics
+        self._seq = 0
+        self._discarded = 0
+        self._shed = 0
+        self._deadline_rejects = 0
+        self._lanes: dict[str, _TenantLane] = {}
+        #: round-robin service order over backlogged tenants.
+        self._active: deque[str] = deque()
+        self._waits: deque[float] = deque(maxlen=wait_window)
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def depth(self) -> int:
+        """Live queued entries across all tenants."""
+        with self._lock:
+            return self._live_total()
+
+    @property
+    def discarded(self) -> int:
+        with self._lock:
+            return self._discarded
+
+    @property
+    def shed_jobs(self) -> int:
+        """Jobs evicted or refused by load shedding so far."""
+        with self._lock:
+            return self._shed
+
+    @property
+    def deadline_rejects(self) -> int:
+        """Jobs refused because their deadline was provably unmeetable."""
+        with self._lock:
+            return self._deadline_rejects
+
+    def tenant_stats(self) -> dict[str, dict[str, float]]:
+        """Per-tenant snapshot: weight, live queued, dequeued, shed."""
+        with self._lock:
+            return {
+                lane.tenant: {
+                    "weight": lane.weight,
+                    "queued": lane.live(),
+                    "dequeued": lane.dequeued,
+                    "shed": lane.shed,
+                }
+                for lane in self._lanes.values()
+            }
+
+    # -- queue-wait estimator --------------------------------------------------
+
+    def note_wait(self, seconds: float) -> None:
+        """Feed one observed queue wait into the deadline estimator."""
+        with self._lock:
+            self._waits.append(seconds)
+
+    def estimated_wait_p95(self) -> float | None:
+        """The p95 of recent queue waits, or ``None`` before warm-up."""
+        with self._lock:
+            if len(self._waits) < self._fairness.min_wait_samples:
+                return None
+            return percentile(list(self._waits), 0.95)
+
+    # -- internals (caller holds the lock) -------------------------------------
+
+    def _live_total(self) -> int:
+        return sum(lane.live() for lane in self._lanes.values())
+
+    def _count_discards(self, dropped: int) -> None:
+        if dropped <= 0:
+            return
+        self._discarded += dropped
+        if self._metrics is not None:
+            self._metrics.increment(DISCARDED_METRIC, dropped)
+
+    def _lane(self, tenant: str) -> _TenantLane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _TenantLane(tenant, self._fairness.weight_of(tenant))
+            self._lanes[tenant] = lane
+        return lane
+
+    def _compact(self) -> None:
+        for lane in self._lanes.values():
+            live = [entry for entry in lane.heap if not entry[2].is_terminal]
+            dropped = len(lane.heap) - len(live)
+            if dropped:
+                heapq.heapify(live)
+                lane.heap = live
+                self._count_discards(dropped)
+        self._not_full.notify_all()
+
+    def _full(self) -> bool:
+        if self._capacity is None:
+            return False
+        if self._live_total() < self._capacity:
+            return False
+        self._compact()
+        return self._live_total() >= self._capacity
+
+    def _shed_record(self, lane: _TenantLane, handle: JobHandle, reason: str) -> None:
+        """Mark ``handle`` shed: FAILED with the AdmissionError stored."""
+        error = AdmissionError(reason)
+        handle.shed = True
+        handle.set_error(error)
+        handle.try_transition(JobState.FAILED)
+        lane.shed += 1
+        self._shed += 1
+        if self._metrics is not None:
+            self._metrics.increment(SHED_METRIC)
+            self._metrics.increment(tenant_metric(lane.tenant, "shed"))
+
+    def _try_evict_for(self, incoming: JobHandle) -> bool:
+        """Shed the worst job of the lowest-weight tenant, if strictly
+        lighter than ``incoming``'s tenant. Returns True when room was made."""
+        if not self._fairness.shed_lowest_first:
+            return False
+        incoming_weight = self._fairness.weight_of(incoming.spec.tenant)
+        victim_lane = None
+        for lane in self._lanes.values():
+            if lane.weight >= incoming_weight:
+                continue
+            if lane.live() == 0:
+                continue
+            if victim_lane is None or lane.weight < victim_lane.weight:
+                victim_lane = lane
+        if victim_lane is None:
+            return False
+        # The victim is the entry that would be served last: lowest
+        # priority, newest within that priority.
+        index = max(
+            range(len(victim_lane.heap)),
+            key=lambda i: victim_lane.heap[i][:2],
+        )
+        _, _, victim = victim_lane.heap.pop(index)
+        heapq.heapify(victim_lane.heap)
+        if victim.is_terminal:
+            # Raced with a cancel; the slot is free either way.
+            self._count_discards(1)
+            return True
+        self._shed_record(
+            victim_lane,
+            victim,
+            f"job {victim.job_id} ({victim.spec.name!r}) shed under overload: "
+            f"tenant {victim_lane.tenant!r} (weight {victim_lane.weight}) "
+            f"preempted by tenant {incoming.spec.tenant!r} "
+            f"(weight {incoming_weight})",
+        )
+        return True
+
+    # -- admission -------------------------------------------------------------
+
+    def put(self, handle: JobHandle, timeout: float | None = None) -> None:
+        """Admit ``handle``, or raise :class:`repro.errors.AdmissionError`.
+
+        The checks run in order: deadline-aware admission, per-tenant
+        quota, then global capacity (compaction → shedding → the
+        backpressure policy).
+        """
+        tenant = handle.spec.tenant
+        with self._lock:
+            lane = self._lane(tenant)
+            if (
+                self._fairness.deadline_admission
+                and handle.deadline_at is not None
+                and len(self._waits) >= self._fairness.min_wait_samples
+            ):
+                remaining = handle.deadline_at - time.monotonic()
+                p95 = percentile(list(self._waits), 0.95)
+                if remaining < p95:
+                    self._deadline_rejects += 1
+                    self._shed += 1
+                    lane.shed += 1
+                    if self._metrics is not None:
+                        self._metrics.increment(DEADLINE_REJECT_METRIC)
+                        self._metrics.increment(SHED_METRIC)
+                        self._metrics.increment(tenant_metric(tenant, "shed"))
+                    raise AdmissionError(
+                        f"job {handle.job_id} ({handle.spec.name!r}) rejected: "
+                        f"deadline budget {max(0.0, remaining):.3f}s is below the "
+                        f"queue-wait p95 of {p95:.3f}s — provably unmeetable"
+                    )
+            quota = self._fairness.tenant_quota
+            if quota is not None and lane.live() >= quota:
+                self._compact()
+                if lane.live() >= quota:
+                    raise AdmissionError(
+                        f"tenant {tenant!r} is at its quota of {quota} queued "
+                        f"jobs; job {handle.job_id} ({handle.spec.name!r}) rejected"
+                    )
+            if self._full() and not self._try_evict_for(handle):
+                if self._policy == "reject":
+                    self._shed += 1
+                    lane.shed += 1
+                    if self._metrics is not None:
+                        self._metrics.increment(SHED_METRIC)
+                        self._metrics.increment(tenant_metric(tenant, "shed"))
+                    raise AdmissionError(
+                        f"admission queue full ({self._capacity} live jobs) and "
+                        f"no lower-weight tenant to shed; job {handle.job_id} "
+                        f"({handle.spec.name!r}, tenant {tenant!r}) rejected"
+                    )
+                budget = self._block_timeout if timeout is None else timeout
+                deadline = time.monotonic() + budget
+                while self._full():
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_full.wait(remaining):
+                        if self._full():
+                            raise AdmissionError(
+                                f"admission blocked for {budget:.3f}s waiting "
+                                f"for queue room; job {handle.job_id} "
+                                f"({handle.spec.name!r}) rejected"
+                            )
+            heapq.heappush(lane.heap, (-handle.spec.priority, self._seq, handle))
+            self._seq += 1
+            if tenant not in self._active:
+                self._active.append(tenant)
+            self._not_empty.notify()
+
+    # -- dequeue ---------------------------------------------------------------
+
+    def _pop_next(self) -> JobHandle | None:
+        """One DRR step (caller holds the lock): the next live handle."""
+        rounds_without_service = 0
+        while self._active and rounds_without_service <= len(self._active):
+            tenant = self._active[0]
+            lane = self._lanes[tenant]
+            # Drop corpses before charging anyone's deficit.
+            while lane.heap and lane.heap[0][2].is_terminal:
+                heapq.heappop(lane.heap)
+                self._count_discards(1)
+                self._not_full.notify()
+            if not lane.heap:
+                lane.deficit = 0.0
+                self._active.popleft()
+                rounds_without_service = 0
+                continue
+            if lane.deficit < 1.0:
+                lane.deficit += lane.weight
+                if lane.deficit < 1.0:
+                    self._active.rotate(-1)
+                    rounds_without_service += 1
+                    continue
+            _, _, handle = heapq.heappop(lane.heap)
+            lane.deficit -= 1.0
+            lane.dequeued += 1
+            if self._metrics is not None:
+                self._metrics.increment(tenant_metric(tenant, "dequeued"))
+            self._not_full.notify()
+            if not lane.heap:
+                lane.deficit = 0.0
+                self._active.popleft()
+            elif lane.deficit < 1.0:
+                self._active.rotate(-1)
+            return handle
+        return None
+
+    def get(self, timeout: float | None = None) -> JobHandle | None:
+        """The next handle in weighted-fair order, or ``None`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                handle = self._pop_next()
+                if handle is not None:
+                    return handle
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        # One final attempt covers a put that raced the
+                        # timeout; None otherwise.
+                        return self._pop_next()
+
+    # -- drain -----------------------------------------------------------------
+
+    def drain_pending(self) -> list[JobHandle]:
+        """Remove and return every still-live queued handle (shutdown)."""
+        with self._lock:
+            pending: list[tuple[int, int, JobHandle]] = []
+            dropped = 0
+            for lane in self._lanes.values():
+                for entry in lane.heap:
+                    if entry[2].is_terminal:
+                        dropped += 1
+                    else:
+                        pending.append(entry)
+                lane.heap = []
+                lane.deficit = 0.0
+            self._active.clear()
+            self._count_discards(dropped)
+            self._not_full.notify_all()
+            # Preserve global priority+FIFO order for the drain report.
+            pending.sort(key=lambda entry: entry[:2])
+            return [handle for _, _, handle in pending]

@@ -16,10 +16,11 @@ thread-safe lifecycle state machine
 .. code-block:: text
 
     QUEUED ──▶ RUNNING ──▶ SUCCEEDED
-       │        │  ▲  └──▶ FAILED
-       │        ▼  │
-       │      RETRYING ──▶ FAILED
-       │        │
+       │  │     │  ▲  └──▶ FAILED
+       │  │     ▼  │
+       │  │   RETRYING ──▶ FAILED
+       │  │     │
+       │  └─────┼────────▶ FAILED (load shedding: rejected, never run)
        └────────┴────────▶ CANCELLED | TIMED_OUT
 
 plus the result/error slot, attempt counters, and wall-clock timestamps
@@ -78,8 +79,11 @@ TERMINAL_STATES = frozenset(
 
 #: the legal transitions of the lifecycle state machine.
 _TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    # QUEUED -> FAILED is the load-shedding edge: a fair queue evicting a
+    # queued victim under overload marks it FAILED with an AdmissionError
+    # so the rejection is always observable, never a silent drop.
     JobState.QUEUED: frozenset(
-        {JobState.RUNNING, JobState.CANCELLED, JobState.TIMED_OUT}
+        {JobState.RUNNING, JobState.FAILED, JobState.CANCELLED, JobState.TIMED_OUT}
     ),
     JobState.RUNNING: frozenset(
         {
@@ -166,6 +170,10 @@ class JobSpec:
             and never retried at the job level.
         snapshots: record per-superstep snapshots during the run.
         priority: admission priority; higher runs sooner. Ties are FIFO.
+        tenant: the tenant this job is billed to. Tenant-fair scheduling
+            (:class:`repro.service.fair.FairAdmissionQueue`) runs a
+            deficit round-robin across tenants so one heavy tenant cannot
+            starve the rest; the plain queue ignores the field.
         deadline: wall-clock budget in seconds from submission; ``None``
             = unbounded. Enforced when the job is dequeued, between retry
             attempts, and cooperatively at superstep granularity mid-run.
@@ -185,6 +193,7 @@ class JobSpec:
     failures: FailureSchedule | None = None
     snapshots: bool = False
     priority: int = 0
+    tenant: str = "default"
     deadline: float | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     retry_spare_boost: int = 0
@@ -195,6 +204,8 @@ class JobSpec:
             raise ConfigError("a job spec needs a non-empty name")
         if not callable(self.make_job):
             raise ConfigError("make_job must be a zero-argument job factory")
+        if not self.tenant:
+            raise ConfigError("a job spec needs a non-empty tenant")
         if self.recovery is not None and self.recovery not in JOB_RECOVERIES:
             raise ConfigError(
                 f"recovery must be one of {JOB_RECOVERIES} or None, "
@@ -299,6 +310,9 @@ class JobHandle:
         self.submitted_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        #: True when load shedding evicted/refused this job (the handle is
+        #: then FAILED with the AdmissionError stored as its error).
+        self.shed = False
         #: span trees recorded for this job's attempts (when tracing).
         self.trace_roots: list[Any] = []
         #: jitter RNG; seeded per job so retry timing reproduces per seed.

@@ -71,6 +71,9 @@ class WorkloadConfig:
             typed columnar blocks; ``None`` keeps the engine default
             (the ``REPRO_COLUMNAR`` environment variable). Like the
             backend choice, it never changes per-job outputs.
+        tenants: tenant names jobs are assigned to round-robin (for the
+            multi-tenant fairness experiments); empty (the default)
+            leaves every spec on the ``"default"`` tenant.
     """
 
     num_jobs: int = 50
@@ -89,6 +92,7 @@ class WorkloadConfig:
     parallel_backend: str | None = None
     parallel_workers: int | None = None
     columnar: bool | None = None
+    tenants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_jobs < 1:
@@ -134,6 +138,8 @@ class WorkloadConfig:
             raise ConfigError(
                 f"parallel_workers must be >= 1, got {self.parallel_workers}"
             )
+        if any(not tenant for tenant in self.tenants):
+            raise ConfigError("tenants must be non-empty names")
 
     def engine_overrides(self) -> dict[str, object]:
         """Per-job :class:`EngineConfig` kwargs for the parallel fields."""
@@ -232,6 +238,9 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
                 recovery=config.recovery,
                 failures=failures,
                 priority=rng.choice(config.priorities),
+                tenant=config.tenants[index % len(config.tenants)]
+                if config.tenants
+                else "default",
                 retry=retry,
                 seed=config.seed,
             )
@@ -254,6 +263,7 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
             failures=spec.failures
             or FailureSchedule.single(1, [rng_forced.randrange(config.parallelism)]),
             priority=spec.priority,
+            tenant=spec.tenant,
             retry=retry,
             retry_spare_boost=config.parallelism,
             seed=config.seed,
@@ -274,6 +284,7 @@ def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> list[JobSpec
             recovery=spec.recovery,
             failures=spec.failures,
             priority=spec.priority,
+            tenant=spec.tenant,
             deadline=0.0,
             retry=retry,
             seed=config.seed,

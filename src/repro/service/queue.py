@@ -15,7 +15,15 @@ policy*:
 
 Jobs cancelled while queued are discarded lazily at dequeue time — they
 keep their slot until a worker pops them, which keeps ``put``/``cancel``
-O(log n) instead of O(n).
+O(log n) instead of O(n). Laziness never costs capacity, though: a
+``put`` that finds the queue full first compacts the not-yet-discarded
+terminal entries ("corpses") out of the heap, so a queue can never
+spuriously reject a live job because it is full of cancelled ones, and
+``depth`` reports live entries only. Every corpse dropped — at dequeue
+or during compaction — lands in the :attr:`AdmissionQueue.discarded`
+counter (and the ``service.queue_discarded`` metric when the queue was
+given a registry), so shed/cancelled churn is visible in ``health()``
+instead of silently inflating queue-wait statistics.
 """
 
 from __future__ import annotations
@@ -25,10 +33,14 @@ import threading
 import time
 
 from ..errors import AdmissionError
+from ..runtime.metrics import MetricsRegistry
 from .job import JobHandle
 
 #: backpressure policy names (mirrors repro.config.BACKPRESSURE_POLICIES).
 POLICIES = ("reject", "block")
+
+#: metric name corpse discards are counted under (when a registry is given).
+DISCARDED_METRIC = "service.queue_discarded"
 
 
 class AdmissionQueue:
@@ -39,6 +51,8 @@ class AdmissionQueue:
         policy: ``"reject"`` or ``"block"`` (see module docstring).
         block_timeout: how long a ``block`` admission waits for room
             before raising :class:`repro.errors.AdmissionError`.
+        metrics: optional registry corpse discards are counted into
+            (``service.queue_discarded``).
     """
 
     def __init__(
@@ -46,6 +60,7 @@ class AdmissionQueue:
         capacity: int | None = None,
         policy: str = "reject",
         block_timeout: float = 10.0,
+        metrics: MetricsRegistry | None = None,
     ):
         if capacity is not None and capacity < 1:
             raise AdmissionError(f"queue capacity must be >= 1 or None, got {capacity}")
@@ -54,8 +69,11 @@ class AdmissionQueue:
         self._capacity = capacity
         self._policy = policy
         self._block_timeout = block_timeout
+        self._metrics = metrics
         self._heap: list[tuple[int, int, JobHandle]] = []
         self._seq = 0
+        #: terminal entries dropped at dequeue or compaction (monotonic).
+        self._discarded = 0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -66,12 +84,56 @@ class AdmissionQueue:
 
     @property
     def depth(self) -> int:
-        """Queued entries (including not-yet-discarded cancelled ones)."""
+        """Live queued entries (terminal corpses are not counted)."""
         with self._lock:
-            return len(self._heap)
+            return sum(1 for _, _, h in self._heap if not h.is_terminal)
+
+    @property
+    def discarded(self) -> int:
+        """Terminal entries dropped so far (dequeue-time or compaction)."""
+        with self._lock:
+            return self._discarded
+
+    def note_wait(self, seconds: float) -> None:
+        """Queue-wait feedback hook; the base queue does not use it.
+
+        :class:`repro.service.fair.FairAdmissionQueue` overrides this to
+        feed its deadline-aware admission estimator; the service calls it
+        on every dequeue without caring which queue kind it has.
+        """
+
+    def _count_discards(self, dropped: int) -> None:
+        """Record ``dropped`` corpses (caller holds the lock)."""
+        if dropped <= 0:
+            return
+        self._discarded += dropped
+        if self._metrics is not None:
+            self._metrics.increment(DISCARDED_METRIC, dropped)
+
+    def _compact(self) -> int:
+        """Drop terminal entries from the heap (caller holds the lock).
+
+        Returns the number of corpses removed. Cancelled/timed-out jobs
+        are normally discarded lazily at dequeue; compaction runs when a
+        ``put`` finds the queue full so corpses never occupy capacity.
+        """
+        live = [entry for entry in self._heap if not entry[2].is_terminal]
+        dropped = len(self._heap) - len(live)
+        if dropped:
+            heapq.heapify(live)
+            self._heap = live
+            self._count_discards(dropped)
+            self._not_full.notify_all()
+        return dropped
 
     def _full(self) -> bool:
-        return self._capacity is not None and len(self._heap) >= self._capacity
+        if self._capacity is None or len(self._heap) < self._capacity:
+            return False
+        # The heap is at capacity, but some entries may be corpses:
+        # compact before declaring the queue full so terminal handles
+        # never cause a spurious rejection of a live job.
+        self._compact()
+        return len(self._heap) >= self._capacity
 
     def put(self, handle: JobHandle, timeout: float | None = None) -> None:
         """Admit ``handle``, or raise :class:`repro.errors.AdmissionError`.
@@ -105,7 +167,8 @@ class AdmissionQueue:
         """Pop the highest-priority live handle, or ``None`` on timeout.
 
         Handles that went terminal while queued (cancelled, or timed out
-        by the caller) are discarded silently.
+        by the caller) are discarded and counted
+        (:attr:`discarded` / ``service.queue_discarded``).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -115,6 +178,7 @@ class AdmissionQueue:
                     self._not_full.notify()
                     if not handle.is_terminal:
                         return handle
+                    self._count_discards(1)
                 if deadline is None:
                     self._not_empty.wait()
                 else:
@@ -127,6 +191,7 @@ class AdmissionQueue:
         """Remove and return every still-live queued handle (shutdown)."""
         with self._lock:
             pending = [h for _, _, h in self._heap if not h.is_terminal]
+            self._count_discards(len(self._heap) - len(pending))
             self._heap.clear()
             self._not_full.notify_all()
             return pending

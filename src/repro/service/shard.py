@@ -1,0 +1,563 @@
+"""Sharded multi-process job service: scale-out scheduling over a spool.
+
+:class:`ShardedJobService` runs N independent scheduler shards, each a
+full single-process :class:`repro.service.api.JobService` in its own OS
+process, coordinated purely through a shared spool directory
+(:class:`repro.service.spool.SpoolDir`): the coordinator places job
+descriptors into per-shard pending directories, shards claim them by
+atomic rename (exactly-once, no leader election), execute them through
+their local admission queue + worker pool, and publish terminal records
+into ``done/``.
+
+Placement is a **consistent-hash ring** over tenants with virtual nodes:
+a tenant's jobs land on a stable shard (warm caches, per-tenant ordering
+pressure on one queue), and resizing the fleet moves only ~1/N of the
+tenants. When a shard's own pending directory runs dry it **donates
+work to itself** from the most-backlogged sibling — claims stay atomic,
+so a donated job still executes exactly once.
+
+The engine is deterministic per job and descriptors rebuild their inputs
+from seeds, so a job's result is bit-identical whichever shard claims it
+— and identical to the same descriptor run standalone in the submitting
+process (benchmark S11 asserts this end to end).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from ..config import (
+    DEFAULT_SERVICE_CONFIG,
+    DEFAULT_SHARD_CONFIG,
+    ServiceConfig,
+    ShardConfig,
+)
+from ..errors import AdmissionError, ServiceError
+from .descriptor import JobDescriptor, result_record
+from .spool import SpoolDir, job_id_of
+
+
+class ConsistentHashRing:
+    """Deterministic tenant → shard placement with virtual nodes.
+
+    Uses SHA-1 (stable across processes and interpreter runs, unlike
+    ``hash()``) and ``vnodes`` points per shard so placement stays
+    balanced for small fleets.
+    """
+
+    def __init__(self, num_shards: int, vnodes: int = 64):
+        if num_shards < 1:
+            raise ServiceError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes):
+                digest = hashlib.sha1(
+                    f"shard-{shard}-vnode-{vnode}".encode()
+                ).digest()
+                self._points.append((int.from_bytes(digest[:8], "big"), shard))
+        self._points.sort()
+        self._keys = [point for point, _ in self._points]
+
+    def place(self, tenant: str) -> int:
+        """The shard owning ``tenant`` (clockwise successor on the ring)."""
+        digest = hashlib.sha1(tenant.encode()).digest()
+        key = int.from_bytes(digest[:8], "big")
+        index = bisect.bisect_right(self._keys, key)
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+def shard_worker_main(
+    spool_root: str,
+    shard_index: int,
+    service_config: ServiceConfig,
+    shard_config: ShardConfig,
+) -> None:
+    """One scheduler shard: claim → execute → publish, until stop + drained.
+
+    Module-level so it works under both ``fork`` and ``spawn`` start
+    methods. Runs a complete local :class:`JobService` and keeps at most
+    ``max_inflight`` jobs admitted at once — the rest stay in the spool,
+    which is what makes work donation between shards possible.
+    """
+    from .api import JobService  # deferred: avoid a cycle at import time
+
+    spool = SpoolDir(spool_root, shard_config.num_shards)
+    max_inflight = (
+        shard_config.max_inflight
+        if shard_config.max_inflight is not None
+        else 2 * service_config.pool_size + 2
+    )
+    service = JobService(service_config)
+    inflight: dict[str, tuple[Path, JobDescriptor, Any]] = {}
+    claimed_total = donated_total = completed_total = 0
+    last_health = 0.0
+    try:
+        while True:
+            progressed = False
+            # Reap terminal in-flight jobs into done/ and relay cancels.
+            for job_id in list(inflight):
+                claimed_path, descriptor, handle = inflight[job_id]
+                if handle.is_terminal:
+                    spool.publish_result(
+                        job_id, result_record(job_id, descriptor, handle)
+                    )
+                    spool.release(claimed_path)
+                    del inflight[job_id]
+                    completed_total += 1
+                    progressed = True
+                elif spool.cancel_requested(job_id):
+                    handle.request_cancel()
+            # Claim up to the in-flight cap: own queue first, then donate
+            # from the most-backlogged sibling.
+            while len(inflight) < max_inflight:
+                donate_from = None
+                if (
+                    shard_config.work_donation
+                    and spool.pending_depth(shard_index) == 0
+                ):
+                    backlogs = [
+                        (spool.pending_depth(sibling), sibling)
+                        for sibling in range(shard_config.num_shards)
+                        if sibling != shard_index
+                    ]
+                    if backlogs:
+                        depth, donor = max(backlogs)
+                        if depth > 0:
+                            donate_from = donor
+                claimed = spool.claim_next(shard_index, donate_from)
+                if claimed is None:
+                    break
+                progressed = True
+                job_id = job_id_of(claimed)
+                try:
+                    data = json.loads(claimed.read_text(encoding="utf-8"))
+                    descriptor = JobDescriptor.from_dict(data)
+                except Exception as exc:  # noqa: BLE001 — publish, don't die
+                    spool.publish_result(
+                        job_id,
+                        {
+                            "job_id": job_id,
+                            "name": None,
+                            "tenant": None,
+                            "state": "failed",
+                            "shed": False,
+                            "attempts": 0,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "result": None,
+                        },
+                    )
+                    spool.release(claimed)
+                    continue
+                if donate_from is not None:
+                    donated_total += 1
+                claimed_total += 1
+                if spool.cancel_requested(job_id):
+                    spool.publish_result(
+                        job_id,
+                        {
+                            "job_id": job_id,
+                            "name": descriptor.name,
+                            "tenant": descriptor.tenant,
+                            "state": "cancelled",
+                            "shed": False,
+                            "attempts": 0,
+                            "error": "JobCancelledError: cancelled before claim",
+                            "result": None,
+                        },
+                    )
+                    spool.release(claimed)
+                    continue
+                try:
+                    handle = service.submit(descriptor.to_spec())
+                except AdmissionError as exc:
+                    spool.publish_result(
+                        job_id,
+                        {
+                            "job_id": job_id,
+                            "name": descriptor.name,
+                            "tenant": descriptor.tenant,
+                            "state": "failed",
+                            "shed": True,
+                            "attempts": 0,
+                            "error": f"AdmissionError: {exc}",
+                            "result": None,
+                        },
+                    )
+                    spool.release(claimed)
+                    continue
+                inflight[job_id] = (claimed, descriptor, handle)
+            now = time.monotonic()
+            if now - last_health >= shard_config.health_interval:
+                spool.publish_health(
+                    shard_index,
+                    {
+                        "state": "running",
+                        "pid": os.getpid(),
+                        "in_flight": len(inflight),
+                        "pending": spool.pending_depth(shard_index),
+                        "claimed": claimed_total,
+                        "donated": donated_total,
+                        "completed": completed_total,
+                    },
+                )
+                last_health = now
+            if (
+                spool.stop_requested()
+                and not inflight
+                and spool.pending_depth(shard_index) == 0
+            ):
+                break
+            if not progressed:
+                time.sleep(shard_config.claim_interval)
+    finally:
+        service.shutdown(cancel_pending=True)
+        spool.publish_health(
+            shard_index,
+            {
+                "state": "stopped",
+                "pid": os.getpid(),
+                "in_flight": 0,
+                "pending": spool.pending_depth(shard_index),
+                "claimed": claimed_total,
+                "donated": donated_total,
+                "completed": completed_total,
+            },
+        )
+
+
+class ShardedJobService:
+    """The coordinator: places descriptors, tracks results, owns shards.
+
+    Usage::
+
+        from repro.config import ServiceConfig, ShardConfig
+        from repro.service import JobDescriptor, ShardedJobService
+
+        with ShardedJobService(ServiceConfig(pool_size=2),
+                               ShardConfig(num_shards=4)) as svc:
+            job_id = svc.submit(JobDescriptor(name="cc", kind="cc"))
+            record = svc.result(job_id, timeout=60)
+
+    Thread-safe: the HTTP front door submits from handler threads.
+    """
+
+    def __init__(
+        self,
+        service_config: ServiceConfig = DEFAULT_SERVICE_CONFIG,
+        shard_config: ShardConfig = DEFAULT_SHARD_CONFIG,
+        start: bool = True,
+    ):
+        self.service_config = service_config
+        self.shard_config = shard_config
+        if shard_config.spool_dir is None:
+            self._spool_root = tempfile.mkdtemp(prefix="repro-spool-")
+            self._owns_spool = True
+        else:
+            self._spool_root = shard_config.spool_dir
+            self._owns_spool = False
+        self.spool = SpoolDir(self._spool_root, shard_config.num_shards)
+        self.spool.prepare()
+        self.ring = ConsistentHashRing(shard_config.num_shards)
+        self._lock = threading.Lock()
+        self._next_job_id = 0
+        self._jobs: dict[str, dict[str, Any]] = {}
+        self._accepting = True
+        self._closed = False
+        self._started_at = time.monotonic()
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._reaped_shards: set[int] = set()
+        if start:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the shard processes (idempotent)."""
+        if self._procs:
+            return
+        # fork is cheapest and available on the platforms we target;
+        # shard_worker_main is module-level and the configs pickle, so
+        # spawn works too where fork does not exist.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        for shard in range(self.shard_config.num_shards):
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(
+                    self._spool_root,
+                    shard,
+                    self.service_config,
+                    self.shard_config,
+                ),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    @property
+    def spool_root(self) -> str:
+        return self._spool_root
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, descriptor: JobDescriptor) -> str:
+        """Place one descriptor; returns its job id.
+
+        Placement is by tenant through the consistent-hash ring; the
+        spool filename preserves priority-then-FIFO claim order within
+        the shard.
+        """
+        with self._lock:
+            if not self._accepting:
+                raise ServiceError(
+                    "sharded service is draining or shut down; not accepting jobs"
+                )
+            job_id = f"job-{self._next_job_id:08d}"
+            self._next_job_id += 1
+            shard = self.ring.place(descriptor.tenant)
+            priority = min(max(descriptor.priority, 0), 99)
+            self.spool.submit(shard, job_id, priority, descriptor.to_dict())
+            self._jobs[job_id] = {"descriptor": descriptor, "shard": shard}
+        return job_id
+
+    def submit_all(self, descriptors: list[JobDescriptor]) -> list[str]:
+        return [self.submit(descriptor) for descriptor in descriptors]
+
+    # -- observation -----------------------------------------------------------
+
+    def job_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._jobs)
+
+    def status(self, job_id: str) -> str:
+        """``"queued"``, or the terminal state recorded in done/."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise ServiceError(f"unknown job id {job_id}")
+        record = self.spool.read_result(job_id)
+        if record is None:
+            return "queued"
+        return record["state"]
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
+        """Block for and return a job's terminal record.
+
+        Raises :class:`repro.errors.ServiceError` when ``timeout``
+        expires first. The record's ``state`` field says how the job
+        ended; a succeeded record carries the full result payload.
+        """
+        with self._lock:
+            if job_id not in self._jobs:
+                raise ServiceError(f"unknown job id {job_id}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.spool.read_result(job_id)
+            if record is not None:
+                return record
+            self._reap_dead_shards()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still has no terminal record after {timeout}s"
+                )
+            time.sleep(self.shard_config.claim_interval)
+
+    def wait_all(self, timeout: float | None = None) -> dict[str, dict[str, Any]]:
+        """Block until every submitted job has a terminal record."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        records: dict[str, dict[str, Any]] = {}
+        while True:
+            missing = False
+            for job_id in self.job_ids():
+                if job_id in records:
+                    continue
+                record = self.spool.read_result(job_id)
+                if record is None:
+                    missing = True
+                else:
+                    records[job_id] = record
+            if not missing:
+                return records
+            self._reap_dead_shards()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"{sum(1 for j in self.job_ids() if j not in records)} jobs "
+                    f"still unterminated after {timeout}s"
+                )
+            time.sleep(self.shard_config.claim_interval)
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; False when the job is already terminal.
+
+        An unclaimed pending job is cancelled by the coordinator itself
+        (its file is atomically stolen from the shard); a claimed one
+        gets a cancel marker the owning shard relays to the running
+        handle.
+        """
+        with self._lock:
+            info = self._jobs.get(job_id)
+            if info is None:
+                raise ServiceError(f"unknown job id {job_id}")
+        if self.spool.read_result(job_id) is not None:
+            return False
+        # Steal the pending file if no shard claimed it yet: rename is
+        # atomic, so either we win (and publish the cancelled record) or
+        # the claiming shard does (and honours the marker below).
+        self.spool.request_cancel(job_id)
+        for path in self.spool.pending_files(info["shard"]):
+            if job_id_of(path) == job_id:
+                # Move the stolen file out of the claimable namespace
+                # (cancel/ holds the marker under the bare job id, so the
+                # ".json"-suffixed stolen copy cannot collide with it).
+                stolen = self.spool.root / "cancel" / f"stolen-{path.name}"
+                try:
+                    os.replace(path, stolen)
+                except FileNotFoundError:
+                    break
+                descriptor = info["descriptor"]
+                self.spool.publish_result(
+                    job_id,
+                    {
+                        "job_id": job_id,
+                        "name": descriptor.name,
+                        "tenant": descriptor.tenant,
+                        "state": "cancelled",
+                        "shed": False,
+                        "attempts": 0,
+                        "error": "JobCancelledError: cancelled while pending",
+                        "result": None,
+                    },
+                )
+                break
+        return True
+
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Coordinator + per-shard health (merged from the health files)."""
+        shards = []
+        for shard in range(self.shard_config.num_shards):
+            payload = self.spool.read_health(shard) or {"state": "starting"}
+            payload["shard"] = shard
+            payload["alive"] = (
+                self._procs[shard].is_alive() if shard < len(self._procs) else False
+            )
+            payload.setdefault("pending", self.spool.pending_depth(shard))
+            shards.append(payload)
+        done = len(self.spool.done_ids())
+        with self._lock:
+            submitted = self._next_job_id
+            accepting = self._accepting
+        return {
+            "wall_seconds": time.monotonic() - self._started_at,
+            "accepting": accepting,
+            "num_shards": self.shard_config.num_shards,
+            "submitted": submitted,
+            "done": done,
+            "pending": sum(
+                self.spool.pending_depth(s)
+                for s in range(self.shard_config.num_shards)
+            ),
+            "shards": shards,
+        }
+
+    # -- failure handling ------------------------------------------------------
+
+    def _reap_dead_shards(self) -> None:
+        """Publish failed records for jobs a dead shard had claimed.
+
+        Pending (unclaimed) files of a dead shard are re-placed onto a
+        live sibling so they still execute; claimed files were in flight
+        inside the dead process and are failed explicitly — never a
+        silent drop.
+        """
+        for shard, proc in enumerate(self._procs):
+            if proc.is_alive() or shard in self._reaped_shards:
+                continue
+            if proc.exitcode == 0:
+                continue
+            self._reaped_shards.add(shard)
+            for path in self.spool.claimed_files(shard):
+                job_id = job_id_of(path)
+                data: dict[str, Any] | None
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError):
+                    data = None
+                self.spool.publish_result(
+                    job_id,
+                    {
+                        "job_id": job_id,
+                        "name": (data or {}).get("name"),
+                        "tenant": (data or {}).get("tenant"),
+                        "state": "failed",
+                        "shed": False,
+                        "attempts": 0,
+                        "error": f"ServiceError: shard {shard} died "
+                        f"(exit code {proc.exitcode}) with this job claimed",
+                        "result": None,
+                    },
+                )
+                self.spool.release(path)
+            live = [
+                s
+                for s, p in enumerate(self._procs)
+                if p.is_alive() and s != shard
+            ]
+            if live:
+                for path in self.spool.pending_files(shard):
+                    target = self.spool.pending_dir(live[0]) / path.name
+                    try:
+                        os.replace(path, target)
+                    except FileNotFoundError:
+                        pass
+
+    # -- shutdown --------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions and wait for every submitted job to terminate."""
+        with self._lock:
+            self._accepting = False
+        try:
+            self.wait_all(timeout)
+            return True
+        except ServiceError:
+            return False
+
+    def shutdown(self) -> None:
+        """Signal stop, join the shards, terminate stragglers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._accepting = False
+            self._closed = True
+        self.spool.signal_stop()
+        deadline = time.monotonic() + self.shard_config.shutdown_timeout
+        for proc in self._procs:
+            proc.join(max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(5.0)
+
+    def __enter__(self) -> "ShardedJobService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+        self.shutdown()

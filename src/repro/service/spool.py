@@ -1,0 +1,246 @@
+"""The shared spool directory: file-based multi-process job coordination.
+
+Scheduler shards coordinate through the filesystem alone — no leader
+election, no lock server. The primitive is POSIX atomic rename
+(``os.replace``): to *claim* a pending job a shard renames its file into
+the shard's ``claimed/`` directory; exactly one renamer wins and the
+losers observe ``FileNotFoundError``. Everything else (results, cancel
+requests, shard health, shutdown) is append-style file publication with
+the same write-to-temp-then-rename discipline, so readers never observe
+a half-written JSON document.
+
+Layout under the spool root::
+
+    pending/shard-<k>/   jobs placed on shard k, not yet claimed
+    claimed/shard-<k>/   jobs shard k has claimed (in flight)
+    done/                terminal result records, one file per job
+    cancel/              cancel markers, named by job id
+    health/shard-<k>.json  per-shard heartbeat + queue stats
+    stop                 shutdown sentinel (drain, then exit)
+
+Pending filenames are ``p<99-priority>-s<seq>-<job id>.json`` so a plain
+lexical sort yields priority-then-FIFO order — shards claim the highest
+priority, oldest job first just by sorting directory listings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ServiceError
+
+#: sentinel filename that tells every shard to drain and exit.
+STOP_SENTINEL = "stop"
+
+
+def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` atomically (tmp + rename)."""
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    """Read one published JSON file; ``None`` when it vanished mid-read."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError:
+        # Unreachable for files published via _atomic_write_json; guards
+        # against a torn copy from an external writer.
+        return None
+
+
+class SpoolDir:
+    """One process's view of the shared spool (coordinator or shard)."""
+
+    def __init__(self, root: str | os.PathLike[str], num_shards: int):
+        if num_shards < 1:
+            raise ServiceError(f"num_shards must be >= 1, got {num_shards}")
+        self.root = Path(root)
+        self.num_shards = num_shards
+        self._seq = 0
+
+    def prepare(self) -> None:
+        """Create the directory layout (idempotent)."""
+        for shard in range(self.num_shards):
+            (self.root / "pending" / f"shard-{shard}").mkdir(
+                parents=True, exist_ok=True
+            )
+            (self.root / "claimed" / f"shard-{shard}").mkdir(
+                parents=True, exist_ok=True
+            )
+        (self.root / "done").mkdir(parents=True, exist_ok=True)
+        (self.root / "cancel").mkdir(parents=True, exist_ok=True)
+        (self.root / "health").mkdir(parents=True, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------------
+
+    def pending_dir(self, shard: int) -> Path:
+        return self.root / "pending" / f"shard-{shard}"
+
+    def claimed_dir(self, shard: int) -> Path:
+        return self.root / "claimed" / f"shard-{shard}"
+
+    def done_path(self, job_id: str) -> Path:
+        return self.root / "done" / f"{job_id}.json"
+
+    def cancel_path(self, job_id: str) -> Path:
+        return self.root / "cancel" / job_id
+
+    def health_path(self, shard: int) -> Path:
+        return self.root / "health" / f"shard-{shard}.json"
+
+    @property
+    def stop_path(self) -> Path:
+        return self.root / STOP_SENTINEL
+
+    # -- submission (coordinator side) -----------------------------------------
+
+    def submit(self, shard: int, job_id: str, priority: int, payload: dict[str, Any]) -> None:
+        """Place one job file into ``shard``'s pending directory.
+
+        The filename encodes ``priority`` (inverted, zero-padded) and an
+        admission sequence number so a lexical sort is priority-then-FIFO.
+        """
+        if not 0 <= priority <= 99:
+            raise ServiceError(f"spool priorities must be in [0, 99], got {priority}")
+        name = f"p{99 - priority:02d}-s{self._seq:08d}-{job_id}.json"
+        self._seq += 1
+        _atomic_write_json(self.pending_dir(shard) / name, payload)
+
+    def pending_files(self, shard: int) -> list[Path]:
+        """Shard ``shard``'s pending job files, claim order first."""
+        try:
+            names = sorted(
+                entry
+                for entry in os.listdir(self.pending_dir(shard))
+                if entry.endswith(".json")
+            )
+        except FileNotFoundError:
+            return []
+        return [self.pending_dir(shard) / name for name in names]
+
+    def pending_depth(self, shard: int) -> int:
+        return len(self.pending_files(shard))
+
+    # -- claims (shard side) ---------------------------------------------------
+
+    def try_claim(self, path: Path, shard: int) -> Path | None:
+        """Atomically claim a pending job file for ``shard``.
+
+        Returns the claimed path, or ``None`` when another shard won the
+        rename race (or the coordinator cancelled the file away).
+        """
+        target = self.claimed_dir(shard) / path.name
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return None
+        return target
+
+    def claim_next(self, shard: int, donate_from: int | None = None) -> Path | None:
+        """Claim the best pending job: own queue first, then donation.
+
+        ``donate_from`` names a sibling shard to steal from when the own
+        pending directory is empty (work donation).
+        """
+        for path in self.pending_files(shard):
+            claimed = self.try_claim(path, shard)
+            if claimed is not None:
+                return claimed
+        if donate_from is not None and donate_from != shard:
+            for path in self.pending_files(donate_from):
+                claimed = self.try_claim(path, shard)
+                if claimed is not None:
+                    return claimed
+        return None
+
+    def release(self, claimed_path: Path) -> None:
+        """Remove a claimed file after its result was published."""
+        try:
+            claimed_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def claimed_files(self, shard: int) -> list[Path]:
+        try:
+            names = sorted(
+                entry
+                for entry in os.listdir(self.claimed_dir(shard))
+                if entry.endswith(".json")
+            )
+        except FileNotFoundError:
+            return []
+        return [self.claimed_dir(shard) / name for name in names]
+
+    # -- results ---------------------------------------------------------------
+
+    def publish_result(self, job_id: str, record: dict[str, Any]) -> None:
+        """Publish a terminal record (first writer wins; rest are no-ops).
+
+        A result may race a coordinator-side cancel; the job's outcome is
+        whichever record landed first, and the loser's publication is
+        dropped rather than overwriting it.
+        """
+        path = self.done_path(job_id)
+        if path.exists():
+            return
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        try:
+            # Link-then-unlink would be strictly first-writer-wins; rename
+            # keeps it simple and the exists() pre-check makes overwrite
+            # races vanishingly rare and harmless (both records terminal).
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def read_result(self, job_id: str) -> dict[str, Any] | None:
+        return _read_json(self.done_path(job_id))
+
+    def done_ids(self) -> list[str]:
+        try:
+            return sorted(
+                name[: -len(".json")]
+                for name in os.listdir(self.root / "done")
+                if name.endswith(".json")
+            )
+        except FileNotFoundError:
+            return []
+
+    # -- cancellation ----------------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> None:
+        self.cancel_path(job_id).touch()
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return self.cancel_path(job_id).exists()
+
+    # -- health / shutdown -----------------------------------------------------
+
+    def publish_health(self, shard: int, payload: dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["time"] = time.time()
+        _atomic_write_json(self.health_path(shard), payload)
+
+    def read_health(self, shard: int) -> dict[str, Any] | None:
+        return _read_json(self.health_path(shard))
+
+    def signal_stop(self) -> None:
+        self.stop_path.touch()
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.exists()
+
+
+def job_id_of(path: Path) -> str:
+    """The job id encoded in a pending/claimed spool filename."""
+    stem = path.name[: -len(".json")]
+    # p<prio>-s<seq>-<job id>; the id itself may contain dashes.
+    return stem.split("-", 2)[2]

@@ -56,6 +56,7 @@ from .catalog import (
 from .mutable_graph import GraphSnapshot, MutableGraph
 from .mutations import Mutation, MutationEpoch, MutationKind, MutationLog
 from .orchestrator import RefreshOrchestrator, RefreshReport
+from .persistence import load_catalog, register_algorithm, save_catalog
 from .scenario import (
     EpochOutcome,
     ScenarioConfig,
@@ -86,6 +87,9 @@ __all__ = [
     "ViewDefinition",
     "ViewReading",
     "build_scenario",
+    "load_catalog",
     "mutate_epoch",
+    "register_algorithm",
     "run_scenario",
+    "save_catalog",
 ]

@@ -1,0 +1,139 @@
+"""Tests for JobDescriptor: JSON round-trip, determinism, result records."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import (
+    JobDescriptor,
+    generate_descriptor_workload,
+    records_equal,
+    serialize_result,
+)
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            JobDescriptor(name="x", kind="mystery")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError, match="name"):
+            JobDescriptor(name="", kind="cc")
+
+    def test_rejects_unknown_recovery(self):
+        with pytest.raises(ConfigError, match="recovery"):
+            JobDescriptor(name="x", kind="cc", recovery="hope")
+
+    def test_rejects_unknown_json_fields(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            JobDescriptor.from_dict({"name": "x", "kind": "cc", "nope": 1})
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            JobDescriptor.from_json("{not json")
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        descriptor = JobDescriptor(
+            name="cc-rt",
+            kind="cc",
+            tenant="gold",
+            priority=3,
+            deadline=12.5,
+            failures=((2, (0, 1)),),
+            graph_seed=99,
+        )
+        assert JobDescriptor.from_json(descriptor.to_json()) == descriptor
+
+    def test_failures_normalize_from_json_lists(self):
+        data = JobDescriptor(name="x", kind="cc").to_dict()
+        data["failures"] = [[1, [0]]]  # JSON shape: lists, not tuples
+        parsed = JobDescriptor.from_dict(data)
+        assert parsed.failures == ((1, (0,)),)
+        spec = parsed.to_spec()
+        assert spec.failures is not None
+        assert spec.failures.events[0].superstep == 1
+
+
+class TestDeterminism:
+    def test_same_descriptor_same_result_bits(self):
+        descriptor = JobDescriptor(
+            name="cc-det", kind="cc", graph_seed=5, component_size=4
+        )
+        first = serialize_result(descriptor.to_spec().run_standalone(attempt=0))
+        second = serialize_result(
+            JobDescriptor.from_json(descriptor.to_json())
+            .to_spec()
+            .run_standalone(attempt=0)
+        )
+        assert records_equal(first, second)
+
+    def test_confined_descriptor_with_failures_matches_clean_run(self):
+        # Confined recovery replays exactly the lost partitions, so the
+        # fixpoint is bit-identical to the failure-free run.
+        clean = JobDescriptor(
+            name="pr", kind="pagerank", graph_seed=3, num_vertices=16,
+            recovery="confined",
+        )
+        failing = JobDescriptor(
+            name="pr",
+            kind="pagerank",
+            graph_seed=3,
+            num_vertices=16,
+            recovery="confined",
+            failures=((2, (0,)),),
+        )
+        r_clean = serialize_result(clean.to_spec().run_standalone(attempt=0))
+        r_fail = serialize_result(failing.to_spec().run_standalone(attempt=0))
+        assert sorted(r_clean["final_records"]) == sorted(r_fail["final_records"])
+
+    def test_optimistic_descriptor_with_failures_reaches_same_fixpoint(self):
+        # Optimistic recovery absorbs the failure in-run and converges to
+        # the same fixpoint up to the convergence tolerance.
+        clean = JobDescriptor(
+            name="pr", kind="pagerank", graph_seed=3, num_vertices=16
+        )
+        failing = JobDescriptor(
+            name="pr",
+            kind="pagerank",
+            graph_seed=3,
+            num_vertices=16,
+            failures=((2, (0,)),),
+        )
+        r_clean = dict(map(tuple, serialize_result(
+            clean.to_spec().run_standalone(attempt=0))["final_records"]))
+        r_fail = dict(map(tuple, serialize_result(
+            failing.to_spec().run_standalone(attempt=0))["final_records"]))
+        assert r_clean.keys() == r_fail.keys()
+        for vertex, rank in r_clean.items():
+            assert r_fail[vertex] == pytest.approx(rank, abs=1e-2)
+
+    def test_workload_generation_is_seeded(self):
+        first = generate_descriptor_workload(num_jobs=10, seed=3, tenants=("a", "b"))
+        second = generate_descriptor_workload(num_jobs=10, seed=3, tenants=("a", "b"))
+        assert first == second
+        different = generate_descriptor_workload(num_jobs=10, seed=4, tenants=("a", "b"))
+        assert first != different
+
+    def test_workload_round_robins_tenants(self):
+        workload = generate_descriptor_workload(num_jobs=6, seed=1, tenants=("a", "b", "c"))
+        assert [d.tenant for d in workload] == ["a", "b", "c", "a", "b", "c"]
+
+
+class TestSpecMapping:
+    def test_to_spec_carries_service_fields(self):
+        descriptor = JobDescriptor(
+            name="cc-map",
+            kind="cc",
+            tenant="gold",
+            priority=7,
+            deadline=30.0,
+            retry_spare_boost=2,
+        )
+        spec = descriptor.to_spec()
+        assert spec.tenant == "gold"
+        assert spec.priority == 7
+        assert spec.deadline == 30.0
+        assert spec.retry_spare_boost == 2
+        assert spec.config.parallelism == descriptor.parallelism

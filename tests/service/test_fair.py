@@ -1,0 +1,200 @@
+"""Tests for the tenant-fair queue: DRR shares, quotas, shedding, deadlines."""
+
+import pytest
+
+from repro.config import FairnessConfig, ServiceConfig
+from repro.errors import AdmissionError
+from repro.runtime.metrics import MetricsRegistry
+from repro.service import FairAdmissionQueue, JobHandle, JobState
+from repro.service.fair import SHED_METRIC, tenant_metric
+
+from .test_job import cc_spec
+
+
+def handle(job_id: int, tenant: str = "default", priority: int = 0) -> JobHandle:
+    return JobHandle(
+        job_id, cc_spec(name=f"job-{job_id}", tenant=tenant, priority=priority)
+    )
+
+
+def weighted(enabled=True, **kwargs) -> FairnessConfig:
+    kwargs.setdefault("weights", (("gold", 4), ("silver", 2), ("bronze", 1)))
+    return FairnessConfig(enabled=enabled, **kwargs)
+
+
+class TestDeficitRoundRobin:
+    def test_weighted_shares_under_backlog(self):
+        # 30 jobs per tenant backlogged; the first 21 dequeues must split
+        # ~4:2:1 across gold/silver/bronze (exact under DRR: 12/6/3).
+        queue = FairAdmissionQueue(fairness=weighted())
+        job_id = 0
+        for tenant in ("gold", "silver", "bronze"):
+            for _ in range(30):
+                queue.put(handle(job_id, tenant))
+                job_id += 1
+        served = [queue.get(0.1).spec.tenant for _ in range(21)]
+        counts = {t: served.count(t) for t in ("gold", "silver", "bronze")}
+        assert counts == {"gold": 12, "silver": 6, "bronze": 3}
+
+    def test_single_tenant_degenerates_to_priority_fifo(self):
+        queue = FairAdmissionQueue(fairness=weighted())
+        queue.put(handle(0, "gold", priority=0))
+        queue.put(handle(1, "gold", priority=5))
+        queue.put(handle(2, "gold", priority=0))
+        assert [queue.get(0.1).job_id for _ in range(3)] == [1, 0, 2]
+
+    def test_idle_tenant_accumulates_no_credit(self):
+        # A tenant whose lane empties must not bank deficit while idle.
+        queue = FairAdmissionQueue(fairness=weighted())
+        queue.put(handle(0, "gold"))
+        assert queue.get(0.1).job_id == 0
+        for i in range(1, 4):
+            queue.put(handle(i, "bronze"))
+        queue.put(handle(4, "gold"))
+        served = [queue.get(0.1).spec.tenant for _ in range(4)]
+        # Gold re-enters the rotation fresh; bronze is not starved out.
+        assert served.count("bronze") == 3 and served.count("gold") == 1
+
+    def test_corpses_do_not_consume_credit(self):
+        queue = FairAdmissionQueue(fairness=weighted())
+        corpse = handle(0, "bronze")
+        queue.put(corpse)
+        queue.put(handle(1, "bronze"))
+        corpse.request_cancel()
+        got = queue.get(0.1)
+        assert got.job_id == 1
+        assert queue.discarded == 1
+
+
+class TestQuotas:
+    def test_tenant_quota_rejects_at_cap(self):
+        queue = FairAdmissionQueue(fairness=weighted(tenant_quota=2))
+        queue.put(handle(0, "gold"))
+        queue.put(handle(1, "gold"))
+        with pytest.raises(AdmissionError, match="quota"):
+            queue.put(handle(2, "gold"))
+        # Other tenants still have room.
+        queue.put(handle(3, "silver"))
+
+    def test_quota_counts_live_entries_only(self):
+        queue = FairAdmissionQueue(fairness=weighted(tenant_quota=2))
+        corpse = handle(0, "gold")
+        queue.put(corpse)
+        queue.put(handle(1, "gold"))
+        corpse.request_cancel()
+        queue.put(handle(2, "gold"))  # corpse compacted, not counted
+
+
+class TestShedding:
+    def test_lowest_weight_tenant_shed_first(self):
+        metrics = MetricsRegistry()
+        queue = FairAdmissionQueue(capacity=2, fairness=weighted(), metrics=metrics)
+        bronze_old = handle(0, "bronze")
+        bronze_new = handle(1, "bronze")
+        queue.put(bronze_old)
+        queue.put(bronze_new)
+        gold = handle(2, "gold")
+        queue.put(gold)  # sheds the newest bronze job, admits gold
+        assert bronze_new.shed and bronze_new.state is JobState.FAILED
+        assert not bronze_old.shed
+        with pytest.raises(AdmissionError, match="shed under overload"):
+            bronze_new.result(timeout=0)
+        assert queue.shed_jobs == 1
+        assert metrics.get(SHED_METRIC) == 1
+        assert metrics.get(tenant_metric("bronze", "shed")) == 1
+
+    def test_equal_weight_submitter_is_rejected_not_victim(self):
+        queue = FairAdmissionQueue(capacity=2, fairness=weighted())
+        queue.put(handle(0, "bronze"))
+        queue.put(handle(1, "bronze"))
+        with pytest.raises(AdmissionError, match="rejected"):
+            queue.put(handle(2, "bronze"))
+        assert queue.shed_jobs == 1  # the refusal is counted, not silent
+
+    def test_shed_victim_is_lowest_priority_newest(self):
+        queue = FairAdmissionQueue(capacity=3, fairness=weighted())
+        important = handle(0, "bronze", priority=5)
+        older = handle(1, "bronze", priority=0)
+        newest = handle(2, "bronze", priority=0)
+        for h in (important, older, newest):
+            queue.put(h)
+        queue.put(handle(3, "gold"))
+        assert newest.shed
+        assert not important.shed and not older.shed
+
+    def test_tenant_stats_snapshot(self):
+        queue = FairAdmissionQueue(capacity=2, fairness=weighted())
+        queue.put(handle(0, "bronze"))
+        queue.put(handle(1, "bronze"))
+        queue.put(handle(2, "gold"))
+        stats = queue.tenant_stats()
+        assert stats["bronze"]["shed"] == 1
+        assert stats["gold"]["queued"] == 1
+        assert stats["gold"]["weight"] == 4
+
+
+class TestDeadlineAdmission:
+    def test_provably_unmeetable_deadline_rejected(self):
+        queue = FairAdmissionQueue(
+            fairness=weighted(min_wait_samples=5)
+        )
+        for _ in range(5):
+            queue.note_wait(1.0)  # observed queue-wait p95 = 1s
+        doomed = JobHandle(0, cc_spec(name="doomed", tenant="gold", deadline=0.01))
+        with pytest.raises(AdmissionError, match="unmeetable"):
+            queue.put(doomed)
+        assert queue.deadline_rejects == 1
+
+    def test_no_rejection_before_warmup(self):
+        queue = FairAdmissionQueue(fairness=weighted(min_wait_samples=10))
+        queue.note_wait(100.0)  # one sample is not evidence
+        queue.put(JobHandle(0, cc_spec(name="early", deadline=0.01)))
+        assert queue.deadline_rejects == 0
+
+    def test_generous_deadline_admitted(self):
+        queue = FairAdmissionQueue(fairness=weighted(min_wait_samples=3))
+        for _ in range(3):
+            queue.note_wait(0.001)
+        queue.put(JobHandle(0, cc_spec(name="fine", deadline=60.0)))
+        assert queue.depth == 1
+
+    def test_estimator_exposes_p95(self):
+        queue = FairAdmissionQueue(fairness=weighted(min_wait_samples=4))
+        assert queue.estimated_wait_p95() is None
+        for value in (0.1, 0.2, 0.3, 0.4):
+            queue.note_wait(value)
+        assert queue.estimated_wait_p95() == pytest.approx(0.385)
+
+
+class TestServiceIntegration:
+    def test_fair_queue_selected_by_config(self):
+        from repro.service.api import JobService
+
+        config = ServiceConfig(
+            pool_size=1,
+            fairness=FairnessConfig(enabled=True, weights=(("a", 2),)),
+        )
+        service = JobService(config)
+        try:
+            assert isinstance(service._queue, FairAdmissionQueue)
+            spec = cc_spec(name="fair-one", tenant="a")
+            h = service.submit(spec)
+            h.wait(timeout=30.0)
+            assert h.state is JobState.SUCCEEDED
+            health = service.health()
+            assert health["fairness"]["enabled"]
+            assert "a" in health["fairness"]["tenants"]
+            assert service.metrics.get(tenant_metric("a", "submitted")) == 1
+        finally:
+            service.shutdown()
+
+    def test_plain_queue_reports_fairness_disabled(self):
+        from repro.service.api import JobService
+
+        service = JobService(ServiceConfig(pool_size=1))
+        try:
+            health = service.health()
+            assert not health["fairness"]["enabled"]
+            assert health["queue"]["discarded"] == 0
+        finally:
+            service.shutdown()

@@ -112,3 +112,148 @@ class TestDequeue:
         pending = queue.drain_pending()
         assert [h.job_id for h in pending] == [1]
         assert queue.depth == 0
+
+
+class TestCorpseCompaction:
+    """Regression: terminal handles must never occupy queue capacity."""
+
+    def test_full_queue_of_corpses_admits_live_jobs(self):
+        # Cancel queued jobs until the queue is "full" of corpses; a live
+        # put must compact them away instead of spuriously rejecting.
+        queue = AdmissionQueue(capacity=3, policy="reject")
+        corpses = [handle(i) for i in range(3)]
+        for corpse in corpses:
+            queue.put(corpse)
+        for corpse in corpses:
+            corpse.request_cancel()
+        assert queue.depth == 0  # live entries only
+        for i in range(3, 6):
+            queue.put(handle(i))  # must not raise
+        assert queue.depth == 3
+        with pytest.raises(AdmissionError, match="full"):
+            queue.put(handle(6))
+
+    def test_repeated_cancel_churn_never_fills_queue(self):
+        queue = AdmissionQueue(capacity=2, policy="reject")
+        for round_ in range(10):
+            first, second = handle(2 * round_), handle(2 * round_ + 1)
+            queue.put(first)
+            queue.put(second)
+            first.request_cancel()
+            second.request_cancel()
+        assert queue.depth == 0
+        assert queue.discarded >= 18  # compaction counted the corpses
+
+    def test_block_policy_compacts_instead_of_blocking(self):
+        queue = AdmissionQueue(capacity=1, policy="block", block_timeout=5.0)
+        corpse = handle(0)
+        queue.put(corpse)
+        corpse.request_cancel()
+        start = time.monotonic()
+        queue.put(handle(1))  # must not block: compaction frees the slot
+        assert time.monotonic() - start < 1.0
+
+    def test_depth_reports_live_entries_only(self):
+        queue = AdmissionQueue()
+        live, dead = handle(0), handle(1)
+        queue.put(live)
+        queue.put(dead)
+        dead.request_cancel()
+        assert queue.depth == 1
+
+
+class TestDiscardedCounter:
+    def test_dequeue_time_discards_are_counted(self):
+        queue = AdmissionQueue()
+        corpse = handle(0)
+        queue.put(corpse)
+        queue.put(handle(1))
+        corpse.request_cancel()
+        assert queue.get(0.1).job_id == 1
+        assert queue.discarded == 1
+
+    def test_discards_land_in_metrics_registry(self):
+        from repro.runtime.metrics import MetricsRegistry
+        from repro.service.queue import DISCARDED_METRIC
+
+        metrics = MetricsRegistry()
+        queue = AdmissionQueue(capacity=2, metrics=metrics)
+        corpse = handle(0)
+        queue.put(corpse)
+        corpse.request_cancel()
+        queue.put(handle(1))
+        queue.put(handle(2))  # triggers compaction at capacity
+        assert metrics.get(DISCARDED_METRIC) == 1
+        assert queue.discarded == 1
+
+    def test_drain_pending_counts_corpses(self):
+        queue = AdmissionQueue()
+        corpse = handle(0)
+        queue.put(corpse)
+        queue.put(handle(1))
+        corpse.request_cancel()
+        queue.drain_pending()
+        assert queue.discarded == 1
+
+
+class TestConcurrentStress:
+    def test_put_get_cancel_stress_under_block_policy(self):
+        # Bounded, 1-core-safe: 3 producers x 30 jobs through a capacity-4
+        # queue under `block`, with a cancel thread killing every third
+        # job. Every job must be accounted for exactly once: dequeued
+        # live, discarded as a corpse, or drained at the end.
+        queue = AdmissionQueue(capacity=4, policy="block", block_timeout=10.0)
+        per_producer = 30
+        producers = 3
+        handles: list[JobHandle] = [
+            handle(i) for i in range(producers * per_producer)
+        ]
+        dequeued: list[JobHandle] = []
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def produce(start: int) -> None:
+            try:
+                for i in range(start, start + per_producer):
+                    queue.put(handles[i])
+            except BaseException as exc:  # noqa: BLE001 — surface in main thread
+                errors.append(exc)
+
+        def consume() -> None:
+            try:
+                while not stop.is_set() or queue.depth > 0:
+                    got = queue.get(timeout=0.01)
+                    if got is not None:
+                        dequeued.append(got)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def cancel_some() -> None:
+            try:
+                for i in range(0, len(handles), 3):
+                    handles[i].request_cancel()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=produce, args=(k * per_producer,))
+            for k in range(producers)
+        ]
+        threads.append(threading.Thread(target=cancel_some))
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        stop.set()
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        assert not errors, errors
+        leftovers = queue.drain_pending()
+        # Exactly-once accounting: no job is both dequeued and drained,
+        # and every job is dequeued, drained, or a counted corpse.
+        seen = [h.job_id for h in dequeued] + [h.job_id for h in leftovers]
+        assert len(seen) == len(set(seen))
+        assert len(seen) + queue.discarded == len(handles)

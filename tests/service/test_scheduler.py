@@ -115,3 +115,80 @@ class TestDrainShutdown:
         queue.put(late)
         time.sleep(0.05)
         assert late.state is JobState.QUEUED  # nobody is pulling anymore
+
+
+class TestDrainRaces:
+    """wait_idle / shutdown racing cancels of queued and running jobs."""
+
+    def test_wait_idle_with_jobs_cancelled_mid_drain(self):
+        release = threading.Event()
+
+        def runner(handle):
+            if handle.try_transition(JobState.RUNNING):
+                release.wait(5.0)
+                handle.try_transition(JobState.SUCCEEDED)
+
+        queue, pool = make_pool(runner, pool_size=1)
+        try:
+            handles = [JobHandle(i, cc_spec()) for i in range(6)]
+            for handle in handles:
+                queue.put(handle)
+            # Cancel the queued tail from another thread while wait_idle
+            # is already blocking on the drain.
+            def cancel_tail():
+                time.sleep(0.02)
+                for handle in handles[1:]:
+                    handle.request_cancel()
+                release.set()
+
+            canceller = threading.Thread(target=cancel_tail)
+            canceller.start()
+            assert pool.wait_idle(timeout=10.0)
+            cancoller_states = {h.state for h in handles[1:]}
+            cancoller_states.discard(JobState.SUCCEEDED)  # raced ahead of cancel
+            assert cancoller_states <= {JobState.CANCELLED}
+            canceller.join(5.0)
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_with_cancel_racing_the_drain(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(handle):
+            if handle.try_transition(JobState.RUNNING):
+                started.set()
+                release.wait(5.0)
+                handle.try_transition(JobState.SUCCEEDED)
+
+        queue, pool = make_pool(runner, pool_size=1)
+        handles = [JobHandle(i, cc_spec()) for i in range(5)]
+        for handle in handles:
+            queue.put(handle)
+        assert started.wait(5.0)
+        # Cancel half the queued jobs, then shut down cancelling the rest:
+        # drained corpses must not come back from shutdown() as "pending".
+        for handle in handles[1:3]:
+            handle.request_cancel()
+        release.set()
+        drained = pool.shutdown(cancel_pending=True)
+        drained_ids = {h.job_id for h in drained}
+        assert 1 not in drained_ids and 2 not in drained_ids
+        for handle in handles[1:]:
+            assert handle.is_terminal
+        assert queue.depth == 0
+
+    def test_wait_idle_returns_after_queue_emptied_by_cancels(self):
+        # Every queued job is cancelled before any worker can run it; the
+        # drain must still terminate (corpse discards count as progress).
+        queue, pool = make_pool(lambda h: finish(h), pool_size=1)
+        try:
+            handles = [JobHandle(i, cc_spec()) for i in range(20)]
+            for handle in handles:
+                queue.put(handle)
+            for handle in handles:
+                handle.request_cancel()
+            assert pool.wait_idle(timeout=10.0)
+            assert queue.depth == 0
+        finally:
+            pool.shutdown()

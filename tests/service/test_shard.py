@@ -1,0 +1,211 @@
+"""Tests for the spool, the hash ring, and the sharded service."""
+
+import pytest
+
+from repro.config import ServiceConfig, ShardConfig
+from repro.errors import ServiceError
+from repro.service import (
+    ConsistentHashRing,
+    JobDescriptor,
+    ShardedJobService,
+    SpoolDir,
+    records_equal,
+    serialize_result,
+)
+from repro.service.spool import job_id_of
+
+
+def small_service_config() -> ServiceConfig:
+    return ServiceConfig(pool_size=1, poll_interval=0.005)
+
+
+def fast_shards(num_shards: int, spool_dir: str | None = None) -> ShardConfig:
+    return ShardConfig(
+        num_shards=num_shards, spool_dir=spool_dir, claim_interval=0.005
+    )
+
+
+class TestConsistentHashRing:
+    def test_placement_is_deterministic(self):
+        first, second = ConsistentHashRing(4), ConsistentHashRing(4)
+        for tenant in ("a", "b", "c", "gold", "silver"):
+            assert first.place(tenant) == second.place(tenant)
+
+    def test_placement_in_range(self):
+        ring = ConsistentHashRing(3)
+        for i in range(50):
+            assert 0 <= ring.place(f"tenant-{i}") < 3
+
+    def test_resize_moves_a_minority_of_tenants(self):
+        small, large = ConsistentHashRing(4), ConsistentHashRing(5)
+        tenants = [f"tenant-{i}" for i in range(200)]
+        moved = sum(1 for t in tenants if small.place(t) != large.place(t))
+        assert moved < 120  # consistent hashing: far from the ~4/5 a mod would move
+
+    def test_single_shard(self):
+        ring = ConsistentHashRing(1)
+        assert ring.place("anyone") == 0
+
+
+class TestSpoolDir:
+    def test_submit_orders_by_priority_then_fifo(self, tmp_path):
+        spool = SpoolDir(tmp_path, 1)
+        spool.prepare()
+        spool.submit(0, "low", 0, {"name": "low"})
+        spool.submit(0, "high", 9, {"name": "high"})
+        spool.submit(0, "low2", 0, {"name": "low2"})
+        order = [job_id_of(p) for p in spool.pending_files(0)]
+        assert order == ["high", "low", "low2"]
+
+    def test_claim_is_exactly_once(self, tmp_path):
+        spool = SpoolDir(tmp_path, 2)
+        spool.prepare()
+        spool.submit(0, "solo", 0, {"name": "solo"})
+        path = spool.pending_files(0)[0]
+        first = spool.try_claim(path, 0)
+        second = spool.try_claim(path, 1)
+        assert first is not None and second is None
+
+    def test_donation_claims_from_sibling(self, tmp_path):
+        spool = SpoolDir(tmp_path, 2)
+        spool.prepare()
+        spool.submit(1, "donated", 0, {"name": "donated"})
+        claimed = spool.claim_next(0, donate_from=1)
+        assert claimed is not None
+        assert job_id_of(claimed) == "donated"
+        assert spool.pending_depth(1) == 0
+
+    def test_result_first_writer_wins(self, tmp_path):
+        spool = SpoolDir(tmp_path, 1)
+        spool.prepare()
+        spool.publish_result("job-1", {"state": "succeeded"})
+        spool.publish_result("job-1", {"state": "cancelled"})
+        assert spool.read_result("job-1")["state"] == "succeeded"
+
+    def test_health_and_stop_round_trip(self, tmp_path):
+        spool = SpoolDir(tmp_path, 1)
+        spool.prepare()
+        spool.publish_health(0, {"state": "running", "in_flight": 2})
+        health = spool.read_health(0)
+        assert health["state"] == "running" and "time" in health
+        assert not spool.stop_requested()
+        spool.signal_stop()
+        assert spool.stop_requested()
+
+
+class TestShardedJobService:
+    def test_jobs_complete_across_shards(self, tmp_path):
+        workload = [
+            JobDescriptor(
+                name=f"cc-{i}", kind="cc", tenant=f"tenant-{i % 3}",
+                component_size=4, graph_seed=i,
+            )
+            for i in range(6)
+        ]
+        with ShardedJobService(
+            small_service_config(), fast_shards(2, str(tmp_path / "spool"))
+        ) as service:
+            job_ids = service.submit_all(workload)
+            records = service.wait_all(timeout=120.0)
+        assert all(records[j]["state"] == "succeeded" for j in job_ids)
+
+    def test_results_bit_identical_to_standalone(self, tmp_path):
+        descriptor = JobDescriptor(
+            name="cc-ident", kind="cc", graph_seed=11, component_size=4,
+            failures=((1, (0,)),),
+        )
+        local = serialize_result(descriptor.to_spec().run_standalone(attempt=0))
+        with ShardedJobService(
+            small_service_config(), fast_shards(2, str(tmp_path / "spool"))
+        ) as service:
+            job_id = service.submit(descriptor)
+            record = service.result(job_id, timeout=120.0)
+        assert record["state"] == "succeeded"
+        assert records_equal(local, record["result"])
+
+    def test_tenant_placement_is_stable(self, tmp_path):
+        with ShardedJobService(
+            small_service_config(), fast_shards(2, str(tmp_path / "spool"))
+        ) as service:
+            shard = service.ring.place("gold")
+            for i in range(3):
+                service.submit(JobDescriptor(
+                    name=f"cc-{i}", kind="cc", tenant="gold", component_size=3,
+                ))
+            # All three landed in the same shard's spool before claiming.
+            assert all(
+                info["shard"] == shard for info in service._jobs.values()
+            )
+            service.wait_all(timeout=120.0)
+
+    def test_cancel_pending_job(self, tmp_path):
+        # Submit without shards running so the file stays unclaimed.
+        service = ShardedJobService(
+            small_service_config(),
+            fast_shards(1, str(tmp_path / "spool")),
+            start=False,
+        )
+        job_id = service.submit(JobDescriptor(name="cc-x", kind="cc"))
+        assert service.cancel(job_id) is True
+        record = service.result(job_id, timeout=5.0)
+        assert record["state"] == "cancelled"
+        assert service.cancel(job_id) is False  # already terminal
+        service.shutdown()
+
+    def test_unknown_job_id_raises(self, tmp_path):
+        service = ShardedJobService(
+            small_service_config(),
+            fast_shards(1, str(tmp_path / "spool")),
+            start=False,
+        )
+        with pytest.raises(ServiceError, match="unknown"):
+            service.status("job-99999999")
+        service.shutdown()
+
+    def test_health_merges_shard_reports(self, tmp_path):
+        with ShardedJobService(
+            small_service_config(), fast_shards(2, str(tmp_path / "spool"))
+        ) as service:
+            job_id = service.submit(JobDescriptor(name="cc-h", kind="cc"))
+            service.result(job_id, timeout=120.0)
+            health = service.health()
+        assert health["num_shards"] == 2
+        assert health["submitted"] == 1 and health["done"] == 1
+        assert len(health["shards"]) == 2
+
+    def test_work_donation_drains_a_stopped_shards_queue(self, tmp_path):
+        # Place every job on shard 1's spool but only run shard 0: with
+        # donation enabled the running shard claims the sibling's backlog.
+        spool_dir = str(tmp_path / "spool")
+        service = ShardedJobService(
+            small_service_config(), fast_shards(2, spool_dir), start=False
+        )
+        gold_shard = service.ring.place("gold")
+        other = 1 - gold_shard
+        for i in range(4):
+            service.submit(JobDescriptor(
+                name=f"cc-{i}", kind="cc", tenant="gold", component_size=3,
+            ))
+        assert service.spool.pending_depth(gold_shard) == 4
+        # Start only the *other* shard by hand.
+        import multiprocessing
+
+        from repro.service.shard import shard_worker_main
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        proc = ctx.Process(
+            target=shard_worker_main,
+            args=(spool_dir, other, service.service_config, service.shard_config),
+            daemon=True,
+        )
+        proc.start()
+        service._procs = [proc]  # let shutdown() manage it
+        try:
+            records = service.wait_all(timeout=120.0)
+            assert all(r["state"] == "succeeded" for r in records.values())
+        finally:
+            service.shutdown()
+        health = service.spool.read_health(other)
+        assert health["donated"] >= 4

@@ -1,0 +1,133 @@
+"""Tests for catalog persistence: save/load round-trip and error cases."""
+
+import json
+
+import pytest
+
+from repro.errors import ViewError
+from repro.graph.graph import Graph
+from repro.views import (
+    ComponentMassView,
+    ConnectedComponentsView,
+    MutableGraph,
+    PageRankView,
+    ViewCatalog,
+    ViewDefinition,
+    load_catalog,
+    save_catalog,
+)
+from repro.views.persistence import FORMAT_VERSION
+
+
+def sample_catalog():
+    catalog = ViewCatalog()
+    mutable = MutableGraph(Graph([0, 1, 2, 3], [(0, 1), (2, 3)]))
+    catalog.add_graph("graph", mutable)
+    catalog.register(
+        ViewDefinition(
+            name="cc", algorithm=ConnectedComponentsView(), source="graph"
+        )
+    )
+    catalog.register(
+        ViewDefinition(
+            name="pr",
+            algorithm=PageRankView(damping=0.9, epsilon=1e-4),
+            source="graph",
+            target_lag=3,
+        )
+    )
+    catalog.register(
+        ViewDefinition(
+            name="mass",
+            algorithm=ComponentMassView(labels="cc", ranks="pr"),
+            depends_on=("cc", "pr"),
+            recovery="restart",
+        )
+    )
+    return catalog, mutable
+
+
+class TestRoundTrip:
+    def test_definitions_survive_reload(self, tmp_path):
+        catalog, mutable = sample_catalog()
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path, graphs={"graph": mutable})
+
+        assert loaded.topological_order() == catalog.topological_order()
+        pr = loaded.view("pr").definition
+        assert pr.algorithm.damping == 0.9
+        assert pr.algorithm.epsilon == 1e-4
+        assert pr.target_lag == 3
+        mass = loaded.view("mass").definition
+        assert mass.depends_on == ("cc", "pr")
+        assert mass.recovery == "restart"
+        assert mass.algorithm.labels == "cc"
+
+    def test_materializations_survive_reload(self, tmp_path):
+        catalog, mutable = sample_catalog()
+        catalog.view("cc").install(4, ((0, 0), (1, 0), (2, 2), (3, 2)))
+        catalog.view("pr").install(4, ((0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)))
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path, graphs={"graph": mutable})
+
+        cc = loaded.view("cc")
+        assert cc.is_materialized and cc.epoch == 4
+        assert cc.read().records == ((0, 0), (1, 0), (2, 2), (3, 2))
+        pr = loaded.view("pr")
+        assert pr.read().records == ((0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25))
+        assert not loaded.view("mass").is_materialized
+
+    def test_unmaterialized_views_stay_cold(self, tmp_path):
+        catalog, mutable = sample_catalog()
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path, graphs={"graph": mutable})
+        for name in ("cc", "pr", "mass"):
+            assert not loaded.view(name).is_materialized
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        catalog, _ = sample_catalog()
+        save_catalog(catalog, tmp_path / "catalog.json")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "catalog.json"]
+        assert leftovers == []
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ViewError, match="no persisted catalog"):
+            load_catalog(tmp_path / "nope.json")
+
+    def test_missing_graph(self, tmp_path):
+        catalog, _ = sample_catalog()
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        with pytest.raises(ViewError, match="graph 'graph'"):
+            load_catalog(path)  # graphs= not supplied
+
+    def test_bad_format_version(self, tmp_path):
+        catalog, mutable = sample_catalog()
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        payload = json.loads(path.read_text())
+        payload["format"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ViewError, match="format"):
+            load_catalog(path, graphs={"graph": mutable})
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text("{torn")
+        with pytest.raises(ViewError, match="not valid JSON"):
+            load_catalog(path)
+
+    def test_unknown_algorithm_kind(self, tmp_path):
+        catalog, mutable = sample_catalog()
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        payload = json.loads(path.read_text())
+        payload["views"][0]["algorithm"]["kind"] = "mystery-view"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ViewError, match="unknown persisted algorithm"):
+            load_catalog(path, graphs={"graph": mutable})
